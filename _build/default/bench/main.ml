@@ -1,0 +1,507 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§8), plus the §7 CFG-generation timing and the
+   ablations called out in DESIGN.md.
+
+   Sections (pass names as CLI arguments to run a subset):
+     table1   - Table 1: C1 violations and false-positive elimination
+     table2   - Table 2: K1/K2 classification of remaining cases
+     table3   - Table 3: IBs / IBTs / EQCs per benchmark, x86-32 and
+                x86-64 flavours (tail-call optimization off/on)
+     fig5     - Fig. 5: execution overhead of instrumentation, no
+                concurrent update transactions
+     fig6     - Fig. 6: overhead with a 50 Hz update-transaction thread
+     txmicro  - §8.1 micro-benchmark: normalized check-transaction time
+                for MCFI / TML / RW-lock / CAS-mutex (Bechamel)
+     space    - §8.1 space overhead: code-size increase and table sizes
+     air      - §8.3 AIR metric per CFI policy
+     rop      - §8.3 ROP-gadget elimination
+     cfggen   - §7 CFG-generation speed
+     sandbox  - ablation: segmentation (x86-32) vs masking (x86-64)
+     tary     - ablation: array Tary vs hash-map Tary lookup cost *)
+
+module Process = Mcfi_runtime.Process
+module Machine = Mcfi_runtime.Machine
+module Tables = Idtables.Tables
+module Tx = Idtables.Tx
+module Objfile = Mcfi_compiler.Objfile
+
+let suite = Suite.Programs.all
+
+let line = String.make 78 '-'
+
+let section name title f =
+  let wanted =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> List.mem name args
+    | _ -> true
+  in
+  if wanted then begin
+    Fmt.pr "@.%s@.%s (%s)@.%s@." line title name line;
+    f ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* shared pipeline helpers                                             *)
+
+let checked_info (b : Suite.Programs.benchmark) =
+  let src = Suite.Libc.header ^ b.source in
+  Minic.Typecheck.check (Minic.Parser.parse ~name:b.name src)
+
+let build ?(instrumented = true) ?(tco = false) (b : Suite.Programs.benchmark) =
+  Mcfi.Pipeline.build_process ~instrumented ~tco
+    ~sources:[ (b.name, b.source) ]
+    ()
+
+let time_run ?(repeats = 5) make_proc =
+  (* median-of-n wall time of a full process run *)
+  let times =
+    List.init repeats (fun _ ->
+        let proc = make_proc () in
+        Process.start proc;
+        let t0 = Unix.gettimeofday () in
+        let reason = Machine.run (Process.machine proc) in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match reason with
+        | Machine.Exited 0 -> ()
+        | r -> Fmt.epr "warning: run ended with %a@." Machine.pp_exit_reason r);
+        (dt, Machine.steps (Process.machine proc)))
+  in
+  let sorted = List.sort compare (List.map fst times) in
+  let median = List.nth sorted (repeats / 2) in
+  let steps = snd (List.hd times) in
+  (median, steps)
+
+let linked ~instrumented (b : Suite.Programs.benchmark) =
+  Mcfi.Pipeline.link_executable ~instrumented
+    ~sources:[ (b.name, b.source) ]
+    ()
+
+let image_of obj =
+  (* a standalone layout: data symbols resolve to a dummy address, which
+     leaves instruction sizes (and hence gadget offsets) unchanged *)
+  match
+    Vmisa.Asm.assemble ~base:Vmisa.Abi.code_base
+      ~resolve_data:(fun _ -> Some 16)
+      obj.Objfile.o_items
+  with
+  | Ok prog -> prog.Vmisa.Asm.image
+  | Error e -> failwith (Fmt.str "assemble: %a" Vmisa.Asm.pp_error e)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Fmt.pr "%-12s %5s %4s %4s %4s %4s %4s %4s %5s@." "benchmark" "SLOC" "VBE"
+    "UC" "DC" "MF" "SU" "NF" "VAE";
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let r = Minic.Analyzer.analyze ~source:b.source (checked_info b) in
+      Fmt.pr "%-12s %5d %4d %4d %4d %4d %4d %4d %5d@." b.name r.sloc r.vbe
+        r.uc r.dc r.mf r.su r.nf r.vae)
+    suite;
+  (* the libc row corresponds to the paper's MUSL paragraph (§7) *)
+  let info =
+    Minic.Typecheck.check (Minic.Parser.parse ~name:"libc" Suite.Libc.source)
+  in
+  let r = Minic.Analyzer.analyze ~source:Suite.Libc.source info in
+  Fmt.pr "%-12s %5d %4d %4d %4d %4d %4d %4d %5d@." "libc" r.sloc r.vbe r.uc
+    r.dc r.mf r.su r.nf r.vae
+
+let table2 () =
+  Fmt.pr "%-12s %4s %4s@." "benchmark" "K1" "K2";
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let r = Minic.Analyzer.analyze ~source:b.source (checked_info b) in
+      if r.vae > 0 then Fmt.pr "%-12s %4d %4d@." b.name r.k1 r.k2)
+    suite;
+  Fmt.pr "(benchmarks with zero remaining violations omitted, as in the paper)@."
+
+let table3 () =
+  Fmt.pr "%-12s | %6s %6s %6s | %6s %6s %6s@." "" "x86-32" "" "" "x86-64" ""
+    "";
+  Fmt.pr "%-12s | %6s %6s %6s | %6s %6s %6s@." "benchmark" "IBs" "IBTs"
+    "EQCs" "IBs" "IBTs" "EQCs";
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let stats tco =
+        let proc = build ~tco b in
+        Option.get (Process.cfg_stats proc)
+      in
+      let s32 = stats false in
+      (* the x86-64 flavour: LLVM's tail-call optimization on *)
+      let s64 = stats true in
+      Fmt.pr "%-12s | %6d %6d %6d | %6d %6d %6d@." b.name
+        s32.Cfg.Cfggen.n_ibs s32.n_ibts s32.n_eqcs s64.n_ibs s64.n_ibts
+        s64.n_eqcs)
+    suite
+
+let fig5 () =
+  Fmt.pr "%-12s %10s %10s %8s %10s %10s %8s@." "benchmark" "plain(ms)"
+    "mcfi(ms)" "time%" "plain(Mi)" "mcfi(Mi)" "instr%";
+  let tsum = ref 0.0 and isum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let t_plain, s_plain = time_run (fun () -> build ~instrumented:false b) in
+      let t_mcfi, s_mcfi = time_run (fun () -> build ~instrumented:true b) in
+      let tpct = 100.0 *. ((t_mcfi /. t_plain) -. 1.0) in
+      let ipct =
+        100.0 *. ((float_of_int s_mcfi /. float_of_int s_plain) -. 1.0)
+      in
+      tsum := !tsum +. tpct;
+      isum := !isum +. ipct;
+      incr n;
+      Fmt.pr "%-12s %10.1f %10.1f %7.1f%% %10.2f %10.2f %7.1f%%@." b.name
+        (t_plain *. 1000.) (t_mcfi *. 1000.) tpct
+        (float_of_int s_plain /. 1e6)
+        (float_of_int s_mcfi /. 1e6)
+        ipct)
+    suite;
+  Fmt.pr "%-12s %10s %10s %7.1f%% %10s %10s %7.1f%%@." "average" "" ""
+    (!tsum /. float_of_int !n) "" ""
+    (!isum /. float_of_int !n);
+  Fmt.pr
+    "(time%% is wall-clock on the simulator; instr%% is retired-instruction@.\
+    \ overhead - the simulator executes check reads serially, where the@.\
+    \ paper's CPU issues the two table reads in parallel; see EXPERIMENTS.md)@."
+
+(* The paper runs an updater thread at 50 Hz of wall-clock time.  On this
+   reproduction's serial simulator (and the single-core CI box it runs
+   on), a concurrent domain would only measure OS scheduling, so updates
+   fire on the {e simulated} clock instead: one full-table update
+   transaction every 200k retired instructions — 50 Hz at the 10 MIPS the
+   VM roughly sustains.  An update landing between a check's Bary and
+   Tary reads forces the VM through the retry loop, whose instructions
+   are part of the measured run, exactly the effect Fig. 6 quantifies.
+   (True cross-thread safety is property-tested in test_idtables.) *)
+let fig6 () =
+  let interval = 200_000 in
+  Fmt.pr "%-12s %10s %13s %8s %9s %9s@." "benchmark" "mcfi(ms)"
+    "mcfi+50Hz(ms)" "extra%" "updates" "upd(ms)";
+  let sum = ref 0.0 and n = ref 0 in
+  let stepped_run ~updates (b : Suite.Programs.benchmark) =
+    let proc = build ~instrumented:true b in
+    let tables = Option.get (Process.tables proc) in
+    Process.start proc;
+    let m = Process.machine proc in
+    let count = ref 0 in
+    let upd_time = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    let rec go next_update =
+      match Machine.step m with
+      | Some reason -> reason
+      | None ->
+        if updates && Machine.steps m >= next_update then begin
+          let u0 = Unix.gettimeofday () in
+          ignore (Tx.refresh tables);
+          upd_time := !upd_time +. (Unix.gettimeofday () -. u0);
+          incr count;
+          go (next_update + interval)
+        end
+        else go next_update
+    in
+    let reason = go interval in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match reason with
+    | Machine.Exited 0 -> ()
+    | r -> Fmt.epr "warning: run ended with %a@." Machine.pp_exit_reason r);
+    (dt, !count, !upd_time)
+  in
+  let median_run ~updates b =
+    let runs = List.init 3 (fun _ -> stepped_run ~updates b) in
+    let sorted = List.sort compare (List.map (fun (t, _, _) -> t) runs) in
+    let _, count, upd = List.hd runs in
+    (List.nth sorted 1, count, upd)
+  in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let t_mcfi, _, _ = median_run ~updates:false b in
+      let t_upd, count, upd_ms = median_run ~updates:true b in
+      let pct = 100.0 *. ((t_upd /. t_mcfi) -. 1.0) in
+      sum := !sum +. pct;
+      incr n;
+      Fmt.pr "%-12s %10.1f %13.1f %7.1f%% %9d %9.1f@." b.name
+        (t_mcfi *. 1000.) (t_upd *. 1000.) pct count (upd_ms *. 1000.))
+    suite;
+  Fmt.pr "%-12s %10s %13s %7.1f%%@." "average" "" "" (!sum /. float_of_int !n);
+  Fmt.pr
+    "(paper: 6-7%% average with 50 Hz updates vs 4-6%% without; upd(ms) is@.\
+    \ the exact time spent inside update transactions — wall-clock deltas@.\
+    \ beyond it are scheduler noise on a shared single-core host)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helpers                                                    *)
+
+let bechamel_run tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 2.0) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+
+let estimate results key =
+  let open Bechamel in
+  match Hashtbl.find_opt results key with
+  | Some ols -> begin
+    match Analyze.OLS.estimates ols with
+    | Some [ est ] -> Some est
+    | Some _ | None -> None
+  end
+  | None -> None
+
+(* §8.1 transaction micro-benchmark *)
+let txmicro () =
+  let open Bechamel in
+  let code_base = 0x1000 in
+  let mk (module B : Idtables.Tx_baselines.S) =
+    let t = B.create ~code_base ~capacity:4096 ~bary_slots:64 in
+    let tary = List.init 256 (fun k -> (code_base + (4 * k), k mod 8)) in
+    let bary = List.init 64 (fun k -> (k, k mod 8)) in
+    B.update t ~tary ~bary;
+    (* one passing check per run: exactly the operation the paper times
+       (tary slot 3 has ECN 3, matching bary slot 3) *)
+    let target = code_base + (4 * 3) in
+    assert (B.check t ~bary_index:3 ~target);
+    Test.make ~name:B.name
+      (Staged.stage (fun () -> ignore (B.check t ~bary_index:3 ~target)))
+  in
+  let tests =
+    Test.make_grouped ~name:"check-tx"
+      [
+        mk (module Idtables.Tx_baselines.Mcfi);
+        mk (module Idtables.Tx_baselines.Tml);
+        mk (module Idtables.Tx_baselines.Rwlock);
+        mk (module Idtables.Tx_baselines.Cas_mutex);
+      ]
+  in
+  let results = bechamel_run tests in
+  let mcfi =
+    Option.value ~default:1.0 (estimate results "check-tx/mcfi")
+  in
+  Fmt.pr "%-8s %14s %12s@." "scheme" "ns/check" "normalized";
+  List.iter
+    (fun name ->
+      match estimate results ("check-tx/" ^ name) with
+      | Some ns -> Fmt.pr "%-8s %14.1f %12.2f@." name ns (ns /. mcfi)
+      | None -> Fmt.pr "%-8s (no estimate)@." name)
+    [ "mcfi"; "tml"; "rwlock"; "mutex" ];
+  Fmt.pr "(paper reports MCFI=1, TML=2, RWL=29, Mutex=22 on real hardware)@."
+
+(* ------------------------------------------------------------------ *)
+
+let space () =
+  Fmt.pr "%-12s %10s %10s %8s %10s@." "benchmark" "plain(B)" "mcfi(B)"
+    "code+%" "tables(B)";
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let p = String.length (image_of (linked ~instrumented:false b)) in
+      let mcfi = linked ~instrumented:true b in
+      let m = String.length (image_of mcfi) in
+      let pct = 100.0 *. ((float_of_int m /. float_of_int p) -. 1.0) in
+      sum := !sum +. pct;
+      incr n;
+      (* Tary: one 4-byte slot per 4 code bytes = code size; Bary: 4B/slot *)
+      let tables = m + (4 * List.length mcfi.Objfile.o_sites) in
+      Fmt.pr "%-12s %10d %10d %7.1f%% %10d@." b.name p m pct tables)
+    suite;
+  Fmt.pr "%-12s %10s %10s %7.1f%%@." "average" "" "" (!sum /. float_of_int !n);
+  Fmt.pr "(paper: ~17%% static code-size increase; runtime tables = code size)@."
+
+let air () =
+  (* average AIR over the suite per policy, like the paper's summary *)
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let proc = build ~instrumented:true b in
+      let input = Process.cfg_input proc in
+      let code_bytes =
+        Machine.code_end (Process.machine proc) - Vmisa.Abi.code_base
+      in
+      List.iter
+        (fun (name, v) ->
+          let sum, k =
+            Option.value ~default:(0.0, 0) (Hashtbl.find_opt totals name)
+          in
+          Hashtbl.replace totals name (sum +. v, k + 1))
+        (Security.Air.table ~input ~code_bytes))
+    suite;
+  Fmt.pr "%-12s %8s@." "policy" "AIR";
+  List.iter
+    (fun p ->
+      let name = Security.Policies.name p in
+      match Hashtbl.find_opt totals name with
+      | Some (sum, k) -> Fmt.pr "%-12s %8.4f@." name (sum /. float_of_int k)
+      | None -> ())
+    Security.Policies.all;
+  Fmt.pr "(paper: MCFI 0.9960/0.9999 beats binCFI 0.987/0.988 and chunk CFI)@."
+
+let rop () =
+  Fmt.pr "%-12s %9s %9s %8s@." "benchmark" "gadgets" "surviving" "elim%";
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      (* original binary: the plain build's byte image; depth 12 so that
+         even whole check-sequence prefixes count as candidate gadgets *)
+      let max_len = 12 in
+      let original =
+        Security.Gadget.scan ~max_len ~base:Vmisa.Abi.code_base
+          (image_of (linked ~instrumented:false b))
+      in
+      (* hardened binary: scan the instrumented process's loaded image;
+         only gadget starts that are valid aligned Tary targets remain
+         reachable through checked branches *)
+      let proc = build ~instrumented:true b in
+      let tables = Option.get (Process.tables proc) in
+      let hardened =
+        Security.Gadget.scan ~max_len ~base:Vmisa.Abi.code_base
+          (image_of (linked ~instrumented:true b))
+      in
+      let valid addr = Idtables.Id.valid (Tables.tary_read tables addr) in
+      let surviving =
+        Security.Gadget.survivors ~valid_targets:valid hardened
+      in
+      let total = Security.Gadget.count_unique original in
+      let surv = Security.Gadget.count_unique surviving in
+      let rate = Security.Gadget.elimination_rate ~total ~surviving:surv in
+      sum := !sum +. rate;
+      incr n;
+      Fmt.pr "%-12s %9d %9d %7.2f%%@." b.name total surv rate)
+    suite;
+  Fmt.pr "%-12s %9s %9s %7.2f%%@." "average" "" "" (!sum /. float_of_int !n);
+  Fmt.pr "(paper: 96.93%%/95.75%% of gadgets eliminated on x86-32/64)@."
+
+let cfggen () =
+  Fmt.pr "%-12s %10s %10s %12s@." "benchmark" "code(B)" "cfg(ms)" "ms/MB";
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let proc = build ~instrumented:true b in
+      let code_bytes =
+        Machine.code_end (Process.machine proc) - Vmisa.Abi.code_base
+      in
+      (* time fresh regenerations on the loaded process *)
+      let input = Process.cfg_input proc in
+      let t0 = Unix.gettimeofday () in
+      let rounds = 20 in
+      for _ = 1 to rounds do
+        ignore (Cfg.Cfggen.generate input)
+      done;
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int rounds in
+      Fmt.pr "%-12s %10d %10.2f %12.1f@." b.name code_bytes ms
+        (ms /. (float_of_int code_bytes /. 1e6)))
+    suite;
+  Fmt.pr "(paper: ~150 ms for gcc's 2.7 MB of code)@."
+
+(* Ablation: the sandboxing flavours of §5.1 — x86-32 memory segmentation
+   (stores confined in hardware, no extra instructions) vs. x86-64 address
+   masking (an AND-clipped effective address per non-stack store). The
+   paper's Fig. 5 reports x86-32 slightly cheaper partly for this reason;
+   here the difference is isolated exactly. *)
+let sandbox_ablation () =
+  Fmt.pr "%-12s %10s %10s %9s %10s %10s %8s@." "benchmark" "seg(Mi)"
+    "mask(Mi)" "instrΔ%" "seg(B)" "mask(B)" "sizeΔ%";
+  let isum = ref 0.0 and ssum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let run sandbox =
+        let proc =
+          Mcfi.Pipeline.build_process ~sandbox ~sources:[ (b.name, b.source) ]
+            ()
+        in
+        Process.start proc;
+        (match Machine.run (Process.machine proc) with
+        | Machine.Exited 0 -> ()
+        | r -> Fmt.epr "warning: %a@." Machine.pp_exit_reason r);
+        let steps = Machine.steps (Process.machine proc) in
+        let bytes =
+          Machine.code_end (Process.machine proc) - Vmisa.Abi.code_base
+        in
+        (steps, bytes)
+      in
+      let seg_i, seg_b = run Vmisa.Abi.Segment in
+      let mask_i, mask_b = run Vmisa.Abi.Mask in
+      let ipct =
+        100.0 *. ((float_of_int mask_i /. float_of_int seg_i) -. 1.0)
+      in
+      let spct =
+        100.0 *. ((float_of_int mask_b /. float_of_int seg_b) -. 1.0)
+      in
+      isum := !isum +. ipct;
+      ssum := !ssum +. spct;
+      incr n;
+      Fmt.pr "%-12s %10.2f %10.2f %8.1f%% %10d %10d %7.1f%%@." b.name
+        (float_of_int seg_i /. 1e6)
+        (float_of_int mask_i /. 1e6)
+        ipct seg_b mask_b spct)
+    suite;
+  Fmt.pr "%-12s %10s %10s %8.1f%% %10s %10s %7.1f%%@." "average" "" ""
+    (!isum /. float_of_int !n)
+    "" ""
+    (!ssum /. float_of_int !n);
+  Fmt.pr
+    "(segmentation = the paper's x86-32 design, masking = x86-64; the delta@.\
+    \ is the pure cost of software write sandboxing)@."
+
+(* ablation: array-backed Tary vs a hash-map Tary *)
+let tary () =
+  let open Bechamel in
+  let code_base = 0x1000 in
+  let n = 4096 in
+  let tables = Tables.create ~code_base ~capacity:(4 * n) ~bary_slots:4 () in
+  ignore
+    (Tx.update tables
+       ~tary:(List.init n (fun k -> (code_base + (4 * k), k mod 16)))
+       ~bary:[ (0, 0) ]);
+  let hash = Hashtbl.create n in
+  List.iteri
+    (fun k (addr, ecn) ->
+      ignore k;
+      Hashtbl.replace hash addr (Idtables.Id.pack ~ecn ~version:1))
+    (List.init n (fun k -> (code_base + (4 * k), k mod 16)));
+  let tests =
+    Test.make_grouped ~name:"tary"
+      [
+        Test.make ~name:"array"
+          (Staged.stage (fun () ->
+               for k = 0 to 255 do
+                 ignore
+                   (Tables.tary_read tables (code_base + (4 * (k * 7 mod n))))
+               done));
+        Test.make ~name:"hashmap"
+          (Staged.stage (fun () ->
+               for k = 0 to 255 do
+                 ignore
+                   (Hashtbl.find_opt hash (code_base + (4 * (k * 7 mod n))))
+               done));
+      ]
+  in
+  let results = bechamel_run tests in
+  Fmt.pr "%-8s %14s@." "repr" "ns/256 reads";
+  List.iter
+    (fun name ->
+      match estimate results ("tary/" ^ name) with
+      | Some est -> Fmt.pr "%-8s %14.1f@." name est
+      | None -> Fmt.pr "%-8s (no estimate)@." name)
+    [ "array"; "hashmap" ];
+  Fmt.pr "(the paper chooses the array for exactly this lookup-cost reason)@."
+
+let () =
+  section "table1" "Table 1: C1 violations and false-positive elimination"
+    table1;
+  section "table2" "Table 2: kinds of remaining violations" table2;
+  section "table3" "Table 3: CFG statistics (IBs / IBTs / EQCs)" table3;
+  section "fig5" "Figure 5: execution overhead, no concurrent updates" fig5;
+  section "fig6" "Figure 6: execution overhead with 50 Hz update transactions"
+    fig6;
+  section "txmicro" "Transaction micro-benchmark (normalized check time)"
+    txmicro;
+  section "space" "Space overhead" space;
+  section "air" "AIR metric by CFI policy" air;
+  section "rop" "ROP gadget elimination" rop;
+  section "cfggen" "CFG generation speed" cfggen;
+  section "sandbox" "Ablation: segmentation (x86-32) vs masking (x86-64)"
+    sandbox_ablation;
+  section "tary" "Ablation: Tary representation" tary

@@ -1,0 +1,276 @@
+(* mcfi: the command-line front end to the toolchain (paper §7).
+
+   Subcommands:
+     run       compile (+instrument+verify+link+load) and execute a
+               MiniC program
+     compile   compile modules to .mobj object files (separately!)
+     inspect   print an object file's code, sites and type information
+     analyze   run the C1/C2 analyzer on a source file
+     bench     list the built-in benchmark suite
+
+   Examples:
+     mcfi run prog.mc
+     mcfi run --plain prog.mc
+     mcfi compile -o prog.mobj prog.mc
+     mcfi inspect prog.mobj
+     mcfi analyze prog.mc *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let module_name path = Filename.remove_extension (Filename.basename path)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MiniC source file")
+  in
+  let plain =
+    Arg.(value & flag & info [ "plain" ] ~doc:"run without MCFI protection")
+  in
+  let tco =
+    Arg.(value & flag & info [ "tco" ]
+           ~doc:"enable tail-call optimization (the x86-64 flavour)")
+  in
+  let fuel =
+    Arg.(value & opt int 500_000_000 & info [ "fuel" ]
+           ~doc:"instruction budget")
+  in
+  let dynamic =
+    Arg.(value & opt_all file [] & info [ "dl" ]
+           ~doc:"MiniC module loadable at runtime via dlopen(name)")
+  in
+  let run file plain tco fuel dynamic =
+    let dynamic =
+      List.map (fun p -> (module_name p, read_file p)) dynamic
+    in
+    match
+      Mcfi.Pipeline.run_source ~instrumented:(not plain) ~tco ~fuel ~dynamic
+        (read_file file)
+    with
+    | reason, output ->
+      print_string output;
+      Fmt.pr "[%a]@." Mcfi_runtime.Machine.pp_exit_reason reason;
+      (match reason with Mcfi_runtime.Machine.Exited 0 -> 0 | _ -> 1)
+    | exception Mcfi.Pipeline.Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"compile, instrument, verify, load and execute")
+    Term.(const run $ file $ plain $ tco $ fuel $ dynamic)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MiniC source file")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT"
+           ~doc:"output object file (default: FILE.mobj)")
+  in
+  let plain =
+    Arg.(value & flag & info [ "plain" ] ~doc:"skip instrumentation")
+  in
+  let tco = Arg.(value & flag & info [ "tco" ] ~doc:"tail-call optimization") in
+  let freestanding =
+    Arg.(value & flag & info [ "freestanding" ]
+           ~doc:"do not prepend the libc prototypes")
+  in
+  let compile file output plain tco freestanding =
+    let out = Option.value output ~default:(module_name file ^ ".mobj") in
+    let src = read_file file in
+    let src = if freestanding then src else Suite.Libc.header ^ src in
+    match
+      let obj =
+        Mcfi.Pipeline.compile_module ~tco ~name:(module_name file) src
+      in
+      if plain then obj else Mcfi.Pipeline.instrument obj
+    with
+    | obj ->
+      Mcfi_compiler.Objfile.save out obj;
+      Fmt.pr "wrote %s (%d items, %d sites, instrumented=%b)@." out
+        (List.length obj.Mcfi_compiler.Objfile.o_items)
+        (List.length obj.Mcfi_compiler.Objfile.o_sites)
+        obj.Mcfi_compiler.Objfile.o_instrumented;
+      0
+    | exception Mcfi.Pipeline.Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"compile one module, separately, to a .mobj")
+    Term.(const compile $ file $ output $ plain $ tco $ freestanding)
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"a .mobj object file")
+  in
+  let disasm =
+    Arg.(value & flag & info [ "disasm" ] ~doc:"print the laid-out code")
+  in
+  let inspect file disasm =
+    let obj = Mcfi_compiler.Objfile.load file in
+    let open Mcfi_compiler.Objfile in
+    Fmt.pr "module %s (instrumented=%b)@." obj.o_name obj.o_instrumented;
+    Fmt.pr "functions:@.";
+    List.iter
+      (fun fi ->
+        Fmt.pr "  %-20s : %a%s%s@." fi.fi_name Minic.Ast.pp_fun_ty fi.fi_ty
+          (if fi.fi_defined then "" else " (extern)")
+          (if fi.fi_address_taken then " (address-taken)" else ""))
+      obj.o_functions;
+    Fmt.pr "indirect-branch sites (Bary slot order):@.";
+    List.iteri (fun k s -> Fmt.pr "  %3d: %a@." k pp_site s) obj.o_sites;
+    Fmt.pr "%d data definitions, %d words@." (List.length obj.o_data)
+      (data_size obj);
+    if disasm then begin
+      match
+        Vmisa.Asm.assemble ~base:Vmisa.Abi.code_base
+          ~resolve_code:(fun _ -> Some 0)
+          ~resolve_data:(fun _ -> Some 16)
+          obj.o_items
+      with
+      | Ok prog ->
+        Fmt.pr "code (%d bytes):@." (String.length prog.Vmisa.Asm.image);
+        let listing, _ =
+          Vmisa.Disasm.disassemble ~base:prog.Vmisa.Asm.base
+            prog.Vmisa.Asm.image
+        in
+        Vmisa.Disasm.pp_listing Fmt.stdout listing
+      | Error e -> Fmt.epr "cannot lay out: %a@." Vmisa.Asm.pp_error e
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"show an object file's auxiliary information")
+    Term.(const inspect $ file $ disasm)
+
+(* ---- exec: link saved object files and run ---- *)
+
+let exec_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.mobj"
+           ~doc:"instrumented object files (compile with `mcfi compile`); \
+                 libc and the start stub are linked in automatically")
+  in
+  let fuel =
+    Arg.(value & opt int 500_000_000 & info [ "fuel" ]
+           ~doc:"instruction budget")
+  in
+  let exec files fuel =
+    match
+      let objs = List.map Mcfi_compiler.Objfile.load files in
+      List.iter
+        (fun (o : Mcfi_compiler.Objfile.t) ->
+          if not o.o_instrumented then
+            failwith (o.o_name ^ " is not instrumented"))
+        objs;
+      let libc =
+        Mcfi.Pipeline.instrument
+          (Mcfi.Pipeline.compile_module ~name:"libc" Suite.Libc.source)
+      in
+      let start =
+        Mcfi.Pipeline.instrument (Mcfi_runtime.Linker.start_module ())
+      in
+      let exe =
+        Mcfi_runtime.Linker.link ~name:"a.out" (start :: libc :: objs)
+      in
+      let proc = Mcfi_runtime.Process.create ~instrumented:true () in
+      Mcfi_runtime.Process.load proc exe;
+      let reason = Mcfi_runtime.Process.run ~fuel proc in
+      (reason, Mcfi_runtime.Machine.output (Mcfi_runtime.Process.machine proc))
+    with
+    | reason, output ->
+      print_string output;
+      Fmt.pr "[%a]@." Mcfi_runtime.Machine.pp_exit_reason reason;
+      (match reason with Mcfi_runtime.Machine.Exited 0 -> 0 | _ -> 1)
+    | exception Mcfi_runtime.Linker.Error msg ->
+      Fmt.epr "link error: %s@." msg;
+      2
+    | exception Mcfi_runtime.Process.Error msg ->
+      Fmt.epr "load error: %s@." msg;
+      2
+    | exception Failure msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"statically link instrumented object files and execute")
+    Term.(const exec $ files $ fuel)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MiniC source file")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"list every cast site")
+  in
+  let analyze file verbose =
+    let src = read_file file in
+    match
+      Minic.Typecheck.check
+        (Minic.Parser.parse ~name:(module_name file)
+           (Suite.Libc.header ^ src))
+    with
+    | info ->
+      let r = Minic.Analyzer.analyze ~source:src info in
+      Fmt.pr
+        "SLOC %d | VBE %d | UC %d DC %d MF %d SU %d NF %d | VAE %d (K1 %d, K2 %d)@."
+        r.sloc r.vbe r.uc r.dc r.mf r.su r.nf r.vae r.k1 r.k2;
+      if verbose then
+        List.iter (Fmt.pr "  %a@." Minic.Analyzer.pp_violation) r.violations;
+      if r.k1 > 0 then begin
+        Fmt.pr "note: K1 cases can break the type-matching CFG; fix them with@.";
+        Fmt.pr "      wrapper functions or type adjustments (paper, section 6)@."
+      end;
+      0
+    | exception Minic.Typecheck.Error (msg, loc) ->
+      Fmt.epr "type error at %a: %s@." Minic.Ast.pp_loc loc msg;
+      2
+    | exception Minic.Parser.Error (msg, loc) ->
+      Fmt.epr "parse error at %a: %s@." Minic.Ast.pp_loc loc msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"report C1 violations (paper Tables 1 and 2)")
+    Term.(const analyze $ file $ verbose)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let list () =
+    List.iter
+      (fun (b : Suite.Programs.benchmark) ->
+        Fmt.pr "%-12s (%s): %s@." b.name b.spec_name b.description)
+      Suite.Programs.all;
+    Fmt.pr "run them all with: dune exec bench/main.exe@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"list the built-in benchmark suite")
+    Term.(const list $ const ())
+
+let () =
+  let doc = "the MCFI toolchain: modular control-flow integrity" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "mcfi" ~doc)
+          [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
+            bench_cmd ]))

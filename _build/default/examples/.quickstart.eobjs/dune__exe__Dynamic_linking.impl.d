@@ -1,0 +1,1 @@
+examples/dynamic_linking.ml: Cfg Fmt Idtables Mcfi Mcfi_runtime Option

@@ -1,0 +1,1 @@
+examples/instrument_once.ml: Cfg Filename Fmt List Mcfi Mcfi_compiler Mcfi_runtime Suite Sys

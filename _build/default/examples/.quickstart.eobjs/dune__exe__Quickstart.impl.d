@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfg Fmt Idtables List Mcfi Mcfi_runtime

@@ -1,0 +1,1 @@
+examples/verify_module.ml: Fmt List Mcfi Mcfi_compiler Suite Verifier Vmisa

@@ -1,0 +1,1 @@
+lib/cfg/cfggen.ml: Array Hashtbl Idtables Int List Mcfi_util Minic Option Set String

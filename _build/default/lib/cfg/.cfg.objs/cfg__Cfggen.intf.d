@@ -1,0 +1,1 @@
+lib/cfg/cfggen.mli: Minic

@@ -1,0 +1,211 @@
+type fn = {
+  fname : string;
+  fty : Minic.Ast.fun_ty;
+  faddr : int;
+  faddress_taken : bool;
+}
+
+type site =
+  | Sreturn of { fn : string }
+  | Sicall of { fn : string; ty : Minic.Ast.fun_ty; ret_addr : int }
+  | Sitail of { fn : string; ty : Minic.Ast.fun_ty }
+  | Sjumptable of { fn : string; target_addrs : int list }
+  | Slongjmp of { fn : string }
+  | Splt of { symbol : string }
+
+type input = {
+  env : Minic.Types.env;
+  functions : fn list;
+  sites : site array;
+  direct_calls : (string * string * int) list;
+  tail_calls : (string * string) list;
+  setjmp_addrs : int list;
+}
+
+type output = {
+  tary : (int * int) list;
+  bary : (int * int) list;
+  stats : stats;
+}
+
+and stats = { n_ibs : int; n_ibts : int; n_eqcs : int }
+
+exception Too_many_classes of int
+
+module SS = Set.Make (String)
+module IS = Set.Make (Int)
+
+(* Address-taken functions whose type matches an indirect-call site. *)
+let matched_functions input ty =
+  List.filter
+    (fun fn ->
+      fn.faddress_taken && Minic.Types.callable input.env ~site:ty ~fn:fn.fty)
+    input.functions
+
+(* Tail-call closure: TC(g) = functions reachable from g through tail
+   calls (including g itself).  A call that lands in g may eventually
+   return from any member of TC(g). *)
+let tail_closure input =
+  (* direct tail edges, plus indirect tail edges resolved by type *)
+  let edges = Hashtbl.create 16 in
+  let add_edge a b =
+    let old = Option.value ~default:SS.empty (Hashtbl.find_opt edges a) in
+    Hashtbl.replace edges a (SS.add b old)
+  in
+  List.iter (fun (a, b) -> add_edge a b) input.tail_calls;
+  Array.iter
+    (function
+      | Sitail { fn; ty } ->
+        List.iter (fun g -> add_edge fn g.fname) (matched_functions input ty)
+      | Sreturn _ | Sicall _ | Sjumptable _ | Slongjmp _ | Splt _ -> ())
+    input.sites;
+  fun g ->
+    let rec go visited frontier =
+      match frontier with
+      | [] -> visited
+      | x :: rest ->
+        if SS.mem x visited then go visited rest
+        else begin
+          let next =
+            Option.value ~default:SS.empty (Hashtbl.find_opt edges x)
+          in
+          go (SS.add x visited) (SS.elements next @ rest)
+        end
+    in
+    go SS.empty [ g ]
+
+(* Return sites of each function: for every call that can invoke g (by
+   symbol or by type matching), every member of TC(g) may return to the
+   call's return site. *)
+let return_sites input =
+  let tc = tail_closure input in
+  let sites = Hashtbl.create 16 in
+  let add fn addr =
+    let old = Option.value ~default:IS.empty (Hashtbl.find_opt sites fn) in
+    Hashtbl.replace sites fn (IS.add addr old)
+  in
+  let add_call callee ret_addr =
+    SS.iter (fun h -> add h ret_addr) (tc callee)
+  in
+  List.iter (fun (_, callee, ret) -> add_call callee ret) input.direct_calls;
+  Array.iter
+    (function
+      | Sicall { ty; ret_addr; _ } ->
+        List.iter
+          (fun g -> add_call g.fname ret_addr)
+          (matched_functions input ty)
+      | Sreturn _ | Sitail _ | Sjumptable _ | Slongjmp _ | Splt _ -> ())
+    input.sites;
+  fun fn -> Option.value ~default:IS.empty (Hashtbl.find_opt sites fn)
+
+let targets_of_site input site =
+  let rs = return_sites input in
+  match site with
+  | Sreturn { fn } -> IS.elements (rs fn)
+  | Sicall { ty; _ } | Sitail { ty; _ } ->
+    List.map (fun f -> f.faddr) (matched_functions input ty)
+  | Sjumptable { target_addrs; _ } -> target_addrs
+  | Slongjmp _ -> input.setjmp_addrs
+  | Splt { symbol } ->
+    List.filter_map
+      (fun f -> if f.fname = symbol then Some f.faddr else None)
+      input.functions
+
+let generate input =
+  let rs = return_sites input in
+  let site_targets =
+    Array.map
+      (function
+        | Sreturn { fn } -> IS.elements (rs fn)
+        | Sicall { ty; _ } | Sitail { ty; _ } ->
+          List.map (fun f -> f.faddr) (matched_functions input ty)
+        | Sjumptable { target_addrs; _ } -> target_addrs
+        | Slongjmp _ -> input.setjmp_addrs
+        | Splt { symbol } ->
+          List.filter_map
+            (fun f -> if f.fname = symbol then Some f.faddr else None)
+            input.functions)
+      input.sites
+  in
+  (* The universe of possible indirect-branch targets (the paper's IBTs):
+     address-taken function entries, return sites, jump-table targets and
+     setjmp continuations — whether or not some branch currently reaches
+     them. *)
+  let ibts = ref IS.empty in
+  List.iter
+    (fun f -> if f.faddress_taken then ibts := IS.add f.faddr !ibts)
+    input.functions;
+  List.iter (fun (_, _, ret) -> ibts := IS.add ret !ibts) input.direct_calls;
+  Array.iter
+    (function
+      | Sicall { ret_addr; _ } -> ibts := IS.add ret_addr !ibts
+      | Sjumptable { target_addrs; _ } ->
+        List.iter (fun a -> ibts := IS.add a !ibts) target_addrs
+      | Sreturn _ | Sitail _ | Slongjmp _ | Splt _ -> ())
+    input.sites;
+  List.iter (fun a -> ibts := IS.add a !ibts) input.setjmp_addrs;
+  Array.iter
+    (fun targets -> List.iter (fun a -> ibts := IS.add a !ibts) targets)
+    site_targets;
+  let target_list = IS.elements !ibts in
+  let index_of =
+    let tbl = Hashtbl.create (List.length target_list) in
+    List.iteri (fun i a -> Hashtbl.add tbl a i) target_list;
+    fun a -> Hashtbl.find tbl a
+  in
+  (* Classic-CFI equivalence classes: merge each site's target set. *)
+  let uf = Mcfi_util.Union_find.create (List.length target_list) in
+  Array.iter
+    (fun targets ->
+      match targets with
+      | [] -> ()
+      | anchor :: rest ->
+        List.iter
+          (fun t ->
+            ignore
+              (Mcfi_util.Union_find.union uf (index_of anchor) (index_of t)))
+          rest)
+    site_targets;
+  (* ECN per union-find root. *)
+  let ecn_of_root = Hashtbl.create 64 in
+  let next_ecn = ref 0 in
+  let fresh_ecn () =
+    let e = !next_ecn in
+    incr next_ecn;
+    if e >= Idtables.Id.max_ecn then raise (Too_many_classes e);
+    e
+  in
+  let ecn_of_target addr =
+    let root = Mcfi_util.Union_find.find uf (index_of addr) in
+    match Hashtbl.find_opt ecn_of_root root with
+    | Some e -> e
+    | None ->
+      let e = fresh_ecn () in
+      Hashtbl.add ecn_of_root root e;
+      e
+  in
+  let tary = List.map (fun addr -> (addr, ecn_of_target addr)) target_list in
+  let bary =
+    Array.to_list
+      (Array.mapi
+         (fun slot targets ->
+           match targets with
+           | anchor :: _ -> (slot, ecn_of_target anchor)
+           | [] ->
+             (* no allowed target: a class no address belongs to, so the
+                check always fails (the paper's broken-by-missing-edges
+                case, kind K1, surfaces exactly like this) *)
+             (slot, fresh_ecn ()))
+         site_targets)
+  in
+  let n_eqcs = Hashtbl.length ecn_of_root in
+  {
+    tary;
+    bary;
+    stats =
+      {
+        n_ibs = Array.length input.sites;
+        n_ibts = List.length target_list;
+        n_eqcs;
+      };
+  }

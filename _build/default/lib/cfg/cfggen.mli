@@ -1,0 +1,72 @@
+(** Type-matching CFG generation (paper §6) and the classic-CFI
+    equivalence-class construction (paper §2).
+
+    The generator consumes a {!input} view of all currently linked modules
+    — function entries with their source types and address-taken flags,
+    one record per indirect-branch site in global Bary-slot order, the
+    direct-call and tail-call edges, jump-table targets and setjmp
+    continuations, all with their final code addresses — and produces the
+    new Bary/Tary ECN assignments for an update transaction.
+
+    Per the paper:
+    - an indirect call through a pointer of type [t*] may target any
+      address-taken function whose type structurally matches [t] (with the
+      varargs prefix rule);
+    - returns may target the return sites of every call that can reach the
+      returning function in the call graph, where tail-call chains are
+      collapsed ([f] calls [g], [g] tail-calls [h] ⇒ [h]'s return may
+      return to [f]'s call site);
+    - jump-table jumps target exactly their statically known entries;
+    - [longjmp] may target every [setjmp] continuation;
+    - a PLT jump targets the entry of the symbol its GOT slot names;
+    - overlapping target sets are merged into equivalence classes
+      (union-find), as in classic CFI. *)
+
+type fn = {
+  fname : string;
+  fty : Minic.Ast.fun_ty;
+  faddr : int;
+  faddress_taken : bool;
+}
+
+type site =
+  | Sreturn of { fn : string }
+  | Sicall of { fn : string; ty : Minic.Ast.fun_ty; ret_addr : int }
+  | Sitail of { fn : string; ty : Minic.Ast.fun_ty }
+  | Sjumptable of { fn : string; target_addrs : int list }
+  | Slongjmp of { fn : string }
+  | Splt of { symbol : string }
+
+type input = {
+  env : Minic.Types.env;          (** merged over all modules *)
+  functions : fn list;            (** defined functions, all modules *)
+  sites : site array;             (** global Bary slot order *)
+  direct_calls : (string * string * int) list;
+      (** caller, callee symbol, return-site address *)
+  tail_calls : (string * string) list;  (** direct tail-call edges *)
+  setjmp_addrs : int list;
+}
+
+type output = {
+  tary : (int * int) list;  (** target code address -> ECN *)
+  bary : (int * int) list;  (** Bary slot -> branch ECN *)
+  stats : stats;
+}
+
+and stats = {
+  n_ibs : int;   (** indirect branches (Table 3 "IBs") *)
+  n_ibts : int;  (** possible indirect-branch targets (Table 3 "IBTs") *)
+  n_eqcs : int;  (** equivalence classes of target addresses ("EQCs") *)
+}
+
+exception Too_many_classes of int
+
+(** [generate input] computes the CFG and its table encoding.
+    Raises {!Too_many_classes} if the program needs more than 2^14
+    equivalence classes (the ID encoding limit). *)
+val generate : input -> output
+
+(** [targets_of_site input site] is the raw allowed-target set of one
+    site, before equivalence-class merging — the precise CFG edge set,
+    used by the AIR metric and by tests. *)
+val targets_of_site : input -> site -> int list

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Bool Char Fun Hashtbl List Minic Objfile Option Printf String Vmisa

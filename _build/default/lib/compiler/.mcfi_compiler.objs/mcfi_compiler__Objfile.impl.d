@@ -1,0 +1,1 @@
+lib/compiler/objfile.ml: Fmt Fun List Marshal Minic Printf String Vmisa

@@ -1,0 +1,1 @@
+lib/compiler/objfile.mli: Format Minic Vmisa

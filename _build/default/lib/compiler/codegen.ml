@@ -1,0 +1,921 @@
+open Minic.Ast
+module Instr = Vmisa.Instr
+module Asm = Vmisa.Asm
+module Abi = Vmisa.Abi
+
+exception Unsupported of string * loc
+
+let fail loc msg = raise (Unsupported (msg, loc))
+let failf loc fmt = Printf.ksprintf (fail loc) fmt
+
+(* Expression results live in registers r0..r9 indexed by depth; r10 is the
+   spill partner; r11-r13 are reserved for check sequences (Instr doc). *)
+let max_depth = 9
+let rspill = 10
+
+type gctx = {
+  info : Minic.Typecheck.tinfo;
+  tco : bool;
+  mutable items : Asm.item list; (* reversed *)
+  mutable data : Objfile.data_def list; (* reversed *)
+  mutable sites : Objfile.site list; (* reversed *)
+  mutable dcalls : Objfile.direct_call list;
+  mutable tcalls : (string * string) list;
+  mutable setjmps : string list;
+  mutable label_count : int;
+  strings : (string, string) Hashtbl.t;
+  global_names : (string, ty) Hashtbl.t;
+      (* globals defined here plus extern variables from other modules *)
+}
+
+type storage =
+  | Slocal of int (* word offset below fp: address fp - off *)
+  | Sparam of int (* address fp + 2 + index *)
+
+type fctx = {
+  g : gctx;
+  fn : func;
+  mutable scopes : (string * (storage * ty)) list list;
+  mutable frame_used : int;
+  mutable break_lbl : string list;
+  mutable continue_lbl : string list;
+}
+
+let emit f item = f.g.items <- item :: f.g.items
+let ins f i = emit f (Asm.I i)
+
+let fresh_label f base =
+  f.g.label_count <- f.g.label_count + 1;
+  Printf.sprintf "%s$%s$%s%d" f.g.info.Minic.Typecheck.prog.pname f.fn.fname
+    base f.g.label_count
+
+let add_site f site = f.g.sites <- site :: f.g.sites
+
+let env f = f.g.info.Minic.Typecheck.env
+
+let resolve f t = Minic.Types.resolve (env f) t
+
+let sizeof f t = Minic.Types.sizeof (env f) t
+
+let intern_string g name_hint s =
+  match Hashtbl.find_opt g.strings s with
+  | Some sym -> sym
+  | None ->
+    let sym = Printf.sprintf "%s$str%d" name_hint (Hashtbl.length g.strings) in
+    Hashtbl.add g.strings s sym;
+    let words =
+      List.init (String.length s) (fun i -> Objfile.Dint (Char.code s.[i]))
+      @ [ Objfile.Dint 0 ]
+    in
+    g.data <- { Objfile.d_name = sym; d_words = words } :: g.data;
+    sym
+
+let lookup_var f name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some binding -> Some binding
+      | None -> go rest)
+  in
+  go f.scopes
+
+let is_function f name =
+  lookup_var f name = None
+  && Minic.Typecheck.fun_ty_of f.g.info name <> None
+
+let declare_local f name t =
+  let s = sizeof f (resolve f t) in
+  let s = max s 1 in
+  f.frame_used <- f.frame_used + s;
+  let storage = Slocal f.frame_used in
+  (match f.scopes with
+  | scope :: rest -> f.scopes <- ((name, (storage, t)) :: scope) :: rest
+  | [] -> assert false);
+  storage
+
+(* Total frame words a function body needs: one slot group per declaration
+   (no reuse between sibling scopes — simple and correct). *)
+let rec frame_words env stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s.sdesc with
+      | Sdecl (t, _, _) -> max (Minic.Types.sizeof env (Minic.Types.resolve env t)) 1
+      | Sblock body -> frame_words env body
+      | Sif (_, a, b) ->
+        frame_words env [ a ]
+        + (match b with Some b -> frame_words env [ b ] | None -> 0)
+      | Swhile (_, body) -> frame_words env [ body ]
+      | Sfor (init, _, _, body) ->
+        (match init with Some i -> frame_words env [ i ] | None -> 0)
+        + frame_words env [ body ]
+      | Sswitch (_, cases, default) ->
+        List.fold_left (fun acc c -> acc + frame_words env c.cbody) 0 cases
+        + (match default with Some b -> frame_words env b | None -> 0)
+      | Sexpr _ | Sreturn _ | Sbreak | Scontinue -> 0)
+    0 stmts
+
+let reg d = d (* depth d lives in register d *)
+
+(* ---------- addresses ---------- *)
+
+(* Emit code leaving the address of lvalue [e] in register [d].
+   For data objects the address is a data-region word address. *)
+let rec gen_addr f d e =
+  let loc = e.eloc in
+  if d > max_depth then fail loc "expression too deep";
+  match e.edesc with
+  | Evar name -> begin
+    match lookup_var f name with
+    | Some (Slocal off, _) ->
+      ins f (Instr.Mov_rr (reg d, Instr.rfp));
+      ins f (Instr.Binop_i (Instr.Sub, reg d, off))
+    | Some (Sparam idx, _) ->
+      ins f (Instr.Mov_rr (reg d, Instr.rfp));
+      ins f (Instr.Binop_i (Instr.Add, reg d, 2 + idx))
+    | None ->
+      if Hashtbl.mem f.g.global_names name then
+        emit f (Asm.Mov_dsym (reg d, name))
+      else failf loc "no address for %s" name
+  end
+  | Ederef inner -> gen_expr f d inner
+  | Eindex (arr, idx) ->
+    let elem =
+      match resolve f arr.ety with
+      | Tptr t -> t
+      | t -> failf loc "indexing non-pointer %s" (ty_to_string t)
+    in
+    let scale = sizeof f elem in
+    let rhs = gen_pair f d (fun d -> gen_expr f d arr) (fun d -> gen_expr f d idx) in
+    if scale <> 1 then ins f (Instr.Binop_i (Instr.Mul, rhs, scale));
+    ins f (Instr.Binop (Instr.Add, reg d, rhs))
+  | Efield (inner, field) ->
+    gen_addr f d inner;
+    add_field_offset f d loc inner.ety field
+  | Earrow (inner, field) ->
+    gen_expr f d inner;
+    let pointee =
+      match resolve f inner.ety with
+      | Tptr t -> t
+      | t -> failf loc "-> on %s" (ty_to_string t)
+    in
+    add_field_offset_ty f d loc pointee field
+  | Eint _ | Echar _ | Estr _ | Eunop _ | Ebinop _ | Eassign _ | Econd _
+  | Ecall _ | Ecast _ | Eaddr _ | Esizeof _ ->
+    fail loc "not an lvalue"
+
+and add_field_offset f d loc owner_ty field =
+  (* [owner_ty] here is the lvalue type recorded by the type checker, which
+     for Efield receivers is the struct/union type itself *)
+  add_field_offset_ty f d loc owner_ty field
+
+and add_field_offset_ty f d loc owner_ty field =
+  let fields =
+    match resolve f owner_ty with
+    | Tstruct name -> begin
+      match Minic.Types.struct_fields (env f) name with
+      | Some fs -> fs
+      | None -> failf loc "unknown struct %s" name
+    end
+    | Tunion name -> begin
+      match Minic.Types.union_fields (env f) name with
+      | Some fs -> List.map (fun (n, t) -> (n, t)) fs
+      | None -> failf loc "unknown union %s" name
+    end
+    | t -> failf loc "field access on %s" (ty_to_string t)
+  in
+  let off =
+    match resolve f owner_ty with
+    | Tunion _ -> 0 (* all union members share the base address *)
+    | _ -> (
+      match Minic.Types.field_offset (env f) fields field with
+      | Some (off, _) -> off
+      | None -> failf loc "no field %s" field)
+  in
+  if off <> 0 then ins f (Instr.Binop_i (Instr.Add, reg d, off))
+
+(* Evaluate two sub-expressions: the first into register [d], the second
+   into the returned register (r(d+1), or r10 after a spill round-trip). *)
+and gen_pair f d gen1 gen2 =
+  if d + 1 <= max_depth then begin
+    gen1 d;
+    gen2 (d + 1);
+    reg (d + 1)
+  end
+  else begin
+    gen1 d;
+    ins f (Instr.Push (reg d));
+    gen2 d;
+    ins f (Instr.Mov_rr (rspill, reg d));
+    ins f (Instr.Pop (reg d));
+    rspill
+  end
+
+(* ---------- expressions ---------- *)
+
+(* Emit code leaving the rvalue of [e] in register [d]. *)
+and gen_expr f d e =
+  let loc = e.eloc in
+  if d > max_depth then fail loc "expression too deep";
+  match e.edesc with
+  | Eint n -> ins f (Instr.Mov_ri (reg d, n))
+  | Echar c -> ins f (Instr.Mov_ri (reg d, Char.code c))
+  | Estr s ->
+    let sym = intern_string f.g f.g.info.prog.pname s in
+    emit f (Asm.Mov_dsym (reg d, sym))
+  | Evar name -> begin
+    match lookup_var f name with
+    | Some (storage, t) -> begin
+      match resolve f t with
+      | Tarray _ | Tstruct _ | Tunion _ ->
+        gen_addr f d e (* decay to the object's address *)
+      | _ -> begin
+        match storage with
+        | Slocal off -> ins f (Instr.Load (reg d, Instr.rfp, -off))
+        | Sparam idx -> ins f (Instr.Load (reg d, Instr.rfp, 2 + idx))
+      end
+    end
+    | None ->
+      if is_function f name then emit f (Asm.Mov_sym (reg d, name))
+      else begin
+        match Hashtbl.find_opt f.g.global_names name with
+        | Some t -> begin
+          match resolve f t with
+          | Tarray _ | Tstruct _ | Tunion _ -> emit f (Asm.Mov_dsym (reg d, name))
+          | _ ->
+            emit f (Asm.Mov_dsym (reg d, name));
+            ins f (Instr.Load (reg d, reg d, 0))
+        end
+        | None -> failf loc "unbound %s" name
+      end
+  end
+  | Eunop (Neg, inner) ->
+    gen_expr f d inner;
+    ins f (Instr.Binop_i (Instr.Mul, reg d, -1))
+  | Eunop (Bitnot, inner) ->
+    gen_expr f d inner;
+    ins f (Instr.Binop_i (Instr.Xor, reg d, -1))
+  | Eunop (Lognot, inner) ->
+    gen_expr f d inner;
+    gen_bool_of_flags f d (fun () -> ins f (Instr.Cmp_ri (reg d, 0))) Instr.Eq
+  | Ebinop ((Land | Lor) as op, a, b) -> gen_shortcircuit f d op a b
+  | Ebinop ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+    let rhs = gen_pair f d (fun d -> gen_expr f d a) (fun d -> gen_expr f d b) in
+    gen_bool_of_flags f d
+      (fun () -> ins f (Instr.Cmp_rr (reg d, rhs)))
+      (cond_of_binop op)
+  | Ebinop (op, a, b) ->
+    let scaled_ptr_arith =
+      (* pointer +/- integer scales by the pointee size *)
+      match (op, resolve f a.ety, resolve f b.ety) with
+      | (Add | Sub), Tptr t, (Tint | Tchar) -> Some (`Right, sizeof f t)
+      | Add, (Tint | Tchar), Tptr t -> Some (`Left, sizeof f t)
+      | Sub, Tptr t, Tptr _ -> Some (`Divide, sizeof f t)
+      | _ -> None
+    in
+    let rhs = gen_pair f d (fun d -> gen_expr f d a) (fun d -> gen_expr f d b) in
+    (match scaled_ptr_arith with
+    | Some (`Right, s) when s <> 1 -> ins f (Instr.Binop_i (Instr.Mul, rhs, s))
+    | Some (`Left, s) when s <> 1 ->
+      ins f (Instr.Binop_i (Instr.Mul, reg d, s))
+    | _ -> ());
+    ins f (Instr.Binop (vm_binop op, reg d, rhs));
+    (match scaled_ptr_arith with
+    | Some (`Divide, s) when s <> 1 ->
+      ins f (Instr.Binop_i (Instr.Div, reg d, s))
+    | _ -> ())
+  | Eassign (lhs, rhs) -> gen_assign f d lhs rhs
+  | Econd (c, a, b) ->
+    let lbl_else = fresh_label f "else" in
+    let lbl_end = fresh_label f "end" in
+    gen_branch_if_false f d c lbl_else;
+    gen_expr f d a;
+    emit f (Asm.Jmp_sym lbl_end);
+    emit f (Asm.Label lbl_else);
+    gen_expr f d b;
+    emit f (Asm.Label lbl_end)
+  | Ecall (callee, args) -> gen_call f d loc callee args
+  | Ecast (_, inner) -> gen_expr f d inner (* all scalars are words *)
+  | Eaddr inner -> begin
+    match inner.edesc with
+    | Evar name when is_function f name && lookup_var f name = None ->
+      emit f (Asm.Mov_sym (reg d, name))
+    | _ -> gen_addr f d inner
+  end
+  | Ederef _ | Efield _ | Earrow _ | Eindex _ -> begin
+    (* the node's [ety] is already decayed by the type checker, so the
+       load-vs-address decision needs the object (lvalue) type *)
+    gen_addr f d e;
+    match resolve f (object_ty f loc e) with
+    | Tarray _ | Tstruct _ | Tunion _ -> () (* decayed: address is the value *)
+    | _ -> ins f (Instr.Load (reg d, reg d, 0))
+  end
+  | Esizeof t -> ins f (Instr.Mov_ri (reg d, sizeof f t))
+
+(* The object (lvalue) type of a memory-designating expression. *)
+and object_ty f loc e =
+  match e.edesc with
+  | Ederef inner | Eindex (inner, _) -> begin
+    match resolve f inner.ety with
+    | Tptr t -> t
+    | t -> failf loc "dereferencing %s" (ty_to_string t)
+  end
+  | Efield (inner, field) -> field_ty f loc inner.ety field
+  | Earrow (inner, field) -> begin
+    match resolve f inner.ety with
+    | Tptr owner -> field_ty f loc owner field
+    | t -> failf loc "-> on %s" (ty_to_string t)
+  end
+  | _ -> e.ety
+
+and field_ty f loc owner field =
+  let fields =
+    match resolve f owner with
+    | Tstruct name -> Minic.Types.struct_fields (env f) name
+    | Tunion name -> Minic.Types.union_fields (env f) name
+    | t -> failf loc "field access on %s" (ty_to_string t)
+  in
+  match fields with
+  | Some fs -> begin
+    match List.assoc_opt field fs with
+    | Some t -> t
+    | None -> failf loc "no field %s" field
+  end
+  | None -> failf loc "unknown composite type"
+
+and vm_binop = function
+  | Add -> Instr.Add | Sub -> Instr.Sub | Mul -> Instr.Mul
+  | Div -> Instr.Div | Mod -> Instr.Mod | Band -> Instr.And
+  | Bor -> Instr.Or | Bxor -> Instr.Xor | Shl -> Instr.Shl | Shr -> Instr.Shr
+  | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> assert false
+
+and cond_of_binop = function
+  | Eq -> Instr.Eq | Ne -> Instr.Ne | Lt -> Instr.Lt
+  | Le -> Instr.Le | Gt -> Instr.Gt | Ge -> Instr.Ge
+  | _ -> assert false
+
+(* Materialize a 0/1 from a comparison: [set_flags (); Jcc cond true]. *)
+and gen_bool_of_flags f d set_flags cond =
+  let lbl_true = fresh_label f "true" in
+  let lbl_end = fresh_label f "bend" in
+  set_flags ();
+  emit f (Asm.Jcc_sym (cond, lbl_true));
+  ins f (Instr.Mov_ri (reg d, 0));
+  emit f (Asm.Jmp_sym lbl_end);
+  emit f (Asm.Label lbl_true);
+  ins f (Instr.Mov_ri (reg d, 1));
+  emit f (Asm.Label lbl_end)
+
+and gen_shortcircuit f d op a b =
+  let lbl_out = fresh_label f "sc" in
+  let lbl_end = fresh_label f "scend" in
+  gen_expr f d a;
+  ins f (Instr.Cmp_ri (reg d, 0));
+  (match op with
+  | Land -> emit f (Asm.Jcc_sym (Instr.Eq, lbl_out)) (* 0 && _ = 0 *)
+  | Lor -> emit f (Asm.Jcc_sym (Instr.Ne, lbl_out)) (* 1 || _ = 1 *)
+  | _ -> assert false);
+  gen_expr f d b;
+  ins f (Instr.Cmp_ri (reg d, 0));
+  gen_bool_of_flags f d (fun () -> ()) Instr.Ne;
+  emit f (Asm.Jmp_sym lbl_end);
+  emit f (Asm.Label lbl_out);
+  ins f (Instr.Mov_ri (reg d, (match op with Land -> 0 | _ -> 1)));
+  emit f (Asm.Label lbl_end)
+
+(* Conditional branch on falsity of [c], used by if/while/for/?: . *)
+and gen_branch_if_false f d c lbl =
+  match c.edesc with
+  | Ebinop ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+    let rhs = gen_pair f d (fun d -> gen_expr f d a) (fun d -> gen_expr f d b) in
+    ins f (Instr.Cmp_rr (reg d, rhs));
+    emit f (Asm.Jcc_sym (negate (cond_of_binop op), lbl))
+  | _ ->
+    gen_expr f d c;
+    ins f (Instr.Cmp_ri (reg d, 0));
+    emit f (Asm.Jcc_sym (Instr.Eq, lbl))
+
+and negate = function
+  | Instr.Eq -> Instr.Ne | Instr.Ne -> Instr.Eq | Instr.Lt -> Instr.Ge
+  | Instr.Le -> Instr.Gt | Instr.Gt -> Instr.Le | Instr.Ge -> Instr.Lt
+
+and gen_assign f d lhs rhs =
+  (* Value of the assignment = the stored value, left in reg d. *)
+  match lhs.edesc with
+  | Evar name when lookup_var f name <> None -> begin
+    gen_expr f d rhs;
+    match lookup_var f name with
+    | Some (Slocal off, _) -> ins f (Instr.Store (Instr.rfp, -off, reg d))
+    | Some (Sparam idx, _) -> ins f (Instr.Store (Instr.rfp, 2 + idx, reg d))
+    | None -> assert false
+  end
+  | _ ->
+    let rhs_reg =
+      gen_pair f d (fun d -> gen_expr f d rhs) (fun d -> gen_addr f d lhs)
+    in
+    (* rhs value in reg d, address in rhs_reg *)
+    ins f (Instr.Store (rhs_reg, 0, reg d))
+
+(* ---------- calls ---------- *)
+
+and gen_call f d loc callee args =
+  match callee.edesc with
+  | Evar "__syscall" -> gen_syscall f d loc args
+  | Evar "__vararg" -> gen_vararg f d loc args
+  | Evar "setjmp" when lookup_var f "setjmp" = None -> gen_setjmp f d loc args
+  | Evar "longjmp" when lookup_var f "longjmp" = None ->
+    gen_longjmp f d loc args
+  | Evar name when is_function f name ->
+    gen_direct_call f d loc name args
+  | _ -> gen_indirect_call f d loc callee args
+
+and with_saved f d k =
+  (* Caller-saved discipline around a call at expression depth [d]: stash
+     live temporaries r0..r(d-1), run the call, move the result from r0 to
+     reg d, restore. *)
+  for i = 0 to d - 1 do
+    ins f (Instr.Push (reg i))
+  done;
+  k ();
+  if d > 0 then ins f (Instr.Mov_rr (reg d, 0));
+  for i = d - 1 downto 0 do
+    ins f (Instr.Pop (reg i))
+  done
+
+and push_args f args =
+  (* right-to-left, each evaluated at depth 0 (temporaries are saved) *)
+  List.iter
+    (fun arg ->
+      gen_expr f 0 arg;
+      ins f (Instr.Push (reg 0)))
+    (List.rev args)
+
+and gen_direct_call f d _loc name args =
+  (* Tail-call opportunity is handled at the statement level; this is the
+     plain call. *)
+  with_saved f d (fun () ->
+      push_args f args;
+      let ret_lbl = fresh_label f "ret" in
+      emit f (Asm.Call_sym name);
+      emit f (Asm.Label ret_lbl);
+      if args <> [] then
+        ins f (Instr.Binop_i (Instr.Add, Instr.rsp, List.length args));
+      f.g.dcalls <-
+        { Objfile.dc_caller = f.fn.fname; dc_callee = name; dc_ret = ret_lbl }
+        :: f.g.dcalls)
+
+and site_fun_ty f loc callee =
+  match resolve f callee.ety with
+  | Tptr t -> begin
+    match resolve f t with
+    | Tfun ft -> ft
+    | t -> failf loc "indirect call through %s" (ty_to_string t)
+  end
+  | Tfun ft -> ft
+  | t -> failf loc "indirect call through %s" (ty_to_string t)
+
+and gen_indirect_call f d loc callee args =
+  let ft = site_fun_ty f loc callee in
+  with_saved f d (fun () ->
+      (* the function pointer is evaluated before the arguments and parked
+         on the stack, below the pushed arguments (argument evaluation may
+         itself spill through the scratch register) *)
+      gen_expr f 0 callee;
+      ins f (Instr.Push (reg 0));
+      push_args f args;
+      ins f (Instr.Load (rspill, Instr.rsp, List.length args));
+      let ret_lbl = fresh_label f "ret" in
+      ins f (Instr.Call_r rspill);
+      emit f (Asm.Label ret_lbl);
+      ins f (Instr.Binop_i (Instr.Add, Instr.rsp, List.length args + 1));
+      add_site f
+        (Objfile.Site_icall { fn = f.fn.fname; ty = ft; ret_label = ret_lbl }))
+
+and gen_syscall f d loc args =
+  if List.length args > 4 then fail loc "__syscall takes at most 4 arguments";
+  with_saved f d (fun () ->
+      (* evaluate arguments left to right into r0..r3 via the stack *)
+      List.iter
+        (fun arg ->
+          gen_expr f 0 arg;
+          ins f (Instr.Push (reg 0)))
+        args;
+      for i = List.length args - 1 downto 0 do
+        ins f (Instr.Pop (reg i))
+      done;
+      ins f Instr.Syscall)
+
+and gen_vararg f d loc args =
+  match args with
+  | [ k ] ->
+    let nfixed = List.length f.fn.fparams in
+    gen_expr f d k;
+    ins f (Instr.Binop_i (Instr.Add, reg d, 2 + nfixed));
+    ins f (Instr.Binop (Instr.Add, reg d, Instr.rfp));
+    ins f (Instr.Load (reg d, reg d, 0))
+  | _ -> fail loc "__vararg takes exactly one argument"
+
+and gen_setjmp f d loc args =
+  if d <> 0 then
+    fail loc "setjmp is only supported at statement depth (e.g. if (setjmp(b)))";
+  match args with
+  | [ buf ] ->
+    let cont = fresh_label f "setjmp" in
+    gen_expr f 0 buf;
+    emit f (Asm.Mov_sym (reg 1, cont));
+    ins f (Instr.Store (reg 0, 0, Instr.rsp));
+    ins f (Instr.Store (reg 0, 1, Instr.rfp));
+    ins f (Instr.Store (reg 0, 2, reg 1));
+    ins f (Instr.Mov_ri (reg 0, 0));
+    emit f (Asm.Label cont);
+    (* on both the direct path and the longjmp path, r0 holds the result *)
+    f.g.setjmps <- cont :: f.g.setjmps
+  | _ -> fail loc "setjmp takes exactly one argument"
+
+and gen_longjmp f _d loc args =
+  match args with
+  | [ buf; v ] ->
+    gen_expr f 0 buf;
+    gen_expr f 1 v;
+    ins f (Instr.Load (Instr.rsp, reg 0, 0));
+    ins f (Instr.Load (Instr.rfp, reg 0, 1));
+    ins f (Instr.Load (rspill, reg 0, 2));
+    ins f (Instr.Mov_rr (reg 0, reg 1));
+    ins f (Instr.Jmp_r rspill);
+    add_site f (Objfile.Site_longjmp { fn = f.fn.fname })
+  | _ -> fail loc "longjmp takes exactly two arguments"
+
+(* ---------- statements ---------- *)
+
+let gen_epilogue f =
+  ins f (Instr.Mov_rr (Instr.rsp, Instr.rfp));
+  ins f (Instr.Pop Instr.rfp)
+
+let gen_return_instr f =
+  gen_epilogue f;
+  ins f Instr.Ret;
+  add_site f (Objfile.Site_return { fn = f.fn.fname })
+
+(* Direct/indirect tail call in return position: overwrite the incoming
+   argument slots, tear the frame down, and jump. Only applies when the
+   arities match (the frame is reused in place). Evaluation order matches
+   the regular call path exactly — callee first, then arguments pushed
+   right-to-left — so optimized and unoptimized builds execute side
+   effects in the same order. *)
+let try_tailcall f e =
+  if not f.g.tco then false
+  else
+    match e.edesc with
+    | Ecall (callee, args) when List.length args = List.length f.fn.fparams
+      -> begin
+      let pop_args_into_slots () =
+        List.iteri
+          (fun i _ ->
+            ins f (Instr.Pop (reg 0));
+            ins f (Instr.Store (Instr.rfp, 2 + i, reg 0)))
+          args
+      in
+      match callee.edesc with
+      | Evar name
+        when (name = "__syscall" || name = "__vararg" || name = "setjmp"
+             || name = "longjmp")
+             && lookup_var f name = None ->
+        false
+      | Evar name when is_function f name ->
+        push_args f args;
+        pop_args_into_slots ();
+        gen_epilogue f;
+        emit f (Asm.Jmp_sym name);
+        f.g.tcalls <- (f.fn.fname, name) :: f.g.tcalls;
+        true
+      | _ ->
+        let ft = site_fun_ty f e.eloc callee in
+        (* the pointer is evaluated before the arguments (as in the
+           regular path) and parked on the stack below them *)
+        gen_expr f 0 callee;
+        ins f (Instr.Push (reg 0));
+        push_args f args;
+        pop_args_into_slots ();
+        ins f (Instr.Pop rspill);
+        gen_epilogue f;
+        ins f (Instr.Jmp_r rspill);
+        add_site f (Objfile.Site_itail { fn = f.fn.fname; ty = ft });
+        true
+    end
+    | _ -> false
+
+let in_scope f k =
+  f.scopes <- [] :: f.scopes;
+  Fun.protect ~finally:(fun () -> f.scopes <- List.tl f.scopes) k
+
+let rec gen_stmt f s =
+  match s.sdesc with
+  | Sexpr e -> gen_expr f 0 e
+  | Sdecl (t, name, init) -> begin
+    let storage = declare_local f name t in
+    match init with
+    | Some e -> begin
+      if sizeof f (resolve f t) > 1 then
+        fail s.sloc "aggregate initialization of locals is not supported";
+      gen_expr f 0 e;
+      match storage with
+      | Slocal off -> ins f (Instr.Store (Instr.rfp, -off, reg 0))
+      | Sparam _ -> assert false
+    end
+    | None -> ()
+  end
+  | Sif (c, then_, else_) -> begin
+    let lbl_else = fresh_label f "ifelse" in
+    let lbl_end = fresh_label f "ifend" in
+    gen_branch_if_false f 0 c lbl_else;
+    in_scope f (fun () -> gen_stmt f then_);
+    match else_ with
+    | Some else_ ->
+      emit f (Asm.Jmp_sym lbl_end);
+      emit f (Asm.Label lbl_else);
+      in_scope f (fun () -> gen_stmt f else_);
+      emit f (Asm.Label lbl_end)
+    | None -> emit f (Asm.Label lbl_else)
+  end
+  | Swhile (c, body) ->
+    let lbl_head = fresh_label f "while" in
+    let lbl_end = fresh_label f "wend" in
+    emit f (Asm.Label lbl_head);
+    gen_branch_if_false f 0 c lbl_end;
+    with_loop f ~break_:lbl_end ~continue_:lbl_head (fun () ->
+        in_scope f (fun () -> gen_stmt f body));
+    emit f (Asm.Jmp_sym lbl_head);
+    emit f (Asm.Label lbl_end)
+  | Sfor (init, cond, step, body) ->
+    in_scope f (fun () ->
+        Option.iter (gen_stmt f) init;
+        let lbl_head = fresh_label f "for" in
+        let lbl_step = fresh_label f "fstep" in
+        let lbl_end = fresh_label f "fend" in
+        emit f (Asm.Label lbl_head);
+        Option.iter (fun c -> gen_branch_if_false f 0 c lbl_end) cond;
+        with_loop f ~break_:lbl_end ~continue_:lbl_step (fun () ->
+            in_scope f (fun () -> gen_stmt f body));
+        emit f (Asm.Label lbl_step);
+        Option.iter (fun e -> gen_expr f 0 e) step;
+        emit f (Asm.Jmp_sym lbl_head);
+        emit f (Asm.Label lbl_end))
+  | Sreturn None ->
+    gen_return_instr f
+  | Sreturn (Some e) ->
+    if not (try_tailcall f e) then begin
+      gen_expr f 0 e;
+      gen_return_instr f
+    end
+  | Sblock body -> in_scope f (fun () -> List.iter (gen_stmt f) body)
+  | Sbreak -> begin
+    match f.break_lbl with
+    | lbl :: _ -> emit f (Asm.Jmp_sym lbl)
+    | [] -> fail s.sloc "break outside a loop"
+  end
+  | Scontinue -> begin
+    match f.continue_lbl with
+    | lbl :: _ -> emit f (Asm.Jmp_sym lbl)
+    | [] -> fail s.sloc "continue outside a loop"
+  end
+  | Sswitch (scrutinee, cases, default) ->
+    gen_switch f scrutinee cases default
+
+and with_loop f ~break_ ~continue_ k =
+  f.break_lbl <- break_ :: f.break_lbl;
+  f.continue_lbl <- continue_ :: f.continue_lbl;
+  Fun.protect
+    ~finally:(fun () ->
+      f.break_lbl <- List.tl f.break_lbl;
+      f.continue_lbl <- List.tl f.continue_lbl)
+    k
+
+and gen_switch f scrutinee cases default =
+  let lbl_end = fresh_label f "swend" in
+  let lbl_default = fresh_label f "swdef" in
+  let case_labels =
+    List.map (fun c -> (c, fresh_label f "case")) cases
+  in
+  let values = List.concat_map (fun c -> c.cvalues) cases in
+  gen_expr f 0 scrutinee;
+  (match values with
+  | [] -> emit f (Asm.Jmp_sym lbl_default)
+  | _ ->
+    let lo = List.fold_left min max_int values in
+    let hi = List.fold_left max min_int values in
+    let dense =
+      List.length values >= 4 && hi - lo < 4 * List.length values
+    in
+    if dense then begin
+      (* jump table: the indirect jump whose targets are statically known
+         (paper §6: intraprocedural indirect jumps are resolved from the
+         read-only jump table, not by type matching) *)
+      let table = Array.make (hi - lo + 1) lbl_default in
+      List.iter
+        (fun (c, lbl) ->
+          List.iter (fun v -> table.(v - lo) <- lbl) c.cvalues)
+        case_labels;
+      let jt_sym = fresh_label f "jt" in
+      f.g.data <-
+        {
+          Objfile.d_name = jt_sym;
+          d_words =
+            Array.to_list (Array.map (fun l -> Objfile.Dsym_code l) table);
+        }
+        :: f.g.data;
+      ins f (Instr.Cmp_ri (reg 0, lo));
+      emit f (Asm.Jcc_sym (Instr.Lt, lbl_default));
+      ins f (Instr.Cmp_ri (reg 0, hi));
+      emit f (Asm.Jcc_sym (Instr.Gt, lbl_default));
+      if lo <> 0 then ins f (Instr.Binop_i (Instr.Sub, reg 0, lo));
+      emit f (Asm.Mov_dsym (reg 1, jt_sym));
+      ins f (Instr.Binop (Instr.Add, reg 1, reg 0));
+      ins f (Instr.Load (reg 1, reg 1, 0));
+      ins f (Instr.Jmp_r (reg 1));
+      add_site f
+        (Objfile.Site_jumptable
+           {
+             fn = f.fn.fname;
+             targets =
+               lbl_default
+               :: List.map snd case_labels;
+           })
+    end
+    else begin
+      List.iter
+        (fun (c, lbl) ->
+          List.iter
+            (fun v ->
+              ins f (Instr.Cmp_ri (reg 0, v));
+              emit f (Asm.Jcc_sym (Instr.Eq, lbl)))
+            c.cvalues)
+        case_labels;
+      emit f (Asm.Jmp_sym lbl_default)
+    end);
+  with_loop f ~break_:lbl_end ~continue_:lbl_end (fun () ->
+      List.iter
+        (fun (c, lbl) ->
+          emit f (Asm.Label lbl);
+          in_scope f (fun () -> List.iter (gen_stmt f) c.cbody);
+          emit f (Asm.Jmp_sym lbl_end))
+        case_labels;
+      emit f (Asm.Label lbl_default);
+      (match default with
+      | Some body -> in_scope f (fun () -> List.iter (gen_stmt f) body)
+      | None -> ());
+      emit f (Asm.Label lbl_end))
+
+(* ---------- functions, globals, module assembly ---------- *)
+
+let gen_function g fn =
+  let env = g.info.Minic.Typecheck.env in
+  let f =
+    {
+      g;
+      fn;
+      scopes = [ List.mapi (fun i (name, t) -> (name, (Sparam i, t))) fn.fparams ];
+      frame_used = 0;
+      break_lbl = [];
+      continue_lbl = [];
+    }
+  in
+  List.iter
+    (fun (name, t) ->
+      match Minic.Types.resolve env t with
+      | Tstruct _ | Tunion _ | Tarray _ ->
+        failf fn.floc "aggregate parameter %s is not supported" name
+      | _ -> ())
+    fn.fparams;
+  let frame = frame_words env fn.fbody in
+  emit f (Asm.Label fn.fname);
+  ins f (Instr.Push Instr.rfp);
+  ins f (Instr.Mov_rr (Instr.rfp, Instr.rsp));
+  if frame > 0 then ins f (Instr.Binop_i (Instr.Sub, Instr.rsp, frame));
+  in_scope f (fun () -> List.iter (gen_stmt f) fn.fbody);
+  (* implicit return for functions that fall off the end *)
+  ins f (Instr.Mov_ri (reg 0, 0));
+  gen_return_instr f
+
+(* Constant evaluation for global initializers. *)
+let rec const_word g loc (e : expr) : Objfile.data_word =
+  match e.edesc with
+  | Eint n -> Objfile.Dint n
+  | Echar c -> Objfile.Dint (Char.code c)
+  | Estr s -> Objfile.Dsym_data (intern_string g g.info.prog.pname s)
+  | Ecast (_, inner) -> const_word g loc inner
+  | Eunop (Neg, { edesc = Eint n; _ }) -> Objfile.Dint (-n)
+  | Evar name when Minic.Typecheck.fun_ty_of g.info name <> None ->
+    Objfile.Dsym_code name
+  | Eaddr { edesc = Evar name; _ } ->
+    if Minic.Typecheck.fun_ty_of g.info name <> None then
+      Objfile.Dsym_code name
+    else Objfile.Dsym_data name
+  | Ebinop (op, a, b) -> begin
+    match (const_word g loc a, const_word g loc b) with
+    | Objfile.Dint x, Objfile.Dint y -> begin
+      let i =
+        match op with
+        | Add -> x + y | Sub -> x - y | Mul -> x * y
+        | Div -> x / y | Mod -> x mod y | Band -> x land y
+        | Bor -> x lor y | Bxor -> x lxor y | Shl -> x lsl y
+        | Shr -> x asr y
+        | Eq -> Bool.to_int (x = y) | Ne -> Bool.to_int (x <> y)
+        | Lt -> Bool.to_int (x < y) | Le -> Bool.to_int (x <= y)
+        | Gt -> Bool.to_int (x > y) | Ge -> Bool.to_int (x >= y)
+        | Land -> Bool.to_int (x <> 0 && y <> 0)
+        | Lor -> Bool.to_int (x <> 0 || y <> 0)
+      in
+      Objfile.Dint i
+    end
+    | _ -> fail loc "global initializer is not a constant"
+  end
+  | _ -> fail loc "global initializer is not a constant"
+
+let gen_global g (name, t, init) =
+  let env = g.info.Minic.Typecheck.env in
+  let size = max (Minic.Types.sizeof env (Minic.Types.resolve env t)) 1 in
+  let words =
+    match init with
+    | None -> List.init size (fun _ -> Objfile.Dint 0)
+    | Some (Iexpr e) ->
+      if size <> 1 then fail no_loc "scalar initializer on aggregate global";
+      [ const_word g no_loc e ]
+    | Some (Ilist es) ->
+      let given = List.map (const_word g no_loc) es in
+      if List.length given > size then
+        failf no_loc "too many initializers for %s" name;
+      given @ List.init (size - List.length given) (fun _ -> Objfile.Dint 0)
+  in
+  g.data <- { Objfile.d_name = name; d_words = words } :: g.data
+
+let compile ?(tco = false) (info : Minic.Typecheck.tinfo) =
+  let g =
+    {
+      info;
+      tco;
+      items = [];
+      data = [];
+      sites = [];
+      dcalls = [];
+      tcalls = [];
+      setjmps = [];
+      label_count = 0;
+      strings = Hashtbl.create 16;
+      global_names = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (function
+      | Dglobal (t, name, _) | Dextern_var (name, t) ->
+        Hashtbl.replace g.global_names name t
+      | Dstruct _ | Dunion _ | Dtypedef _ | Dextern_fun _ | Dfun _ -> ())
+    info.prog.pdecls;
+  List.iter (gen_global g) info.globals;
+  (* Compile functions in declaration order. *)
+  List.iter
+    (function
+      | Dfun fn -> gen_function g fn
+      | Dstruct _ | Dunion _ | Dtypedef _ | Dglobal _ | Dextern_fun _
+      | Dextern_var _ -> ())
+    info.prog.pdecls;
+  let functions =
+    List.map
+      (fun (name, fn) ->
+        {
+          Objfile.fi_name = name;
+          fi_ty = fun_ty_of_func fn;
+          fi_address_taken = List.mem name info.address_taken;
+          fi_defined = true;
+        })
+      info.funcs
+    @ List.filter_map
+        (fun (name, ft) ->
+          if List.mem_assoc name info.funcs then None
+          else if List.mem_assoc name Minic.Typecheck.intrinsics then None
+          else
+            Some
+              {
+                Objfile.fi_name = name;
+                fi_ty = ft;
+                fi_address_taken = List.mem name info.address_taken;
+                fi_defined = false;
+              })
+        info.protos
+  in
+  {
+    Objfile.o_name = info.prog.pname;
+    o_items = List.rev g.items;
+    o_data = List.rev g.data;
+    o_functions = functions;
+    o_sites = List.rev g.sites;
+    o_direct_calls = List.rev g.dcalls;
+    o_tail_calls = List.rev g.tcalls;
+    o_setjmp_sites = List.rev g.setjmps;
+    o_tyenv = info.env;
+    o_instrumented = false;
+  }
+
+let compile_source ?tco ~name src =
+  compile ?tco (Minic.Typecheck.check (Minic.Parser.parse ~name src))

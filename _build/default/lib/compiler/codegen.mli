@@ -1,0 +1,25 @@
+(** Code generation: typed MiniC to a (not yet instrumented) MCFI module.
+
+    The emitted module contains raw [Ret], [Call_r] and [Jmp_r]
+    instructions; {!Instrument.Rewriter} later replaces/wraps them with
+    check transactions.  The generator maintains the central invariant the
+    instrumenter and the CFG generator rely on:
+
+    {e the n-th indirect-branch instruction in the item stream corresponds
+       to the n-th entry of [o_sites]} (module-local Bary slot order).
+
+    Calling convention and frame layout are documented in {!Vmisa.Abi}.
+    Intrinsics ([__syscall], [__vararg], [setjmp], [longjmp]) are expanded
+    inline.  [tco] enables direct and indirect tail-call optimization for
+    calls in return position with matching arity — the paper's x86-64
+    builds have LLVM's tail-call optimization on, which is why they show
+    fewer equivalence classes than x86-32 (Table 3); [tco] reproduces that
+    knob. *)
+
+exception Unsupported of string * Minic.Ast.loc
+
+(** [compile ?tco info] compiles a type-checked translation unit. *)
+val compile : ?tco:bool -> Minic.Typecheck.tinfo -> Objfile.t
+
+(** [compile_source ?tco ~name src] is parse + typecheck + compile. *)
+val compile_source : ?tco:bool -> name:string -> string -> Objfile.t

@@ -1,0 +1,120 @@
+(* MCFI object files: code, data, symbols, and the auxiliary information
+   that makes separate compilation work (paper §4, "Module linking").
+
+   An MCFI module carries, beyond its code and data:
+   - the types of its functions and whether each is address-taken,
+   - one record per indirect-branch site (returns, indirect calls and
+     tail calls, jump-table jumps, longjmps, PLT jumps), in Bary-slot
+     order: after instrumentation, the check sequence for site [k] embeds
+     [Bary_load (_, k)], and the loader re-bases [k] into the process-wide
+     Bary index space,
+   - the direct-call and tail-call edges needed to build the call graph
+     that gives return instructions their allowed return sites,
+   - setjmp continuation labels (targets of longjmp's indirect jump).
+
+   Everything is label-based and position-independent; the loader lays the
+   module out at its final base address. *)
+
+type fn_info = {
+  fi_name : string;            (* also the entry label *)
+  fi_ty : Minic.Ast.fun_ty;
+  fi_address_taken : bool;
+  fi_defined : bool;           (* defined here, vs extern reference *)
+}
+
+(* One indirect-branch site. The order of the [o_sites] list is the
+   module-local Bary slot order. [ret_label] fields name the (4-byte
+   aligned) return site following a call. *)
+type site =
+  | Site_return of { fn : string }
+      (* the rewritten return of function [fn] *)
+  | Site_icall of { fn : string; ty : Minic.Ast.fun_ty; ret_label : string }
+      (* indirect call through a pointer of type [ty], inside [fn] *)
+  | Site_itail of { fn : string; ty : Minic.Ast.fun_ty }
+      (* indirect tail call (jump) through a pointer of type [ty] *)
+  | Site_jumptable of { fn : string; targets : string list }
+      (* switch jump through a read-only table; targets statically known *)
+  | Site_longjmp of { fn : string }
+      (* longjmp's indirect jump: may target any setjmp continuation *)
+  | Site_plt of { symbol : string }
+      (* PLT entry: indirect jump through the GOT slot of [symbol] *)
+
+(* A word of initialized data. Code and data live in disjoint address
+   spaces; relocations are symbolic until load time. *)
+type data_word =
+  | Dint of int
+  | Dsym_code of string   (* address of a code label (fptr, jump table) *)
+  | Dsym_data of string   (* address of another data symbol *)
+
+type data_def = { d_name : string; d_words : data_word list }
+
+(* A direct call edge: caller, callee symbol, return-site label. *)
+type direct_call = { dc_caller : string; dc_callee : string; dc_ret : string }
+
+type t = {
+  o_name : string;
+  o_items : Vmisa.Asm.item list;
+  o_data : data_def list;
+  o_functions : fn_info list;
+  o_sites : site list;
+  o_direct_calls : direct_call list;
+  o_tail_calls : (string * string) list; (* caller, callee: direct jumps *)
+  o_setjmp_sites : string list;          (* aligned continuation labels *)
+  o_tyenv : Minic.Types.env;
+      (* the struct/union/typedef definitions the fun_tys above refer to;
+         linking merges these (a simple union, paper §6) *)
+  o_instrumented : bool;
+}
+
+let site_fn = function
+  | Site_return { fn }
+  | Site_icall { fn; _ }
+  | Site_itail { fn; _ }
+  | Site_jumptable { fn; _ }
+  | Site_longjmp { fn } -> Some fn
+  | Site_plt _ -> None
+
+let pp_site ppf = function
+  | Site_return { fn } -> Fmt.pf ppf "return@%s" fn
+  | Site_icall { fn; ty; _ } ->
+    Fmt.pf ppf "icall@%s:%a" fn Minic.Ast.pp_fun_ty ty
+  | Site_itail { fn; ty } ->
+    Fmt.pf ppf "itail@%s:%a" fn Minic.Ast.pp_fun_ty ty
+  | Site_jumptable { fn; targets } ->
+    Fmt.pf ppf "jumptable@%s(%d targets)" fn (List.length targets)
+  | Site_longjmp { fn } -> Fmt.pf ppf "longjmp@%s" fn
+  | Site_plt { symbol } -> Fmt.pf ppf "plt:%s" symbol
+
+(* Defined code symbols of the module. *)
+let defined_functions t =
+  List.filter (fun fi -> fi.fi_defined) t.o_functions
+
+(* Symbols this module needs from elsewhere. *)
+let undefined_symbols t = Vmisa.Asm.undefined_labels t.o_items
+
+let data_size t =
+  List.fold_left (fun acc d -> acc + List.length d.d_words) 0 t.o_data
+
+(* Serialization: modules can be written to disk and reloaded, which is
+   what "instrument once, reuse across programs" needs.  [Marshal] stands
+   in for an ELF-like container; the format is keyed so that stale files
+   fail loudly. *)
+let magic = "MCFI-OBJ-1"
+
+let save path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then
+        invalid_arg (Printf.sprintf "%s: not an MCFI object file" path);
+      (Marshal.from_channel ic : t))

@@ -1,0 +1,79 @@
+(** MCFI object files: code, data, symbols, and the auxiliary information
+    that makes separate compilation work (paper §4, "Module linking").
+
+    An MCFI module carries, beyond its code and data:
+    - the types of its functions and whether each is address-taken,
+    - one record per indirect-branch site in {e Bary-slot order}: after
+      instrumentation, the check sequence for site [k] embeds
+      [Bary_load (_, k)], and the loader re-bases [k] into the
+      process-wide slot space,
+    - the direct-call and tail-call edges the CFG generator needs to give
+      return instructions their allowed return sites,
+    - setjmp continuation labels (targets of longjmp's indirect jump),
+    - its struct/union/typedef environment, merged at link time.
+
+    Everything is label-based and position-independent; the loader lays
+    the module out at its final base address. *)
+
+type fn_info = {
+  fi_name : string;  (** also the entry label *)
+  fi_ty : Minic.Ast.fun_ty;
+  fi_address_taken : bool;
+  fi_defined : bool;  (** defined here, vs extern reference *)
+}
+
+(** One indirect-branch site; list order = module-local Bary slot order.
+    [ret_label] fields name the (4-byte aligned) return site following a
+    call. *)
+type site =
+  | Site_return of { fn : string }
+  | Site_icall of { fn : string; ty : Minic.Ast.fun_ty; ret_label : string }
+  | Site_itail of { fn : string; ty : Minic.Ast.fun_ty }
+  | Site_jumptable of { fn : string; targets : string list }
+  | Site_longjmp of { fn : string }
+  | Site_plt of { symbol : string }
+
+(** A word of initialized data; code and data live in disjoint address
+    spaces, and relocations stay symbolic until load time. *)
+type data_word =
+  | Dint of int
+  | Dsym_code of string  (** address of a code label *)
+  | Dsym_data of string  (** address of another data symbol *)
+
+type data_def = { d_name : string; d_words : data_word list }
+
+(** A direct call edge: caller, callee symbol, return-site label. *)
+type direct_call = { dc_caller : string; dc_callee : string; dc_ret : string }
+
+type t = {
+  o_name : string;
+  o_items : Vmisa.Asm.item list;
+  o_data : data_def list;
+  o_functions : fn_info list;
+  o_sites : site list;
+  o_direct_calls : direct_call list;
+  o_tail_calls : (string * string) list;  (** caller, callee direct jumps *)
+  o_setjmp_sites : string list;  (** aligned continuation labels *)
+  o_tyenv : Minic.Types.env;
+  o_instrumented : bool;
+}
+
+val site_fn : site -> string option
+
+val pp_site : Format.formatter -> site -> unit
+
+(** Function records defined by the module (not extern references). *)
+val defined_functions : t -> fn_info list
+
+(** Code symbols this module needs from elsewhere. *)
+val undefined_symbols : t -> string list
+
+(** Total initialized-data size in words. *)
+val data_size : t -> int
+
+(** [save]/[load] persist modules to disk — "instrument once, reuse
+    across programs". The container format is keyed so that stale or
+    foreign files fail loudly ([Invalid_argument]). *)
+val save : string -> t -> unit
+
+val load : string -> t

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Fmt Instrument List Mcfi_compiler Mcfi_runtime Minic Option Printf String Suite

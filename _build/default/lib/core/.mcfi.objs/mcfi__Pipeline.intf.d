@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Mcfi_compiler Mcfi_runtime Vmisa

@@ -1,0 +1,116 @@
+module Objfile = Mcfi_compiler.Objfile
+module Rewriter = Instrument.Rewriter
+module Linker = Mcfi_runtime.Linker
+module Process = Mcfi_runtime.Process
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let compile_module ?(line_offset = 0) ?tco ~name source =
+  (* [line_offset] rebases error locations when a header was prepended,
+     so messages point into the user's own source *)
+  let render (loc : Minic.Ast.loc) =
+    Fmt.str "%a" Minic.Ast.pp_loc { loc with line = loc.line - line_offset }
+  in
+  match Mcfi_compiler.Codegen.compile_source ?tco ~name source with
+  | obj -> obj
+  | exception Minic.Lexer.Error (msg, loc) ->
+    fail "%s:%s: lexical error: %s" name (render loc) msg
+  | exception Minic.Parser.Error (msg, loc) ->
+    fail "%s:%s: parse error: %s" name (render loc) msg
+  | exception Minic.Typecheck.Error (msg, loc) ->
+    fail "%s:%s: type error: %s" name (render loc) msg
+  | exception Mcfi_compiler.Codegen.Unsupported (msg, loc) ->
+    fail "%s:%s: unsupported: %s" name (render loc) msg
+
+let instrument ?sandbox obj =
+  try Rewriter.instrument ?sandbox obj
+  with Rewriter.Error msg -> fail "instrumentation: %s" msg
+
+(* With libc in the build, user modules see its prototypes (the header
+   plays the role of an #include). *)
+let with_header ~with_libc src =
+  if with_libc then Suite.Libc.header ^ src else src
+
+let header_lines =
+  List.length (String.split_on_char '\n' Suite.Libc.header) - 1
+
+let module_set ?tco ?sandbox ?(with_libc = true) ~instrumented sources =
+  let line_offset = if with_libc then header_lines else 0 in
+  let objs =
+    (if with_libc then
+       [ compile_module ?tco ~name:"libc" Suite.Libc.source ]
+     else [])
+    @ List.map
+        (fun (name, src) ->
+          compile_module ~line_offset ?tco ~name (with_header ~with_libc src))
+        sources
+  in
+  let objs = Linker.start_module () :: objs in
+  if instrumented then List.map (instrument ?sandbox) objs else objs
+
+let link_executable ?(instrumented = true) ?tco ?sandbox ?with_libc ~sources
+    ?(dynamic = []) () =
+  let objs = module_set ?tco ?sandbox ?with_libc ~instrumented sources in
+  let linked =
+    try Linker.link ~name:"a.out" objs
+    with Linker.Error msg -> fail "link: %s" msg
+  in
+  (* Symbols that remain undefined are deferred to dynamic modules. *)
+  let undefined = Objfile.undefined_symbols linked in
+  let dynamic_provides =
+    List.concat_map
+      (fun (name, src) ->
+        let with_libc = Option.value with_libc ~default:true in
+        let line_offset = if with_libc then header_lines else 0 in
+        let obj =
+          compile_module ~line_offset ?tco ~name (with_header ~with_libc src)
+        in
+        List.filter_map
+          (fun (fi : Objfile.fn_info) ->
+            if fi.fi_defined then Some fi.fi_name else None)
+          obj.o_functions)
+      dynamic
+  in
+  let deferred =
+    List.filter (fun s -> List.mem s dynamic_provides) undefined
+  in
+  (match List.filter (fun s -> not (List.mem s dynamic_provides)) undefined with
+  | [] -> ()
+  | missing -> fail "undefined symbols: %s" (String.concat ", " missing));
+  if deferred = [] then linked
+  else if not instrumented then
+    fail "dynamic linking requires an instrumented build"
+  else
+    try Linker.add_plt linked deferred
+    with Linker.Error msg -> fail "plt: %s" msg
+
+let build_process ?(instrumented = true) ?tco ?sandbox ?verify ?with_libc
+    ?seed ~sources ?(dynamic = []) () =
+  let exe =
+    link_executable ~instrumented ?tco ?sandbox ?with_libc ~sources ~dynamic ()
+  in
+  let compiled_dynamic =
+    List.map
+      (fun (name, src) ->
+        let with_libc = Option.value with_libc ~default:true in
+        let line_offset = if with_libc then header_lines else 0 in
+        let obj =
+          compile_module ~line_offset ?tco ~name (with_header ~with_libc src)
+        in
+        (name, if instrumented then instrument ?sandbox obj else obj))
+      dynamic
+  in
+  let registry name = List.assoc_opt name compiled_dynamic in
+  let proc = Process.create ~instrumented ?sandbox ?verify ~registry ?seed () in
+  (try Process.load proc exe
+   with Process.Error msg -> fail "load: %s" msg);
+  proc
+
+let run_source ?instrumented ?tco ?fuel ?dynamic src =
+  let proc =
+    build_process ?instrumented ?tco ~sources:[ ("main", src) ] ?dynamic ()
+  in
+  let reason = Process.run ?fuel proc in
+  (reason, Mcfi_runtime.Machine.output (Process.machine proc))

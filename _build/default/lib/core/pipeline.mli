@@ -1,0 +1,68 @@
+(** The MCFI toolchain pipeline — the library's front door.
+
+    Mirrors the paper's toolchain (§7): compile each module separately
+    (rewriter = compiler + instrumentation), statically link the modules
+    that are available (emitting instrumented PLT entries for symbols
+    deferred to dynamic linking), and build a process whose runtime loads,
+    verifies and executes the result; [dlopen] from inside the program
+    reaches the registry of dynamically loadable modules.
+
+    Every module is compiled and instrumented {e without seeing the
+    others} — separate compilation is the point of the paper — and only
+    the link and load steps combine their auxiliary information. *)
+
+exception Error of string
+
+(** [compile_module ?tco ~name source] parses, type-checks and compiles
+    one MiniC translation unit (no instrumentation).
+    Raises {!Error} with a rendered message on any front-end failure;
+    [line_offset] lines are subtracted from reported locations (used when
+    a header was prepended to the user's source). *)
+val compile_module :
+  ?line_offset:int -> ?tco:bool -> name:string -> string -> Mcfi_compiler.Objfile.t
+
+(** [instrument] re-export: {!Instrument.Rewriter.instrument}. *)
+val instrument :
+  ?sandbox:Vmisa.Abi.sandbox ->
+  Mcfi_compiler.Objfile.t ->
+  Mcfi_compiler.Objfile.t
+
+(** [link_executable ?instrumented ?tco ~sources ~dynamic ()] compiles all
+    [sources] (name, MiniC source) plus the mini libc and the [_start]
+    stub, instruments each separately when [instrumented] (default true),
+    statically links them, and emits PLT entries for every symbol that
+    only a [dynamic] module will provide. Returns the linked module. *)
+val link_executable :
+  ?instrumented:bool ->
+  ?tco:bool ->
+  ?sandbox:Vmisa.Abi.sandbox ->
+  ?with_libc:bool ->
+  sources:(string * string) list ->
+  ?dynamic:(string * string) list ->
+  unit ->
+  Mcfi_compiler.Objfile.t
+
+(** [build_process ?instrumented ?tco ~sources ?dynamic ()] is
+    [link_executable] + a process with the dynamic modules registered for
+    [dlopen], loaded and ready to [run]. *)
+val build_process :
+  ?instrumented:bool ->
+  ?tco:bool ->
+  ?sandbox:Vmisa.Abi.sandbox ->
+  ?verify:bool ->
+  ?with_libc:bool ->
+  ?seed:int64 ->
+  sources:(string * string) list ->
+  ?dynamic:(string * string) list ->
+  unit ->
+  Mcfi_runtime.Process.t
+
+(** [run_source ?instrumented src] compiles and runs a single-module
+    program (plus libc); returns the exit reason and captured output. *)
+val run_source :
+  ?instrumented:bool ->
+  ?tco:bool ->
+  ?fuel:int ->
+  ?dynamic:(string * string) list ->
+  string ->
+  Mcfi_runtime.Machine.exit_reason * string

@@ -1,0 +1,1 @@
+lib/idtables/id.mli: Format

@@ -1,0 +1,1 @@
+lib/idtables/tables.ml: Array Atomic Fun Id Mutex Option Printf

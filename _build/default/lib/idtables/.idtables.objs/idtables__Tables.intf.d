@@ -1,0 +1,1 @@
+lib/idtables/tables.mli: Id

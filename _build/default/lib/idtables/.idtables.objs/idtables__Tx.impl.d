@@ -1,0 +1,1 @@
+lib/idtables/tx.ml: Array Fmt Id List Printf Tables

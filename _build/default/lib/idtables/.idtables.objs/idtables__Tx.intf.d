@@ -1,0 +1,1 @@
+lib/idtables/tx.mli: Format Tables

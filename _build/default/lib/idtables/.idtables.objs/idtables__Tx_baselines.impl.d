@@ -1,0 +1,1 @@
+lib/idtables/tx_baselines.ml: Array Atomic Domain List Tables Tx

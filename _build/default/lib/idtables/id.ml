@@ -1,0 +1,48 @@
+type t = int
+
+let max_ecn = 1 lsl 14
+let max_version = 1 lsl 14
+
+let invalid = 0
+
+(* Bit layout (LSB = bit 0):
+   bit 0        reserved, = 1
+   bits 1-7     version low 7 bits
+   bit 8        reserved, = 0
+   bits 9-15    version high 7 bits
+   bit 16       reserved, = 0
+   bits 17-23   ECN low 7 bits
+   bit 24       reserved, = 0
+   bits 25-31   ECN high 7 bits *)
+
+let pack ~ecn ~version =
+  if ecn < 0 || ecn >= max_ecn then
+    invalid_arg (Printf.sprintf "Id.pack: ECN %d out of range" ecn);
+  if version < 0 || version >= max_version then
+    invalid_arg (Printf.sprintf "Id.pack: version %d out of range" version);
+  1
+  lor ((version land 0x7f) lsl 1)
+  lor (((version lsr 7) land 0x7f) lsl 9)
+  lor ((ecn land 0x7f) lsl 17)
+  lor (((ecn lsr 7) land 0x7f) lsl 25)
+
+let reserved_mask = 0x01010101
+let reserved_value = 0x00000001
+
+let valid id = id land reserved_mask = reserved_value
+
+let ecn id = ((id lsr 17) land 0x7f) lor (((id lsr 25) land 0x7f) lsl 7)
+
+let version id = ((id lsr 1) land 0x7f) lor (((id lsr 9) land 0x7f) lsl 7)
+
+let same_version a b = a land 0xffff = b land 0xffff
+
+let byte id k = (id lsr (8 * k)) land 0xff
+
+let of_bytes b0 b1 b2 b3 =
+  (b0 land 0xff) lor ((b1 land 0xff) lsl 8) lor ((b2 land 0xff) lsl 16)
+  lor ((b3 land 0xff) lsl 24)
+
+let pp ppf id =
+  if valid id then Fmt.pf ppf "ID(ecn=%d, ver=%d)" (ecn id) (version id)
+  else Fmt.pf ppf "ID(invalid 0x%08x)" (id land 0xffffffff)

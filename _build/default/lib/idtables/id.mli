@@ -1,0 +1,56 @@
+(** MCFI's 32-bit ID encoding (paper Fig. 2).
+
+    An ID packs, into one 4-byte word:
+    - four {e reserved bits}: the least-significant bit of each byte, with
+      values 0,0,0,1 from high to low byte — so a read at an address that is
+      not 4-byte aligned yields a word whose bit 0 is (almost surely) not 1
+      and fails the validity test;
+    - a 14-bit {e equivalence-class number} (ECN) in the upper two bytes;
+    - a 14-bit {e version number} in the lower two bytes, used by the
+      transaction protocol to detect in-flight CFG updates.
+
+    Keeping metadata (version) and data (ECN) in a single word is precisely
+    what lets a check transaction be one load + one compare — the design
+    decision the TML micro-benchmark (§8.1) evaluates. *)
+
+type t = int
+(** A packed ID. Only the low 32 bits are meaningful. *)
+
+val max_ecn : int
+(** [16384]: the number of expressible equivalence classes, 2^14. *)
+
+val max_version : int
+(** [16384]: the number of expressible versions, 2^14. *)
+
+val invalid : t
+(** The all-zero word: what an unused Tary slot holds. Not [valid]. *)
+
+(** [pack ~ecn ~version] builds a valid ID.
+    Raises [Invalid_argument] if either field is out of range. *)
+val pack : ecn:int -> version:int -> t
+
+(** [valid id] checks the four reserved bits (0,0,0,1 from high to low
+    byte). Every ID built by [pack] is valid; words assembled from
+    misaligned reads are rejected with probability 15/16 per the paper's
+    argument, and always rejected when neighbouring slots hold valid IDs or
+    zeros (bit 0 of the composed word is then a reserved-0 bit). *)
+val valid : t -> bool
+
+(** [ecn id] extracts the equivalence-class number of a valid ID. *)
+val ecn : t -> int
+
+(** [version id] extracts the version number of a valid ID. *)
+val version : t -> int
+
+(** [same_version a b] compares the low 16 bits — the single-instruction
+    version check ([cmpw %di, %si]) of the check transaction. *)
+val same_version : t -> t -> bool
+
+(** [byte id k] is byte [k] (0 = least significant) of the word. *)
+val byte : t -> int -> int
+
+(** [of_bytes b0 b1 b2 b3] reassembles a word from bytes (little-endian) —
+    used to model misaligned table reads. *)
+val of_bytes : int -> int -> int -> int -> t
+
+val pp : Format.formatter -> t -> unit

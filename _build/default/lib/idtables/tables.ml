@@ -1,0 +1,123 @@
+(* Table storage: plain int arrays, one word per slot.
+
+   This mirrors the hardware the paper relies on: an aligned 4-byte read
+   or write ([movl]/[movnti]) is atomic, and that is all the transaction
+   protocol needs.  In OCaml 5 terms, immediate-valued array cells never
+   tear, and racy reads simply return a current-or-stale value; the
+   protocol is safe under that relaxed visibility because a check
+   transaction only PASSES when the branch ID and target ID are
+   bit-identical — any mixed-version view fails the comparison and
+   retries (or halts on an invalid ID), never passes.  The [sync] atomic
+   is bumped between the Tary and Bary phases and at the end of an update
+   (the paper's write barrier): it publishes the plain writes to other
+   domains at a well-defined point. *)
+
+type t = {
+  code_base : int;
+  capacity : int;
+  mutable code_size : int;
+  tary : int array; (* slot k covers code address base + 4k *)
+  bary : int array;
+  mutable version : int;
+  mutable updates_since_quiesce : int;
+  sync : int Atomic.t;
+  update_lock : Mutex.t;
+}
+
+let round4 n = (n + 3) land lnot 3
+
+let create ?covered ~code_base ~capacity ~bary_slots () =
+  let capacity = round4 (max capacity 4) in
+  {
+    code_base;
+    capacity;
+    code_size = round4 (min capacity (Option.value covered ~default:capacity));
+    tary = Array.make (capacity / 4) Id.invalid;
+    bary = Array.make (max bary_slots 1) Id.invalid;
+    version = 0;
+    updates_since_quiesce = 0;
+    sync = Atomic.make 0;
+    update_lock = Mutex.create ();
+  }
+
+let code_base t = t.code_base
+let capacity t = t.capacity
+let code_size t = t.code_size
+
+let extend t bytes =
+  let size = round4 (t.code_size + bytes) in
+  if size > t.capacity then
+    invalid_arg "Tables.extend: beyond reserved capacity";
+  t.code_size <- size
+
+let bary_slots t = Array.length t.bary
+
+let version t = t.version
+let set_version t v = t.version <- v
+
+let updates_since_quiesce t = t.updates_since_quiesce
+let count_update t = t.updates_since_quiesce <- t.updates_since_quiesce + 1
+let quiesce t = t.updates_since_quiesce <- 0
+
+let publish t = Atomic.incr t.sync
+
+let with_update_lock t f =
+  Mutex.lock t.update_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.update_lock) f
+
+let slot_value t k =
+  if k < 0 || k >= t.code_size / 4 then Id.invalid
+  else Array.unsafe_get t.tary k
+
+(* The misaligned/out-of-range slow path, kept out of line so the aligned
+   read below stays small enough for cross-module inlining. *)
+let tary_read_slow t addr =
+  let off = addr - t.code_base in
+  if off < 0 || off >= t.code_size then Id.invalid
+  else begin
+    let k = off lsr 2 and r = off land 3 in
+    (* Misaligned: the word spans slots k and k+1 (little-endian bytes). *)
+    let lo = slot_value t k and hi = slot_value t (k + 1) in
+    let b i = if i < 4 then Id.byte lo i else Id.byte hi (i - 4) in
+    Id.of_bytes (b r) (b (r + 1)) (b (r + 2)) (b (r + 3))
+  end
+
+let[@inline] tary_read t addr =
+  let off = addr - t.code_base in
+  if off < 0 || off >= t.code_size || off land 3 <> 0 then
+    tary_read_slow t addr
+  else Array.unsafe_get t.tary (off lsr 2)
+
+let[@inline] bary_read t idx =
+  if idx < 0 || idx >= Array.length t.bary then
+    invalid_arg (Printf.sprintf "Tables.bary_read: slot %d out of range" idx);
+  Array.unsafe_get t.bary idx
+
+let tary_set t addr id =
+  let off = addr - t.code_base in
+  if off < 0 || off >= t.code_size then
+    invalid_arg (Printf.sprintf "Tables.tary_set: address 0x%x out of range" addr);
+  if off mod 4 <> 0 then
+    invalid_arg (Printf.sprintf "Tables.tary_set: address 0x%x misaligned" addr);
+  t.tary.(off / 4) <- id
+
+let bary_set t idx id =
+  if idx < 0 || idx >= Array.length t.bary then
+    invalid_arg (Printf.sprintf "Tables.bary_set: slot %d out of range" idx);
+  t.bary.(idx) <- id
+
+let tary_entries t =
+  let acc = ref [] in
+  for k = (t.code_size / 4) - 1 downto 0 do
+    let v = t.tary.(k) in
+    if v <> Id.invalid then acc := (t.code_base + (4 * k), v) :: !acc
+  done;
+  !acc
+
+let bary_entries t =
+  let acc = ref [] in
+  for k = Array.length t.bary - 1 downto 0 do
+    let v = t.bary.(k) in
+    if v <> Id.invalid then acc := (k, v) :: !acc
+  done;
+  !acc

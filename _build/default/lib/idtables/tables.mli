@@ -1,0 +1,98 @@
+(** Runtime representation of the Bary and Tary ID tables (paper §5.1).
+
+    The Tary table is an array of IDs with one slot per 4-byte-aligned code
+    address (so its size equals the code size); a code address that is not a
+    possible indirect-branch target holds the all-zero (invalid) word.  The
+    Bary table is a dense array indexed by small constants that the loader
+    patches into [Bary_load] instructions.
+
+    Slots are plain word-sized cells: OCaml immediates never tear, exactly
+    as the paper's aligned 4-byte accesses never tear on x86, and that is
+    the only per-access guarantee the transaction protocol needs — a check
+    only {e passes} on bit-identical branch/target IDs, so any stale or
+    mixed-version view fails the comparison and retries (or halts on an
+    invalid ID); it can never pass wrongly.  [publish] is the update
+    transaction's write barrier.  A read at a {e misaligned} address is
+    modelled faithfully: it composes the word from the bytes of the two
+    neighbouring slots, which cannot produce a valid ID when the slots hold
+    valid IDs or zeros (the reserved bits clash) — this is what forces
+    indirect-branch targets to be aligned.
+
+    The table region is reserved at creation time ([capacity] bytes of code
+    addresses); dynamically linking a library grows the in-use part
+    ([extend]) without reallocating, like the paper's reserved 4GB region. *)
+
+type t
+
+(** [create ~code_base ~capacity ~bary_slots] reserves tables covering code
+    addresses [code_base, code_base + capacity). [capacity] is rounded up to
+    a multiple of 4.  [covered] is the initially in-use prefix (default: the
+    whole capacity; the process loader starts at 0 and [extend]s as modules
+    load, so update transactions only rewrite the covered prefix — the
+    paper's reserved-but-unmapped 4GB region). *)
+val create :
+  ?covered:int -> code_base:int -> capacity:int -> bary_slots:int -> unit -> t
+
+val code_base : t -> int
+val capacity : t -> int
+
+(** Bytes of code currently covered (grows with [extend]). *)
+val code_size : t -> int
+
+(** [extend t bytes] grows the in-use code size.
+    Raises [Invalid_argument] beyond capacity. *)
+val extend : t -> int -> unit
+
+val bary_slots : t -> int
+
+(** Current global version number (bumped by each update transaction). *)
+val version : t -> int
+
+val set_version : t -> int -> unit
+
+(** The ABA mitigation of paper §5.2: the ID encoding has 2^14 versions,
+    so an attacker forcing that many update transactions {e during one
+    check transaction} could replay an old ID.  The runtime therefore
+    counts update transactions and resets the counter at quiescence
+    points (moments when every thread has been observed outside a check
+    transaction, e.g. at a system call); the count approaching
+    [Id.max_version] is the signal to force quiescence first. *)
+val updates_since_quiesce : t -> int
+
+(** Bump the update counter (called by the update transaction). *)
+val count_update : t -> unit
+
+(** Declare a quiescence point: every thread has been observed outside a
+    check transaction since the last update. *)
+val quiesce : t -> unit
+
+(** The update-transaction serialization lock (paper: the global update
+    lock; it never blocks check transactions). *)
+val with_update_lock : t -> (unit -> 'a) -> 'a
+
+(** The write barrier between (and after) the update transaction's two
+    phases: a sequentially consistent operation that publishes the
+    preceding plain slot writes to other domains. *)
+val publish : t -> unit
+
+(** [tary_read t addr] is the 4-byte word at code address [addr] in the
+    Tary region — atomic for aligned [addr], byte-composed for misaligned
+    ones, and [Id.invalid] outside the in-use code range. *)
+val tary_read : t -> int -> Id.t
+
+(** [bary_read t idx] is the branch ID at slot [idx].
+    Raises [Invalid_argument] on out-of-range slots (the loader guarantees
+    embedded indexes are in range). *)
+val bary_read : t -> int -> Id.t
+
+(** [tary_set t addr id] writes a slot in one non-tearing store (the
+    [movnti] analog); [publish] provides the phase barrier.
+    Raises [Invalid_argument] when [addr] is misaligned or out of range. *)
+val tary_set : t -> int -> Id.t -> unit
+
+val bary_set : t -> int -> Id.t -> unit
+
+(** [tary_entries t] lists [(addr, id)] for every non-invalid slot. *)
+val tary_entries : t -> (int * Id.t) list
+
+val bary_entries : t -> (int * Id.t) list

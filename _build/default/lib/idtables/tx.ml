@@ -1,0 +1,89 @@
+type outcome = Pass | Violation | Retries_exhausted
+
+let pp_outcome ppf = function
+  | Pass -> Fmt.string ppf "pass"
+  | Violation -> Fmt.string ppf "violation"
+  | Retries_exhausted -> Fmt.string ppf "retries-exhausted"
+
+let rec check_fast t ~bary_index ~target =
+  let bid = Tables.bary_read t bary_index in
+  let tid = Tables.tary_read t target in
+  if bid = tid then true
+  else if not (Id.valid tid) then false
+  else if not (Id.same_version bid tid) then check_fast t ~bary_index ~target
+  else false
+
+let check ?max_retries ?(on_retry = fun () -> ()) t ~bary_index ~target =
+  let rec attempt budget =
+    let bid = Tables.bary_read t bary_index in
+    let tid = Tables.tary_read t target in
+    if bid = tid then Pass
+    else if not (Id.valid tid) then Violation
+    else if not (Id.same_version bid tid) then begin
+      on_retry ();
+      match budget with
+      | Some 0 -> Retries_exhausted
+      | Some n -> attempt (Some (n - 1))
+      | None -> attempt None
+    end
+    else Violation
+  in
+  attempt max_retries
+
+exception Version_space_exhausted
+
+(* The body of an update transaction; caller holds the update lock. *)
+let update_locked ~got_update t ~tary ~bary =
+  (* The ABA guard (paper §5.2): 2^14 updates with no intervening
+     quiescence point could wrap the version space during a still-running
+     check transaction; refuse rather than risk it. *)
+  if Tables.updates_since_quiesce t >= Id.max_version - 1 then
+    raise Version_space_exhausted;
+  Tables.count_update t;
+  let version = (Tables.version t + 1) mod Id.max_version in
+  Tables.set_version t version;
+  (* Phase 1: construct the new Tary image, then publish it slot by slot
+     (each publish is an atomic, sequentially consistent write — the
+     movnti-with-barrier analog). *)
+  let base = Tables.code_base t and size = Tables.code_size t in
+  let slots = size / 4 in
+  let new_tary = Array.make slots Id.invalid in
+  List.iter
+    (fun (addr, ecn) ->
+      let off = addr - base in
+      if off < 0 || off >= size || off mod 4 <> 0 then
+        invalid_arg
+          (Printf.sprintf "Tx.update: bad Tary target address 0x%x" addr);
+      new_tary.(off / 4) <- Id.pack ~ecn ~version)
+    tary;
+  for k = 0 to slots - 1 do
+    Tables.tary_set t (base + (4 * k)) new_tary.(k)
+  done;
+  (* the write barrier between the two phases (paper Fig. 3 line 5) *)
+  Tables.publish t;
+  got_update ();
+  (* Phase 2: publish the new Bary table. *)
+  let new_bary = Array.make (Tables.bary_slots t) Id.invalid in
+  List.iter
+    (fun (idx, ecn) ->
+      if idx < 0 || idx >= Array.length new_bary then
+        invalid_arg (Printf.sprintf "Tx.update: bad Bary slot %d" idx);
+      new_bary.(idx) <- Id.pack ~ecn ~version)
+    bary;
+  Array.iteri (fun idx id -> Tables.bary_set t idx id) new_bary;
+  Tables.publish t;
+  version
+
+let update ?(got_update = fun () -> ()) t ~tary ~bary =
+  Tables.with_update_lock t (fun () -> update_locked ~got_update t ~tary ~bary)
+
+let refresh t =
+  Tables.with_update_lock t (fun () ->
+      (* Snapshot under the lock so concurrent refreshes serialize. *)
+      let tary =
+        List.map (fun (addr, id) -> (addr, Id.ecn id)) (Tables.tary_entries t)
+      in
+      let bary =
+        List.map (fun (idx, id) -> (idx, Id.ecn id)) (Tables.bary_entries t)
+      in
+      update_locked ~got_update:(fun () -> ()) t ~tary ~bary)

@@ -1,0 +1,67 @@
+(** MCFI's table-access transactions (paper §5.2, Figs. 3 and 4).
+
+    [check] is the reference implementation of the check transaction: read
+    branch ID, read target ID, one equality compare in the common case; on
+    mismatch, distinguish (a) invalid target ID — CFI violation, (b) version
+    mismatch — an update transaction is in flight, retry, (c) same version
+    but different ECN — CFI violation.  The VM executes the same logic as an
+    inlined instruction sequence (see {!Instrument.Rewriter}); this
+    function is used by the micro-benchmarks and the concurrency tests.
+
+    [update] is the update transaction: serialized by the global update
+    lock, it bumps the version, rewrites the whole Tary table, issues a
+    write barrier (every [Tables.tary_set] is sequentially consistent),
+    runs the GOT-update hook, then rewrites the Bary table.  Tary-first
+    ordering guarantees a check that observes a new-version branch ID also
+    observes new-version target IDs. *)
+
+type outcome =
+  | Pass
+  | Violation
+  | Retries_exhausted
+      (** only with [~max_retries]; the unbounded transaction spins until
+          the concurrent update completes *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [check t ~bary_index ~target] runs one check transaction.
+    [max_retries] bounds the retry loop (tests and the VM use a fuel bound;
+    production semantics is unbounded). [on_retry] is called each time the
+    version comparison forces a retry — test instrumentation. *)
+val check :
+  ?max_retries:int ->
+  ?on_retry:(unit -> unit) ->
+  Tables.t ->
+  bary_index:int ->
+  target:int ->
+  outcome
+
+(** The production fast path: the same transaction without the test
+    instrumentation hooks (no allocation; one load per table and one
+    equality compare in the common case — the shape the paper's inline
+    sequence has). [true] = the transfer is allowed. *)
+val check_fast : Tables.t -> bary_index:int -> target:int -> bool
+
+(** [update t ~tary ~bary] installs a new CFG: [tary] maps each valid
+    indirect-branch target address to its ECN, [bary] maps each branch slot
+    to its branch ECN.  Slots not mentioned become invalid.  [got_update]
+    runs between the Tary and Bary phases (paper: GOT entries are updated
+    there, serialized by the same barrier). Returns the new version. *)
+val update :
+  ?got_update:(unit -> unit) ->
+  Tables.t ->
+  tary:(int * int) list ->
+  bary:(int * int) list ->
+  int
+
+(** [refresh t] re-installs the current tables under a fresh version,
+    preserving every ECN — the paper's §8.1 update-transaction stress
+    experiment does exactly this at 50 Hz. Returns the new version. *)
+val refresh : Tables.t -> int
+
+(** Raised by [update]/[refresh] when 2^14 - 1 update transactions have
+    executed with no intervening {!Tables.quiesce} — the ABA hazard of
+    paper §5.2.  The runtime declares quiescence whenever every thread
+    has been observed outside a check transaction (e.g. at a system
+    call), which resets the budget. *)
+exception Version_space_exhausted

@@ -1,0 +1,172 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : code_base:int -> capacity:int -> bary_slots:int -> t
+  val check : t -> bary_index:int -> target:int -> bool
+  val update : t -> tary:(int * int) list -> bary:(int * int) list -> unit
+end
+
+(* Shared plain-array table storage for the lock-based baselines: Tary slot
+   per 4-byte-aligned code address, holding [ecn + 1] ([0] = not a target);
+   Bary slot holding [ecn + 1]. Synchronization is the module's business. *)
+module Plain = struct
+  type t = {
+    code_base : int;
+    tary : int array;
+    bary : int array;
+  }
+
+  let create ~code_base ~capacity ~bary_slots =
+    {
+      code_base;
+      tary = Array.make (max ((capacity + 3) / 4) 1) 0;
+      bary = Array.make (max bary_slots 1) 0;
+    }
+
+  let tary_get t addr =
+    let off = addr - t.code_base in
+    if off < 0 || off mod 4 <> 0 then 0
+    else begin
+      let k = off / 4 in
+      if k >= Array.length t.tary then 0 else t.tary.(k)
+    end
+
+  let bary_get t idx =
+    if idx < 0 || idx >= Array.length t.bary then 0 else t.bary.(idx)
+
+  let install t ~tary ~bary =
+    Array.fill t.tary 0 (Array.length t.tary) 0;
+    Array.fill t.bary 0 (Array.length t.bary) 0;
+    List.iter
+      (fun (addr, ecn) ->
+        let off = addr - t.code_base in
+        if off >= 0 && off mod 4 = 0 && off / 4 < Array.length t.tary then
+          t.tary.(off / 4) <- ecn + 1)
+      tary;
+    List.iter
+      (fun (idx, ecn) ->
+        if idx >= 0 && idx < Array.length t.bary then t.bary.(idx) <- ecn + 1)
+      bary
+
+  (* The unsynchronized check logic all lock-based baselines share. *)
+  let plain_check t ~bary_index ~target =
+    let bid = bary_get t bary_index in
+    let tid = tary_get t target in
+    tid <> 0 && bid = tid
+end
+
+module Tml = struct
+  type t = { glb : int Atomic.t; tables : Plain.t }
+
+  let name = "tml"
+
+  let create ~code_base ~capacity ~bary_slots =
+    { glb = Atomic.make 0; tables = Plain.create ~code_base ~capacity ~bary_slots }
+
+  (* TML reader: sample the sequence lock (must be even), run the reads,
+     then validate that the lock did not move; otherwise retry. *)
+  let check t ~bary_index ~target =
+    let rec attempt () =
+      let s = Atomic.get t.glb in
+      if s land 1 = 1 then attempt ()
+      else begin
+        let ok = Plain.plain_check t.tables ~bary_index ~target in
+        if Atomic.get t.glb = s then ok else attempt ()
+      end
+    in
+    attempt ()
+
+  (* TML writer: CAS the lock to odd, write, bump to the next even value. *)
+  let update t ~tary ~bary =
+    let rec acquire () =
+      let s = Atomic.get t.glb in
+      if s land 1 = 1 || not (Atomic.compare_and_set t.glb s (s + 1)) then begin
+        Domain.cpu_relax ();
+        acquire ()
+      end
+      else s + 1
+    in
+    let odd = acquire () in
+    Plain.install t.tables ~tary ~bary;
+    Atomic.set t.glb (odd + 1)
+end
+
+module Rwlock = struct
+  (* One atomic word: -1 = writer holds it, n >= 0 = n active readers. *)
+  type t = { state : int Atomic.t; tables : Plain.t }
+
+  let name = "rwlock"
+
+  let create ~code_base ~capacity ~bary_slots =
+    { state = Atomic.make 0; tables = Plain.create ~code_base ~capacity ~bary_slots }
+
+  let rec read_acquire t =
+    let s = Atomic.get t.state in
+    if s < 0 || not (Atomic.compare_and_set t.state s (s + 1)) then begin
+      Domain.cpu_relax ();
+      read_acquire t
+    end
+
+  let read_release t = ignore (Atomic.fetch_and_add t.state (-1))
+
+  let rec write_acquire t =
+    if not (Atomic.compare_and_set t.state 0 (-1)) then begin
+      Domain.cpu_relax ();
+      write_acquire t
+    end
+
+  let write_release t = Atomic.set t.state 0
+
+  let check t ~bary_index ~target =
+    read_acquire t;
+    let ok = Plain.plain_check t.tables ~bary_index ~target in
+    read_release t;
+    ok
+
+  let update t ~tary ~bary =
+    write_acquire t;
+    Plain.install t.tables ~tary ~bary;
+    write_release t
+end
+
+module Cas_mutex = struct
+  type t = { lock : int Atomic.t; tables : Plain.t }
+
+  let name = "mutex"
+
+  let create ~code_base ~capacity ~bary_slots =
+    { lock = Atomic.make 0; tables = Plain.create ~code_base ~capacity ~bary_slots }
+
+  let rec acquire t =
+    if not (Atomic.compare_and_set t.lock 0 1) then begin
+      Domain.cpu_relax ();
+      acquire t
+    end
+
+  let release t = Atomic.set t.lock 0
+
+  let check t ~bary_index ~target =
+    acquire t;
+    let ok = Plain.plain_check t.tables ~bary_index ~target in
+    release t;
+    ok
+
+  let update t ~tary ~bary =
+    acquire t;
+    Plain.install t.tables ~tary ~bary;
+    release t
+end
+
+module Mcfi = struct
+  type t = Tables.t
+
+  let name = "mcfi"
+
+  let create ~code_base ~capacity ~bary_slots =
+    Tables.create ~code_base ~capacity ~bary_slots ()
+
+  let check t ~bary_index ~target = Tx.check_fast t ~bary_index ~target
+
+  let update t ~tary ~bary = ignore (Tx.update t ~tary ~bary)
+end

@@ -1,0 +1,43 @@
+(** Baseline synchronization schemes for table accesses (paper §8.1).
+
+    The paper micro-benchmarks its custom transaction against three
+    alternatives and reports normalized check-transaction times of
+    MCFI = 1, TML ≈ 2, RW-lock ≈ 29, mutex ≈ 22.  Each baseline here
+    implements the same abstract behaviour — check a (branch slot, target
+    address) pair against the current CFG, atomically install a new CFG —
+    with its own synchronization:
+
+    - {!Tml}: Transactional Mutex Locks (Dalessandro et al.): a global
+      sequence lock; readers re-read it around the table reads, so metadata
+      (the sequence word) is separate from data — two extra loads per check,
+      the cost MCFI's packed IDs avoid.
+    - {!Rwlock}: a reader-preference readers–writer lock; every check does
+      two atomic read-modify-writes (the LOCK-prefixed instructions the
+      paper blames for the 29x).
+    - {!Cas_mutex}: a compare-and-swap spinlock held for the whole check.
+
+    All four (including {!Tx}) decide Pass/Violation identically on
+    quiescent tables — property-tested in [test_tx]. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : code_base:int -> capacity:int -> bary_slots:int -> t
+
+  (** [check t ~bary_index ~target] is [true] iff the transfer is allowed
+      by the currently installed CFG. *)
+  val check : t -> bary_index:int -> target:int -> bool
+
+  (** Atomically install a new CFG. [tary]: target address -> ECN;
+      [bary]: branch slot -> ECN. *)
+  val update : t -> tary:(int * int) list -> bary:(int * int) list -> unit
+end
+
+module Tml : S
+module Rwlock : S
+module Cas_mutex : S
+
+(** MCFI's own transactions, wrapped in the same signature for the
+    micro-benchmark harness. *)
+module Mcfi : S

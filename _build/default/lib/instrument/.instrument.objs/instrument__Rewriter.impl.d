@@ -1,0 +1,1 @@
+lib/instrument/rewriter.ml: Array Fmt Hashtbl List Mcfi_compiler Printf String Vmisa

@@ -1,0 +1,1 @@
+lib/instrument/rewriter.mli: Mcfi_compiler Vmisa

@@ -1,0 +1,191 @@
+module Instr = Vmisa.Instr
+module Asm = Vmisa.Asm
+module Abi = Vmisa.Abi
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Scratch registers reserved by the code generator for check sequences. *)
+let rtarget_id = Instr.rscratch0 (* r11, the paper's %esi *)
+let rtarget = Instr.rscratch1 (* r12, the paper's %rcx *)
+let rbranch_id = Instr.rscratch2 (* r13, the paper's %edi *)
+
+let plt_label symbol = "__plt_" ^ symbol
+let got_symbol symbol = "__got_" ^ symbol
+
+(* The check transaction (paper Fig. 4), split into its two blocks.
+
+   The {e read} block loads the branch ID ([Bary_load] with the
+   module-local slot) and the target ID, compares them, and diverts to the
+   check block on mismatch; on match it falls through to the committing
+   control transfer.  The {e check} block distinguishes an invalid target
+   (halt), a version mismatch during a concurrent update (retry), and an
+   equivalence-class mismatch (halt). *)
+let read_block ~slot ~check_lbl =
+  [
+    Asm.I (Instr.Bary_load (rbranch_id, slot));
+    Asm.I (Instr.Tary_load (rtarget_id, rtarget));
+    Asm.I (Instr.Cmp_rr (rbranch_id, rtarget_id));
+    Asm.Jcc_sym (Instr.Ne, check_lbl);
+  ]
+
+let check_block ~try_lbl ~check_lbl ~halt_lbl =
+  [
+    Asm.Label check_lbl;
+    Asm.I (Instr.Test_ri (rtarget_id, 1));
+    Asm.Jcc_sym (Instr.Eq, halt_lbl);
+    Asm.I (Instr.Cmp_lo (rbranch_id, rtarget_id));
+    Asm.Jcc_sym (Instr.Ne, try_lbl);
+    Asm.Label halt_lbl;
+    Asm.I Instr.Halt;
+  ]
+
+(* Rewritten return (Fig. 4): pop once (so a concurrent attacker cannot
+   swap the return address after the check), then check-and-jump. *)
+let return_sequence ~prefix ~slot =
+  let try_lbl = prefix ^ "$try" in
+  let check_lbl = prefix ^ "$check" in
+  let halt_lbl = prefix ^ "$halt" in
+  [ Asm.I (Instr.Pop rtarget); Asm.Label try_lbl ]
+  @ read_block ~slot ~check_lbl
+  @ [ Asm.I (Instr.Jmp_r rtarget) ]
+  @ check_block ~try_lbl ~check_lbl ~halt_lbl
+
+(* Indirect call: the committing [Call_r] must be the {e last} instruction
+   of the sequence because the original code places the (aligned) return
+   site immediately after it, so the check/halt block is laid out before
+   the read block and entered by a jump. *)
+let icall_sequence ~prefix ~slot ~src =
+  let try_lbl = prefix ^ "$try" in
+  let check_lbl = prefix ^ "$check" in
+  let halt_lbl = prefix ^ "$halt" in
+  [ Asm.I (Instr.Mov_rr (rtarget, src)); Asm.Jmp_sym try_lbl ]
+  @ check_block ~try_lbl ~check_lbl ~halt_lbl
+  @ [ Asm.Label try_lbl ]
+  @ read_block ~slot ~check_lbl
+  @ [
+      Asm.Align_end (4, Instr.size (Instr.Call_r rtarget));
+      Asm.I (Instr.Call_r rtarget);
+    ]
+
+(* Indirect jump (switch tables, indirect tail calls, longjmp). *)
+let ijmp_sequence ~prefix ~slot ~src =
+  let try_lbl = prefix ^ "$try" in
+  let check_lbl = prefix ^ "$check" in
+  let halt_lbl = prefix ^ "$halt" in
+  [ Asm.I (Instr.Mov_rr (rtarget, src)); Asm.Label try_lbl ]
+  @ read_block ~slot ~check_lbl
+  @ [ Asm.I (Instr.Jmp_r rtarget) ]
+  @ check_block ~try_lbl ~check_lbl ~halt_lbl
+
+(* PLT entry: a version-mismatch retry reloads the target from the GOT, so
+   an in-flight GOT update is picked up (paper §5.2). *)
+let plt_entry ~symbol ~slot =
+  let prefix = "mcfi$plt$" ^ symbol in
+  let try_lbl = prefix ^ "$try" in
+  let check_lbl = prefix ^ "$check" in
+  let halt_lbl = prefix ^ "$halt" in
+  [
+    Asm.Align 4;
+    Asm.Label (plt_label symbol);
+    Asm.Label try_lbl;
+    Asm.Mov_dsym (rtarget, got_symbol symbol);
+    Asm.I (Instr.Load (rtarget, rtarget, 0));
+  ]
+  @ read_block ~slot ~check_lbl
+  @ [ Asm.I (Instr.Jmp_r rtarget) ]
+  @ check_block ~try_lbl ~check_lbl ~halt_lbl
+
+(* Masked store: effective address is recomputed into r11 and clipped to
+   the sandbox. Stack-relative stores keep their base (the stack segment
+   discipline the runtime enforces, as MIP does for %rsp). *)
+let masked_store rb off rs =
+  [
+    Asm.I (Instr.Mov_rr (rtarget_id, rb));
+    Asm.I (Instr.Binop_i (Instr.Add, rtarget_id, off));
+    Asm.I (Instr.Binop_i (Instr.And, rtarget_id, Abi.sandbox_mask));
+    Asm.I (Instr.Store (rtarget_id, 0, rs));
+  ]
+
+let size_of_items items =
+  match Asm.assemble ~base:0
+          ~resolve_code:(fun _ -> Some 0)
+          ~resolve_data:(fun _ -> Some 0)
+          items
+  with
+  | Ok prog -> String.length prog.Asm.image
+  | Error e -> fail "size_of_items: %a" (fun () e -> Fmt.str "%a" Asm.pp_error e) e
+
+let instrument ?(sandbox = Abi.Mask) (obj : Mcfi_compiler.Objfile.t) =
+  if obj.o_instrumented then fail "module %s is already instrumented" obj.o_name;
+  let sites = Array.of_list obj.o_sites in
+  let next_site = ref 0 in
+  let take_site () =
+    if !next_site >= Array.length sites then
+      fail "module %s: more indirect branches than site records" obj.o_name;
+    let k = !next_site in
+    incr next_site;
+    (k, sites.(k))
+  in
+  (* Labels that must be 4-byte aligned: function entries, jump-table
+     targets, setjmp continuations. *)
+  let align_labels = Hashtbl.create 64 in
+  List.iter
+    (fun (fi : Mcfi_compiler.Objfile.fn_info) ->
+      if fi.fi_defined then Hashtbl.replace align_labels fi.fi_name ())
+    obj.o_functions;
+  List.iter
+    (function
+      | Mcfi_compiler.Objfile.Site_jumptable { targets; _ } ->
+        List.iter (fun l -> Hashtbl.replace align_labels l ()) targets
+      | _ -> ())
+    obj.o_sites;
+  List.iter (fun l -> Hashtbl.replace align_labels l ()) obj.o_setjmp_sites;
+  let prefix k = Printf.sprintf "mcfi$%s$%d" obj.o_name k in
+  let rewrite item =
+    match item with
+    | Asm.I Instr.Ret -> begin
+      match take_site () with
+      | k, Mcfi_compiler.Objfile.Site_return _ -> return_sequence ~prefix:(prefix k) ~slot:k
+      | _, site ->
+        fail "module %s: ret where %a expected" obj.o_name
+          (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)
+          site
+    end
+    | Asm.I (Instr.Call_r src) -> begin
+      match take_site () with
+      | k, Mcfi_compiler.Objfile.Site_icall _ -> icall_sequence ~prefix:(prefix k) ~slot:k ~src
+      | _, site ->
+        fail "module %s: indirect call where %a expected" obj.o_name
+          (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)
+          site
+    end
+    | Asm.I (Instr.Jmp_r src) -> begin
+      match take_site () with
+      | k, (Mcfi_compiler.Objfile.Site_jumptable _ | Mcfi_compiler.Objfile.Site_itail _
+           | Mcfi_compiler.Objfile.Site_longjmp _) ->
+        ijmp_sequence ~prefix:(prefix k) ~slot:k ~src
+      | _, site ->
+        fail "module %s: indirect jump where %a expected" obj.o_name
+          (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)
+          site
+    end
+    | Asm.I (Instr.Store (rb, off, rs))
+      when sandbox = Abi.Mask && rb <> Instr.rsp && rb <> Instr.rfp ->
+      (* the Segment platform confines stores in hardware; Mask inserts
+         the explicit address clip (paper §5.1) *)
+      masked_store rb off rs
+    | Asm.I (Instr.Call _) | Asm.Call_sym _ ->
+      (* align the return address of direct calls *)
+      [ Asm.Align_end (4, Instr.size (Instr.Call 0)); item ]
+    | Asm.Label l when Hashtbl.mem align_labels l -> [ Asm.Align 4; item ]
+    | Asm.I (Instr.Bary_load _ | Instr.Tary_load _) ->
+      fail "module %s: table reads in uninstrumented code" obj.o_name
+    | item -> [ item ]
+  in
+  let items = List.concat_map rewrite obj.o_items in
+  if !next_site <> Array.length sites then
+    fail "module %s: %d sites but %d indirect branches" obj.o_name
+      (Array.length sites) !next_site;
+  { obj with o_items = items; o_instrumented = true }

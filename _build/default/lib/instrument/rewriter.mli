@@ -1,0 +1,50 @@
+(** The MCFI instrumentation pass (paper §5.2, Fig. 4, and §7).
+
+    Rewrites a compiled module — {e separately}, without seeing any other
+    module — so that:
+
+    - every [Ret] becomes the pop/check/indirect-jump sequence of Fig. 4
+      (the return address is popped first so a concurrent attacker cannot
+      swap it between check and transfer);
+    - every indirect call and indirect jump is preceded by the same check
+      transaction, committing with the original branch;
+    - the check sequence for site [k] reads its branch ID with
+      [Bary_load (r13, k)] using the {e module-local} slot [k]; the loader
+      re-bases slots when several modules share a process;
+    - every indirect-branch target (function entries, jump-table targets,
+      setjmp continuations) is 4-byte aligned by [Nop] padding, and call
+      instructions are padded so that their return addresses are aligned —
+      this is what keeps the Tary table at one slot per 4 bytes;
+    - every store whose base is not the stack or frame pointer is rewritten
+      to mask its effective address into the data sandbox
+      ([Vmisa.Abi.sandbox_mask]), the MIP-style software fault isolation
+      the paper adopts to protect the tables.
+
+    Check sequences use only the reserved scratch registers r11-r13. *)
+
+exception Error of string
+
+(** [instrument ?sandbox obj] is the instrumented module.  [sandbox]
+    (default [Mask], the x86-64 flavour) selects the write-confinement
+    scheme: [Segment] omits the store masks because the platform's
+    segmentation hardware bounds every access (the x86-32 flavour).
+    Raises {!Error} if [obj] is already instrumented, or if its site list
+    is inconsistent with its code (the codegen invariant is violated). *)
+val instrument :
+  ?sandbox:Vmisa.Abi.sandbox -> Mcfi_compiler.Objfile.t -> Mcfi_compiler.Objfile.t
+
+(** The PLT entry for [symbol]: an already-instrumented item sequence whose
+    check transaction reloads the branch target from the GOT slot on retry
+    (paper §5.2, "Procedure Linkage Table").  The entry label is
+    ["__plt_" ^ symbol], the GOT data symbol ["__got_" ^ symbol], and the
+    embedded Bary slot is [slot] (module-local, re-based like the rest). *)
+val plt_entry : symbol:string -> slot:int -> Vmisa.Asm.item list
+
+(** [plt_label symbol] / [got_symbol symbol] naming helpers. *)
+val plt_label : string -> string
+
+val got_symbol : string -> string
+
+(** Static code-size growth factor bookkeeping: [size_of_items items] is
+    the layout size in bytes at base 0 (alignment included). *)
+val size_of_items : Vmisa.Asm.item list -> int

@@ -1,0 +1,1 @@
+lib/minic/analyzer.ml: Ast Fmt Hashtbl List Obj Option String Typecheck Types

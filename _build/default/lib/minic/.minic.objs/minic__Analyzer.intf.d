@@ -1,0 +1,1 @@
+lib/minic/analyzer.mli: Ast Format Typecheck

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Fun Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/minic/types.ml: Ast Hashtbl List Printf

@@ -1,0 +1,355 @@
+open Ast
+
+type category = UC | DC | MF | SU | NF
+
+let category_name = function
+  | UC -> "UC" | DC -> "DC" | MF -> "MF" | SU -> "SU" | NF -> "NF"
+
+type kind = K1 | K2
+
+let kind_name = function K1 -> "K1" | K2 -> "K2"
+
+type violation = {
+  v_loc : Ast.loc;
+  v_fun : string option;
+  v_from : Ast.ty;
+  v_to : Ast.ty;
+  v_explicit : bool;
+  v_verdict : verdict;
+}
+
+and verdict = Eliminated of category | Remaining of kind
+
+type report = {
+  violations : violation list;
+  sloc : int;
+  vbe : int;
+  uc : int;
+  dc : int;
+  mf : int;
+  su : int;
+  nf : int;
+  vae : int;
+  k1 : int;
+  k2 : int;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%a%s: cast %a -> %a (%s): %s" Ast.pp_loc v.v_loc
+    (match v.v_fun with Some f -> " in " ^ f | None -> "")
+    Ast.pp_ty v.v_from Ast.pp_ty v.v_to
+    (if v.v_explicit then "explicit" else "implicit")
+    (match v.v_verdict with
+    | Eliminated c -> "false positive (" ^ category_name c ^ ")"
+    | Remaining k -> kind_name k)
+
+(* A cast event, before classification. *)
+type event = {
+  e_loc : loc;
+  e_fun : string option;
+  e_from : ty;
+  e_to : ty;
+  e_explicit : bool;
+  e_src : expr;             (* the expression being cast / assigned *)
+  e_nf_context : bool;      (* cast used only for a non-fptr field access *)
+  e_free_arg : bool;        (* argument position of free() *)
+}
+
+type st = {
+  info : Typecheck.tinfo;
+  mutable events : event list;
+  mutable current_fun : string option;
+  (* physical identities of cast expressions appearing as receivers of a
+     field access that reads a non-fptr field (the NF pattern) *)
+  nf_casts : (Obj.t, unit) Hashtbl.t;
+  (* physical identities of casts in argument position of free() *)
+  free_casts : (Obj.t, unit) Hashtbl.t;
+}
+
+let env st = st.info.Typecheck.env
+
+(* Does a type "involve function pointer types" in the sense of C1?  The
+   type itself contains one, or it is a pointer whose pointee does. *)
+let involves st t =
+  match Types.resolve (env st) t with
+  | exception Types.Unknown_type _ -> false
+  | rt -> (
+    Types.contains_fptr (env st) rt
+    ||
+    match rt with
+    | Tptr p -> (
+      match Types.resolve (env st) p with
+      | exception Types.Unknown_type _ -> false
+      | rp -> Types.contains_fptr (env st) rp)
+    | _ -> false)
+
+let record st ?(explicit = false) ?(free_arg = false) ~loc ~src ~from_ ~to_ () =
+  let e = env st in
+  if (involves st from_ || involves st to_) && not (Types.equal e from_ to_)
+  then
+    st.events <-
+      {
+        e_loc = loc;
+        e_fun = st.current_fun;
+        e_from = from_;
+        e_to = to_;
+        e_explicit = explicit;
+        e_src = src;
+        e_nf_context = Hashtbl.mem st.nf_casts (Obj.repr src);
+        e_free_arg = free_arg || Hashtbl.mem st.free_casts (Obj.repr src);
+      }
+      :: st.events
+
+(* Strip casts to find what an initializer really denotes. *)
+let rec strip_casts e =
+  match e.edesc with Ecast (_, inner) -> strip_casts inner | _ -> e
+
+let denotes_function st e =
+  match (strip_casts e).edesc with
+  | Evar f | Eaddr { edesc = Evar f; _ } ->
+    Typecheck.fun_ty_of st.info f <> None
+  | _ -> false
+
+let is_int_literal e =
+  match (strip_casts e).edesc with Eint _ | Echar _ -> true | _ -> false
+
+let is_malloc_call e =
+  match e.edesc with
+  | Ecall ({ edesc = Evar "malloc"; _ }, _) -> true
+  | _ -> false
+
+(* ---------- the walk ---------- *)
+
+let rec walk_expr st e =
+  (match e.edesc with
+  | Efield (({ edesc = Ecast _; _ } as recv), field)
+  | Earrow (({ edesc = Ecast _; _ } as recv), field) ->
+    (* a cast receiver whose accessed field does not involve function
+       pointers: the NF pattern from perlbench in the paper *)
+    let field_involves =
+      let owner =
+        match e.edesc with
+        | Earrow _ -> (
+          match Types.resolve (env st) recv.ety with
+          | Tptr t -> t
+          | t -> t
+          | exception Types.Unknown_type _ -> Tvoid)
+        | _ -> recv.ety
+      in
+      match Types.resolve (env st) owner with
+      | Tstruct name | Tunion name -> (
+        let fields =
+          match Types.resolve (env st) owner with
+          | Tstruct _ -> Types.struct_fields (env st) name
+          | _ -> Types.union_fields (env st) name
+        in
+        match fields with
+        | Some fs -> (
+          match List.assoc_opt field fs with
+          | Some ft -> involves st ft
+          | None -> true)
+        | None -> true)
+      | _ -> true
+      | exception Types.Unknown_type _ -> true
+    in
+    if not field_involves then Hashtbl.replace st.nf_casts (Obj.repr recv) ()
+  | _ -> ());
+  match e.edesc with
+  | Eint _ | Echar _ | Estr _ | Evar _ | Esizeof _ -> ()
+  | Eunop (_, a) | Eaddr a | Ederef a -> walk_expr st a
+  | Ebinop (_, a, b) | Eindex (a, b) ->
+    walk_expr st a;
+    walk_expr st b
+  | Efield (a, _) | Earrow (a, _) -> walk_expr st a
+  | Econd (a, b, c) ->
+    walk_expr st a;
+    walk_expr st b;
+    walk_expr st c
+  | Ecast (to_, inner) ->
+    walk_expr st inner;
+    record st ~explicit:true ~loc:e.eloc ~src:e ~from_:inner.ety ~to_ ()
+  | Eassign (lhs, rhs) ->
+    walk_expr st lhs;
+    walk_expr st rhs;
+    record st ~loc:e.eloc ~src:rhs ~from_:rhs.ety ~to_:lhs.ety ()
+  | Ecall (callee, args) -> begin
+    (match callee.edesc with
+    | Evar name when Typecheck.fun_ty_of st.info name <> None -> ()
+    | _ -> walk_expr st callee);
+    (* casts in free()'s argument position belong to the MF pattern *)
+    (match callee.edesc with
+    | Evar "free" ->
+      List.iter
+        (fun arg ->
+          match arg.edesc with
+          | Ecast _ -> Hashtbl.replace st.free_casts (Obj.repr arg) ()
+          | _ -> ())
+        args
+    | _ -> ());
+    List.iter (walk_expr st) args;
+    (* implicit casts at argument positions *)
+    match callee.edesc with
+    | Evar name -> begin
+      match Typecheck.fun_ty_of st.info name with
+      | Some ft ->
+        let is_free = name = "free" in
+        List.iteri
+          (fun i arg ->
+            match List.nth_opt ft.params i with
+            | Some pty ->
+              record st ~free_arg:is_free ~loc:arg.eloc ~src:arg
+                ~from_:arg.ety ~to_:pty ()
+            | None -> ())
+          args
+      | None -> ()
+    end
+    | _ -> begin
+      match Types.resolve (env st) callee.ety with
+      | Tptr (Tfun ft) | Tfun ft ->
+        List.iteri
+          (fun i arg ->
+            match List.nth_opt ft.params i with
+            | Some pty ->
+              record st ~loc:arg.eloc ~src:arg ~from_:arg.ety ~to_:pty ()
+            | None -> ())
+          args
+      | _ | (exception Types.Unknown_type _) -> ()
+    end
+  end
+
+let rec walk_stmt st ret_ty s =
+  match s.sdesc with
+  | Sexpr e -> walk_expr st e
+  | Sdecl (t, _, init) -> begin
+    match init with
+    | Some e ->
+      walk_expr st e;
+      record st ~loc:s.sloc ~src:e ~from_:e.ety ~to_:t ()
+    | None -> ()
+  end
+  | Sif (c, a, b) ->
+    walk_expr st c;
+    walk_stmt st ret_ty a;
+    Option.iter (walk_stmt st ret_ty) b
+  | Swhile (c, body) ->
+    walk_expr st c;
+    walk_stmt st ret_ty body
+  | Sfor (init, c, step, body) ->
+    Option.iter (walk_stmt st ret_ty) init;
+    Option.iter (walk_expr st) c;
+    Option.iter (walk_expr st) step;
+    walk_stmt st ret_ty body
+  | Sreturn (Some e) ->
+    walk_expr st e;
+    record st ~loc:s.sloc ~src:e ~from_:e.ety ~to_:ret_ty ()
+  | Sreturn None -> ()
+  | Sblock body -> List.iter (walk_stmt st ret_ty) body
+  | Sbreak | Scontinue -> ()
+  | Sswitch (c, cases, default) ->
+    walk_expr st c;
+    List.iter (fun cs -> List.iter (walk_stmt st ret_ty) cs.cbody) cases;
+    Option.iter (List.iter (walk_stmt st ret_ty)) default
+
+(* ---------- classification ---------- *)
+
+let struct_ptr st t =
+  match Types.resolve (env st) t with
+  | Tptr p -> (
+    match Types.resolve (env st) p with
+    | Tstruct name -> Some name
+    | _ -> None
+    | exception Types.Unknown_type _ -> None)
+  | _ -> None
+  | exception Types.Unknown_type _ -> None
+
+let classify st (e : event) : verdict =
+  let env = env st in
+  let upcast =
+    match (struct_ptr st e.e_from, struct_ptr st e.e_to) with
+    | Some sub, Some sup -> Types.prefix_struct env ~sub ~sup
+    | _ -> false
+  in
+  let downcast_tagged =
+    match (struct_ptr st e.e_from, struct_ptr st e.e_to) with
+    | Some sup, Some sub ->
+      Types.prefix_struct env ~sub ~sup && Types.has_tag_field env sup
+    | _ -> false
+  in
+  if upcast then Eliminated UC
+  else if downcast_tagged then Eliminated DC
+  else if is_malloc_call (strip_casts e.e_src) || e.e_free_arg then
+    Eliminated MF
+  else if is_int_literal e.e_src && Types.is_fptr env e.e_to then Eliminated SU
+  else if e.e_nf_context then Eliminated NF
+  else if denotes_function st e.e_src && Types.is_fptr env e.e_to then
+    Remaining K1
+  else Remaining K2
+
+let count_sloc source =
+  String.split_on_char '\n' source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let analyze ?(source = "") (info : Typecheck.tinfo) =
+  let st =
+    {
+      info;
+      events = [];
+      current_fun = None;
+      nf_casts = Hashtbl.create 16;
+      free_casts = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (function
+      | Dfun f ->
+        st.current_fun <- Some f.fname;
+        List.iter (walk_stmt st f.fret) f.fbody;
+        st.current_fun <- None
+      | Dglobal (t, _, Some (Iexpr e)) ->
+        walk_expr st e;
+        record st ~loc:e.eloc ~src:e ~from_:e.ety ~to_:t ()
+      | Dglobal (t, _, Some (Ilist es)) ->
+        let elem =
+          match Types.resolve info.env t with
+          | Tarray (el, _) -> el
+          | _ -> t
+          | exception Types.Unknown_type _ -> t
+        in
+        List.iter
+          (fun e ->
+            walk_expr st e;
+            record st ~loc:e.eloc ~src:e ~from_:e.ety ~to_:elem ())
+          es
+      | Dglobal (_, _, None)
+      | Dstruct _ | Dunion _ | Dtypedef _ | Dextern_fun _ | Dextern_var _ ->
+        ())
+    info.prog.pdecls;
+  let violations =
+    List.rev_map
+      (fun e ->
+        {
+          v_loc = e.e_loc;
+          v_fun = e.e_fun;
+          v_from = e.e_from;
+          v_to = e.e_to;
+          v_explicit = e.e_explicit;
+          v_verdict = classify st e;
+        })
+      st.events
+  in
+  let count p = List.length (List.filter p violations) in
+  let cat c = count (fun v -> v.v_verdict = Eliminated c) in
+  {
+    violations;
+    sloc = count_sloc source;
+    vbe = List.length violations;
+    uc = cat UC;
+    dc = cat DC;
+    mf = cat MF;
+    su = cat SU;
+    nf = cat NF;
+    vae = count (fun v -> match v.v_verdict with Remaining _ -> true | _ -> false);
+    k1 = count (fun v -> v.v_verdict = Remaining K1);
+    k2 = count (fun v -> v.v_verdict = Remaining K2);
+  }

@@ -1,0 +1,71 @@
+(** The condition-C1/C2 analyzer (paper §6, Tables 1 and 2).
+
+    Type-matching CFG generation is sound for programs satisfying:
+    - {b C1}: no explicit or implicit cast to or from function-pointer
+      types (including casts of structs/unions containing function-pointer
+      fields);
+    - {b C2}: no inline assembly (MiniC has none except the compiler
+      intrinsics, which are typed — C2 reports are always empty, matching
+      the paper's finding of zero C2 violations in SPEC).
+
+    Like the paper's Clang-StaticChecker-based analyzer, this one
+    over-approximates violations and then eliminates recognizable
+    false-positive patterns:
+
+    - {b UC} upcast: concrete-struct* to prefix-abstract-struct*;
+    - {b DC} safe downcast: abstract* to concrete* where the abstract
+      struct carries a leading runtime type-tag field;
+    - {b MF} malloc/free: [void*] results of [malloc] cast to a
+      struct-with-fptrs, and arguments of [free];
+    - {b SU} safe update: initializing/assigning a function pointer with
+      an integer literal (NULL);
+    - {b NF} non-function-pointer access: a cast immediately used to read
+      a non-fptr field.
+
+    Remaining cases are classified:
+    - {b K1}: a function pointer receives the address of a function of an
+      incompatible type (these can break the generated CFG and require
+      source fixes — wrappers or type adjustments);
+    - {b K2}: a function pointer value is cast to another type (to be cast
+      back later); these do not require fixes. *)
+
+type category = UC | DC | MF | SU | NF
+
+val category_name : category -> string
+
+type kind = K1 | K2
+
+val kind_name : kind -> string
+
+type violation = {
+  v_loc : Ast.loc;
+  v_fun : string option;  (** enclosing function, [None] at top level *)
+  v_from : Ast.ty;
+  v_to : Ast.ty;
+  v_explicit : bool;
+  v_verdict : verdict;
+}
+
+and verdict =
+  | Eliminated of category  (** recognized false positive *)
+  | Remaining of kind
+
+type report = {
+  violations : violation list;
+  sloc : int;  (** non-blank source lines, for the Table 1 SLOC column *)
+  vbe : int;   (** violations before elimination *)
+  uc : int;
+  dc : int;
+  mf : int;
+  su : int;
+  nf : int;
+  vae : int;   (** violations after elimination *)
+  k1 : int;
+  k2 : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [analyze ?source info] runs the C1 analysis over a type-checked
+    translation unit ([source] is used only for the SLOC count). *)
+val analyze : ?source:string -> Typecheck.tinfo -> report

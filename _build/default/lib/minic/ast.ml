@@ -1,0 +1,124 @@
+(* Abstract syntax of MiniC, the C subset the reproduction compiles.
+
+   MiniC has exactly the constructs the paper's CFG generation and C1/C2
+   analysis discuss: function pointers, structs/unions (including
+   function-pointer fields), typedefs, explicit casts, varargs, switch
+   (compiled to jump tables), address-of, and setjmp/longjmp intrinsics.
+
+   The [ety] field of expressions is filled in by {!Typecheck}; it is
+   [Tvoid] until then. *)
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let pp_loc ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+type ty =
+  | Tvoid
+  | Tint                       (* one machine word *)
+  | Tchar                      (* stored in a full word; distinct type *)
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tfun of fun_ty
+  | Tstruct of string          (* nominal; fields live in the environment *)
+  | Tunion of string
+  | Tnamed of string           (* typedef name, resolved via environment *)
+
+and fun_ty = { params : ty list; varargs : bool; ret : ty }
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr = { edesc : edesc; eloc : loc; mutable ety : ty }
+
+and edesc =
+  | Eint of int
+  | Echar of char
+  | Estr of string
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr
+  | Econd of expr * expr * expr
+  | Ecall of expr * expr list
+  | Ecast of ty * expr
+  | Eaddr of expr
+  | Ederef of expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Eindex of expr * expr
+  | Esizeof of ty
+
+type case = { cvalues : int list; cbody : stmt list }
+(* MiniC switch cases do not fall through: each case body has an implicit
+   break at its end (an explicit [break] is still allowed).  Dense value
+   sets still compile to jump tables, which is what the CFG generator's
+   indirect-jump handling needs. *)
+
+and stmt = { sdesc : sdesc; sloc : loc }
+
+and sdesc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * case list * stmt list option  (* cases, default *)
+
+type func = {
+  fname : string;
+  fparams : (string * ty) list;
+  fvarargs : bool;
+  fret : ty;
+  fbody : stmt list;
+  floc : loc;
+}
+
+type init = Iexpr of expr | Ilist of expr list
+
+type decl =
+  | Dstruct of string * (string * ty) list
+  | Dunion of string * (string * ty) list
+  | Dtypedef of string * ty
+  | Dglobal of ty * string * init option
+  | Dextern_fun of string * fun_ty
+  | Dextern_var of string * ty
+  | Dfun of func
+
+type program = { pname : string; pdecls : decl list }
+
+let fun_ty_of_func f =
+  { params = List.map snd f.fparams; varargs = f.fvarargs; ret = f.fret }
+
+let mk_expr ?(loc = no_loc) edesc = { edesc; eloc = loc; ety = Tvoid }
+
+let rec pp_ty ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tint -> Fmt.string ppf "int"
+  | Tchar -> Fmt.string ppf "char"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_ty t n
+  | Tfun ft -> pp_fun_ty ppf ft
+  | Tstruct s -> Fmt.pf ppf "struct %s" s
+  | Tunion s -> Fmt.pf ppf "union %s" s
+  | Tnamed s -> Fmt.string ppf s
+
+and pp_fun_ty ppf { params; varargs; ret } =
+  let pp_params ppf () =
+    Fmt.(list ~sep:(any ", ") pp_ty) ppf params;
+    if varargs then
+      Fmt.pf ppf "%s..." (if params = [] then "" else ", ")
+  in
+  Fmt.pf ppf "%a(*)(%a)" pp_ty ret pp_params ()
+
+let ty_to_string t = Fmt.str "%a" pp_ty t

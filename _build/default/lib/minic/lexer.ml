@@ -1,0 +1,216 @@
+exception Error of string * Ast.loc
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = { Ast.line = st.line; col = st.col }
+
+let fail st msg = raise (Error (msg, loc st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> fail st "unterminated comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let hstart = st.pos in
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    if st.pos = hstart then fail st "malformed hex literal";
+    int_of_string ("0x" ^ String.sub st.src hstart (st.pos - hstart))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let lex_escape st =
+  advance st;
+  (* past the backslash *)
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> fail st (Printf.sprintf "unknown escape \\%c" c)
+  | None -> fail st "unterminated escape"
+
+let lex_char st =
+  advance st;
+  (* past the opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' -> lex_escape st
+    | Some '\'' -> fail st "empty character literal"
+    | Some c ->
+      advance st;
+      c
+    | None -> fail st "unterminated character literal"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> fail st "unterminated character literal");
+  c
+
+let lex_string st =
+  advance st;
+  (* past the opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      Buffer.add_char buf (lex_escape st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | None -> fail st "unterminated string literal"
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let next_token st =
+  skip_ws st;
+  let l = loc st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> Token.INT_LIT (lex_number st)
+    | Some c when is_ident_start c -> begin
+      let name = lex_ident st in
+      match Token.keyword_of_string name with
+      | Some kw -> kw
+      | None -> Token.IDENT name
+    end
+    | Some '\'' -> Token.CHAR_LIT (lex_char st)
+    | Some '"' -> Token.STR_LIT (lex_string st)
+    | Some c ->
+      advance st;
+      let two tok_long tok_short expect =
+        if peek st = Some expect then begin
+          advance st;
+          tok_long
+        end
+        else tok_short
+      in
+      (match c with
+      | '(' -> Token.LPAREN
+      | ')' -> Token.RPAREN
+      | '{' -> Token.LBRACE
+      | '}' -> Token.RBRACE
+      | '[' -> Token.LBRACKET
+      | ']' -> Token.RBRACKET
+      | ';' -> Token.SEMI
+      | ',' -> Token.COMMA
+      | ':' -> Token.COLON
+      | '?' -> Token.QUESTION
+      | '~' -> Token.TILDE
+      | '^' -> Token.CARET
+      | '+' -> Token.PLUS
+      | '*' -> Token.STAR
+      | '/' -> Token.SLASH
+      | '%' -> Token.PERCENT
+      | '.' ->
+        if peek st = Some '.' && peek2 st = Some '.' then begin
+          advance st;
+          advance st;
+          Token.ELLIPSIS
+        end
+        else Token.DOT
+      | '-' -> two Token.ARROW Token.MINUS '>'
+      | '&' -> two Token.ANDAND Token.AMP '&'
+      | '|' -> two Token.OROR Token.PIPE '|'
+      | '!' -> two Token.NE Token.BANG '='
+      | '=' -> two Token.EQEQ Token.ASSIGN '='
+      | '<' ->
+        if peek st = Some '<' then begin
+          advance st;
+          Token.SHL
+        end
+        else two Token.LE Token.LT '='
+      | '>' ->
+        if peek st = Some '>' then begin
+          advance st;
+          Token.SHR
+        end
+        else two Token.GE Token.GT '='
+      | c -> fail st (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, l)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let (tok, _) as t = next_token st in
+    if tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

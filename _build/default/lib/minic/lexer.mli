@@ -1,0 +1,11 @@
+(** Hand-written lexer for MiniC.
+
+    Handles [//] and [/* */] comments, decimal and hexadecimal integer
+    literals, character literals with the usual escapes, and string
+    literals. *)
+
+exception Error of string * Ast.loc
+
+(** [tokenize src] is the token stream with source locations, ending with
+    [Token.EOF]. Raises {!Error} on malformed input. *)
+val tokenize : string -> (Token.t * Ast.loc) list

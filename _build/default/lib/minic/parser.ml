@@ -1,0 +1,625 @@
+open Ast
+
+exception Error of string * Ast.loc
+
+module S = Set.Make (String)
+
+type st = {
+  toks : (Token.t * loc) array;
+  mutable pos : int;
+  mutable typedefs : S.t;
+}
+
+let cur st = fst st.toks.(st.pos)
+let cur_loc st = snd st.toks.(st.pos)
+
+let peek_at st k =
+  let i = st.pos + k in
+  if i < Array.length st.toks then fst st.toks.(i) else Token.EOF
+
+let fail st msg = raise (Error (msg, cur_loc st))
+
+let failf st fmt = Printf.ksprintf (fail st) fmt
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let accept st tok =
+  if cur st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st tok =
+  if not (accept st tok) then
+    failf st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> failf st "expected identifier but found %s" (Token.to_string t)
+
+(* ---------- types and declarators ---------- *)
+
+let starts_type st =
+  match cur st with
+  | Token.KINT | Token.KCHAR | Token.KVOID | Token.KSTRUCT | Token.KUNION ->
+    true
+  | Token.IDENT s -> S.mem s st.typedefs
+  | _ -> false
+
+let parse_type_spec st =
+  match cur st with
+  | Token.KINT -> advance st; Tint
+  | Token.KCHAR -> advance st; Tchar
+  | Token.KVOID -> advance st; Tvoid
+  | Token.KSTRUCT ->
+    advance st;
+    Tstruct (expect_ident st)
+  | Token.KUNION ->
+    advance st;
+    Tunion (expect_ident st)
+  | Token.IDENT s when S.mem s st.typedefs ->
+    advance st;
+    Tnamed s
+  | t -> failf st "expected a type but found %s" (Token.to_string t)
+
+(* A parsed declarator: the declared name (empty for abstract declarators),
+   a function from base type to declared type, and — when the declarator is
+   a direct function declarator — the parameter names for a definition. *)
+type declarator = {
+  dname : string;
+  dwrap : ty -> ty;
+  dparams : (string * ty) list option; (* direct f(params) only *)
+  dvarargs : bool;
+}
+
+type suffix = Sarr of int | Sfun of (string * ty) list * bool
+
+(* Arrays and functions decay in parameter position, as in C. *)
+let decay_param = function
+  | Tarray (t, _) -> Tptr t
+  | Tfun ft -> Tptr (Tfun ft)
+  | t -> t
+
+(* Constant integer expressions, for array sizes: literals with + - * /
+   and parentheses, evaluated at parse time. *)
+let rec parse_const_int st = parse_const_add st
+
+and parse_const_add st =
+  let rec go acc =
+    if accept st Token.PLUS then go (acc + parse_const_mul st)
+    else if accept st Token.MINUS then go (acc - parse_const_mul st)
+    else acc
+  in
+  go (parse_const_mul st)
+
+and parse_const_mul st =
+  let rec go acc =
+    if accept st Token.STAR then go (acc * parse_const_atom st)
+    else if accept st Token.SLASH then begin
+      let d = parse_const_atom st in
+      if d = 0 then fail st "division by zero in constant expression";
+      go (acc / d)
+    end
+    else acc
+  in
+  go (parse_const_atom st)
+
+and parse_const_atom st =
+  match cur st with
+  | Token.INT_LIT n ->
+    advance st;
+    n
+  | Token.CHAR_LIT c ->
+    advance st;
+    Char.code c
+  | Token.MINUS ->
+    advance st;
+    -parse_const_atom st
+  | Token.LPAREN ->
+    advance st;
+    let v = parse_const_int st in
+    expect st Token.RPAREN;
+    v
+  | t -> failf st "expected a constant expression but found %s" (Token.to_string t)
+
+let rec parse_declarator st : declarator =
+  if accept st Token.STAR then begin
+    (* the star binds to the base type: in [void *malloc(int)] the direct
+       function declarator (and its parameter names) survives *)
+    let d = parse_declarator st in
+    { d with dwrap = (fun base -> d.dwrap (Tptr base)) }
+  end
+  else parse_direct st
+
+and parse_direct st : declarator =
+  let name, inner_wrap, direct_name =
+    match cur st with
+    | Token.LPAREN ->
+      advance st;
+      let d = parse_declarator st in
+      expect st Token.RPAREN;
+      (d.dname, d.dwrap, false)
+    | Token.IDENT s ->
+      advance st;
+      (s, (fun base -> base), true)
+    | _ -> ("", (fun base -> base), true) (* abstract declarator *)
+  in
+  let rec parse_suffixes acc =
+    match cur st with
+    | Token.LBRACKET ->
+      advance st;
+      let n = parse_const_int st in
+      expect st Token.RBRACKET;
+      parse_suffixes (Sarr n :: acc)
+    | Token.LPAREN ->
+      advance st;
+      let params, varargs = parse_params st in
+      expect st Token.RPAREN;
+      parse_suffixes (Sfun (params, varargs) :: acc)
+    | _ -> List.rev acc
+  in
+  let suffixes = parse_suffixes [] in
+  let rec apply sufs base =
+    match sufs with
+    | [] -> base
+    | Sarr n :: rest -> Tarray (apply rest base, n)
+    | Sfun (params, varargs) :: rest ->
+      Tfun { params = List.map snd params; varargs; ret = apply rest base }
+  in
+  let dparams, dvarargs =
+    match (direct_name, suffixes) with
+    | true, [ Sfun (params, varargs) ] -> (Some params, varargs)
+    | _ -> (None, false)
+  in
+  { dname = name; dwrap = (fun base -> inner_wrap (apply suffixes base));
+    dparams; dvarargs }
+
+and parse_params st : (string * ty) list * bool =
+  if cur st = Token.RPAREN then ([], false)
+  else if cur st = Token.KVOID && peek_at st 1 = Token.RPAREN then begin
+    advance st;
+    ([], false)
+  end
+  else begin
+    let rec go acc =
+      if accept st Token.ELLIPSIS then (List.rev acc, true)
+      else begin
+        let base = parse_type_spec st in
+        let d = parse_declarator st in
+        let param = (d.dname, decay_param (d.dwrap base)) in
+        if accept st Token.COMMA then go (param :: acc)
+        else (List.rev (param :: acc), false)
+      end
+    in
+    go []
+  end
+
+(* [parse_type] parses a full type (for casts and sizeof): a type specifier
+   followed by an abstract declarator. *)
+and parse_type st =
+  let base = parse_type_spec st in
+  let d = parse_declarator st in
+  if d.dname <> "" then failf st "unexpected name %s in type" d.dname;
+  d.dwrap base
+
+(* ---------- expressions ---------- *)
+
+and parse_expr_st st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  if accept st Token.ASSIGN then begin
+    let rhs = parse_assign st in
+    { edesc = Eassign (lhs, rhs); eloc = lhs.eloc; ety = Tvoid }
+  end
+  else lhs
+
+and parse_cond st =
+  let c = parse_lor st in
+  if accept st Token.QUESTION then begin
+    let t = parse_assign st in
+    expect st Token.COLON;
+    let f = parse_cond st in
+    { edesc = Econd (c, t, f); eloc = c.eloc; ety = Tvoid }
+  end
+  else c
+
+and binop_level ops next st =
+  let rec go lhs =
+    match List.assoc_opt (cur st) ops with
+    | Some op ->
+      advance st;
+      let rhs = next st in
+      go { edesc = Ebinop (op, lhs, rhs); eloc = lhs.eloc; ety = Tvoid }
+    | None -> lhs
+  in
+  go (next st)
+
+and parse_lor st = binop_level [ (Token.OROR, Lor) ] parse_land st
+and parse_land st = binop_level [ (Token.ANDAND, Land) ] parse_bor st
+and parse_bor st = binop_level [ (Token.PIPE, Bor) ] parse_bxor st
+and parse_bxor st = binop_level [ (Token.CARET, Bxor) ] parse_band st
+and parse_band st = binop_level [ (Token.AMP, Band) ] parse_eq st
+
+and parse_eq st =
+  binop_level [ (Token.EQEQ, Eq); (Token.NE, Ne) ] parse_rel st
+
+and parse_rel st =
+  binop_level
+    [ (Token.LT, Lt); (Token.LE, Le); (Token.GT, Gt); (Token.GE, Ge) ]
+    parse_shift st
+
+and parse_shift st =
+  binop_level [ (Token.SHL, Shl); (Token.SHR, Shr) ] parse_additive st
+
+and parse_additive st =
+  binop_level [ (Token.PLUS, Add); (Token.MINUS, Sub) ] parse_mult st
+
+and parse_mult st =
+  binop_level
+    [ (Token.STAR, Mul); (Token.SLASH, Div); (Token.PERCENT, Mod) ]
+    parse_unary st
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match cur st with
+  | Token.MINUS ->
+    advance st;
+    { edesc = Eunop (Neg, parse_unary st); eloc = loc; ety = Tvoid }
+  | Token.BANG ->
+    advance st;
+    { edesc = Eunop (Lognot, parse_unary st); eloc = loc; ety = Tvoid }
+  | Token.TILDE ->
+    advance st;
+    { edesc = Eunop (Bitnot, parse_unary st); eloc = loc; ety = Tvoid }
+  | Token.STAR ->
+    advance st;
+    { edesc = Ederef (parse_unary st); eloc = loc; ety = Tvoid }
+  | Token.AMP ->
+    advance st;
+    { edesc = Eaddr (parse_unary st); eloc = loc; ety = Tvoid }
+  | Token.KSIZEOF ->
+    advance st;
+    expect st Token.LPAREN;
+    let t = parse_type st in
+    expect st Token.RPAREN;
+    { edesc = Esizeof t; eloc = loc; ety = Tvoid }
+  | Token.LPAREN when starts_type_at st 1 ->
+    (* a cast: "(" type ")" unary *)
+    advance st;
+    let t = parse_type st in
+    expect st Token.RPAREN;
+    { edesc = Ecast (t, parse_unary st); eloc = loc; ety = Tvoid }
+  | _ -> parse_postfix st
+
+and starts_type_at st k =
+  match peek_at st k with
+  | Token.KINT | Token.KCHAR | Token.KVOID | Token.KSTRUCT | Token.KUNION ->
+    true
+  | Token.IDENT s -> S.mem s st.typedefs
+  | _ -> false
+
+and parse_postfix st =
+  let rec go e =
+    let loc = cur_loc st in
+    match cur st with
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN;
+      go { edesc = Ecall (e, args); eloc = loc; ety = Tvoid }
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr_st st in
+      expect st Token.RBRACKET;
+      go { edesc = Eindex (e, idx); eloc = loc; ety = Tvoid }
+    | Token.DOT ->
+      advance st;
+      go { edesc = Efield (e, expect_ident st); eloc = loc; ety = Tvoid }
+    | Token.ARROW ->
+      advance st;
+      go { edesc = Earrow (e, expect_ident st); eloc = loc; ety = Tvoid }
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  if cur st = Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_assign st in
+      if accept st Token.COMMA then go (e :: acc) else List.rev (e :: acc)
+    in
+    go []
+  end
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match cur st with
+  | Token.INT_LIT n ->
+    advance st;
+    { edesc = Eint n; eloc = loc; ety = Tvoid }
+  | Token.CHAR_LIT c ->
+    advance st;
+    { edesc = Echar c; eloc = loc; ety = Tvoid }
+  | Token.STR_LIT s ->
+    advance st;
+    { edesc = Estr s; eloc = loc; ety = Tvoid }
+  | Token.IDENT s ->
+    advance st;
+    { edesc = Evar s; eloc = loc; ety = Tvoid }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_st st in
+    expect st Token.RPAREN;
+    e
+  | t -> failf st "expected an expression but found %s" (Token.to_string t)
+
+(* ---------- statements ---------- *)
+
+let parse_case_value st =
+  match cur st with
+  | Token.INT_LIT n ->
+    advance st;
+    n
+  | Token.CHAR_LIT c ->
+    advance st;
+    Char.code c
+  | Token.MINUS ->
+    advance st;
+    (match cur st with
+    | Token.INT_LIT n ->
+      advance st;
+      -n
+    | t -> failf st "expected integer after - but found %s" (Token.to_string t))
+  | t -> failf st "expected case value but found %s" (Token.to_string t)
+
+let rec parse_stmt st : stmt =
+  let loc = cur_loc st in
+  match cur st with
+  | Token.LBRACE ->
+    advance st;
+    let body = parse_block st in
+    { sdesc = Sblock body; sloc = loc }
+  | Token.KIF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr_st st in
+    expect st Token.RPAREN;
+    let then_ = parse_stmt st in
+    let else_ = if accept st Token.KELSE then Some (parse_stmt st) else None in
+    { sdesc = Sif (cond, then_, else_); sloc = loc }
+  | Token.KWHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr_st st in
+    expect st Token.RPAREN;
+    let body = parse_stmt st in
+    { sdesc = Swhile (cond, body); sloc = loc }
+  | Token.KFOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if cur st = Token.SEMI then None
+      else if starts_type st then Some (parse_local_decl st)
+      else Some { sdesc = Sexpr (parse_expr_st st); sloc = loc }
+    in
+    expect st Token.SEMI;
+    let cond = if cur st = Token.SEMI then None else Some (parse_expr_st st) in
+    expect st Token.SEMI;
+    let step =
+      if cur st = Token.RPAREN then None else Some (parse_expr_st st)
+    in
+    expect st Token.RPAREN;
+    let body = parse_stmt st in
+    { sdesc = Sfor (init, cond, step, body); sloc = loc }
+  | Token.KRETURN ->
+    advance st;
+    let e = if cur st = Token.SEMI then None else Some (parse_expr_st st) in
+    expect st Token.SEMI;
+    { sdesc = Sreturn e; sloc = loc }
+  | Token.KBREAK ->
+    advance st;
+    expect st Token.SEMI;
+    { sdesc = Sbreak; sloc = loc }
+  | Token.KCONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    { sdesc = Scontinue; sloc = loc }
+  | Token.KSWITCH -> parse_switch st
+  | _ when starts_type st ->
+    let s = parse_local_decl st in
+    expect st Token.SEMI;
+    s
+  | _ ->
+    let e = parse_expr_st st in
+    expect st Token.SEMI;
+    { sdesc = Sexpr e; sloc = loc }
+
+(* A local declaration, without the trailing semicolon (shared with [for]
+   initializers). Multi-declarator lines become a block. *)
+and parse_local_decl st : stmt =
+  let loc = cur_loc st in
+  let base = parse_type_spec st in
+  let one () =
+    let d = parse_declarator st in
+    if d.dname = "" then fail st "expected a name in declaration";
+    let init = if accept st Token.ASSIGN then Some (parse_assign st) else None in
+    { sdesc = Sdecl (d.dwrap base, d.dname, init); sloc = loc }
+  in
+  let first = one () in
+  if cur st <> Token.COMMA then first
+  else begin
+    let rec go acc =
+      if accept st Token.COMMA then go (one () :: acc) else List.rev acc
+    in
+    { sdesc = Sblock (go [ first ]); sloc = loc }
+  end
+
+and parse_block st : stmt list =
+  let rec go acc =
+    if accept st Token.RBRACE then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_switch st : stmt =
+  let loc = cur_loc st in
+  expect st Token.KSWITCH;
+  expect st Token.LPAREN;
+  let scrutinee = parse_expr_st st in
+  expect st Token.RPAREN;
+  expect st Token.LBRACE;
+  let parse_case_body () =
+    let rec go acc =
+      match cur st with
+      | Token.KCASE | Token.KDEFAULT | Token.RBRACE -> List.rev acc
+      | Token.KBREAK ->
+        advance st;
+        expect st Token.SEMI;
+        (* an explicit break ends the case body (MiniC has no fallthrough) *)
+        List.rev acc
+      | _ -> go (parse_stmt st :: acc)
+    in
+    go []
+  in
+  let rec parse_cases cases default =
+    match cur st with
+    | Token.RBRACE ->
+      advance st;
+      (List.rev cases, default)
+    | Token.KCASE ->
+      let rec labels acc =
+        if accept st Token.KCASE then begin
+          let v = parse_case_value st in
+          expect st Token.COLON;
+          labels (v :: acc)
+        end
+        else List.rev acc
+      in
+      let cvalues = labels [] in
+      let cbody = parse_case_body () in
+      parse_cases ({ cvalues; cbody } :: cases) default
+    | Token.KDEFAULT ->
+      advance st;
+      expect st Token.COLON;
+      if default <> None then fail st "duplicate default case";
+      parse_cases cases (Some (parse_case_body ()))
+    | t -> failf st "expected case or default but found %s" (Token.to_string t)
+  in
+  let cases, default = parse_cases [] None in
+  { sdesc = Sswitch (scrutinee, cases, default); sloc = loc }
+
+(* ---------- top-level declarations ---------- *)
+
+let parse_fields st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if accept st Token.RBRACE then List.rev acc
+    else begin
+      let base = parse_type_spec st in
+      let d = parse_declarator st in
+      if d.dname = "" then fail st "expected a field name";
+      expect st Token.SEMI;
+      go ((d.dname, d.dwrap base) :: acc)
+    end
+  in
+  go []
+
+let parse_init st =
+  if accept st Token.LBRACE then begin
+    let rec go acc =
+      let e = parse_assign st in
+      if accept st Token.COMMA then go (e :: acc)
+      else begin
+        expect st Token.RBRACE;
+        List.rev (e :: acc)
+      end
+    in
+    Ilist (go [])
+  end
+  else Iexpr (parse_assign st)
+
+let parse_decl st : decl =
+  match cur st with
+  | Token.KTYPEDEF ->
+    advance st;
+    let base = parse_type_spec st in
+    let d = parse_declarator st in
+    if d.dname = "" then fail st "expected a name in typedef";
+    expect st Token.SEMI;
+    st.typedefs <- S.add d.dname st.typedefs;
+    Dtypedef (d.dname, d.dwrap base)
+  | Token.KSTRUCT when peek_at st 2 = Token.LBRACE ->
+    advance st;
+    let name = expect_ident st in
+    let fields = parse_fields st in
+    expect st Token.SEMI;
+    Dstruct (name, fields)
+  | Token.KUNION when peek_at st 2 = Token.LBRACE ->
+    advance st;
+    let name = expect_ident st in
+    let fields = parse_fields st in
+    expect st Token.SEMI;
+    Dunion (name, fields)
+  | Token.KEXTERN ->
+    advance st;
+    let base = parse_type_spec st in
+    let d = parse_declarator st in
+    if d.dname = "" then fail st "expected a name in extern declaration";
+    expect st Token.SEMI;
+    (match d.dwrap base with
+    | Tfun ft -> Dextern_fun (d.dname, ft)
+    | t -> Dextern_var (d.dname, t))
+  | _ ->
+    let base = parse_type_spec st in
+    let d = parse_declarator st in
+    if d.dname = "" then fail st "expected a name in declaration";
+    let floc = cur_loc st in
+    (match (d.dwrap base, cur st) with
+    | Tfun ft, Token.LBRACE -> begin
+      match d.dparams with
+      | Some params ->
+        advance st;
+        let body = parse_block st in
+        List.iter
+          (fun (name, _) ->
+            if name = "" then fail st "parameter name required in definition")
+          params;
+        Dfun
+          {
+            fname = d.dname;
+            fparams = params;
+            fvarargs = d.dvarargs;
+            fret = ft.ret;
+            fbody = body;
+            floc;
+          }
+      | None -> fail st "function body on a non-function declarator"
+    end
+    | Tfun ft, _ ->
+      expect st Token.SEMI;
+      Dextern_fun (d.dname, ft) (* prototype *)
+    | ty, _ ->
+      let init = if accept st Token.ASSIGN then Some (parse_init st) else None in
+      expect st Token.SEMI;
+      Dglobal (ty, d.dname, init))
+
+let parse ~name src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; typedefs = S.empty } in
+  let rec go acc =
+    if cur st = Token.EOF then List.rev acc else go (parse_decl st :: acc)
+  in
+  { pname = name; pdecls = go [] }
+
+let parse_expr src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; typedefs = S.empty } in
+  let e = parse_expr_st st in
+  if cur st <> Token.EOF then fail st "trailing tokens after expression";
+  e

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MiniC.
+
+    Uses the classic typedef-name feedback: the set of typedef names seen so
+    far disambiguates declarations from expressions, and casts from
+    parenthesized expressions.  Declarators follow C's inside-out reading,
+    so [int ( *f)(int)], [int *x[3]] and [int ( *table[4])(int)] all parse. *)
+
+exception Error of string * Ast.loc
+
+(** [parse ~name src] parses a full translation unit.
+    Raises {!Error} (or {!Lexer.Error}) on malformed input. *)
+val parse : name:string -> string -> Ast.program
+
+(** [parse_expr src] parses a single expression — handy in tests. *)
+val parse_expr : string -> Ast.expr

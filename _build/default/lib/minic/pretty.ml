@@ -1,0 +1,199 @@
+open Ast
+
+(* Declarators print inside-out; [pp_declarator ty name] renders "ty name"
+   with C's pointer/array/function syntax. *)
+let rec pp_declarator ppf (t, name) =
+  match t with
+  | Tptr (Tfun ft) ->
+    (* the common case gets the familiar "ret ( *name)(params)" syntax *)
+    Fmt.pf ppf "%a (*%s)(%a)" pp_base ft.ret name pp_params ft
+  | Tarray (Tptr (Tfun ft), n) ->
+    Fmt.pf ppf "%a (*%s[%d])(%a)" pp_base ft.ret name n pp_params ft
+  | Tarray (elt, n) -> Fmt.pf ppf "%a[%d]" pp_declarator (elt, name) n
+  | Tptr inner -> pp_declarator ppf (inner, "*" ^ name)
+  | t -> Fmt.pf ppf "%a %s" pp_base t name
+
+and pp_base ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tint -> Fmt.string ppf "int"
+  | Tchar -> Fmt.string ppf "char"
+  | Tstruct s -> Fmt.pf ppf "struct %s" s
+  | Tunion s -> Fmt.pf ppf "union %s" s
+  | Tnamed s -> Fmt.string ppf s
+  | Tptr (Tfun ft) -> Fmt.pf ppf "%a (*)(%a)" pp_base ft.ret pp_params ft
+  | Tptr inner -> Fmt.pf ppf "%a*" pp_base inner
+  | Tfun ft -> Fmt.pf ppf "%a (*)(%a)" pp_base ft.ret pp_params ft
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_base t n
+
+and pp_params ppf (ft : fun_ty) =
+  if ft.params = [] && not ft.varargs then Fmt.string ppf "void"
+  else begin
+    Fmt.(list ~sep:(any ", ") pp_base) ppf ft.params;
+    if ft.varargs then
+      Fmt.pf ppf "%s..." (if ft.params = [] then "" else ", ")
+  end
+
+let binop_token = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n" | '\t' -> "\\t" | '\r' -> "\\r" | '\000' -> "\\0"
+  | '\\' -> "\\\\" | '\'' -> "\\'" | c -> String.make 1 c
+
+let escape_string s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\'' -> "'"
+         | c -> escape_char c)
+       (List.init (String.length s) (String.get s)))
+
+(* Fully parenthesized expressions: correct by construction, and the
+   parser normalizes the parentheses away on the round trip. *)
+let rec pp_expr ppf e =
+  match e.edesc with
+  | Eint n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.pf ppf "%d" n
+  | Echar c -> Fmt.pf ppf "'%s'" (escape_char c)
+  | Estr s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | Evar v -> Fmt.string ppf v
+  | Eunop (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Eunop (Lognot, a) -> Fmt.pf ppf "(!%a)" pp_expr a
+  | Eunop (Bitnot, a) -> Fmt.pf ppf "(~%a)" pp_expr a
+  | Ebinop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_token op) pp_expr b
+  | Eassign (l, r) -> Fmt.pf ppf "(%a = %a)" pp_expr l pp_expr r
+  | Econd (c, a, b) ->
+    Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Ecall (f, args) ->
+    Fmt.pf ppf "%a(%a)" pp_callee f Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Ecast (t, a) -> Fmt.pf ppf "((%a) %a)" pp_base t pp_expr a
+  | Eaddr a -> Fmt.pf ppf "(&%a)" pp_expr a
+  | Ederef a -> Fmt.pf ppf "(*%a)" pp_expr a
+  | Efield (a, f) -> Fmt.pf ppf "%a.%s" pp_postfix a f
+  | Earrow (a, f) -> Fmt.pf ppf "%a->%s" pp_postfix a f
+  | Eindex (a, i) -> Fmt.pf ppf "%a[%a]" pp_postfix a pp_expr i
+  | Esizeof t -> Fmt.pf ppf "sizeof(%a)" pp_base t
+
+and pp_callee ppf e =
+  match e.edesc with
+  | Evar v -> Fmt.string ppf v
+  | _ -> Fmt.pf ppf "(%a)" pp_expr e
+
+and pp_postfix ppf e =
+  match e.edesc with
+  | Evar v -> Fmt.string ppf v
+  | Efield _ | Earrow _ | Eindex _ | Ecall _ -> pp_expr ppf e
+  | _ -> Fmt.pf ppf "(%a)" pp_expr e
+
+let rec pp_stmt ppf s =
+  match s.sdesc with
+  | Sexpr e -> Fmt.pf ppf "@[%a;@]" pp_expr e
+  | Sdecl (t, name, init) -> begin
+    match init with
+    | Some e -> Fmt.pf ppf "@[%a = %a;@]" pp_declarator (t, name) pp_expr e
+    | None -> Fmt.pf ppf "@[%a;@]" pp_declarator (t, name)
+  end
+  | Sif (c, a, b) -> begin
+    match b with
+    | Some ({ sdesc = Sif _; _ } as elif) ->
+      (* keep else-if chains flat, so the round trip does not introduce a
+         wrapping block *)
+      Fmt.pf ppf "@[<v>if (%a) %a else %a@]" pp_expr c pp_block_like a
+        pp_stmt elif
+    | Some b ->
+      Fmt.pf ppf "@[<v>if (%a) %a else %a@]" pp_expr c pp_block_like a
+        pp_block_like b
+    | None -> Fmt.pf ppf "@[<v>if (%a) %a@]" pp_expr c pp_block_like a
+  end
+  | Swhile (c, body) ->
+    Fmt.pf ppf "@[<v>while (%a) %a@]" pp_expr c pp_block_like body
+  | Sfor (init, cond, step, body) ->
+    Fmt.pf ppf "@[<v>for (%a %a; %a) %a@]"
+      (fun ppf -> function
+        | Some ({ sdesc = Sexpr e; _ } : stmt) -> Fmt.pf ppf "%a;" pp_expr e
+        | Some s -> pp_stmt ppf s
+        | None -> Fmt.string ppf ";")
+      init
+      Fmt.(option pp_expr)
+      cond
+      Fmt.(option pp_expr)
+      step pp_block_like body
+  | Sreturn (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Sreturn None -> Fmt.string ppf "return;"
+  | Sblock body ->
+    Fmt.pf ppf "@[<v>{@;<0 2>@[<v>%a@]@,}@]"
+      Fmt.(list ~sep:(any "@,") pp_stmt)
+      body
+  | Sbreak -> Fmt.string ppf "break;"
+  | Scontinue -> Fmt.string ppf "continue;"
+  | Sswitch (e, cases, default) ->
+    let pp_case ppf c =
+      Fmt.pf ppf "@[<v>%a@;<0 2>@[<v>%a@]@]"
+        Fmt.(list ~sep:(any " ") (fun ppf v -> Fmt.pf ppf "case %d:" v))
+        c.cvalues
+        Fmt.(list ~sep:(any "@,") pp_stmt)
+        c.cbody
+    in
+    Fmt.pf ppf "@[<v>switch (%a) {@,%a%a@,}@]" pp_expr e
+      Fmt.(list ~sep:(any "@,") pp_case)
+      cases
+      (fun ppf -> function
+        | Some body ->
+          Fmt.pf ppf "@,@[<v>default:@;<0 2>@[<v>%a@]@]"
+            Fmt.(list ~sep:(any "@,") pp_stmt)
+            body
+        | None -> ())
+      default
+
+and pp_block_like ppf s =
+  match s.sdesc with
+  | Sblock _ -> pp_stmt ppf s
+  | _ -> Fmt.pf ppf "@[<v>{@;<0 2>@[<v>%a@]@,}@]" pp_stmt s
+
+let pp_fields ppf fields =
+  Fmt.(list ~sep:(any "@,") (fun ppf (name, t) ->
+           Fmt.pf ppf "@[%a;@]" pp_declarator (t, name)))
+    ppf fields
+
+let pp_decl ppf = function
+  | Dstruct (name, fields) ->
+    Fmt.pf ppf "@[<v>struct %s {@;<0 2>@[<v>%a@]@,};@]" name pp_fields fields
+  | Dunion (name, fields) ->
+    Fmt.pf ppf "@[<v>union %s {@;<0 2>@[<v>%a@]@,};@]" name pp_fields fields
+  | Dtypedef (name, t) -> Fmt.pf ppf "@[typedef %a;@]" pp_declarator (t, name)
+  | Dglobal (t, name, init) -> begin
+    match init with
+    | None -> Fmt.pf ppf "@[%a;@]" pp_declarator (t, name)
+    | Some (Iexpr e) ->
+      Fmt.pf ppf "@[%a = %a;@]" pp_declarator (t, name) pp_expr e
+    | Some (Ilist es) ->
+      Fmt.pf ppf "@[%a = { %a };@]" pp_declarator (t, name)
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        es
+  end
+  | Dextern_fun (name, ft) ->
+    Fmt.pf ppf "@[extern %a %s(%a);@]" pp_base ft.ret name pp_params ft
+  | Dextern_var (name, t) ->
+    Fmt.pf ppf "@[extern %a;@]" pp_declarator (t, name)
+  | Dfun f ->
+    let pp_param ppf (name, t) = pp_declarator ppf (t, name) in
+    Fmt.pf ppf "@[<v>%a %s(%a%s) {@;<0 2>@[<v>%a@]@,}@]" pp_base f.fret
+      f.fname
+      Fmt.(list ~sep:(any ", ") pp_param)
+      f.fparams
+      (if f.fvarargs then ", ..." else "")
+      Fmt.(list ~sep:(any "@,") pp_stmt)
+      f.fbody
+
+let pp_program ppf prog =
+  Fmt.pf ppf "@[<v>%a@]@."
+    Fmt.(list ~sep:(any "@,@,") pp_decl)
+    prog.pdecls
+
+let to_string prog = Fmt.str "%a" pp_program prog

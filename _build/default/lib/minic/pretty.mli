@@ -1,0 +1,13 @@
+(** Pretty-printer: MiniC ASTs back to concrete syntax.
+
+    The output re-parses to a structurally equal AST (locations and
+    [ety] annotations aside) — property-tested in the test suite, and
+    the backbone of the random-program differential tests. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+(** [to_string prog] renders a full translation unit. *)
+val to_string : Ast.program -> string

@@ -1,0 +1,63 @@
+(* Lexical tokens of MiniC. *)
+
+type t =
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KINT | KCHAR | KVOID | KSTRUCT | KUNION | KTYPEDEF | KEXTERN
+  | KIF | KELSE | KWHILE | KFOR | KRETURN | KBREAK | KCONTINUE
+  | KSWITCH | KCASE | KDEFAULT | KSIZEOF
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | DOT | ARROW | ELLIPSIS | QUESTION
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | LE | GT | GE | EQEQ | NE | ASSIGN
+  | ANDAND | OROR | SHL | SHR
+  | EOF
+
+let keyword_of_string = function
+  | "int" -> Some KINT
+  | "char" -> Some KCHAR
+  | "void" -> Some KVOID
+  | "struct" -> Some KSTRUCT
+  | "union" -> Some KUNION
+  | "typedef" -> Some KTYPEDEF
+  | "extern" -> Some KEXTERN
+  | "if" -> Some KIF
+  | "else" -> Some KELSE
+  | "while" -> Some KWHILE
+  | "for" -> Some KFOR
+  | "return" -> Some KRETURN
+  | "break" -> Some KBREAK
+  | "continue" -> Some KCONTINUE
+  | "switch" -> Some KSWITCH
+  | "case" -> Some KCASE
+  | "default" -> Some KDEFAULT
+  | "sizeof" -> Some KSIZEOF
+  | _ -> None
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | CHAR_LIT c -> Printf.sprintf "'%c'" c
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KINT -> "int" | KCHAR -> "char" | KVOID -> "void"
+  | KSTRUCT -> "struct" | KUNION -> "union" | KTYPEDEF -> "typedef"
+  | KEXTERN -> "extern" | KIF -> "if" | KELSE -> "else"
+  | KWHILE -> "while" | KFOR -> "for" | KRETURN -> "return"
+  | KBREAK -> "break" | KCONTINUE -> "continue" | KSWITCH -> "switch"
+  | KCASE -> "case" | KDEFAULT -> "default" | KSIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | COLON -> ":" | DOT -> "." | ARROW -> "->" | ELLIPSIS -> "..."
+  | QUESTION -> "?" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | SLASH -> "/" | PERCENT -> "%" | AMP -> "&" | PIPE -> "|"
+  | CARET -> "^" | TILDE -> "~" | BANG -> "!" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "!=" | ASSIGN -> "="
+  | ANDAND -> "&&" | OROR -> "||" | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,443 @@
+open Ast
+
+exception Error of string * Ast.loc
+
+let fail loc msg = raise (Error (msg, loc))
+let failf loc fmt = Printf.ksprintf (fail loc) fmt
+
+type tinfo = {
+  prog : Ast.program;
+  env : Types.env;
+  funcs : (string * Ast.func) list;
+  protos : (string * Ast.fun_ty) list;
+  globals : (string * Ast.ty * Ast.init option) list;
+  address_taken : string list;
+}
+
+let intrinsics =
+  [
+    ("__syscall", { params = [ Tint ]; varargs = true; ret = Tint });
+    ("__vararg", { params = [ Tint ]; varargs = false; ret = Tint });
+    ("setjmp", { params = [ Tptr Tint ]; varargs = false; ret = Tint });
+    ("longjmp", { params = [ Tptr Tint; Tint ]; varargs = false; ret = Tvoid });
+  ]
+
+type ctx = {
+  env : Types.env;
+  funcs : (string, func) Hashtbl.t;
+  protos : (string, fun_ty) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  mutable scopes : (string, ty) Hashtbl.t list;
+  mutable address_taken : string list;
+  mutable in_loop : int;
+  current_ret : ty;
+}
+
+let mark_address_taken ctx f =
+  if not (List.mem f ctx.address_taken) then
+    ctx.address_taken <- f :: ctx.address_taken
+
+let find_var ctx name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some t -> Some t
+      | None -> in_scopes rest)
+  in
+  match in_scopes ctx.scopes with
+  | Some t -> Some t
+  | None -> Hashtbl.find_opt ctx.globals name
+
+let find_fun ctx name =
+  match Hashtbl.find_opt ctx.funcs name with
+  | Some f -> Some (fun_ty_of_func f)
+  | None -> Hashtbl.find_opt ctx.protos name
+
+let resolve ctx loc t =
+  try Types.resolve ctx.env t
+  with Types.Unknown_type name -> failf loc "unknown type %s" name
+
+let is_scalar ctx loc t =
+  match resolve ctx loc t with
+  | Tint | Tchar | Tptr _ -> true
+  | Tvoid | Tarray _ | Tfun _ | Tstruct _ | Tunion _ -> false
+  | Tnamed _ -> assert false
+
+(* Assignment compatibility: equal types, or any scalar-to-scalar pair (the
+   C-with-warnings regime; Analyzer flags the function-pointer ones). *)
+let assignable ctx loc ~dst ~src =
+  Types.equal ctx.env dst src
+  || (is_scalar ctx loc dst && is_scalar ctx loc src)
+
+(* Decay arrays (and function designators) when used as rvalues. *)
+let decay ctx loc t =
+  match resolve ctx loc t with
+  | Tarray (elt, _) -> Tptr elt
+  | Tfun ft -> Tptr (Tfun ft)
+  | t -> t
+
+let composite_fields ctx loc t =
+  match resolve ctx loc t with
+  | Tstruct name -> (
+    match Types.struct_fields ctx.env name with
+    | Some fields -> fields
+    | None -> failf loc "unknown struct %s" name)
+  | Tunion name -> (
+    match Types.union_fields ctx.env name with
+    | Some fields -> fields
+    | None -> failf loc "unknown union %s" name)
+  | t -> failf loc "field access on non-struct type %s" (ty_to_string t)
+
+(* [lv e] is the object type of an lvalue expression (no decay). *)
+let rec lv ctx e =
+  let loc = e.eloc in
+  let t =
+    match e.edesc with
+    | Evar name -> begin
+      match find_var ctx name with
+      | Some t -> t
+      | None -> failf loc "not an lvalue: %s" name
+    end
+    | Ederef inner -> begin
+      match resolve ctx loc (rv ctx inner) with
+      | Tptr t -> t
+      | t -> failf loc "dereferencing non-pointer type %s" (ty_to_string t)
+    end
+    | Eindex (arr, idx) -> begin
+      let ta = rv ctx arr in
+      let ti = rv ctx idx in
+      if not (is_scalar ctx loc ti) then fail loc "array index must be scalar";
+      match resolve ctx loc ta with
+      | Tptr t -> t
+      | t -> failf loc "indexing non-pointer type %s" (ty_to_string t)
+    end
+    | Efield (inner, f) -> begin
+      let tobj = lv ctx inner in
+      match Types.field_offset ctx.env (composite_fields ctx loc tobj) f with
+      | Some (_, ft) -> ft
+      | None -> failf loc "no field %s" f
+    end
+    | Earrow (inner, f) -> begin
+      let tp = rv ctx inner in
+      match resolve ctx loc tp with
+      | Tptr tobj -> begin
+        match
+          Types.field_offset ctx.env (composite_fields ctx loc tobj) f
+        with
+        | Some (_, ft) -> ft
+        | None -> failf loc "no field %s" f
+      end
+      | t -> failf loc "-> on non-pointer type %s" (ty_to_string t)
+    end
+    | Eint _ | Echar _ | Estr _ | Eunop _ | Ebinop _ | Eassign _ | Econd _
+    | Ecall _ | Ecast _ | Eaddr _ | Esizeof _ ->
+      fail loc "expression is not an lvalue"
+  in
+  e.ety <- t;
+  t
+
+(* [rv e] is the rvalue type of [e]; fills [e.ety]. *)
+and rv ctx e =
+  let loc = e.eloc in
+  let t =
+    match e.edesc with
+    | Eint _ -> Tint
+    | Echar _ -> Tchar
+    | Estr _ -> Tptr Tchar
+    | Evar name -> begin
+      match find_var ctx name with
+      | Some t -> decay ctx loc t
+      | None -> begin
+        match find_fun ctx name with
+        | Some ft ->
+          (* function designator decays to a pointer: address taken *)
+          mark_address_taken ctx name;
+          Tptr (Tfun ft)
+        | None -> failf loc "unbound identifier %s" name
+      end
+    end
+    | Eunop ((Neg | Bitnot), inner) -> begin
+      match resolve ctx loc (rv ctx inner) with
+      | Tint | Tchar -> Tint
+      | t -> failf loc "arithmetic on non-integer type %s" (ty_to_string t)
+    end
+    | Eunop (Lognot, inner) ->
+      if not (is_scalar ctx loc (rv ctx inner)) then
+        fail loc "! on non-scalar";
+      Tint
+    | Ebinop (op, a, b) -> binop_ty ctx loc op a b
+    | Eassign (lhs, rhs) ->
+      let tl = lv ctx lhs in
+      let tr = rv ctx rhs in
+      let tl_r = resolve ctx loc tl in
+      (match tl_r with
+      | Tarray _ | Tfun _ | Tstruct _ | Tunion _ | Tvoid ->
+        failf loc "cannot assign to type %s" (ty_to_string tl)
+      | _ -> ());
+      if not (assignable ctx loc ~dst:tl_r ~src:tr) then
+        failf loc "incompatible assignment: %s <- %s" (ty_to_string tl)
+          (ty_to_string tr);
+      tl_r
+    | Econd (c, a, b) ->
+      if not (is_scalar ctx loc (rv ctx c)) then
+        fail loc "condition must be scalar";
+      let ta = rv ctx a in
+      let tb = rv ctx b in
+      if not (assignable ctx loc ~dst:ta ~src:tb) then
+        failf loc "mismatched ?: branches: %s vs %s" (ty_to_string ta)
+          (ty_to_string tb);
+      ta
+    | Ecall (callee, args) -> call_ty ctx loc callee args
+    | Ecast (t, inner) ->
+      let tsrc = rv ctx inner in
+      let tdst = resolve ctx loc t in
+      (match tdst with
+      | Tvoid -> () (* discarding cast *)
+      | _ when is_scalar ctx loc tdst && is_scalar ctx loc tsrc -> ()
+      | _ ->
+        failf loc "invalid cast from %s to %s" (ty_to_string tsrc)
+          (ty_to_string t));
+      t
+    | Eaddr inner -> begin
+      match inner.edesc with
+      | Evar name when find_var ctx name = None -> begin
+        match find_fun ctx name with
+        | Some ft ->
+          mark_address_taken ctx name;
+          inner.ety <- Tfun ft;
+          Tptr (Tfun ft)
+        | None -> failf loc "unbound identifier %s" name
+      end
+      | _ -> Tptr (lv ctx inner)
+    end
+    | Ederef _ | Efield _ | Earrow _ | Eindex _ -> decay ctx loc (lv ctx e)
+    | Esizeof t ->
+      ignore (Types.sizeof ctx.env (resolve ctx loc t));
+      Tint
+  in
+  e.ety <- t;
+  t
+
+and binop_ty ctx loc op a b =
+  let ta = resolve ctx loc (rv ctx a) in
+  let tb = resolve ctx loc (rv ctx b) in
+  let arith () =
+    match (ta, tb) with
+    | (Tint | Tchar), (Tint | Tchar) -> Tint
+    | _ ->
+      failf loc "arithmetic on %s and %s" (ty_to_string ta) (ty_to_string tb)
+  in
+  match op with
+  | Add -> begin
+    match (ta, tb) with
+    | Tptr _, (Tint | Tchar) -> ta
+    | (Tint | Tchar), Tptr _ -> tb
+    | _ -> arith ()
+  end
+  | Sub -> begin
+    match (ta, tb) with
+    | Tptr _, (Tint | Tchar) -> ta
+    | Tptr x, Tptr y when Types.equal ctx.env x y -> Tint
+    | _ -> arith ()
+  end
+  | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr -> arith ()
+  | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor ->
+    if not (is_scalar ctx loc ta) then
+      failf loc "comparison on non-scalar %s" (ty_to_string ta);
+    if not (is_scalar ctx loc tb) then
+      failf loc "comparison on non-scalar %s" (ty_to_string tb);
+    Tint
+
+and call_ty ctx loc callee args =
+  let ft =
+    match callee.edesc with
+    | Evar name when find_var ctx name = None -> begin
+      match find_fun ctx name with
+      | Some ft ->
+        callee.ety <- Tfun ft;
+        ft
+      | None -> failf loc "call to undeclared function %s" name
+    end
+    | _ -> begin
+      match resolve ctx loc (rv ctx callee) with
+      | Tptr inner -> begin
+        match resolve ctx loc inner with
+        | Tfun ft -> ft
+        | t -> failf loc "call through non-function pointer %s" (ty_to_string t)
+      end
+      | Tfun ft -> ft
+      | t -> failf loc "call of non-function type %s" (ty_to_string t)
+    end
+  in
+  let nfixed = List.length ft.params in
+  let nargs = List.length args in
+  if nargs < nfixed then failf loc "too few arguments: %d < %d" nargs nfixed;
+  if nargs > nfixed && not ft.varargs then
+    failf loc "too many arguments: %d > %d" nargs nfixed;
+  List.iteri
+    (fun i arg ->
+      let targ = rv ctx arg in
+      if i < nfixed then begin
+        let tparam = List.nth ft.params i in
+        if not (assignable ctx loc ~dst:(resolve ctx loc tparam) ~src:targ)
+        then
+          failf loc "argument %d: expected %s, got %s" (i + 1)
+            (ty_to_string tparam) (ty_to_string targ)
+      end
+      else if not (is_scalar ctx loc targ) then
+        failf loc "variadic argument %d must be scalar" (i + 1))
+    args;
+  ft.ret
+
+let rec check_stmt ctx s =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Sexpr e -> ignore (rv ctx e)
+  | Sdecl (t, name, init) -> begin
+    ignore (Types.sizeof ctx.env (resolve ctx loc t));
+    (match init with
+    | Some e ->
+      let te = rv ctx e in
+      if not (assignable ctx loc ~dst:(resolve ctx loc t) ~src:te) then
+        failf loc "incompatible initializer for %s: %s" name (ty_to_string te)
+    | None -> ());
+    match ctx.scopes with
+    | scope :: _ -> Hashtbl.replace scope name t
+    | [] -> assert false
+  end
+  | Sif (cond, then_, else_) ->
+    if not (is_scalar ctx loc (rv ctx cond)) then
+      fail loc "if condition must be scalar";
+    in_scope ctx (fun () -> check_stmt ctx then_);
+    Option.iter (fun s -> in_scope ctx (fun () -> check_stmt ctx s)) else_
+  | Swhile (cond, body) ->
+    if not (is_scalar ctx loc (rv ctx cond)) then
+      fail loc "while condition must be scalar";
+    in_loop ctx (fun () -> in_scope ctx (fun () -> check_stmt ctx body))
+  | Sfor (init, cond, step, body) ->
+    in_scope ctx (fun () ->
+        Option.iter (check_stmt ctx) init;
+        Option.iter
+          (fun c ->
+            if not (is_scalar ctx loc (rv ctx c)) then
+              fail loc "for condition must be scalar")
+          cond;
+        Option.iter (fun e -> ignore (rv ctx e)) step;
+        in_loop ctx (fun () -> in_scope ctx (fun () -> check_stmt ctx body)))
+  | Sreturn None ->
+    if ctx.current_ret <> Tvoid then fail loc "return without a value"
+  | Sreturn (Some e) ->
+    let te = rv ctx e in
+    if ctx.current_ret = Tvoid then fail loc "return with a value in void function";
+    if not (assignable ctx loc ~dst:(resolve ctx loc ctx.current_ret) ~src:te)
+    then
+      failf loc "return type mismatch: expected %s, got %s"
+        (ty_to_string ctx.current_ret) (ty_to_string te)
+  | Sblock body -> in_scope ctx (fun () -> List.iter (check_stmt ctx) body)
+  | Sbreak | Scontinue ->
+    if ctx.in_loop = 0 then fail loc "break/continue outside a loop"
+  | Sswitch (scrutinee, cases, default) ->
+    (match resolve ctx loc (rv ctx scrutinee) with
+    | Tint | Tchar -> ()
+    | t -> failf loc "switch on non-integer type %s" (ty_to_string t));
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun { cvalues; cbody } ->
+        List.iter
+          (fun v ->
+            if Hashtbl.mem seen v then failf loc "duplicate case %d" v;
+            Hashtbl.add seen v ())
+          cvalues;
+        in_loop ctx (fun () ->
+            in_scope ctx (fun () -> List.iter (check_stmt ctx) cbody)))
+      cases;
+    Option.iter
+      (fun body ->
+        in_loop ctx (fun () ->
+            in_scope ctx (fun () -> List.iter (check_stmt ctx) body)))
+      default
+
+and in_scope ctx f =
+  ctx.scopes <- Hashtbl.create 8 :: ctx.scopes;
+  Fun.protect ~finally:(fun () -> ctx.scopes <- List.tl ctx.scopes) f
+
+and in_loop ctx f =
+  ctx.in_loop <- ctx.in_loop + 1;
+  Fun.protect ~finally:(fun () -> ctx.in_loop <- ctx.in_loop - 1) f
+
+let check ?(extra_programs = []) prog =
+  let env = Types.of_programs (prog :: extra_programs) in
+  let funcs = Hashtbl.create 16 in
+  let protos = Hashtbl.create 16 in
+  let globals = Hashtbl.create 16 in
+  List.iter (fun (name, ft) -> Hashtbl.replace protos name ft) intrinsics;
+  (* First pass: collect top-level names so forward references work. *)
+  List.iter
+    (function
+      | Dfun f ->
+        if Hashtbl.mem funcs f.fname then
+          failf f.floc "duplicate definition of %s" f.fname;
+        Hashtbl.replace funcs f.fname f
+      | Dextern_fun (name, ft) -> Hashtbl.replace protos name ft
+      | Dextern_var (name, t) | Dglobal (t, name, _) ->
+        Hashtbl.replace globals name t
+      | Dstruct _ | Dunion _ | Dtypedef _ -> ())
+    prog.pdecls;
+  let base_ctx current_ret =
+    {
+      env;
+      funcs;
+      protos;
+      globals;
+      scopes = [];
+      address_taken = [];
+      in_loop = 0;
+      current_ret;
+    }
+  in
+  let address_taken = ref [] in
+  let global_inits = ref [] in
+  (* Second pass: check bodies and global initializers. *)
+  List.iter
+    (function
+      | Dfun f ->
+        let ctx = base_ctx f.fret in
+        let params = Hashtbl.create 8 in
+        List.iter (fun (name, t) -> Hashtbl.replace params name t) f.fparams;
+        ctx.scopes <- [ params ];
+        in_scope ctx (fun () -> List.iter (check_stmt ctx) f.fbody);
+        address_taken := ctx.address_taken @ !address_taken
+      | Dglobal (t, name, init) ->
+        let ctx = base_ctx Tvoid in
+        (match init with
+        | Some (Iexpr e) ->
+          let te = rv ctx e in
+          if
+            not
+              (assignable ctx no_loc ~dst:(resolve ctx no_loc t) ~src:te)
+          then
+            failf no_loc "incompatible initializer for global %s" name
+        | Some (Ilist es) -> List.iter (fun e -> ignore (rv ctx e)) es
+        | None -> ());
+        address_taken := ctx.address_taken @ !address_taken;
+        global_inits := (name, t, init) :: !global_inits
+      | Dextern_fun _ | Dextern_var _ | Dstruct _ | Dunion _ | Dtypedef _ ->
+        ())
+    prog.pdecls;
+  let dedup xs =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+  in
+  {
+    prog;
+    env;
+    funcs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) funcs [];
+    protos = Hashtbl.fold (fun k v acc -> (k, v) :: acc) protos [];
+    globals = List.rev !global_inits;
+    address_taken = dedup !address_taken;
+  }
+
+let fun_ty_of (info : tinfo) name =
+  match List.assoc_opt name info.funcs with
+  | Some f -> Some (fun_ty_of_func f)
+  | None -> List.assoc_opt name info.protos

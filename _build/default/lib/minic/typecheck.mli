@@ -1,0 +1,37 @@
+(** Type checking and annotation for MiniC.
+
+    Fills in every expression's [ety] field (in place), validates the usual
+    C-like rules, and collects the per-module facts the rest of the
+    pipeline consumes: defined functions, prototypes, globals, and the set
+    of address-taken functions (only those can be indirect-call targets —
+    paper §6, condition C1's consequence).
+
+    MiniC is deliberately permissive exactly where C-with-warnings is:
+    casts and assignments between scalars (including function pointers)
+    type-check here, and {!Analyzer} is the tool that reports the
+    C1-violating ones. *)
+
+exception Error of string * Ast.loc
+
+type tinfo = {
+  prog : Ast.program;  (** the input, with [ety] fields filled *)
+  env : Types.env;
+  funcs : (string * Ast.func) list;  (** functions defined in this module *)
+  protos : (string * Ast.fun_ty) list;
+      (** extern/prototype functions, including the intrinsics *)
+  globals : (string * Ast.ty * Ast.init option) list;
+  address_taken : string list;  (** functions whose address is taken *)
+}
+
+(** The compiler intrinsics every module knows: [__syscall] (variadic),
+    [setjmp] and [longjmp]. *)
+val intrinsics : (string * Ast.fun_ty) list
+
+(** [check prog] type-checks a translation unit.
+    [extra_env] supplies struct/union/typedef definitions from other
+    modules (used when checking a module against headers). *)
+val check : ?extra_programs:Ast.program list -> Ast.program -> tinfo
+
+(** [fun_ty_of info name] looks up a function's type among definitions and
+    prototypes. *)
+val fun_ty_of : tinfo -> string -> Ast.fun_ty option

@@ -1,0 +1,213 @@
+open Ast
+
+exception Unknown_type of string
+
+type env = {
+  structs : (string, (string * ty) list) Hashtbl.t;
+  unions : (string, (string * ty) list) Hashtbl.t;
+  typedefs : (string, ty) Hashtbl.t;
+}
+
+let empty =
+  { structs = Hashtbl.create 1; unions = Hashtbl.create 1;
+    typedefs = Hashtbl.create 1 }
+
+let create () =
+  { structs = Hashtbl.create 16; unions = Hashtbl.create 16;
+    typedefs = Hashtbl.create 16 }
+
+let rec resolve env = function
+  | Tnamed name -> begin
+    match Hashtbl.find_opt env.typedefs name with
+    | Some t -> resolve env t
+    | None -> raise (Unknown_type name)
+  end
+  | t -> t
+
+let struct_fields env name = Hashtbl.find_opt env.structs name
+let union_fields env name = Hashtbl.find_opt env.unions name
+
+let add_def kind tbl name body =
+  match Hashtbl.find_opt tbl name with
+  | Some existing when existing <> body ->
+    invalid_arg (Printf.sprintf "conflicting definitions of %s %s" kind name)
+  | _ -> Hashtbl.replace tbl name body
+
+let merge envs =
+  let out = create () in
+  List.iter
+    (fun e ->
+      Hashtbl.iter (fun name body -> add_def "struct" out.structs name body) e.structs;
+      Hashtbl.iter (fun name body -> add_def "union" out.unions name body) e.unions;
+      Hashtbl.iter (fun name body -> add_def "typedef" out.typedefs name body) e.typedefs)
+    envs;
+  out
+
+let of_programs programs =
+  let env = create () in
+  List.iter
+    (fun { pdecls; _ } ->
+      List.iter
+        (function
+          | Dstruct (name, fields) -> add_def "struct" env.structs name fields
+          | Dunion (name, fields) -> add_def "union" env.unions name fields
+          | Dtypedef (name, t) -> add_def "typedef" env.typedefs name t
+          | Dglobal _ | Dextern_fun _ | Dextern_var _ | Dfun _ -> ())
+        pdecls)
+    programs;
+  env
+
+let rec sizeof env t =
+  match resolve env t with
+  | Tvoid -> 0
+  | Tint | Tchar | Tptr _ | Tfun _ -> 1
+  | Tarray (elt, n) -> n * sizeof env elt
+  | Tstruct name -> begin
+    match struct_fields env name with
+    | Some fields ->
+      List.fold_left (fun acc (_, ft) -> acc + sizeof env ft) 0 fields
+    | None -> raise (Unknown_type ("struct " ^ name))
+  end
+  | Tunion name -> begin
+    match union_fields env name with
+    | Some fields ->
+      List.fold_left (fun acc (_, ft) -> max acc (sizeof env ft)) 0 fields
+    | None -> raise (Unknown_type ("union " ^ name))
+  end
+  | Tnamed _ -> assert false
+
+let field_offset env fields f =
+  let rec go off = function
+    | [] -> None
+    | (name, ft) :: rest ->
+      if name = f then Some (off, ft) else go (off + sizeof env ft) rest
+  in
+  go 0 fields
+
+(* Structural equivalence, coinductive in struct/union names: a pair under
+   assumption is taken to be equal (recursive types through pointers). *)
+let equal env t1 t2 =
+  let assumed = Hashtbl.create 8 in
+  let rec eq t1 t2 =
+    let t1 = resolve env t1 and t2 = resolve env t2 in
+    match (t1, t2) with
+    | Tvoid, Tvoid | Tint, Tint | Tchar, Tchar -> true
+    | Tptr a, Tptr b -> eq a b
+    | Tarray (a, n), Tarray (b, m) -> n = m && eq a b
+    | Tfun a, Tfun b -> eq_fun a b
+    | Tstruct a, Tstruct b -> eq_composite `Struct a b
+    | Tunion a, Tunion b -> eq_composite `Union a b
+    | (Tvoid | Tint | Tchar | Tptr _ | Tarray _ | Tfun _ | Tstruct _
+      | Tunion _ | Tnamed _), _ -> false
+  and eq_fun a b =
+    a.varargs = b.varargs
+    && List.length a.params = List.length b.params
+    && eq a.ret b.ret
+    && List.for_all2 eq a.params b.params
+  and eq_composite kind a b =
+    if a = b then true
+    else begin
+      let key = (kind, a, b) in
+      if Hashtbl.mem assumed key then true
+      else begin
+        let fields k name =
+          match k with
+          | `Struct -> struct_fields env name
+          | `Union -> union_fields env name
+        in
+        match (fields kind a, fields kind b) with
+        | Some fa, Some fb ->
+          List.length fa = List.length fb
+          && begin
+            Hashtbl.add assumed key ();
+            let result =
+              List.for_all2
+                (fun (na, ta) (nb, tb) -> na = nb && eq ta tb)
+                fa fb
+            in
+            Hashtbl.remove assumed key;
+            result
+          end
+        | _ -> false
+      end
+    end
+  in
+  eq t1 t2
+
+let callable env ~site ~fn =
+  if not site.varargs then equal env (Tfun site) (Tfun fn)
+  else begin
+    (* Paper §6: a varargs pointer type may invoke any address-taken
+       function with an equivalent return type whose leading parameter
+       types match the pointer's fixed parameter types. *)
+    let fixed = List.length site.params in
+    equal env site.ret fn.ret
+    && List.length fn.params >= fixed
+    && List.for_all2 (equal env)
+         site.params
+         (List.filteri (fun i _ -> i < fixed) fn.params)
+  end
+
+let contains_fptr env t =
+  let visiting = Hashtbl.create 8 in
+  let rec go t =
+    match resolve env t with
+    | Tptr (Tfun _) -> true
+    | Tptr inner -> begin
+      (* one level deep through pointers: int(**)(void) involves fptrs,
+         but struct node* linked through itself terminates *)
+      match resolve env inner with Tfun _ -> true | _ -> false
+    end
+    | Tfun _ -> true
+    | Tarray (elt, _) -> go elt
+    | Tstruct name -> composite `Struct name
+    | Tunion name -> composite `Union name
+    | Tvoid | Tint | Tchar -> false
+    | Tnamed _ -> assert false
+  and composite kind name =
+    let key = (kind, name) in
+    if Hashtbl.mem visiting key then false
+    else begin
+      Hashtbl.add visiting key ();
+      let fields =
+        match kind with
+        | `Struct -> struct_fields env name
+        | `Union -> union_fields env name
+      in
+      let result =
+        match fields with
+        | Some fs -> List.exists (fun (_, ft) -> go ft) fs
+        | None -> false
+      in
+      Hashtbl.remove visiting key;
+      result
+    end
+  in
+  go t
+
+let is_fptr env t =
+  match resolve env t with
+  | Tptr inner -> (match resolve env inner with Tfun _ -> true | _ -> false)
+  | _ -> false
+
+let prefix_struct env ~sub ~sup =
+  match (struct_fields env sub, struct_fields env sup) with
+  | Some sub_fields, Some sup_fields ->
+    let rec prefix = function
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | (na, ta) :: ra, (nb, tb) :: rb ->
+        na = nb && equal env ta tb && prefix (ra, rb)
+    in
+    List.length sup_fields <= List.length sub_fields
+    && prefix (sup_fields, sub_fields)
+  | _ -> false
+
+let has_tag_field env name =
+  match struct_fields env name with
+  | Some ((field, ty) :: _) ->
+    (match resolve env ty with
+    | Tint | Tchar ->
+      List.mem field [ "tag"; "type"; "kind" ]
+    | _ -> false)
+  | Some [] | None -> false

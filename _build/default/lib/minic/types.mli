@@ -1,0 +1,66 @@
+(** Type environment and structural type equivalence (paper §6).
+
+    The CFG generator allows an indirect call through a pointer of type
+    [t*] to target any address-taken function of a type [t'] that is
+    {e structurally equivalent} to [t], where named types (typedefs) are
+    replaced by their definitions.  Struct and union types are nominal
+    (as in C); recursion through pointers is handled coinductively. *)
+
+type env
+
+exception Unknown_type of string
+
+(** Build an environment from the struct/union/typedef declarations of one
+    or more translation units (linking merges module environments; a
+    duplicate definition must be structurally identical). *)
+val of_programs : Ast.program list -> env
+
+val empty : env
+
+(** [merge envs] combines module environments at link time (the paper's
+    "combining type information of multiple modules during linking is a
+    simple union operation").  Raises [Invalid_argument] on structurally
+    conflicting duplicate definitions. *)
+val merge : env list -> env
+
+(** [resolve env t] unfolds typedef names until the head is not [Tnamed].
+    Raises {!Unknown_type} on an unbound name. *)
+val resolve : env -> Ast.ty -> Ast.ty
+
+val struct_fields : env -> string -> (string * Ast.ty) list option
+val union_fields : env -> string -> (string * Ast.ty) list option
+
+(** Size in machine words (MiniC stores every scalar in one word). *)
+val sizeof : env -> Ast.ty -> int
+
+(** [field_offset env fields f] is the word offset and type of field [f]. *)
+val field_offset : env -> (string * Ast.ty) list -> string -> (int * Ast.ty) option
+
+(** Structural equivalence with named types unfolded. *)
+val equal : env -> Ast.ty -> Ast.ty -> bool
+
+(** [callable env ~site ~fn] decides whether an indirect call through a
+    pointer of function type [site] may invoke a function of type [fn]:
+    plain structural equivalence, except that a varargs [site] matches any
+    function with an equivalent return type whose leading parameters match
+    [site]'s fixed parameters (paper §6, variable-argument rule). *)
+val callable : env -> site:Ast.fun_ty -> fn:Ast.fun_ty -> bool
+
+(** Does the type transitively contain a function-pointer type (through
+    struct/union fields and array elements, but not through pointers'
+    pointees beyond the first level)?  This is what makes a cast "involve
+    function pointer types" for condition C1. *)
+val contains_fptr : env -> Ast.ty -> bool
+
+(** [is_fptr env t] is true when [t] resolves to a pointer to function. *)
+val is_fptr : env -> Ast.ty -> bool
+
+(** [prefix_struct env ~sub ~sup]: every field of [sup] appears, same name,
+    same type, as a prefix of [sub]'s fields — the physical-subtyping
+    relation behind the paper's upcast (UC) false-positive elimination. *)
+val prefix_struct : env -> sub:string -> sup:string -> bool
+
+(** [has_tag_field env s]: the struct's first field is an [int] named
+    "tag", "type" or "kind" — the runtime-type-tag convention behind the
+    safe-downcast (DC) elimination. *)
+val has_tag_field : env -> string -> bool

@@ -1,0 +1,1 @@
+lib/runtime/linker.ml: Hashtbl Instrument List Mcfi_compiler Minic Printf Set String Vmisa

@@ -1,0 +1,1 @@
+lib/runtime/linker.mli: Mcfi_compiler

@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Buffer Bytes Char Fmt Idtables Mcfi_util Printf String Vmisa

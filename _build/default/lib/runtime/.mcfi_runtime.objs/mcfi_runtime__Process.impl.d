@@ -1,0 +1,1 @@
+lib/runtime/process.ml: Array Cfg Fmt Hashtbl Idtables Instrument List Machine Mcfi_compiler Minic Option Printf String Unix Verifier Vmisa

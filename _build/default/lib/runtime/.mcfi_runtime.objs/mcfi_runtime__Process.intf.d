@@ -1,0 +1,1 @@
+lib/runtime/process.mli: Cfg Idtables Machine Mcfi_compiler Vmisa

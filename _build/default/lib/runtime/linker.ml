@@ -1,0 +1,178 @@
+module Instr = Vmisa.Instr
+module Asm = Vmisa.Asm
+module Abi = Vmisa.Abi
+module Objfile = Mcfi_compiler.Objfile
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Shift every embedded Bary slot by [delta] (slots are assigned by site
+   order at instrumentation time and become process-global at load). *)
+let rebase_slots delta items =
+  if delta = 0 then items
+  else
+    List.map
+      (function
+        | Asm.I (Instr.Bary_load (r, k)) -> Asm.I (Instr.Bary_load (r, k + delta))
+        | item -> item)
+      items
+
+let merge_functions objs =
+  (* A function may be declared in several modules and defined in one; it
+     is address-taken if any module takes its address. *)
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (obj : Objfile.t) ->
+      List.iter
+        (fun (fi : Objfile.fn_info) ->
+          match Hashtbl.find_opt tbl fi.fi_name with
+          | None ->
+            Hashtbl.add tbl fi.fi_name fi;
+            order := fi.fi_name :: !order
+          | Some prev ->
+            if prev.Objfile.fi_defined && fi.fi_defined then
+              fail "duplicate definition of function %s" fi.fi_name;
+            let merged =
+              {
+                fi with
+                Objfile.fi_defined = prev.fi_defined || fi.fi_defined;
+                fi_address_taken =
+                  prev.fi_address_taken || fi.fi_address_taken;
+                fi_ty = (if prev.fi_defined then prev.fi_ty else fi.fi_ty);
+              }
+            in
+            Hashtbl.replace tbl fi.fi_name merged)
+        obj.o_functions)
+    objs;
+  List.rev_map (Hashtbl.find tbl) !order
+
+let link ~name objs =
+  (match objs with [] -> fail "nothing to link" | _ -> ());
+  let instrumented =
+    match objs with
+    | o :: rest ->
+      List.iter
+        (fun (o' : Objfile.t) ->
+          if o'.o_instrumented <> o.Objfile.o_instrumented then
+            fail "mixing instrumented and plain modules")
+        rest;
+      o.Objfile.o_instrumented
+    | [] -> assert false
+  in
+  (* duplicate data symbols *)
+  let seen_data = Hashtbl.create 64 in
+  List.iter
+    (fun (obj : Objfile.t) ->
+      List.iter
+        (fun (d : Objfile.data_def) ->
+          if Hashtbl.mem seen_data d.d_name then
+            fail "duplicate definition of global %s" d.d_name;
+          Hashtbl.add seen_data d.d_name ())
+        obj.o_data)
+    objs;
+  let items, _ =
+    List.fold_left
+      (fun (acc, slot) (obj : Objfile.t) ->
+        ( acc @ rebase_slots slot obj.o_items,
+          slot + List.length obj.o_sites ))
+      ([], 0) objs
+  in
+  {
+    Objfile.o_name = name;
+    o_items = items;
+    o_data = List.concat_map (fun (o : Objfile.t) -> o.o_data) objs;
+    o_functions = merge_functions objs;
+    o_sites = List.concat_map (fun (o : Objfile.t) -> o.o_sites) objs;
+    o_direct_calls =
+      List.concat_map (fun (o : Objfile.t) -> o.o_direct_calls) objs;
+    o_tail_calls = List.concat_map (fun (o : Objfile.t) -> o.o_tail_calls) objs;
+    o_setjmp_sites =
+      List.concat_map (fun (o : Objfile.t) -> o.o_setjmp_sites) objs;
+    o_tyenv =
+      Minic.Types.merge (List.map (fun (o : Objfile.t) -> o.o_tyenv) objs);
+    o_instrumented = instrumented;
+  }
+
+let add_plt (obj : Objfile.t) symbols =
+  if symbols = [] then obj
+  else begin
+    if not obj.o_instrumented then
+      fail "PLT entries require an instrumented module";
+    let base_slot = List.length obj.o_sites in
+    (* redirect references to the deferred symbols *)
+    let module SS = Set.Make (String) in
+    let deferred = SS.of_list symbols in
+    let redirected =
+      List.map
+        (function
+          | Asm.Call_sym s when SS.mem s deferred ->
+            Asm.Call_sym (Instrument.Rewriter.plt_label s)
+          | Asm.Jmp_sym s when SS.mem s deferred ->
+            Asm.Jmp_sym (Instrument.Rewriter.plt_label s)
+          | Asm.Mov_sym (_, s) when SS.mem s deferred ->
+            fail
+              "taking the address of dynamically deferred function %s is not \
+               supported"
+              s
+          | item -> item)
+        obj.o_items
+    in
+    let plt_items =
+      List.concat
+        (List.mapi
+           (fun k s -> Instrument.Rewriter.plt_entry ~symbol:s ~slot:(base_slot + k))
+           symbols)
+    in
+    let got_data =
+      List.map
+        (fun s ->
+          {
+            Objfile.d_name = Instrument.Rewriter.got_symbol s;
+            d_words = [ Objfile.Dint 0 ];
+          })
+        symbols
+    in
+    {
+      obj with
+      o_items = redirected @ plt_items;
+      o_data = obj.o_data @ got_data;
+      o_sites =
+        obj.o_sites
+        @ List.map (fun s -> Objfile.Site_plt { symbol = s }) symbols;
+    }
+  end
+
+let start_module () =
+  let ret = "mcfi$start$ret" in
+  {
+    Objfile.o_name = "_start";
+    o_items =
+      [
+        Asm.Label "_start";
+        Asm.Call_sym "main";
+        Asm.Label ret;
+        Asm.I (Instr.Mov_rr (1, 0));
+        Asm.I (Instr.Mov_ri (0, Abi.sys_exit));
+        Asm.I Instr.Syscall;
+        Asm.I Instr.Halt;
+      ];
+    o_data = [];
+    o_functions =
+      [
+        {
+          Objfile.fi_name = "_start";
+          fi_ty = { Minic.Ast.params = []; varargs = false; ret = Minic.Ast.Tvoid };
+          fi_address_taken = false;
+          fi_defined = true;
+        };
+      ];
+    o_sites = [];
+    o_direct_calls =
+      [ { Objfile.dc_caller = "_start"; dc_callee = "main"; dc_ret = ret } ];
+    o_tail_calls = [];
+    o_setjmp_sites = [];
+    o_tyenv = Minic.Types.empty;
+    o_instrumented = false;
+  }

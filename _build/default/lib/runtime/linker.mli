@@ -1,0 +1,32 @@
+(** MCFI's static linker (paper §6, "Static and dynamic linking").
+
+    Combines separately compiled (and separately instrumented) modules into
+    one module: code and data are concatenated, the auxiliary type
+    information is merged (a union), embedded Bary slots of later modules
+    are re-based past the earlier modules' slot ranges, and duplicate
+    symbol definitions are reported.
+
+    Symbols that remain undefined after combination are resolved through
+    generated {e PLT entries} backed by GOT data slots ([add_plt]): direct
+    calls and address-takings of the symbol are redirected to the PLT
+    entry, whose already-instrumented indirect jump is checked like any
+    other (with the GOT reload on retry).  The GOT slots start at 0 — an
+    unresolved jump reads target 0, whose Tary entry is invalid, and
+    halts; [dlopen] later binds them inside an update transaction. *)
+
+exception Error of string
+
+(** [link ~name objs] statically links instrumented or plain modules (all
+    must agree). Raises {!Error} on duplicate or conflicting symbols. *)
+val link : name:string -> Mcfi_compiler.Objfile.t list -> Mcfi_compiler.Objfile.t
+
+(** [add_plt obj symbols] appends an instrumented PLT entry and a GOT slot
+    for each symbol and redirects the module's references.  The module
+    must already be instrumented (PLT entries contain check sequences).
+    Raises {!Error} if a symbol is address-taken via [Mov_sym] (taking the
+    address of a dynamically deferred function is not supported). *)
+val add_plt : Mcfi_compiler.Objfile.t -> string list -> Mcfi_compiler.Objfile.t
+
+(** The process entry stub: [_start] calls [main] and exits with its
+    return value. Link it like any other module. *)
+val start_module : unit -> Mcfi_compiler.Objfile.t

@@ -1,0 +1,312 @@
+module Instr = Vmisa.Instr
+module Encode = Vmisa.Encode
+module Abi = Vmisa.Abi
+
+type exit_reason =
+  | Exited of int
+  | Cfi_halt
+  | Fault of string
+  | Out_of_fuel
+
+let pp_exit_reason ppf = function
+  | Exited n -> Fmt.pf ppf "exited(%d)" n
+  | Cfi_halt -> Fmt.string ppf "cfi-halt"
+  | Fault msg -> Fmt.pf ppf "fault(%s)" msg
+  | Out_of_fuel -> Fmt.string ppf "out-of-fuel"
+
+type decoded = Dinstr of Instr.t * int | Dbad
+
+type t = {
+  code_base : int;
+  image : Bytes.t; (* reserved capacity; [code_len] bytes are loaded *)
+  mutable code_len : int;
+  decode_cache : decoded option array; (* per byte offset, lazily filled *)
+  data : int array;
+  regs : int array;
+  mutable pc : int;
+  mutable zf : bool;
+  mutable lt : bool;
+  tables : Idtables.Tables.t option;
+  mutable nsteps : int;
+  out : Buffer.t;
+  mutable brk : int;
+  prng : Mcfi_util.Prng.t;
+  mutable dl_handler : (t -> int -> string -> int) option;
+  mutable attacker : (t -> unit) option;
+}
+
+let create ?tables ?(seed = 1L) ~code_base ~code_capacity ~data_words () =
+  {
+    code_base;
+    (* unoccupied code bytes hold the Halt opcode (0x01) *)
+    image = Bytes.make code_capacity '\x01';
+    code_len = 0;
+    decode_cache = Array.make code_capacity None;
+    data = Array.make data_words 0;
+    regs =
+      (let r = Array.make Instr.num_regs 0 in
+       r.(Instr.rsp) <- data_words;
+       r);
+    pc = 0;
+    zf = false;
+    lt = false;
+    tables;
+    nsteps = 0;
+    out = Buffer.create 256;
+    brk = 1;
+    prng = Mcfi_util.Prng.create seed;
+    dl_handler = None;
+    attacker = None;
+  }
+
+let append_code m img =
+  let base = m.code_base + m.code_len in
+  if m.code_len + String.length img > Bytes.length m.image then
+    invalid_arg "Machine.append_code: code capacity exceeded";
+  Bytes.blit_string img 0 m.image m.code_len (String.length img);
+  (* loading code invalidates stale decodings of the region *)
+  Array.fill m.decode_cache m.code_len (String.length img) None;
+  m.code_len <- m.code_len + String.length img;
+  base
+
+let code_end m = m.code_base + m.code_len
+
+let set_pc m addr = m.pc <- addr
+
+let set_brk m addr = m.brk <- addr
+
+let read_data m addr =
+  if addr < 0 || addr >= Array.length m.data then
+    invalid_arg (Printf.sprintf "Machine.read_data: address %d" addr);
+  m.data.(addr)
+
+let write_data m addr v =
+  if addr < 0 || addr >= Array.length m.data then
+    invalid_arg (Printf.sprintf "Machine.write_data: address %d" addr);
+  m.data.(addr) <- v
+
+let data_size m = Array.length m.data
+let reg m i = m.regs.(i)
+let set_reg m i v = m.regs.(i) <- v
+let pc m = m.pc
+let steps m = m.nsteps
+let output m = Buffer.contents m.out
+let set_dl_handler m h = m.dl_handler <- Some h
+let set_attacker m a = m.attacker <- Some a
+
+let read_string m addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    if a < 0 || a >= Array.length m.data then Buffer.contents buf
+    else begin
+      let c = m.data.(a) land 0xff in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (a + 1)
+      end
+    end
+  in
+  go addr
+
+(* Fetch the instruction at an arbitrary code address — mid-instruction
+   offsets decode whatever bytes are there, as on a real CISC. *)
+let fetch m addr =
+  let off = addr - m.code_base in
+  if off < 0 || off >= m.code_len then None
+  else begin
+    match m.decode_cache.(off) with
+    | Some (Dinstr (i, size)) -> Some (i, size)
+    | Some Dbad -> None
+    | None -> (
+      match Encode.decode (Bytes.unsafe_to_string m.image) off with
+      | Ok (i, off') ->
+        m.decode_cache.(off) <- Some (Dinstr (i, off' - off));
+        Some (i, off' - off)
+      | Error _ ->
+        m.decode_cache.(off) <- Some Dbad;
+        None)
+  end
+
+exception Trap of exit_reason
+
+let trap r = raise (Trap r)
+
+let load m addr =
+  if addr <= 0 || addr >= Array.length m.data then
+    trap (Fault (Printf.sprintf "load from 0x%x" addr))
+  else m.data.(addr)
+
+let store m addr v =
+  if addr <= 0 || addr >= Array.length m.data then
+    trap (Fault (Printf.sprintf "store to 0x%x" addr))
+  else m.data.(addr) <- v
+
+let push m v =
+  let sp = m.regs.(Instr.rsp) - 1 in
+  m.regs.(Instr.rsp) <- sp;
+  store m sp v
+
+let pop m =
+  let sp = m.regs.(Instr.rsp) in
+  let v = load m sp in
+  m.regs.(Instr.rsp) <- sp + 1;
+  v
+
+let binop op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then trap (Fault "division by zero") else a / b
+  | Instr.Mod -> if b = 0 then trap (Fault "division by zero") else a mod b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 63)
+  | Instr.Shr -> a asr (b land 63)
+
+let set_flags m a b =
+  m.zf <- a = b;
+  m.lt <- a < b
+
+let cond_holds m = function
+  | Instr.Eq -> m.zf
+  | Instr.Ne -> not m.zf
+  | Instr.Lt -> m.lt
+  | Instr.Le -> m.lt || m.zf
+  | Instr.Gt -> not (m.lt || m.zf)
+  | Instr.Ge -> not m.lt
+
+let sbrk m words =
+  if words < 0 then trap (Fault "sbrk with negative size");
+  let base = m.brk in
+  if base + words >= m.regs.(Instr.rsp) - 1024 then
+    trap (Fault "out of heap memory");
+  m.brk <- base + words;
+  base
+
+let tables m =
+  match m.tables with
+  | Some t -> t
+  | None -> trap (Fault "table access without ID tables")
+
+let syscall m =
+  (* a thread at a system call is outside any check transaction: a
+     quiescence point for the ABA counter (paper §5.2) *)
+  (match m.tables with Some t -> Idtables.Tables.quiesce t | None -> ());
+  let num = m.regs.(0) in
+  let arg k = m.regs.(k) in
+  if num = Abi.sys_exit then trap (Exited (arg 1))
+  else if num = Abi.sys_print_int then begin
+    Buffer.add_string m.out (string_of_int (arg 1));
+    m.regs.(0) <- 0
+  end
+  else if num = Abi.sys_print_str then begin
+    Buffer.add_string m.out (read_string m (arg 1));
+    m.regs.(0) <- 0
+  end
+  else if num = Abi.sys_sbrk then m.regs.(0) <- sbrk m (arg 1)
+  else if num = Abi.sys_cycles then m.regs.(0) <- m.nsteps
+  else if num = Abi.sys_rand then
+    m.regs.(0) <- Mcfi_util.Prng.int m.prng 0x40000000
+  else if num = Abi.sys_dlopen || num = Abi.sys_dlsym then begin
+    match m.dl_handler with
+    | Some h -> m.regs.(0) <- h m num (read_string m (arg 1))
+    | None -> trap (Fault "dlopen/dlsym without a dynamic linker")
+  end
+  else trap (Fault (Printf.sprintf "unknown syscall %d" num))
+
+let exec m i size =
+  let next = m.pc + size in
+  let r = m.regs in
+  match i with
+  | Instr.Nop -> m.pc <- next
+  | Instr.Halt -> trap Cfi_halt
+  | Instr.Mov_ri (rd, v) ->
+    r.(rd) <- v;
+    m.pc <- next
+  | Instr.Mov_rr (rd, rs) ->
+    r.(rd) <- r.(rs);
+    m.pc <- next
+  | Instr.Binop (op, rd, rs) ->
+    r.(rd) <- binop op r.(rd) r.(rs);
+    m.pc <- next
+  | Instr.Binop_i (op, rd, v) ->
+    r.(rd) <- binop op r.(rd) v;
+    m.pc <- next
+  | Instr.Load (rd, rs, off) ->
+    r.(rd) <- load m (r.(rs) + off);
+    m.pc <- next
+  | Instr.Store (rb, off, rs) ->
+    store m (r.(rb) + off) r.(rs);
+    m.pc <- next
+  | Instr.Push rs ->
+    push m r.(rs);
+    m.pc <- next
+  | Instr.Pop rd ->
+    r.(rd) <- pop m;
+    m.pc <- next
+  | Instr.Cmp_rr (a, b) ->
+    set_flags m r.(a) r.(b);
+    m.pc <- next
+  | Instr.Cmp_ri (a, v) ->
+    set_flags m r.(a) v;
+    m.pc <- next
+  | Instr.Cmp_lo (a, b) ->
+    set_flags m (r.(a) land 0xffff) (r.(b) land 0xffff);
+    m.pc <- next
+  | Instr.Test_ri (a, v) ->
+    m.zf <- r.(a) land v = 0;
+    m.lt <- false;
+    m.pc <- next
+  | Instr.Jmp a -> m.pc <- a
+  | Instr.Jcc (c, a) -> m.pc <- (if cond_holds m c then a else next)
+  | Instr.Call a ->
+    push m next;
+    m.pc <- a
+  | Instr.Call_r rs ->
+    push m next;
+    m.pc <- r.(rs)
+  | Instr.Jmp_r rs -> m.pc <- r.(rs)
+  | Instr.Ret -> m.pc <- pop m
+  | Instr.Syscall ->
+    syscall m;
+    m.pc <- next
+  | Instr.Tary_load (rd, rs) ->
+    r.(rd) <- Idtables.Tables.tary_read (tables m) r.(rs);
+    m.pc <- next
+  | Instr.Bary_load (rd, idx) -> begin
+    match Idtables.Tables.bary_read (tables m) idx with
+    | id ->
+      r.(rd) <- id;
+      m.pc <- next
+    | exception Invalid_argument _ ->
+      trap (Fault (Printf.sprintf "Bary index %d out of range" idx))
+  end
+
+let current_instr m =
+  match fetch m m.pc with Some (i, _) -> Some i | None -> None
+
+let step m =
+  match
+    (match m.attacker with Some a -> a m | None -> ());
+    match fetch m m.pc with
+    | None -> trap (Fault (Printf.sprintf "bad instruction fetch at 0x%x" m.pc))
+    | Some (i, size) ->
+      m.nsteps <- m.nsteps + 1;
+      exec m i size
+  with
+  | () -> None
+  | exception Trap r -> Some r
+
+let run ?(fuel = 100_000_000) m =
+  let rec go remaining =
+    if remaining = 0 then Out_of_fuel
+    else begin
+      match step m with
+      | Some r -> r
+      | None -> go (remaining - 1)
+    end
+  in
+  go fuel

@@ -1,0 +1,101 @@
+(** The virtual machine: executes an encoded code image against a flat data
+    region, the MCFI ID tables, and a syscall interface.
+
+    Faithfulness notes:
+    - The fetch path decodes from the raw byte image at {e any} byte
+      offset (with a memo cache), so control transfers into the middle of
+      an instruction execute whatever those bytes decode to — exactly the
+      behaviour ROP gadgets rely on and MCFI's alignment+tables forbid.
+    - Code is not writable (the loader owns the image: W^X); data is not
+      executable (fetches only touch the code region).
+    - [Tary_load]/[Bary_load] read the shared {!Idtables.Tables.t}, which
+      may be concurrently updated by another thread's update transaction.
+    - An attacker hook may corrupt any writable data between any two
+      instructions, but not registers, code, or the tables — the paper's
+      concurrent-attacker threat model (§4). *)
+
+type exit_reason =
+  | Exited of int        (** the program called the exit syscall *)
+  | Cfi_halt             (** a [Halt] was executed — check-failure sink *)
+  | Fault of string      (** decode error, wild memory access, … *)
+  | Out_of_fuel          (** the step budget ran out *)
+
+val pp_exit_reason : Format.formatter -> exit_reason -> unit
+
+type t
+
+(** [create ~code_base ~code_capacity ~data_words] builds a machine with an
+    empty code region (capacity reserved up front, like the paper's
+    reserved code range). [tables] enables the table-read instructions.
+    The stack pointer starts at [data_words] (the stack grows down).
+    Unoccupied code bytes hold the [Halt] opcode. *)
+val create :
+  ?tables:Idtables.Tables.t ->
+  ?seed:int64 ->
+  code_base:int ->
+  code_capacity:int ->
+  data_words:int ->
+  unit ->
+  t
+
+(** [append_code m image] loads [image] at the next free code address and
+    returns that base address — a loader/runtime-only operation (W^X: user
+    code has no way to reach it). Raises [Invalid_argument] when the
+    capacity is exceeded. *)
+val append_code : t -> string -> int
+
+(** Next free code address. *)
+val code_end : t -> int
+
+(** [set_pc m addr] places the program counter (process start, tests). *)
+val set_pc : t -> int -> unit
+
+(** [sbrk m words] allocates from the heap; also the syscall's backend.
+    Used by the loader to place a dynamically loaded module's data. *)
+val sbrk : t -> int -> int
+
+(** [set_brk m addr] initializes the heap break (loader, after globals). *)
+val set_brk : t -> int -> unit
+
+(** Direct access used by the loader to initialize globals, and by tests
+    and the attacker model. Addresses are word offsets in [0, data_words).
+    Raises [Invalid_argument] out of range. *)
+val read_data : t -> int -> int
+
+val write_data : t -> int -> int -> unit
+
+val data_size : t -> int
+
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val pc : t -> int
+
+(** Instructions retired so far. *)
+val steps : t -> int
+
+(** Everything the program printed so far. *)
+val output : t -> string
+
+(** Install a handler for the [dlopen]/[dlsym] syscalls ([r1] = address of
+    a name string; must return the syscall result). Without one, those
+    syscalls fault. *)
+val set_dl_handler : t -> (t -> int -> string -> int) -> unit
+
+(** Install an attacker: called before every instruction; may call
+    [write_data] freely (and only that — the model's limits are enforced by
+    the interface, which exposes no register or code mutation to it). *)
+val set_attacker : t -> (t -> unit) -> unit
+
+(** [read_string m addr] reads a NUL-terminated string from data memory. *)
+val read_string : t -> int -> string
+
+(** The instruction the program counter currently points at, if it
+    decodes — tests and tracers use this to observe committed transfers. *)
+val current_instr : t -> Vmisa.Instr.t option
+
+(** [step m] executes one instruction; [None] means the machine is still
+    running. *)
+val step : t -> exit_reason option
+
+(** [run ~fuel m] steps until exit or until [fuel] instructions retired. *)
+val run : ?fuel:int -> t -> exit_reason

@@ -1,0 +1,320 @@
+module Instr = Vmisa.Instr
+module Asm = Vmisa.Asm
+module Abi = Vmisa.Abi
+module Objfile = Mcfi_compiler.Objfile
+module Tables = Idtables.Tables
+module Tx = Idtables.Tx
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type loaded = {
+  lm_obj : Objfile.t;
+  lm_prog : Asm.program;
+  lm_slot_base : int;
+}
+
+type t = {
+  instrumented : bool;
+  sandbox : Abi.sandbox;
+  verify : bool;
+  registry : string -> Objfile.t option;
+  mach : Machine.t;
+  tables : Tables.t option;
+  mutable loaded : loaded list; (* reverse load order *)
+  code_symbols : (string, int) Hashtbl.t;
+  data_symbols : (string, int) Hashtbl.t;
+  mutable next_slot : int;
+  mutable pending_got : (string * int) list; (* symbol, got data address *)
+  mutable last_stats : Cfg.Cfggen.stats option;
+  mutable cfg_ms : float;
+  mutable n_updates : int;
+}
+
+let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
+    ?(registry = fun _ -> None) ?(code_capacity = 1 lsl 22)
+    ?(data_words = Abi.sandbox_words) ?(bary_slots = 8192) ?(seed = 1L) () =
+  let tables =
+    if instrumented then
+      (* coverage starts empty and grows as modules load *)
+      Some
+        (Tables.create ~covered:0 ~code_base:Abi.code_base
+           ~capacity:code_capacity ~bary_slots ())
+    else None
+  in
+  let mach =
+    Machine.create ?tables ~seed ~code_base:Abi.code_base
+      ~code_capacity ~data_words ()
+  in
+  Machine.set_brk mach 1 (* word 0 is the unmapped NULL page *);
+  let t =
+    {
+      instrumented;
+      sandbox;
+      verify = Option.value verify ~default:instrumented;
+      registry;
+      mach;
+      tables;
+      loaded = [];
+      code_symbols = Hashtbl.create 128;
+      data_symbols = Hashtbl.create 128;
+      next_slot = 0;
+      pending_got = [];
+      last_stats = None;
+      cfg_ms = 0.0;
+      n_updates = 0;
+    }
+  in
+  t
+
+let machine t = t.mach
+let tables t = t.tables
+let lookup_code t s = Hashtbl.find_opt t.code_symbols s
+let lookup_data t s = Hashtbl.find_opt t.data_symbols s
+let cfg_stats t = t.last_stats
+let cfg_gen_time_ms t = t.cfg_ms
+let updates t = t.n_updates
+
+(* Build the CFG-generator view of everything loaded so far. *)
+let cfg_input t : Cfg.Cfggen.input =
+  let mods = List.rev t.loaded in
+  let env =
+    Minic.Types.merge (List.map (fun lm -> lm.lm_obj.Objfile.o_tyenv) mods)
+  in
+  (* address-taken is a union across modules; the defining module supplies
+     the address and authoritative type *)
+  let at = Hashtbl.create 64 in
+  List.iter
+    (fun lm ->
+      List.iter
+        (fun (fi : Objfile.fn_info) ->
+          if fi.fi_address_taken then Hashtbl.replace at fi.fi_name ())
+        lm.lm_obj.Objfile.o_functions)
+    mods;
+  let functions =
+    List.concat_map
+      (fun lm ->
+        List.filter_map
+          (fun (fi : Objfile.fn_info) ->
+            if not fi.fi_defined then None
+            else
+              match Hashtbl.find_opt t.code_symbols fi.fi_name with
+              | Some addr ->
+                Some
+                  {
+                    Cfg.Cfggen.fname = fi.fi_name;
+                    fty = fi.fi_ty;
+                    faddr = addr;
+                    faddress_taken = Hashtbl.mem at fi.fi_name;
+                  }
+              | None -> None)
+          lm.lm_obj.Objfile.o_functions)
+      mods
+  in
+  let label_addr lm l =
+    match Hashtbl.find_opt lm.lm_prog.Asm.labels l with
+    | Some a -> a
+    | None -> fail "internal: missing label %s in module %s" l lm.lm_obj.Objfile.o_name
+  in
+  let sites =
+    Array.of_list
+      (List.concat_map
+         (fun lm ->
+           List.map
+             (function
+               | Objfile.Site_return { fn } -> Cfg.Cfggen.Sreturn { fn }
+               | Objfile.Site_icall { fn; ty; ret_label } ->
+                 Cfg.Cfggen.Sicall { fn; ty; ret_addr = label_addr lm ret_label }
+               | Objfile.Site_itail { fn; ty } -> Cfg.Cfggen.Sitail { fn; ty }
+               | Objfile.Site_jumptable { fn; targets } ->
+                 Cfg.Cfggen.Sjumptable
+                   { fn; target_addrs = List.map (label_addr lm) targets }
+               | Objfile.Site_longjmp { fn } -> Cfg.Cfggen.Slongjmp { fn }
+               | Objfile.Site_plt { symbol } -> Cfg.Cfggen.Splt { symbol })
+             lm.lm_obj.Objfile.o_sites)
+         mods)
+  in
+  let direct_calls =
+    List.concat_map
+      (fun lm ->
+        List.map
+          (fun (dc : Objfile.direct_call) ->
+            (dc.dc_caller, dc.dc_callee, label_addr lm dc.dc_ret))
+          lm.lm_obj.Objfile.o_direct_calls)
+      mods
+  in
+  let tail_calls =
+    List.concat_map (fun lm -> lm.lm_obj.Objfile.o_tail_calls) mods
+  in
+  let setjmp_addrs =
+    List.concat_map
+      (fun lm -> List.map (label_addr lm) lm.lm_obj.Objfile.o_setjmp_sites)
+      mods
+  in
+  { env; functions; sites; direct_calls; tail_calls; setjmp_addrs }
+
+(* Regenerate the CFG and install it with one update transaction, binding
+   newly resolvable GOT entries between the two phases (paper §5.2). *)
+let update_cfg t =
+  match t.tables with
+  | None -> ()
+  | Some tables ->
+    let t0 = Unix.gettimeofday () in
+    let input = cfg_input t in
+    let out = Cfg.Cfggen.generate input in
+    t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+    t.last_stats <- Some out.Cfg.Cfggen.stats;
+    let got_update () =
+      t.pending_got <-
+        List.filter
+          (fun (symbol, got_addr) ->
+            match Hashtbl.find_opt t.code_symbols symbol with
+            | Some addr ->
+              Machine.write_data t.mach got_addr addr;
+              false
+            | None -> true)
+          t.pending_got
+    in
+    ignore
+      (Tx.update ~got_update tables ~tary:out.Cfg.Cfggen.tary
+         ~bary:out.Cfg.Cfggen.bary);
+    t.n_updates <- t.n_updates + 1
+
+let load t (obj : Objfile.t) =
+  if obj.o_instrumented <> t.instrumented then
+    fail "module %s is %sinstrumented but the process is %s" obj.o_name
+      (if obj.o_instrumented then "" else "not ")
+      (if t.instrumented then "MCFI" else "plain");
+  (* 1. slot re-basing *)
+  let slot_base = t.next_slot in
+  let nsites = List.length obj.o_sites in
+  let items =
+    if slot_base = 0 then obj.o_items
+    else
+      List.map
+        (function
+          | Asm.I (Instr.Bary_load (r, k)) ->
+            Asm.I (Instr.Bary_load (r, k + slot_base))
+          | item -> item)
+        obj.o_items
+  in
+  let obj = { obj with Objfile.o_items = items } in
+  (* 2. data layout: globals (and GOT slots) go to fresh data words *)
+  let new_data =
+    List.map
+      (fun (d : Objfile.data_def) ->
+        if Hashtbl.mem t.data_symbols d.d_name then
+          fail "duplicate global %s" d.d_name;
+        let addr = Machine.sbrk t.mach (List.length d.d_words) in
+        (d, addr))
+      obj.o_data
+  in
+  List.iter
+    (fun ((d : Objfile.data_def), addr) ->
+      Hashtbl.replace t.data_symbols d.d_name addr)
+    new_data;
+  (* 3. code layout at the next free (16-aligned) code address *)
+  let base =
+    let e = Machine.code_end t.mach in
+    (e + 15) land lnot 15
+  in
+  let resolve_code s = Hashtbl.find_opt t.code_symbols s in
+  let resolve_data s = Hashtbl.find_opt t.data_symbols s in
+  let prog =
+    match Asm.assemble ~base ~resolve_code ~resolve_data obj.o_items with
+    | Ok prog -> prog
+    | Error e -> fail "module %s: %s" obj.o_name (Fmt.str "%a" Asm.pp_error e)
+  in
+  (* 4. verification before the code becomes executable *)
+  if t.verify && t.instrumented then begin
+    match
+      Verifier.verify ~sandbox:t.sandbox ~obj ~prog ~slot_base
+        ~slot_count:nsites ()
+    with
+    | Ok () -> ()
+    | Error issues ->
+      fail "module %s failed verification: %s" obj.o_name
+        (String.concat "; "
+           (List.map (fun i -> Fmt.str "%a" Verifier.pp_issue i) issues))
+  end;
+  (* 5. publish symbols *)
+  Hashtbl.iter
+    (fun label addr ->
+      if Hashtbl.mem t.code_symbols label then
+        fail "duplicate code symbol %s" label;
+      Hashtbl.replace t.code_symbols label addr)
+    prog.Asm.labels;
+  (* 6. initialize data (relocations resolve against the updated tables) *)
+  List.iter
+    (fun ((d : Objfile.data_def), addr) ->
+      List.iteri
+        (fun k word ->
+          let v =
+            match word with
+            | Objfile.Dint v -> v
+            | Objfile.Dsym_code s -> begin
+              match Hashtbl.find_opt t.code_symbols s with
+              | Some a -> a
+              | None -> fail "module %s: unresolved code symbol %s" obj.o_name s
+            end
+            | Objfile.Dsym_data s -> begin
+              match Hashtbl.find_opt t.data_symbols s with
+              | Some a -> a
+              | None -> fail "module %s: unresolved data symbol %s" obj.o_name s
+            end
+          in
+          Machine.write_data t.mach (addr + k) v)
+        d.d_words)
+    new_data;
+  (* 7. map the code: pad up to the module base, then the image *)
+  let pad = base - Machine.code_end t.mach in
+  if pad > 0 then ignore (Machine.append_code t.mach (String.make pad '\x01'));
+  ignore (Machine.append_code t.mach prog.Asm.image);
+  (match t.tables with
+  | Some tables ->
+    let covered = Tables.code_size tables in
+    let need = Machine.code_end t.mach - Abi.code_base in
+    if need > covered then Tables.extend tables (need - covered)
+  | None -> ());
+  (* 8. register GOT slots awaiting resolution *)
+  List.iter
+    (function
+      | Objfile.Site_plt { symbol } -> begin
+        match
+          Hashtbl.find_opt t.data_symbols
+            (Instrument.Rewriter.got_symbol symbol)
+        with
+        | Some got_addr -> t.pending_got <- (symbol, got_addr) :: t.pending_got
+        | None -> fail "PLT entry for %s without a GOT slot" symbol
+      end
+      | _ -> ())
+    obj.o_sites;
+  t.next_slot <- slot_base + nsites;
+  t.loaded <- { lm_obj = obj; lm_prog = prog; lm_slot_base = slot_base } :: t.loaded;
+  (* 9. regenerate and install the CFG (one update transaction) *)
+  update_cfg t
+
+let start t =
+  match Hashtbl.find_opt t.code_symbols "_start" with
+  | Some entry ->
+    Machine.set_pc t.mach entry;
+    (* wire the dynamic linker *)
+    Machine.set_dl_handler t.mach (fun _m num name ->
+        if num = Abi.sys_dlopen then begin
+          match t.registry name with
+          | Some obj -> (
+            match load t obj with
+            | () -> 0
+            | exception Error _ -> -1)
+          | None -> -1
+        end
+        else
+          match Hashtbl.find_opt t.code_symbols name with
+          | Some addr -> addr
+          | None -> 0)
+  | None -> fail "no _start symbol: link Linker.start_module"
+
+let run ?fuel t =
+  start t;
+  Machine.run ?fuel t.mach

@@ -1,0 +1,86 @@
+(** An MCFI process: the runtime + loader + dynamic linker of paper §6-7.
+
+    A process owns a machine (code region, data region), the ID tables,
+    the global symbol tables, and the list of loaded modules.  Loading a
+    module — at startup or through the [dlopen] syscall — performs the
+    paper's dynamic-linking protocol:
+
+    + {e Module preparation}: re-base the module's Bary slots to the
+      process-global slot space, lay out code at the next free code
+      address and data in fresh data words (the module is writable,
+      not executable, at this stage);
+    + {e Verification}: the independent verifier checks the laid-out
+      bytes (instrumented processes only); only then does the image
+      become executable (appended to the machine's code region);
+    + {e New CFG generation}: the type-matching CFG generator runs over
+      the union of all loaded modules' auxiliary information;
+    + {e ID-table update}: one update transaction installs the new
+      Bary/Tary IDs; GOT slots of newly resolved symbols are written
+      between the Tary and Bary phases, under the same barrier.
+
+    A plain (uninstrumented) process skips verification, CFG generation
+    and tables — that is the Fig. 5 baseline. *)
+
+exception Error of string
+
+type t
+
+(** [create ()] builds an empty process.
+    [instrumented] selects MCFI mode (default true).
+    [sandbox] is the platform write-confinement scheme modules were
+    instrumented for (default [Mask]; see {!Vmisa.Abi.sandbox}).
+    [verify] runs the verifier on every loaded module (default: same as
+    [instrumented]).
+    [registry] maps module names to objects for [dlopen].
+    [bary_slots], [code_capacity], [data_words] size the reserved
+    regions. *)
+val create :
+  ?instrumented:bool ->
+  ?sandbox:Vmisa.Abi.sandbox ->
+  ?verify:bool ->
+  ?registry:(string -> Mcfi_compiler.Objfile.t option) ->
+  ?code_capacity:int ->
+  ?data_words:int ->
+  ?bary_slots:int ->
+  ?seed:int64 ->
+  unit ->
+  t
+
+(** [load t obj] loads a module (startup or dlopen path; same protocol).
+    Raises {!Error} on symbol clashes, verification failure, or an
+    instrumented/plain mismatch with the process mode. *)
+val load : t -> Mcfi_compiler.Objfile.t -> unit
+
+(** [machine t] gives access to the underlying machine (registers, data,
+    output, attacker hooks). *)
+val machine : t -> Machine.t
+
+(** The shared ID tables (instrumented processes only). *)
+val tables : t -> Idtables.Tables.t option
+
+(** [lookup_code t symbol] is the code address of a loaded symbol. *)
+val lookup_code : t -> string -> int option
+
+(** [lookup_data t symbol] is the data address of a loaded global. *)
+val lookup_data : t -> string -> int option
+
+(** Statistics of the last CFG generation (paper Table 3 columns). *)
+val cfg_stats : t -> Cfg.Cfggen.stats option
+
+(** The CFG input view of the currently loaded modules — used by the
+    security-evaluation tools (AIR, gadget analysis). *)
+val cfg_input : t -> Cfg.Cfggen.input
+
+(** [start t] sets the program counter at [_start].
+    Raises {!Error} if no [_start] is loaded. *)
+val start : t -> unit
+
+(** [run t] = [start] + [Machine.run]. *)
+val run : ?fuel:int -> t -> Machine.exit_reason
+
+(** Milliseconds spent in CFG generation so far (paper §7 reports ~150ms
+    for gcc; the CG experiment regenerates this number). *)
+val cfg_gen_time_ms : t -> float
+
+(** Number of update transactions executed (startup loads + dlopens). *)
+val updates : t -> int

@@ -1,0 +1,1 @@
+lib/security/air.ml: Array List Policies

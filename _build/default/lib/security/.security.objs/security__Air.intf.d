@@ -1,0 +1,1 @@
+lib/security/air.mli: Cfg Policies

@@ -1,0 +1,1 @@
+lib/security/attacks.ml: Fmt Idtables Mcfi Mcfi_runtime Mcfi_util Option Policies Vmisa

@@ -1,0 +1,1 @@
+lib/security/gadget.ml: Fmt List Set String Vmisa

@@ -1,0 +1,1 @@
+lib/security/policies.ml: Array Cfg Hashtbl Int List Option Printf Set

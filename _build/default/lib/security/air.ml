@@ -1,0 +1,16 @@
+let compute policy ~input ~code_bytes =
+  let counts = Policies.enforced_target_counts policy ~input ~code_bytes in
+  let n = Array.length counts in
+  if n = 0 || code_bytes = 0 then 0.0
+  else begin
+    let s = float_of_int code_bytes in
+    let sum =
+      Array.fold_left (fun acc c -> acc +. (float_of_int c /. s)) 0.0 counts
+    in
+    1.0 -. (sum /. float_of_int n)
+  end
+
+let table ~input ~code_bytes =
+  List.map
+    (fun p -> (Policies.name p, compute p ~input ~code_bytes))
+    Policies.all

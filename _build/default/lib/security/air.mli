@@ -1,0 +1,15 @@
+(** The Average Indirect-target Reduction metric (binCFI; paper §8.3).
+
+    AIR = 1 - (1/n) Σ_j |T_j| / S, where n is the number of indirect
+    branches, T_j the target set the policy enforces for branch j, and S
+    the number of possible target addresses without protection (the code
+    size in bytes).  0 means unprotected; values approach 1 as the policy
+    tightens.  The paper's table has MCFI highest (≈0.996/0.999), above
+    binCFI (≈0.987/0.988) and chunk-based CFI. *)
+
+(** [compute policy ~input ~code_bytes] is the AIR value in [0, 1). *)
+val compute :
+  Policies.t -> input:Cfg.Cfggen.input -> code_bytes:int -> float
+
+(** AIR for every policy in {!Policies.all}, as (name, value) rows. *)
+val table : input:Cfg.Cfggen.input -> code_bytes:int -> (string * float) list

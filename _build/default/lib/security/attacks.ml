@@ -1,0 +1,164 @@
+module Machine = Mcfi_runtime.Machine
+module Process = Mcfi_runtime.Process
+module Tx = Idtables.Tx
+
+type outcome = {
+  regime : string;
+  reason : Machine.exit_reason;
+  output : string;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-10s -> %a, output %S" o.regime Machine.pp_exit_reason o.reason
+    o.output
+
+let install_coarse_policy proc =
+  match Process.tables proc with
+  | None -> invalid_arg "install_coarse_policy: not an MCFI process"
+  | Some tables ->
+    let tary, bary = Policies.coarse_tables (Process.cfg_input proc) in
+    ignore (Tx.update tables ~tary ~bary)
+
+(* ---------- return-address smash ---------- *)
+
+let smash_src =
+  {|
+void secret(void) { print_str("HIJACKED"); exit(99); }
+void victim(int target) {
+  int buf[2];
+  buf[3] = target;   /* out of bounds: aliases the return address */
+}
+int main() {
+  victim(__syscall(5, "secret"));
+  print_str("survived");
+  return 0;
+}
+|}
+
+let run_build ~regime ?(coarse = false) ~instrumented ?attacker src =
+  let proc =
+    Mcfi.Pipeline.build_process ~instrumented ~sources:[ ("victim", src) ] ()
+  in
+  if coarse then install_coarse_policy proc;
+  Process.start proc;
+  (match attacker with
+  | Some a -> Machine.set_attacker (Process.machine proc) (a proc)
+  | None -> ());
+  let reason = Machine.run ~fuel:10_000_000 (Process.machine proc) in
+  { regime; reason; output = Machine.output (Process.machine proc) }
+
+let stack_smash () =
+  [
+    run_build ~regime:"plain" ~instrumented:false smash_src;
+    run_build ~regime:"MCFI" ~instrumented:true smash_src;
+  ]
+
+(* ---------- function-pointer hijack to execve (CVE-2006-6235 analog) --- *)
+
+let hijack_src =
+  {|
+void benign(int x) { print_int(x); print_char(' '); }
+int execve(char *prog, int unused) {
+  print_str("EXEC:");
+  print_str(prog);
+  exit(66);
+  return 0;
+}
+void (*handler)(int) = benign;
+/* execve's address is taken, as it is when libc is linked in */
+int (*execve_ref)(char *, int) = execve;
+int main() {
+  int i;
+  for (i = 0; i < 32; i = i + 1) { handler(i); }
+  print_str("done");
+  return 0;
+}
+|}
+
+(* The concurrent attacker: once the run is underway, overwrite the
+   handler function pointer (writable data!) with execve's address. *)
+let hijack_attacker proc =
+  let handler_addr =
+    match Process.lookup_data proc "handler" with
+    | Some a -> a
+    | None -> invalid_arg "no handler global"
+  in
+  let execve_addr =
+    match Process.lookup_code proc "execve" with
+    | Some a -> a
+    | None -> invalid_arg "no execve symbol"
+  in
+  let fired = ref false in
+  fun m ->
+    if (not !fired) && Machine.steps m > 2000 then begin
+      fired := true;
+      Machine.write_data m handler_addr execve_addr
+    end
+
+let fptr_hijack () =
+  [
+    run_build ~regime:"plain" ~instrumented:false
+      ~attacker:(fun proc -> hijack_attacker proc)
+      hijack_src;
+    run_build ~regime:"coarse-CFI" ~instrumented:true ~coarse:true
+      ~attacker:(fun proc -> hijack_attacker proc)
+      hijack_src;
+    run_build ~regime:"MCFI" ~instrumented:true
+      ~attacker:(fun proc -> hijack_attacker proc)
+      hijack_src;
+  ]
+
+(* ---------- randomized corruption ---------- *)
+
+let corruption_src =
+  {|
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+int (*ops[3])(int, int) = { add, sub, mul };
+int main() {
+  int i;
+  int acc = 1;
+  for (i = 0; i < 5000; i = i + 1) {
+    acc = ops[i % 3](acc, i) % 100003;
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+let random_corruption ~seed ~writes =
+  let proc =
+    Mcfi.Pipeline.build_process ~instrumented:true ~seed
+      ~sources:[ ("workload", corruption_src) ]
+      ()
+  in
+  Process.start proc;
+  let m = Process.machine proc in
+  let tables = Option.get (Process.tables proc) in
+  let prng = Mcfi_util.Prng.create seed in
+  Machine.set_attacker m (fun m ->
+      for _ = 1 to writes do
+        (* clobber a random writable word (the model forbids registers,
+           code and tables; the interface offers only data writes) *)
+        let addr = 1 + Mcfi_util.Prng.int prng (Machine.data_size m - 1) in
+        Machine.write_data m addr (Mcfi_util.Prng.int prng 0x3fffffff)
+      done);
+  (* Step manually: at every committed indirect transfer (a Jmp_r/Call_r
+     reached with a passing check), the target must be a valid aligned
+     Tary entry. *)
+  let sound = ref true in
+  let rec go fuel =
+    if fuel = 0 then Machine.Out_of_fuel
+    else begin
+      (match Machine.current_instr m with
+      | Some (Vmisa.Instr.Jmp_r r) | Some (Vmisa.Instr.Call_r r) ->
+        let target = Machine.reg m r in
+        let id = Idtables.Tables.tary_read tables target in
+        if target mod 4 <> 0 || not (Idtables.Id.valid id) then sound := false
+      | _ -> ());
+      match Machine.step m with Some reason -> reason | None -> go (fuel - 1)
+    end
+  in
+  let reason = go 3_000_000 in
+  (reason, !sound)

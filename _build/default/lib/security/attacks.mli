@@ -1,0 +1,41 @@
+(** Attack scenarios under the paper's concurrent-attacker model (§4): the
+    attacker may overwrite any writable data between any two instructions —
+    registers, code, and the ID tables are out of reach.
+
+    Each scenario builds the same program under different protection
+    regimes and reports what the hijack achieves.  [fptr_hijack] is the
+    CVE-2006-6235 analog from §8.3: a corrupted function pointer aimed at
+    an [execve]-like function of a different type is let through by
+    coarse-grained CFI (both addresses sit in the one
+    "address-taken-function" class) but stopped by MCFI's type-matched
+    classes. *)
+
+type outcome = {
+  regime : string;  (** "plain", "coarse-CFI" or "MCFI" *)
+  reason : Mcfi_runtime.Machine.exit_reason;
+  output : string;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Replace a loaded MCFI process's table contents with the binCFI-style
+    two-class policy (one update transaction). The process keeps running
+    its unchanged check sequences — only the policy weakens. *)
+val install_coarse_policy : Mcfi_runtime.Process.t -> unit
+
+(** Return-address smash via a stack buffer overflow, aimed at an
+    unreachable function: ["plain"] is hijacked, ["MCFI"] halts. *)
+val stack_smash : unit -> outcome list
+
+(** Function-pointer hijack to the [execve] analog: ["coarse-CFI"] is
+    hijacked, ["MCFI"] halts. *)
+val fptr_hijack : unit -> outcome list
+
+(** [random_corruption ~seed ~writes] runs a pointer-heavy workload under
+    MCFI while an attacker clobbers [writes] random writable words per
+    step window; the result must never be a control transfer outside the
+    CFG.  Returns the exit reason and whether every committed indirect
+    transfer hit a valid, 4-byte-aligned Tary target (checked by stepping
+    the machine and watching commit instructions). *)
+val random_corruption :
+  seed:int64 -> writes:int -> Mcfi_runtime.Machine.exit_reason * bool

@@ -1,0 +1,49 @@
+module Instr = Vmisa.Instr
+module Encode = Vmisa.Encode
+
+type t = { g_start : int; g_instrs : Vmisa.Instr.t list }
+
+let pp ppf g =
+  Fmt.pf ppf "0x%x: %a" g.g_start
+    Fmt.(list ~sep:(any "; ") Instr.pp)
+    g.g_instrs
+
+let scan ?(max_len = 8) ~base image =
+  let n = String.length image in
+  let gadgets = ref [] in
+  for off = 0 to n - 1 do
+    (* decode forward until an indirect branch, a bad byte, or max_len *)
+    let rec go acc o k =
+      if k = 0 || o >= n then ()
+      else begin
+        match Encode.decode image o with
+        | Error _ -> ()
+        | Ok (i, o') ->
+          if Instr.is_indirect_branch i then
+            gadgets :=
+              { g_start = base + off; g_instrs = List.rev (i :: acc) }
+              :: !gadgets
+          else if Instr.equal i Instr.Halt then ()
+          else go (i :: acc) o' (k - 1)
+      end
+    in
+    go [] off max_len
+  done;
+  List.rev !gadgets
+
+let count_unique gadgets =
+  let module S = Set.Make (struct
+    type nonrec t = Vmisa.Instr.t list
+
+    let compare = compare
+  end) in
+  S.cardinal (S.of_list (List.map (fun g -> g.g_instrs) gadgets))
+
+let survivors ~valid_targets gadgets =
+  List.filter
+    (fun g -> g.g_start mod 4 = 0 && valid_targets g.g_start)
+    gadgets
+
+let elimination_rate ~total ~surviving =
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int (total - surviving) /. float_of_int total

@@ -1,0 +1,32 @@
+(** ROP-gadget scanning over the virtual ISA's byte encoding — the rp++
+    stand-in for the paper's §8.3 gadget-elimination measurement.
+
+    A gadget is a short instruction sequence, decodable starting at {e any}
+    byte offset (including the middle of intended instructions), that ends
+    in an indirect branch ([Ret], [Call_r], [Jmp_r]).  MCFI eliminates a
+    gadget when its start address can never be reached: under MCFI, every
+    indirect branch lands on a 4-byte-aligned address with a valid Tary
+    entry, so only gadgets starting at such addresses survive. *)
+
+type t = {
+  g_start : int;                 (** absolute code address *)
+  g_instrs : Vmisa.Instr.t list; (** ends with the indirect branch *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** [scan ?max_len ~base image] finds gadgets at every byte offset.
+    [max_len] bounds the instruction count (default 8, rp++-like). *)
+val scan : ?max_len:int -> base:int -> string -> t list
+
+(** Unique gadgets by instruction sequence (the paper counts unique
+    gadgets). *)
+val count_unique : t list -> int
+
+(** [survivors ~valid_targets gadgets] keeps gadgets whose start address
+    is 4-byte aligned and present in [valid_targets] (the Tary domain) —
+    the only gadgets reachable through MCFI-checked branches. *)
+val survivors : valid_targets:(int -> bool) -> t list -> t list
+
+(** [elimination_rate ~total ~surviving] in percent. *)
+val elimination_rate : total:int -> surviving:int -> float

@@ -1,0 +1,93 @@
+module Cfggen = Cfg.Cfggen
+
+type t = No_protection | Chunk of int | Bincfi | Classic_cfi | Mcfi
+
+let name = function
+  | No_protection -> "none"
+  | Chunk n -> Printf.sprintf "chunk%d" n
+  | Bincfi -> "binCFI"
+  | Classic_cfi -> "classic-CFI"
+  | Mcfi -> "MCFI"
+
+let all = [ No_protection; Chunk 16; Chunk 32; Bincfi; Classic_cfi; Mcfi ]
+
+module IS = Set.Make (Int)
+
+(* The coarse target universes shared by several policies. *)
+let at_function_addrs (input : Cfggen.input) =
+  List.filter_map
+    (fun (f : Cfggen.fn) -> if f.faddress_taken then Some f.faddr else None)
+    input.functions
+  |> IS.of_list
+
+let return_site_addrs (input : Cfggen.input) =
+  let s = ref IS.empty in
+  List.iter (fun (_, _, ret) -> s := IS.add ret !s) input.direct_calls;
+  Array.iter
+    (function
+      | Cfggen.Sicall { ret_addr; _ } -> s := IS.add ret_addr !s
+      | Cfggen.Sjumptable { target_addrs; _ } ->
+        List.iter (fun a -> s := IS.add a !s) target_addrs
+      | Cfggen.Sreturn _ | Cfggen.Sitail _ | Cfggen.Slongjmp _ | Cfggen.Splt _
+        -> ())
+    input.sites;
+  List.iter (fun a -> s := IS.add a !s) input.setjmp_addrs;
+  !s
+
+let is_call_like = function
+  | Cfggen.Sicall _ | Cfggen.Sitail _ | Cfggen.Splt _ -> true
+  | Cfggen.Sreturn _ | Cfggen.Sjumptable _ | Cfggen.Slongjmp _ -> false
+
+let enforced_target_counts policy ~(input : Cfggen.input) ~code_bytes =
+  match policy with
+  | No_protection ->
+    Array.map (fun _ -> code_bytes) input.sites
+  | Chunk n ->
+    (* an indirect branch may reach any n-aligned code address *)
+    Array.map (fun _ -> (code_bytes + n - 1) / n) input.sites
+  | Bincfi ->
+    let fns = IS.cardinal (at_function_addrs input) in
+    let rets = IS.cardinal (return_site_addrs input) in
+    Array.map
+      (fun site -> if is_call_like site then fns else rets)
+      input.sites
+  | Classic_cfi ->
+    (* indirect calls all share the address-taken-function class (the
+       paper notes the classic implementation does this for convenience);
+       returns and jumps keep their precise sets, but overlapping sets
+       collapse — approximated here by their raw CFG sets *)
+    let fns = IS.cardinal (at_function_addrs input) in
+    Array.map
+      (fun site ->
+        if is_call_like site then fns
+        else List.length (Cfggen.targets_of_site input site))
+      input.sites
+  | Mcfi ->
+    (* enforced sets are the equivalence classes *)
+    let out = Cfggen.generate input in
+    let class_size = Hashtbl.create 16 in
+    List.iter
+      (fun (_, ecn) ->
+        Hashtbl.replace class_size ecn
+          (1 + Option.value ~default:0 (Hashtbl.find_opt class_size ecn)))
+      out.Cfggen.tary;
+    Array.of_list
+      (List.map
+         (fun (_, ecn) ->
+           Option.value ~default:0 (Hashtbl.find_opt class_size ecn))
+         out.Cfggen.bary)
+
+let coarse_tables (input : Cfggen.input) =
+  let fns = at_function_addrs input in
+  let rets = return_site_addrs input in
+  let tary =
+    List.map (fun a -> (a, 0)) (IS.elements fns)
+    @ List.map (fun a -> (a, 1)) (IS.elements (IS.diff rets fns))
+  in
+  let bary =
+    Array.to_list
+      (Array.mapi
+         (fun slot site -> (slot, if is_call_like site then 0 else 1))
+         input.sites)
+  in
+  (tary, bary)

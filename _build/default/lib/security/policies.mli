@@ -1,0 +1,39 @@
+(** CFI policies of increasing precision, over the same program view.
+
+    These are the comparison points of the paper's §8.3 AIR table:
+    no protection, chunk-aligned CFI (NaCl/PittSFIeld at 16 or 32 bytes),
+    coarse-grained binCFI/CCFIR-style (two classes: address-taken function
+    entries, and return sites), classic CFI as deployed (indirect calls
+    share one class of all address-taken functions; returns follow the
+    call graph), and MCFI's type-matching policy.
+
+    [enforced_target_count] gives |T_j| — the number of addresses an
+    indirect branch at site [j] may reach {e as enforced} (after
+    equivalence-class merging where applicable), which is what the AIR
+    metric averages. [coarse_tables] additionally renders the binCFI-style
+    policy into Bary/Tary ECN assignments so a process can actually run
+    under it (the attack-demo comparison). *)
+
+type t =
+  | No_protection
+  | Chunk of int      (** aligned chunks of the given size in bytes *)
+  | Bincfi            (** two classes: AT functions / return sites *)
+  | Classic_cfi       (** one class for calls; call-graph returns *)
+  | Mcfi
+
+val name : t -> string
+
+val all : t list
+
+(** [enforced_target_counts policy ~input ~code_bytes] is |T_j| for every
+    site of [input], in site order. *)
+val enforced_target_counts :
+  t -> input:Cfg.Cfggen.input -> code_bytes:int -> int array
+
+(** [coarse_tables input] renders the binCFI-style two-class policy as
+    table contents [(tary, bary)]: every AT function entry in class 0,
+    every return site/jump-table target/setjmp continuation in class 1;
+    call-like sites get branch class 0, return-like sites class 1.
+    Installing these with an update transaction makes a process {e run}
+    under coarse-grained CFI — the attack-demo comparison. *)
+val coarse_tables : Cfg.Cfggen.input -> (int * int) list * (int * int) list

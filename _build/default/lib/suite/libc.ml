@@ -1,0 +1,153 @@
+(* The mini libc, written in MiniC — the analog of the paper's ported MUSL
+   (§7: system calls are rewritten into MCFI runtime API invocations; libc
+   is built as an ordinary MCFI module and instrumented like any other).
+
+   [header] declares the prototypes programs include; [source] is the
+   implementation module.  printf is variadic and exercises the paper's
+   special varargs rule for type-matching CFG generation. *)
+
+let header =
+  {|
+extern void exit(int code);
+extern void print_int(int v);
+extern void print_str(char *s);
+extern void print_char(int c);
+extern void *malloc(int words);
+extern void free(void *p);
+extern int dlopen(char *name);
+extern int cycles(void);
+extern int rand_int(int bound);
+extern int strlen(char *s);
+extern int strcmp(char *a, char *b);
+extern void strcpy(char *dst, char *src);
+extern void memset(int *p, int v, int n);
+extern void memcpy(int *dst, int *src, int n);
+extern int abs_int(int x);
+extern int printf(char *fmt, ...);
+|}
+
+let source =
+  {|
+void exit(int code) { __syscall(0, code); }
+void print_int(int v) { __syscall(1, v); }
+void print_str(char *s) { __syscall(2, s); }
+
+void print_char(int c) {
+  char buf[2];
+  buf[0] = (char) c;
+  buf[1] = (char) 0;
+  print_str(buf);
+}
+
+void *malloc(int words) {
+  /* the runtime's sbrk is a bump allocator */
+  if (words < 1) { words = 1; }
+  return (void *) __syscall(3, words);
+}
+
+void free(void *p) {
+  /* bump allocation: free is a no-op, as in many embedded allocators */
+}
+
+int dlopen(char *name) { return __syscall(4, name); }
+
+int cycles(void) { return __syscall(6); }
+
+int rand_int(int bound) {
+  int r = __syscall(7);
+  if (bound < 1) { return 0; }
+  return r % bound;
+}
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n] != (char) 0) { n = n + 1; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != (char) 0 && b[i] != (char) 0) {
+    if (a[i] < b[i]) { return -1; }
+    if (a[i] > b[i]) { return 1; }
+    i = i + 1;
+  }
+  if (a[i] < b[i]) { return -1; }
+  if (a[i] > b[i]) { return 1; }
+  return 0;
+}
+
+void strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != (char) 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = (char) 0;
+}
+
+void memset(int *p, int v, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { p[i] = v; }
+}
+
+void memcpy(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+}
+
+int abs_int(int x) {
+  if (x < 0) { return -x; }
+  return x;
+}
+
+int print_decimal(int v) {
+  char buf[24];
+  int i = 0;
+  int j;
+  int neg = 0;
+  if (v < 0) { neg = 1; v = -v; }
+  if (v == 0) { buf[0] = '0'; i = 1; }
+  while (v > 0) {
+    buf[i] = (char) ('0' + (v % 10));
+    v = v / 10;
+    i = i + 1;
+  }
+  if (neg) { print_char('-'); }
+  for (j = i - 1; j >= 0; j = j - 1) { print_char((int) buf[j]); }
+  return i;
+}
+
+int printf(char *fmt, ...) {
+  int i = 0;
+  int next = 0;
+  int printed = 0;
+  while (fmt[i] != (char) 0) {
+    if (fmt[i] == '%') {
+      i = i + 1;
+      if (fmt[i] == 'd') {
+        printed = printed + print_decimal(__vararg(next));
+        next = next + 1;
+      } else if (fmt[i] == 's') {
+        print_str((char *) __vararg(next));
+        next = next + 1;
+      } else if (fmt[i] == 'c') {
+        print_char(__vararg(next));
+        next = next + 1;
+        printed = printed + 1;
+      } else if (fmt[i] == '%') {
+        print_char('%');
+        printed = printed + 1;
+      } else {
+        print_char('%');
+        print_char((int) fmt[i]);
+      }
+    } else {
+      print_char((int) fmt[i]);
+      printed = printed + 1;
+    }
+    i = i + 1;
+  }
+  return printed;
+}
+|}

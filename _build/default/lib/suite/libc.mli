@@ -1,0 +1,10 @@
+(** The mini libc, written in MiniC (paper §7: MUSL, ported to the MCFI
+    runtime API and instrumented like any other module). *)
+
+(** Prototypes for programs to include (the pipeline prepends this to
+    every user module, playing the role of the libc headers). *)
+val header : string
+
+(** The implementation translation unit: syscall wrappers, strings,
+    memory, and a variadic [printf]. *)
+val source : string

@@ -1,0 +1,1174 @@
+(* The benchmark suite: twelve MiniC programs shaped after the
+   SPECCPU2006 C benchmarks the paper evaluates (§8).  Each is a real
+   workload (interpreter, compressor, game search, …) with the
+   function-pointer and cast patterns the paper's Table 1/2 analysis
+   found in its counterpart: perlite and cc_mini carry many C1 cast
+   sites (like perlbench/gcc), mcf/gomoku/sjeng/lbm are cast-clean, the
+   numeric kernels use fixed-point integer arithmetic (MiniC has no
+   floats; documented in DESIGN.md).
+
+   Every program prints a deterministic checksum, so plain and
+   instrumented builds can be compared output-for-output. *)
+
+type benchmark = {
+  name : string;
+  spec_name : string;  (* the SPECCPU2006 benchmark it is shaped after *)
+  description : string;
+  source : string;
+  expected_exit : int;
+}
+
+(* --------------------------------------------------------------- *)
+(* perlite — perlbench: a stack-bytecode interpreter with an opcode
+   dispatch table, generic void* cells (K2 casts), polymorphic handler
+   structs (UC/DC), malloc'd interpreter state (MF), NULL'd trace hooks
+   (SU) and one dead incompatible pointer (an unfixed K1, like gcc's). *)
+
+let perlite =
+  {|
+typedef int (*op_fn)(int, int);
+
+int op_add(int a, int b) { return a + b; }
+int op_sub(int a, int b) { return a - b; }
+int op_mul(int a, int b) { return a * b; }
+int op_mod(int a, int b) { if (b == 0) { return 0; } return a % b; }
+
+op_fn arith[4] = { op_add, op_sub, op_mul, op_mod };
+
+struct interp {
+  int sp;
+  int pc;
+  int *stack;
+  int (*trace)(int);
+};
+
+struct handler {
+  int tag;
+  int (*run)(struct handler *h, int x);
+};
+
+struct scale_handler {
+  int tag;
+  int (*run)(struct handler *h, int x);
+  int factor;
+};
+
+int run_scale(struct handler *h, int x) {
+  struct scale_handler *s = (struct scale_handler *) h; /* DC: tagged */
+  return x * s->factor;
+}
+
+struct handler *the_handler;
+
+void install_handler(struct handler *h) { the_handler = h; }
+
+int interp_alive(void *p) {
+  return ((struct interp *) p)->sp >= 0; /* NF: non-fptr field access */
+}
+
+int run_program(struct interp *it, int *code, int n, int seedv) {
+  int acc = seedv;
+  it->pc = 0;
+  it->sp = 0;
+  while (it->pc < n) {
+    int op = code[it->pc];
+    if (op == 0) {
+      it->pc = it->pc + 1;
+      it->stack[it->sp] = code[it->pc];
+      it->sp = it->sp + 1;
+    } else if (op <= 4) {
+      int b = it->stack[it->sp - 1];
+      it->sp = it->sp - 1;
+      /* dispatch through a generic cell, as the real interpreter stores
+         handlers in untyped slots: a K2 cast pair */
+      void *saved = (void *) arith[op - 1];
+      op_fn back = (op_fn) saved;
+      acc = back(acc, b);
+    } else if (op == 5) {
+      acc = the_handler->run(the_handler, acc);
+    }
+    it->pc = it->pc + 1;
+  }
+  return acc;
+}
+
+/* a dead, incompatibly typed pointer: an unfixed (never used) K1 */
+int (*dead_hook)(char *) = (int (*)(char *)) op_add;
+
+int main() {
+  struct interp *it = (struct interp *) malloc(4); /* MF */
+  struct scale_handler sh;
+  int code[12];
+  int rounds;
+  int acc = 0;
+  it->stack = (int *) malloc(64);
+  it->trace = 0; /* SU: NULL'd function pointer */
+  sh.tag = 7;
+  sh.factor = 3;
+  sh.run = run_scale;
+  install_handler((struct handler *) &sh); /* UC: prefix upcast */
+  code[0] = 0; code[1] = 21;    /* push 21 */
+  code[2] = 1;                  /* add */
+  code[3] = 0; code[4] = 3;     /* push 3 */
+  code[5] = 3;                  /* mul */
+  code[6] = 5;                  /* handler */
+  code[7] = 0; code[8] = 97;    /* push 97 */
+  code[9] = 4;                  /* mod */
+  code[10] = 6;                 /* halt pad */
+  code[11] = 6;
+  if (!interp_alive((void *) it)) { return 1; }
+  for (rounds = 0; rounds < 4000; rounds = rounds + 1) {
+    acc = acc + run_program(it, code, 12, rounds % 17);
+  }
+  printf("perlite:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* bzip_mini — bzip2: run-length + move-to-front compression with
+   callback-driven output sinks; verifies a round trip. *)
+
+let bzip_mini =
+  {|
+typedef void (*sink_fn)(int b);
+
+int out_buf[4096];
+int out_len = 0;
+int checksum = 0;
+
+void sink_store(int b) {
+  out_buf[out_len] = b;
+  out_len = out_len + 1;
+}
+
+void sink_hash(int b) { checksum = ((checksum * 33) + b) % 1000003; }
+
+sink_fn current_sink;
+
+void emit(int b) { current_sink(b); }
+
+/* move-to-front transform state */
+int mtf[256];
+
+void mtf_init() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { mtf[i] = i; }
+}
+
+int mtf_encode(int b) {
+  int i = 0;
+  int j;
+  while (mtf[i] != b) { i = i + 1; }
+  for (j = i; j > 0; j = j - 1) { mtf[j] = mtf[j - 1]; }
+  mtf[0] = b;
+  return i;
+}
+
+int mtf_decode(int idx) {
+  int b = mtf[idx];
+  int j;
+  for (j = idx; j > 0; j = j - 1) { mtf[j] = mtf[j - 1]; }
+  mtf[0] = b;
+  return b;
+}
+
+/* run-length encode data through the MTF and the current sink */
+void compress(int *data, int n) {
+  int i = 0;
+  while (i < n) {
+    int b = data[i];
+    int run = 1;
+    while (i + run < n && data[i + run] == b && run < 255) { run = run + 1; }
+    emit(run);
+    emit(mtf_encode(b % 256));
+    i = i + run;
+  }
+}
+
+int decompress(int *packed, int plen, int *outv) {
+  int i = 0;
+  int n = 0;
+  while (i < plen) {
+    int run = packed[i];
+    int b = mtf_decode(packed[i + 1]);
+    int k;
+    for (k = 0; k < run; k = k + 1) {
+      outv[n] = b;
+      n = n + 1;
+    }
+    i = i + 2;
+  }
+  return n;
+}
+
+int data[2048];
+
+int main() {
+  int round;
+  int total = 0;
+  for (round = 0; round < 30; round = round + 1) {
+    int i;
+    int n = 1500;
+    int m;
+    int restored[2048];
+    for (i = 0; i < n; i = i + 1) {
+      /* runs of varying length, deterministic */
+      data[i] = ((i * i + round) / 7) % 51;
+    }
+    mtf_init();
+    out_len = 0;
+    current_sink = sink_store;
+    compress(data, n);
+    mtf_init();
+    m = decompress(out_buf, out_len, restored);
+    if (m != n) { print_str("bzip_mini: length mismatch\n"); return 1; }
+    for (i = 0; i < n; i = i + 1) {
+      if (restored[i] != data[i]) { print_str("bzip_mini: corrupt\n"); return 1; }
+    }
+    current_sink = sink_hash;
+    for (i = 0; i < out_len; i = i + 1) { emit(out_buf[i]); }
+    total = total + out_len;
+  }
+  printf("bzip_mini:%d:%d\n", total, checksum);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* cc_mini — gcc: an expression compiler with a lexer, a recursive
+   parser over tagged nodes (DC downcasts), constant folding through an
+   operator table, and a splay-ish symbol tree with a comparison
+   callback — including the paper's strcmp case, fixed by a wrapper
+   function exactly as §6 describes. *)
+
+let cc_mini =
+  {|
+struct node {
+  int tag;          /* 0 = num, 1 = binop, 2 = var */
+  int value;        /* num: value, binop: operator index, var: name id */
+  struct node *lhs;
+  struct node *rhs;
+};
+
+typedef int (*fold_fn)(int, int);
+
+int fold_add(int a, int b) { return a + b; }
+int fold_sub(int a, int b) { return a - b; }
+int fold_mul(int a, int b) { return a * b; }
+int fold_div(int a, int b) { if (b == 0) { return 0; } return a / b; }
+
+fold_fn fold_table[4] = { fold_add, fold_sub, fold_mul, fold_div };
+
+struct node *new_node(int tag, int value) {
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->tag = tag;
+  n->value = value;
+  n->lhs = (struct node *) 0;
+  n->rhs = (struct node *) 0;
+  return n;
+}
+
+/* symbol table: binary search tree keyed by strings via a callback —
+   the gcc splay-tree pattern; the comparator takes ints in the tree's
+   interface, so strcmp needs a wrapper (the paper's K1 fix) */
+typedef int (*cmp_fn)(int, int);
+
+struct sym {
+  int key;          /* string address smuggled through an int */
+  int value;
+  struct sym *left;
+  struct sym *right;
+};
+
+int strcmp_wrapper(int a, int b) { return strcmp((char *) a, (char *) b); }
+
+cmp_fn tree_cmp = strcmp_wrapper;
+
+struct sym *sym_root;
+
+struct sym *sym_insert(struct sym *t, int key, int value) {
+  if (t == (struct sym *) 0) {
+    struct sym *n = (struct sym *) malloc(sizeof(struct sym));
+    n->key = key;
+    n->value = value;
+    n->left = (struct sym *) 0;
+    n->right = (struct sym *) 0;
+    return n;
+  }
+  if (tree_cmp(key, t->key) < 0) { t->left = sym_insert(t->left, key, value); }
+  else if (tree_cmp(key, t->key) > 0) { t->right = sym_insert(t->right, key, value); }
+  else { t->value = value; }
+  return t;
+}
+
+int sym_lookup(struct sym *t, int key) {
+  while (t != (struct sym *) 0) {
+    int c = tree_cmp(key, t->key);
+    if (c == 0) { return t->value; }
+    if (c < 0) { t = t->left; }
+    else { t = t->right; }
+  }
+  return -1;
+}
+
+/* expression source: a token stream of ints
+   tok >= 0: number; -1..-4: + - * /; -5: variable x; -6: end */
+int toks[64];
+int tpos;
+
+struct node *parse_expr(void);
+
+struct node *parse_atom() {
+  int t = toks[tpos];
+  tpos = tpos + 1;
+  if (t == -5) { return new_node(2, 0); }
+  return new_node(0, t);
+}
+
+/* left-associative chain, precedence-free (the workload, not the point) */
+struct node *parse_expr(void) {
+  struct node *lhs = parse_atom();
+  while (toks[tpos] <= -1 && toks[tpos] >= -4) {
+    int op = -toks[tpos] - 1;
+    struct node *n;
+    tpos = tpos + 1;
+    n = new_node(1, op);
+    n->lhs = lhs;
+    n->rhs = parse_atom();
+    lhs = n;
+  }
+  tpos = tpos + 1; /* consume end */
+  return lhs;
+}
+
+int eval(struct node *n, int xval) {
+  if (n->tag == 0) { return n->value; }
+  if (n->tag == 2) { return xval; }
+  return fold_table[n->value](eval(n->lhs, xval), eval(n->rhs, xval));
+}
+
+/* constant folding: rewrite binop nodes with constant children */
+int fold(struct node *n) {
+  int folded = 0;
+  if (n->tag == 1) {
+    folded = fold(n->lhs) + fold(n->rhs);
+    if (n->lhs->tag == 0 && n->rhs->tag == 0) {
+      n->value = fold_table[n->value](n->lhs->value, n->rhs->value);
+      n->tag = 0;
+      folded = folded + 1;
+    }
+  }
+  return folded;
+}
+
+/* A second, vtable-flavoured AST: variants share a tagged prefix with a
+   print callback, and code moves between the abstract and concrete views
+   (gcc's most common cast pattern; all these involve a function-pointer
+   field, so the C1 analyzer sees every one of them). */
+struct ast {
+  int tag; /* 0 = num, 1 = neg */
+  int (*print)(int v);
+};
+
+struct ast_num {
+  int tag;
+  int (*print)(int v);
+  int value;
+};
+
+struct ast_neg {
+  int tag;
+  int (*print)(int v);
+  struct ast *sub;
+};
+
+int print_plain(int v) { return v; }
+
+struct ast *mk_num(int v) {
+  struct ast_num *n = (struct ast_num *) malloc(sizeof(struct ast_num)); /* MF */
+  n->tag = 0;
+  n->print = print_plain;
+  n->value = v;
+  return (struct ast *) n; /* UC */
+}
+
+struct ast *mk_neg(struct ast *sub) {
+  struct ast_neg *n = (struct ast_neg *) malloc(sizeof(struct ast_neg)); /* MF */
+  n->tag = 1;
+  n->print = print_plain;
+  n->sub = sub;
+  return (struct ast *) n; /* UC */
+}
+
+int ast_eval(struct ast *a) {
+  if (a->tag == 0) { return ((struct ast_num *) a)->value; } /* DC */
+  return -ast_eval(((struct ast_neg *) a)->sub); /* DC */
+}
+
+int ast_tag_of(void *p) {
+  return ((struct ast *) p)->tag; /* NF */
+}
+
+int ast_check(struct ast *a) {
+  /* park the node in a generic slot and come back: K2 pair */
+  void *g = (void *) a;
+  struct ast *back = (struct ast *) g;
+  return back->print(ast_eval(back));
+}
+
+int main() {
+  int round;
+  int acc = 0;
+  int folds = 0;
+  struct ast *deep;
+  sym_root = (struct sym *) 0;
+  deep = mk_neg(mk_neg(mk_num(17)));
+  acc = ast_check(deep) + ast_tag_of((void *) deep);
+  sym_root = sym_insert(sym_root, (int) "alpha", 11);
+  sym_root = sym_insert(sym_root, (int) "beta", 22);
+  sym_root = sym_insert(sym_root, (int) "gamma", 33);
+  for (round = 0; round < 2500; round = round + 1) {
+    struct node *e;
+    int i = 0;
+    /* build: 5 * 7 * x + round - (round % 7) * 2 ... as a flat chain;
+       the constant 5*7 prefix gives the folder something to fold */
+    toks[i] = 5; i = i + 1;
+    toks[i] = -3; i = i + 1;
+    toks[i] = 7; i = i + 1;
+    toks[i] = -3; i = i + 1;
+    toks[i] = -5; i = i + 1;
+    toks[i] = -1; i = i + 1;
+    toks[i] = round % 97; i = i + 1;
+    toks[i] = -2; i = i + 1;
+    toks[i] = round % 7; i = i + 1;
+    toks[i] = -3; i = i + 1;
+    toks[i] = 2; i = i + 1;
+    toks[i] = -6; i = i + 1;
+    tpos = 0;
+    e = parse_expr();
+    folds = folds + fold(e);
+    acc = (acc + eval(e, round % 13)) % 1000003;
+  }
+  acc = acc + sym_lookup(sym_root, (int) "beta");
+  printf("cc_mini:%d:%d\n", acc, folds);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* mcf_mini — mcf: successive-shortest-path flow routing on a grid
+   network; pointer-and-array heavy, no function-pointer casts (the
+   paper reports zero violations for mcf). *)
+
+let mcf_mini =
+  {|
+int nnodes;
+int dist[144];
+int visited[144];
+int flow_cost;
+
+/* grid neighbors: 12x12 grid with weights derived from coordinates */
+int edge_cost(int a, int b) {
+  int w = (a * 31 + b * 17) % 19 + 1;
+  return w;
+}
+
+int neighbor(int v, int k) {
+  int x = v % 12;
+  int y = v / 12;
+  if (k == 0) { if (x + 1 < 12) { return v + 1; } return -1; }
+  if (k == 1) { if (x > 0) { return v - 1; } return -1; }
+  if (k == 2) { if (y + 1 < 12) { return v + 12; } return -1; }
+  if (y > 0) { return v - 12; }
+  return -1;
+}
+
+/* Dijkstra-style relaxation with a linear scan (small graphs) */
+int shortest(int src, int dst) {
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) {
+    dist[i] = 1000000000;
+    visited[i] = 0;
+  }
+  dist[src] = 0;
+  for (i = 0; i < nnodes; i = i + 1) {
+    int best = -1;
+    int bestd = 1000000000;
+    int u;
+    int k;
+    for (u = 0; u < nnodes; u = u + 1) {
+      if (!visited[u] && dist[u] < bestd) { best = u; bestd = dist[u]; }
+    }
+    if (best < 0) { break; }
+    u = best;
+    visited[u] = 1;
+    if (u == dst) { return dist[u]; }
+    for (k = 0; k < 4; k = k + 1) {
+      int v = neighbor(u, k);
+      if (v >= 0 && !visited[v]) {
+        int nd = dist[u] + edge_cost(u, v);
+        if (nd < dist[v]) { dist[v] = nd; }
+      }
+    }
+  }
+  return dist[dst];
+}
+
+int main() {
+  int q;
+  nnodes = 144;
+  flow_cost = 0;
+  for (q = 0; q < 25; q = q + 1) {
+    int src = (q * 37) % 144;
+    int dst = (q * 151 + 13) % 144;
+    flow_cost = (flow_cost + shortest(src, dst)) % 1000003;
+  }
+  printf("mcf_mini:%d\n", flow_cost);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* gomoku — gobmk: five-in-a-row position evaluation with a small
+   minimax search; typed pattern-scoring callbacks, no casts. *)
+
+let gomoku =
+  {|
+int board[81]; /* 9x9: 0 empty, 1 us, 2 them */
+
+typedef int (*score_fn)(int line[9], int who);
+
+int score_pairs(int line[9], int who) {
+  int s = 0;
+  int i;
+  for (i = 0; i + 1 < 9; i = i + 1) {
+    if (line[i] == who && line[i + 1] == who) { s = s + 10; }
+  }
+  return s;
+}
+
+int score_triples(int line[9], int who) {
+  int s = 0;
+  int i;
+  for (i = 0; i + 2 < 9; i = i + 1) {
+    if (line[i] == who && line[i + 1] == who && line[i + 2] == who) {
+      s = s + 100;
+    }
+  }
+  return s;
+}
+
+int score_open_ends(int line[9], int who) {
+  int s = 0;
+  int i;
+  for (i = 1; i + 1 < 9; i = i + 1) {
+    if (line[i] == who && line[i - 1] == 0 && line[i + 1] == 0) { s = s + 3; }
+  }
+  return s;
+}
+
+score_fn scorers[3] = { score_pairs, score_triples, score_open_ends };
+
+int line_buf[9];
+
+int eval_board(int who) {
+  int total = 0;
+  int r;
+  int c;
+  int k;
+  for (r = 0; r < 9; r = r + 1) {
+    for (c = 0; c < 9; c = c + 1) { line_buf[c] = board[r * 9 + c]; }
+    for (k = 0; k < 3; k = k + 1) { total = total + scorers[k](line_buf, who); }
+  }
+  for (c = 0; c < 9; c = c + 1) {
+    for (r = 0; r < 9; r = r + 1) { line_buf[r] = board[r * 9 + c]; }
+    for (k = 0; k < 3; k = k + 1) { total = total + scorers[k](line_buf, who); }
+  }
+  return total;
+}
+
+int search(int depth, int who) {
+  int best = -1000000;
+  int moves = 0;
+  int i;
+  if (depth == 0) { return eval_board(1) - eval_board(2); }
+  for (i = 0; i < 81 && moves < 6; i = i + 1) {
+    if (board[i] == 0) {
+      int v;
+      board[i] = who;
+      v = -search(depth - 1, 3 - who);
+      board[i] = 0;
+      if (v > best) { best = v; }
+      moves = moves + 1;
+    }
+  }
+  if (moves == 0) { return 0; }
+  return best;
+}
+
+int main() {
+  int g;
+  int acc = 0;
+  for (g = 0; g < 6; g = g + 1) {
+    int i;
+    for (i = 0; i < 81; i = i + 1) {
+      board[i] = ((i * 7 + g * 13) % 11) % 3;
+    }
+    acc = (acc + search(2, 1) + eval_board(1)) % 1000003;
+  }
+  printf("gomoku:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* hmm_mini — hmmer: Viterbi decoding over a profile-HMM-like chain in
+   fixed-point log space; models are malloc'd structs carrying their
+   emission callbacks (the paper's hmmer violations are all MF). *)
+
+let hmm_mini =
+  {|
+struct hmm {
+  int nstates;
+  int (*emit)(int state, int symbol);  /* fptr field: malloc casts are MF */
+  int trans[16];
+};
+
+int emit_profile(int state, int symbol) {
+  return -((state * 7 + symbol * 3) % 23) - 1;
+}
+
+int emit_background(int state, int symbol) {
+  return -((symbol * 5) % 11) - 2;
+}
+
+struct hmm *new_hmm(int n, int which) {
+  struct hmm *h = (struct hmm *) malloc(sizeof(struct hmm)); /* MF */
+  int i;
+  h->nstates = n;
+  if (which == 0) { h->emit = emit_profile; }
+  else { h->emit = emit_background; }
+  for (i = 0; i < 16; i = i + 1) { h->trans[i] = -((i * 13) % 7) - 1; }
+  return h;
+}
+
+int vit_prev[16];
+int vit_cur[16];
+
+int viterbi(struct hmm *h, int *seq, int len) {
+  int i;
+  int t;
+  for (i = 0; i < h->nstates; i = i + 1) { vit_prev[i] = 0; }
+  for (t = 0; t < len; t = t + 1) {
+    for (i = 0; i < h->nstates; i = i + 1) {
+      int best = -1000000000;
+      int j;
+      for (j = 0; j < h->nstates; j = j + 1) {
+        int cand = vit_prev[j] + h->trans[(j * h->nstates + i) % 16];
+        if (cand > best) { best = cand; }
+      }
+      vit_cur[i] = best + h->emit(i, seq[t]);
+    }
+    for (i = 0; i < h->nstates; i = i + 1) { vit_prev[i] = vit_cur[i]; }
+  }
+  {
+    int best = -1000000000;
+    for (i = 0; i < h->nstates; i = i + 1) {
+      if (vit_prev[i] > best) { best = vit_prev[i]; }
+    }
+    return best;
+  }
+}
+
+int seq[256];
+
+int main() {
+  struct hmm *profile = new_hmm(8, 0);
+  struct hmm *background = new_hmm(8, 1);
+  int round;
+  int acc = 0;
+  for (round = 0; round < 20; round = round + 1) {
+    int i;
+    int lp;
+    int lb;
+    for (i = 0; i < 120; i = i + 1) { seq[i] = (i * i + round) % 4; }
+    lp = viterbi(profile, seq, 120);
+    lb = viterbi(background, seq, 120);
+    if (lp > lb) { acc = acc + 1; }
+    acc = (acc + lp - lb) % 1000003;
+    if (acc < 0) { acc = acc + 1000003; }
+  }
+  printf("hmm_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* sjeng_mini — sjeng: alpha-beta game-tree search on a toy board with
+   incremental evaluation; cast-clean like the original. *)
+
+let sjeng_mini =
+  {|
+int squares[36]; /* 6x6: 0 empty, 1/2 pieces */
+
+int material(int who) {
+  int s = 0;
+  int i;
+  for (i = 0; i < 36; i = i + 1) {
+    if (squares[i] == who) { s = s + 10 + (i % 6); }
+  }
+  return s;
+}
+
+int alphabeta(int depth, int alpha, int beta, int who) {
+  int i;
+  int moves = 0;
+  if (depth == 0) { return material(1) - material(2); }
+  for (i = 0; i < 36; i = i + 1) {
+    if (squares[i] == who) {
+      int j;
+      for (j = 0; j < 36 && moves < 8; j = j + 1) {
+        if (squares[j] == 0 && abs_int(i - j) < 8) {
+          int v;
+          squares[i] = 0;
+          squares[j] = who;
+          v = -alphabeta(depth - 1, -beta, -alpha, 3 - who);
+          squares[j] = 0;
+          squares[i] = who;
+          moves = moves + 1;
+          if (v > alpha) { alpha = v; }
+          if (alpha >= beta) { return alpha; }
+        }
+      }
+    }
+  }
+  if (moves == 0) { return material(1) - material(2); }
+  return alpha;
+}
+
+int main() {
+  int g;
+  int acc = 0;
+  for (g = 0; g < 10; g = g + 1) {
+    int i;
+    for (i = 0; i < 36; i = i + 1) { squares[i] = ((i * 5 + g * 11) % 13) % 3; }
+    acc = (acc + alphabeta(3, -1000000, 1000000, 1)) % 1000003;
+    if (acc < 0) { acc = acc + 1000003; }
+  }
+  printf("sjeng_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* qsim — libquantum: a quantum register simulator over fixed-point
+   amplitudes (Hadamard, phase and CNOT gates; Grover-ish iteration).
+   One pointer-vs-function type mismatch fixed by a wrapper: the
+   paper's libquantum needed exactly one such line. *)
+
+let qsim =
+  {|
+/* amplitudes in fixed point, scaled by 10000: re/im interleaved */
+int amp[512]; /* 8 qubits: 256 basis states */
+int tmp[512];
+int nstates;
+
+/* gate callbacks take the basis-state index */
+typedef void (*gate_fn)(int target);
+
+void gate_hadamard(int target) {
+  int mask = 1 << target;
+  int s;
+  for (s = 0; s < nstates; s = s + 1) { tmp[2 * s] = amp[2 * s]; tmp[2 * s + 1] = amp[2 * s + 1]; }
+  for (s = 0; s < nstates; s = s + 1) {
+    int partner = s ^ mask;
+    int sign;
+    if ((s & mask) == 0) { sign = 1; } else { sign = -1; }
+    /* 7071/10000 ~ 1/sqrt(2) */
+    amp[2 * s] = (7071 * (tmp[2 * partner] + sign * tmp[2 * s])) / 10000;
+    amp[2 * s + 1] = (7071 * (tmp[2 * partner + 1] + sign * tmp[2 * s + 1])) / 10000;
+  }
+}
+
+void gate_phase_flip(int target) {
+  int mask = 1 << target;
+  int s;
+  for (s = 0; s < nstates; s = s + 1) {
+    if (s & mask) {
+      amp[2 * s] = -amp[2 * s];
+      amp[2 * s + 1] = -amp[2 * s + 1];
+    }
+  }
+}
+
+/* cnot takes two arguments: incompatible with gate_fn, so the circuit
+   table stores a wrapper (the paper's one-line libquantum fix) */
+void gate_cnot(int control, int target) {
+  int cmask = 1 << control;
+  int tmask = 1 << target;
+  int s;
+  for (s = 0; s < nstates; s = s + 1) {
+    if ((s & cmask) && (s & tmask) == 0) {
+      int p = s | tmask;
+      int re = amp[2 * s];
+      int im = amp[2 * s + 1];
+      amp[2 * s] = amp[2 * p];
+      amp[2 * s + 1] = amp[2 * p + 1];
+      amp[2 * p] = re;
+      amp[2 * p + 1] = im;
+    }
+  }
+}
+
+void gate_cnot01(int target) { gate_cnot(0, target); }
+
+gate_fn circuit[3] = { gate_hadamard, gate_phase_flip, gate_cnot01 };
+
+int main() {
+  int round;
+  int acc = 0;
+  nstates = 256;
+  for (round = 0; round < 12; round = round + 1) {
+    int s;
+    int g;
+    int norm = 0;
+    for (s = 0; s < nstates; s = s + 1) { amp[2 * s] = 0; amp[2 * s + 1] = 0; }
+    amp[0] = 10000; /* |00000000> */
+    for (g = 0; g < 24; g = g + 1) {
+      circuit[g % 3]((g + round) % 8);
+    }
+    for (s = 0; s < nstates; s = s + 1) {
+      norm = norm + (amp[2 * s] / 100) * (amp[2 * s] / 100)
+                  + (amp[2 * s + 1] / 100) * (amp[2 * s + 1] / 100);
+    }
+    acc = (acc + norm) % 1000003;
+  }
+  printf("qsim:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* h264_mini — h264ref: 4x4 integer transform + quantization over
+   synthetic macroblocks, mode decision via cost callbacks allocated
+   with the coder context (MF casts, like the original's 8). *)
+
+let h264_mini =
+  {|
+struct coder {
+  int qp;
+  int (*mode_cost)(int *block, int mode);  /* fptr: malloc cast is MF */
+};
+
+int cost_sad(int *block, int mode) {
+  int s = 0;
+  int i;
+  for (i = 0; i < 16; i = i + 1) { s = s + abs_int(block[i] - mode); }
+  return s;
+}
+
+struct coder *new_coder(int qp) {
+  struct coder *c = (struct coder *) malloc(sizeof(struct coder)); /* MF */
+  c->qp = qp;
+  c->mode_cost = cost_sad;
+  return c;
+}
+
+int block[16];
+int coef[16];
+
+/* H.264's 4x4 integer DCT core (butterfly form) */
+void dct4x4(int *b, int *out) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    int s0 = b[4 * i] + b[4 * i + 3];
+    int s1 = b[4 * i + 1] + b[4 * i + 2];
+    int d0 = b[4 * i] - b[4 * i + 3];
+    int d1 = b[4 * i + 1] - b[4 * i + 2];
+    out[4 * i] = s0 + s1;
+    out[4 * i + 1] = 2 * d0 + d1;
+    out[4 * i + 2] = s0 - s1;
+    out[4 * i + 3] = d0 - 2 * d1;
+  }
+  for (i = 0; i < 4; i = i + 1) {
+    int s0 = out[i] + out[12 + i];
+    int s1 = out[4 + i] + out[8 + i];
+    int d0 = out[i] - out[12 + i];
+    int d1 = out[4 + i] - out[8 + i];
+    out[i] = s0 + s1;
+    out[4 + i] = 2 * d0 + d1;
+    out[8 + i] = s0 - s1;
+    out[12 + i] = d0 - 2 * d1;
+  }
+}
+
+int quantize(int *c, int qp) {
+  int nz = 0;
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    c[i] = c[i] / (qp + 1);
+    if (c[i] != 0) { nz = nz + 1; }
+  }
+  return nz;
+}
+
+int main() {
+  struct coder *c = new_coder(11);
+  int mb;
+  int acc = 0;
+  for (mb = 0; mb < 3000; mb = mb + 1) {
+    int i;
+    int nz;
+    int best;
+    for (i = 0; i < 16; i = i + 1) { block[i] = ((mb * 31 + i * i * 7) % 255) - 128; }
+    dct4x4(block, coef);
+    nz = quantize(coef, c->qp);
+    best = c->mode_cost(block, mb % 4);
+    acc = (acc + nz * 1000 + best) % 1000003;
+  }
+  printf("h264_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* milc_mini — milc: SU(3)-flavoured 3x3 integer matrix multiplies over
+   a 4D lattice with staple sums; a couple of generic-buffer casts kept
+   as K2 (milc reports a handful of post-elimination cases). *)
+
+let milc_mini =
+  {|
+/* lattice of 3x3 matrices, 4^4 sites x 4 directions, fixed point */
+int lat[4096 * 9];
+
+struct site_ops {
+  int scale;
+  int (*reduce)(int *m);  /* fptr field */
+};
+
+int reduce_trace(int *m) { return m[0] + m[4] + m[8]; }
+
+struct site_ops *ops;
+
+void mat_mul(int *a, int *b, int *out) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) {
+      int s = 0;
+      for (k = 0; k < 3; k = k + 1) { s = s + a[3 * i + k] * b[3 * k + j]; }
+      out[3 * i + j] = s / 1024;
+    }
+  }
+}
+
+int site_index(int x, int y, int z, int t, int dir) {
+  return (((x * 4 + y) * 4 + z) * 4 + t) * 4 + dir;
+}
+
+int staple[9];
+int accum[9];
+
+int main() {
+  int sweep;
+  int acc = 0;
+  int i;
+  void *generic;
+  ops = (struct site_ops *) malloc(sizeof(struct site_ops)); /* MF */
+  ops->scale = 3;
+  ops->reduce = reduce_trace;
+  /* stash ops in a generic pointer and recover it: K2 pair */
+  generic = (void *) ops;
+  ops = (struct site_ops *) generic;
+  for (i = 0; i < 4096 * 9; i = i + 1) { lat[i] = ((i * 37) % 2048) - 1024; }
+  for (sweep = 0; sweep < 2; sweep = sweep + 1) {
+    int x; int y; int z; int t; int dir;
+    for (x = 0; x < 4; x = x + 1) {
+    for (y = 0; y < 4; y = y + 1) {
+    for (z = 0; z < 4; z = z + 1) {
+    for (t = 0; t < 4; t = t + 1) {
+      for (dir = 0; dir < 4; dir = dir + 1) {
+        int s = site_index(x, y, z, t, dir);
+        int s2 = site_index((x + 1) % 4, y, z, t, (dir + 1) % 4);
+        int s3 = site_index(x, (y + 1) % 4, z, t, (dir + 2) % 4);
+        mat_mul(lat + s * 9 - s * 9 + s * 9, lat + s2 * 9, staple);
+        mat_mul(staple, lat + s3 * 9, accum);
+        acc = (acc + ops->reduce(accum)) % 1000003;
+        if (acc < 0) { acc = acc + 1000003; }
+      }
+    } } } }
+  }
+  printf("milc_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* lbm_mini — lbm: a D2Q5 lattice-Boltzmann stream-and-collide kernel
+   in fixed point; cast-clean like the original. *)
+
+let lbm_mini =
+  {|
+/* 32x32 grid, 5 directions (rest, E, W, N, S), fixed point x1000 */
+int f0[1024 * 5];
+int f1[1024 * 5];
+
+int idx(int x, int y, int d) { return (y * 32 + x) * 5 + d; }
+
+void collide_stream(int *src, int *dst) {
+  int x;
+  int y;
+  for (y = 0; y < 32; y = y + 1) {
+    for (x = 0; x < 32; x = x + 1) {
+      int rho = 0;
+      int d;
+      int ux;
+      int uy;
+      for (d = 0; d < 5; d = d + 1) { rho = rho + src[idx(x, y, d)]; }
+      ux = src[idx(x, y, 1)] - src[idx(x, y, 2)];
+      uy = src[idx(x, y, 3)] - src[idx(x, y, 4)];
+      for (d = 0; d < 5; d = d + 1) {
+        int cu;
+        int eq;
+        int relaxed;
+        int tx;
+        int ty;
+        if (d == 0) { cu = 0; tx = x; ty = y; }
+        else if (d == 1) { cu = ux; tx = (x + 1) % 32; ty = y; }
+        else if (d == 2) { cu = -ux; tx = (x + 31) % 32; ty = y; }
+        else if (d == 3) { cu = uy; tx = x; ty = (y + 1) % 32; }
+        else { cu = -uy; tx = x; ty = (y + 31) % 32; }
+        eq = rho / 5 + cu / 3;
+        relaxed = src[idx(x, y, d)] + (eq - src[idx(x, y, d)]) / 2;
+        dst[idx(tx, ty, d)] = relaxed;
+      }
+    }
+  }
+}
+
+int main() {
+  int step;
+  int acc = 0;
+  int i;
+  for (i = 0; i < 1024 * 5; i = i + 1) { f0[i] = 1000 + ((i * 13) % 257); }
+  for (step = 0; step < 12; step = step + 1) {
+    if (step % 2 == 0) { collide_stream(f0, f1); }
+    else { collide_stream(f1, f0); }
+  }
+  for (i = 0; i < 1024 * 5; i = i + 1) { acc = (acc + f0[i]) % 1000003; }
+  printf("lbm_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+(* --------------------------------------------------------------- *)
+(* sphinx_mini — sphinx3: Gaussian-mixture acoustic scoring with
+   per-senone distance callbacks in malloc'd model structs (MF + a
+   NULL'd hook, like the original's MF/SU split). *)
+
+let sphinx_mini =
+  {|
+struct senone {
+  int nmix;
+  int mean[8];
+  int var[8];
+  int (*dist)(struct senone *s, int *frame);  /* fptr: MF on malloc */
+  int (*debug_hook)(int);
+};
+
+int dist_diag(struct senone *s, int *frame) {
+  int best = -1000000000;
+  int m;
+  for (m = 0; m < s->nmix; m = m + 1) {
+    int d = 0;
+    int k;
+    for (k = 0; k < 8; k = k + 1) {
+      int diff = frame[k] - (s->mean[k] + m * 3);
+      d = d - (diff * diff) / (s->var[k] + 1);
+    }
+    if (d > best) { best = d; }
+  }
+  return best;
+}
+
+struct senone *new_senone(int seedv) {
+  struct senone *s = (struct senone *) malloc(sizeof(struct senone)); /* MF */
+  int k;
+  s->nmix = 4;
+  for (k = 0; k < 8; k = k + 1) {
+    s->mean[k] = (seedv * 7 + k * 13) % 50;
+    s->var[k] = 1 + ((seedv + k) % 9);
+  }
+  s->dist = dist_diag;
+  s->debug_hook = 0; /* SU */
+  return s;
+}
+
+struct senone *models[16];
+int frame[8];
+
+int main() {
+  int t;
+  int acc = 0;
+  int i;
+  for (i = 0; i < 16; i = i + 1) { models[i] = new_senone(i); }
+  for (t = 0; t < 800; t = t + 1) {
+    int best = -1000000000;
+    int besti = 0;
+    int k;
+    for (k = 0; k < 8; k = k + 1) { frame[k] = (t * 11 + k * k * 3) % 50; }
+    for (i = 0; i < 16; i = i + 1) {
+      int d = models[i]->dist(models[i], frame);
+      if (d > best) { best = d; besti = i; }
+    }
+    acc = (acc + besti + (best % 1000)) % 1000003;
+    if (acc < 0) { acc = acc + 1000003; }
+  }
+  printf("sphinx_mini:%d\n", acc);
+  return 0;
+}
+|}
+
+let all : benchmark list =
+  [
+    { name = "perlite"; spec_name = "perlbench";
+      description = "stack-bytecode interpreter with dispatch tables";
+      source = perlite; expected_exit = 0 };
+    { name = "bzip_mini"; spec_name = "bzip2";
+      description = "RLE + move-to-front compressor with sink callbacks";
+      source = bzip_mini; expected_exit = 0 };
+    { name = "cc_mini"; spec_name = "gcc";
+      description = "expression compiler: parse, fold, symbol tree";
+      source = cc_mini; expected_exit = 0 };
+    { name = "mcf_mini"; spec_name = "mcf";
+      description = "shortest-path flow routing on a grid network";
+      source = mcf_mini; expected_exit = 0 };
+    { name = "gomoku"; spec_name = "gobmk";
+      description = "board-game minimax with pattern scorers";
+      source = gomoku; expected_exit = 0 };
+    { name = "hmm_mini"; spec_name = "hmmer";
+      description = "profile-HMM Viterbi decoding, fixed point";
+      source = hmm_mini; expected_exit = 0 };
+    { name = "sjeng_mini"; spec_name = "sjeng";
+      description = "alpha-beta game-tree search";
+      source = sjeng_mini; expected_exit = 0 };
+    { name = "qsim"; spec_name = "libquantum";
+      description = "quantum register simulation, fixed point";
+      source = qsim; expected_exit = 0 };
+    { name = "h264_mini"; spec_name = "h264ref";
+      description = "4x4 integer DCT + quantization + mode decision";
+      source = h264_mini; expected_exit = 0 };
+    { name = "milc_mini"; spec_name = "milc";
+      description = "3x3 matrix lattice sweeps (SU(3) flavoured)";
+      source = milc_mini; expected_exit = 0 };
+    { name = "lbm_mini"; spec_name = "lbm";
+      description = "D2Q5 lattice-Boltzmann stream/collide";
+      source = lbm_mini; expected_exit = 0 };
+    { name = "sphinx_mini"; spec_name = "sphinx3";
+      description = "GMM acoustic scoring with distance callbacks";
+      source = sphinx_mini; expected_exit = 0 };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all

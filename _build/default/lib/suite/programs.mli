@@ -1,0 +1,23 @@
+(** The benchmark suite: twelve MiniC programs shaped after the
+    SPECCPU2006 C benchmarks of the paper's evaluation (§8).
+
+    Each program is a genuine workload (interpreter, compressor,
+    game-tree search, signal processing, …) with the function-pointer
+    and cast patterns the paper's Table 1/2 analysis found in its SPEC
+    counterpart.  All numeric kernels are fixed-point (MiniC has no
+    floating point).  Each prints a deterministic checksum, so
+    unprotected and instrumented builds are compared output-for-output
+    by the test suite. *)
+
+type benchmark = {
+  name : string;
+  spec_name : string;  (** the SPECCPU2006 benchmark it is shaped after *)
+  description : string;
+  source : string;     (** the MiniC translation unit *)
+  expected_exit : int;
+}
+
+(** The twelve benchmarks, in the paper's Table 1 order. *)
+val all : benchmark list
+
+val find : string -> benchmark option

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The VM scheduler, the attacker model and the workload generators all need
+    reproducible randomness that does not depend on [Random]'s global state,
+    so that test failures replay exactly. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform coin flip. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [choose t xs] picks a uniform element. Raises [Invalid_argument] on []. *)
+val choose : t -> 'a list -> 'a
+
+(** [split t] derives an independent generator (for per-thread streams). *)
+val split : t -> t

@@ -1,0 +1,55 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable sets : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let size t = Array.length t.parent
+
+let check t x =
+  if x < 0 || x >= size t then
+    invalid_arg (Printf.sprintf "Union_find: key %d out of range [0,%d)" x (size t))
+
+let rec find t x =
+  check t x;
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else begin
+    t.sets <- t.sets - 1;
+    if t.rank.(rx) < t.rank.(ry) then begin
+      t.parent.(rx) <- ry; ry
+    end else if t.rank.(rx) > t.rank.(ry) then begin
+      t.parent.(ry) <- rx; rx
+    end else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1;
+      rx
+    end
+  end
+
+let same t x y = find t x = find t y
+
+let count t = t.sets
+
+let groups t =
+  let n = size t in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))

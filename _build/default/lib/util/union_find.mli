@@ -1,0 +1,32 @@
+(** Imperative union-find (disjoint sets) over dense integer keys.
+
+    Used by the equivalence-class computation of the CFG generator: indirect
+    branches whose target sets overlap have their targets merged into one
+    equivalence class, exactly as in classic CFI. *)
+
+type t
+
+(** [create n] is a fresh structure over keys [0 .. n-1], each in its own
+    singleton set. *)
+val create : int -> t
+
+(** Number of keys the structure was created with. *)
+val size : t -> int
+
+(** [find t x] is the canonical representative of [x]'s set.
+    Raises [Invalid_argument] if [x] is out of range. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns the representative
+    of the merged set. *)
+val union : t -> int -> int -> int
+
+(** [same t x y] is [true] iff [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** Number of distinct sets currently represented. *)
+val count : t -> int
+
+(** [groups t] lists the sets, each as a (sorted) list of members, ordered by
+    representative. *)
+val groups : t -> int list list

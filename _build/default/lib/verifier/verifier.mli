@@ -1,0 +1,41 @@
+(** Modular verification of instrumented modules (paper §7).
+
+    The verifier removes the rewriter from the trusted computing base: it
+    re-disassembles the {e laid-out byte image} of a module (never trusting
+    the instruction stream the assembler reports) and checks that
+
+    - the whole image decodes linearly (the auxiliary information makes
+      complete disassembly possible);
+    - direct branches with in-module targets land on instruction
+      boundaries (the paper's static check of direct branches, §2);
+    - no naked [Ret] remains;
+    - every [Call_r]/[Jmp_r] is the commit point of a well-formed check
+      transaction over the reserved scratch registers, whose retry edge
+      re-enters the transaction (and re-loads the GOT slot for PLT
+      entries), whose failure edges reach [Halt], and whose embedded Bary
+      slot lies in the module's assigned slot range;
+    - the number of committing indirect branches equals the number of site
+      records (no un-checked branch, no stray check);
+    - every store is stack-relative or masked into the data sandbox;
+    - every declared indirect-branch target — function entries,
+      return-site labels, jump-table targets, setjmp continuations — is
+      4-byte aligned. *)
+
+type issue = { at : int; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [verify ?sandbox ~obj ~prog ~slot_base ~slot_count ()] checks the
+    module [obj] as laid out in [prog].  [slot_base, slot_base +
+    slot_count) is the global Bary slot range the loader assigned to this
+    module.  [sandbox] is the platform's write-confinement scheme (default
+    [Mask]): under [Segment] (the x86-32 flavour) stores need no masks
+    because segmentation hardware bounds them. *)
+val verify :
+  ?sandbox:Vmisa.Abi.sandbox ->
+  obj:Mcfi_compiler.Objfile.t ->
+  prog:Vmisa.Asm.program ->
+  slot_base:int ->
+  slot_count:int ->
+  unit ->
+  (unit, issue list) result

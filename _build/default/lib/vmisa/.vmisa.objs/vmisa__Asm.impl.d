@@ -1,0 +1,1 @@
+lib/vmisa/asm.ml: Array Buffer Encode Fmt Hashtbl Instr List Result Set String

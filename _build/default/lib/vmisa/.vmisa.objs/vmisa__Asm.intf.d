@@ -1,0 +1,1 @@
+lib/vmisa/asm.mli: Format Hashtbl Instr

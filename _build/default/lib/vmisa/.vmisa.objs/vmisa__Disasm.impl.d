@@ -1,0 +1,1 @@
+lib/vmisa/disasm.ml: Encode Fmt Instr List String

@@ -1,0 +1,1 @@
+lib/vmisa/disasm.mli: Encode Format Instr

@@ -1,0 +1,1 @@
+lib/vmisa/encode.ml: Buffer Char Fmt Instr Int64 List Result String

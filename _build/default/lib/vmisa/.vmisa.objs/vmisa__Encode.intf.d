@@ -1,0 +1,1 @@
+lib/vmisa/encode.mli: Buffer Format Instr

@@ -1,0 +1,1 @@
+lib/vmisa/instr.mli: Format

@@ -1,0 +1,27 @@
+let sandbox_words = 1 lsl 20
+let sandbox_mask = sandbox_words - 1
+let code_base = 0x10000
+
+type sandbox = Mask | Segment
+
+let sandbox_name = function Mask -> "mask" | Segment -> "segment"
+
+let sys_exit = 0
+let sys_print_int = 1
+let sys_print_str = 2
+let sys_sbrk = 3
+let sys_dlopen = 4
+let sys_dlsym = 5
+let sys_cycles = 6
+let sys_rand = 7
+
+let name_of_syscall = function
+  | 0 -> Some "exit"
+  | 1 -> Some "print_int"
+  | 2 -> Some "print_str"
+  | 3 -> Some "sbrk"
+  | 4 -> Some "dlopen"
+  | 5 -> Some "dlsym"
+  | 6 -> Some "cycles"
+  | 7 -> Some "rand"
+  | _ -> None

@@ -1,0 +1,59 @@
+(** The ABI shared by the code generator, the runtime and the mini libc.
+
+    Calling convention: arguments are pushed right-to-left by the caller
+    (who also pops them), the return value travels in [r0], and all of
+    [r0]-[r10] are caller-saved.  On entry a function sees
+
+    {v
+      fp+2+i : argument i        (argument 0 closest to the frame)
+      fp+1   : return address
+      fp+0   : caller's frame pointer
+      fp-1-k : local slot k
+    v}
+
+    Syscalls take the number in [r0] and arguments in [r1]-[r3], and return
+    in [r0]; they are the runtime-API traps of paper §7 (the runtime wraps
+    and checks them — user code never reaches the host directly). *)
+
+val sandbox_words : int
+(** Size of the data sandbox in words (a power of two, the analog of the
+    paper's [0, 4GB) write region on x86-64). *)
+
+val sandbox_mask : int
+(** [sandbox_words - 1]: the AND-mask the instrumentation applies to every
+    non-stack effective store address. *)
+
+val code_base : int
+(** Base byte address of the code region (disjoint from data addresses). *)
+
+(** How the platform confines memory writes (paper §5.1, following MIP):
+    [Segment] is the x86-32 design — hardware memory segmentation bounds
+    every access, so stores need no extra instructions (the VM's bounds
+    checks play the segment hardware); [Mask] is the x86-64 design —
+    no segmentation, so the instrumentation masks every non-stack store
+    address into the sandbox with an explicit AND. *)
+type sandbox = Mask | Segment
+
+val sandbox_name : sandbox -> string
+
+val sys_exit : int (** [r1] = status *)
+
+val sys_print_int : int (** [r1] = value *)
+
+val sys_print_str : int (** [r1] = data address of NUL-terminated string *)
+
+val sys_sbrk : int (** [r1] = words; returns base data address *)
+
+val sys_dlopen : int
+(** [r1] = address of the module-name string; dynamically links the named
+    registered module, returns 0 on success *)
+
+val sys_dlsym : int
+(** [r1] = address of a symbol-name string; returns the code address of the
+    symbol or 0 *)
+
+val sys_cycles : int (** returns instructions retired so far *)
+
+val sys_rand : int (** returns the next deterministic pseudo-random word *)
+
+val name_of_syscall : int -> string option

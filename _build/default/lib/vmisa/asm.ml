@@ -1,0 +1,145 @@
+type item =
+  | I of Instr.t
+  | Mov_sym of Instr.reg * string
+  | Mov_dsym of Instr.reg * string
+  | Jmp_sym of string
+  | Jcc_sym of Instr.cond * string
+  | Call_sym of string
+  | Label of string
+  | Align of int
+  | Align_end of int * int
+
+let pp_item ppf = function
+  | I i -> Instr.pp ppf i
+  | Mov_sym (r, s) -> Fmt.pf ppf "mov %a, &%s" Instr.pp_reg r s
+  | Mov_dsym (r, s) -> Fmt.pf ppf "mov %a, @%s" Instr.pp_reg r s
+  | Jmp_sym s -> Fmt.pf ppf "jmp %s" s
+  | Jcc_sym (c, s) -> Fmt.pf ppf "j%a %s" Instr.pp_cond c s
+  | Call_sym s -> Fmt.pf ppf "call %s" s
+  | Label s -> Fmt.pf ppf "%s:" s
+  | Align n -> Fmt.pf ppf ".align %d" n
+  | Align_end (n, s) -> Fmt.pf ppf ".align_end %d %d" n s
+
+type program = {
+  base : int;
+  instrs : (int * Instr.t) array;
+  labels : (string, int) Hashtbl.t;
+  image : string;
+}
+
+type error =
+  | Undefined_label of string
+  | Undefined_data_symbol of string
+  | Duplicate_label of string
+  | Bad_alignment of int
+
+let pp_error ppf = function
+  | Undefined_label s -> Fmt.pf ppf "undefined label %s" s
+  | Undefined_data_symbol s -> Fmt.pf ppf "undefined data symbol %s" s
+  | Duplicate_label s -> Fmt.pf ppf "duplicate label %s" s
+  | Bad_alignment n -> Fmt.pf ppf "bad alignment %d" n
+
+let pad_to at n = if at mod n = 0 then 0 else n - (at mod n)
+
+let item_size at = function
+  | I i -> Instr.size i
+  | Mov_sym _ | Mov_dsym _ -> Instr.size (Instr.Mov_ri (0, 0))
+  | Jmp_sym _ -> Instr.size (Instr.Jmp 0)
+  | Jcc_sym _ -> Instr.size (Instr.Jcc (Instr.Eq, 0))
+  | Call_sym _ -> Instr.size (Instr.Call 0)
+  | Label _ -> 0
+  | Align n -> pad_to at n
+  | Align_end (n, s) -> pad_to (at + s) n
+
+let ( let* ) = Result.bind
+
+let no_resolve (_ : string) : int option = None
+
+let assemble ?(base = 0) ?(resolve_code = no_resolve)
+    ?(resolve_data = no_resolve) items =
+  (* Pass 1: lay out sizes and record label addresses. *)
+  let labels = Hashtbl.create 64 in
+  let rec layout at = function
+    | [] -> Ok ()
+    | Label s :: rest ->
+      if Hashtbl.mem labels s then Error (Duplicate_label s)
+      else begin
+        Hashtbl.add labels s at;
+        layout at rest
+      end
+    | (Align n | Align_end (n, _)) :: _ when n <= 0 -> Error (Bad_alignment n)
+    | item :: rest -> layout (at + item_size at item) rest
+  in
+  let* () = layout base items in
+  (* Pass 2: emit concrete instructions. *)
+  let lookup s =
+    match Hashtbl.find_opt labels s with
+    | Some a -> Ok a
+    | None -> (
+      match resolve_code s with
+      | Some a -> Ok a
+      | None -> Error (Undefined_label s))
+  in
+  let lookup_data s =
+    match resolve_data s with
+    | Some a -> Ok a
+    | None -> Error (Undefined_data_symbol s)
+  in
+  let rec emit acc at = function
+    | [] -> Ok (List.rev acc)
+    | Label _ :: rest -> emit acc at rest
+    | (Align _ | Align_end _) as a :: rest ->
+      let rec pads acc at k =
+        if k = 0 then (acc, at)
+        else pads ((at, Instr.Nop) :: acc) (at + 1) (k - 1)
+      in
+      let acc, at = pads acc at (item_size at a) in
+      emit acc at rest
+    | I i :: rest -> emit ((at, i) :: acc) (at + Instr.size i) rest
+    | Mov_sym (r, s) :: rest ->
+      let* a = lookup s in
+      let i = Instr.Mov_ri (r, a) in
+      emit ((at, i) :: acc) (at + Instr.size i) rest
+    | Mov_dsym (r, s) :: rest ->
+      let* a = lookup_data s in
+      let i = Instr.Mov_ri (r, a) in
+      emit ((at, i) :: acc) (at + Instr.size i) rest
+    | Jmp_sym s :: rest ->
+      let* a = lookup s in
+      let i = Instr.Jmp a in
+      emit ((at, i) :: acc) (at + Instr.size i) rest
+    | Jcc_sym (c, s) :: rest ->
+      let* a = lookup s in
+      let i = Instr.Jcc (c, a) in
+      emit ((at, i) :: acc) (at + Instr.size i) rest
+    | Call_sym s :: rest ->
+      let* a = lookup s in
+      let i = Instr.Call a in
+      emit ((at, i) :: acc) (at + Instr.size i) rest
+  in
+  let* stream = emit [] base items in
+  let buf = Buffer.create 4096 in
+  List.iter (fun (_, i) -> Encode.encode buf i) stream;
+  Ok { base; instrs = Array.of_list stream; labels; image = Buffer.contents buf }
+
+let referenced_labels items =
+  List.filter_map
+    (function
+      | Mov_sym (_, s) | Jmp_sym s | Jcc_sym (_, s) | Call_sym s -> Some s
+      | I _ | Label _ | Align _ | Align_end _ | Mov_dsym _ -> None)
+    items
+
+let defined_labels items =
+  List.filter_map (function Label s -> Some s | _ -> None) items
+
+module S = Set.Make (String)
+
+let undefined_labels items =
+  let dset = S.of_list (defined_labels items) in
+  referenced_labels items
+  |> List.filter (fun s -> not (S.mem s dset))
+  |> S.of_list |> S.elements
+
+let data_symbols items =
+  List.filter_map (function Mov_dsym (_, s) -> Some s | _ -> None) items
+  |> S.of_list |> S.elements

@@ -1,0 +1,63 @@
+(** Two-pass assembler: symbolic items to laid-out machine code.
+
+    Modules are compiled and instrumented as lists of {!item}s; labels keep
+    code position-independent until link/load time, when [assemble] lays the
+    stream out at a base address and resolves every label.  [Align] items
+    become [Nop] padding — this is how indirect-branch targets get the
+    4-byte alignment that keeps the Tary table small (paper §5.1), and
+    [Align_end] aligns the {e end} of the next instruction, which is how
+    return addresses (the byte after a call) get aligned. *)
+
+type item =
+  | I of Instr.t                     (** concrete instruction *)
+  | Mov_sym of Instr.reg * string    (** load the address of a code label
+                                         (address-taken functions) *)
+  | Mov_dsym of Instr.reg * string   (** load the address of a data symbol
+                                         (globals, jump tables, GOT slots) *)
+  | Jmp_sym of string
+  | Jcc_sym of Instr.cond * string
+  | Call_sym of string
+  | Label of string                  (** define a code label here *)
+  | Align of int                     (** pad with [Nop] to a multiple *)
+  | Align_end of int * int           (** [Align_end (n, s)]: pad so that the
+                                         position [s] bytes further on is a
+                                         multiple of [n] *)
+
+val pp_item : Format.formatter -> item -> unit
+
+type program = {
+  base : int;                        (** base byte address of the layout *)
+  instrs : (int * Instr.t) array;    (** address-sorted concrete stream *)
+  labels : (string, int) Hashtbl.t;  (** label -> absolute byte address *)
+  image : string;                    (** encoded bytes *)
+}
+
+type error =
+  | Undefined_label of string
+  | Undefined_data_symbol of string
+  | Duplicate_label of string
+  | Bad_alignment of int
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [assemble ~base ~resolve_code ~resolve_data items] lays out and encodes
+    the stream.  Labels defined in [items] take precedence; [resolve_code]
+    supplies addresses of code symbols defined elsewhere (cross-module
+    references at dynamic-link time) and [resolve_data] addresses of data
+    symbols (always external: the assembler only knows code). *)
+val assemble :
+  ?base:int ->
+  ?resolve_code:(string -> int option) ->
+  ?resolve_data:(string -> int option) ->
+  item list ->
+  (program, error) result
+
+(** Code labels referenced but not defined by the item list (candidates for
+    PLT entries at static-link time). *)
+val undefined_labels : item list -> string list
+
+(** Data symbols referenced by the item list. *)
+val data_symbols : item list -> string list
+
+(** [defined_labels items] in definition order. *)
+val defined_labels : item list -> string list

@@ -1,0 +1,13 @@
+let disassemble ?(base = 0) image =
+  let n = String.length image in
+  let rec go acc off =
+    if off >= n then (List.rev acc, None)
+    else
+      match Encode.decode image off with
+      | Ok (i, off') -> go ((base + off, i) :: acc) off'
+      | Error e -> (List.rev acc, Some (e, base + off))
+  in
+  go [] 0
+
+let pp_listing ppf items =
+  List.iter (fun (addr, i) -> Fmt.pf ppf "%08x:  %a@." addr Instr.pp i) items

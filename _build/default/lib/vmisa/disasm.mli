@@ -1,0 +1,11 @@
+(** Linear-sweep disassembler over an encoded byte image. *)
+
+(** [disassemble ?base image] decodes the image sequentially, returning
+    [(address, instruction)] pairs. Addresses are absolute (offset + base).
+    Stops at the first undecodable byte, returning what was decoded and the
+    faulting address. *)
+val disassemble :
+  ?base:int -> string -> (int * Instr.t) list * (Encode.decode_error * int) option
+
+(** Render a listing with addresses, for diagnostics. *)
+val pp_listing : Format.formatter -> (int * Instr.t) list -> unit

@@ -1,0 +1,199 @@
+open Instr
+
+type decode_error =
+  | Bad_opcode of int
+  | Bad_register of int
+  | Bad_binop of int
+  | Bad_cond of int
+  | Truncated
+
+let pp_decode_error ppf = function
+  | Bad_opcode b -> Fmt.pf ppf "bad opcode 0x%02x" b
+  | Bad_register r -> Fmt.pf ppf "bad register %d" r
+  | Bad_binop b -> Fmt.pf ppf "bad binop code %d" b
+  | Bad_cond c -> Fmt.pf ppf "bad cond code %d" c
+  | Truncated -> Fmt.string ppf "truncated instruction"
+
+let binop_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9
+
+let binop_of_code = function
+  | 0 -> Some Add | 1 -> Some Sub | 2 -> Some Mul | 3 -> Some Div
+  | 4 -> Some Mod | 5 -> Some And | 6 -> Some Or | 7 -> Some Xor
+  | 8 -> Some Shl | 9 -> Some Shr | _ -> None
+
+let cond_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+
+let cond_of_code = function
+  | 0 -> Some Eq | 1 -> Some Ne | 2 -> Some Lt | 3 -> Some Le
+  | 4 -> Some Gt | 5 -> Some Ge | _ -> None
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_i32 buf v =
+  put_u8 buf v;
+  put_u8 buf (v asr 8);
+  put_u8 buf (v asr 16);
+  put_u8 buf (v asr 24)
+
+let put_i64 buf v =
+  let v64 = Int64.of_int v in
+  for k = 0 to 7 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical v64 (8 * k)))
+  done
+
+let encode buf = function
+  | Nop -> put_u8 buf 0x00
+  | Halt -> put_u8 buf 0x01
+  | Ret -> put_u8 buf 0x02
+  | Syscall -> put_u8 buf 0x03
+  | Push r -> put_u8 buf 0x10; put_u8 buf r
+  | Pop r -> put_u8 buf 0x11; put_u8 buf r
+  | Call_r r -> put_u8 buf 0x12; put_u8 buf r
+  | Jmp_r r -> put_u8 buf 0x13; put_u8 buf r
+  | Mov_rr (rd, rs) -> put_u8 buf 0x20; put_u8 buf rd; put_u8 buf rs
+  | Cmp_rr (a, b) -> put_u8 buf 0x21; put_u8 buf a; put_u8 buf b
+  | Cmp_lo (a, b) -> put_u8 buf 0x22; put_u8 buf a; put_u8 buf b
+  | Tary_load (rd, rs) -> put_u8 buf 0x23; put_u8 buf rd; put_u8 buf rs
+  | Binop (op, rd, rs) ->
+    put_u8 buf 0x30; put_u8 buf (binop_code op); put_u8 buf rd; put_u8 buf rs
+  | Jmp a -> put_u8 buf 0x40; put_i32 buf a
+  | Call a -> put_u8 buf 0x41; put_i32 buf a
+  | Jcc (c, a) -> put_u8 buf 0x50; put_u8 buf (cond_code c); put_i32 buf a
+  | Bary_load (rd, i) -> put_u8 buf 0x51; put_u8 buf rd; put_i32 buf i
+  | Load (rd, rs, off) ->
+    put_u8 buf 0x60; put_u8 buf rd; put_u8 buf rs; put_i32 buf off
+  | Store (rb, off, rs) ->
+    put_u8 buf 0x61; put_u8 buf rb; put_u8 buf rs; put_i32 buf off
+  | Mov_ri (rd, i) -> put_u8 buf 0x70; put_u8 buf rd; put_i64 buf i
+  | Cmp_ri (rd, i) -> put_u8 buf 0x71; put_u8 buf rd; put_i64 buf i
+  | Test_ri (rd, i) -> put_u8 buf 0x72; put_u8 buf rd; put_i64 buf i
+  | Binop_i (op, rd, i) ->
+    put_u8 buf 0x80; put_u8 buf (binop_code op); put_u8 buf rd; put_i64 buf i
+
+let encode_all instrs =
+  let buf = Buffer.create 1024 in
+  List.iter (encode buf) instrs;
+  Buffer.contents buf
+
+(* Decoding: a tiny byte-cursor monad over [result]. *)
+let ( let* ) = Result.bind
+
+let u8 code off =
+  if off >= String.length code then Error Truncated
+  else Ok (Char.code code.[off], off + 1)
+
+let reg code off =
+  let* r, off = u8 code off in
+  if r >= num_regs then Error (Bad_register r) else Ok (r, off)
+
+let i32 code off =
+  if off + 4 > String.length code then Error Truncated
+  else begin
+    let b k = Char.code code.[off + k] in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    (* sign-extend from 32 bits *)
+    let v = (v lxor 0x80000000) - 0x80000000 in
+    Ok (v, off + 4)
+  end
+
+let i64 code off =
+  if off + 8 > String.length code then Error Truncated
+  else begin
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code code.[off + k]))
+    done;
+    Ok (Int64.to_int !v, off + 8)
+  end
+
+let binop code off =
+  let* b, off = u8 code off in
+  match binop_of_code b with Some op -> Ok (op, off) | None -> Error (Bad_binop b)
+
+let cond code off =
+  let* c, off = u8 code off in
+  match cond_of_code c with Some cc -> Ok (cc, off) | None -> Error (Bad_cond c)
+
+let decode code off =
+  let* opc, off = u8 code off in
+  match opc with
+  | 0x00 -> Ok (Nop, off)
+  | 0x01 -> Ok (Halt, off)
+  | 0x02 -> Ok (Ret, off)
+  | 0x03 -> Ok (Syscall, off)
+  | 0x10 -> let* r, off = reg code off in Ok (Push r, off)
+  | 0x11 -> let* r, off = reg code off in Ok (Pop r, off)
+  | 0x12 -> let* r, off = reg code off in Ok (Call_r r, off)
+  | 0x13 -> let* r, off = reg code off in Ok (Jmp_r r, off)
+  | 0x20 ->
+    let* rd, off = reg code off in
+    let* rs, off = reg code off in
+    Ok (Mov_rr (rd, rs), off)
+  | 0x21 ->
+    let* a, off = reg code off in
+    let* b, off = reg code off in
+    Ok (Cmp_rr (a, b), off)
+  | 0x22 ->
+    let* a, off = reg code off in
+    let* b, off = reg code off in
+    Ok (Cmp_lo (a, b), off)
+  | 0x23 ->
+    let* rd, off = reg code off in
+    let* rs, off = reg code off in
+    Ok (Tary_load (rd, rs), off)
+  | 0x30 ->
+    let* op, off = binop code off in
+    let* rd, off = reg code off in
+    let* rs, off = reg code off in
+    Ok (Binop (op, rd, rs), off)
+  | 0x40 -> let* a, off = i32 code off in Ok (Jmp a, off)
+  | 0x41 -> let* a, off = i32 code off in Ok (Call a, off)
+  | 0x50 ->
+    let* c, off = cond code off in
+    let* a, off = i32 code off in
+    Ok (Jcc (c, a), off)
+  | 0x51 ->
+    let* rd, off = reg code off in
+    let* i, off = i32 code off in
+    Ok (Bary_load (rd, i), off)
+  | 0x60 ->
+    let* rd, off = reg code off in
+    let* rs, off = reg code off in
+    let* o, off = i32 code off in
+    Ok (Load (rd, rs, o), off)
+  | 0x61 ->
+    let* rb, off = reg code off in
+    let* rs, off = reg code off in
+    let* o, off = i32 code off in
+    Ok (Store (rb, o, rs), off)
+  | 0x70 ->
+    let* rd, off = reg code off in
+    let* i, off = i64 code off in
+    Ok (Mov_ri (rd, i), off)
+  | 0x71 ->
+    let* rd, off = reg code off in
+    let* i, off = i64 code off in
+    Ok (Cmp_ri (rd, i), off)
+  | 0x72 ->
+    let* rd, off = reg code off in
+    let* i, off = i64 code off in
+    Ok (Test_ri (rd, i), off)
+  | 0x80 ->
+    let* op, off = binop code off in
+    let* rd, off = reg code off in
+    let* i, off = i64 code off in
+    Ok (Binop_i (op, rd, i), off)
+  | b -> Error (Bad_opcode b)
+
+let decode_all code =
+  let n = String.length code in
+  let rec go acc off =
+    if off >= n then Ok (List.rev acc)
+    else
+      match decode code off with
+      | Ok (i, off') -> go ((i, off) :: acc) off'
+      | Error e -> Error (e, off)
+  in
+  go [] 0

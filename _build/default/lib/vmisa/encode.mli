@@ -1,0 +1,29 @@
+(** Byte-level encoding and decoding of {!Instr.t}.
+
+    The encoding is variable-length (1 to 11 bytes).  Decoding can be
+    attempted at any byte offset, which is exactly what the ROP-gadget
+    scanner and the verifier's disassembler need. *)
+
+(** [encode buf i] appends [i]'s encoding to [buf]. *)
+val encode : Buffer.t -> Instr.t -> unit
+
+(** [encode_all instrs] is the byte image of the instruction sequence. *)
+val encode_all : Instr.t list -> string
+
+type decode_error =
+  | Bad_opcode of int
+  | Bad_register of int
+  | Bad_binop of int
+  | Bad_cond of int
+  | Truncated
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+(** [decode code off] decodes one instruction at byte offset [off];
+    on success, returns the instruction and the offset just past it. *)
+val decode : string -> int -> (Instr.t * int, decode_error) result
+
+(** [decode_all code] decodes the whole image sequentially from offset 0.
+    Returns the instructions paired with their byte offsets, or the error
+    and the offset at which it occurred. *)
+val decode_all : string -> ((Instr.t * int) list, decode_error * int) result

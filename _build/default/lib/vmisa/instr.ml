@@ -1,0 +1,98 @@
+type reg = int
+
+let num_regs = 16
+let rscratch0 = 11
+let rscratch1 = 12
+let rscratch2 = 13
+let rfp = 14
+let rsp = 15
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Nop
+  | Halt
+  | Mov_ri of reg * int
+  | Mov_rr of reg * reg
+  | Binop of binop * reg * reg
+  | Binop_i of binop * reg * int
+  | Load of reg * reg * int
+  | Store of reg * int * reg
+  | Push of reg
+  | Pop of reg
+  | Cmp_rr of reg * reg
+  | Cmp_ri of reg * int
+  | Cmp_lo of reg * reg
+  | Test_ri of reg * int
+  | Jmp of int
+  | Jcc of cond * int
+  | Call of int
+  | Call_r of reg
+  | Jmp_r of reg
+  | Ret
+  | Syscall
+  | Tary_load of reg * reg
+  | Bary_load of reg * int
+
+let equal (a : t) (b : t) = a = b
+
+let size = function
+  | Nop | Halt | Ret | Syscall -> 1
+  | Push _ | Pop _ | Call_r _ | Jmp_r _ -> 2
+  | Mov_rr _ | Cmp_rr _ | Cmp_lo _ | Tary_load _ -> 3
+  | Binop _ -> 4
+  | Jmp _ | Call _ -> 5
+  | Jcc _ | Bary_load _ -> 6
+  | Load _ | Store _ -> 7
+  | Mov_ri _ | Cmp_ri _ | Test_ri _ -> 10
+  | Binop_i _ -> 11
+
+let is_indirect_branch = function
+  | Call_r _ | Jmp_r _ | Ret -> true
+  | _ -> false
+
+let pp_reg ppf r =
+  if r = rsp then Fmt.string ppf "sp"
+  else if r = rfp then Fmt.string ppf "fp"
+  else Fmt.pf ppf "r%d" r
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_binop ppf b = Fmt.string ppf (binop_name b)
+let pp_cond ppf c = Fmt.string ppf (cond_name c)
+
+let pp ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Halt -> Fmt.string ppf "halt"
+  | Mov_ri (rd, i) -> Fmt.pf ppf "mov %a, %d" pp_reg rd i
+  | Mov_rr (rd, rs) -> Fmt.pf ppf "mov %a, %a" pp_reg rd pp_reg rs
+  | Binop (op, rd, rs) ->
+    Fmt.pf ppf "%s %a, %a" (binop_name op) pp_reg rd pp_reg rs
+  | Binop_i (op, rd, i) -> Fmt.pf ppf "%s %a, %d" (binop_name op) pp_reg rd i
+  | Load (rd, rs, off) -> Fmt.pf ppf "load %a, [%a+%d]" pp_reg rd pp_reg rs off
+  | Store (rb, off, rs) ->
+    Fmt.pf ppf "store [%a+%d], %a" pp_reg rb off pp_reg rs
+  | Push r -> Fmt.pf ppf "push %a" pp_reg r
+  | Pop r -> Fmt.pf ppf "pop %a" pp_reg r
+  | Cmp_rr (a, b) -> Fmt.pf ppf "cmp %a, %a" pp_reg a pp_reg b
+  | Cmp_ri (a, i) -> Fmt.pf ppf "cmp %a, %d" pp_reg a i
+  | Cmp_lo (a, b) -> Fmt.pf ppf "cmplo %a, %a" pp_reg a pp_reg b
+  | Test_ri (a, i) -> Fmt.pf ppf "test %a, %d" pp_reg a i
+  | Jmp a -> Fmt.pf ppf "jmp 0x%x" a
+  | Jcc (c, a) -> Fmt.pf ppf "j%s 0x%x" (cond_name c) a
+  | Call a -> Fmt.pf ppf "call 0x%x" a
+  | Call_r r -> Fmt.pf ppf "call *%a" pp_reg r
+  | Jmp_r r -> Fmt.pf ppf "jmp *%a" pp_reg r
+  | Ret -> Fmt.string ppf "ret"
+  | Syscall -> Fmt.string ppf "syscall"
+  | Tary_load (rd, rs) -> Fmt.pf ppf "taryld %a, [%a]" pp_reg rd pp_reg rs
+  | Bary_load (rd, i) -> Fmt.pf ppf "baryld %a, #%d" pp_reg rd i
+
+let to_string i = Fmt.str "%a" pp i

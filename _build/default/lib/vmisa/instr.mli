@@ -1,0 +1,76 @@
+(** The virtual instruction set.
+
+    This ISA plays the role x86 plays in the paper: it has direct and
+    indirect calls, indirect jumps, returns, pushes/pops, and loads/stores,
+    and it has a variable-length byte encoding (see {!Encode}) so that
+    "a gadget starting in the middle of an instruction" is a meaningful
+    notion.  Code addresses are byte offsets into the code region; data
+    addresses are word offsets into the (disjoint) data region.
+
+    Registers [r11]-[r13] are reserved scratch registers for MCFI check
+    sequences (the paper reserves registers with an LLVM backend pass); the
+    code generator never allocates them.  [r14] is the frame pointer and
+    [r15] the stack pointer. *)
+
+type reg = int
+(** Register index in [0, 15]. *)
+
+val num_regs : int
+
+val rscratch0 : reg (** [r11]: target-ID scratch (paper's [%esi]). *)
+
+val rscratch1 : reg (** [r12]: popped branch-target scratch (paper's [%rcx]). *)
+
+val rscratch2 : reg (** [r13]: branch-ID scratch (paper's [%edi]). *)
+
+val rfp : reg (** [r14]: frame pointer. *)
+
+val rsp : reg (** [r15]: stack pointer. *)
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+(** One machine instruction.  Jump/call targets are absolute byte addresses
+    in the code region (the assembler resolves labels to these). *)
+type t =
+  | Nop
+  | Halt                        (** terminate; also the CFI-violation sink *)
+  | Mov_ri of reg * int         (** [rd <- imm] *)
+  | Mov_rr of reg * reg         (** [rd <- rs] *)
+  | Binop of binop * reg * reg  (** [rd <- rd op rs] *)
+  | Binop_i of binop * reg * int(** [rd <- rd op imm] *)
+  | Load of reg * reg * int     (** [rd <- data[rs + off]] *)
+  | Store of reg * int * reg    (** [data[rb + off] <- rs] *)
+  | Push of reg                 (** [sp <- sp-1; data[sp] <- rs] *)
+  | Pop of reg                  (** [rd <- data[sp]; sp <- sp+1] *)
+  | Cmp_rr of reg * reg         (** set flags from [rd - rs] *)
+  | Cmp_ri of reg * int         (** set flags from [rd - imm] *)
+  | Cmp_lo of reg * reg         (** set flags from low 16 bits (paper's
+                                    [cmpw]: the version comparison) *)
+  | Test_ri of reg * int        (** set ZF from [rd land imm] (paper's
+                                    [testb $1]: the validity check) *)
+  | Jmp of int                  (** direct jump *)
+  | Jcc of cond * int           (** conditional direct jump *)
+  | Call of int                 (** direct call: pushes return address *)
+  | Call_r of reg               (** indirect call *)
+  | Jmp_r of reg                (** indirect jump *)
+  | Ret                         (** return (absent from instrumented code) *)
+  | Syscall                     (** runtime API trap; number in [r0] *)
+  | Tary_load of reg * reg      (** [rd <- Tary[rs]]: target-ID table read *)
+  | Bary_load of reg * int      (** [rd <- Bary[idx]]: branch-ID table read;
+                                    [idx] is patched by the loader *)
+
+val equal : t -> t -> bool
+
+(** Encoded size in bytes of an instruction (1 for [Nop], up to 11). *)
+val size : t -> int
+
+(** [is_indirect_branch i] is true for [Call_r], [Jmp_r] and [Ret]. *)
+val is_indirect_branch : t -> bool
+
+val pp_reg : Format.formatter -> reg -> unit
+val pp_binop : Format.formatter -> binop -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

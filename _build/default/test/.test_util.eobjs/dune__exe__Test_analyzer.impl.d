@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Array List Minic Parser QCheck QCheck_alcotest Suite Typecheck

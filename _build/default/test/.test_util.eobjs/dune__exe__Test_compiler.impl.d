@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Filename List Mcfi Mcfi_compiler Mcfi_runtime Printf QCheck QCheck_alcotest Suite Sys

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Ast Int64 List Mcfi Mcfi_runtime Mcfi_util Minic Option Parser Pretty Printf QCheck QCheck_alcotest Suite

@@ -1,0 +1,1 @@
+test/test_idtables.ml: Alcotest Atomic Domain Id Idtables List Mcfi_util Printf QCheck QCheck_alcotest Tables Tx Tx_baselines

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Fmt Fun Instrument List Mcfi Mcfi_compiler Mcfi_runtime Suite Verifier Vmisa

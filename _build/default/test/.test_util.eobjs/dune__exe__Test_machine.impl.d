@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Char Idtables List Mcfi_runtime Vmisa

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Lexer List Minic Option Parser Printf QCheck QCheck_alcotest Token Typecheck Types

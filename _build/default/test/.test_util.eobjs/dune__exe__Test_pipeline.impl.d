@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Mcfi Mcfi_runtime String Vmisa

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Idtables Int64 List Mcfi Mcfi_runtime Option QCheck QCheck_alcotest Security String Suite

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Cfg List Mcfi Mcfi_runtime QCheck QCheck_alcotest Security String Suite Vmisa

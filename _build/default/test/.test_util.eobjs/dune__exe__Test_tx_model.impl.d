@@ -1,0 +1,1 @@
+test/test_tx_model.ml: Alcotest Array Fun Id Idtables List Printf Tables

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int64 List Mcfi_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vmisa.ml: Alcotest Array Asm Disasm Encode Fmt Hashtbl Instr List QCheck QCheck_alcotest String Vmisa

@@ -1,0 +1,205 @@
+(* Tests for the C1/C2 analyzer: each false-positive elimination category
+   (paper Table 1) on a minimal witness, the K1/K2 classification (Table
+   2), and golden totals for the benchmark suite. *)
+
+open Minic
+
+let analyze src =
+  let full = Suite.Libc.header ^ src in
+  Analyzer.analyze ~source:src
+    (Typecheck.check (Parser.parse ~name:"test" full))
+
+let counts r =
+  Analyzer.(r.vbe, r.uc, r.dc, r.mf, r.su, r.nf, r.vae, r.k1, r.k2)
+
+let check_counts name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = analyze src in
+      let got = counts r in
+      if got <> expected then
+        Alcotest.failf
+          "%s: (vbe,uc,dc,mf,su,nf,vae,k1,k2) = %d,%d,%d,%d,%d,%d,%d,%d,%d"
+          name r.vbe r.uc r.dc r.mf r.su r.nf r.vae r.k1 r.k2)
+
+(* structs with a function-pointer field: every cast involving them is a
+   C1 candidate *)
+let preamble =
+  {|
+struct base { int tag; int (*run)(int); };
+struct derived { int tag; int (*run)(int); int extra; };
+struct untagged { int (*run)(int); int extra2; };
+int runner(int x) { return x; }
+|}
+
+let categories =
+  [
+    check_counts "clean program has no violations"
+      {|int add(int a, int b) { return a + b; }
+        int main() { return add(21, 21) - 42; }|}
+      (0, 0, 0, 0, 0, 0, 0, 0, 0);
+    check_counts "well-typed fptr use is not a violation"
+      {|int inc(int x) { return x + 1; }
+        int main() { int (*f)(int) = inc; return f(41) - 42; }|}
+      (0, 0, 0, 0, 0, 0, 0, 0, 0);
+    check_counts "UC: upcast to prefix struct"
+      (preamble
+      ^ {|
+struct base *up(struct derived *d) { return (struct base *) d; }
+int main() { return 0; }|})
+      (1, 1, 0, 0, 0, 0, 0, 0, 0);
+    check_counts "DC: tagged downcast"
+      (preamble
+      ^ {|
+struct derived *down(struct base *b) { return (struct derived *) b; }
+int main() { return 0; }|})
+      (1, 0, 1, 0, 0, 0, 0, 0, 0);
+    check_counts "untagged downcast is not eliminated"
+      (preamble
+      ^ {|
+struct untagged2 { int (*run)(int); int extra2; int more; };
+struct untagged2 *down(struct untagged *b) { return (struct untagged2 *) b; }
+int main() { return 0; }|})
+      (1, 0, 0, 0, 0, 0, 1, 0, 1);
+    check_counts "MF: malloc result"
+      (preamble
+      ^ {|
+int main() {
+  struct base *b = (struct base *) malloc(2);
+  b->run = runner;
+  return 0;
+}|})
+      (1, 0, 0, 1, 0, 0, 0, 0, 0);
+    check_counts "MF: free argument"
+      (preamble
+      ^ {|
+int main(struct base *b) {
+  free((void *) b);
+  return 0;
+}|})
+      (1, 0, 0, 1, 0, 0, 0, 0, 0);
+    check_counts "SU: NULL'd function pointer"
+      {|
+int main() {
+  int (*f)(int) = 0;
+  return 0;
+}|}
+      (1, 0, 0, 0, 1, 0, 0, 0, 0);
+    check_counts "NF: cast used for a non-fptr field"
+      (preamble
+      ^ {|
+int peek(void *p) { return ((struct base *) p)->tag; }
+int main() { return 0; }|})
+      (1, 0, 0, 0, 0, 1, 0, 0, 0);
+    check_counts "fptr field access is NOT an NF false positive"
+      (preamble
+      ^ {|
+int call(void *p) { return ((struct base *) p)->run(1); }
+int main() { return 0; }|})
+      (1, 0, 0, 0, 0, 0, 1, 0, 1);
+    check_counts "K1: incompatible function address"
+      {|
+int op(int a, int b) { return a + b; }
+int main() {
+  int (*f)(int) = (int (*)(int)) op;
+  return 0;
+}|}
+      (1, 0, 0, 0, 0, 0, 1, 1, 0);
+    check_counts "K2: fptr parked in void*"
+      {|
+int inc(int x) { return x + 1; }
+int main() {
+  int (*f)(int) = inc;
+  void *p = (void *) f;
+  int (*g)(int) = (int (*)(int)) p;
+  return g(41) - 42;
+}|}
+      (2, 0, 0, 0, 0, 0, 2, 0, 2);
+    check_counts "compatible assignment is not flagged"
+      {|
+int inc(int x) { return x + 1; }
+typedef int (*fn)(int);
+int main() { fn f = inc; return f(41) - 42; }|}
+      (0, 0, 0, 0, 0, 0, 0, 0, 0);
+    check_counts "implicit cast at call argument"
+      (preamble
+      ^ {|
+void takes_base(struct base *b) { }
+int main(struct derived *d) {
+  takes_base((struct base *) d);
+  return 0;
+}|})
+      (1, 1, 0, 0, 0, 0, 0, 0, 0);
+    check_counts "int-to-int casts never counted"
+      {|int main() { int x = (int) 'a'; char c = (char) x; return 0; }|}
+      (0, 0, 0, 0, 0, 0, 0, 0, 0);
+  ]
+
+(* C2: MiniC has no inline assembly, matching the paper's zero rate. *)
+let test_no_c2 () =
+  let r = analyze {|int main() { return __syscall(6) * 0; }|} in
+  Alcotest.(check int) "no violations from intrinsics" 0 r.Analyzer.vbe
+
+(* Golden totals over the suite: these pin down the Table 1/2 rows. *)
+let test_suite_golden () =
+  let rows =
+    List.map
+      (fun (b : Suite.Programs.benchmark) ->
+        let r = analyze b.source in
+        (b.name, counts r))
+      Suite.Programs.all
+  in
+  let expect =
+    [
+      ("perlite", (9, 1, 1, 1, 1, 1, 4, 1, 3));
+      ("bzip_mini", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("cc_mini", (10, 2, 2, 2, 0, 1, 3, 0, 3));
+      ("mcf_mini", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("gomoku", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("hmm_mini", (1, 0, 0, 1, 0, 0, 0, 0, 0));
+      ("sjeng_mini", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("qsim", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("h264_mini", (1, 0, 0, 1, 0, 0, 0, 0, 0));
+      ("milc_mini", (3, 0, 0, 1, 0, 0, 2, 0, 2));
+      ("lbm_mini", (0, 0, 0, 0, 0, 0, 0, 0, 0));
+      ("sphinx_mini", (2, 0, 0, 1, 1, 0, 0, 0, 0));
+    ]
+  in
+  List.iter2
+    (fun (name, got) (ename, want) ->
+      Alcotest.(check string) "order" ename name;
+      if got <> want then Alcotest.failf "%s: unexpected analyzer counts" name)
+    rows expect
+
+let test_libc_clean () =
+  let r =
+    Analyzer.analyze ~source:Suite.Libc.source
+      (Typecheck.check (Parser.parse ~name:"libc" Suite.Libc.source))
+  in
+  Alcotest.(check int) "libc VAE" 0 r.Analyzer.vae
+
+(* property: VBE = eliminated + remaining, and K1 + K2 = VAE *)
+let prop_partition =
+  let sources =
+    Array.of_list
+      (List.map (fun (b : Suite.Programs.benchmark) -> b.source)
+         Suite.Programs.all)
+  in
+  QCheck.Test.make ~name:"counts partition" ~count:(Array.length sources)
+    (QCheck.make QCheck.Gen.(int_bound (Array.length sources - 1)))
+    (fun i ->
+      let r = analyze sources.(i) in
+      r.Analyzer.vbe = r.uc + r.dc + r.mf + r.su + r.nf + r.vae
+      && r.vae = r.k1 + r.k2)
+
+let () =
+  Alcotest.run "analyzer"
+    [
+      ("categories", categories);
+      ( "general",
+        [
+          Alcotest.test_case "no C2 in MiniC" `Quick test_no_c2;
+          Alcotest.test_case "suite golden counts" `Quick test_suite_golden;
+          Alcotest.test_case "libc clean" `Quick test_libc_clean;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_partition ]);
+    ]

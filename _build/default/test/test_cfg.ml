@@ -1,0 +1,339 @@
+(* Unit and property tests for the type-matching CFG generator. *)
+
+open Cfg.Cfggen
+module Ast = Minic.Ast
+
+let ft params ret : Ast.fun_ty = { params; varargs = false; ret }
+let vft params ret : Ast.fun_ty = { params; varargs = true; ret }
+
+let fn ?(at = true) name ty addr =
+  { fname = name; fty = ty; faddr = addr; faddress_taken = at }
+
+let mk_input ?(functions = []) ?(sites = [||]) ?(direct_calls = [])
+    ?(tail_calls = []) ?(setjmp_addrs = []) () =
+  {
+    env = Minic.Types.empty;
+    functions;
+    sites;
+    direct_calls;
+    tail_calls;
+    setjmp_addrs;
+  }
+
+let int_int = ft [ Ast.Tint ] Ast.Tint
+let int_void = ft [ Ast.Tint ] Ast.Tvoid
+let str_int = ft [ Ast.Tptr Ast.Tchar ] Ast.Tint
+
+(* ---------- type matching ---------- *)
+
+let test_icall_matches_by_type () =
+  let input =
+    mk_input
+      ~functions:
+        [ fn "f" int_int 0x100; fn "g" int_int 0x200; fn "h" str_int 0x300 ]
+      ~sites:[| Sicall { fn = "main"; ty = int_int; ret_addr = 0x400 } |]
+      ()
+  in
+  let targets = targets_of_site input (Sicall { fn = "main"; ty = int_int; ret_addr = 0x400 }) in
+  Alcotest.(check (list int)) "type-matched targets" [ 0x100; 0x200 ] targets
+
+let test_icall_requires_address_taken () =
+  let input =
+    mk_input
+      ~functions:[ fn ~at:false "f" int_int 0x100; fn "g" int_int 0x200 ]
+      ()
+  in
+  let targets =
+    targets_of_site input (Sicall { fn = "m"; ty = int_int; ret_addr = 0 })
+  in
+  Alcotest.(check (list int)) "only address-taken" [ 0x200 ] targets
+
+let test_varargs_site_matches_prefix () =
+  let printf_ty = ft [ Ast.Tptr Ast.Tchar; Ast.Tint ] Ast.Tint in
+  let input =
+    mk_input
+      ~functions:[ fn "printf_like" printf_ty 0x100; fn "g" int_int 0x200 ]
+      ()
+  in
+  let site_ty = vft [ Ast.Tptr Ast.Tchar ] Ast.Tint in
+  let targets =
+    targets_of_site input (Sicall { fn = "m"; ty = site_ty; ret_addr = 0 })
+  in
+  Alcotest.(check (list int)) "prefix match" [ 0x100 ] targets
+
+(* ---------- returns and the call graph ---------- *)
+
+let test_return_targets_callers () =
+  let input =
+    mk_input
+      ~functions:[ fn ~at:false "f" int_int 0x100 ]
+      ~sites:[| Sreturn { fn = "f" } |]
+      ~direct_calls:[ ("main", "f", 0x500); ("aux", "f", 0x600) ]
+      ()
+  in
+  let targets = targets_of_site input (Sreturn { fn = "f" }) in
+  Alcotest.(check (list int)) "returns to both call sites" [ 0x500; 0x600 ]
+    targets
+
+let test_return_through_indirect_call () =
+  (* f is called only indirectly (by type); its return targets that
+     indirect call's return site *)
+  let input =
+    mk_input
+      ~functions:[ fn "f" int_int 0x100 ]
+      ~sites:[| Sicall { fn = "main"; ty = int_int; ret_addr = 0x700 } |]
+      ()
+  in
+  let targets = targets_of_site input (Sreturn { fn = "f" }) in
+  Alcotest.(check (list int)) "returns to the icall site" [ 0x700 ] targets
+
+let test_tail_call_collapses () =
+  (* main calls g; g tail-calls h; so h's return may return to main's
+     call site (paper §6) *)
+  let input =
+    mk_input
+      ~functions:[ fn ~at:false "g" int_int 0x100; fn ~at:false "h" int_int 0x200 ]
+      ~direct_calls:[ ("main", "g", 0x500) ]
+      ~tail_calls:[ ("g", "h") ]
+      ()
+  in
+  Alcotest.(check (list int)) "h returns to main's site" [ 0x500 ]
+    (targets_of_site input (Sreturn { fn = "h" }));
+  Alcotest.(check (list int)) "g too" [ 0x500 ]
+    (targets_of_site input (Sreturn { fn = "g" }))
+
+let test_tail_call_chain_transitive () =
+  let input =
+    mk_input
+      ~functions:
+        [ fn ~at:false "a" int_int 1; fn ~at:false "b" int_int 2;
+          fn ~at:false "c" int_int 3 ]
+      ~direct_calls:[ ("main", "a", 0x900) ]
+      ~tail_calls:[ ("a", "b"); ("b", "c") ]
+      ()
+  in
+  Alcotest.(check (list int)) "c returns through the chain" [ 0x900 ]
+    (targets_of_site input (Sreturn { fn = "c" }))
+
+let test_indirect_tail_call_closure () =
+  (* g makes an indirect tail call; every type-matched AT function joins
+     g's tail closure *)
+  let input =
+    mk_input
+      ~functions:[ fn "h" int_int 0x200; fn ~at:false "g" int_int 0x100 ]
+      ~sites:[| Sitail { fn = "g"; ty = int_int } |]
+      ~direct_calls:[ ("main", "g", 0x800) ]
+      ()
+  in
+  Alcotest.(check (list int)) "indirect tail target returns to caller"
+    [ 0x800 ]
+    (targets_of_site input (Sreturn { fn = "h" }))
+
+(* ---------- other site kinds ---------- *)
+
+let test_jumptable_targets () =
+  let site = Sjumptable { fn = "f"; target_addrs = [ 0x10; 0x20 ] } in
+  let input = mk_input ~sites:[| site |] () in
+  Alcotest.(check (list int)) "static targets" [ 0x10; 0x20 ]
+    (targets_of_site input site)
+
+let test_longjmp_targets_setjmps () =
+  let site = Slongjmp { fn = "f" } in
+  let input = mk_input ~sites:[| site |] ~setjmp_addrs:[ 0x30; 0x40 ] () in
+  Alcotest.(check (list int)) "setjmp continuations" [ 0x30; 0x40 ]
+    (targets_of_site input site)
+
+let test_plt_targets_symbol () =
+  let site = Splt { symbol = "ext" } in
+  let input = mk_input ~functions:[ fn ~at:false "ext" int_int 0x900 ] () in
+  Alcotest.(check (list int)) "the symbol's entry" [ 0x900 ]
+    (targets_of_site input site)
+
+let test_plt_unresolved_is_empty () =
+  let site = Splt { symbol = "missing" } in
+  let input = mk_input () in
+  Alcotest.(check (list int)) "empty" [] (targets_of_site input site)
+
+(* ---------- equivalence classes ---------- *)
+
+let test_overlapping_sets_merge () =
+  (* two icall sites with overlapping target sets: classic CFI merges
+     them into one equivalence class *)
+  let v1 = ft [ Ast.Tint ] Ast.Tint in
+  let sites =
+    [|
+      Sicall { fn = "m"; ty = v1; ret_addr = 0x500 };
+      Sicall { fn = "m"; ty = vft [] Ast.Tint; ret_addr = 0x504 };
+    |]
+  in
+  (* f matches both (vft [] matches any int-returning fn by prefix rule);
+     g matches only the exact one *)
+  let input =
+    mk_input
+      ~functions:[ fn "f" v1 0x100; fn "g" (vft [] Ast.Tint) 0x200 ]
+      ~sites ()
+  in
+  let out = generate input in
+  let ecn_of addr = List.assoc addr out.tary in
+  Alcotest.(check int) "merged class" (ecn_of 0x100) (ecn_of 0x200)
+
+let test_disjoint_sets_stay_apart () =
+  let sites =
+    [|
+      Sicall { fn = "m"; ty = int_int; ret_addr = 0x500 };
+      Sicall { fn = "m"; ty = str_int; ret_addr = 0x504 };
+    |]
+  in
+  let input =
+    mk_input ~functions:[ fn "f" int_int 0x100; fn "g" str_int 0x200 ] ~sites ()
+  in
+  let out = generate input in
+  let ecn_of addr = List.assoc addr out.tary in
+  Alcotest.(check bool) "distinct classes" true (ecn_of 0x100 <> ecn_of 0x200)
+
+let test_empty_target_site_never_passes () =
+  (* a K1-like site: nothing matches its type; its branch class contains
+     no target address at all *)
+  let sites = [| Sicall { fn = "m"; ty = str_int; ret_addr = 0x500 } |] in
+  let input = mk_input ~functions:[ fn "f" int_int 0x100 ] ~sites () in
+  let out = generate input in
+  let branch_ecn = List.assoc 0 out.bary in
+  Alcotest.(check bool) "no tary entry has the branch's class" true
+    (List.for_all (fun (_, e) -> e <> branch_ecn) out.tary)
+
+let test_stats () =
+  let sites =
+    [|
+      Sicall { fn = "m"; ty = int_int; ret_addr = 0x500 };
+      Sreturn { fn = "f" };
+    |]
+  in
+  let input =
+    mk_input
+      ~functions:[ fn "f" int_int 0x100; fn "g" str_int 0x200 ]
+      ~sites
+      ~direct_calls:[ ("m", "f", 0x600) ]
+      ()
+  in
+  let out = generate input in
+  Alcotest.(check int) "IBs" 2 out.stats.n_ibs;
+  (* targets: f(0x100, AT), g(0x200, AT), icall ret 0x500, dc ret 0x600 *)
+  Alcotest.(check int) "IBTs" 4 out.stats.n_ibts;
+  Alcotest.(check bool) "EQCs positive" true (out.stats.n_eqcs > 0)
+
+let test_unused_at_function_gets_singleton () =
+  let input = mk_input ~functions:[ fn "lonely" int_int 0x100 ] () in
+  let out = generate input in
+  Alcotest.(check bool) "lonely has a tary entry" true
+    (List.mem_assoc 0x100 out.tary)
+
+(* ---------- properties ---------- *)
+
+(* On random inputs: every site's raw targets share the branch's ECN in
+   the generated tables (soundness of the EC construction). *)
+let prop_branch_class_covers_targets =
+  let gen =
+    QCheck.Gen.(
+      let* nfun = int_range 1 6 in
+      let* nsite = int_range 1 6 in
+      let tys = [| int_int; str_int; int_void; vft [] Ast.Tint |] in
+      let* fsel = list_repeat nfun (int_bound (Array.length tys - 1)) in
+      let* ssel = list_repeat nsite (int_bound (Array.length tys - 1)) in
+      let functions =
+        List.mapi
+          (fun i k -> fn (Printf.sprintf "f%d" i) tys.(k) (0x100 + (4 * i)))
+          fsel
+      in
+      let sites =
+        Array.of_list
+          (List.mapi
+             (fun i k ->
+               Sicall
+                 { fn = "m"; ty = tys.(k); ret_addr = 0x1000 + (4 * i) })
+             ssel)
+      in
+      return (mk_input ~functions ~sites ()))
+  in
+  QCheck.Test.make ~name:"branch ECN covers all its raw targets" ~count:100
+    (QCheck.make gen) (fun input ->
+      let out = generate input in
+      Array.to_list input.sites
+      |> List.mapi (fun slot site -> (slot, site))
+      |> List.for_all (fun (slot, site) ->
+             let branch_ecn = List.assoc slot out.bary in
+             targets_of_site input site
+             |> List.for_all (fun addr ->
+                    List.assoc addr out.tary = branch_ecn)))
+
+let prop_eqcs_bounded_by_ibts =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let tys = [| int_int; str_int; int_void |] in
+      let* fsel = list_repeat n (int_bound 2) in
+      let functions =
+        List.mapi
+          (fun i k -> fn (Printf.sprintf "f%d" i) tys.(k) (0x100 + (4 * i)))
+          fsel
+      in
+      let sites =
+        Array.of_list
+          (List.mapi
+             (fun i k ->
+               Sicall { fn = "m"; ty = tys.(k); ret_addr = 0x1000 + (4 * i) })
+             fsel)
+      in
+      return (mk_input ~functions ~sites ()))
+  in
+  QCheck.Test.make ~name:"EQCs <= IBTs" ~count:100 (QCheck.make gen)
+    (fun input ->
+      let out = generate input in
+      out.stats.n_eqcs <= out.stats.n_ibts)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "cfg"
+    [
+      ( "type matching",
+        [
+          Alcotest.test_case "icall by type" `Quick test_icall_matches_by_type;
+          Alcotest.test_case "address-taken required" `Quick
+            test_icall_requires_address_taken;
+          Alcotest.test_case "varargs prefix" `Quick
+            test_varargs_site_matches_prefix;
+        ] );
+      ( "call graph",
+        [
+          Alcotest.test_case "return to callers" `Quick
+            test_return_targets_callers;
+          Alcotest.test_case "return via icall" `Quick
+            test_return_through_indirect_call;
+          Alcotest.test_case "tail call collapses" `Quick
+            test_tail_call_collapses;
+          Alcotest.test_case "tail chain transitive" `Quick
+            test_tail_call_chain_transitive;
+          Alcotest.test_case "indirect tail closure" `Quick
+            test_indirect_tail_call_closure;
+        ] );
+      ( "site kinds",
+        [
+          Alcotest.test_case "jump table" `Quick test_jumptable_targets;
+          Alcotest.test_case "longjmp" `Quick test_longjmp_targets_setjmps;
+          Alcotest.test_case "plt" `Quick test_plt_targets_symbol;
+          Alcotest.test_case "plt unresolved" `Quick
+            test_plt_unresolved_is_empty;
+        ] );
+      ( "equivalence classes",
+        [
+          Alcotest.test_case "overlap merges" `Quick
+            test_overlapping_sets_merge;
+          Alcotest.test_case "disjoint apart" `Quick
+            test_disjoint_sets_stay_apart;
+          Alcotest.test_case "empty target set" `Quick
+            test_empty_target_site_never_passes;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "lonely AT function" `Quick
+            test_unused_at_function_gets_singleton;
+        ] );
+      ("props", qc [ prop_branch_class_covers_targets; prop_eqcs_bounded_by_ibts ]);
+    ]

@@ -1,0 +1,482 @@
+(* End-to-end code-generator tests: each case compiles a MiniC program
+   (uninstrumented, plus libc) through the real pipeline, runs it on the
+   VM, and checks the exit code and output.  The same programs run again
+   under MCFI in test_runtime; here the concern is language semantics. *)
+
+let run ?(instrumented = false) ?(tco = false) src =
+  Mcfi.Pipeline.run_source ~instrumented ~tco src
+
+let expect_output ?tco name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match run ?tco src with
+      | Mcfi_runtime.Machine.Exited 0, out ->
+        Alcotest.(check string) name expected out
+      | reason, out ->
+        Alcotest.failf "%s: %a (output %S)" name
+          Mcfi_runtime.Machine.pp_exit_reason reason out)
+
+let expect_exit name src code =
+  Alcotest.test_case name `Quick (fun () ->
+      match run src with
+      | Mcfi_runtime.Machine.Exited n, _ -> Alcotest.(check int) name code n
+      | reason, out ->
+        Alcotest.failf "%s: %a (output %S)" name
+          Mcfi_runtime.Machine.pp_exit_reason reason out)
+
+let expect_fault name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match run src with
+      | Mcfi_runtime.Machine.Fault _, _ -> ()
+      | reason, out ->
+        Alcotest.failf "%s: expected a fault, got %a (output %S)" name
+          Mcfi_runtime.Machine.pp_exit_reason reason out)
+
+let semantics =
+  [
+    expect_output "arithmetic"
+      {|int main() { printf("%d %d %d %d %d", 7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); return 0; }|}
+      "10 4 21 2 1";
+    expect_output "precedence"
+      {|int main() { printf("%d", 2 + 3 * 4 - 10 / 5); return 0; }|} "12";
+    expect_output "negative division truncates toward zero"
+      {|int main() { printf("%d %d", -7 / 2, -7 % 2); return 0; }|} "-3 -1";
+    expect_output "bitwise"
+      {|int main() { printf("%d %d %d %d %d", 12 & 10, 12 | 10, 12 ^ 10, 1 << 4, 64 >> 3); return 0; }|}
+      "8 14 6 16 8";
+    expect_output "comparisons produce 0/1"
+      {|int main() { printf("%d%d%d%d%d%d", 1 < 2, 2 <= 2, 3 > 4, 4 >= 5, 5 == 5, 5 != 5); return 0; }|}
+      "110010";
+    expect_output "short circuit and"
+      {|
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+  int r = 0 && bump();
+  printf("%d %d", r, calls);
+  return 0;
+}|}
+      "0 0";
+    expect_output "short circuit or"
+      {|
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+  int r = 1 || bump();
+  printf("%d %d", r, calls);
+  return 0;
+}|}
+      "1 0";
+    expect_output "ternary"
+      {|int main() { int x = 5; printf("%d %d", x > 3 ? 10 : 20, x < 3 ? 10 : 20); return 0; }|}
+      "10 20";
+    expect_output "assignment is an expression"
+      {|int main() { int a; int b; a = b = 21; printf("%d", a + b); return 0; }|}
+      "42";
+    expect_output "unary operators"
+      {|int main() { int x = 5; printf("%d %d %d", -x, !x, ~x); return 0; }|}
+      "-5 0 -6";
+  ]
+
+let control_flow =
+  [
+    expect_output "while with break/continue"
+      {|
+int main() {
+  int i = 0;
+  int s = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    s = s + i;
+  }
+  printf("%d", s);
+  return 0;
+}|}
+      "25";
+    expect_output "for with declaration in header"
+      {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) { s = s + i * i; }
+  printf("%d", s);
+  return 0;
+}|}
+      "30";
+    expect_output "nested loops with continue"
+      {|
+int main() {
+  int s = 0;
+  int i;
+  int j;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      if (j == i) { continue; }
+      s = s + 1;
+    }
+  }
+  printf("%d", s);
+  return 0;
+}|}
+      "12";
+    expect_output "dense switch builds a jump table"
+      {|
+int pick(int x) {
+  switch (x) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: return 13;
+    case 4: return 14;
+    default: return -1;
+  }
+}
+int main() {
+  int i;
+  for (i = -1; i < 6; i = i + 1) { printf("%d ", pick(i)); }
+  return 0;
+}|}
+      "-1 10 11 12 13 14 -1 ";
+    expect_output "sparse switch compares"
+      {|
+int pick(int x) {
+  switch (x) {
+    case 100: return 1;
+    case -7: return 2;
+    default: return 3;
+  }
+}
+int main() { printf("%d%d%d", pick(100), pick(-7), pick(0)); return 0; }|}
+      "123";
+    expect_output "switch multi-label case"
+      {|
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) {
+    switch (i) { case 0: case 2: case 4: print_str("e"); default: print_str("o"); }
+  }
+  return 0;
+}|}
+      "eoeoe";
+    expect_output "recursion"
+      {|
+int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+int main() { printf("%d", fib(15)); return 0; }|}
+      "610";
+    expect_output "mutual recursion"
+      {|
+int odd(int n);
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+int main() { printf("%d%d", even(10), odd(10)); return 0; }|}
+      "10";
+  ]
+
+let memory =
+  [
+    expect_output "pointers and address-of"
+      {|
+void set(int *p, int v) { *p = v; }
+int main() {
+  int x = 1;
+  set(&x, 42);
+  printf("%d", x);
+  return 0;
+}|}
+      "42";
+    expect_output "pointer arithmetic scales"
+      {|
+struct pair { int a; int b; };
+struct pair arr[3];
+int main() {
+  struct pair *p = arr;
+  p = p + 2;
+  p->a = 7;
+  printf("%d", arr[2].a);
+  return 0;
+}|}
+      "7";
+    expect_output "pointer difference"
+      {|
+int arr[10];
+int main() {
+  int *a = &arr[2];
+  int *b = &arr[9];
+  printf("%d", b - a);
+  return 0;
+}|}
+      "7";
+    expect_output "array in struct"
+      {|
+struct buf { int len; int data[4]; };
+int main() {
+  struct buf b;
+  int i;
+  b.len = 4;
+  for (i = 0; i < 4; i = i + 1) { b.data[i] = i * i; }
+  printf("%d%d%d%d", b.data[0], b.data[1], b.data[2], b.data[3]);
+  return 0;
+}|}
+      "0149";
+    expect_output "nested struct access"
+      {|
+struct inner { int x; int y; };
+struct outer { int tag; struct inner in; };
+int main() {
+  struct outer o;
+  o.in.x = 6;
+  o.in.y = 7;
+  printf("%d", o.in.x * o.in.y);
+  return 0;
+}|}
+      "42";
+    expect_output "union shares storage"
+      {|
+union u { int as_int; char as_char; };
+int main() {
+  union u v;
+  v.as_int = 65;
+  printf("%c", v.as_char);
+  return 0;
+}|}
+      "A";
+    expect_output "global initializers"
+      {|
+int x = 40;
+int arr[3] = { 1, 2, 3 };
+int computed = 6 * 7;
+int main() { printf("%d %d %d", x + arr[1], arr[0] + arr[2], computed); return 0; }|}
+      "42 4 42";
+    expect_output "string literals and strlen"
+      {|int main() { char *s = "hello"; printf("%s:%d", s, strlen(s)); return 0; }|}
+      "hello:5";
+    expect_output "malloc'd memory persists"
+      {|
+int *mk(int n) {
+  int *p = (int *) malloc(n);
+  int i;
+  for (i = 0; i < n; i = i + 1) { p[i] = i; }
+  return p;
+}
+int main() {
+  int *a = mk(5);
+  int *b = mk(5);
+  printf("%d %d", a[4], b == a);
+  return 0;
+}|}
+      "4 0";
+    expect_fault "null dereference faults" {|int main() { int *p = (int *) 0; return *p; }|};
+    expect_fault "division by zero faults"
+      {|int main() { int z = 0; return 5 / z; }|};
+  ]
+
+let functions =
+  [
+    expect_output "function pointer call"
+      {|
+int dbl(int x) { return 2 * x; }
+int main() {
+  int (*f)(int) = dbl;
+  printf("%d", f(21));
+  return 0;
+}|}
+      "42";
+    expect_output "function pointer array dispatch"
+      {|
+int a(int x) { return x + 1; }
+int b(int x) { return x + 2; }
+int c(int x) { return x + 3; }
+int (*ops[3])(int) = { a, b, c };
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 3; i = i + 1) { s = s + ops[i](10); }
+  printf("%d", s);
+  return 0;
+}|}
+      "36";
+    expect_output "fptr in struct field"
+      {|
+struct obj { int v; int (*get)(struct obj *o); };
+int get_v(struct obj *o) { return o->v; }
+int main() {
+  struct obj o;
+  o.v = 42;
+  o.get = get_v;
+  printf("%d", o.get(&o));
+  return 0;
+}|}
+      "42";
+    expect_output "higher order"
+      {|
+int apply_twice(int (*f)(int), int x) { return f(f(x)); }
+int inc(int x) { return x + 1; }
+int main() { printf("%d", apply_twice(inc, 40)); return 0; }|}
+      "42";
+    expect_output "varargs printf"
+      {|int main() { printf("%d-%s-%c-%%", 1, "two", '3'); return 0; }|}
+      "1-two-3-%";
+    expect_output "custom varargs via __vararg"
+      {|
+int sum_all(int n, ...) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + __vararg(i); }
+  return s;
+}
+int main() { printf("%d", sum_all(4, 10, 20, 30, 40)); return 0; }|}
+      "100";
+    expect_output "deep expression spills"
+      {|
+int main() {
+  int r = 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12))))))))));
+  printf("%d", r);
+  return 0;
+}|}
+      "78";
+    expect_output "call in deep expression saves temporaries"
+      {|
+int seven() { return 7; }
+int main() {
+  int r = 1 + (2 + (3 + (4 + (5 * seven()))));
+  printf("%d", r);
+  return 0;
+}|}
+      "45";
+    expect_exit "exit code from main"
+      {|int main() { return 42; }|} 42;
+  ]
+
+let setjmp_tco =
+  [
+    expect_output "setjmp returns twice"
+      {|
+int buf[4];
+int main() {
+  int r = setjmp(buf);
+  printf("[%d]", r);
+  if (r < 3) { longjmp(buf, r + 1); }
+  return 0;
+}|}
+      "[0][1][2][3]";
+    expect_output "longjmp across frames"
+      {|
+int buf[4];
+void deep(int n) {
+  if (n == 0) { longjmp(buf, 42); }
+  deep(n - 1);
+}
+int main() {
+  int r = setjmp(buf);
+  if (r == 0) { deep(10); return 1; }
+  printf("%d", r);
+  return 0;
+}|}
+      "42";
+    expect_output ~tco:true "deep tail recursion with tco"
+      {|
+int count(int n, int acc) {
+  if (n == 0) { return acc; }
+  return count(n - 1, acc + 1);
+}
+int main() { printf("%d", count(200000, 0)); return 0; }|}
+      "200000";
+    expect_output ~tco:true "indirect tail call"
+      {|
+int base(int n, int acc) { return acc; }
+int step(int n, int acc);
+int (*next)(int, int) = step;
+int step(int n, int acc) {
+  if (n == 0) { return base(n, acc); }
+  return next(n - 1, acc + 2);
+}
+int main() { printf("%d", step(1000, 0)); return 0; }|}
+      "2000";
+  ]
+
+(* objfile serialization round trip *)
+let test_objfile_roundtrip () =
+  let src = Suite.Libc.header ^ {|
+int twice(int x) { return 2 * x; }
+int main() { return twice(21) - 42; }|} in
+  let obj = Mcfi.Pipeline.compile_module ~name:"rt" src in
+  let obj = Mcfi.Pipeline.instrument obj in
+  let path = Filename.temp_file "mcfi" ".mobj" in
+  Mcfi_compiler.Objfile.save path obj;
+  let loaded = Mcfi_compiler.Objfile.load path in
+  Sys.remove path;
+  Alcotest.(check string) "name" obj.o_name loaded.o_name;
+  Alcotest.(check int) "items"
+    (List.length obj.o_items)
+    (List.length loaded.o_items);
+  Alcotest.(check int) "sites"
+    (List.length obj.o_sites)
+    (List.length loaded.o_sites);
+  Alcotest.(check bool) "instrumented" true loaded.o_instrumented
+
+let test_objfile_bad_magic () =
+  let path = Filename.temp_file "mcfi" ".mobj" in
+  let oc = open_out path in
+  output_string oc "NOT AN OBJECT";
+  close_out oc;
+  let result =
+    match Mcfi_compiler.Objfile.load path with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "rejected" true result
+
+(* Property: compiled arithmetic agrees with OCaml's. *)
+let prop_compiled_arith =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then map (fun v -> `Lit v) (int_range (-1000) 1000)
+          else
+            frequency
+              [
+                (1, map (fun v -> `Lit v) (int_range (-1000) 1000));
+                ( 3,
+                  map3
+                    (fun op a b -> `Bin (op, a, b))
+                    (oneofl [ "+"; "-"; "*" ])
+                    (self (n / 2)) (self (n / 2)) );
+              ]))
+  in
+  let rec render = function
+    | `Lit v -> if v < 0 then Printf.sprintf "(0 - %d)" (-v) else string_of_int v
+    | `Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+  in
+  let rec eval = function
+    | `Lit v -> v
+    | `Bin ("+", a, b) -> eval a + eval b
+    | `Bin ("-", a, b) -> eval a - eval b
+    | `Bin ("*", a, b) -> eval a * eval b
+    | `Bin _ -> assert false
+  in
+  QCheck.Test.make ~name:"compiled arithmetic agrees with OCaml" ~count:25
+    (QCheck.make ~print:render gen) (fun e ->
+      let src =
+        Printf.sprintf "int main() { print_int(%s); return 0; }" (render e)
+      in
+      match run src with
+      | Mcfi_runtime.Machine.Exited 0, out -> out = string_of_int (eval e)
+      | _ -> false)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ("semantics", semantics);
+      ("control flow", control_flow);
+      ("memory", memory);
+      ("functions", functions);
+      ("setjmp & tco", setjmp_tco);
+      ( "objfile",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_objfile_roundtrip;
+          Alcotest.test_case "bad magic rejected" `Quick test_objfile_bad_magic;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_compiled_arith ]);
+    ]

@@ -1,0 +1,356 @@
+(* Differential tests.
+
+   1. The pretty-printer round-trips: printing any suite program and
+      re-parsing yields a structurally equal AST (modulo locations and
+      negative-literal normalization).
+   2. Randomly generated, well-typed MiniC programs behave identically
+      under plain execution, MCFI, and MCFI+TCO — the instrumentation
+      must be semantically transparent on benign programs, whatever the
+      control-flow shape. Generated programs use global state, bounded
+      loops, nested calls and indirect calls through a function-pointer
+      table, with call depth bounded by construction (f_i only calls
+      f_j, j < i; the table holds only f_0/f_1). *)
+
+open Minic
+
+(* ---------- round trip ---------- *)
+
+(* Structural equality modulo locations, [ety], and the parser's
+   representation of negative literals. *)
+let rec norm_expr (e : Ast.expr) : Ast.expr =
+  let mk edesc = { Ast.edesc; eloc = Ast.no_loc; ety = Ast.Tvoid } in
+  match e.edesc with
+  | Eunop (Neg, { edesc = Eint n; _ }) -> mk (Ast.Eint (-n))
+  | Eint _ | Echar _ | Estr _ | Evar _ | Esizeof _ -> mk e.edesc
+  | Eunop (op, a) -> mk (Ast.Eunop (op, norm_expr a))
+  | Ebinop (op, a, b) -> mk (Ast.Ebinop (op, norm_expr a, norm_expr b))
+  | Eassign (a, b) -> mk (Ast.Eassign (norm_expr a, norm_expr b))
+  | Econd (a, b, c) -> mk (Ast.Econd (norm_expr a, norm_expr b, norm_expr c))
+  | Ecall (f, args) -> mk (Ast.Ecall (norm_expr f, List.map norm_expr args))
+  | Ecast (t, a) -> mk (Ast.Ecast (t, norm_expr a))
+  | Eaddr a -> mk (Ast.Eaddr (norm_expr a))
+  | Ederef a -> mk (Ast.Ederef (norm_expr a))
+  | Efield (a, f) -> mk (Ast.Efield (norm_expr a, f))
+  | Earrow (a, f) -> mk (Ast.Earrow (norm_expr a, f))
+  | Eindex (a, i) -> mk (Ast.Eindex (norm_expr a, norm_expr i))
+
+let rec norm_stmt (s : Ast.stmt) : Ast.stmt =
+  let mk sdesc = { Ast.sdesc; sloc = Ast.no_loc } in
+  match s.sdesc with
+  | Sexpr e -> mk (Ast.Sexpr (norm_expr e))
+  | Sdecl (t, n, init) -> mk (Ast.Sdecl (t, n, Option.map norm_expr init))
+  | Sif (c, a, b) ->
+    mk (Ast.Sif (norm_expr c, norm_stmt a, Option.map norm_stmt b))
+  | Swhile (c, b) -> mk (Ast.Swhile (norm_expr c, norm_stmt b))
+  | Sfor (i, c, st, b) ->
+    mk
+      (Ast.Sfor
+         ( Option.map norm_stmt i,
+           Option.map norm_expr c,
+           Option.map norm_expr st,
+           norm_stmt b ))
+  | Sreturn e -> mk (Ast.Sreturn (Option.map norm_expr e))
+  | Sblock body -> mk (Ast.Sblock (List.map norm_stmt body))
+  | Sbreak -> mk Ast.Sbreak
+  | Scontinue -> mk Ast.Scontinue
+  | Sswitch (e, cases, default) ->
+    mk
+      (Ast.Sswitch
+         ( norm_expr e,
+           List.map
+             (fun c ->
+               { Ast.cvalues = c.Ast.cvalues;
+                 cbody = List.map norm_stmt c.Ast.cbody })
+             cases,
+           Option.map (List.map norm_stmt) default ))
+
+let norm_decl = function
+  | Ast.Dfun f -> Ast.Dfun { f with fbody = List.map norm_stmt f.fbody;
+                             floc = Ast.no_loc }
+  | Ast.Dglobal (t, n, Some (Iexpr e)) ->
+    Ast.Dglobal (t, n, Some (Ast.Iexpr (norm_expr e)))
+  | Ast.Dglobal (t, n, Some (Ilist es)) ->
+    Ast.Dglobal (t, n, Some (Ast.Ilist (List.map norm_expr es)))
+  | d -> d
+
+let norm_program (p : Ast.program) =
+  { p with Ast.pdecls = List.map norm_decl p.pdecls }
+
+let roundtrip_cases =
+  List.map
+    (fun (b : Suite.Programs.benchmark) ->
+      Alcotest.test_case b.name `Quick (fun () ->
+          let p1 = Parser.parse ~name:b.name b.source in
+          let printed = Pretty.to_string p1 in
+          let p2 =
+            try Parser.parse ~name:b.name printed
+            with Parser.Error (msg, loc) ->
+              Alcotest.failf "%s: reparse failed at %a: %s\n%s" b.name
+                Ast.pp_loc loc msg printed
+          in
+          if norm_program p1 <> norm_program p2 then
+            Alcotest.failf "%s: round trip changed the AST" b.name))
+    Suite.Programs.all
+
+let libc_roundtrip =
+  Alcotest.test_case "libc" `Quick (fun () ->
+      let p1 = Parser.parse ~name:"libc" Suite.Libc.source in
+      let p2 = Parser.parse ~name:"libc" (Pretty.to_string p1) in
+      if norm_program p1 <> norm_program p2 then
+        Alcotest.fail "libc round trip changed the AST")
+
+(* ---------- random program generation ---------- *)
+
+(* Programs are generated directly as ASTs and printed to source; all
+   expressions have type int, so they are well typed by construction. *)
+
+let mk = Ast.mk_expr
+let int_ n = mk (Ast.Eint n)
+let var v = mk (Ast.Evar v)
+let bin op a b = mk (Ast.Ebinop (op, a, b))
+let assign l r = mk (Ast.Eassign (l, r))
+let call f args = mk (Ast.Ecall (var f, args))
+let idx a i = mk (Ast.Eindex (a, i))
+let stmt sdesc = { Ast.sdesc; sloc = Ast.no_loc }
+
+(* g0 is an 8-element global int array; indices are masked with & 7 *)
+let g0 i = idx (var "g0") (bin Ast.Band i (int_ 7))
+
+type genv = {
+  calls_left : int ref;
+      (* per-function budget of generated call sites: keeps the dynamic
+         call tree polynomial (f_i may call f_j for j < i, so an
+         unbounded generator would produce exponential call fans) *)
+  locals : string list;
+  fn_index : int;    (* may call f_j for j < fn_index *)
+  table_size : int;
+}
+
+let rec gen_expr rng env depth =
+  let open Mcfi_util.Prng in
+  if depth <= 0 then gen_atom rng env
+  else begin
+    match int rng 10 with
+    | 0 | 1 | 2 ->
+      let op =
+        choose rng Ast.[ Add; Sub; Mul; Band; Bor; Bxor ]
+      in
+      bin op (gen_expr rng env (depth - 1)) (gen_expr rng env (depth - 1))
+    | 3 ->
+      let op = choose rng Ast.[ Lt; Le; Eq; Ne; Gt; Ge ] in
+      bin op (gen_expr rng env (depth - 1)) (gen_expr rng env (depth - 1))
+    | 4 when env.fn_index > 0 && !(env.calls_left) > 0 ->
+      (* direct call to an earlier function *)
+      decr env.calls_left;
+      let j = int rng env.fn_index in
+      call (Printf.sprintf "f%d" j)
+        [ gen_expr rng env (depth - 1); gen_expr rng env (depth - 1) ]
+    | 5 when env.fn_index >= 2 && !(env.calls_left) > 0 ->
+      (* indirect call through the table (entries are f0/f1 only) *)
+      decr env.calls_left;
+      mk
+        (Ast.Ecall
+           ( idx (var "tab")
+               (bin Ast.Band (gen_expr rng env (depth - 1))
+                  (int_ (env.table_size - 1))),
+             [ gen_expr rng env (depth - 1); gen_expr rng env (depth - 1) ] ))
+    | 6 -> g0 (gen_expr rng env (depth - 1))
+    | _ -> gen_atom rng env
+  end
+
+and gen_atom rng env =
+  let open Mcfi_util.Prng in
+  match int rng 5 with
+  | 0 -> int_ (int rng 200 - 100)
+  | 1 -> var "a"
+  | 2 -> var "b"
+  | 3 -> var "g1"
+  | 4 when env.locals <> [] -> var (choose rng env.locals)
+  | _ -> int_ (int rng 20)
+
+let rec gen_stmt rng env depth =
+  let open Mcfi_util.Prng in
+  match int rng 8 with
+  | 0 -> (stmt (Ast.Sexpr (assign (var "g1") (gen_expr rng env 2))), env)
+  | 1 ->
+    (stmt (Ast.Sexpr (assign (g0 (gen_expr rng env 1)) (gen_expr rng env 2))),
+     env)
+  | 2 when depth > 0 ->
+    let then_, _ = gen_block rng env (depth - 1) 2 in
+    let else_, _ = gen_block rng env (depth - 1) 2 in
+    ( stmt
+        (Ast.Sif
+           ( gen_expr rng env 2,
+             stmt (Ast.Sblock then_),
+             if bool rng then Some (stmt (Ast.Sblock else_)) else None )),
+      env )
+  | 3 when depth > 0 ->
+    (* a bounded counting loop over a fresh local; no calls inside loop
+       bodies, so the dynamic call tree stays polynomial *)
+    let v = Printf.sprintf "i%d" (List.length env.locals) in
+    let body, _ =
+      gen_block rng
+        { env with locals = v :: env.locals; calls_left = ref 0 }
+        (depth - 1) 2
+    in
+    ( stmt
+        (Ast.Sfor
+           ( Some (stmt (Ast.Sdecl (Ast.Tint, v, Some (int_ 0)))),
+             Some (bin Ast.Lt (var v) (int_ (1 + int rng 6))),
+             Some (assign (var v) (bin Ast.Add (var v) (int_ 1))),
+             stmt (Ast.Sblock body) )),
+      env )
+  | 4 ->
+    let v = Printf.sprintf "x%d" (List.length env.locals) in
+    ( stmt (Ast.Sdecl (Ast.Tint, v, Some (gen_expr rng env 2))),
+      { env with locals = v :: env.locals } )
+  | 5 when depth > 0 ->
+    (* a small dense switch: exercises jump tables *)
+    let case v =
+      { Ast.cvalues = [ v ];
+        cbody = [ stmt (Ast.Sexpr (assign (var "g1")
+                                     (gen_expr rng env 1))) ] }
+    in
+    ( stmt
+        (Ast.Sswitch
+           ( bin Ast.Band (gen_expr rng env 1) (int_ 3),
+             [ case 0; case 1; case 2; case 3 ],
+             if bool rng then Some [ stmt (Ast.Sexpr (gen_expr rng env 1)) ]
+             else None )),
+      env )
+  | _ ->
+    (stmt (Ast.Sexpr (gen_expr rng env 2)), env)
+
+and gen_block rng env depth n =
+  let rec go env acc k =
+    if k = 0 then (List.rev acc, env)
+    else begin
+      let s, env = gen_stmt rng env depth in
+      go env (s :: acc) (k - 1)
+    end
+  in
+  go env [] n
+
+let gen_function rng ~fn_index ~table_size =
+  let env = { calls_left = ref 3; locals = []; fn_index; table_size } in
+  let nstmts = 2 + Mcfi_util.Prng.int rng 3 in
+  let body, env = gen_block rng env 2 nstmts in
+  {
+    Ast.fname = Printf.sprintf "f%d" fn_index;
+    fparams = [ ("a", Ast.Tint); ("b", Ast.Tint) ];
+    fvarargs = false;
+    fret = Ast.Tint;
+    fbody = body @ [ stmt (Ast.Sreturn (Some (gen_expr rng env 2))) ];
+    floc = Ast.no_loc;
+  }
+
+let gen_program seed =
+  let rng = Mcfi_util.Prng.create (Int64.of_int seed) in
+  let nfuns = 3 + Mcfi_util.Prng.int rng 4 in
+  let table_size = 4 in
+  let funs =
+    List.init nfuns (fun i -> Ast.Dfun (gen_function rng ~fn_index:i ~table_size))
+  in
+  let table_init =
+    List.init table_size (fun k -> var (Printf.sprintf "f%d" (k mod 2)))
+  in
+  let main_body =
+    List.concat_map
+      (fun k ->
+        [
+          stmt
+            (Ast.Sexpr
+               (call "print_int"
+                  [ call (Printf.sprintf "f%d" (nfuns - 1))
+                      [ int_ k; int_ (k * 7) ] ]));
+          stmt (Ast.Sexpr (call "print_char" [ int_ 32 ]));
+        ])
+      [ 0; 1; 2; 3 ]
+    @ [
+        stmt (Ast.Sexpr (call "print_int" [ var "g1" ]));
+        stmt (Ast.Sreturn (Some (int_ 0)));
+      ]
+  in
+  let decls =
+    [
+      Ast.Dglobal (Ast.Tarray (Ast.Tint, 8), "g0", None);
+      Ast.Dglobal (Ast.Tint, "g1", Some (Ast.Iexpr (int_ 0)));
+      Ast.Dglobal
+        ( Ast.Tarray
+            ( Ast.Tptr
+                (Ast.Tfun
+                   { params = [ Ast.Tint; Ast.Tint ]; varargs = false;
+                     ret = Ast.Tint }),
+              table_size ),
+          "tab",
+          Some (Ast.Ilist table_init) );
+    ]
+    @ funs
+    @ [
+        Ast.Dfun
+          {
+            fname = "main";
+            fparams = [];
+            fvarargs = false;
+            fret = Ast.Tint;
+            fbody = main_body;
+            floc = Ast.no_loc;
+          };
+      ]
+  in
+  Pretty.to_string { Ast.pname = "gen"; pdecls = decls }
+
+let run_variant ~instrumented ~tco src =
+  Mcfi.Pipeline.run_source ~instrumented ~tco ~fuel:30_000_000 src
+
+let prop_differential =
+  QCheck.Test.make ~name:"random programs: plain = MCFI = MCFI+TCO" ~count:30
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      match
+        ( run_variant ~instrumented:false ~tco:false src,
+          run_variant ~instrumented:true ~tco:false src,
+          run_variant ~instrumented:true ~tco:true src )
+      with
+      | ( (Mcfi_runtime.Machine.Exited 0, out_plain),
+          (Mcfi_runtime.Machine.Exited 0, out_mcfi),
+          (Mcfi_runtime.Machine.Exited 0, out_tco) ) ->
+        out_plain = out_mcfi && out_plain = out_tco
+      | (r1, _), (r2, _), (r3, _) ->
+        QCheck.Test.fail_reportf "unexpected exits: %a / %a / %a\n%s"
+          Mcfi_runtime.Machine.pp_exit_reason r1
+          Mcfi_runtime.Machine.pp_exit_reason r2
+          Mcfi_runtime.Machine.pp_exit_reason r3 src
+      | exception Mcfi.Pipeline.Error msg ->
+        QCheck.Test.fail_reportf "pipeline error: %s\n%s" msg src)
+
+let prop_generated_roundtrip =
+  QCheck.Test.make ~name:"generated programs round-trip" ~count:50
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      let p1 = Parser.parse ~name:"gen" src in
+      let p2 = Parser.parse ~name:"gen" (Pretty.to_string p1) in
+      norm_program p1 = norm_program p2)
+
+let prop_generated_verify =
+  QCheck.Test.make ~name:"generated programs pass the verifier" ~count:20
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      (* build_process verifies every loaded module; reaching Exited
+         means verification passed *)
+      match run_variant ~instrumented:true ~tco:false src with
+      | Mcfi_runtime.Machine.Exited 0, _ -> true
+      | _ -> false)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "diff"
+    [
+      ("suite round trip", roundtrip_cases @ [ libc_roundtrip ]);
+      ( "generated programs",
+        qc [ prop_generated_roundtrip; prop_differential; prop_generated_verify ]
+      );
+    ]

@@ -1,0 +1,287 @@
+(* Tests for the instrumentation pass and the modular verifier.
+
+   The central property, checked over the whole benchmark suite: the
+   verifier accepts everything the rewriter emits (paper §7: the verifier
+   removes the rewriter from the TCB), and rejects hand-corrupted
+   variants. *)
+
+module Asm = Vmisa.Asm
+module Instr = Vmisa.Instr
+module Objfile = Mcfi_compiler.Objfile
+module Rewriter = Instrument.Rewriter
+
+let compile ?(instrument = true) name src =
+  let obj = Mcfi.Pipeline.compile_module ~name (Suite.Libc.header ^ src) in
+  if instrument then Mcfi.Pipeline.instrument obj else obj
+
+let layout obj =
+  match
+    Asm.assemble ~base:Vmisa.Abi.code_base
+      ~resolve_code:(fun _ -> Some Vmisa.Abi.code_base)
+      ~resolve_data:(fun _ -> Some 16)
+      obj.Objfile.o_items
+  with
+  | Ok prog -> prog
+  | Error e -> Alcotest.failf "assemble: %a" Asm.pp_error e
+
+let verify ?sandbox obj =
+  Verifier.verify ?sandbox ~obj ~prog:(layout obj) ~slot_base:0
+    ~slot_count:(List.length obj.Objfile.o_sites) ()
+
+let demo_src =
+  {|
+int sink[8];
+int inc(int x) { return x + 1; }
+int apply(int (*f)(int), int v, int *out) {
+  *out = f(v);
+  return *out;
+}
+int main() {
+  switch (apply(inc, 41, sink)) {
+    case 40: return 1;
+    case 41: return 2;
+    case 42: return 0;
+    case 43: return 3;
+    case 44: return 4;
+    default: return 5;
+  }
+}
+|}
+
+(* ---------- rewriter structure ---------- *)
+
+let count_instr pred obj =
+  List.length
+    (List.filter (function Asm.I i -> pred i | _ -> false) obj.Objfile.o_items)
+
+let test_no_ret_remains () =
+  let obj = compile "demo" demo_src in
+  Alcotest.(check int) "no rets" 0
+    (count_instr (function Instr.Ret -> true | _ -> false) obj)
+
+let test_branch_count_matches_sites () =
+  let obj = compile "demo" demo_src in
+  Alcotest.(check int) "one commit per site"
+    (List.length obj.Objfile.o_sites)
+    (count_instr Instr.is_indirect_branch obj)
+
+let test_bary_slots_sequential () =
+  let obj = compile "demo" demo_src in
+  let slots =
+    List.filter_map
+      (function
+        | Asm.I (Instr.Bary_load (_, k)) -> Some k
+        | _ -> None)
+      obj.Objfile.o_items
+  in
+  Alcotest.(check (list int)) "slots 0..n-1"
+    (List.init (List.length obj.Objfile.o_sites) Fun.id)
+    (List.sort compare slots)
+
+let test_double_instrument_rejected () =
+  let obj = compile "demo" demo_src in
+  Alcotest.(check bool) "raises" true
+    (match Rewriter.instrument obj with
+    | _ -> false
+    | exception Rewriter.Error _ -> true)
+
+let test_code_grows () =
+  let plain = compile ~instrument:false "demo" demo_src in
+  let mcfi = compile "demo" demo_src in
+  let p = Rewriter.size_of_items plain.Objfile.o_items in
+  let m = Rewriter.size_of_items mcfi.Objfile.o_items in
+  Alcotest.(check bool) "instrumented code is larger" true (m > p)
+
+let test_plt_entry_shape () =
+  let items = Rewriter.plt_entry ~symbol:"ext" ~slot:7 in
+  (* contains the GOT reload, a Bary_load with the right slot, and a
+     committing Jmp_r *)
+  let has pred = List.exists pred items in
+  Alcotest.(check bool) "got symbol" true
+    (has (function Asm.Mov_dsym (_, s) -> s = "__got_ext" | _ -> false));
+  Alcotest.(check bool) "bary slot" true
+    (has (function Asm.I (Instr.Bary_load (_, 7)) -> true | _ -> false));
+  Alcotest.(check bool) "committing jump" true
+    (has (function Asm.I (Instr.Jmp_r _) -> true | _ -> false))
+
+(* ---------- verifier: acceptance over the whole suite ---------- *)
+
+let test_verifier_accepts_suite () =
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let obj = compile b.name b.source in
+      match verify obj with
+      | Ok () -> ()
+      | Error issues ->
+        Alcotest.failf "%s rejected: %a" b.name
+          Fmt.(list ~sep:(any "; ") Verifier.pp_issue)
+          issues)
+    Suite.Programs.all
+
+let test_verifier_accepts_libc () =
+  let obj =
+    Mcfi.Pipeline.instrument
+      (Mcfi.Pipeline.compile_module ~name:"libc" Suite.Libc.source)
+  in
+  match verify obj with
+  | Ok () -> ()
+  | Error issues ->
+    Alcotest.failf "libc rejected: %a"
+      Fmt.(list ~sep:(any "; ") Verifier.pp_issue)
+      issues
+
+(* ---------- verifier: rejections ---------- *)
+
+let expect_reject label mutate =
+  Alcotest.test_case label `Quick (fun () ->
+      let obj = compile "demo" demo_src in
+      let bad = mutate obj in
+      match verify bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "%s: corrupted module passed" label)
+
+let replace_first pred replacement obj =
+  let fired = ref false in
+  let items =
+    List.concat_map
+      (fun item ->
+        if (not !fired) && pred item then begin
+          fired := true;
+          replacement
+        end
+        else [ item ])
+      obj.Objfile.o_items
+  in
+  { obj with Objfile.o_items = items }
+
+let rejections =
+  [
+    expect_reject "naked ret"
+      (replace_first
+         (function Asm.I (Instr.Jmp_r _) -> true | _ -> false)
+         [ Asm.I Instr.Ret ]);
+    expect_reject "unchecked indirect call"
+      (replace_first
+         (function Asm.I (Instr.Bary_load _) -> true | _ -> false)
+         [ Asm.I Instr.Nop ]);
+    expect_reject "unmasked store"
+      (replace_first
+         (function
+           | Asm.I (Instr.Binop_i (Instr.And, r, _)) -> r = Instr.rscratch0
+           | _ -> false)
+         []);
+    expect_reject "store via arbitrary register"
+      (fun obj ->
+        { obj with
+          Objfile.o_items = obj.Objfile.o_items @ [ Asm.I (Instr.Store (3, 0, 4)) ]
+        });
+    expect_reject "misaligned function entry"
+      (replace_first
+         (function Asm.Label l -> l = "inc" | _ -> false)
+         [ Asm.I Instr.Nop; Asm.Label "inc" ]);
+    expect_reject "branch through wrong register"
+      (replace_first
+         (function Asm.I (Instr.Jmp_r _) -> true | _ -> false)
+         [ Asm.I (Instr.Jmp_r 5) ]);
+    expect_reject "bary slot out of module range"
+      (replace_first
+         (function Asm.I (Instr.Bary_load _) -> true | _ -> false)
+         [ Asm.I (Instr.Bary_load (Instr.rscratch2, 4095)) ]);
+    expect_reject "direct jump into mid-instruction"
+      (fun obj ->
+        (* lead the module with a 10-byte Mov_ri, then jump one byte into
+           it: base+1 is not an instruction boundary *)
+        { obj with
+          Objfile.o_items =
+            (Asm.I (Instr.Mov_ri (0, 0)) :: obj.Objfile.o_items)
+            @ [ Asm.I (Instr.Jmp (Vmisa.Abi.code_base + 1)) ]
+        });
+  ]
+
+(* ---------- sandbox flavours (paper §5.1: x86-32 vs x86-64) ---------- *)
+
+let test_segment_mode_omits_masks () =
+  let obj = Mcfi.Pipeline.compile_module ~name:"demo" (Suite.Libc.header ^ demo_src) in
+  let seg = Mcfi.Pipeline.instrument ~sandbox:Vmisa.Abi.Segment obj in
+  let masks =
+    count_instr
+      (function
+        | Instr.Binop_i (Instr.And, r, m) ->
+          r = Instr.rscratch0 && m = Vmisa.Abi.sandbox_mask
+        | _ -> false)
+      seg
+  in
+  Alcotest.(check int) "no masks under segmentation" 0 masks;
+  (* and the segment-mode verifier accepts it... *)
+  (match verify ~sandbox:Vmisa.Abi.Segment seg with
+  | Ok () -> ()
+  | Error issues ->
+    Alcotest.failf "segment module rejected: %a"
+      Fmt.(list ~sep:(any "; ") Verifier.pp_issue)
+      issues);
+  (* ...while the mask-mode verifier rejects its unmasked stores *)
+  match verify ~sandbox:Vmisa.Abi.Mask seg with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unmasked stores passed the Mask verifier"
+
+let test_segment_mode_runs () =
+  let proc =
+    Mcfi.Pipeline.build_process ~sandbox:Vmisa.Abi.Segment
+      ~sources:[ ("demo", demo_src) ]
+      ()
+  in
+  match Mcfi_runtime.Process.run proc with
+  | Mcfi_runtime.Machine.Exited 0 -> ()
+  | r ->
+    Alcotest.failf "segment-mode run: %a" Mcfi_runtime.Machine.pp_exit_reason r
+
+let test_segment_code_is_smaller () =
+  let obj = Mcfi.Pipeline.compile_module ~name:"demo" (Suite.Libc.header ^ demo_src) in
+  let seg = Mcfi.Pipeline.instrument ~sandbox:Vmisa.Abi.Segment obj in
+  let mask =
+    Mcfi.Pipeline.instrument ~sandbox:Vmisa.Abi.Mask
+      (Mcfi.Pipeline.compile_module ~name:"demo" (Suite.Libc.header ^ demo_src))
+  in
+  Alcotest.(check bool) "segmentation needs fewer bytes" true
+    (Rewriter.size_of_items seg.Objfile.o_items
+    < Rewriter.size_of_items mask.Objfile.o_items)
+
+(* uninstrumented code must be rejected wholesale *)
+let test_verifier_rejects_plain () =
+  let obj = compile ~instrument:false "demo" demo_src in
+  match verify { obj with Objfile.o_instrumented = true } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "plain module passed verification"
+
+let () =
+  Alcotest.run "instrument"
+    [
+      ( "rewriter",
+        [
+          Alcotest.test_case "no ret remains" `Quick test_no_ret_remains;
+          Alcotest.test_case "branch count = sites" `Quick
+            test_branch_count_matches_sites;
+          Alcotest.test_case "bary slots sequential" `Quick
+            test_bary_slots_sequential;
+          Alcotest.test_case "double instrument" `Quick
+            test_double_instrument_rejected;
+          Alcotest.test_case "code grows" `Quick test_code_grows;
+          Alcotest.test_case "plt entry shape" `Quick test_plt_entry_shape;
+        ] );
+      ( "verifier acceptance",
+        [
+          Alcotest.test_case "whole suite verifies" `Quick
+            test_verifier_accepts_suite;
+          Alcotest.test_case "libc verifies" `Quick test_verifier_accepts_libc;
+          Alcotest.test_case "plain rejected" `Quick test_verifier_rejects_plain;
+        ] );
+      ("verifier rejections", rejections);
+      ( "sandbox flavours",
+        [
+          Alcotest.test_case "segment omits masks" `Quick
+            test_segment_mode_omits_masks;
+          Alcotest.test_case "segment mode runs" `Quick test_segment_mode_runs;
+          Alcotest.test_case "segment code smaller" `Quick
+            test_segment_code_is_smaller;
+        ] );
+    ]

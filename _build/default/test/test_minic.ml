@@ -1,0 +1,464 @@
+(* Unit and property tests for the MiniC front end: lexer, parser,
+   structural type equivalence, and type checker. *)
+
+open Minic
+
+let parse src = Parser.parse ~name:"test" src
+let check src = Typecheck.check (parse src)
+
+let typechecks src =
+  match check src with
+  | _ -> true
+  | exception (Typecheck.Error _ | Parser.Error _ | Lexer.Error _) -> false
+
+let rejects src = not (typechecks src)
+
+(* ---------- lexer ---------- *)
+
+let test_lex_basic () =
+  let toks = Lexer.tokenize "int x = 42; // comment\n x->f" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool)
+    "token stream" true
+    (kinds
+    = Token.
+        [
+          KINT; IDENT "x"; ASSIGN; INT_LIT 42; SEMI; IDENT "x"; ARROW;
+          IDENT "f"; EOF;
+        ])
+
+let test_lex_literals () =
+  let toks = Lexer.tokenize "0x1f 'a' '\\n' \"hi\\t\"" in
+  Alcotest.(check bool)
+    "literals" true
+    (List.map fst toks
+    = Token.[ INT_LIT 31; CHAR_LIT 'a'; CHAR_LIT '\n'; STR_LIT "hi\t"; EOF ])
+
+let test_lex_operators () =
+  let toks = Lexer.tokenize "<< >> <= >= == != && || ... -> ." in
+  Alcotest.(check bool)
+    "operators" true
+    (List.map fst toks
+    = Token.[ SHL; SHR; LE; GE; EQEQ; NE; ANDAND; OROR; ELLIPSIS; ARROW;
+              DOT; EOF ])
+
+let test_lex_block_comment () =
+  let toks = Lexer.tokenize "a /* b \n c */ d" in
+  Alcotest.(check int) "two idents" 3 (List.length toks)
+
+let test_lex_error () =
+  match Lexer.tokenize "@" with
+  | exception Lexer.Error (msg, loc) ->
+    Alcotest.(check string) "message" "unexpected character '@'" msg;
+    Alcotest.(check int) "line" 1 loc.Ast.line
+  | _ -> Alcotest.fail "expected a lexer error"
+
+(* ---------- parser: declarators ---------- *)
+
+let global_ty src name =
+  let prog = parse src in
+  List.find_map
+    (function
+      | Ast.Dglobal (t, n, _) when n = name -> Some t
+      | _ -> None)
+    prog.Ast.pdecls
+  |> Option.get
+
+let test_declarator_ptr () =
+  Alcotest.(check string)
+    "int *p" "int*"
+    (Ast.ty_to_string (global_ty "int *p;" "p"))
+
+let test_declarator_array_of_ptr () =
+  let t = global_ty "int *a[3];" "a" in
+  Alcotest.(check bool) "array of ptr" true (t = Ast.Tarray (Tptr Tint, 3))
+
+let test_declarator_fptr () =
+  let t = global_ty "int (*f)(int, char*);" "f" in
+  Alcotest.(check bool)
+    "fptr" true
+    (t
+    = Ast.Tptr
+        (Tfun { params = [ Tint; Tptr Tchar ]; varargs = false; ret = Tint }))
+
+let test_declarator_fptr_array () =
+  let t = global_ty "int (*table[4])(int);" "table" in
+  Alcotest.(check bool)
+    "fptr array" true
+    (t
+    = Ast.Tarray
+        (Tptr (Tfun { params = [ Tint ]; varargs = false; ret = Tint }), 4))
+
+let test_declarator_fun_returning_ptr () =
+  (* a prototype: int *f(int); *)
+  let prog = parse "int *f(int);" in
+  match prog.Ast.pdecls with
+  | [ Ast.Dextern_fun ("f", ft) ] ->
+    Alcotest.(check bool)
+      "ret ptr" true
+      (ft = { Ast.params = [ Tint ]; varargs = false; ret = Tptr Tint })
+  | _ -> Alcotest.fail "expected a prototype"
+
+let test_varargs_proto () =
+  let prog = parse "int printf(char *fmt, ...);" in
+  match prog.Ast.pdecls with
+  | [ Ast.Dextern_fun ("printf", ft) ] ->
+    Alcotest.(check bool) "varargs" true ft.Ast.varargs
+  | _ -> Alcotest.fail "expected a prototype"
+
+let test_parse_struct_typedef () =
+  let prog =
+    parse
+      "struct point { int x; int y; };\n\
+       typedef struct point point;\n\
+       point *origin;"
+  in
+  Alcotest.(check int) "three decls" 3 (List.length prog.Ast.pdecls)
+
+let test_parse_function () =
+  let prog = parse "int add(int a, int b) { return a + b; }" in
+  match prog.Ast.pdecls with
+  | [ Ast.Dfun f ] ->
+    Alcotest.(check string) "name" "add" f.Ast.fname;
+    Alcotest.(check int) "params" 2 (List.length f.Ast.fparams)
+  | _ -> Alcotest.fail "expected a function"
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  match e.Ast.edesc with
+  | Ast.Ebinop (Ast.Add, _, { edesc = Ast.Ebinop (Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "wrong precedence"
+
+let test_parse_assoc () =
+  (* a = b = c is right-associative *)
+  let e = Parser.parse_expr "a = b = c" in
+  match e.Ast.edesc with
+  | Ast.Eassign (_, { edesc = Ast.Eassign (_, _); _ }) -> ()
+  | _ -> Alcotest.fail "assignment should be right-associative"
+
+let test_parse_switch () =
+  let prog =
+    parse
+      "int f(int x) {\n\
+      \  switch (x) {\n\
+      \    case 1: case 2: return 10;\n\
+      \    case 3: return 20;\n\
+      \    default: return 0;\n\
+      \  }\n\
+       }"
+  in
+  match prog.Ast.pdecls with
+  | [ Ast.Dfun { fbody = [ { sdesc = Sswitch (_, cases, Some _); _ } ]; _ } ]
+    ->
+    Alcotest.(check int) "cases" 2 (List.length cases);
+    Alcotest.(check bool)
+      "multi-label" true
+      ((List.hd cases).Ast.cvalues = [ 1; 2 ])
+  | _ -> Alcotest.fail "expected a switch"
+
+let test_parse_cast_vs_paren () =
+  (* (x) + 1 is not a cast; (int) x is *)
+  let e1 = Parser.parse_expr "(x) + 1" in
+  (match e1.Ast.edesc with
+  | Ast.Ebinop (Ast.Add, _, _) -> ()
+  | _ -> Alcotest.fail "paren expr misparsed");
+  let prog = parse "int g(int y) { return (int) y; }" in
+  match prog.Ast.pdecls with
+  | [ Ast.Dfun { fbody = [ { sdesc = Sreturn (Some e); _ } ]; _ } ] -> (
+    match e.Ast.edesc with
+    | Ast.Ecast (Ast.Tint, _) -> ()
+    | _ -> Alcotest.fail "cast misparsed")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_error_reports_location () =
+  match parse "int f( { }" with
+  | exception Parser.Error (_, loc) ->
+    Alcotest.(check bool) "line 1" true (loc.Ast.line = 1)
+  | _ -> Alcotest.fail "expected a parse error"
+
+(* ---------- structural type equivalence ---------- *)
+
+let env_of src = (check src).Typecheck.env
+
+let test_equal_typedef_unfold () =
+  let env =
+    env_of "typedef int word; typedef word dword;"
+  in
+  Alcotest.(check bool)
+    "typedef unfolds" true
+    (Types.equal env (Tnamed "dword") Tint)
+
+let test_equal_fun_structural () =
+  let env = env_of "typedef int word;" in
+  let f1 =
+    Ast.Tfun { params = [ Ast.Tnamed "word" ]; varargs = false; ret = Tint }
+  in
+  let f2 = Ast.Tfun { params = [ Ast.Tint ]; varargs = false; ret = Tint } in
+  Alcotest.(check bool) "structural" true (Types.equal env f1 f2)
+
+let test_equal_recursive_struct () =
+  let env =
+    env_of "struct node { int v; struct node *next; };"
+  in
+  Alcotest.(check bool)
+    "recursive struct equals itself" true
+    (Types.equal env (Tstruct "node") (Tstruct "node"))
+
+let test_unequal_fun () =
+  let env = env_of "" in
+  let f1 = Ast.Tfun { params = [ Ast.Tint ]; varargs = false; ret = Tint } in
+  let f2 =
+    Ast.Tfun { params = [ Ast.Tptr Ast.Tchar ]; varargs = false; ret = Tint }
+  in
+  Alcotest.(check bool) "different params" false (Types.equal env f1 f2)
+
+let test_callable_varargs () =
+  let env = env_of "" in
+  let site = { Ast.params = [ Ast.Tint ]; varargs = true; ret = Ast.Tint } in
+  let printf_like =
+    { Ast.params = [ Ast.Tint; Ast.Tptr Ast.Tchar ]; varargs = false;
+      ret = Ast.Tint }
+  in
+  let wrong_ret =
+    { Ast.params = [ Ast.Tint ]; varargs = false; ret = Ast.Tvoid }
+  in
+  Alcotest.(check bool)
+    "prefix params match" true
+    (Types.callable env ~site ~fn:printf_like);
+  Alcotest.(check bool)
+    "return must match" false
+    (Types.callable env ~site ~fn:wrong_ret)
+
+let test_sizeof () =
+  let env =
+    env_of
+      "struct pair { int a; int b; };\n\
+       union u { struct pair p; int x; };\n\
+       struct big { struct pair p; int tail[3]; };"
+  in
+  Alcotest.(check int) "pair" 2 (Types.sizeof env (Tstruct "pair"));
+  Alcotest.(check int) "union" 2 (Types.sizeof env (Tunion "u"));
+  Alcotest.(check int) "big" 5 (Types.sizeof env (Tstruct "big"))
+
+let test_prefix_struct () =
+  let env =
+    env_of
+      "struct base { int tag; int size; };\n\
+       struct derived { int tag; int size; int extra; };\n\
+       struct other { int size; int tag; };"
+  in
+  Alcotest.(check bool)
+    "derived <: base" true
+    (Types.prefix_struct env ~sub:"derived" ~sup:"base");
+  Alcotest.(check bool)
+    "base not <: derived" false
+    (Types.prefix_struct env ~sub:"base" ~sup:"derived");
+  Alcotest.(check bool)
+    "field order matters" false
+    (Types.prefix_struct env ~sub:"other" ~sup:"base")
+
+let test_contains_fptr () =
+  let env =
+    env_of
+      "struct ops { int (*open)(int); int mode; };\n\
+       struct plain { int a; };\n\
+       struct nested { struct ops o; };"
+  in
+  Alcotest.(check bool) "ops" true (Types.contains_fptr env (Tstruct "ops"));
+  Alcotest.(check bool)
+    "plain" false
+    (Types.contains_fptr env (Tstruct "plain"));
+  Alcotest.(check bool)
+    "nested" true
+    (Types.contains_fptr env (Tstruct "nested"))
+
+(* ---------- typechecker ---------- *)
+
+let test_tc_accepts_basics () =
+  Alcotest.(check bool) "ok" true
+    (typechecks
+       "int square(int x) { return x * x; }\n\
+        int main() { int y = square(7); return y; }")
+
+let test_tc_rejects_unbound () =
+  Alcotest.(check bool) "unbound" true (rejects "int f() { return zzz; }")
+
+let test_tc_rejects_bad_call () =
+  Alcotest.(check bool) "arity" true
+    (rejects "int g(int x) { return x; } int f() { return g(1, 2); }")
+
+let test_tc_rejects_return_mismatch () =
+  Alcotest.(check bool) "struct return mismatch" true
+    (rejects
+       "struct s { int a; };\n\
+        struct s gs;\n\
+        int f() { return gs; }")
+
+let test_tc_fptr_flow () =
+  Alcotest.(check bool) "fptr" true
+    (typechecks
+       "int inc(int x) { return x + 1; }\n\
+        int apply(int (*f)(int), int v) { return f(v); }\n\
+        int main() { return apply(inc, 41); }")
+
+let test_tc_address_taken () =
+  let info =
+    check
+      "int inc(int x) { return x + 1; }\n\
+       int dec(int x) { return x - 1; }\n\
+       int (*fp)(int) = inc;\n\
+       int main() { return fp(1) + dec(2); }"
+  in
+  Alcotest.(check bool)
+    "inc is address-taken" true
+    (List.mem "inc" info.Typecheck.address_taken);
+  Alcotest.(check bool)
+    "dec is not" false
+    (List.mem "dec" info.Typecheck.address_taken)
+
+let test_tc_permissive_scalar_cast () =
+  (* C-with-warnings regime: fptr <-> void* casts type-check (the Analyzer
+     flags them, the type checker does not reject them). *)
+  Alcotest.(check bool) "void* cast ok" true
+    (typechecks
+       "int inc(int x) { return x + 1; }\n\
+        void *p;\n\
+        int main() { p = (void*) inc; return 0; }")
+
+let test_tc_rejects_field_on_int () =
+  Alcotest.(check bool) "no fields on int" true
+    (rejects "int main() { int x; return x.f; }")
+
+let test_tc_rejects_break_outside_loop () =
+  Alcotest.(check bool) "break" true (rejects "int main() { break; return 0; }")
+
+let test_tc_scopes () =
+  Alcotest.(check bool) "inner scope dies" true
+    (rejects "int main() { if (1) { int y = 2; } return y; }")
+
+let test_tc_switch_duplicate_case () =
+  Alcotest.(check bool) "dup case" true
+    (rejects "int main() { switch (1) { case 1: return 1; case 1: return 2; } return 0; }")
+
+let test_tc_intrinsics () =
+  Alcotest.(check bool) "syscall/setjmp/longjmp" true
+    (typechecks
+       "int main() {\n\
+        int buf[8];\n\
+        if (setjmp(buf) == 0) { longjmp(buf, 1); }\n\
+        return __syscall(1, 42);\n\
+        }")
+
+let test_tc_pointer_arith () =
+  Alcotest.(check bool) "ptr arith" true
+    (typechecks
+       "int sum(int *a, int n) {\n\
+        int s = 0;\n\
+        int i;\n\
+        for (i = 0; i < n; i = i + 1) { s = s + a[i]; }\n\
+        return s + *(a + 1);\n\
+        }")
+
+(* ---------- property tests ---------- *)
+
+let arb_small_int = QCheck.int_range (-1000000) 1000000
+
+let prop_int_literal_roundtrip =
+  QCheck.Test.make ~name:"parse_expr(int literal) is identity" ~count:200
+    arb_small_int (fun n ->
+      let src = if n < 0 then Printf.sprintf "(%d)" n else string_of_int n in
+      let e = Parser.parse_expr src in
+      match e.Ast.edesc with
+      | Ast.Eint m -> m = n
+      | Ast.Eunop (Ast.Neg, { edesc = Ast.Eint m; _ }) -> -m = n
+      | _ -> false)
+
+let prop_ty_equal_reflexive =
+  (* structural equivalence is reflexive on randomly generated types *)
+  let gen_ty =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then oneofl [ Ast.Tint; Ast.Tchar; Ast.Tptr Ast.Tint ]
+          else
+            frequency
+              [
+                (2, oneofl [ Ast.Tint; Ast.Tchar ]);
+                (2, map (fun t -> Ast.Tptr t) (self (n / 2)));
+                ( 1,
+                  map2
+                    (fun ts r ->
+                      Ast.Tfun { params = ts; varargs = false; ret = r })
+                    (list_size (int_bound 3) (self (n / 3)))
+                    (self (n / 2)) );
+                (1, map (fun t -> Ast.Tarray (t, 4)) (self (n / 2)));
+              ]))
+  in
+  QCheck.Test.make ~name:"Types.equal is reflexive" ~count:200
+    (QCheck.make gen_ty) (fun t -> Types.equal Types.empty t t)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "literals" `Quick test_lex_literals;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "block comment" `Quick test_lex_block_comment;
+          Alcotest.test_case "error" `Quick test_lex_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "ptr declarator" `Quick test_declarator_ptr;
+          Alcotest.test_case "array of ptr" `Quick test_declarator_array_of_ptr;
+          Alcotest.test_case "fptr declarator" `Quick test_declarator_fptr;
+          Alcotest.test_case "fptr array" `Quick test_declarator_fptr_array;
+          Alcotest.test_case "fun returning ptr" `Quick
+            test_declarator_fun_returning_ptr;
+          Alcotest.test_case "varargs proto" `Quick test_varargs_proto;
+          Alcotest.test_case "struct+typedef" `Quick test_parse_struct_typedef;
+          Alcotest.test_case "function" `Quick test_parse_function;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "assoc" `Quick test_parse_assoc;
+          Alcotest.test_case "switch" `Quick test_parse_switch;
+          Alcotest.test_case "cast vs paren" `Quick test_parse_cast_vs_paren;
+          Alcotest.test_case "error location" `Quick
+            test_parse_error_reports_location;
+        ] );
+      ( "types",
+        [
+          Alcotest.test_case "typedef unfold" `Quick test_equal_typedef_unfold;
+          Alcotest.test_case "fun structural" `Quick test_equal_fun_structural;
+          Alcotest.test_case "recursive struct" `Quick
+            test_equal_recursive_struct;
+          Alcotest.test_case "unequal fun" `Quick test_unequal_fun;
+          Alcotest.test_case "callable varargs" `Quick test_callable_varargs;
+          Alcotest.test_case "sizeof" `Quick test_sizeof;
+          Alcotest.test_case "prefix struct" `Quick test_prefix_struct;
+          Alcotest.test_case "contains fptr" `Quick test_contains_fptr;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "accepts basics" `Quick test_tc_accepts_basics;
+          Alcotest.test_case "rejects unbound" `Quick test_tc_rejects_unbound;
+          Alcotest.test_case "rejects bad call" `Quick test_tc_rejects_bad_call;
+          Alcotest.test_case "rejects return mismatch" `Quick
+            test_tc_rejects_return_mismatch;
+          Alcotest.test_case "fptr flow" `Quick test_tc_fptr_flow;
+          Alcotest.test_case "address taken" `Quick test_tc_address_taken;
+          Alcotest.test_case "permissive scalar cast" `Quick
+            test_tc_permissive_scalar_cast;
+          Alcotest.test_case "rejects field on int" `Quick
+            test_tc_rejects_field_on_int;
+          Alcotest.test_case "rejects stray break" `Quick
+            test_tc_rejects_break_outside_loop;
+          Alcotest.test_case "scopes" `Quick test_tc_scopes;
+          Alcotest.test_case "duplicate case" `Quick
+            test_tc_switch_duplicate_case;
+          Alcotest.test_case "intrinsics" `Quick test_tc_intrinsics;
+          Alcotest.test_case "pointer arith" `Quick test_tc_pointer_arith;
+        ] );
+      ("props", qc [ prop_int_literal_roundtrip; prop_ty_equal_reflexive ]);
+    ]

@@ -1,0 +1,125 @@
+(* Error-path tests for the Pipeline facade: every failure mode surfaces
+   as a rendered, located message rather than an exception from the
+   bowels of the toolchain. *)
+
+let fails_with_prefix prefix thunk =
+  match thunk () with
+  | _ -> Alcotest.failf "expected an error starting with %S" prefix
+  | exception Mcfi.Pipeline.Error msg ->
+    if not (String.length msg >= String.length prefix
+            && String.sub msg 0 (String.length prefix) = prefix)
+    then Alcotest.failf "unexpected message: %s" msg
+
+let build sources = Mcfi.Pipeline.build_process ~sources ()
+
+let test_lex_error_located () =
+  fails_with_prefix "main:1:" (fun () ->
+      build [ ("main", "int main() { @ }") ])
+
+let test_parse_error_located () =
+  fails_with_prefix "main:" (fun () ->
+      build [ ("main", "int main( { return 0; }") ])
+
+let test_type_error_located () =
+  fails_with_prefix "main:" (fun () ->
+      build [ ("main", "int main() { return zzz; }") ])
+
+let test_unsupported_located () =
+  (* aggregate parameters are a documented limitation *)
+  fails_with_prefix "main:" (fun () ->
+      build
+        [ ("main",
+           "struct s { int a; };\n\
+            int f(struct s v) { return v.a; }\n\
+            int main() { return 0; }") ])
+
+let test_missing_main () =
+  fails_with_prefix "undefined symbols: main" (fun () ->
+      build [ ("aux", "int helper(int x) { return x; }") ])
+
+let test_undefined_symbol_lists_name () =
+  fails_with_prefix "undefined symbols: nowhere" (fun () ->
+      build [ ("main", "extern int nowhere(int);\n\
+                        int main() { return nowhere(1); }") ])
+
+let test_dynamic_requires_instrumented () =
+  fails_with_prefix "dynamic linking requires an instrumented build"
+    (fun () ->
+      Mcfi.Pipeline.build_process ~instrumented:false
+        ~sources:
+          [ ("main", "extern int p(int); int main() { return p(0); }") ]
+        ~dynamic:[ ("plugin", "int p(int x) { return x; }") ]
+        ())
+
+let test_duplicate_global () =
+  fails_with_prefix "link:" (fun () ->
+      build [ ("a", "int shared = 1;"); ("b", "int shared = 2;\nint main() { return 0; }") ])
+
+let test_without_libc () =
+  (* freestanding builds work when the program needs no libc *)
+  let proc =
+    Mcfi.Pipeline.build_process ~with_libc:false
+      ~sources:[ ("main", "int main() { return __syscall(1, 7) * 0; }") ]
+      ()
+  in
+  match Mcfi_runtime.Process.run proc with
+  | Mcfi_runtime.Machine.Exited 0 ->
+    Alcotest.(check string) "printed" "7"
+      (Mcfi_runtime.Machine.output (Mcfi_runtime.Process.machine proc))
+  | r ->
+    Alcotest.failf "freestanding run: %a" Mcfi_runtime.Machine.pp_exit_reason r
+
+let test_sandbox_modes_equal_output () =
+  let src =
+    {|
+int buf[32];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 32; i = i + 1) { buf[i] = i * 3; }
+  for (i = 0; i < 32; i = i + 1) { s = s + buf[i]; }
+  printf("%d", s);
+  return 0;
+}|}
+  in
+  let run sandbox =
+    let proc =
+      Mcfi.Pipeline.build_process ~sandbox ~sources:[ ("main", src) ] ()
+    in
+    match Mcfi_runtime.Process.run proc with
+    | Mcfi_runtime.Machine.Exited 0 ->
+      Mcfi_runtime.Machine.output (Mcfi_runtime.Process.machine proc)
+    | r ->
+      Alcotest.failf "%s run: %a"
+        (Vmisa.Abi.sandbox_name sandbox)
+        Mcfi_runtime.Machine.pp_exit_reason r
+  in
+  Alcotest.(check string) "mask = segment" (run Vmisa.Abi.Mask)
+    (run Vmisa.Abi.Segment)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "error paths",
+        [
+          Alcotest.test_case "lex error located" `Quick test_lex_error_located;
+          Alcotest.test_case "parse error located" `Quick
+            test_parse_error_located;
+          Alcotest.test_case "type error located" `Quick
+            test_type_error_located;
+          Alcotest.test_case "unsupported located" `Quick
+            test_unsupported_located;
+          Alcotest.test_case "missing main" `Quick test_missing_main;
+          Alcotest.test_case "undefined symbol named" `Quick
+            test_undefined_symbol_lists_name;
+          Alcotest.test_case "dynamic needs instrumentation" `Quick
+            test_dynamic_requires_instrumented;
+          Alcotest.test_case "duplicate global" `Quick test_duplicate_global;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "freestanding build" `Quick test_without_libc;
+          Alcotest.test_case "sandbox modes agree" `Quick
+            test_sandbox_modes_equal_output;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Integration tests: the whole toolchain + runtime, including separate
+   compilation, static and dynamic linking, the benchmark suite under
+   both regimes, and the security scenarios of paper §8.3. *)
+
+module Machine = Mcfi_runtime.Machine
+module Process = Mcfi_runtime.Process
+module Linker = Mcfi_runtime.Linker
+module Tables = Idtables.Tables
+
+let run ?(instrumented = true) ?tco ?dynamic src =
+  Mcfi.Pipeline.run_source ~instrumented ?tco ?dynamic src
+
+let check_exit name reason expected =
+  match reason with
+  | Machine.Exited n -> Alcotest.(check int) name expected n
+  | r -> Alcotest.failf "%s: %a" name Machine.pp_exit_reason r
+
+(* ---------- the suite under both regimes ---------- *)
+
+let suite_cases =
+  List.map
+    (fun (b : Suite.Programs.benchmark) ->
+      Alcotest.test_case b.name `Slow (fun () ->
+          let r_plain, out_plain = run ~instrumented:false b.source in
+          let r_mcfi, out_mcfi = run ~instrumented:true b.source in
+          check_exit (b.name ^ " plain") r_plain b.expected_exit;
+          check_exit (b.name ^ " mcfi") r_mcfi b.expected_exit;
+          Alcotest.(check string) (b.name ^ " same output") out_plain out_mcfi;
+          Alcotest.(check bool)
+            (b.name ^ " nonempty output")
+            true (String.length out_mcfi > 0)))
+    Suite.Programs.all
+
+let suite_tco_cases =
+  (* the x86-64 flavour must behave identically *)
+  List.map
+    (fun (b : Suite.Programs.benchmark) ->
+      Alcotest.test_case (b.name ^ " tco") `Slow (fun () ->
+          let _, out_plain = run ~instrumented:false b.source in
+          let r, out = run ~instrumented:true ~tco:true b.source in
+          check_exit b.name r b.expected_exit;
+          Alcotest.(check string) (b.name ^ " tco output") out_plain out))
+    Suite.Programs.all
+
+(* ---------- separate compilation & linking ---------- *)
+
+let test_separate_compilation () =
+  (* modules compiled and instrumented independently, linked after *)
+  let m1 = {|
+typedef int (*cb)(int);
+int use(cb f, int x) { return f(x); }
+|} in
+  let m2 = {|
+typedef int (*cb)(int);
+extern int use(cb f, int x);
+int triple(int x) { return 3 * x; }
+int main() { print_int(use(triple, 14)); return 0; }
+|} in
+  let proc =
+    Mcfi.Pipeline.build_process ~sources:[ ("m1", m1); ("m2", m2) ] ()
+  in
+  let reason = Process.run proc in
+  check_exit "separate compilation" reason 0;
+  Alcotest.(check string) "output" "42" (Machine.output (Process.machine proc))
+
+let test_duplicate_symbol_rejected () =
+  let m = {|int f() { return 1; } int main() { return f(); }|} in
+  let m2 = {|int f() { return 2; }|} in
+  Alcotest.(check bool) "duplicate f" true
+    (match Mcfi.Pipeline.build_process ~sources:[ ("a", m); ("b", m2) ] () with
+    | _ -> false
+    | exception Mcfi.Pipeline.Error _ -> true)
+
+let test_undefined_symbol_rejected () =
+  let m = {|extern int missing(int); int main() { return missing(1); }|} in
+  Alcotest.(check bool) "missing symbol" true
+    (match Mcfi.Pipeline.build_process ~sources:[ ("a", m) ] () with
+    | _ -> false
+    | exception Mcfi.Pipeline.Error _ -> true)
+
+(* ---------- dynamic linking ---------- *)
+
+let plugin_src =
+  {|
+extern int printf(char *fmt, ...);
+int plugin_val(int x) { return x * 2; }
+|}
+
+let test_dlopen_binds_plt () =
+  let main_src =
+    {|
+extern int plugin_val(int x);
+int main() {
+  if (dlopen("plugin") != 0) { return 1; }
+  print_int(plugin_val(21));
+  return 0;
+}|}
+  in
+  let r, out = run ~dynamic:[ ("plugin", plugin_src) ] main_src in
+  check_exit "dlopen" r 0;
+  Alcotest.(check string) "output" "42" out
+
+let test_unbound_plt_halts () =
+  (* calling through the PLT before dlopen reads GOT slot 0: the Tary
+     lookup fails and the check halts *)
+  let main_src =
+    {|
+extern int plugin_val(int x);
+int main() { return plugin_val(21); }|}
+  in
+  match run ~dynamic:[ ("plugin", plugin_src) ] main_src with
+  | Machine.Cfi_halt, _ -> ()
+  | r, _ -> Alcotest.failf "expected cfi-halt, got %a" Machine.pp_exit_reason r
+
+let test_dlopen_unknown_module_fails () =
+  let main_src =
+    {|
+int main() {
+  if (dlopen("nonexistent") != 0) { print_str("no"); return 0; }
+  return 1;
+}|}
+  in
+  let r, out = run main_src in
+  check_exit "unknown module" r 0;
+  Alcotest.(check string) "output" "no" out
+
+let test_dlopen_updates_version () =
+  let main_src =
+    {|
+extern int plugin_val(int x);
+int before;
+int main() {
+  if (dlopen("plugin") != 0) { return 1; }
+  return plugin_val(21) - 42;
+}|}
+  in
+  let proc =
+    Mcfi.Pipeline.build_process ~sources:[ ("main", main_src) ]
+      ~dynamic:[ ("plugin", plugin_src) ]
+      ()
+  in
+  let tables = Option.get (Process.tables proc) in
+  let v_before = Tables.version tables in
+  let reason = Process.run proc in
+  check_exit "dlopen run" reason 0;
+  Alcotest.(check bool) "version bumped" true (Tables.version tables > v_before);
+  Alcotest.(check int) "two update transactions" 2 (Process.updates proc)
+
+let test_dlsym () =
+  let main_src =
+    {|
+int target(int x) { return x + 5; }
+int (*keep)(int) = target;
+int main() {
+  int addr = __syscall(5, "target");
+  int (*f)(int) = (int (*)(int)) addr;  /* a K2-style cast, but types match */
+  return f(37) - 42;
+}|}
+  in
+  let r, _ = run main_src in
+  check_exit "dlsym" r 0
+
+(* ---------- the K1 broken-CFG behaviour ---------- *)
+
+let test_k1_call_halts_under_mcfi () =
+  (* a function pointer initialized with an incompatibly typed function:
+     type matching generates no edge, so the call halts under MCFI while
+     running fine unprotected (the paper's K1-fixed cases are exactly the
+     ones that must be patched with wrappers) *)
+  let src =
+    {|
+int op(int a, int b) { return a + b; }
+int main() {
+  int (*f)(int) = (int (*)(int)) op;  /* K1: incompatible */
+  return f(1) - f(1);
+}|}
+  in
+  let r_plain, _ = run ~instrumented:false src in
+  (match r_plain with
+  | Machine.Exited 0 -> ()
+  | r -> Alcotest.failf "plain run: %a" Machine.pp_exit_reason r);
+  match run ~instrumented:true src with
+  | Machine.Cfi_halt, _ -> ()
+  | r, _ ->
+    Alcotest.failf "expected cfi-halt under MCFI, got %a"
+      Machine.pp_exit_reason r
+
+let test_k1_fixed_by_wrapper_runs () =
+  let src =
+    {|
+int op(int a, int b) { return a + b; }
+int op_wrapper(int a) { return op(a, a); }  /* the paper's fix */
+int main() {
+  int (*f)(int) = op_wrapper;
+  return f(21) - 42;
+}|}
+  in
+  let r, _ = run ~instrumented:true src in
+  check_exit "wrapper" r 0
+
+(* ---------- machine unit behaviour ---------- *)
+
+let test_machine_stack_discipline () =
+  let src =
+    {|
+int depth(int n) { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+int main() { return depth(1000) - 1000; }|}
+  in
+  let r, _ = run ~instrumented:true src in
+  check_exit "deep stack" r 0
+
+let test_machine_stack_overflow_faults () =
+  let src = {|
+int forever(int n) { return 1 + forever(n + 1); }
+int main() { return forever(0); }|} in
+  match run ~instrumented:false src with
+  | Machine.Fault _, _ -> ()
+  | r, _ -> Alcotest.failf "expected fault, got %a" Machine.pp_exit_reason r
+
+let test_machine_fuel () =
+  let src = {|int main() { while (1) { } return 0; }|} in
+  match Mcfi.Pipeline.run_source ~instrumented:false ~fuel:10_000 src with
+  | Machine.Out_of_fuel, _ -> ()
+  | r, _ -> Alcotest.failf "expected out-of-fuel, got %a" Machine.pp_exit_reason r
+
+(* ---------- attacks (paper §8.3) ---------- *)
+
+let outcome_of regime outcomes =
+  List.find (fun (o : Security.Attacks.outcome) -> o.regime = regime) outcomes
+
+let test_stack_smash () =
+  let outcomes = Security.Attacks.stack_smash () in
+  (match outcome_of "plain" outcomes with
+  | { reason = Machine.Exited 99; output = "HIJACKED"; _ } -> ()
+  | o -> Alcotest.failf "plain: %a" Security.Attacks.pp_outcome o);
+  match outcome_of "MCFI" outcomes with
+  | { reason = Machine.Cfi_halt; _ } -> ()
+  | o -> Alcotest.failf "mcfi: %a" Security.Attacks.pp_outcome o
+
+let test_fptr_hijack () =
+  let outcomes = Security.Attacks.fptr_hijack () in
+  (* coarse-grained CFI lets the execve hijack through; MCFI halts *)
+  (match outcome_of "coarse-CFI" outcomes with
+  | { reason = Machine.Exited 66; _ } -> ()
+  | o -> Alcotest.failf "coarse: %a" Security.Attacks.pp_outcome o);
+  match outcome_of "MCFI" outcomes with
+  | { reason = Machine.Cfi_halt; _ } -> ()
+  | o -> Alcotest.failf "mcfi: %a" Security.Attacks.pp_outcome o
+
+let prop_random_corruption_stays_in_cfg =
+  QCheck.Test.make ~name:"attacker corruption never escapes the CFG" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let _reason, sound =
+        Security.Attacks.random_corruption ~seed:(Int64.of_int seed) ~writes:1
+      in
+      sound)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("suite plain vs mcfi", suite_cases);
+      ("suite tco", suite_tco_cases);
+      ( "linking",
+        [
+          Alcotest.test_case "separate compilation" `Quick
+            test_separate_compilation;
+          Alcotest.test_case "duplicate symbol" `Quick
+            test_duplicate_symbol_rejected;
+          Alcotest.test_case "undefined symbol" `Quick
+            test_undefined_symbol_rejected;
+        ] );
+      ( "dynamic linking",
+        [
+          Alcotest.test_case "dlopen binds plt" `Quick test_dlopen_binds_plt;
+          Alcotest.test_case "unbound plt halts" `Quick test_unbound_plt_halts;
+          Alcotest.test_case "unknown module" `Quick
+            test_dlopen_unknown_module_fails;
+          Alcotest.test_case "version bump" `Quick test_dlopen_updates_version;
+          Alcotest.test_case "dlsym" `Quick test_dlsym;
+        ] );
+      ( "K1 semantics",
+        [
+          Alcotest.test_case "K1 call halts" `Quick
+            test_k1_call_halts_under_mcfi;
+          Alcotest.test_case "wrapper fix runs" `Quick
+            test_k1_fixed_by_wrapper_runs;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "stack discipline" `Quick
+            test_machine_stack_discipline;
+          Alcotest.test_case "stack overflow" `Quick
+            test_machine_stack_overflow_faults;
+          Alcotest.test_case "fuel" `Quick test_machine_fuel;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "stack smash" `Quick test_stack_smash;
+          Alcotest.test_case "fptr hijack vs coarse CFI" `Quick
+            test_fptr_hijack;
+        ] );
+      ( "attack props",
+        [ QCheck_alcotest.to_alcotest prop_random_corruption_stays_in_cfg ] );
+    ]

@@ -1,0 +1,198 @@
+(* Tests for the security-evaluation tools: the gadget scanner, the AIR
+   metric and the baseline policies. *)
+
+module Gadget = Security.Gadget
+module Air = Security.Air
+module Policies = Security.Policies
+module Instr = Vmisa.Instr
+module Encode = Vmisa.Encode
+
+(* ---------- gadget scanner ---------- *)
+
+let image_of instrs = Encode.encode_all instrs
+
+let test_finds_trivial_gadget () =
+  let image = image_of [ Instr.Pop 0; Instr.Ret ] in
+  let gs = Gadget.scan ~base:0 image in
+  Alcotest.(check bool) "found pop;ret" true
+    (List.exists (fun g -> g.Gadget.g_instrs = [ Instr.Pop 0; Instr.Ret ]) gs)
+
+let test_finds_mid_instruction_gadget () =
+  (* a Mov_ri whose immediate bytes decode to something ending in Ret:
+     immediate 0x02 = the Ret opcode in the low byte *)
+  let image = image_of [ Instr.Mov_ri (0, 0x02); Instr.Halt ] in
+  let gs = Gadget.scan ~base:0 image in
+  (* scanning from inside the immediate must find a gadget the intended
+     stream does not contain *)
+  Alcotest.(check bool) "unaligned gadget exists" true
+    (List.exists (fun g -> g.Gadget.g_start > 0) gs)
+
+let test_no_gadget_without_branch () =
+  (* careful operand choice: no byte may alias the Ret/Call_r/Jmp_r
+     opcodes (that aliasing is real and covered by the next test) *)
+  let image = image_of [ Instr.Nop; Instr.Mov_rr (3, 4); Instr.Halt ] in
+  Alcotest.(check int) "none" 0 (List.length (Gadget.scan ~base:0 image))
+
+let test_halt_stops_gadget () =
+  (* a Halt between start and the branch poisons the gadget *)
+  let image = image_of [ Instr.Halt; Instr.Ret ] in
+  let gs = Gadget.scan ~base:0 image in
+  Alcotest.(check bool) "no gadget crosses halt" true
+    (List.for_all (fun g -> g.Gadget.g_instrs = [ Instr.Ret ]) gs)
+
+let test_max_len_bounds () =
+  let image =
+    image_of
+      [ Instr.Nop; Instr.Nop; Instr.Nop; Instr.Nop; Instr.Ret ]
+  in
+  let short = Gadget.scan ~max_len:2 ~base:0 image in
+  let long = Gadget.scan ~max_len:8 ~base:0 image in
+  Alcotest.(check bool) "longer window finds more" true
+    (List.length long > List.length short)
+
+let test_count_unique () =
+  let image = image_of [ Instr.Nop; Instr.Ret; Instr.Nop; Instr.Ret ] in
+  let gs = Gadget.scan ~base:0 image in
+  (* [nop;ret] appears twice but counts once; [ret] likewise *)
+  Alcotest.(check int) "unique" 2 (Gadget.count_unique gs)
+
+let test_survivors_filter () =
+  let gs =
+    [
+      { Gadget.g_start = 0x100; g_instrs = [ Instr.Ret ] };
+      { Gadget.g_start = 0x102; g_instrs = [ Instr.Ret ] };
+      { Gadget.g_start = 0x104; g_instrs = [ Instr.Ret ] };
+    ]
+  in
+  let valid = fun a -> a = 0x100 in
+  let s = Gadget.survivors ~valid_targets:valid gs in
+  Alcotest.(check int) "only aligned+valid" 1 (List.length s);
+  Alcotest.(check int) "rate" 66
+    (int_of_float (Gadget.elimination_rate ~total:3 ~surviving:1))
+
+let prop_scan_total =
+  QCheck.Test.make ~name:"scan is total on random bytes" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_bound 80))
+    (fun s ->
+      let gs = Gadget.scan ~base:0 s in
+      List.for_all
+        (fun g ->
+          g.Gadget.g_start >= 0
+          && g.Gadget.g_start < String.length s
+          && Instr.is_indirect_branch
+               (List.nth g.Gadget.g_instrs (List.length g.Gadget.g_instrs - 1)))
+        gs)
+
+(* ---------- AIR and policies ---------- *)
+
+let sample_input () =
+  let proc =
+    Mcfi.Pipeline.build_process
+      ~sources:
+        [ ( "p",
+            {|
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int pick(char *s, int x) { return x; }
+int (*ops[2])(int) = { inc, dec };
+int (*other)(char *, int) = pick;
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 4; i = i + 1) { s = s + ops[i % 2](i); }
+  return s - 8;
+}|}
+          );
+        ]
+      ()
+  in
+  let input = Mcfi_runtime.Process.cfg_input proc in
+  let code_bytes =
+    Mcfi_runtime.Machine.code_end (Mcfi_runtime.Process.machine proc)
+    - Vmisa.Abi.code_base
+  in
+  (input, code_bytes)
+
+let test_air_ordering () =
+  let input, code_bytes = sample_input () in
+  let air p = Air.compute p ~input ~code_bytes in
+  let none = air Policies.No_protection in
+  let chunk = air (Policies.Chunk 16) in
+  let bincfi = air Policies.Bincfi in
+  let mcfi = air Policies.Mcfi in
+  Alcotest.(check (float 0.0001)) "none is 0" 0.0 none;
+  Alcotest.(check bool) "chunk > none" true (chunk > none);
+  Alcotest.(check bool) "binCFI > chunk" true (bincfi > chunk);
+  Alcotest.(check bool) "MCFI >= binCFI" true (mcfi >= bincfi);
+  Alcotest.(check bool) "MCFI < 1" true (mcfi < 1.0)
+
+let test_air_chunk_math () =
+  let input, code_bytes = sample_input () in
+  (* chunk policy: every branch reaches code_bytes/n targets *)
+  let air = Air.compute (Policies.Chunk 32) ~input ~code_bytes in
+  let expected =
+    1.0
+    -. (float_of_int ((code_bytes + 31) / 32) /. float_of_int code_bytes)
+  in
+  Alcotest.(check (float 0.0001)) "chunk32 formula" expected air
+
+let test_coarse_tables_two_classes () =
+  let input, _ = sample_input () in
+  let tary, bary = Policies.coarse_tables input in
+  let classes = List.sort_uniq compare (List.map snd tary) in
+  Alcotest.(check bool) "at most two target classes" true
+    (List.length classes <= 2);
+  (* every call-like site gets class 0 *)
+  Array.iteri
+    (fun slot site ->
+      let cls = List.assoc slot bary in
+      match site with
+      | Cfg.Cfggen.Sicall _ | Cfg.Cfggen.Sitail _ | Cfg.Cfggen.Splt _ ->
+        Alcotest.(check int) "call class" 0 cls
+      | Cfg.Cfggen.Sreturn _ | Cfg.Cfggen.Sjumptable _ | Cfg.Cfggen.Slongjmp _
+        -> Alcotest.(check int) "return class" 1 cls)
+    input.Cfg.Cfggen.sites
+
+let test_mcfi_beats_coarse_on_suite () =
+  (* across the whole suite, MCFI's AIR is never below binCFI's *)
+  List.iter
+    (fun (b : Suite.Programs.benchmark) ->
+      let proc =
+        Mcfi.Pipeline.build_process ~sources:[ (b.name, b.source) ] ()
+      in
+      let input = Mcfi_runtime.Process.cfg_input proc in
+      let code_bytes =
+        Mcfi_runtime.Machine.code_end (Mcfi_runtime.Process.machine proc)
+        - Vmisa.Abi.code_base
+      in
+      let air p = Air.compute p ~input ~code_bytes in
+      if air Policies.Mcfi < air Policies.Bincfi then
+        Alcotest.failf "%s: MCFI AIR below binCFI" b.name)
+    Suite.Programs.all
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "gadgets",
+        [
+          Alcotest.test_case "trivial gadget" `Quick test_finds_trivial_gadget;
+          Alcotest.test_case "mid-instruction gadget" `Quick
+            test_finds_mid_instruction_gadget;
+          Alcotest.test_case "no branch, no gadget" `Quick
+            test_no_gadget_without_branch;
+          Alcotest.test_case "halt poisons" `Quick test_halt_stops_gadget;
+          Alcotest.test_case "max_len bounds" `Quick test_max_len_bounds;
+          Alcotest.test_case "count unique" `Quick test_count_unique;
+          Alcotest.test_case "survivors" `Quick test_survivors_filter;
+        ] );
+      ("gadget props", [ QCheck_alcotest.to_alcotest prop_scan_total ]);
+      ( "air & policies",
+        [
+          Alcotest.test_case "ordering" `Quick test_air_ordering;
+          Alcotest.test_case "chunk math" `Quick test_air_chunk_math;
+          Alcotest.test_case "coarse two classes" `Quick
+            test_coarse_tables_two_classes;
+          Alcotest.test_case "MCFI >= binCFI on suite" `Slow
+            test_mcfi_beats_coarse_on_suite;
+        ] );
+    ]

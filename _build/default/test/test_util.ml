@@ -1,0 +1,94 @@
+(* Tests for the util library: union-find and the deterministic PRNG. *)
+
+module Uf = Mcfi_util.Union_find
+module Prng = Mcfi_util.Prng
+
+let test_uf_singletons () =
+  let t = Uf.create 5 in
+  Alcotest.(check int) "count" 5 (Uf.count t);
+  Alcotest.(check bool) "not same" false (Uf.same t 0 1)
+
+let test_uf_union () =
+  let t = Uf.create 6 in
+  ignore (Uf.union t 0 1);
+  ignore (Uf.union t 2 3);
+  ignore (Uf.union t 1 2);
+  Alcotest.(check bool) "0~3" true (Uf.same t 0 3);
+  Alcotest.(check bool) "0!~4" false (Uf.same t 0 4);
+  Alcotest.(check int) "count" 3 (Uf.count t)
+
+let test_uf_groups () =
+  let t = Uf.create 4 in
+  ignore (Uf.union t 0 2);
+  let gs = Uf.groups t in
+  Alcotest.(check int) "three groups" 3 (List.length gs);
+  Alcotest.(check bool) "group [0;2]" true (List.mem [ 0; 2 ] gs)
+
+let test_uf_out_of_range () =
+  let t = Uf.create 3 in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Union_find: key 3 out of range [0,3)") (fun () ->
+      ignore (Uf.find t 3))
+
+let prop_uf_union_same =
+  QCheck.Test.make ~name:"union makes same" ~count:300
+    QCheck.(pair (int_bound 49) (int_bound 49))
+    (fun (a, b) ->
+      let t = Uf.create 50 in
+      ignore (Uf.union t a b);
+      Uf.same t a b)
+
+let prop_uf_count_invariant =
+  (* after any sequence of unions, count = number of distinct groups *)
+  QCheck.Test.make ~name:"count matches groups" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 30) (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let t = Uf.create 20 in
+      List.iter (fun (a, b) -> ignore (Uf.union t a b)) pairs;
+      Uf.count t = List.length (Uf.groups t))
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  let xs = List.init 20 (fun _ -> Prng.next a) in
+  let ys = List.init 20 (fun _ -> Prng.next b) in
+  Alcotest.(check bool) "same stream" true (xs = ys)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7L in
+  let b = Prng.split a in
+  Alcotest.(check bool) "diverged" true (Prng.next a <> Prng.next b)
+
+let prop_prng_int_range =
+  QCheck.Test.make ~name:"Prng.int in range" ~count:500
+    QCheck.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create (Int64.of_int seed) in
+      let v = Prng.int t bound in
+      0 <= v && v < bound)
+
+let prop_prng_float_range =
+  QCheck.Test.make ~name:"Prng.float in [0,1)" ~count:500 QCheck.int
+    (fun seed ->
+      let t = Prng.create (Int64.of_int seed) in
+      let v = Prng.float t in
+      0.0 <= v && v < 1.0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "singletons" `Quick test_uf_singletons;
+          Alcotest.test_case "union" `Quick test_uf_union;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+          Alcotest.test_case "out of range" `Quick test_uf_out_of_range;
+        ] );
+      ("union_find props", qc [ prop_uf_union_same; prop_uf_count_invariant ]);
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+        ] );
+      ("prng props", qc [ prop_prng_int_range; prop_prng_float_range ]);
+    ]

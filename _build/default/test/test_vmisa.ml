@@ -1,0 +1,202 @@
+(* Tests for the virtual ISA: encode/decode round-trips, assembler layout,
+   label resolution, and alignment padding. *)
+
+open Vmisa
+
+let all_sample_instrs =
+  Instr.
+    [
+      Nop; Halt; Ret; Syscall; Push 3; Pop 15; Call_r 2; Jmp_r 9;
+      Mov_rr (1, 2); Cmp_rr (3, 4); Cmp_lo (11, 13); Tary_load (11, 12);
+      Binop (Add, 0, 1); Binop (Shr, 9, 10);
+      Jmp 0x1234; Call 77; Jcc (Ne, 0x40); Bary_load (13, 5);
+      Load (1, 2, 8); Store (15, -8, 3);
+      Mov_ri (4, 123456789); Cmp_ri (5, -1); Test_ri (11, 1);
+      Binop_i (And, 12, 0xffffffff);
+    ]
+
+let test_roundtrip_each () =
+  List.iter
+    (fun i ->
+      let bytes = Encode.encode_all [ i ] in
+      match Encode.decode bytes 0 with
+      | Ok (j, off) ->
+        Alcotest.(check bool)
+          (Fmt.str "roundtrip %a" Instr.pp i)
+          true
+          (Instr.equal i j && off = String.length bytes)
+      | Error e -> Alcotest.failf "decode error: %a" Encode.pp_decode_error e)
+    all_sample_instrs
+
+let test_size_matches_encoding () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Fmt.str "size %a" Instr.pp i)
+        (String.length (Encode.encode_all [ i ]))
+        (Instr.size i))
+    all_sample_instrs
+
+let test_decode_all_stream () =
+  let bytes = Encode.encode_all all_sample_instrs in
+  match Encode.decode_all bytes with
+  | Ok items ->
+    Alcotest.(check int) "count" (List.length all_sample_instrs)
+      (List.length items);
+    Alcotest.(check bool)
+      "instrs" true
+      (List.map fst items = all_sample_instrs)
+  | Error (e, off) ->
+    Alcotest.failf "decode failed at %d: %a" off Encode.pp_decode_error e
+
+let test_decode_bad_opcode () =
+  match Encode.decode "\xff" 0 with
+  | Error (Encode.Bad_opcode 0xff) -> ()
+  | _ -> Alcotest.fail "expected Bad_opcode"
+
+let test_decode_truncated () =
+  (* Mov_ri needs 10 bytes; give it 3 *)
+  let bytes = String.sub (Encode.encode_all [ Instr.Mov_ri (1, 42) ]) 0 3 in
+  match Encode.decode bytes 0 with
+  | Error Encode.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated"
+
+let test_asm_label_resolution () =
+  let items =
+    Asm.
+      [
+        Label "start"; I (Instr.Mov_ri (0, 1)); Jmp_sym "end";
+        Label "mid"; I Instr.Nop; Label "end"; I Instr.Halt;
+      ]
+  in
+  match Asm.assemble ~base:0x100 items with
+  | Ok prog ->
+    let lbl s = Hashtbl.find prog.Asm.labels s in
+    Alcotest.(check int) "start" 0x100 (lbl "start");
+    (* mov_ri = 10 bytes, jmp = 5 *)
+    Alcotest.(check int) "mid" (0x100 + 15) (lbl "mid");
+    Alcotest.(check int) "end" (0x100 + 16) (lbl "end");
+    (* the jmp resolves to end's address *)
+    let _, jmp = prog.Asm.instrs.(1) in
+    Alcotest.(check bool) "jmp target" true (jmp = Instr.Jmp (0x100 + 16))
+  | Error e -> Alcotest.failf "assemble: %a" Asm.pp_error e
+
+let test_asm_align_padding () =
+  let items =
+    Asm.[ I Instr.Nop; Align 4; Label "target"; I Instr.Halt ]
+  in
+  match Asm.assemble items with
+  | Ok prog ->
+    Alcotest.(check int) "aligned" 0 (Hashtbl.find prog.Asm.labels "target" mod 4);
+    Alcotest.(check int) "addr 4" 4 (Hashtbl.find prog.Asm.labels "target")
+  | Error e -> Alcotest.failf "assemble: %a" Asm.pp_error e
+
+let test_asm_align_noop_when_aligned () =
+  let items = Asm.[ Align 4; Label "t"; I Instr.Halt ] in
+  match Asm.assemble items with
+  | Ok prog ->
+    Alcotest.(check int) "no padding" 0 (Hashtbl.find prog.Asm.labels "t")
+  | Error e -> Alcotest.failf "assemble: %a" Asm.pp_error e
+
+let test_asm_undefined_label () =
+  match Asm.assemble [ Asm.Jmp_sym "nowhere" ] with
+  | Error (Asm.Undefined_label "nowhere") -> ()
+  | _ -> Alcotest.fail "expected Undefined_label"
+
+let test_asm_duplicate_label () =
+  match Asm.assemble [ Asm.Label "x"; Asm.Label "x" ] with
+  | Error (Asm.Duplicate_label "x") -> ()
+  | _ -> Alcotest.fail "expected Duplicate_label"
+
+let test_asm_undefined_labels_listing () =
+  let items =
+    Asm.[ Label "here"; Call_sym "ext1"; Jmp_sym "here"; Mov_sym (0, "ext2") ]
+  in
+  Alcotest.(check (list string))
+    "externs" [ "ext1"; "ext2" ]
+    (Asm.undefined_labels items)
+
+let test_asm_image_matches_instrs () =
+  let items =
+    Asm.[ Label "f"; I (Instr.Push 14); I (Instr.Pop 14); I Instr.Ret ]
+  in
+  match Asm.assemble items with
+  | Ok prog ->
+    let decoded, err = Disasm.disassemble prog.Asm.image in
+    Alcotest.(check bool) "no trailing error" true (err = None);
+    Alcotest.(check bool)
+      "same stream" true
+      (List.map snd decoded = List.map snd (Array.to_list prog.Asm.instrs))
+  | Error e -> Alcotest.failf "assemble: %a" Asm.pp_error e
+
+(* property: encode-decode round trip over random instruction streams *)
+
+let arb_reg = QCheck.Gen.int_bound 15
+
+let arb_instr : Instr.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    oneof
+      [
+        return Instr.Nop; return Instr.Halt; return Instr.Ret;
+        return Instr.Syscall;
+        map (fun r -> Instr.Push r) arb_reg;
+        map (fun r -> Instr.Pop r) arb_reg;
+        map (fun r -> Instr.Call_r r) arb_reg;
+        map (fun r -> Instr.Jmp_r r) arb_reg;
+        map2 (fun a b -> Instr.Mov_rr (a, b)) arb_reg arb_reg;
+        map2 (fun a b -> Instr.Cmp_rr (a, b)) arb_reg arb_reg;
+        map2 (fun a b -> Instr.Cmp_lo (a, b)) arb_reg arb_reg;
+        map2 (fun a b -> Instr.Tary_load (a, b)) arb_reg arb_reg;
+        map2 (fun r i -> Instr.Mov_ri (r, i)) arb_reg (int_range (-1000000000) 1000000000);
+        map2 (fun r i -> Instr.Cmp_ri (r, i)) arb_reg (int_range (-1000) 1000);
+        map2 (fun r i -> Instr.Bary_load (r, i)) arb_reg (int_bound 10000);
+        map2 (fun a i -> Instr.Jcc ((if i then Instr.Eq else Instr.Ne), a))
+          (int_bound 100000) bool;
+        map (fun a -> Instr.Jmp a) (int_bound 100000);
+        map (fun a -> Instr.Call a) (int_bound 100000);
+        map3 (fun a b o -> Instr.Load (a, b, o)) arb_reg arb_reg (int_range (-64) 64);
+        map3 (fun a o b -> Instr.Store (a, o, b)) arb_reg (int_range (-64) 64) arb_reg;
+      ]
+  in
+  QCheck.make ~print:Instr.to_string gen
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"encode/decode stream roundtrip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_bound 40) arb_instr)
+    (fun instrs ->
+      match Encode.decode_all (Encode.encode_all instrs) with
+      | Ok items -> List.map fst items = instrs
+      | Error _ -> false)
+
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"decode total on random bytes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun s ->
+      match Encode.decode_all s with Ok _ | Error _ -> true)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vmisa"
+    [
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip each" `Quick test_roundtrip_each;
+          Alcotest.test_case "size matches" `Quick test_size_matches_encoding;
+          Alcotest.test_case "decode_all" `Quick test_decode_all_stream;
+          Alcotest.test_case "bad opcode" `Quick test_decode_bad_opcode;
+          Alcotest.test_case "truncated" `Quick test_decode_truncated;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "label resolution" `Quick test_asm_label_resolution;
+          Alcotest.test_case "align padding" `Quick test_asm_align_padding;
+          Alcotest.test_case "align no-op" `Quick test_asm_align_noop_when_aligned;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined listing" `Quick
+            test_asm_undefined_labels_listing;
+          Alcotest.test_case "image matches" `Quick test_asm_image_matches_instrs;
+        ] );
+      ("props", qc [ prop_stream_roundtrip; prop_decode_never_crashes ]);
+    ]
