@@ -1,0 +1,22 @@
+.PHONY: all check faults test bench clean
+
+all:
+	dune build
+
+# tier-1 gate: full build + test suite with warnings as errors
+check:
+	dune build --profile ci @all
+	dune runtest --profile ci
+
+# the fault-injection differential-oracle sweep alone
+faults:
+	dune exec --profile ci test/test_faults.exe
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,0 +1,125 @@
+module Plan = struct
+  type point =
+    | Nth_tary_write
+    | Between_tary_and_bary
+    | After_code_append
+    | During_verification
+    | During_got_update
+    | Registry_lookup
+    | Link_merge
+
+  let all_points =
+    [
+      Nth_tary_write;
+      Between_tary_and_bary;
+      After_code_append;
+      During_verification;
+      During_got_update;
+      Registry_lookup;
+      Link_merge;
+    ]
+
+  let point_name = function
+    | Nth_tary_write -> "nth-tary-write"
+    | Between_tary_and_bary -> "between-tary-and-bary"
+    | After_code_append -> "after-code-append"
+    | During_verification -> "during-verification"
+    | During_got_update -> "during-got-update"
+    | Registry_lookup -> "registry-lookup"
+    | Link_merge -> "link-merge"
+
+  let pp_point ppf p = Fmt.string ppf (point_name p)
+
+  type t =
+    | At of { point : point; hit : int }
+    | Random of { seed : int64; one_in : int }
+
+  let pp ppf = function
+    | At { point; hit } -> Fmt.pf ppf "at(%a, hit=%d)" pp_point point hit
+    | Random { seed; one_in } ->
+      Fmt.pf ppf "random(seed=%Ld, 1/%d)" seed one_in
+end
+
+exception Injected of Plan.point
+
+let () =
+  Printexc.register_printer (function
+    | Injected p -> Some (Printf.sprintf "Faults.Injected(%s)" (Plan.point_name p))
+    | _ -> None)
+
+module Stats = struct
+  type t = { injected : int; rollbacks : int; recoveries : int; retries : int }
+
+  (* Atomics: the retry counter is bumped from checker domains. *)
+  let injected = Atomic.make 0
+  let rollbacks = Atomic.make 0
+  let recoveries = Atomic.make 0
+  let retries = Atomic.make 0
+
+  let snapshot () =
+    {
+      injected = Atomic.get injected;
+      rollbacks = Atomic.get rollbacks;
+      recoveries = Atomic.get recoveries;
+      retries = Atomic.get retries;
+    }
+
+  let reset () =
+    Atomic.set injected 0;
+    Atomic.set rollbacks 0;
+    Atomic.set recoveries 0;
+    Atomic.set retries 0
+
+  let pp ppf s =
+    Fmt.pf ppf "injected=%d rollbacks=%d recoveries=%d retries=%d" s.injected
+      s.rollbacks s.recoveries s.retries
+
+  let count_rollback () = Atomic.incr rollbacks
+  let count_recovery () = Atomic.incr recoveries
+  let count_retry () = Atomic.incr retries
+end
+
+type mode =
+  | At_countdown of Plan.point * int ref (* crossings left before firing *)
+  | Random_draw of Mcfi_util.Prng.t * int
+
+type armed_state = { plan : Plan.t; mode : mode }
+
+let state : armed_state option ref = ref None
+
+let arm plan =
+  let mode =
+    match plan with
+    | Plan.At { point; hit } -> At_countdown (point, ref (max 1 hit))
+    | Plan.Random { seed; one_in } ->
+      Random_draw (Mcfi_util.Prng.create seed, max 1 one_in)
+  in
+  state := Some { plan; mode }
+
+let disarm () = state := None
+
+let armed () =
+  match !state with None -> None | Some { plan; _ } -> Some plan
+
+let fire point =
+  Atomic.incr Stats.injected;
+  raise (Injected point)
+
+let hit point =
+  match !state with
+  | None -> ()
+  | Some { mode = At_countdown (p, left); _ } ->
+    if p = point then begin
+      decr left;
+      if !left <= 0 then begin
+        (* one-shot: a recovery retry must not re-fail here *)
+        disarm ();
+        fire point
+      end
+    end
+  | Some { mode = Random_draw (prng, one_in); _ } ->
+    if Mcfi_util.Prng.int prng one_in = 0 then fire point
+
+let with_plan plan f =
+  arm plan;
+  Fun.protect ~finally:disarm f

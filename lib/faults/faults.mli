@@ -1,0 +1,95 @@
+(** Deterministic fault injection for the runtime's failure paths.
+
+    MCFI's correctness story is not just the happy path: the update
+    transaction (paper §5.2, Figs. 3–4) and the dynamic-linking protocol
+    (§6–7) must never expose a half-installed CFG or a half-loaded module,
+    even when the protocol dies in the middle.  This module provides the
+    probe: a {e plan} names a trigger point inside one of those protocols,
+    and while the plan is armed, the corresponding hook raises {!Injected}
+    exactly there.  The differential oracle in [test/test_faults.ml] then
+    asserts that the victim operation either rolled back to the
+    pre-operation state or completed as if no fault had fired — never a
+    third outcome.
+
+    Hooks are compiled into {!Idtables.Tx}, {!Mcfi_runtime.Process},
+    {!Mcfi_runtime.Linker} and {!Mcfi_runtime.Machine} permanently; when no
+    plan is armed a hook is a single load of [None], kept off the
+    check-transaction hot path entirely (the [bench] §txmicro numbers are
+    the regression guard).
+
+    The armed plan is a process-global: tests arm, run one victim
+    operation, and disarm ({!with_plan} scopes this).  [At] plans are
+    one-shot — after firing they disarm themselves, so a recovery retry of
+    the same protocol does not re-fail at the same point. *)
+
+module Plan : sig
+  (** A trigger point: a named program location inside a protocol. *)
+  type point =
+    | Nth_tary_write
+        (** each Tary slot publish in an update transaction's phase 1 *)
+    | Between_tary_and_bary
+        (** after the phase-1 write barrier, before any Bary write *)
+    | After_code_append
+        (** after {!Mcfi_runtime.Machine.append_code} grew the image *)
+    | During_verification
+        (** inside the loader's verification step, before publication *)
+    | During_got_update
+        (** inside the GOT-binding hook between the two update phases *)
+    | Registry_lookup  (** during the [dlopen] registry consultation *)
+    | Link_merge  (** inside the static linker's merge / PLT synthesis *)
+
+  val all_points : point list
+  val point_name : point -> string
+  val pp_point : Format.formatter -> point -> unit
+
+  type t =
+    | At of { point : point; hit : int }
+        (** fire on the [hit]-th crossing (1-based) of [point]; one-shot *)
+    | Random of { seed : int64; one_in : int }
+        (** fire any hook crossing with probability 1/[one_in], drawn from
+            a PRNG seeded with [seed] — deterministic per seed *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Raised by a hook when the armed plan fires at that point. *)
+exception Injected of Plan.point
+
+(** Robustness counters, bumped by the runtime whether or not a plan is
+    armed (all off the check fast path). *)
+module Stats : sig
+  type t = {
+    injected : int;  (** faults fired by armed plans *)
+    rollbacks : int;  (** {!Mcfi_runtime.Process.load} journal rollbacks *)
+    recoveries : int;  (** torn update transactions redone from the journal *)
+    retries : int;  (** check-transaction retries on version skew *)
+  }
+
+  val snapshot : unit -> t
+  val reset : unit -> unit
+  val pp : Format.formatter -> t -> unit
+
+  (**/**)
+
+  (* runtime-internal counter bumps *)
+  val count_rollback : unit -> unit
+  val count_recovery : unit -> unit
+  val count_retry : unit -> unit
+end
+
+(** [arm plan] installs [plan]; it replaces any previously armed plan. *)
+val arm : Plan.t -> unit
+
+(** [disarm ()] removes the armed plan, if any. *)
+val disarm : unit -> unit
+
+(** The currently armed plan. [At] plans disappear once they fire. *)
+val armed : unit -> Plan.t option
+
+(** [with_plan plan f] arms [plan], runs [f], and disarms on the way out
+    (including on exception). *)
+val with_plan : Plan.t -> (unit -> 'a) -> 'a
+
+(** [hit point] is the injection hook: no-op without an armed plan, raises
+    {!Injected} when the armed plan fires here. *)
+val hit : Plan.point -> unit

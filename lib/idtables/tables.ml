@@ -12,6 +12,12 @@
    (the paper's write barrier): it publishes the plain writes to other
    domains at a well-defined point. *)
 
+type journal = {
+  j_version : int;
+  j_tary : (int * int) list; (* target address -> ECN *)
+  j_bary : (int * int) list; (* branch slot -> ECN *)
+}
+
 type t = {
   code_base : int;
   capacity : int;
@@ -22,6 +28,11 @@ type t = {
   mutable updates_since_quiesce : int;
   sync : int Atomic.t;
   update_lock : Mutex.t;
+  (* The redo log of the in-flight update transaction: set (under the
+     update lock) before the first slot write, cleared after the final
+     barrier.  A non-[None] value outside the lock means the updater died
+     mid-transaction; the next updater (or [Tx.recover]) redoes it. *)
+  mutable journal : journal option;
 }
 
 let round4 n = (n + 3) land lnot 3
@@ -38,6 +49,7 @@ let create ?covered ~code_base ~capacity ~bary_slots () =
     updates_since_quiesce = 0;
     sync = Atomic.make 0;
     update_lock = Mutex.create ();
+    journal = None;
   }
 
 let code_base t = t.code_base
@@ -121,3 +133,43 @@ let bary_entries t =
     if v <> Id.invalid then acc := (k, v) :: !acc
   done;
   !acc
+
+let set_journal t j = t.journal <- j
+let journal t = t.journal
+
+(* ---- whole-table snapshot / restore (loader rollback) ---- *)
+
+type snapshot = {
+  s_version : int;
+  s_code_size : int;
+  s_updates_since_quiesce : int;
+  s_tary : (int * Id.t) list;
+  s_bary : (int * Id.t) list;
+  s_journal : journal option;
+}
+
+let snapshot t =
+  {
+    s_version = t.version;
+    s_code_size = t.code_size;
+    s_updates_since_quiesce = t.updates_since_quiesce;
+    s_tary = tary_entries t;
+    s_bary = bary_entries t;
+    s_journal = t.journal;
+  }
+
+let restore t s =
+  with_update_lock t (fun () ->
+      (* clear the current in-use prefix — it is at least as large as the
+         snapshot's, since [extend] only grows *)
+      Array.fill t.tary 0 (t.code_size / 4) Id.invalid;
+      Array.fill t.bary 0 (Array.length t.bary) Id.invalid;
+      t.code_size <- s.s_code_size;
+      t.version <- s.s_version;
+      t.updates_since_quiesce <- s.s_updates_since_quiesce;
+      t.journal <- s.s_journal;
+      List.iter
+        (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
+        s.s_tary;
+      List.iter (fun (k, id) -> t.bary.(k) <- id) s.s_bary;
+      publish t)

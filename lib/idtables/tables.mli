@@ -96,3 +96,30 @@ val bary_set : t -> int -> Id.t -> unit
 val tary_entries : t -> (int * Id.t) list
 
 val bary_entries : t -> (int * Id.t) list
+
+(** The redo log of an in-flight update transaction: the intended version
+    and ECN maps.  {!Tx.update} sets it (under the update lock) before the
+    first slot write and clears it after the final barrier, so a non-[None]
+    journal observed by the next lock holder means the previous updater
+    died mid-transaction and the install must be redone ({!Tx.recover}). *)
+type journal = {
+  j_version : int;
+  j_tary : (int * int) list;  (** target address -> ECN *)
+  j_bary : (int * int) list;  (** branch slot -> ECN *)
+}
+
+val set_journal : t -> journal option -> unit
+val journal : t -> journal option
+
+(** An opaque copy of the full table state — version, covered code size,
+    ABA counter, both ECN maps, and the update journal.  The loader
+    captures one before a dynamic-link protocol and {!restore}s it when the
+    protocol fails, making a failed load observationally a no-op even when
+    the failure struck between the two update phases. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [restore t s] reinstates [s] under the update lock and publishes the
+    result with the write barrier. *)
+val restore : t -> snapshot -> unit

@@ -5,6 +5,13 @@ let pp_outcome ppf = function
   | Violation -> Fmt.string ppf "violation"
   | Retries_exhausted -> Fmt.string ppf "retries-exhausted"
 
+type escalation = Halt_process | Wait_for_updater | Fail_check
+
+let pp_escalation ppf = function
+  | Halt_process -> Fmt.string ppf "halt-process"
+  | Wait_for_updater -> Fmt.string ppf "wait-for-updater"
+  | Fail_check -> Fmt.string ppf "fail-check"
+
 let rec check_fast t ~bary_index ~target =
   let bid = Tables.bary_read t bary_index in
   let tid = Tables.tary_read t target in
@@ -13,38 +20,12 @@ let rec check_fast t ~bary_index ~target =
   else if not (Id.same_version bid tid) then check_fast t ~bary_index ~target
   else false
 
-let check ?max_retries ?(on_retry = fun () -> ()) t ~bary_index ~target =
-  let rec attempt budget =
-    let bid = Tables.bary_read t bary_index in
-    let tid = Tables.tary_read t target in
-    if bid = tid then Pass
-    else if not (Id.valid tid) then Violation
-    else if not (Id.same_version bid tid) then begin
-      on_retry ();
-      match budget with
-      | Some 0 -> Retries_exhausted
-      | Some n -> attempt (Some (n - 1))
-      | None -> attempt None
-    end
-    else Violation
-  in
-  attempt max_retries
-
 exception Version_space_exhausted
 
-(* The body of an update transaction; caller holds the update lock. *)
-let update_locked ~got_update t ~tary ~bary =
-  (* The ABA guard (paper §5.2): 2^14 updates with no intervening
-     quiescence point could wrap the version space during a still-running
-     check transaction; refuse rather than risk it. *)
-  if Tables.updates_since_quiesce t >= Id.max_version - 1 then
-    raise Version_space_exhausted;
-  Tables.count_update t;
-  let version = (Tables.version t + 1) mod Id.max_version in
-  Tables.set_version t version;
-  (* Phase 1: construct the new Tary image, then publish it slot by slot
-     (each publish is an atomic, sequentially consistent write — the
-     movnti-with-barrier analog). *)
+(* Build the full Tary/Bary images up front so every parameter error is
+   raised before the first slot write: an [invalid_arg] never leaves the
+   tables half-rewritten. *)
+let build_images t ~version ~tary ~bary =
   let base = Tables.code_base t and size = Tables.code_size t in
   let slots = size / 4 in
   let new_tary = Array.make slots Id.invalid in
@@ -56,13 +37,6 @@ let update_locked ~got_update t ~tary ~bary =
           (Printf.sprintf "Tx.update: bad Tary target address 0x%x" addr);
       new_tary.(off / 4) <- Id.pack ~ecn ~version)
     tary;
-  for k = 0 to slots - 1 do
-    Tables.tary_set t (base + (4 * k)) new_tary.(k)
-  done;
-  (* the write barrier between the two phases (paper Fig. 3 line 5) *)
-  Tables.publish t;
-  got_update ();
-  (* Phase 2: publish the new Bary table. *)
   let new_bary = Array.make (Tables.bary_slots t) Id.invalid in
   List.iter
     (fun (idx, ecn) ->
@@ -70,8 +44,103 @@ let update_locked ~got_update t ~tary ~bary =
         invalid_arg (Printf.sprintf "Tx.update: bad Bary slot %d" idx);
       new_bary.(idx) <- Id.pack ~ecn ~version)
     bary;
-  Array.iteri (fun idx id -> Tables.bary_set t idx id) new_bary;
+  (new_tary, new_bary)
+
+(* Publish a pre-validated image pair; caller holds the update lock.
+   [faults] gates the injection hooks — a journal redo runs with them off
+   so recovery cannot re-fail at the point that killed the original. *)
+let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
+  Tables.set_version t version;
+  let base = Tables.code_base t in
+  (* Phase 1: publish the new Tary image slot by slot (each publish is an
+     atomic, sequentially consistent write — the movnti-with-barrier
+     analog). *)
+  Array.iteri
+    (fun k id ->
+      if faults then Faults.hit Faults.Plan.Nth_tary_write;
+      Tables.tary_set t (base + (4 * k)) id)
+    new_tary;
+  (* the write barrier between the two phases (paper Fig. 3 line 5) *)
   Tables.publish t;
+  if faults then Faults.hit Faults.Plan.Between_tary_and_bary;
+  got_update ();
+  (* Phase 2: publish the new Bary table. *)
+  Array.iteri (fun idx id -> Tables.bary_set t idx id) new_bary;
+  Tables.publish t
+
+(* Redo a predecessor's torn install from its journal; caller holds the
+   update lock.  The journaled GOT hook is gone with its updater — GOT
+   redo belongs to the loader's own journal (see Process.load). *)
+let recover_locked t =
+  match Tables.journal t with
+  | None -> false
+  | Some { Tables.j_version; j_tary; j_bary } ->
+    let new_tary, new_bary =
+      build_images t ~version:j_version ~tary:j_tary ~bary:j_bary
+    in
+    install_locked ~faults:false
+      ~got_update:(fun () -> ())
+      t ~version:j_version ~new_tary ~new_bary;
+    Tables.set_journal t None;
+    Faults.Stats.count_recovery ();
+    true
+
+let recover t = Tables.with_update_lock t (fun () -> recover_locked t)
+
+let check ?max_retries ?(escalation = Fail_check) ?(on_retry = fun () -> ())
+    t ~bary_index ~target =
+  let rec attempt ~recovered budget =
+    let bid = Tables.bary_read t bary_index in
+    let tid = Tables.tary_read t target in
+    if bid = tid then Pass
+    else if not (Id.valid tid) then Violation
+    else if not (Id.same_version bid tid) then begin
+      match budget with
+      | Some 0 -> exhausted ~recovered
+      | Some n ->
+        retry ();
+        attempt ~recovered (Some (n - 1))
+      | None ->
+        retry ();
+        attempt ~recovered None
+    end
+    else Violation
+  and retry () =
+    Faults.Stats.count_retry ();
+    on_retry ()
+  and exhausted ~recovered =
+    match escalation with
+    | Fail_check -> Retries_exhausted
+    | Halt_process -> Violation
+    | Wait_for_updater ->
+      if recovered then Retries_exhausted
+      else begin
+        (* Taking the update lock waits out a live updater; a dead one
+           left its journal, which the redo completes.  Either way the
+           skew is resolved — re-attempt once with a fresh budget. *)
+        ignore (recover t);
+        attempt ~recovered:true max_retries
+      end
+  in
+  attempt ~recovered:false max_retries
+
+(* The body of an update transaction; caller holds the update lock. *)
+let update_locked ~got_update t ~tary ~bary =
+  (* a torn predecessor must be redone before its tables are built on *)
+  ignore (recover_locked t);
+  (* The ABA guard (paper §5.2): 2^14 updates with no intervening
+     quiescence point could wrap the version space during a still-running
+     check transaction; refuse rather than risk it. *)
+  if Tables.updates_since_quiesce t >= Id.max_version - 1 then
+    raise Version_space_exhausted;
+  Tables.count_update t;
+  let version = (Tables.version t + 1) mod Id.max_version in
+  let new_tary, new_bary = build_images t ~version ~tary ~bary in
+  (* Journal the intent: from here until the final barrier, a death leaves
+     enough state for the next lock holder to redo the install. *)
+  Tables.set_journal t (Some { Tables.j_version = version; j_tary = tary; j_bary = bary });
+  install_locked ~faults:true ~got_update t ~version ~new_tary ~new_bary;
+  Tables.set_journal t None;
   version
 
 let update ?(got_update = fun () -> ()) t ~tary ~bary =

@@ -19,17 +19,37 @@ type outcome =
   | Pass
   | Violation
   | Retries_exhausted
-      (** only with [~max_retries]; the unbounded transaction spins until
-          the concurrent update completes *)
+      (** only with [~max_retries] and [Fail_check] escalation; the
+          unbounded transaction spins until the concurrent update
+          completes *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+(** What a bounded check does when its retry budget runs out with the
+    tables still version-skewed (an update transaction stuck or dead
+    mid-flight):
+    - [Fail_check] surfaces {!Retries_exhausted} to the caller (default;
+      the VM maps it to a fault);
+    - [Halt_process] treats exhaustion as a {!Violation} — the
+      fail-closed posture: never keep running on tables of unprovable
+      consistency;
+    - [Wait_for_updater] takes the update lock (waiting out a live
+      updater, redoing a dead one's journalled install — {!recover}) and
+      re-attempts once with a fresh budget. *)
+type escalation = Halt_process | Wait_for_updater | Fail_check
+
+val pp_escalation : Format.formatter -> escalation -> unit
+
 (** [check t ~bary_index ~target] runs one check transaction.
-    [max_retries] bounds the retry loop (tests and the VM use a fuel bound;
-    production semantics is unbounded). [on_retry] is called each time the
-    version comparison forces a retry — test instrumentation. *)
+    [max_retries] bounds the retry loop (tests and the VM use a fuel
+    bound; production semantics is unbounded): [~max_retries:n] allows the
+    initial attempt plus at most [n] retries, so [~max_retries:0] means
+    "no retries" — the first version skew already exhausts the budget.
+    [on_retry] is called once per actual retry — test instrumentation.
+    [escalation] picks the exhaustion policy (default [Fail_check]). *)
 val check :
   ?max_retries:int ->
+  ?escalation:escalation ->
   ?on_retry:(unit -> unit) ->
   Tables.t ->
   bary_index:int ->
@@ -58,6 +78,15 @@ val update :
     preserving every ECN — the paper's §8.1 update-transaction stress
     experiment does exactly this at 50 Hz. Returns the new version. *)
 val refresh : Tables.t -> int
+
+(** [recover t] redoes a torn update transaction from the journal a dead
+    updater left behind ({!Tables.journal}), under the update lock.
+    Returns [true] if there was one to redo.  [update] performs the same
+    recovery implicitly before installing its own CFG, so an explicit call
+    is only needed to repair tables without changing the CFG.  The torn
+    transaction's GOT hook is {e not} re-run — binding GOT slots again is
+    the loader journal's job (see {!Mcfi_runtime.Process}). *)
+val recover : Tables.t -> bool
 
 (** Raised by [update]/[refresh] when 2^14 - 1 update transactions have
     executed with no intervening {!Tables.quiesce} — the ABA hazard of

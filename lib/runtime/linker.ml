@@ -49,6 +49,7 @@ let merge_functions objs =
   List.rev_map (Hashtbl.find tbl) !order
 
 let link ~name objs =
+  Faults.hit Faults.Plan.Link_merge;
   (match objs with [] -> fail "nothing to link" | _ -> ());
   let instrumented =
     match objs with
@@ -98,6 +99,7 @@ let link ~name objs =
 let add_plt (obj : Objfile.t) symbols =
   if symbols = [] then obj
   else begin
+    Faults.hit Faults.Plan.Link_merge;
     if not obj.o_instrumented then
       fail "PLT entries require an instrumented module";
     let base_slot = List.length obj.o_sites in

@@ -67,13 +67,24 @@ let append_code m img =
   (* loading code invalidates stale decodings of the region *)
   Array.fill m.decode_cache m.code_len (String.length img) None;
   m.code_len <- m.code_len + String.length img;
+  Faults.hit Faults.Plan.After_code_append;
   base
 
 let code_end m = m.code_base + m.code_len
 
+let truncate_code m ~code_end =
+  let len = code_end - m.code_base in
+  if len < 0 || len > m.code_len then
+    invalid_arg (Printf.sprintf "Machine.truncate_code: 0x%x" code_end);
+  (* scrub back to the unoccupied-byte pattern (Halt) and drop decodings *)
+  Bytes.fill m.image len (m.code_len - len) '\x01';
+  Array.fill m.decode_cache len (m.code_len - len) None;
+  m.code_len <- len
+
 let set_pc m addr = m.pc <- addr
 
 let set_brk m addr = m.brk <- addr
+let brk m = m.brk
 
 let read_data m addr =
   if addr < 0 || addr >= Array.length m.data then

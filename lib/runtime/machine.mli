@@ -41,11 +41,20 @@ val create :
 (** [append_code m image] loads [image] at the next free code address and
     returns that base address — a loader/runtime-only operation (W^X: user
     code has no way to reach it). Raises [Invalid_argument] when the
-    capacity is exceeded. *)
+    capacity is exceeded. Hosts the [After_code_append] fault-injection
+    point (fires after the image is in place — rollback is the loader
+    journal's job, via {!truncate_code}). *)
 val append_code : t -> string -> int
 
 (** Next free code address. *)
 val code_end : t -> int
+
+(** [truncate_code m ~code_end] rolls the code region back so that
+    {!code_end} is [code_end] again: the dropped suffix reverts to the
+    unoccupied-byte pattern and its decode cache is purged.  Loader-only
+    (journal rollback of a failed load).  Raises [Invalid_argument] if
+    [code_end] is outside the currently loaded region. *)
+val truncate_code : t -> code_end:int -> unit
 
 (** [set_pc m addr] places the program counter (process start, tests). *)
 val set_pc : t -> int -> unit
@@ -56,6 +65,9 @@ val sbrk : t -> int -> int
 
 (** [set_brk m addr] initializes the heap break (loader, after globals). *)
 val set_brk : t -> int -> unit
+
+(** The current heap break (loader journal, tests). *)
+val brk : t -> int
 
 (** Direct access used by the loader to initialize globals, and by tests
     and the attacker model. Addresses are word offsets in [0, data_words).

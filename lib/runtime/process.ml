@@ -76,6 +76,80 @@ let cfg_stats t = t.last_stats
 let cfg_gen_time_ms t = t.cfg_ms
 let updates t = t.n_updates
 
+let bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let code_symbol_bindings t = bindings t.code_symbols
+let data_symbol_bindings t = bindings t.data_symbols
+let loaded_names t = List.rev_map (fun lm -> lm.lm_obj.Objfile.o_name) t.loaded
+
+(* ---- the load journal (failure-atomic dynamic linking) ----
+
+   Everything [load] mutates, captured before the protocol touches the
+   process.  On any failure — verifier rejection, symbol clash, capacity
+   overflow, injected fault, even one that strikes between the update
+   transaction's two phases — [rollback] reinstates this record, so a
+   failed load is observationally a no-op. *)
+type load_journal = {
+  pj_code_end : int;
+  pj_brk : int;
+  pj_next_slot : int;
+  pj_loaded : loaded list;
+  pj_code_symbols : (string, int) Hashtbl.t; (* full copies *)
+  pj_data_symbols : (string, int) Hashtbl.t;
+  pj_pending_got : (string * int) list;
+  pj_got_words : (int * int) list; (* unresolved GOT slot -> word before *)
+  pj_tables : Idtables.Tables.snapshot option;
+  pj_n_updates : int;
+  pj_last_stats : Cfg.Cfggen.stats option;
+  pj_cfg_ms : float;
+}
+
+let capture_journal t =
+  {
+    pj_code_end = Machine.code_end t.mach;
+    pj_brk = Machine.brk t.mach;
+    pj_next_slot = t.next_slot;
+    pj_loaded = t.loaded;
+    pj_code_symbols = Hashtbl.copy t.code_symbols;
+    pj_data_symbols = Hashtbl.copy t.data_symbols;
+    pj_pending_got = t.pending_got;
+    pj_got_words =
+      List.map
+        (fun (_, addr) -> (addr, Machine.read_data t.mach addr))
+        t.pending_got;
+    pj_tables = Option.map Idtables.Tables.snapshot t.tables;
+    pj_n_updates = t.n_updates;
+    pj_last_stats = t.last_stats;
+    pj_cfg_ms = t.cfg_ms;
+  }
+
+let restore_table dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let rollback t j =
+  (* data words the failed load allocated revert to zero *)
+  for a = j.pj_brk to Machine.brk t.mach - 1 do
+    Machine.write_data t.mach a 0
+  done;
+  Machine.set_brk t.mach j.pj_brk;
+  (* GOT slots the interrupted update transaction may have bound *)
+  List.iter (fun (addr, v) -> Machine.write_data t.mach addr v) j.pj_got_words;
+  Machine.truncate_code t.mach ~code_end:j.pj_code_end;
+  (match (t.tables, j.pj_tables) with
+  | Some tables, Some s -> Idtables.Tables.restore tables s
+  | _ -> ());
+  t.next_slot <- j.pj_next_slot;
+  t.loaded <- j.pj_loaded;
+  restore_table t.code_symbols j.pj_code_symbols;
+  restore_table t.data_symbols j.pj_data_symbols;
+  t.pending_got <- j.pj_pending_got;
+  t.n_updates <- j.pj_n_updates;
+  t.last_stats <- j.pj_last_stats;
+  t.cfg_ms <- j.pj_cfg_ms;
+  Faults.Stats.count_rollback ()
+
 (* Build the CFG-generator view of everything loaded so far. *)
 let cfg_input t : Cfg.Cfggen.input =
   let mods = List.rev t.loaded in
@@ -166,6 +240,7 @@ let update_cfg t =
     t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
     t.last_stats <- Some out.Cfg.Cfggen.stats;
     let got_update () =
+      Faults.hit Faults.Plan.During_got_update;
       t.pending_got <-
         List.filter
           (fun (symbol, got_addr) ->
@@ -181,7 +256,9 @@ let update_cfg t =
          ~bary:out.Cfg.Cfggen.bary);
     t.n_updates <- t.n_updates + 1
 
-let load t (obj : Objfile.t) =
+(* The unprotected body of the dynamic-linking protocol.  Callers go
+   through [load], which journals the process first. *)
+let load_protocol t (obj : Objfile.t) =
   if obj.o_instrumented <> t.instrumented then
     fail "module %s is %sinstrumented but the process is %s" obj.o_name
       (if obj.o_instrumented then "" else "not ")
@@ -228,6 +305,7 @@ let load t (obj : Objfile.t) =
   in
   (* 4. verification before the code becomes executable *)
   if t.verify && t.instrumented then begin
+    Faults.hit Faults.Plan.During_verification;
     match
       Verifier.verify ~sandbox:t.sandbox ~obj ~prog ~slot_base
         ~slot_count:nsites ()
@@ -295,6 +373,14 @@ let load t (obj : Objfile.t) =
   (* 9. regenerate and install the CFG (one update transaction) *)
   update_cfg t
 
+let load t obj =
+  let j = capture_journal t in
+  try load_protocol t obj
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    rollback t j;
+    Printexc.raise_with_backtrace e bt
+
 let start t =
   match Hashtbl.find_opt t.code_symbols "_start" with
   | Some entry ->
@@ -302,12 +388,21 @@ let start t =
     (* wire the dynamic linker *)
     Machine.set_dl_handler t.mach (fun _m num name ->
         if num = Abi.sys_dlopen then begin
-          match t.registry name with
+          match
+            Faults.hit Faults.Plan.Registry_lookup;
+            t.registry name
+          with
           | Some obj -> (
+            (* [load] has already rolled the process back when any of
+               these surface: dlopen reports failure, nothing changed *)
             match load t obj with
             | () -> 0
-            | exception Error _ -> -1)
+            | exception
+                ( Error _ | Faults.Injected _ | Invalid_argument _
+                | Idtables.Tx.Version_space_exhausted ) ->
+              -1)
           | None -> -1
+          | exception Faults.Injected _ -> -1
         end
         else
           match Hashtbl.find_opt t.code_symbols name with

@@ -48,7 +48,15 @@ val create :
 
 (** [load t obj] loads a module (startup or dlopen path; same protocol).
     Raises {!Error} on symbol clashes, verification failure, or an
-    instrumented/plain mismatch with the process mode. *)
+    instrumented/plain mismatch with the process mode.
+
+    Failure-atomic: the process is journalled (code end, heap break, table
+    snapshot, symbol maps, staged GOT words, module list) before the
+    protocol starts, and {e any} exception — {!Error}, a capacity
+    [Invalid_argument], an injected {!Faults.Injected} fault, even one
+    striking between the update transaction's two phases — rolls the
+    process back to the journal before re-raising, so a failed load is
+    observationally a no-op. *)
 val load : t -> Mcfi_compiler.Objfile.t -> unit
 
 (** [machine t] gives access to the underlying machine (registers, data,
@@ -63,6 +71,15 @@ val lookup_code : t -> string -> int option
 
 (** [lookup_data t symbol] is the data address of a loaded global. *)
 val lookup_data : t -> string -> int option
+
+(** The full symbol maps as sorted association lists — the state-equality
+    probes the fault-injection oracle compares. *)
+val code_symbol_bindings : t -> (string * int) list
+
+val data_symbol_bindings : t -> (string * int) list
+
+(** Names of the loaded modules, in load order. *)
+val loaded_names : t -> string list
 
 (** Statistics of the last CFG generation (paper Table 3 columns). *)
 val cfg_stats : t -> Cfg.Cfggen.stats option

@@ -167,11 +167,36 @@ let test_check_retries_on_version_skew () =
       ~bary_index:0 ~target:0x1000
   in
   Alcotest.(check bool) "exhausted" true (r = Tx.Retries_exhausted);
-  Alcotest.(check int) "retried 6 times" 6 !retries;
+  Alcotest.(check int) "retried 5 times" 5 !retries;
   (* finish the update: check passes again *)
   Tables.bary_set t 0 (Id.pack ~ecn:0 ~version:v);
   Alcotest.(check bool) "passes after completion" true
     (Tx.check t ~bary_index:0 ~target:0x1000 = Tx.Pass)
+
+(* Pin the retry budget semantics: [~max_retries:n] = the initial attempt
+   plus at most [n] retries, so [~max_retries:0] means "no retries" and
+   [on_retry] never fires. *)
+let test_zero_max_retries_means_no_retry () =
+  let t = mk_tables () in
+  ignore (install t);
+  (* skew the tables: Tary at a new version, Bary stale *)
+  let stale_bid = Tables.bary_read t 0 in
+  Tables.set_version t (Tables.version t + 1);
+  let v = Tables.version t in
+  Tables.tary_set t 0x1000 (Id.pack ~ecn:0 ~version:v);
+  Tables.bary_set t 0 stale_bid;
+  let retries = ref 0 in
+  let r =
+    Tx.check t ~max_retries:0
+      ~on_retry:(fun () -> incr retries)
+      ~bary_index:0 ~target:0x1000
+  in
+  Alcotest.(check bool) "exhausted immediately" true (r = Tx.Retries_exhausted);
+  Alcotest.(check int) "zero retries" 0 !retries;
+  (* on consistent tables a zero budget is irrelevant *)
+  Tables.bary_set t 0 (Id.pack ~ecn:0 ~version:v);
+  Alcotest.(check bool) "passes with zero budget" true
+    (Tx.check t ~max_retries:0 ~bary_index:0 ~target:0x1000 = Tx.Pass)
 
 let test_refresh_preserves_ecns () =
   let t = mk_tables () in
@@ -341,6 +366,8 @@ let () =
             test_update_clears_stale_entries;
           Alcotest.test_case "retry on skew" `Quick
             test_check_retries_on_version_skew;
+          Alcotest.test_case "max_retries:0 = no retries" `Quick
+            test_zero_max_retries_means_no_retry;
           Alcotest.test_case "refresh" `Quick test_refresh_preserves_ecns;
           Alcotest.test_case "got hook" `Quick
             test_got_update_hook_runs_between_phases;
