@@ -1,4 +1,4 @@
-.PHONY: all check faults test bench clean
+.PHONY: all check faults test bench torture clean
 
 all:
 	dune build
@@ -17,6 +17,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# sustained multi-domain torture: several large scenarios with updater
+# kills and loader storms, every outcome validated by the history oracle
+torture:
+	dune exec --profile ci bin/mcfi_cli.exe -- torture --long
 
 clean:
 	dune clean

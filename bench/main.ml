@@ -17,7 +17,9 @@
      rop      - §8.3 ROP-gadget elimination
      cfggen   - §7 CFG-generation speed
      sandbox  - ablation: segmentation (x86-32) vs masking (x86-64)
-     tary     - ablation: array Tary vs hash-map Tary lookup cost *)
+     tary     - ablation: array Tary vs hash-map Tary lookup cost
+     torture  - multi-domain check/update throughput under an update
+                storm with mid-install kills (not a paper figure) *)
 
 module Process = Mcfi_runtime.Process
 module Machine = Mcfi_runtime.Machine
@@ -488,6 +490,24 @@ let tary () =
     [ "array"; "hashmap" ];
   Fmt.pr "(the paper chooses the array for exactly this lookup-cost reason)@."
 
+(* ---- torture: multi-domain throughput under an update storm ---- *)
+
+(* Not a paper figure: the robustness work's regression guard.  One
+   acceptance-shaped scenario (4 checkers, 2 updaters, past the 2^14
+   version wall, mid-install kills) reporting check/update throughput and
+   the recovery counters. *)
+let torture () =
+  let sc = Stress.default ~seed:0xBE7C4L in
+  Fmt.pr "%a@." Stress.pp_scenario sc;
+  let r = Stress.run sc in
+  Fmt.pr "%a@." Stress.pp_report r;
+  Fmt.pr "throughput: %.0f checks/s, %.0f installs/s@."
+    (float_of_int r.Stress.rp_checks /. r.Stress.rp_elapsed_s)
+    (float_of_int r.Stress.rp_installs /. r.Stress.rp_elapsed_s);
+  if r.Stress.rp_anomalies <> [] then
+    Fmt.pr "WARNING: oracle anomalies above — investigate before trusting \
+            the numbers@."
+
 let () =
   section "table1" "Table 1: C1 violations and false-positive elimination"
     table1;
@@ -504,4 +524,6 @@ let () =
   section "cfggen" "CFG generation speed" cfggen;
   section "sandbox" "Ablation: segmentation (x86-32) vs masking (x86-64)"
     sandbox_ablation;
-  section "tary" "Ablation: Tary representation" tary
+  section "tary" "Ablation: Tary representation" tary;
+  section "torture" "Multi-domain torture throughput (not a paper figure)"
+    torture

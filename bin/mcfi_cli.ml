@@ -6,6 +6,7 @@
      compile   compile modules to .mobj object files (separately!)
      inspect   print an object file's code, sites and type information
      analyze   run the C1/C2 analyzer on a source file
+     torture   seeded multi-domain torture of the runtime protocols
      bench     list the built-in benchmark suite
 
    Examples:
@@ -252,6 +253,89 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"report C1 violations (paper Tables 1 and 2)")
     Term.(const analyze $ file $ verbose)
 
+(* ---- torture ---- *)
+
+let torture_cmd =
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"master seed; a failing run prints the seed to replay")
+  in
+  let scenarios =
+    Arg.(value & opt int 1 & info [ "scenarios" ]
+           ~doc:"number of seed-derived scenarios to run")
+  in
+  let long =
+    Arg.(value & flag & info [ "long" ]
+           ~doc:"sustained run: several scenarios, each with the full \
+                 acceptance dimensions and a loader storm")
+  in
+  let checkers =
+    Arg.(value & opt (some int) None & info [ "checkers" ]
+           ~doc:"override: checker domains")
+  in
+  let updaters =
+    Arg.(value & opt (some int) None & info [ "updaters" ]
+           ~doc:"override: updater domains")
+  in
+  let updates =
+    Arg.(value & opt (some int) None & info [ "updates" ]
+           ~doc:"override: total update transactions")
+  in
+  let kill_every =
+    Arg.(value & opt (some int) None & info [ "kill-every" ]
+           ~doc:"override: kill an updater mid-install every N updates \
+                 (0 = never)")
+  in
+  let loads =
+    Arg.(value & opt (some int) None & info [ "loads" ]
+           ~doc:"override: loader-storm dlopen count (0 = storm off)")
+  in
+  let torture seed scenarios long checkers updaters updates kill_every loads =
+    let override v o = Option.value o ~default:v in
+    let scenario i =
+      let seed = Int64.add seed (Int64.of_int i) in
+      let sc =
+        if long then
+          { (Stress.default ~seed) with
+            Stress.updates = 40_000;
+            loader_loads = 24;
+            loader_fault_one_in = 3;
+          }
+        else if i = 0 then Stress.default ~seed
+        else Stress.generate ~seed
+      in
+      {
+        sc with
+        Stress.checkers = override sc.Stress.checkers checkers;
+        updaters = override sc.Stress.updaters updaters;
+        updates = override sc.Stress.updates updates;
+        kill_every = override sc.Stress.kill_every kill_every;
+        loader_loads = override sc.Stress.loader_loads loads;
+      }
+    in
+    let n = if long then max 3 scenarios else scenarios in
+    let failures = ref 0 in
+    for i = 0 to n - 1 do
+      let sc = scenario i in
+      Fmt.pr "@[<v>scenario %d/%d: %a@]@." (i + 1) n Stress.pp_scenario sc;
+      let r = Stress.run sc in
+      Fmt.pr "%a@.@." Stress.pp_report r;
+      if r.Stress.rp_anomalies <> [] then incr failures
+    done;
+    if !failures > 0 then begin
+      Fmt.epr "torture: %d scenario(s) with anomalies (seed %Ld)@." !failures
+        seed;
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"multi-domain torture of the transaction and linking protocols, \
+             validated by the epoch-history oracle")
+    Term.(const torture $ seed $ scenarios $ long $ checkers $ updaters
+          $ updates $ kill_every $ loads)
+
 (* ---- bench ---- *)
 
 let bench_cmd =
@@ -273,4 +357,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
-            bench_cmd ]))
+            torture_cmd; bench_cmd ]))

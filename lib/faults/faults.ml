@@ -48,13 +48,21 @@ let () =
     | _ -> None)
 
 module Stats = struct
-  type t = { injected : int; rollbacks : int; recoveries : int; retries : int }
+  type t = {
+    injected : int;
+    rollbacks : int;
+    recoveries : int;
+    retries : int;
+    watchdog_fires : int;
+  }
 
-  (* Atomics: the retry counter is bumped from checker domains. *)
+  (* Atomics: the retry and watchdog counters are bumped from checker
+     domains. *)
   let injected = Atomic.make 0
   let rollbacks = Atomic.make 0
   let recoveries = Atomic.make 0
   let retries = Atomic.make 0
+  let watchdog_fires = Atomic.make 0
 
   let snapshot () =
     {
@@ -62,63 +70,86 @@ module Stats = struct
       rollbacks = Atomic.get rollbacks;
       recoveries = Atomic.get recoveries;
       retries = Atomic.get retries;
+      watchdog_fires = Atomic.get watchdog_fires;
     }
 
   let reset () =
     Atomic.set injected 0;
     Atomic.set rollbacks 0;
     Atomic.set recoveries 0;
-    Atomic.set retries 0
+    Atomic.set retries 0;
+    Atomic.set watchdog_fires 0
 
   let pp ppf s =
-    Fmt.pf ppf "injected=%d rollbacks=%d recoveries=%d retries=%d" s.injected
-      s.rollbacks s.recoveries s.retries
+    Fmt.pf ppf "injected=%d rollbacks=%d recoveries=%d retries=%d watchdog=%d"
+      s.injected s.rollbacks s.recoveries s.retries s.watchdog_fires
 
   let count_rollback () = Atomic.incr rollbacks
   let count_recovery () = Atomic.incr recoveries
   let count_retry () = Atomic.incr retries
+  let count_watchdog () = Atomic.incr watchdog_fires
 end
 
+(* Hooks are crossed by every domain running a protocol, so the armed
+   state and its counters are shared mutable state: the state cell is an
+   [Atomic] (plans armed on one domain must be visible to the domain that
+   crosses the trigger point), the [At] countdown is an atomic
+   fetch-and-add so exactly one crossing fires even when several domains
+   race through the same point, and the [Random] PRNG — a mutable stream
+   — draws under a mutex (armed plans are off the fast path; an unarmed
+   hook is still a single atomic load). *)
 type mode =
-  | At_countdown of Plan.point * int ref (* crossings left before firing *)
-  | Random_draw of Mcfi_util.Prng.t * int
+  | At_countdown of Plan.point * int Atomic.t (* crossings left *)
+  | Random_draw of { prng : Mcfi_util.Prng.t; one_in : int; lock : Mutex.t }
 
 type armed_state = { plan : Plan.t; mode : mode }
 
-let state : armed_state option ref = ref None
+let state : armed_state option Atomic.t = Atomic.make None
 
 let arm plan =
   let mode =
     match plan with
-    | Plan.At { point; hit } -> At_countdown (point, ref (max 1 hit))
+    | Plan.At { point; hit } -> At_countdown (point, Atomic.make (max 1 hit))
     | Plan.Random { seed; one_in } ->
-      Random_draw (Mcfi_util.Prng.create seed, max 1 one_in)
+      Random_draw
+        {
+          prng = Mcfi_util.Prng.create seed;
+          one_in = max 1 one_in;
+          lock = Mutex.create ();
+        }
   in
-  state := Some { plan; mode }
+  Atomic.set state (Some { plan; mode })
 
-let disarm () = state := None
+let disarm () = Atomic.set state None
 
 let armed () =
-  match !state with None -> None | Some { plan; _ } -> Some plan
+  match Atomic.get state with None -> None | Some { plan; _ } -> Some plan
 
 let fire point =
   Atomic.incr Stats.injected;
   raise (Injected point)
 
 let hit point =
-  match !state with
+  match Atomic.get state with
   | None -> ()
   | Some { mode = At_countdown (p, left); _ } ->
     if p = point then begin
-      decr left;
-      if !left <= 0 then begin
+      (* the crossing that takes the counter from 1 to 0 fires, exactly
+         once across all racing domains *)
+      if Atomic.fetch_and_add left (-1) = 1 then begin
         (* one-shot: a recovery retry must not re-fail here *)
         disarm ();
         fire point
       end
     end
-  | Some { mode = Random_draw (prng, one_in); _ } ->
-    if Mcfi_util.Prng.int prng one_in = 0 then fire point
+  | Some { mode = Random_draw { prng; one_in; lock }; _ } ->
+    let fires =
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () -> Mcfi_util.Prng.int prng one_in = 0)
+    in
+    if fires then fire point
 
 let with_plan plan f =
   arm plan;

@@ -20,7 +20,10 @@
     The armed plan is a process-global: tests arm, run one victim
     operation, and disarm ({!with_plan} scopes this).  [At] plans are
     one-shot — after firing they disarm themselves, so a recovery retry of
-    the same protocol does not re-fail at the same point. *)
+    the same protocol does not re-fail at the same point.  Arming, the
+    countdown and the random draw are all domain-safe: hooks may be
+    crossed concurrently from many domains (the torture harness does
+    exactly that), and an [At] plan still fires exactly once. *)
 
 module Plan : sig
   (** A trigger point: a named program location inside a protocol. *)
@@ -63,6 +66,9 @@ module Stats : sig
     rollbacks : int;  (** {!Mcfi_runtime.Process.load} journal rollbacks *)
     recoveries : int;  (** torn update transactions redone from the journal *)
     retries : int;  (** check-transaction retries on version skew *)
+    watchdog_fires : int;
+        (** update watchdogs that expired: a check transaction's retry
+            deadline passed with the tables still version-skewed *)
   }
 
   val snapshot : unit -> t
@@ -75,6 +81,7 @@ module Stats : sig
   val count_rollback : unit -> unit
   val count_recovery : unit -> unit
   val count_retry : unit -> unit
+  val count_watchdog : unit -> unit
 end
 
 (** [arm plan] installs [plan]; it replaces any previously armed plan. *)

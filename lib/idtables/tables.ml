@@ -10,12 +10,40 @@
    retries (or halts on an invalid ID), never passes.  The [sync] atomic
    is bumped between the Tary and Bary phases and at the end of an update
    (the paper's write barrier): it publishes the plain writes to other
-   domains at a well-defined point. *)
+   domains at a well-defined point.
+
+   Which fields are [Atomic] and why (the OCaml 5 memory-model audit):
+   [version], [updates_since_quiesce] and [journal] are written by
+   update-lock holders but read from other domains without the lock
+   (checkers probing for a live update, the watchdog, the quiescence
+   machinery), so their reads are load-bearing and must be publication
+   points.  [code_size] stays a plain field: it only grows, under the
+   loader (serialized with updates), and a checker reading a stale,
+   smaller value classifies the target as out-of-range — [Id.invalid] —
+   which fails closed.  The table slots themselves stay plain cells per
+   the argument above. *)
 
 type journal = {
   j_version : int;
   j_tary : (int * int) list; (* target address -> ECN *)
   j_bary : (int * int) list; (* branch slot -> ECN *)
+  j_tag : int; (* caller's tag, reported to the observer on redo *)
+}
+
+(* One registered checker: a per-domain epoch counter for quiescence
+   inference.  [rd_epoch] is bumped by the owning domain at branch
+   boundaries (outside any check transaction); [rd_seen] is the epoch
+   snapshot taken by the last completed install, written and read only
+   under the update lock. *)
+type reader = {
+  rd_epoch : int Atomic.t;
+  rd_online : bool Atomic.t;
+  mutable rd_seen : int;
+}
+
+type observer = {
+  obs_begin : version:int -> tag:int -> unit;
+  obs_complete : version:int -> tag:int -> unit;
 }
 
 type t = {
@@ -24,15 +52,19 @@ type t = {
   mutable code_size : int;
   tary : int array; (* slot k covers code address base + 4k *)
   bary : int array;
-  mutable version : int;
-  mutable updates_since_quiesce : int;
+  version : int Atomic.t;
+  updates_since_quiesce : int Atomic.t;
+  quiesce_events : int Atomic.t;
   sync : int Atomic.t;
   update_lock : Mutex.t;
+  update_busy : bool Atomic.t; (* diagnostic: is the lock held? *)
+  readers : reader list Atomic.t;
+  mutable observer : observer option; (* set before domains spawn *)
   (* The redo log of the in-flight update transaction: set (under the
      update lock) before the first slot write, cleared after the final
      barrier.  A non-[None] value outside the lock means the updater died
      mid-transaction; the next updater (or [Tx.recover]) redoes it. *)
-  mutable journal : journal option;
+  journal : journal option Atomic.t;
 }
 
 let round4 n = (n + 3) land lnot 3
@@ -45,11 +77,15 @@ let create ?covered ~code_base ~capacity ~bary_slots () =
     code_size = round4 (min capacity (Option.value covered ~default:capacity));
     tary = Array.make (capacity / 4) Id.invalid;
     bary = Array.make (max bary_slots 1) Id.invalid;
-    version = 0;
-    updates_since_quiesce = 0;
+    version = Atomic.make 0;
+    updates_since_quiesce = Atomic.make 0;
+    quiesce_events = Atomic.make 0;
     sync = Atomic.make 0;
     update_lock = Mutex.create ();
-    journal = None;
+    update_busy = Atomic.make false;
+    readers = Atomic.make [];
+    observer = None;
+    journal = Atomic.make None;
   }
 
 let code_base t = t.code_base
@@ -64,18 +100,121 @@ let extend t bytes =
 
 let bary_slots t = Array.length t.bary
 
-let version t = t.version
-let set_version t v = t.version <- v
+let version t = Atomic.get t.version
+let set_version t v = Atomic.set t.version v
 
-let updates_since_quiesce t = t.updates_since_quiesce
-let count_update t = t.updates_since_quiesce <- t.updates_since_quiesce + 1
-let quiesce t = t.updates_since_quiesce <- 0
+let updates_since_quiesce t = Atomic.get t.updates_since_quiesce
+
+let quiesce t =
+  Atomic.set t.updates_since_quiesce 0;
+  Atomic.incr t.quiesce_events
+
+let quiesce_events t = Atomic.get t.quiesce_events
 
 let publish t = Atomic.incr t.sync
 
 let with_update_lock t f =
   Mutex.lock t.update_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.update_lock) f
+  Atomic.set t.update_busy true;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.update_busy false;
+      Mutex.unlock t.update_lock)
+    f
+
+let update_in_progress t = Atomic.get t.update_busy
+
+(* ---- epoch-based quiescence (paper §5.2's ABA guard, made concurrent)
+
+   The ABA hazard needs a check transaction that stays in flight across
+   2^14 update transactions.  Instead of trusting a caller to declare
+   quiescence, checker domains register an epoch counter and bump it at
+   branch boundaries; each completed install snapshots every reader's
+   epoch ([observe_readers]), and quiescence may be declared once every
+   online reader has moved past its snapshot — then any check still in
+   flight began after the last install completed, so the counter of
+   wrap-hazard updates it spans restarts at zero. *)
+
+let rec cas_readers t f =
+  let old = Atomic.get t.readers in
+  if not (Atomic.compare_and_set t.readers old (f old)) then cas_readers t f
+
+let register_reader t =
+  let r =
+    (* [rd_seen <> epoch] from the start: a reader registered after the
+       last install cannot have a check in flight that predates it *)
+    { rd_epoch = Atomic.make 0; rd_online = Atomic.make true; rd_seen = -1 }
+  in
+  cas_readers t (fun rs -> r :: rs);
+  r
+
+let unregister_reader t r =
+  Atomic.set r.rd_online false;
+  cas_readers t (List.filter (fun r' -> r' != r))
+
+let reader_quiescent r = Atomic.incr r.rd_epoch
+let set_reader_online r b = Atomic.set r.rd_online b
+
+let registered_readers t = List.length (Atomic.get t.readers)
+
+(* Caller holds the update lock (install completion). *)
+let observe_readers t =
+  List.iter
+    (fun r -> r.rd_seen <- Atomic.get r.rd_epoch)
+    (Atomic.get t.readers)
+
+(* Caller holds the update lock.  True iff quiescence is (now) declared:
+   either nothing to declare, or every online reader crossed a branch
+   boundary since the last completed install.  An empty registry is never
+   evidence — someone may be checking without having registered. *)
+let try_quiesce t =
+  if Atomic.get t.updates_since_quiesce = 0 then true
+  else begin
+    match Atomic.get t.readers with
+    | [] -> false
+    | rs ->
+      if
+        List.for_all
+          (fun r ->
+            (not (Atomic.get r.rd_online))
+            || Atomic.get r.rd_epoch <> r.rd_seen)
+          rs
+      then begin
+        quiesce t;
+        true
+      end
+      else false
+  end
+
+(* Non-blocking: used from checker-side quiescent points (e.g. the VM's
+   syscall path) so a held update lock never stalls a checker. *)
+let quiesce_attempt t =
+  if Atomic.get t.updates_since_quiesce = 0 then true
+  else if Mutex.try_lock t.update_lock then begin
+    Atomic.set t.update_busy true;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set t.update_busy false;
+        Mutex.unlock t.update_lock)
+      (fun () -> try_quiesce t)
+  end
+  else false
+
+let count_update t = Atomic.incr t.updates_since_quiesce
+
+(* ---- observer (commit hooks for the torture harness's oracle) ---- *)
+
+let set_observer t o = t.observer <- o
+
+let notify_begin t ~version ~tag =
+  match t.observer with
+  | None -> ()
+  | Some o -> o.obs_begin ~version ~tag
+
+let notify_complete t ~version ~tag =
+  match t.observer with
+  | None -> ()
+  | Some o -> o.obs_complete ~version ~tag
 
 let slot_value t k =
   if k < 0 || k >= t.code_size / 4 then Id.invalid
@@ -134,8 +273,8 @@ let bary_entries t =
   done;
   !acc
 
-let set_journal t j = t.journal <- j
-let journal t = t.journal
+let set_journal t j = Atomic.set t.journal j
+let journal t = Atomic.get t.journal
 
 (* ---- whole-table snapshot / restore (loader rollback) ---- *)
 
@@ -150,12 +289,12 @@ type snapshot = {
 
 let snapshot t =
   {
-    s_version = t.version;
+    s_version = version t;
     s_code_size = t.code_size;
-    s_updates_since_quiesce = t.updates_since_quiesce;
+    s_updates_since_quiesce = updates_since_quiesce t;
     s_tary = tary_entries t;
     s_bary = bary_entries t;
-    s_journal = t.journal;
+    s_journal = journal t;
   }
 
 let restore t s =
@@ -165,9 +304,9 @@ let restore t s =
       Array.fill t.tary 0 (t.code_size / 4) Id.invalid;
       Array.fill t.bary 0 (Array.length t.bary) Id.invalid;
       t.code_size <- s.s_code_size;
-      t.version <- s.s_version;
-      t.updates_since_quiesce <- s.s_updates_since_quiesce;
-      t.journal <- s.s_journal;
+      set_version t s.s_version;
+      Atomic.set t.updates_since_quiesce s.s_updates_since_quiesce;
+      set_journal t s.s_journal;
       List.iter
         (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
         s.s_tary;

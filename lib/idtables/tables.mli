@@ -45,7 +45,8 @@ val extend : t -> int -> unit
 
 val bary_slots : t -> int
 
-(** Current global version number (bumped by each update transaction). *)
+(** Current global version number (bumped by each update transaction).
+    An [Atomic] read: safe from any domain. *)
 val version : t -> int
 
 val set_version : t -> int -> unit
@@ -55,20 +56,102 @@ val set_version : t -> int -> unit
     check transaction} could replay an old ID.  The runtime therefore
     counts update transactions and resets the counter at quiescence
     points (moments when every thread has been observed outside a check
-    transaction, e.g. at a system call); the count approaching
-    [Id.max_version] is the signal to force quiescence first. *)
+    transaction); the count approaching [Id.max_version] is the signal to
+    force quiescence first. *)
 val updates_since_quiesce : t -> int
 
 (** Bump the update counter (called by the update transaction). *)
 val count_update : t -> unit
 
-(** Declare a quiescence point: every thread has been observed outside a
-    check transaction since the last update. *)
+(** Declare a quiescence point directly.  The caller asserts that every
+    thread has been observed outside a check transaction since the last
+    update — only sound when it can actually know that (single-domain
+    runtimes, tests).  Concurrent runtimes use the epoch machinery below
+    instead. *)
 val quiesce : t -> unit
+
+(** How many quiescence points have been declared (directly or via
+    {!try_quiesce}) over the table's lifetime. *)
+val quiesce_events : t -> int
 
 (** The update-transaction serialization lock (paper: the global update
     lock; it never blocks check transactions). *)
 val with_update_lock : t -> (unit -> 'a) -> 'a
+
+(** Whether some domain currently holds the update lock — a diagnostic
+    for the update watchdog; racy by nature. *)
+val update_in_progress : t -> bool
+
+(** {2 Epoch-based quiescence}
+
+    A checker domain {!register_reader}s itself and calls
+    {!reader_quiescent} at branch boundaries — points where it is provably
+    outside any check transaction.  Each completed install snapshots every
+    reader's epoch ({!observe_readers}); {!try_quiesce} declares
+    quiescence once every online reader has advanced past its snapshot,
+    because then any check still in flight began {e after} the last
+    install completed and cannot span a version-space wrap.  With no
+    registered readers there is no evidence and [try_quiesce] never
+    declares (the direct {!quiesce} remains for callers that know
+    better). *)
+
+type reader
+
+(** Register the calling domain as a checker; the handle is not shared. *)
+val register_reader : t -> reader
+
+(** Remove a reader from the registry (it stops gating quiescence). *)
+val unregister_reader : t -> reader -> unit
+
+(** The branch-boundary hook: the owning domain is outside any check
+    transaction right now.  One atomic increment. *)
+val reader_quiescent : reader -> unit
+
+(** An offline reader does not gate quiescence (e.g. blocked in a long
+    syscall); mark it online again before its next check. *)
+val set_reader_online : reader -> bool -> unit
+
+val registered_readers : t -> int
+
+(** Snapshot every reader's epoch; update-lock holders call this when an
+    install completes (done by {!Tx.install_locked}'s callers). *)
+val observe_readers : t -> unit
+
+(** [try_quiesce t] — caller holds the update lock — declares quiescence
+    and returns [true] iff every online registered reader has crossed a
+    branch boundary since the last completed install (or the counter is
+    already zero). *)
+val try_quiesce : t -> bool
+
+(** Non-blocking [try_quiesce]: takes the update lock only if free
+    ([Mutex.try_lock]), so a checker-side quiescent point never stalls
+    behind a live updater. *)
+val quiesce_attempt : t -> bool
+
+(** {2 Install observer}
+
+    Commit hooks for an external oracle (the torture harness): called
+    under the update lock when an install transaction begins (before its
+    first slot write) and when it completes (after the final barrier).  A
+    torn install's completion is reported by the journal redo that
+    finishes it, with the tag the original updater passed to
+    {!Tx.update}.  Set before any concurrent use; [None] (the default)
+    costs one field load per update. *)
+
+type observer = {
+  obs_begin : version:int -> tag:int -> unit;
+  obs_complete : version:int -> tag:int -> unit;
+}
+
+val set_observer : t -> observer option -> unit
+
+(**/**)
+
+(* update-lock holders only; used by Tx *)
+val notify_begin : t -> version:int -> tag:int -> unit
+val notify_complete : t -> version:int -> tag:int -> unit
+
+(**/**)
 
 (** The write barrier between (and after) the update transaction's two
     phases: a sequentially consistent operation that publishes the
@@ -106,6 +189,7 @@ type journal = {
   j_version : int;
   j_tary : (int * int) list;  (** target address -> ECN *)
   j_bary : (int * int) list;  (** branch slot -> ECN *)
+  j_tag : int;  (** the updater's observer tag, replayed on redo *)
 }
 
 val set_journal : t -> journal option -> unit

@@ -12,13 +12,36 @@ let pp_escalation ppf = function
   | Wait_for_updater -> Fmt.string ppf "wait-for-updater"
   | Fail_check -> Fmt.string ppf "fail-check"
 
-let rec check_fast t ~bary_index ~target =
-  let bid = Tables.bary_read t bary_index in
-  let tid = Tables.tary_read t target in
-  if bid = tid then true
-  else if not (Id.valid tid) then false
-  else if not (Id.same_version bid tid) then check_fast t ~bary_index ~target
-  else false
+type watchdog = { wd_deadline : int; wd_on_expire : escalation }
+
+let pp_watchdog ppf w =
+  Fmt.pf ppf "watchdog(deadline=%d, %a)" w.wd_deadline pp_escalation
+    w.wd_on_expire
+
+(* Bounded exponential backoff: 2^round pause hints, capped at 64, so a
+   checker spinning against a long update yields the core without ever
+   sleeping (checks must stay syscall-free). *)
+let backoff round =
+  let spins = 1 lsl min round 6 in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
+let check_fast ?on_retry t ~bary_index ~target =
+  let rec go round =
+    let bid = Tables.bary_read t bary_index in
+    let tid = Tables.tary_read t target in
+    if bid = tid then true
+    else if not (Id.valid tid) then false
+    else if not (Id.same_version bid tid) then begin
+      (* version skew: an update transaction is in flight *)
+      Domain.cpu_relax ();
+      (match on_retry with None -> () | Some f -> f round);
+      go (round + 1)
+    end
+    else false
+  in
+  go 0
 
 exception Version_space_exhausted
 
@@ -66,7 +89,10 @@ let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
   got_update ();
   (* Phase 2: publish the new Bary table. *)
   Array.iteri (fun idx id -> Tables.bary_set t idx id) new_bary;
-  Tables.publish t
+  Tables.publish t;
+  (* the install is complete: snapshot reader epochs, so quiescence can
+     later be declared once every checker has moved past this point *)
+  Tables.observe_readers t
 
 (* Redo a predecessor's torn install from its journal; caller holds the
    update lock.  The journaled GOT hook is gone with its updater — GOT
@@ -74,7 +100,7 @@ let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
 let recover_locked t =
   match Tables.journal t with
   | None -> false
-  | Some { Tables.j_version; j_tary; j_bary } ->
+  | Some { Tables.j_version; j_tary; j_bary; j_tag } ->
     let new_tary, new_bary =
       build_images t ~version:j_version ~tary:j_tary ~bary:j_bary
     in
@@ -83,33 +109,42 @@ let recover_locked t =
       t ~version:j_version ~new_tary ~new_bary;
     Tables.set_journal t None;
     Faults.Stats.count_recovery ();
+    Tables.notify_complete t ~version:j_version ~tag:j_tag;
     true
 
 let recover t = Tables.with_update_lock t (fun () -> recover_locked t)
 
-let check ?max_retries ?(escalation = Fail_check) ?(on_retry = fun () -> ())
-    t ~bary_index ~target =
-  let rec attempt ~recovered budget =
+let check ?max_retries ?(escalation = Fail_check) ?watchdog
+    ?(on_retry = fun () -> ()) t ~bary_index ~target =
+  let rec attempt ~recovered budget round =
     let bid = Tables.bary_read t bary_index in
     let tid = Tables.tary_read t target in
     if bid = tid then Pass
     else if not (Id.valid tid) then Violation
     else if not (Id.same_version bid tid) then begin
       match budget with
-      | Some 0 -> exhausted ~recovered
-      | Some n ->
-        retry ();
-        attempt ~recovered (Some (n - 1))
-      | None ->
-        retry ();
-        attempt ~recovered None
+      | Some 0 -> escalate escalation ~recovered
+      | _ -> begin
+        match watchdog with
+        | Some w when round >= w.wd_deadline ->
+          (* the skew outlived the deadline: the update-lock holder is
+             stalled, or a dead updater left the tables torn *)
+          Faults.Stats.count_watchdog ();
+          escalate w.wd_on_expire ~recovered
+        | _ ->
+          retry round;
+          attempt ~recovered
+            (Option.map (fun n -> n - 1) budget)
+            (round + 1)
+      end
     end
     else Violation
-  and retry () =
+  and retry round =
     Faults.Stats.count_retry ();
-    on_retry ()
-  and exhausted ~recovered =
-    match escalation with
+    on_retry ();
+    backoff round
+  and escalate esc ~recovered =
+    match esc with
     | Fail_check -> Retries_exhausted
     | Halt_process -> Violation
     | Wait_for_updater ->
@@ -119,32 +154,58 @@ let check ?max_retries ?(escalation = Fail_check) ?(on_retry = fun () -> ())
            left its journal, which the redo completes.  Either way the
            skew is resolved — re-attempt once with a fresh budget. *)
         ignore (recover t);
-        attempt ~recovered:true max_retries
+        attempt ~recovered:true max_retries 0
       end
   in
-  attempt ~recovered:false max_retries
+  attempt ~recovered:false max_retries 0
+
+(* The hard ABA wall: at [Id.max_version - 1] updates with no declared
+   quiescence the next update could wrap the version space under a
+   still-running check.  With registered readers, wait (bounded) for each
+   of them to cross a branch boundary — busy checkers advance within a
+   few backoff rounds; with no readers there can be no evidence, so
+   refuse immediately, exactly as before the epoch machinery existed. *)
+let quiesce_wall_rounds = 10_000
+
+let ensure_version_budget t =
+  if Tables.updates_since_quiesce t > 0 then ignore (Tables.try_quiesce t);
+  if Tables.updates_since_quiesce t >= Id.max_version - 1 then begin
+    if Tables.registered_readers t > 0 then begin
+      let rec wait round =
+        if round >= quiesce_wall_rounds then raise Version_space_exhausted
+        else if not (Tables.try_quiesce t) then begin
+          backoff round;
+          wait (round + 1)
+        end
+      in
+      wait 0
+    end
+    else raise Version_space_exhausted
+  end
 
 (* The body of an update transaction; caller holds the update lock. *)
-let update_locked ~got_update t ~tary ~bary =
+let update_locked ?(tag = -1) ~got_update t ~tary ~bary =
   (* a torn predecessor must be redone before its tables are built on *)
   ignore (recover_locked t);
   (* The ABA guard (paper §5.2): 2^14 updates with no intervening
      quiescence point could wrap the version space during a still-running
      check transaction; refuse rather than risk it. *)
-  if Tables.updates_since_quiesce t >= Id.max_version - 1 then
-    raise Version_space_exhausted;
+  ensure_version_budget t;
   Tables.count_update t;
   let version = (Tables.version t + 1) mod Id.max_version in
   let new_tary, new_bary = build_images t ~version ~tary ~bary in
   (* Journal the intent: from here until the final barrier, a death leaves
      enough state for the next lock holder to redo the install. *)
-  Tables.set_journal t (Some { Tables.j_version = version; j_tary = tary; j_bary = bary });
+  Tables.set_journal t
+    (Some { Tables.j_version = version; j_tary = tary; j_bary = bary; j_tag = tag });
+  Tables.notify_begin t ~version ~tag;
   install_locked ~faults:true ~got_update t ~version ~new_tary ~new_bary;
   Tables.set_journal t None;
+  Tables.notify_complete t ~version ~tag;
   version
 
-let update ?(got_update = fun () -> ()) t ~tary ~bary =
-  Tables.with_update_lock t (fun () -> update_locked ~got_update t ~tary ~bary)
+let update ?tag ?(got_update = fun () -> ()) t ~tary ~bary =
+  Tables.with_update_lock t (fun () -> update_locked ?tag ~got_update t ~tary ~bary)
 
 let refresh t =
   Tables.with_update_lock t (fun () ->

@@ -40,16 +40,38 @@ type escalation = Halt_process | Wait_for_updater | Fail_check
 
 val pp_escalation : Format.formatter -> escalation -> unit
 
+(** The update watchdog: a deadline, measured in backoff rounds of the
+    retry loop, after which a still-version-skewed check concludes the
+    update-lock holder is stalled (or died mid-install, leaving torn
+    tables) and escalates.  [Wait_for_updater] as the expiry action is
+    journal-assisted recovery: take the lock — waiting out a live holder,
+    redoing a dead one's journal — and re-attempt.  Every expiry bumps
+    [Faults.Stats.watchdog_fires]. *)
+type watchdog = {
+  wd_deadline : int;  (** backoff rounds before the watchdog fires *)
+  wd_on_expire : escalation;
+}
+
+val pp_watchdog : Format.formatter -> watchdog -> unit
+
+(** [backoff round] is the bounded exponential backoff used by the retry
+    loops: [2^min(round,6)] [Domain.cpu_relax] pause hints. *)
+val backoff : int -> unit
+
 (** [check t ~bary_index ~target] runs one check transaction.
     [max_retries] bounds the retry loop (tests and the VM use a fuel
     bound; production semantics is unbounded): [~max_retries:n] allows the
     initial attempt plus at most [n] retries, so [~max_retries:0] means
     "no retries" — the first version skew already exhausts the budget.
+    Every retry backs off ([Domain.cpu_relax], bounded exponential).
     [on_retry] is called once per actual retry — test instrumentation.
-    [escalation] picks the exhaustion policy (default [Fail_check]). *)
+    [escalation] picks the budget-exhaustion policy (default
+    [Fail_check]); [watchdog] independently bounds how long the loop will
+    chase a stalled updater. *)
 val check :
   ?max_retries:int ->
   ?escalation:escalation ->
+  ?watchdog:watchdog ->
   ?on_retry:(unit -> unit) ->
   Tables.t ->
   bary_index:int ->
@@ -59,15 +81,23 @@ val check :
 (** The production fast path: the same transaction without the test
     instrumentation hooks (no allocation; one load per table and one
     equality compare in the common case — the shape the paper's inline
-    sequence has). [true] = the transfer is allowed. *)
-val check_fast : Tables.t -> bary_index:int -> target:int -> bool
+    sequence has). [true] = the transfer is allowed.  On version skew it
+    pauses the core ([Domain.cpu_relax]) and retries; [on_retry], given
+    the retry round, lets a caller layer extra backoff without touching
+    the common path. *)
+val check_fast :
+  ?on_retry:(int -> unit) -> Tables.t -> bary_index:int -> target:int -> bool
 
 (** [update t ~tary ~bary] installs a new CFG: [tary] maps each valid
     indirect-branch target address to its ECN, [bary] maps each branch slot
     to its branch ECN.  Slots not mentioned become invalid.  [got_update]
     runs between the Tary and Bary phases (paper: GOT entries are updated
-    there, serialized by the same barrier). Returns the new version. *)
+    there, serialized by the same barrier).  [tag] (default [-1]) labels
+    the install for the table's {!Tables.observer} and travels with the
+    journal, so a redo reports the original tag.  Returns the new
+    version. *)
 val update :
+  ?tag:int ->
   ?got_update:(unit -> unit) ->
   Tables.t ->
   tary:(int * int) list ->
@@ -89,8 +119,11 @@ val refresh : Tables.t -> int
 val recover : Tables.t -> bool
 
 (** Raised by [update]/[refresh] when 2^14 - 1 update transactions have
-    executed with no intervening {!Tables.quiesce} — the ABA hazard of
-    paper §5.2.  The runtime declares quiescence whenever every thread
-    has been observed outside a check transaction (e.g. at a system
-    call), which resets the budget. *)
+    executed with no intervening quiescence point — the ABA hazard of
+    paper §5.2.  Before giving up, the update transaction tries to infer
+    quiescence from the epoch registry ({!Tables.try_quiesce}): it waits,
+    bounded, for every registered checker to cross a branch boundary, so
+    a sustained update storm against live epoch-registered checkers never
+    exhausts the version space.  With no registered readers the historical
+    behaviour stands: the wall is hit at 2^14 - 1 unquiesced updates. *)
 exception Version_space_exhausted

@@ -27,6 +27,10 @@ type t = {
   mutable zf : bool;
   mutable lt : bool;
   tables : Idtables.Tables.t option;
+  (* this machine's registration in the tables' epoch registry: bumped at
+     syscalls, where the interpreted program is provably outside any
+     check sequence *)
+  reader : Idtables.Tables.reader option;
   mutable nsteps : int;
   out : Buffer.t;
   mutable brk : int;
@@ -51,6 +55,7 @@ let create ?tables ?(seed = 1L) ~code_base ~code_capacity ~data_words () =
     zf = false;
     lt = false;
     tables;
+    reader = Option.map Idtables.Tables.register_reader tables;
     nsteps = 0;
     out = Buffer.create 256;
     brk = 1;
@@ -204,8 +209,17 @@ let tables m =
 
 let syscall m =
   (* a thread at a system call is outside any check transaction: a
-     quiescence point for the ABA counter (paper §5.2) *)
-  (match m.tables with Some t -> Idtables.Tables.quiesce t | None -> ());
+     per-reader quiescence point (paper §5.2).  Declaring global
+     quiescence directly would be unsound with other checker domains on
+     the same tables, so bump this machine's epoch and let the epoch
+     machinery declare it when every registered reader agrees; the
+     attempt is non-blocking, so a live updater never stalls the VM. *)
+  (match (m.tables, m.reader) with
+  | Some t, Some r ->
+    Idtables.Tables.reader_quiescent r;
+    if Idtables.Tables.updates_since_quiesce t > 0 then
+      ignore (Idtables.Tables.quiesce_attempt t)
+  | _ -> ());
   let num = m.regs.(0) in
   let arg k = m.regs.(k) in
   if num = Abi.sys_exit then trap (Exited (arg 1))

@@ -1,0 +1,593 @@
+module Prng = Mcfi_util.Prng
+open Idtables
+
+type scenario = {
+  seed : int64;
+  checkers : int;
+  updaters : int;
+  updates : int;
+  cfgs : int;
+  targets : int;
+  slots : int;
+  kill_every : int;
+  reclaimer : bool;
+  watchdog_deadline : int;
+  loader_loads : int;
+  loader_fault_one_in : int;
+}
+
+let default ~seed =
+  {
+    seed;
+    checkers = 4;
+    updaters = 2;
+    (* past the 2^14 ABA wall: only epoch quiescence gets us through *)
+    updates = Id.max_version + 128;
+    cfgs = 6;
+    targets = 24;
+    slots = 4;
+    kill_every = 389;
+    reclaimer = true;
+    watchdog_deadline = 256;
+    loader_loads = 0;
+    loader_fault_one_in = 0;
+  }
+
+let generate ~seed =
+  let p = Prng.create seed in
+  {
+    seed;
+    checkers = 2 + Prng.int p 4;
+    updaters = 1 + Prng.int p 3;
+    updates = 4096 + Prng.int p 24_000;
+    cfgs = 4 + Prng.int p 12;
+    targets = 8 + (4 * Prng.int p 14);
+    slots = 2 + Prng.int p 6;
+    kill_every = Prng.choose p [ 0; 61; 97; 193 ];
+    reclaimer = Prng.bool p;
+    watchdog_deadline = 64 + Prng.int p 448;
+    loader_loads = Prng.choose p [ 0; 4; 8 ];
+    loader_fault_one_in = Prng.choose p [ 0; 2; 3 ];
+  }
+
+let pp_scenario ppf sc =
+  Fmt.pf ppf
+    "seed=%Ld checkers=%d updaters=%d updates=%d cfgs=%d targets=%d slots=%d \
+     kill-every=%d reclaimer=%b deadline=%d loads=%d load-fault-1/%d"
+    sc.seed sc.checkers sc.updaters sc.updates sc.cfgs sc.targets sc.slots
+    sc.kill_every sc.reclaimer sc.watchdog_deadline sc.loader_loads
+    sc.loader_fault_one_in
+
+type anomaly = { an_seed : int64; an_kind : string; an_detail : string }
+
+let pp_anomaly ppf a =
+  Fmt.pf ppf "[%s] %s (replay with seed %Ld)" a.an_kind a.an_detail a.an_seed
+
+type report = {
+  rp_scenario : scenario;
+  rp_checks : int;
+  rp_passes : int;
+  rp_violations : int;
+  rp_exhausted : int;
+  rp_installs : int;
+  rp_kills : int;
+  rp_recoveries : int;
+  rp_retries : int;
+  rp_watchdog_fires : int;
+  rp_rollbacks : int;
+  rp_loads_ok : int;
+  rp_loads_failed : int;
+  rp_quiesces : int;
+  rp_anomalies : anomaly list;
+  rp_elapsed_s : float;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>checks %d (%d pass / %d violation / %d exhausted)@,\
+     installs %d, kills %d, recoveries %d, quiesces %d@,\
+     retries %d, watchdog fires %d@,\
+     loads %d ok / %d failed, rollbacks %d@,\
+     anomalies %d%a@,\
+     elapsed %.2fs@]"
+    r.rp_checks r.rp_passes r.rp_violations r.rp_exhausted r.rp_installs
+    r.rp_kills r.rp_recoveries r.rp_quiesces r.rp_retries r.rp_watchdog_fires
+    r.rp_loads_ok r.rp_loads_failed r.rp_rollbacks
+    (List.length r.rp_anomalies)
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Fmt.pf ppf ":@,  @[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_anomaly) l)
+    r.rp_anomalies r.rp_elapsed_s
+
+(* ------------------------------------------------------------------ *)
+(* Seeded CFG pool                                                     *)
+
+(* A pool CFG over a small ECN space: [c_bary.(slot)] is the branch
+   slot's class, [c_tary.(i)] the class of the i-th 4-aligned target
+   (-1 = not a target).  Three classes and a 1-in-4 hole rate give a
+   healthy mix of passes and violations. *)
+type cfg = { c_bary : int array; c_tary : int array }
+
+let ecn_space = 3
+
+let gen_cfg p ~slots ~targets =
+  {
+    c_bary = Array.init slots (fun _ -> Prng.int p ecn_space);
+    c_tary =
+      Array.init targets (fun _ ->
+          if Prng.int p 4 = 0 then -1 else Prng.int p ecn_space);
+  }
+
+let allows cfg ~slot ~tidx =
+  tidx >= 0 && cfg.c_tary.(tidx) >= 0 && cfg.c_tary.(tidx) = cfg.c_bary.(slot)
+
+let tary_of ~base cfg =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> if e >= 0 then acc := (base + (4 * i), e) :: !acc)
+    cfg.c_tary;
+  !acc
+
+let bary_of cfg =
+  Array.to_list (Array.mapi (fun s e -> (s, e)) cfg.c_bary)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-history oracle                                                *)
+
+(* The install log.  [obs_begin] (under the update lock, before the first
+   slot write) records version and tag at index [h_began], then publishes
+   by bumping the counter — so any entry below an observed [h_began] is
+   fully written.  Completions happen in begin order: installs serialize
+   on the update lock and a torn install is redone by the next lock
+   holder before its own begins, hence "[h_completed] = c" means exactly
+   entries 0..c-1 are fully installed. *)
+type history = {
+  h_version : int array;
+  h_tag : int array;
+  h_began : int Atomic.t;
+  h_completed : int Atomic.t;
+  h_overflow : bool Atomic.t;
+}
+
+let make_history size =
+  {
+    h_version = Array.make size (-1);
+    h_tag = Array.make size (-1);
+    h_began = Atomic.make 0;
+    h_completed = Atomic.make 0;
+    h_overflow = Atomic.make false;
+  }
+
+let observer h =
+  {
+    Tables.obs_begin =
+      (fun ~version ~tag ->
+        let i = Atomic.get h.h_began in
+        if i < Array.length h.h_tag then begin
+          h.h_version.(i) <- version;
+          h.h_tag.(i) <- tag;
+          Atomic.incr h.h_began
+        end
+        else Atomic.set h.h_overflow true);
+    obs_complete = (fun ~version:_ ~tag:_ -> Atomic.incr h.h_completed);
+  }
+
+(* A check that read [h_completed] = c0 before its first table read and
+   [h_began] = b1 after its last can only have observed table words
+   written by installs [c0-1 .. b1-1]: anything older was fully
+   overwritten before the check started (entry c0-1 was the last
+   complete install, and each install rewrites every slot), anything
+   newer had not begun when the check finished. *)
+let window_justifies h pool ~slot ~tidx ~c0 ~b1 ~pass =
+  let lo = max 0 (c0 - 1) in
+  let hi = min (b1 - 1) (Array.length h.h_tag - 1) in
+  let rec go i =
+    i <= hi
+    &&
+    let tag = h.h_tag.(i) in
+    let ok = tag >= 0 && tag < Array.length pool && allows pool.(tag) ~slot ~tidx in
+    (if pass then ok else not ok) || go (i + 1)
+  in
+  go lo
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain tallies                                                  *)
+
+type tally = {
+  mutable y_checks : int;
+  mutable y_passes : int;
+  mutable y_violations : int;
+  mutable y_exhausted : int;
+  mutable y_anomaly_count : int;
+  mutable y_anomalies : anomaly list; (* capped; newest first *)
+}
+
+let new_tally () =
+  {
+    y_checks = 0;
+    y_passes = 0;
+    y_violations = 0;
+    y_exhausted = 0;
+    y_anomaly_count = 0;
+    y_anomalies = [];
+  }
+
+let max_anomalies_kept = 4
+
+let record_anomaly y ~seed kind detail =
+  y.y_anomaly_count <- y.y_anomaly_count + 1;
+  if y.y_anomaly_count <= max_anomalies_kept then
+    y.y_anomalies <-
+      { an_seed = seed; an_kind = kind; an_detail = detail } :: y.y_anomalies
+
+(* ------------------------------------------------------------------ *)
+(* Component A: the table torture                                      *)
+
+let torture_base = 0x1000
+
+let torture_checker ~stop ~t ~h ~pool ~prng ~sc () =
+  let rd = Tables.register_reader t in
+  let wd =
+    { Tx.wd_deadline = sc.watchdog_deadline; wd_on_expire = Tx.Wait_for_updater }
+  in
+  let y = new_tally () in
+  while not (Atomic.get stop) do
+    (* branch boundary: provably outside any check transaction *)
+    Tables.reader_quiescent rd;
+    let slot = Prng.int prng sc.slots in
+    let kind = Prng.int prng 10 in
+    let tidx, target =
+      if kind = 0 then (* misaligned probe: can never be a valid target *)
+        (-1, torture_base + (4 * Prng.int prng sc.targets) + 2)
+      else if kind = 1 then (* past the covered code: likewise *)
+        (-1, torture_base + (4 * sc.targets))
+      else
+        let i = Prng.int prng sc.targets in
+        (i, torture_base + (4 * i))
+    in
+    let c0 = Atomic.get h.h_completed in
+    let out = Tx.check ~watchdog:wd t ~bary_index:slot ~target in
+    let b1 = Atomic.get h.h_began in
+    y.y_checks <- y.y_checks + 1;
+    let detail kind_s =
+      Printf.sprintf
+        "%s: slot=%d tidx=%d window=[%d,%d] versions=[%d,%d]" kind_s slot tidx
+        (max 0 (c0 - 1))
+        (b1 - 1)
+        (h.h_version.(max 0 (c0 - 1)))
+        (h.h_version.(max 0 (min (b1 - 1) (Array.length h.h_version - 1))))
+    in
+    match out with
+    | Tx.Pass ->
+      y.y_passes <- y.y_passes + 1;
+      if not (window_justifies h pool ~slot ~tidx ~c0 ~b1 ~pass:true) then
+        record_anomaly y ~seed:sc.seed "unjustified-pass"
+          (detail "no live CFG version allows this edge")
+    | Tx.Violation ->
+      y.y_violations <- y.y_violations + 1;
+      if not (window_justifies h pool ~slot ~tidx ~c0 ~b1 ~pass:false) then
+        record_anomaly y ~seed:sc.seed "unjustified-violation"
+          (detail "every live CFG version allows this edge")
+    | Tx.Retries_exhausted -> y.y_exhausted <- y.y_exhausted + 1
+  done;
+  Tables.unregister_reader t rd;
+  y
+
+let torture_updater ~t ~pool ~prng ~sc ~n ~uid () =
+  let kills = ref 0 in
+  let fatal = ref [] in
+  for j = 1 to n do
+    let ci = Prng.int prng (Array.length pool) in
+    if sc.kill_every > 0 && uid = 0 && j mod sc.kill_every = 0 then begin
+      (* arm a one-shot mid-install kill; it fires inside whichever
+         updater crosses the point next (usually this one, within this
+         very update) and leaves the journal for a concurrent lock
+         holder to redo *)
+      let point, hit =
+        if Prng.bool prng then
+          (Faults.Plan.Nth_tary_write, 1 + Prng.int prng sc.targets)
+        else (Faults.Plan.Between_tary_and_bary, 1)
+      in
+      Faults.arm (Faults.Plan.At { point; hit })
+    end;
+    match
+      Tx.update ~tag:ci t
+        ~tary:(tary_of ~base:torture_base pool.(ci))
+        ~bary:(bary_of pool.(ci))
+    with
+    | (_ : int) -> ()
+    | exception Faults.Injected _ -> incr kills
+    | exception Tx.Version_space_exhausted ->
+      fatal :=
+        {
+          an_seed = sc.seed;
+          an_kind = "version-space-exhausted";
+          an_detail =
+            Printf.sprintf "updater %d exhausted versions at its update %d"
+              uid j;
+        }
+        :: !fatal
+  done;
+  (!kills, !fatal)
+
+let reclaimer_loop ~stop ~t () =
+  while not (Atomic.get stop) do
+    if Tables.updates_since_quiesce t > 0 then
+      ignore (Tables.quiesce_attempt t);
+    Tx.backoff 4
+  done
+
+let run_torture sc master pool =
+  let t =
+    Tables.create ~code_base:torture_base ~capacity:(4 * sc.targets)
+      ~bary_slots:sc.slots ()
+  in
+  let h = make_history (sc.updates + 64) in
+  Tables.set_observer t (Some (observer h));
+  (* an initial complete install so every check window is non-empty *)
+  let _v0 : int =
+    Tx.update ~tag:0 t
+      ~tary:(tary_of ~base:torture_base pool.(0))
+      ~bary:(bary_of pool.(0))
+  in
+  let chk_prngs = Array.init sc.checkers (fun _ -> Prng.split master) in
+  let upd_prngs = Array.init sc.updaters (fun _ -> Prng.split master) in
+  let stop = Atomic.make false in
+  let checkers =
+    Array.map
+      (fun prng -> Domain.spawn (torture_checker ~stop ~t ~h ~pool ~prng ~sc))
+      chk_prngs
+  in
+  let reclaimer =
+    if sc.reclaimer then Some (Domain.spawn (reclaimer_loop ~stop ~t))
+    else None
+  in
+  let per = sc.updates / sc.updaters in
+  let updaters =
+    Array.init sc.updaters (fun uid ->
+        let n =
+          if uid = 0 then sc.updates - (per * (sc.updaters - 1)) else per
+        in
+        Domain.spawn (torture_updater ~t ~pool ~prng:upd_prngs.(uid) ~sc ~n ~uid))
+  in
+  let upd_results = Array.map Domain.join updaters in
+  Faults.disarm ();
+  (* the last kill may have left a torn install: complete it so the log
+     balances and the tables end consistent *)
+  ignore (Tx.recover t);
+  Atomic.set stop true;
+  let chk_results = Array.map Domain.join checkers in
+  Option.iter Domain.join reclaimer;
+  Tables.set_observer t None;
+  let kills = Array.fold_left (fun acc (k, _) -> acc + k) 0 upd_results in
+  let fatal =
+    Array.fold_left (fun acc (_, f) -> List.rev_append f acc) [] upd_results
+  in
+  let fatal =
+    if Atomic.get h.h_overflow then
+      {
+        an_seed = sc.seed;
+        an_kind = "history-overflow";
+        an_detail = "more installs began than the scenario allows";
+      }
+      :: fatal
+    else fatal
+  in
+  let installs = Atomic.get h.h_completed in
+  let began = Atomic.get h.h_began in
+  let fatal =
+    if installs <> began then
+      {
+        an_seed = sc.seed;
+        an_kind = "unbalanced-install-log";
+        an_detail =
+          Printf.sprintf "%d installs began but %d completed" began installs;
+      }
+      :: fatal
+    else fatal
+  in
+  (chk_results, installs, kills, fatal, Tables.quiesce_events t)
+
+(* ------------------------------------------------------------------ *)
+(* Component B: the loader storm                                       *)
+
+(* The victim program needs live indirect edges, so its tables hold
+   matching branch/target classes the storm checkers can probe. *)
+let storm_program =
+  {|
+typedef int (*op_fn)(int);
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int apply(op_fn f, int x) { return f(x); }
+int main() {
+  op_fn f = inc;
+  op_fn g = dec;
+  return apply(f, apply(g, 41));
+}
+|}
+
+(* A (branch slot, target) pair allowed by the current tables.  The
+   type-matching CFG generator only merges equivalence classes as more
+   modules load, so an allowed edge stays allowed across the storm —
+   a stable oracle for the checkers. *)
+let stable_probe t =
+  let tary = Tables.tary_entries t in
+  List.find_map
+    (fun (slot, bid) ->
+      List.find_map
+        (fun (addr, tid) ->
+          if Id.ecn tid = Id.ecn bid then Some (slot, addr) else None)
+        tary)
+    (Tables.bary_entries t)
+
+let storm_checker ~stop ~t ~load_seq ~slot ~allowed ~denied ~sc ~prng () =
+  let rd = Tables.register_reader t in
+  let wd =
+    { Tx.wd_deadline = sc.watchdog_deadline; wd_on_expire = Tx.Wait_for_updater }
+  in
+  let y = new_tally () in
+  (* a short storm can finish before this domain starts: probe a minimum
+     number of times regardless, so the stable edges are always exercised *)
+  while y.y_checks < 32 || not (Atomic.get stop) do
+    Tables.reader_quiescent rd;
+    let probe_denied = Prng.int prng 4 = 0 in
+    let target = if probe_denied then denied else allowed in
+    let s0 = Atomic.get load_seq in
+    let out = Tx.check ~watchdog:wd t ~bary_index:slot ~target in
+    let s1 = Atomic.get load_seq in
+    y.y_checks <- y.y_checks + 1;
+    match out with
+    | Tx.Pass ->
+      y.y_passes <- y.y_passes + 1;
+      if probe_denied then
+        record_anomaly y ~seed:sc.seed "storm-denied-pass"
+          (Printf.sprintf "never-valid target 0x%x passed its check" target)
+    | Tx.Violation ->
+      y.y_violations <- y.y_violations + 1;
+      (* a failed load's rollback scrubs the tables mid-restore, so a
+         stable-edge violation is only anomalous outside any load
+         window: the seqlock parity must show no load began or ended
+         around the check *)
+      if (not probe_denied) && s0 = s1 && s0 land 1 = 0 then
+        record_anomaly y ~seed:sc.seed "storm-stable-edge-violation"
+          (Printf.sprintf
+             "allowed edge slot=%d target=0x%x violated with no load in \
+              flight"
+             slot target)
+    | Tx.Retries_exhausted -> y.y_exhausted <- y.y_exhausted + 1
+  done;
+  Tables.unregister_reader t rd;
+  y
+
+let storm_fault_points =
+  Faults.Plan.
+    [ During_verification; Nth_tary_write; Between_tary_and_bary;
+      After_code_append ]
+
+let run_storm sc prng =
+  let proc =
+    Mcfi.Pipeline.build_process ~instrumented:true
+      ~sources:[ ("main", storm_program) ]
+      ()
+  in
+  let t = Option.get (Mcfi_runtime.Process.tables proc) in
+  match stable_probe t with
+  | None ->
+    ( [||],
+      0,
+      0,
+      [
+        {
+          an_seed = sc.seed;
+          an_kind = "storm-no-stable-edge";
+          an_detail = "victim program produced no allowed indirect edge";
+        };
+      ] )
+  | Some (slot, allowed) ->
+    (* far beyond any code the storm loads: a forever-invalid target *)
+    let denied = Tables.code_base t + Tables.capacity t - 4 in
+    let load_seq = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let nchk = max 1 (min 2 sc.checkers) in
+    let chk_prngs = Array.init nchk (fun _ -> Prng.split prng) in
+    let checkers =
+      Array.map
+        (fun p ->
+          Domain.spawn
+            (storm_checker ~stop ~t ~load_seq ~slot ~allowed ~denied ~sc
+               ~prng:p))
+        chk_prngs
+    in
+    let ok = ref 0 and failed = ref 0 in
+    let prev = ref None in
+    for i = 1 to sc.loader_loads do
+      Atomic.incr load_seq;
+      (* odd: a load window is open *)
+      let name, src =
+        match !prev with
+        | Some prev_mod when i mod 4 = 0 ->
+          (* re-load the previous module verbatim: the symbol clash must
+             fail the load and exercise the journal rollback *)
+          prev_mod
+        | _ ->
+          ( Printf.sprintf "plug%d" i,
+            Printf.sprintf "int fn_%d(int x) { return x + %d; }" i i )
+      in
+      prev := Some (name, src);
+      (match
+         let obj =
+           Mcfi.Pipeline.instrument (Mcfi.Pipeline.compile_module ~name src)
+         in
+         if
+           sc.loader_fault_one_in > 0
+           && Prng.int prng sc.loader_fault_one_in = 0
+         then
+           Faults.arm
+             (Faults.Plan.At
+                { point = Prng.choose prng storm_fault_points; hit = 1 });
+         Mcfi_runtime.Process.load proc obj
+       with
+      | () -> incr ok
+      | exception
+          ( Mcfi_runtime.Process.Error _ | Mcfi.Pipeline.Error _
+          | Faults.Injected _ | Invalid_argument _ ) ->
+        incr failed);
+      Faults.disarm ();
+      Atomic.incr load_seq (* even: window closed *)
+    done;
+    Atomic.set stop true;
+    let chk_results = Array.map Domain.join checkers in
+    (chk_results, !ok, !failed, [])
+
+(* ------------------------------------------------------------------ *)
+
+let empty_tallies : tally array = [||]
+
+let run sc =
+  let sc =
+    { sc with checkers = max 1 sc.checkers; updaters = max 1 sc.updaters }
+  in
+  Faults.disarm ();
+  Faults.Stats.reset ();
+  let t0 = Unix.gettimeofday () in
+  let master = Prng.create sc.seed in
+  let pool_prng = Prng.split master in
+  let pool =
+    Array.init (max 1 sc.cfgs) (fun _ ->
+        gen_cfg pool_prng ~slots:sc.slots ~targets:sc.targets)
+  in
+  let tort_tallies, installs, kills, tort_anoms, quiesces =
+    if sc.updates > 0 then run_torture sc master pool
+    else (empty_tallies, 0, 0, [], 0)
+  in
+  let storm_tallies, loads_ok, loads_failed, storm_anoms =
+    if sc.loader_loads > 0 then run_storm sc (Prng.split master)
+    else (empty_tallies, 0, 0, [])
+  in
+  let stats = Faults.Stats.snapshot () in
+  let tallies = Array.append tort_tallies storm_tallies in
+  let sum f = Array.fold_left (fun acc y -> acc + f y) 0 tallies in
+  let anomalies =
+    tort_anoms @ storm_anoms
+    @ Array.fold_left
+        (fun acc y -> List.rev_append y.y_anomalies acc)
+        [] tallies
+  in
+  {
+    rp_scenario = sc;
+    rp_checks = sum (fun y -> y.y_checks);
+    rp_passes = sum (fun y -> y.y_passes);
+    rp_violations = sum (fun y -> y.y_violations);
+    rp_exhausted = sum (fun y -> y.y_exhausted);
+    rp_installs = installs;
+    rp_kills = kills;
+    rp_recoveries = stats.Faults.Stats.recoveries;
+    rp_retries = stats.Faults.Stats.retries;
+    rp_watchdog_fires = stats.Faults.Stats.watchdog_fires;
+    rp_rollbacks = stats.Faults.Stats.rollbacks;
+    rp_loads_ok = loads_ok;
+    rp_loads_failed = loads_failed;
+    rp_quiesces = quiesces;
+    rp_anomalies = anomalies;
+    rp_elapsed_s = Unix.gettimeofday () -. t0;
+  }

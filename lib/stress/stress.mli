@@ -1,0 +1,87 @@
+(** Multi-domain torture harness for the transaction protocol (§5.2) and
+    the dynamic-linking protocol (§6–7).
+
+    A {e scenario} — derived deterministically from a seed — runs N
+    checker domains against M updater domains on one table pair, plus an
+    optional loader storm that [Process.load]s (and fails, and rolls
+    back) modules against a live process while more checkers run.  The
+    updater storm is composed with the fault-injection plans of
+    [lib/faults], so updaters are killed mid-install and recovery is
+    exercised {e concurrently} with running checks.
+
+    Every check outcome is validated by an {e epoch-history oracle}: the
+    table observer logs each install transaction's begin (before its
+    first slot write) and completion (after its final barrier), both
+    under the update lock; a checker brackets its transaction with the
+    completed/begun counters and the oracle then demands that a [Pass] be
+    justified by some CFG whose install overlapped the check's read
+    window, and a [Violation] by some overlapping CFG that denies the
+    edge.  A pass explained by no live version would be a CFI breach of
+    the mechanism itself; a violation explained by none would be a
+    spurious halt.
+
+    Scenarios are deterministic in their {e workload} (CFG pool, probe
+    streams, kill schedule all derive from the seed); domain scheduling
+    still varies between runs, but the oracle judges every interleaving,
+    so a reported anomaly always carries the seed needed to re-run the
+    same hunt. *)
+
+type scenario = {
+  seed : int64;
+  checkers : int;  (** checker domains on the shared tables *)
+  updaters : int;  (** updater domains *)
+  updates : int;  (** update transactions, total across updaters *)
+  cfgs : int;  (** size of the seeded CFG pool *)
+  targets : int;  (** 4-byte-aligned Tary target slots *)
+  slots : int;  (** Bary slots *)
+  kill_every : int;
+      (** arm a mid-install updater kill every [kill_every] updates of
+          updater 0 (0 = never) *)
+  reclaimer : bool;  (** run a background quiescence-reclaimer domain *)
+  watchdog_deadline : int;  (** checker watchdog deadline, backoff rounds *)
+  loader_loads : int;  (** loader-storm [Process.load]s (0 = storm off) *)
+  loader_fault_one_in : int;
+      (** arm a fault for roughly 1 in [n] loader loads (0 = never) *)
+}
+
+(** A scenario with the dimensions the acceptance gate needs: 4 checkers,
+    2 updaters, > 2^14 updates, periodic mid-install kills. *)
+val default : seed:int64 -> scenario
+
+(** Derive a randomized scenario (domain counts, pool shape, kill cadence,
+    storm size) from the seed — the [torture] subcommand's generator. *)
+val generate : seed:int64 -> scenario
+
+val pp_scenario : Format.formatter -> scenario -> unit
+
+(** An oracle violation (or fatal protocol error), with enough detail to
+    investigate and the seed to replay the hunt. *)
+type anomaly = { an_seed : int64; an_kind : string; an_detail : string }
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+type report = {
+  rp_scenario : scenario;
+  rp_checks : int;  (** check transactions run (torture + storm) *)
+  rp_passes : int;
+  rp_violations : int;
+  rp_exhausted : int;  (** checks that reported [Retries_exhausted] *)
+  rp_installs : int;  (** completed install transactions *)
+  rp_kills : int;  (** updater kills injected mid-install *)
+  rp_recoveries : int;  (** torn installs redone from the journal *)
+  rp_retries : int;  (** check retries on version skew *)
+  rp_watchdog_fires : int;
+  rp_rollbacks : int;  (** loader-storm journal rollbacks *)
+  rp_loads_ok : int;
+  rp_loads_failed : int;  (** failed loads (faults, duplicates) — all rolled back *)
+  rp_quiesces : int;  (** quiescence points declared on the torture tables *)
+  rp_anomalies : anomaly list;
+  rp_elapsed_s : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [run scenario] executes the scenario and returns its report.  Resets
+    {!Faults.Stats} (the harness owns the process-global counters while
+    it runs) and leaves no plan armed. *)
+val run : scenario -> report

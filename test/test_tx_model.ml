@@ -31,13 +31,18 @@ type cfg = { t0 : int option; t1 : int option; branch : int }
 let addr0 = code_base
 let addr1 = code_base + 4
 
-let install_ops cfg tables =
+let install_ops ?version cfg tables =
   (* The atomic steps of TxUpdate (Fig. 3), as closures: bump version,
-     write each Tary slot, barrier+GOT, write the Bary slot. *)
+     write each Tary slot, barrier+GOT, write the Bary slot.  [version]
+     pins the version explicitly — a journal redo replays the torn
+     install's version rather than bumping ([Tx.recover]). *)
   let v = ref 0 in
   [
     (fun () ->
-      v := (Tables.version tables + 1) mod Id.max_version;
+      v :=
+        (match version with
+        | Some v -> v
+        | None -> (Tables.version tables + 1) mod Id.max_version);
       Tables.set_version tables !v);
     (fun () ->
       Tables.tary_set tables addr0
@@ -83,14 +88,11 @@ let allows cfg target =
   let tecn = if target = addr0 then cfg.t0 else cfg.t1 in
   tecn = Some cfg.branch
 
-(* Run one check (with retries) against an update whose remaining steps
-   are injected according to [schedule]: schedule.(k) tells how many
-   update steps run before the k-th check step. Returns the outcome. *)
-let run_interleaving ~old_cfg ~new_cfg ~target schedule =
-  let tables = Tables.create ~code_base ~capacity:16 ~bary_slots:1 () in
-  (* install the old CFG completely *)
-  List.iter (fun op -> op ()) (install_ops old_cfg tables);
-  let update_steps = ref (install_ops new_cfg tables) in
+(* Drive one check (with retries) against an updater whose remaining
+   steps are injected according to [schedule]: schedule.(k) tells how
+   many update steps run before the k-th check step.  Returns the
+   outcome. *)
+let drive tables update_steps ~target schedule =
   let run_update_steps n =
     for _ = 1 to n do
       match !update_steps with
@@ -121,6 +123,32 @@ let run_interleaving ~old_cfg ~new_cfg ~target schedule =
   (* drain the update so post-conditions can also be checked *)
   run_update_steps 99;
   st.result
+
+let run_interleaving ~old_cfg ~new_cfg ~target schedule =
+  let tables = Tables.create ~code_base ~capacity:16 ~bary_slots:1 () in
+  (* install the old CFG completely *)
+  List.iter (fun op -> op ()) (install_ops old_cfg tables);
+  drive tables (ref (install_ops new_cfg tables)) ~target schedule
+
+(* The journal-redo variant: an updater died [torn_at] steps into its
+   install, and the next lock holder redoes the whole install from the
+   journal at the {e same} version ([Tx.recover_locked]) while the check
+   runs.  Already-written slots are rewritten with identical words, so
+   the redo must satisfy the same old-or-new specification. *)
+let run_redo_interleaving ~old_cfg ~new_cfg ~target ~torn_at schedule =
+  let tables = Tables.create ~code_base ~capacity:16 ~bary_slots:1 () in
+  List.iter (fun op -> op ()) (install_ops old_cfg tables);
+  let v2 = (Tables.version tables + 1) mod Id.max_version in
+  (* the dying updater's partial install *)
+  let torn = ref (install_ops ~version:v2 new_cfg tables) in
+  for _ = 1 to torn_at do
+    match !torn with
+    | op :: rest ->
+      op ();
+      torn := rest
+    | [] -> ()
+  done;
+  drive tables (ref (install_ops ~version:v2 new_cfg tables)) ~target schedule
 
 (* Enumerate all ways to cut the update's 5 steps across the first few
    scheduler slots (checks may retry, so later slots see 0 steps). *)
@@ -184,6 +212,54 @@ let test_exhaustive_one_update () =
     (Printf.sprintf "checked %d interleavings" !cases)
     true (!cases > 10000)
 
+(* Every interleaving of a check against a journal redo, for every
+   possible tear point of the original install: the same specification
+   must hold — recovery is replay, never a third CFG. *)
+let test_exhaustive_journal_redo () =
+  let cases = ref 0 in
+  List.iter
+    (fun old_cfg ->
+      List.iter
+        (fun new_cfg ->
+          List.iter
+            (fun target ->
+              List.iter
+                (fun torn_at ->
+                  List.iter
+                    (fun schedule ->
+                      incr cases;
+                      match
+                        run_redo_interleaving ~old_cfg ~new_cfg ~target
+                          ~torn_at schedule
+                      with
+                      | `Pass ->
+                        if
+                          not
+                            (allows old_cfg target || allows new_cfg target)
+                        then
+                          Alcotest.failf
+                            "illegal pass during redo (torn at %d): target \
+                             0x%x under neither CFG"
+                            torn_at target
+                      | `Violation ->
+                        if allows old_cfg target && allows new_cfg target
+                        then
+                          Alcotest.failf
+                            "spurious violation during redo (torn at %d): \
+                             target 0x%x allowed by both CFGs"
+                            torn_at target
+                      | `Exhausted -> ()
+                      | `Running -> assert false)
+                    schedules)
+                [ 0; 1; 2; 3; 4 ])
+            [ addr0; addr1 ])
+        cfg_space)
+    cfg_space;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d redo interleavings" !cases)
+    true
+    (!cases > 50000)
+
 (* With the update fully completed before or after the check, outcomes
    must match the respective CFG exactly. *)
 let test_quiescent_semantics () =
@@ -222,6 +298,8 @@ let () =
         [
           Alcotest.test_case "exhaustive one-update schedules" `Quick
             test_exhaustive_one_update;
+          Alcotest.test_case "exhaustive journal-redo schedules" `Quick
+            test_exhaustive_journal_redo;
           Alcotest.test_case "quiescent semantics" `Quick
             test_quiescent_semantics;
           Alcotest.test_case "stalled update retries" `Quick
