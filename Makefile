@@ -1,4 +1,4 @@
-.PHONY: all check faults test bench torture clean
+.PHONY: all check faults test bench bench-json torture clean
 
 all:
 	dune build
@@ -17,6 +17,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# machine-readable benchmark report: the incremental-linking scaling
+# curve and install-throughput numbers, written to BENCH_3.json
+bench-json:
+	dune exec bench/main.exe -- json
 
 # sustained multi-domain torture: several large scenarios with updater
 # kills and loader storms, every outcome validated by the history oracle

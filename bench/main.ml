@@ -19,7 +19,10 @@
      sandbox  - ablation: segmentation (x86-32) vs masking (x86-64)
      tary     - ablation: array Tary vs hash-map Tary lookup cost
      torture  - multi-domain check/update throughput under an update
-                storm with mid-install kills (not a paper figure) *)
+                storm with mid-install kills, plus check throughput
+                during delta installs (not a paper figure)
+     json     - machine-readable report: the dlopen-chain scaling curve
+                and the install-throughput numbers, as BENCH_3.json *)
 
 module Process = Mcfi_runtime.Process
 module Machine = Mcfi_runtime.Machine
@@ -395,7 +398,21 @@ let cfggen () =
       Fmt.pr "%-12s %10d %10.2f %12.1f@." b.name code_bytes ms
         (ms /. (float_of_int code_bytes /. 1e6)))
     suite;
-  Fmt.pr "(paper: ~150 ms for gcc's 2.7 MB of code)@."
+  Fmt.pr "(paper: ~150 ms for gcc's 2.7 MB of code)@.";
+  (* scaling curve: an N-module dlopen chain, each link timed under full
+     regeneration and under the incremental linker (oracle-checked) *)
+  Fmt.pr "@.dlopen chain (per-link wall time, min of rounds):@.";
+  Fmt.pr "%-8s %10s %10s %9s@." "module" "full(ms)" "incr(ms)" "speedup";
+  let samples = Mcfi.Benchjson.dlopen_chain ~modules:16 ~fns:24 ~rounds:4 () in
+  List.iter
+    (fun s ->
+      Fmt.pr "%-8d %10.3f %10.3f %8.1fx@." s.Mcfi.Benchjson.ls_module
+        s.Mcfi.Benchjson.ls_full_ms s.Mcfi.Benchjson.ls_incr_ms
+        (s.Mcfi.Benchjson.ls_full_ms /. s.Mcfi.Benchjson.ls_incr_ms))
+    samples;
+  Fmt.pr
+    "(full regenerates the whole CFG per load; incr merges the new module@.\
+    \ and installs a delta — §7's \"a few milliseconds per dlopen\")@."
 
 (* Ablation: the sandboxing flavours of §5.1 — x86-32 memory segmentation
    (stores confined in hardware, no extra instructions) vs. x86-64 address
@@ -506,7 +523,58 @@ let torture () =
     (float_of_int r.Stress.rp_installs /. r.Stress.rp_elapsed_s);
   if r.Stress.rp_anomalies <> [] then
     Fmt.pr "WARNING: oracle anomalies above — investigate before trusting \
-            the numbers@."
+            the numbers@.";
+  Fmt.pr "@.check throughput during delta installs:@.";
+  let tp = Stress.install_throughput ~seed:0x1DE17AL () in
+  Fmt.pr
+    "%d checks (%.0f/s overall), %d delta installs (%.0f/s, %d with \
+     carries)@.%.0f checks/s during install windows (%.1f%% of wall time \
+     installing)@."
+    tp.Stress.tp_checks
+    (float_of_int tp.Stress.tp_checks /. tp.Stress.tp_elapsed_s)
+    tp.Stress.tp_installs
+    (float_of_int tp.Stress.tp_installs /. tp.Stress.tp_elapsed_s)
+    tp.Stress.tp_carries
+    (float_of_int tp.Stress.tp_checks_during_install /. tp.Stress.tp_install_s)
+    (100.0 *. tp.Stress.tp_install_s /. tp.Stress.tp_elapsed_s)
+
+(* ---- json: the machine-readable report (BENCH_3.json) ---- *)
+
+let json () =
+  let samples = Mcfi.Benchjson.dlopen_chain ~modules:16 ~fns:24 ~rounds:4 () in
+  let tp = Stress.install_throughput ~seed:0x1DE17AL () in
+  let torture =
+    Mcfi.Benchjson.Obj
+      [
+        ("checks", Num (float_of_int tp.Stress.tp_checks));
+        ("installs", Num (float_of_int tp.Stress.tp_installs));
+        ("carries", Num (float_of_int tp.Stress.tp_carries));
+        ( "checks_per_s",
+          Num (float_of_int tp.Stress.tp_checks /. tp.Stress.tp_elapsed_s) );
+        ( "installs_per_s",
+          Num (float_of_int tp.Stress.tp_installs /. tp.Stress.tp_elapsed_s) );
+        ( "checks_during_install_per_s",
+          Num
+            (float_of_int tp.Stress.tp_checks_during_install
+            /. tp.Stress.tp_install_s) );
+      ]
+  in
+  let report = Mcfi.Benchjson.report ~samples ~torture in
+  (match Mcfi.Benchjson.validate report with
+  | Ok () -> ()
+  | Error m -> failwith ("BENCH_3.json failed validation: " ^ m));
+  let out = "BENCH_3.json" in
+  let oc = open_out out in
+  output_string oc (Mcfi.Benchjson.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." out;
+  (match List.rev samples with
+  | last :: _ ->
+    Fmt.pr "last link: full %.3f ms, incremental %.3f ms (%.1fx)@."
+      last.Mcfi.Benchjson.ls_full_ms last.Mcfi.Benchjson.ls_incr_ms
+      (last.Mcfi.Benchjson.ls_full_ms /. last.Mcfi.Benchjson.ls_incr_ms)
+  | [] -> ())
 
 let () =
   section "table1" "Table 1: C1 violations and false-positive elimination"
@@ -526,4 +594,5 @@ let () =
     sandbox_ablation;
   section "tary" "Ablation: Tary representation" tary;
   section "torture" "Multi-domain torture throughput (not a paper figure)"
-    torture
+    torture;
+  section "json" "Machine-readable report (BENCH_3.json)" json

@@ -111,6 +111,607 @@ let targets_of_site input site =
       (fun f -> if f.fname = symbol then Some f.faddr else None)
       input.functions
 
+(* ------------------------------------------------------------------ *)
+(* Incremental generation.
+
+   The merge state maintains, across dlopen boundaries, everything
+   [generate] recomputes from scratch: the type-equivalence classes
+   (memoized per structural site type), the tail-call closure and
+   return-site sets (as grow-only relations with event propagation),
+   and a growable union-find over the target universe plus one node
+   per branch site.  All facts are monotone — functions, sites, edges
+   and target sets only grow — so [merge] only has to propagate the
+   new module's contributions.
+
+   ECNs are *not* stored: they are recomputed after every merge by the
+   same canonical rule [generate] uses (targets in ascending address
+   order, first encounter of a class root gets the next ECN; then Bary
+   slots in ascending order, empty sites get fresh ECNs).  Because new
+   code is appended at higher addresses, class ranks — hence ECNs — are
+   stable for untouched classes, and the delta computed against the
+   last installed assignment stays proportional to the new module. *)
+
+module UFD = Mcfi_util.Union_find.Dynamic
+
+type module_input = {
+  m_env : Minic.Types.env;
+  m_functions : fn list;
+  m_extern_taken : string list;
+  m_sites : site array;
+  m_slot_base : int;
+  m_direct_calls : (string * string * int) list;
+  m_tail_calls : (string * string) list;
+  m_setjmp_addrs : int list;
+}
+
+type donor = Donor_tary of int | Donor_bary of int
+
+type delta = {
+  d_tary : (int * int) list;
+  d_bary : (int * int) list;
+  d_tary_grow : (int * int * donor) list;
+  d_bary_grow : (int * int * donor) list;
+  d_stats : stats;
+}
+
+type tyclass = {
+  tc_ty : Minic.Ast.fun_ty;
+  mutable tc_members : (string * int) list;  (* live AT matches: name, addr *)
+  mutable tc_slots : int list;               (* icall + itail slots *)
+  mutable tc_icall_rets : IS.t;
+  mutable tc_itail_fns : SS.t;
+  (* The class's anchor node in the union-find.  [generate] unions every
+     slot of a class with every member, which connects {slots} ∪
+     {members} whenever the class has at least one member (every class
+     has at least one slot — classes are only created by sites).  The
+     anchor realizes the same component in O(1) unions per arrival:
+     slots and members union with the anchor instead of with each other.
+     While the class has no members its slots stay singletons, exactly
+     as [generate]'s per-slot unions over an empty member list leave
+     them; the first member to arrive anchors the accumulated slots. *)
+  tc_node : int;
+  (* Anchor for the class's *return-site* component.  [generate] puts
+     the class's icall return addresses into rs(h) for every h in the
+     tail closure of every member, and unions each of h's return slots
+     with each of those addresses — a clique over {rets} ∪ {return
+     slots of inflow fns}.  The anchor realizes the same component with
+     one union per arriving ret and per inflow return slot.  The
+     component only exists in [generate] once the class has a member,
+     a ret AND an actual return slot on some inflow fn: rets
+     interconnect only *through* slots (no member ⇒ the rets never
+     enter any rs set; no slot ⇒ they stay singleton targets; no ret ⇒
+     there is nothing connecting the slots).  Anchoring is deferred
+     until all three are present and the accumulated facts are
+     replayed at that activation point. *)
+  tc_ret_node : int;
+  (* fns whose return slots receive this class's icall rets: the union
+     of members' forward tail closures, extended as edges arrive *)
+  mutable tc_inflow_fns : SS.t;
+  (* some inflow fn has a return slot (monotone) *)
+  mutable tc_has_ret_slot : bool;
+}
+
+type state = {
+  mutable st_env : Minic.Types.env;
+  st_defined : (string, fn) Hashtbl.t;
+  st_taken : (string, unit) Hashtbl.t;       (* names ever address-taken *)
+  mutable st_classes : tyclass list;
+  st_tail_succ : (string, SS.t) Hashtbl.t;
+  st_call_rets : (string, IS.t) Hashtbl.t;   (* callee -> direct-call rets *)
+  st_rs : (string, IS.t) Hashtbl.t;   (* fn -> direct-call-derived rs;
+                                         icall rets ride the ret anchors *)
+  st_fn_inflow : (string, IS.t) Hashtbl.t;   (* fn -> tc_ret_node anchors *)
+  st_return_slots : (string, int list) Hashtbl.t;
+  st_plt_slots : (string, int list) Hashtbl.t;
+  mutable st_longjmp_slots : int list;
+  mutable st_setjmps : IS.t;
+  mutable st_nsites : int;
+  st_uf : UFD.t;
+  st_addr_node : (int, int) Hashtbl.t;
+  mutable st_targets : IS.t;
+  st_site_node : (int, int) Hashtbl.t;
+  (* ECN maps as last handed out in a delta, i.e. what the caller has
+     installed in the live tables. *)
+  mutable st_installed_tary : (int, int) Hashtbl.t;
+  mutable st_installed_bary : (int, int) Hashtbl.t;
+  mutable st_stats : stats;
+}
+
+let empty_state () =
+  {
+    st_env = Minic.Types.empty;
+    st_defined = Hashtbl.create 64;
+    st_taken = Hashtbl.create 64;
+    st_classes = [];
+    st_tail_succ = Hashtbl.create 16;
+    st_call_rets = Hashtbl.create 64;
+    st_rs = Hashtbl.create 64;
+    st_fn_inflow = Hashtbl.create 64;
+    st_return_slots = Hashtbl.create 64;
+    st_plt_slots = Hashtbl.create 16;
+    st_longjmp_slots = [];
+    st_setjmps = IS.empty;
+    st_nsites = 0;
+    st_uf = UFD.create ();
+    st_addr_node = Hashtbl.create 256;
+    st_targets = IS.empty;
+    st_site_node = Hashtbl.create 64;
+    st_installed_tary = Hashtbl.create 256;
+    st_installed_bary = Hashtbl.create 64;
+    st_stats = { n_ibs = 0; n_ibts = 0; n_eqcs = 0 };
+  }
+
+(* An independent copy: [merge] mutates a copy so the caller can keep
+   the pre-merge state in a rollback journal for free. *)
+let copy_state s =
+  {
+    st_env = s.st_env;
+    st_defined = Hashtbl.copy s.st_defined;
+    st_taken = Hashtbl.copy s.st_taken;
+    st_classes =
+      List.map
+        (fun c ->
+          {
+            tc_ty = c.tc_ty;
+            tc_members = c.tc_members;
+            tc_slots = c.tc_slots;
+            tc_icall_rets = c.tc_icall_rets;
+            tc_itail_fns = c.tc_itail_fns;
+            tc_node = c.tc_node;
+            tc_ret_node = c.tc_ret_node;
+            tc_inflow_fns = c.tc_inflow_fns;
+            tc_has_ret_slot = c.tc_has_ret_slot;
+          })
+        s.st_classes;
+    st_tail_succ = Hashtbl.copy s.st_tail_succ;
+    st_call_rets = Hashtbl.copy s.st_call_rets;
+    st_rs = Hashtbl.copy s.st_rs;
+    st_fn_inflow = Hashtbl.copy s.st_fn_inflow;
+    st_return_slots = Hashtbl.copy s.st_return_slots;
+    st_plt_slots = Hashtbl.copy s.st_plt_slots;
+    st_longjmp_slots = s.st_longjmp_slots;
+    st_setjmps = s.st_setjmps;
+    st_nsites = s.st_nsites;
+    st_uf = UFD.copy s.st_uf;
+    st_addr_node = Hashtbl.copy s.st_addr_node;
+    st_targets = s.st_targets;
+    st_site_node = Hashtbl.copy s.st_site_node;
+    (* replaced wholesale by [merge]'s phase 5 and never mutated in
+       place, so the copy can share them *)
+    st_installed_tary = s.st_installed_tary;
+    st_installed_bary = s.st_installed_bary;
+    st_stats = s.st_stats;
+  }
+
+let state_stats s = s.st_stats
+let state_sites s = s.st_nsites
+
+(* Current ECN maps, in [generate]'s output order. *)
+let state_tables s =
+  let tary =
+    IS.fold
+      (fun addr acc -> (addr, Hashtbl.find s.st_installed_tary addr) :: acc)
+      s.st_targets []
+    |> List.rev
+  in
+  let bary =
+    List.init s.st_nsites (fun slot ->
+        (slot, Hashtbl.find s.st_installed_bary slot))
+  in
+  (tary, bary)
+
+(* Canonical ECN assignment over the current partition — the same rule
+   [generate] applies, so the result is bit-identical to a from-scratch
+   run over the union of all merged modules. *)
+let assign s =
+  let ecn_of_root = Hashtbl.create 256 in
+  let next_ecn = ref 0 in
+  let fresh_ecn () =
+    let e = !next_ecn in
+    incr next_ecn;
+    if e >= Idtables.Id.max_ecn then raise (Too_many_classes e);
+    e
+  in
+  let new_tary = Hashtbl.create (Hashtbl.length s.st_addr_node) in
+  IS.iter
+    (fun addr ->
+      let root = UFD.find s.st_uf (Hashtbl.find s.st_addr_node addr) in
+      let e =
+        match Hashtbl.find_opt ecn_of_root root with
+        | Some e -> e
+        | None ->
+          let e = fresh_ecn () in
+          Hashtbl.add ecn_of_root root e;
+          e
+      in
+      Hashtbl.add new_tary addr e)
+    s.st_targets;
+  let n_eqcs = Hashtbl.length ecn_of_root in
+  let new_bary = Hashtbl.create (s.st_nsites * 2) in
+  for slot = 0 to s.st_nsites - 1 do
+    let root = UFD.find s.st_uf (Hashtbl.find s.st_site_node slot) in
+    let e =
+      match Hashtbl.find_opt ecn_of_root root with
+      | Some e -> e
+      | None -> fresh_ecn () (* empty class, as in [generate]'s bary scan *)
+    in
+    Hashtbl.add new_bary slot e
+  done;
+  (new_tary, new_bary, { n_ibs = s.st_nsites; n_ibts = IS.cardinal s.st_targets; n_eqcs })
+
+(* Diff the fresh assignment against the installed one and close the
+   result over equivalence classes.
+
+   A class is *clean-grown* when every slot it had before still maps to
+   the same ECN and no slot left it: then only its new slots need
+   writing, and they can carry the class's current version (read off a
+   donor slot) — concurrent checks on that class never see version
+   skew, so nothing else must be rewritten.  Any other change (a slot
+   changing class, classes merging, renumbering) dirties the ECNs
+   involved, and every slot of a dirty class is rewritten at the new
+   version so the class stays version-uniform.  The leaving side is
+   dirtied too: without it an ECN abandoned by one class and re-assigned
+   to another could carry a stale version and let an old Bary id pair
+   with a new Tary id. *)
+let compute_delta s new_tary new_bary stats =
+  let dirty = Hashtbl.create 64 in
+  let mark e = Hashtbl.replace dirty e () in
+  Hashtbl.iter
+    (fun addr e ->
+      match Hashtbl.find_opt s.st_installed_tary addr with
+      | Some e0 when e0 = e -> ()
+      | Some e0 ->
+        mark e;
+        mark e0
+      | None -> ())
+    new_tary;
+  Hashtbl.iter
+    (fun slot e ->
+      match Hashtbl.find_opt s.st_installed_bary slot with
+      | Some e0 when e0 = e -> ()
+      | Some e0 ->
+        mark e;
+        mark e0
+      | None -> ())
+    new_bary;
+  let donor = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun addr e ->
+      if not (Hashtbl.mem donor e) then Hashtbl.add donor e (Donor_tary addr))
+    s.st_installed_tary;
+  Hashtbl.iter
+    (fun slot e ->
+      if not (Hashtbl.mem donor e) then Hashtbl.add donor e (Donor_bary slot))
+    s.st_installed_bary;
+  let tary_rw = ref [] and bary_rw = ref [] in
+  let tary_gr = ref [] and bary_gr = ref [] in
+  let classify installed rw gr key e =
+    let changed =
+      match Hashtbl.find_opt installed key with
+      | Some e0 -> e0 <> e
+      | None -> true
+    in
+    if Hashtbl.mem dirty e then rw := (key, e) :: !rw
+    else if changed then begin
+      match Hashtbl.find_opt donor e with
+      | Some d -> gr := (key, e, d) :: !gr
+      | None -> rw := (key, e) :: !rw (* brand-new class *)
+    end
+  in
+  Hashtbl.iter (classify s.st_installed_tary tary_rw tary_gr) new_tary;
+  Hashtbl.iter (classify s.st_installed_bary bary_rw bary_gr) new_bary;
+  let by_key (a, _) (b, _) = compare a b in
+  let by_key3 (a, _, _) (b, _, _) = compare a b in
+  {
+    d_tary = List.sort by_key !tary_rw;
+    d_bary = List.sort by_key !bary_rw;
+    d_tary_grow = List.sort by_key3 !tary_gr;
+    d_bary_grow = List.sort by_key3 !bary_gr;
+    d_stats = stats;
+  }
+
+let fun_ty_equal env a b =
+  Minic.Types.equal env (Minic.Ast.Tfun a) (Minic.Ast.Tfun b)
+
+let merge s0 m =
+  let s = copy_state s0 in
+  let class_by_ret_node = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.add class_by_ret_node c.tc_ret_node c) s.st_classes;
+  if m.m_slot_base <> s.st_nsites then
+    invalid_arg
+      (Printf.sprintf "Cfggen.merge: slot base %d, expected %d" m.m_slot_base
+         s.st_nsites);
+  s.st_env <- Minic.Types.merge [ s.st_env; m.m_env ];
+  let node_of_addr a =
+    match Hashtbl.find_opt s.st_addr_node a with
+    | Some n -> n
+    | None ->
+      let n = UFD.add s.st_uf in
+      Hashtbl.add s.st_addr_node a n;
+      s.st_targets <- IS.add a s.st_targets;
+      n
+  in
+  let union_site_target slot addr =
+    ignore (UFD.union s.st_uf (Hashtbl.find s.st_site_node slot) (node_of_addr addr))
+  in
+  let tc_forward g =
+    (* forward tail closure of g in the current edge set, incl. g *)
+    let rec go visited frontier =
+      match frontier with
+      | [] -> visited
+      | x :: rest ->
+        if SS.mem x visited then go visited rest
+        else
+          let next =
+            Option.value ~default:SS.empty (Hashtbl.find_opt s.st_tail_succ x)
+          in
+          go (SS.add x visited) (SS.elements next @ rest)
+    in
+    go SS.empty [ g ]
+  in
+  let return_slots n =
+    Option.value ~default:[] (Hashtbl.find_opt s.st_return_slots n)
+  in
+  let rs n = Option.value ~default:IS.empty (Hashtbl.find_opt s.st_rs n) in
+  let call_rets n =
+    Option.value ~default:IS.empty (Hashtbl.find_opt s.st_call_rets n)
+  in
+  (* --- class return-site anchors --- *)
+  let fn_inflow n =
+    Option.value ~default:IS.empty (Hashtbl.find_opt s.st_fn_inflow n)
+  in
+  (* inflow fns only exist once the class has members, so the member
+     condition is implied *)
+  let ret_active c = c.tc_has_ret_slot && not (IS.is_empty c.tc_icall_rets) in
+  let union_ret_slots_with c n =
+    List.iter
+      (fun slot ->
+        ignore
+          (UFD.union s.st_uf (Hashtbl.find s.st_site_node slot) c.tc_ret_node))
+      (return_slots n)
+  in
+  (* first time the class has a member, a ret and an inflow return
+     slot: connect the facts accumulated while the component didn't
+     exist yet *)
+  let activate_ret c =
+    IS.iter
+      (fun r -> ignore (UFD.union s.st_uf (node_of_addr r) c.tc_ret_node))
+      c.tc_icall_rets;
+    SS.iter (fun n -> union_ret_slots_with c n) c.tc_inflow_fns
+  in
+  let add_inflow c n =
+    if not (SS.mem n c.tc_inflow_fns) then begin
+      c.tc_inflow_fns <- SS.add n c.tc_inflow_fns;
+      Hashtbl.replace s.st_fn_inflow n (IS.add c.tc_ret_node (fn_inflow n));
+      if c.tc_has_ret_slot then begin
+        if ret_active c then union_ret_slots_with c n
+      end
+      else if return_slots n <> [] then begin
+        c.tc_has_ret_slot <- true;
+        if ret_active c then activate_ret c
+      end
+    end
+  in
+  (* the class's rets flow into every fn of g's forward tail closure *)
+  let add_inflow_closure c g =
+    if Hashtbl.mem s.st_tail_succ g then
+      SS.iter (fun h -> add_inflow c h) (tc_forward g)
+    else add_inflow c g
+  in
+  let add_rs n addrs =
+    let old = rs n in
+    let fresh = IS.diff addrs old in
+    if not (IS.is_empty fresh) then begin
+      Hashtbl.replace s.st_rs n (IS.union old fresh);
+      List.iter
+        (fun slot -> IS.iter (fun a -> union_site_target slot a) fresh)
+        (return_slots n)
+    end
+  in
+  (* Direct-call rets arrive one address at a time: skip the set
+     arithmetic, and the closure walk for tail-call-free callees. *)
+  let add_rs1 h addr =
+    let old = rs h in
+    if not (IS.mem addr old) then begin
+      Hashtbl.replace s.st_rs h (IS.add addr old);
+      List.iter (fun slot -> union_site_target slot addr) (return_slots h)
+    end
+  in
+  let add_call_rets1 g addr =
+    let old = call_rets g in
+    if not (IS.mem addr old) then begin
+      Hashtbl.replace s.st_call_rets g (IS.add addr old);
+      if Hashtbl.mem s.st_tail_succ g then
+        SS.iter (fun h -> add_rs1 h addr) (tc_forward g)
+      else add_rs1 g addr
+    end
+  in
+  let add_tail_edge a b =
+    let succ =
+      Option.value ~default:SS.empty (Hashtbl.find_opt s.st_tail_succ a)
+    in
+    if not (SS.mem b succ) then begin
+      Hashtbl.replace s.st_tail_succ a (SS.add b succ);
+      (* everything now reachable from b inherits the return addrs that
+         could land in a (rs a already folds in a's reverse closure) *)
+      let contrib = IS.union (rs a) (call_rets a) in
+      let anchors = fn_inflow a in
+      if not (IS.is_empty contrib && IS.is_empty anchors) then begin
+        let closure = tc_forward b in
+        if not (IS.is_empty contrib) then
+          SS.iter (fun h -> add_rs h contrib) closure;
+        (* class rets flowing into a now flow into b's closure too *)
+        IS.iter
+          (fun anchor ->
+            let c = Hashtbl.find class_by_ret_node anchor in
+            SS.iter (fun h -> add_inflow c h) closure)
+          anchors
+      end
+    end
+  in
+  let on_newly_at (f : fn) =
+    ignore (node_of_addr f.faddr);
+    List.iter
+      (fun c ->
+        if Minic.Types.callable s.st_env ~site:c.tc_ty ~fn:f.fty then begin
+          let first_member = c.tc_members = [] in
+          c.tc_members <- (f.fname, f.faddr) :: c.tc_members;
+          (* the first member connects the slots accumulated while the
+             class was empty; later slots/members anchor in O(1) *)
+          if first_member then
+            List.iter
+              (fun slot ->
+                ignore
+                  (UFD.union s.st_uf (Hashtbl.find s.st_site_node slot) c.tc_node))
+              c.tc_slots;
+          ignore (UFD.union s.st_uf (node_of_addr f.faddr) c.tc_node);
+          add_inflow_closure c f.fname;
+          SS.iter (fun sfn -> add_tail_edge sfn f.fname) c.tc_itail_fns
+        end)
+      s.st_classes
+  in
+  let on_taken n =
+    if not (Hashtbl.mem s.st_taken n) then begin
+      Hashtbl.add s.st_taken n ();
+      match Hashtbl.find_opt s.st_defined n with
+      | Some f -> on_newly_at f
+      | None -> ()
+    end
+  in
+  let on_defined (f : fn) =
+    if Hashtbl.mem s.st_defined f.fname then
+      invalid_arg ("Cfggen.merge: duplicate definition of " ^ f.fname);
+    Hashtbl.add s.st_defined f.fname f;
+    (match Hashtbl.find_opt s.st_plt_slots f.fname with
+    | Some slots -> List.iter (fun slot -> union_site_target slot f.faddr) slots
+    | None -> ());
+    if Hashtbl.mem s.st_taken f.fname then on_newly_at f
+  in
+  let live_at n =
+    Hashtbl.mem s.st_taken n
+    &&
+    match Hashtbl.find_opt s.st_defined n with Some _ -> true | None -> false
+  in
+  let find_or_create_class ty =
+    match
+      List.find_opt (fun c -> fun_ty_equal s.st_env c.tc_ty ty) s.st_classes
+    with
+    | Some c -> c
+    | None ->
+      let members =
+        Hashtbl.fold
+          (fun n f acc ->
+            if live_at n && Minic.Types.callable s.st_env ~site:ty ~fn:f.fty
+            then (f.fname, f.faddr) :: acc
+            else acc)
+          s.st_defined []
+      in
+      let c =
+        {
+          tc_ty = ty;
+          tc_members = members;
+          tc_slots = [];
+          tc_icall_rets = IS.empty;
+          tc_itail_fns = SS.empty;
+          tc_node = UFD.add s.st_uf;
+          tc_ret_node = UFD.add s.st_uf;
+          tc_inflow_fns = SS.empty;
+          tc_has_ret_slot = false;
+        }
+      in
+      Hashtbl.add class_by_ret_node c.tc_ret_node c;
+      List.iter
+        (fun (_, addr) -> ignore (UFD.union s.st_uf (node_of_addr addr) c.tc_node))
+        members;
+      (* no rets yet, so this only records where they will flow *)
+      List.iter (fun (g, _) -> add_inflow_closure c g) members;
+      s.st_classes <- c :: s.st_classes;
+      c
+  in
+  (* 1. functions (definitions, then address-taken transitions) *)
+  List.iter
+    (fun (f : fn) ->
+      on_defined f;
+      if f.faddress_taken then on_taken f.fname)
+    m.m_functions;
+  List.iter on_taken m.m_extern_taken;
+  (* 2. setjmp continuations feed all existing longjmp sites *)
+  List.iter
+    (fun a ->
+      if not (IS.mem a s.st_setjmps) then begin
+        s.st_setjmps <- IS.add a s.st_setjmps;
+        ignore (node_of_addr a);
+        List.iter (fun slot -> union_site_target slot a) s.st_longjmp_slots
+      end)
+    m.m_setjmp_addrs;
+  (* 3. sites, in global slot order *)
+  Array.iteri
+    (fun i site ->
+      let slot = m.m_slot_base + i in
+      let n = UFD.add s.st_uf in
+      Hashtbl.add s.st_site_node slot n;
+      match site with
+      | Sreturn { fn } ->
+        Hashtbl.replace s.st_return_slots fn (slot :: return_slots fn);
+        IS.iter (fun a -> union_site_target slot a) (rs fn);
+        IS.iter
+          (fun anchor ->
+            let c = Hashtbl.find class_by_ret_node anchor in
+            if c.tc_has_ret_slot then begin
+              if ret_active c then ignore (UFD.union s.st_uf n c.tc_ret_node)
+            end
+            else begin
+              (* first return slot on this class's inflow *)
+              c.tc_has_ret_slot <- true;
+              if ret_active c then activate_ret c
+            end)
+          (fn_inflow fn)
+      | Sicall { ty; ret_addr; _ } ->
+        ignore (node_of_addr ret_addr);
+        let c = find_or_create_class ty in
+        c.tc_slots <- slot :: c.tc_slots;
+        if c.tc_members <> [] then ignore (UFD.union s.st_uf n c.tc_node);
+        let was_active = ret_active c in
+        c.tc_icall_rets <- IS.add ret_addr c.tc_icall_rets;
+        if ret_active c then
+          if was_active then
+            ignore (UFD.union s.st_uf (node_of_addr ret_addr) c.tc_ret_node)
+          else activate_ret c
+      | Sitail { fn; ty } ->
+        let c = find_or_create_class ty in
+        c.tc_slots <- slot :: c.tc_slots;
+        c.tc_itail_fns <- SS.add fn c.tc_itail_fns;
+        if c.tc_members <> [] then ignore (UFD.union s.st_uf n c.tc_node);
+        List.iter (fun (g, _) -> add_tail_edge fn g) c.tc_members
+      | Sjumptable { target_addrs; _ } ->
+        List.iter (fun a -> union_site_target slot a) target_addrs
+      | Slongjmp _ ->
+        s.st_longjmp_slots <- slot :: s.st_longjmp_slots;
+        IS.iter (fun a -> union_site_target slot a) s.st_setjmps
+      | Splt { symbol } ->
+        Hashtbl.replace s.st_plt_slots symbol
+          (slot
+          :: Option.value ~default:[] (Hashtbl.find_opt s.st_plt_slots symbol));
+        (match Hashtbl.find_opt s.st_defined symbol with
+        | Some f -> union_site_target slot f.faddr
+        | None -> ()))
+    m.m_sites;
+  s.st_nsites <- s.st_nsites + Array.length m.m_sites;
+  (* 4. direct call and tail-call edges *)
+  List.iter
+    (fun (_caller, callee, ret) ->
+      ignore (node_of_addr ret);
+      add_call_rets1 callee ret)
+    m.m_direct_calls;
+  List.iter (fun (a, b) -> add_tail_edge a b) m.m_tail_calls;
+  (* 5. fresh canonical assignment, delta vs installed, commit *)
+  let new_tary, new_bary, stats = assign s in
+  let delta = compute_delta s new_tary new_bary stats in
+  s.st_installed_tary <- new_tary;
+  s.st_installed_bary <- new_bary;
+  s.st_stats <- stats;
+  (s, delta)
+
 let generate input =
   let rs = return_sites input in
   let site_targets =

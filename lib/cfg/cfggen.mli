@@ -70,3 +70,70 @@ val generate : input -> output
     site, before equivalence-class merging — the precise CFG edge set,
     used by the AIR metric and by tests. *)
 val targets_of_site : input -> site -> int list
+
+(** {1 Incremental generation}
+
+    [merge] folds one module at a time into a persistent merge state and
+    returns the {e delta} against the previously returned assignment:
+    only the table slots whose IDs must change.  The resulting ECN maps
+    are bit-identical to running {!generate} over the union of every
+    merged module — [merge] maintains the equivalence-class partition
+    incrementally (memoized type classes, grow-only tail-closure /
+    return-site propagation, a growable union-find) and then reapplies
+    {!generate}'s canonical numbering rule, so a from-scratch run is a
+    differential oracle for the incremental path. *)
+
+(** One module's contribution, in the shape [Process] extracts once per
+    load (fields mirror {!input}, restricted to the module). *)
+type module_input = {
+  m_env : Minic.Types.env;
+  m_functions : fn list;        (** functions the module defines;
+                                    [faddress_taken] = taken {e by} it *)
+  m_extern_taken : string list; (** names it takes the address of but
+                                    does not define *)
+  m_sites : site array;         (** module-local order *)
+  m_slot_base : int;            (** global slot of [m_sites.(0)]; must
+                                    equal the state's current site count *)
+  m_direct_calls : (string * string * int) list;
+  m_tail_calls : (string * string) list;
+  m_setjmp_addrs : int list;
+}
+
+(** For a grow entry, the existing slot whose (already installed) version
+    the new slot must carry so its class stays version-uniform. *)
+type donor = Donor_tary of int | Donor_bary of int
+
+(** The slots an install must write.  [d_tary]/[d_bary] are rewritten at
+    the transaction's new version: every slot of every class that
+    changed shape (classes must stay version-uniform, so a class is
+    rewritten whole).  [d_*_grow] are brand-new slots joining an
+    otherwise untouched class; they carry the donor's current version,
+    so the rest of the class is left alone. *)
+type delta = {
+  d_tary : (int * int) list;             (** addr, ECN *)
+  d_bary : (int * int) list;             (** slot, ECN *)
+  d_tary_grow : (int * int * donor) list;
+  d_bary_grow : (int * int * donor) list;
+  d_stats : stats;
+}
+
+type state
+
+(** State with no modules merged; tables empty. *)
+val empty_state : unit -> state
+
+(** [merge state m] is [(state', delta)].  [state] itself is not
+    mutated — the caller can keep it for rollback.  Raises
+    {!Too_many_classes} on ECN exhaustion and [Invalid_argument] on a
+    slot-base mismatch or duplicate definition. *)
+val merge : state -> module_input -> state * delta
+
+(** The full ECN maps of the last assignment, in {!generate}'s output
+    order — what the live tables must contain. *)
+val state_tables : state -> (int * int) list * (int * int) list
+
+(** Stats of the last assignment (equals [generate].stats). *)
+val state_stats : state -> stats
+
+(** Total branch sites merged so far. *)
+val state_sites : state -> int

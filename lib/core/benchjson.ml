@@ -1,0 +1,353 @@
+module Process = Mcfi_runtime.Process
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---- emitter ---- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v ->
+    if Float.is_finite v then
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" v)
+      else Buffer.add_string b (Printf.sprintf "%.6g" v)
+    else Buffer.add_string b "null" (* JSON has no inf/nan *)
+  | Str s ->
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\": ";
+        emit b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 1024 in
+  emit b j;
+  Buffer.contents b
+
+(* ---- parser (recursive descent over the string) ---- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else error "expected '%c'" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error "bad literal"
+  in
+  let number () =
+    let start = !pos in
+    let numchar c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do incr pos done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Num v
+    | None -> error "bad number"
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'; incr pos
+             | '\\' -> Buffer.add_char b '\\'; incr pos
+             | '/' -> Buffer.add_char b '/'; incr pos
+             | 'b' -> Buffer.add_char b '\b'; incr pos
+             | 'f' -> Buffer.add_char b '\012'; incr pos
+             | 'n' -> Buffer.add_char b '\n'; incr pos
+             | 'r' -> Buffer.add_char b '\r'; incr pos
+             | 't' -> Buffer.add_char b '\t'; incr pos
+             | 'u' ->
+               if !pos + 4 >= n then error "truncated \\u";
+               let hex = String.sub s (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some cp when cp < 0x80 -> Buffer.add_char b (Char.chr cp)
+               | Some _ -> Buffer.add_char b '?'
+               | None -> error "bad \\u escape");
+               pos := !pos + 5
+             | c -> error "bad escape '\\%c'" c);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin incr pos; Obj [] end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; fields ((k, v) :: acc)
+          | Some '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+          | _ -> error "expected ',' or '}'"
+        in
+        fields []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin incr pos; Arr [] end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; elems (v :: acc)
+          | Some ']' -> incr pos; Arr (List.rev (v :: acc))
+          | _ -> error "expected ',' or ']'"
+        in
+        elems []
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+(* ---- accessors ---- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let path ks j =
+  List.fold_left (fun j k -> Option.bind j (member k)) (Some j) ks
+
+let num = function Num v when Float.is_finite v -> Some v | _ -> None
+
+(* ---- the dlopen-chain measurement ---- *)
+
+type link_sample = {
+  ls_module : int;
+  ls_full_ms : float;
+  ls_incr_ms : float;
+}
+
+(* One synthetic module: [fns] int(int) functions and [fns/2]
+   int(int,int) functions, all address-taken through local
+   function-pointer arrays and called indirectly.  The two
+   function-pointer types are the same in every module, so each load
+   grows equivalence classes the earlier modules created — the carry
+   (grow-entry) path of the delta install — while the module's own
+   return sites add fresh slots. *)
+let module_source ~fns k =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for i = 0 to fns - 1 do
+    p "int m%d_u%d(int x) { return x + %d; }\n" k i ((i + k + 1) * 3)
+  done;
+  for i = 0 to (fns / 2) - 1 do
+    p "int m%d_v%d(int x, int y) { return x * %d + y; }\n" k i (i + 2)
+  done;
+  p "int m%d_go(int n) {\n" k;
+  p "  int (*fu[%d])(int);\n" fns;
+  p "  int (*fv[%d])(int, int);\n" (fns / 2);
+  p "  int s;\n  int i;\n";
+  for i = 0 to fns - 1 do p "  fu[%d] = m%d_u%d;\n" i k i done;
+  for i = 0 to (fns / 2) - 1 do p "  fv[%d] = m%d_v%d;\n" i k i done;
+  p "  s = 0;\n";
+  p "  for (i = 0; i < n; i = i + 1) {\n";
+  p "    s = s + fu[i %% %d](i);\n" fns;
+  p "    s = s + fv[i %% %d](s, i);\n" (fns / 2);
+  p "  }\n  return s;\n}\n";
+  Buffer.contents b
+
+let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
+  if modules < 1 then invalid_arg "Benchjson.dlopen_chain: modules < 1";
+  let exe =
+    Pipeline.link_executable ~sources:[ ("main", "int main() { return 0; }") ] ()
+  in
+  let objs =
+    List.init modules (fun k ->
+        Pipeline.instrument
+          (Pipeline.compile_module
+             ~name:(Printf.sprintf "m%d" k)
+             (module_source ~fns k)))
+  in
+  (* verification cost is identical on both paths and dominates small
+     loads; it is not what this curve measures *)
+  let fresh ~incremental =
+    let proc = Process.create ~incremental ~verify:false () in
+    Process.load proc exe;
+    proc
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let run_round () =
+    let full = fresh ~incremental:false in
+    let inc = fresh ~incremental:true in
+    List.map
+      (fun obj ->
+        let f = time (fun () -> Process.load full obj) in
+        let g = time (fun () -> Process.load inc obj) in
+        (* the oracle runs after every incremental install, outside the
+           timed window *)
+        (match Process.oracle_check inc with
+        | Ok () -> ()
+        | Error m -> failwith ("Benchjson.dlopen_chain: oracle: " ^ m));
+        (f, g))
+      objs
+  in
+  let best =
+    List.init rounds (fun _ -> run_round ())
+    |> List.fold_left
+         (fun acc round ->
+           List.map2 (fun (f, g) (f', g') -> (Float.min f f', Float.min g g')) acc round)
+         (List.init modules (fun _ -> (infinity, infinity)))
+  in
+  List.mapi
+    (fun i (f, g) -> { ls_module = i + 1; ls_full_ms = f; ls_incr_ms = g })
+    best
+
+(* ---- report assembly and validation ---- *)
+
+let report ~samples ~torture =
+  match List.rev samples with
+  | [] -> invalid_arg "Benchjson.report: empty chain"
+  | last :: _ ->
+    Obj
+      [
+        ("bench", Str "incremental-linking");
+        ("modules", Num (float_of_int (List.length samples)));
+        ( "cfggen",
+          Obj
+            [
+              ( "chain",
+                Arr
+                  (List.map
+                     (fun s ->
+                       Obj
+                         [
+                           ("module", Num (float_of_int s.ls_module));
+                           ("full_ms", Num s.ls_full_ms);
+                           ("incr_ms", Num s.ls_incr_ms);
+                         ])
+                     samples) );
+              ("last_full_ms", Num last.ls_full_ms);
+              ("last_incr_ms", Num last.ls_incr_ms);
+              ("last_speedup", Num (last.ls_full_ms /. last.ls_incr_ms));
+            ] );
+        ("torture", torture);
+      ]
+
+let validate j =
+  let check_num where p =
+    match Option.bind (path p j) num with
+    | Some _ -> Ok ()
+    | None ->
+      Error (Printf.sprintf "%s: missing or non-finite %s" where (String.concat "." p))
+  in
+  let ( let* ) = Result.bind in
+  let* () = check_num "cfggen" [ "modules" ] in
+  let* () = check_num "cfggen" [ "cfggen"; "last_full_ms" ] in
+  let* () = check_num "cfggen" [ "cfggen"; "last_incr_ms" ] in
+  let* () = check_num "cfggen" [ "cfggen"; "last_speedup" ] in
+  let* () =
+    match path [ "cfggen"; "chain" ] j with
+    | Some (Arr (_ :: _ as rows)) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          match
+            ( Option.bind (member "module" row) num,
+              Option.bind (member "full_ms" row) num,
+              Option.bind (member "incr_ms" row) num )
+          with
+          | Some _, Some _, Some _ -> Ok ()
+          | _ -> Error "cfggen.chain: row with missing or non-finite field")
+        (Ok ()) rows
+    | Some (Arr []) -> Error "cfggen.chain: empty"
+    | _ -> Error "cfggen.chain: missing or not an array"
+  in
+  let* () = check_num "torture" [ "torture"; "checks_per_s" ] in
+  let* () = check_num "torture" [ "torture"; "installs_per_s" ] in
+  let* () = check_num "torture" [ "torture"; "checks_during_install_per_s" ] in
+  Ok ()

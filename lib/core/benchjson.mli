@@ -1,0 +1,68 @@
+(** Machine-readable benchmark reports ([BENCH_3.json]).
+
+    A dependency-free JSON value type with an emitter and a small parser
+    (the tier-1 smoke test re-parses what the bench emits), plus the
+    incremental-linking measurement itself: an N-module dlopen chain run
+    twice — once against the historical regenerate-everything linker,
+    once against the incremental one — with the differential oracle
+    checked after every incremental install (outside the timed window).
+
+    The measurement lives here rather than in [bench/] so the tier-1
+    suite can run a scaled-down chain and validate the report shape
+    without executing the benchmark binary. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Serialize; numbers print in a [float_of_string]-compatible form.
+    Non-finite numbers serialize as [null] (and fail {!validate}). *)
+val to_string : t -> string
+
+(** Parse the subset {!to_string} emits (standard JSON; [\u] escapes
+    outside ASCII decode to ['?']). *)
+val parse : string -> (t, string) result
+
+(** [member k j] is field [k] of object [j]. *)
+val member : string -> t -> t option
+
+(** [path ks j] follows a chain of object fields. *)
+val path : string list -> t -> t option
+
+(** The numeric value, if [j] is a finite number. *)
+val num : t -> float option
+
+(** {2 The dlopen-chain scaling measurement} *)
+
+type link_sample = {
+  ls_module : int;  (** position in the chain, 1-based *)
+  ls_full_ms : float;  (** [Process.load] under full regeneration *)
+  ls_incr_ms : float;  (** the same load under incremental linking *)
+}
+
+(** [dlopen_chain ()] builds [modules] synthetic MiniC modules whose
+    function-pointer types overlap (so equivalence classes span the whole
+    chain and every load grows existing classes), loads them in order
+    into a full-regeneration process and an incremental one, and returns
+    the per-load wall times — the minimum over [rounds] fresh chains.
+    After every incremental load the differential oracle
+    ({!Mcfi_runtime.Process.oracle_check}) runs outside the timed
+    window; a divergence raises [Failure]. *)
+val dlopen_chain :
+  ?modules:int -> ?fns:int -> ?rounds:int -> unit -> link_sample list
+
+(** Assemble the [BENCH_3.json] document.  [torture] is the
+    check-throughput-during-install section (built by the caller from
+    {!Stress.install_throughput} data — the stress library sits above
+    this one).  [samples] must be non-empty. *)
+val report : samples:link_sample list -> torture:t -> t
+
+(** Check the report shape the smoke test relies on: the chain is
+    non-empty with finite timings, the last-link summary and speedup are
+    finite, and the torture section carries finite [checks_per_s],
+    [installs_per_s] and [checks_during_install_per_s]. *)
+val validate : t -> (unit, string) result

@@ -23,10 +23,26 @@
    which fails closed.  The table slots themselves stay plain cells per
    the argument above. *)
 
+(* A full-install journal carries the complete intended ECN maps; a
+   delta journal carries only the slots the install writes — rewrites
+   (packed at [j_version]) plus grow entries that join an existing class
+   and carry its already-installed version.  Both are redone the same
+   way: replay every listed write, Tary first. *)
+type journal_body =
+  | Jfull of {
+      jf_tary : (int * int) list; (* target address -> ECN *)
+      jf_bary : (int * int) list; (* branch slot -> ECN *)
+    }
+  | Jdelta of {
+      jd_tary : (int * int) list; (* rewrites, packed at j_version *)
+      jd_bary : (int * int) list;
+      jd_tary_carry : (int * int * int) list; (* addr, ECN, carried version *)
+      jd_bary_carry : (int * int * int) list; (* slot, ECN, carried version *)
+    }
+
 type journal = {
   j_version : int;
-  j_tary : (int * int) list; (* target address -> ECN *)
-  j_bary : (int * int) list; (* branch slot -> ECN *)
+  j_body : journal_body;
   j_tag : int; (* caller's tag, reported to the observer on redo *)
 }
 
@@ -311,4 +327,51 @@ let restore t s =
         (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
         s.s_tary;
       List.iter (fun (k, id) -> t.bary.(k) <- id) s.s_bary;
+      publish t)
+
+(* ---- partial snapshot / restore (loader rollback, delta installs)
+
+   A delta install touches a known, small set of slots; the loader's
+   rollback journal only needs those.  Values are captured raw — a slot
+   that was [Id.invalid] before the install (the common case: the new
+   module's own addresses) restores to invalid.  Slots beyond the
+   restored code size therefore restore to invalid too, keeping the
+   not-yet-covered suffix clean for the next [extend]. *)
+
+type slot_snapshot = {
+  ss_version : int;
+  ss_code_size : int;
+  ss_updates_since_quiesce : int;
+  ss_journal : journal option;
+  ss_tary : (int * Id.t) list; (* address -> raw word *)
+  ss_bary : (int * Id.t) list; (* slot -> raw word *)
+}
+
+let snapshot_slots t ~tary ~bary =
+  let word addr =
+    let off = addr - t.code_base in
+    if off < 0 || off >= t.capacity || off mod 4 <> 0 then
+      invalid_arg
+        (Printf.sprintf "Tables.snapshot_slots: bad address 0x%x" addr);
+    t.tary.(off / 4)
+  in
+  {
+    ss_version = version t;
+    ss_code_size = t.code_size;
+    ss_updates_since_quiesce = updates_since_quiesce t;
+    ss_journal = journal t;
+    ss_tary = List.map (fun addr -> (addr, word addr)) tary;
+    ss_bary = List.map (fun k -> (k, bary_read t k)) bary;
+  }
+
+let restore_slots t s =
+  with_update_lock t (fun () ->
+      List.iter
+        (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
+        s.ss_tary;
+      List.iter (fun (k, id) -> t.bary.(k) <- id) s.ss_bary;
+      t.code_size <- s.ss_code_size;
+      set_version t s.ss_version;
+      Atomic.set t.updates_since_quiesce s.ss_updates_since_quiesce;
+      set_journal t s.ss_journal;
       publish t)

@@ -185,10 +185,23 @@ val bary_entries : t -> (int * Id.t) list
     first slot write and clears it after the final barrier, so a non-[None]
     journal observed by the next lock holder means the previous updater
     died mid-transaction and the install must be redone ({!Tx.recover}). *)
+type journal_body =
+  | Jfull of {
+      jf_tary : (int * int) list;  (** target address -> ECN *)
+      jf_bary : (int * int) list;  (** branch slot -> ECN *)
+    }  (** a full install: slots not listed become invalid *)
+  | Jdelta of {
+      jd_tary : (int * int) list;  (** rewrites, packed at [j_version] *)
+      jd_bary : (int * int) list;
+      jd_tary_carry : (int * int * int) list;
+          (** address, ECN, carried version: a slot joining an existing
+              class at the class's already-installed version *)
+      jd_bary_carry : (int * int * int) list;
+    }  (** a delta install: only the listed slots are written *)
+
 type journal = {
   j_version : int;
-  j_tary : (int * int) list;  (** target address -> ECN *)
-  j_bary : (int * int) list;  (** branch slot -> ECN *)
+  j_body : journal_body;
   j_tag : int;  (** the updater's observer tag, replayed on redo *)
 }
 
@@ -207,3 +220,36 @@ val snapshot : t -> snapshot
 (** [restore t s] reinstates [s] under the update lock and publishes the
     result with the write barrier. *)
 val restore : t -> snapshot -> unit
+
+(** {2 Partial snapshots}
+
+    A delta install touches a known, small set of slots; the loader's
+    rollback journal for an incremental dlopen captures only those
+    (plus the scalar state), instead of both full tables.  The record
+    is exposed so the loader can pin [ss_code_size] to the value it saw
+    {e before} it extended the covered region. *)
+
+type slot_snapshot = {
+  ss_version : int;
+  ss_code_size : int;
+  ss_updates_since_quiesce : int;
+  ss_journal : journal option;
+  ss_tary : (int * Id.t) list;  (** address -> raw word (may be invalid) *)
+  ss_bary : (int * Id.t) list;  (** slot -> raw word *)
+}
+
+(** [snapshot_slots t ~tary ~bary] captures the raw words of the given
+    Tary addresses and Bary slots, with the scalar state.  Addresses may
+    lie beyond the covered prefix (but within capacity): the extend
+    happens before the install whose effects are being journalled.
+    Raises [Invalid_argument] on a misaligned or out-of-capacity
+    address.  Call under the update lock (e.g. from [Tx.update_delta]'s
+    [pre_install] hook) so the capture is not torn by a concurrent
+    update. *)
+val snapshot_slots : t -> tary:int list -> bary:int list -> slot_snapshot
+
+(** [restore_slots t s] writes the captured words back, restores the
+    scalar state, and publishes — under the update lock.  Slots beyond
+    the restored code size end up holding their captured (invalid)
+    values, keeping the uncovered suffix clean. *)
+val restore_slots : t -> slot_snapshot -> unit

@@ -94,19 +94,96 @@ let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
      later be declared once every checker has moved past this point *)
   Tables.observe_readers t
 
+(* Validate and pack a delta's writes up front (failure atomicity, as
+   [build_images]): rewrites at [version], carries at their recorded
+   class version. *)
+let build_delta_writes t ~version ~tary ~bary ~tary_carry ~bary_carry =
+  let base = Tables.code_base t and size = Tables.code_size t in
+  let check_addr addr =
+    let off = addr - base in
+    if off < 0 || off >= size || off mod 4 <> 0 then
+      invalid_arg
+        (Printf.sprintf "Tx.update_delta: bad Tary target address 0x%x" addr)
+  in
+  let check_slot idx =
+    if idx < 0 || idx >= Tables.bary_slots t then
+      invalid_arg (Printf.sprintf "Tx.update_delta: bad Bary slot %d" idx)
+  in
+  let check_version v =
+    if v < 0 || v >= Id.max_version then
+      invalid_arg (Printf.sprintf "Tx.update_delta: bad carried version %d" v)
+  in
+  let tary_writes =
+    List.map
+      (fun (addr, ecn) ->
+        check_addr addr;
+        (addr, Id.pack ~ecn ~version))
+      tary
+    @ List.map
+        (fun (addr, ecn, v) ->
+          check_addr addr;
+          check_version v;
+          (addr, Id.pack ~ecn ~version:v))
+        tary_carry
+  in
+  let bary_writes =
+    List.map
+      (fun (idx, ecn) ->
+        check_slot idx;
+        (idx, Id.pack ~ecn ~version))
+      bary
+    @ List.map
+        (fun (idx, ecn, v) ->
+          check_slot idx;
+          check_version v;
+          (idx, Id.pack ~ecn ~version:v))
+        bary_carry
+  in
+  (tary_writes, bary_writes)
+
+(* Publish a pre-validated write list — the delta analog of
+   [install_locked], same Tary-first / barrier / Bary order, same fault
+   points; caller holds the update lock.  Slots not listed keep their
+   current IDs (clean classes stay readable at their old version
+   throughout). *)
+let install_delta_locked ~faults ~got_update t ~version ~tary_writes
+    ~bary_writes =
+  Tables.set_version t version;
+  List.iter
+    (fun (addr, id) ->
+      if faults then Faults.hit Faults.Plan.Nth_tary_write;
+      Tables.tary_set t addr id)
+    tary_writes;
+  Tables.publish t;
+  if faults then Faults.hit Faults.Plan.Between_tary_and_bary;
+  got_update ();
+  List.iter (fun (idx, id) -> Tables.bary_set t idx id) bary_writes;
+  Tables.publish t;
+  Tables.observe_readers t
+
 (* Redo a predecessor's torn install from its journal; caller holds the
    update lock.  The journaled GOT hook is gone with its updater — GOT
    redo belongs to the loader's own journal (see Process.load). *)
 let recover_locked t =
   match Tables.journal t with
   | None -> false
-  | Some { Tables.j_version; j_tary; j_bary; j_tag } ->
-    let new_tary, new_bary =
-      build_images t ~version:j_version ~tary:j_tary ~bary:j_bary
-    in
-    install_locked ~faults:false
-      ~got_update:(fun () -> ())
-      t ~version:j_version ~new_tary ~new_bary;
+  | Some { Tables.j_version; j_body; j_tag } ->
+    (match j_body with
+    | Tables.Jfull { jf_tary; jf_bary } ->
+      let new_tary, new_bary =
+        build_images t ~version:j_version ~tary:jf_tary ~bary:jf_bary
+      in
+      install_locked ~faults:false
+        ~got_update:(fun () -> ())
+        t ~version:j_version ~new_tary ~new_bary
+    | Tables.Jdelta { jd_tary; jd_bary; jd_tary_carry; jd_bary_carry } ->
+      let tary_writes, bary_writes =
+        build_delta_writes t ~version:j_version ~tary:jd_tary ~bary:jd_bary
+          ~tary_carry:jd_tary_carry ~bary_carry:jd_bary_carry
+      in
+      install_delta_locked ~faults:false
+        ~got_update:(fun () -> ())
+        t ~version:j_version ~tary_writes ~bary_writes);
     Tables.set_journal t None;
     Faults.Stats.count_recovery ();
     Tables.notify_complete t ~version:j_version ~tag:j_tag;
@@ -197,7 +274,12 @@ let update_locked ?(tag = -1) ~got_update t ~tary ~bary =
   (* Journal the intent: from here until the final barrier, a death leaves
      enough state for the next lock holder to redo the install. *)
   Tables.set_journal t
-    (Some { Tables.j_version = version; j_tary = tary; j_bary = bary; j_tag = tag });
+    (Some
+       {
+         Tables.j_version = version;
+         j_body = Tables.Jfull { jf_tary = tary; jf_bary = bary };
+         j_tag = tag;
+       });
   Tables.notify_begin t ~version ~tag;
   install_locked ~faults:true ~got_update t ~version ~new_tary ~new_bary;
   Tables.set_journal t None;
@@ -206,6 +288,71 @@ let update_locked ?(tag = -1) ~got_update t ~tary ~bary =
 
 let update ?tag ?(got_update = fun () -> ()) t ~tary ~bary =
   Tables.with_update_lock t (fun () -> update_locked ?tag ~got_update t ~tary ~bary)
+
+type carry_source = From_tary of int | From_bary of int
+
+(* Read the donor's live ID and keep its version for the new slot.
+   Resolved under the update lock, after a torn predecessor has been
+   redone — anything earlier could capture a version a concurrent
+   refresh or a journal redo is about to replace.  The donor must still
+   carry the class's ECN: a mismatch means the caller's delta was
+   computed against tables that have since changed shape. *)
+let resolve_carry t (key, ecn, src) =
+  let donor_id =
+    match src with
+    | From_tary addr -> Tables.tary_read t addr
+    | From_bary idx -> Tables.bary_read t idx
+  in
+  if (not (Id.valid donor_id)) || Id.ecn donor_id <> ecn then
+    invalid_arg
+      (Printf.sprintf "Tx.update_delta: carry donor does not hold ECN %d" ecn);
+  (key, ecn, Id.version donor_id)
+
+(* The delta update transaction: same skeleton as [update_locked] —
+   recover a torn predecessor, respect the ABA budget, bump the version,
+   journal the intent, install with the same phase order — but only the
+   listed slots are written.  Rewrites get the new version; carry
+   entries join an existing class at its current version, so the rest
+   of that class (and every untouched class) is never version-skewed
+   and concurrent checks on it do not retry during the install. *)
+let update_delta_locked ?(tag = -1) ~got_update ~pre_install t ~tary ~bary
+    ~tary_carry ~bary_carry =
+  ignore (recover_locked t);
+  ensure_version_budget t;
+  Tables.count_update t;
+  let version = (Tables.version t + 1) mod Id.max_version in
+  let tary_carry = List.map (resolve_carry t) tary_carry in
+  let bary_carry = List.map (resolve_carry t) bary_carry in
+  let tary_writes, bary_writes =
+    build_delta_writes t ~version ~tary ~bary ~tary_carry ~bary_carry
+  in
+  pre_install ();
+  Tables.set_journal t
+    (Some
+       {
+         Tables.j_version = version;
+         j_body =
+           Tables.Jdelta
+             {
+               jd_tary = tary;
+               jd_bary = bary;
+               jd_tary_carry = tary_carry;
+               jd_bary_carry = bary_carry;
+             };
+         j_tag = tag;
+       });
+  Tables.notify_begin t ~version ~tag;
+  install_delta_locked ~faults:true ~got_update t ~version ~tary_writes
+    ~bary_writes;
+  Tables.set_journal t None;
+  Tables.notify_complete t ~version ~tag;
+  version
+
+let update_delta ?tag ?(got_update = fun () -> ())
+    ?(pre_install = fun () -> ()) t ~tary ~bary ~tary_carry ~bary_carry =
+  Tables.with_update_lock t (fun () ->
+      update_delta_locked ?tag ~got_update ~pre_install t ~tary ~bary
+        ~tary_carry ~bary_carry)
 
 let refresh t =
   Tables.with_update_lock t (fun () ->

@@ -104,6 +104,41 @@ val update :
   bary:(int * int) list ->
   int
 
+(** Where a grow entry's version comes from: an existing slot of the
+    class it is joining.  Resolved by [update_delta] itself, under the
+    update lock and after torn-predecessor recovery, so the carried
+    version can never be stale. *)
+type carry_source = From_tary of int | From_bary of int
+
+(** [update_delta t ~tary ~bary ~tary_carry ~bary_carry] installs a CFG
+    {e delta}: only the listed slots are written, every other slot keeps
+    its current ID.  [tary]/[bary] are rewrites, packed at the bumped
+    version — every slot of every class whose shape changed, so classes
+    stay version-uniform.  [tary_carry]/[bary_carry] are
+    [(slot, ecn, source)] grow entries: new slots joining an otherwise
+    untouched class at the version that class already carries (read off
+    the donor [source], which must still hold the entry's ECN), which is
+    what keeps untouched classes readable (no version skew, no check
+    retries) for the whole install window.  The transaction follows the
+    full protocol — torn-predecessor recovery, ABA budget, version bump,
+    intent journal ({!Tables.Jdelta}, with carries resolved so a redo is
+    deterministic), Tary phase, barrier, [got_update], Bary phase — and
+    a death mid-install is redone by the next lock holder exactly like a
+    full update.  [pre_install] runs under the update lock after
+    recovery and validation, before the journal is set: the loader
+    captures its rollback {!Tables.slot_snapshot} there.  Returns the
+    new version. *)
+val update_delta :
+  ?tag:int ->
+  ?got_update:(unit -> unit) ->
+  ?pre_install:(unit -> unit) ->
+  Tables.t ->
+  tary:(int * int) list ->
+  bary:(int * int) list ->
+  tary_carry:(int * int * carry_source) list ->
+  bary_carry:(int * int * carry_source) list ->
+  int
+
 (** [refresh t] re-installs the current tables under a fresh version,
     preserving every ECN — the paper's §8.1 update-transaction stress
     experiment does exactly this at 50 Hz. Returns the new version. *)

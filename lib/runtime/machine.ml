@@ -14,13 +14,16 @@ let pp_exit_reason ppf = function
   | Fault msg -> Fmt.pf ppf "fault(%s)" msg
   | Out_of_fuel -> Fmt.string ppf "out-of-fuel"
 
-type decoded = Dinstr of Instr.t * int | Dbad
-
 type t = {
   code_base : int;
   image : Bytes.t; (* reserved capacity; [code_len] bytes are loaded *)
   mutable code_len : int;
-  decode_cache : decoded option array; (* per byte offset, lazily filled *)
+  (* per-byte-offset decode memo, kept flat so fetch never allocates or
+     matches an option: [decode_size.(off)] is the instruction size
+     (0 = not decoded yet, -1 = bytes do not decode), and
+     [decode_instr.(off)] is meaningful only when the size is positive *)
+  decode_size : int array;
+  decode_instr : Instr.t array;
   data : int array;
   regs : int array;
   mutable pc : int;
@@ -45,7 +48,8 @@ let create ?tables ?(seed = 1L) ~code_base ~code_capacity ~data_words () =
     (* unoccupied code bytes hold the Halt opcode (0x01) *)
     image = Bytes.make code_capacity '\x01';
     code_len = 0;
-    decode_cache = Array.make code_capacity None;
+    decode_size = Array.make code_capacity 0;
+    decode_instr = Array.make code_capacity Instr.Halt;
     data = Array.make data_words 0;
     regs =
       (let r = Array.make Instr.num_regs 0 in
@@ -70,7 +74,7 @@ let append_code m img =
     invalid_arg "Machine.append_code: code capacity exceeded";
   Bytes.blit_string img 0 m.image m.code_len (String.length img);
   (* loading code invalidates stale decodings of the region *)
-  Array.fill m.decode_cache m.code_len (String.length img) None;
+  Array.fill m.decode_size m.code_len (String.length img) 0;
   m.code_len <- m.code_len + String.length img;
   Faults.hit Faults.Plan.After_code_append;
   base
@@ -83,7 +87,7 @@ let truncate_code m ~code_end =
     invalid_arg (Printf.sprintf "Machine.truncate_code: 0x%x" code_end);
   (* scrub back to the unoccupied-byte pattern (Halt) and drop decodings *)
   Bytes.fill m.image len (m.code_len - len) '\x01';
-  Array.fill m.decode_cache len (m.code_len - len) None;
+  Array.fill m.decode_size len (m.code_len - len) 0;
   m.code_len <- len
 
 let set_pc m addr = m.pc <- addr
@@ -91,13 +95,16 @@ let set_pc m addr = m.pc <- addr
 let set_brk m addr = m.brk <- addr
 let brk m = m.brk
 
+(* word 0 is the unmapped NULL page: rejected here exactly as [load] and
+   [store] reject it, so the loader/test/attacker interface cannot reach
+   memory the interpreted program cannot *)
 let read_data m addr =
-  if addr < 0 || addr >= Array.length m.data then
+  if addr <= 0 || addr >= Array.length m.data then
     invalid_arg (Printf.sprintf "Machine.read_data: address %d" addr);
   m.data.(addr)
 
 let write_data m addr v =
-  if addr < 0 || addr >= Array.length m.data then
+  if addr <= 0 || addr >= Array.length m.data then
     invalid_arg (Printf.sprintf "Machine.write_data: address %d" addr);
   m.data.(addr) <- v
 
@@ -113,7 +120,7 @@ let set_attacker m a = m.attacker <- Some a
 let read_string m addr =
   let buf = Buffer.create 16 in
   let rec go a =
-    if a < 0 || a >= Array.length m.data then Buffer.contents buf
+    if a <= 0 || a >= Array.length m.data then Buffer.contents buf
     else begin
       let c = m.data.(a) land 0xff in
       if c = 0 then Buffer.contents buf
@@ -131,17 +138,19 @@ let fetch m addr =
   let off = addr - m.code_base in
   if off < 0 || off >= m.code_len then None
   else begin
-    match m.decode_cache.(off) with
-    | Some (Dinstr (i, size)) -> Some (i, size)
-    | Some Dbad -> None
-    | None -> (
+    let size = m.decode_size.(off) in
+    if size > 0 then Some (m.decode_instr.(off), size)
+    else if size < 0 then None
+    else begin
       match Encode.decode (Bytes.unsafe_to_string m.image) off with
       | Ok (i, off') ->
-        m.decode_cache.(off) <- Some (Dinstr (i, off' - off));
+        m.decode_instr.(off) <- i;
+        m.decode_size.(off) <- off' - off;
         Some (i, off' - off)
       | Error _ ->
-        m.decode_cache.(off) <- Some Dbad;
-        None)
+        m.decode_size.(off) <- -1;
+        None
+    end
   end
 
 exception Trap of exit_reason

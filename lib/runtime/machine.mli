@@ -70,8 +70,10 @@ val set_brk : t -> int -> unit
 val brk : t -> int
 
 (** Direct access used by the loader to initialize globals, and by tests
-    and the attacker model. Addresses are word offsets in [0, data_words).
-    Raises [Invalid_argument] out of range. *)
+    and the attacker model. Addresses are word offsets in
+    (0, data_words): word 0 is the unmapped NULL page, rejected exactly
+    as the interpreted [Load]/[Store] instructions reject it.  Raises
+    [Invalid_argument] out of range. *)
 val read_data : t -> int -> int
 
 val write_data : t -> int -> int -> unit
@@ -98,7 +100,9 @@ val set_dl_handler : t -> (t -> int -> string -> int) -> unit
     the interface, which exposes no register or code mutation to it). *)
 val set_attacker : t -> (t -> unit) -> unit
 
-(** [read_string m addr] reads a NUL-terminated string from data memory. *)
+(** [read_string m addr] reads a NUL-terminated string from data memory.
+    Running off the mapped range — including starting at the NULL
+    page — terminates the string. *)
 val read_string : t -> int -> string
 
 (** The instruction the program counter currently points at, if it

@@ -13,12 +13,19 @@ type loaded = {
   lm_obj : Objfile.t;
   lm_prog : Asm.program;
   lm_slot_base : int;
+  (* the module's CFG contribution, extracted once at load time — both
+     the incremental merge and full regeneration (the differential
+     oracle, the analyzers) consume this memo instead of re-walking the
+     object file *)
+  lm_input : Cfg.Cfggen.module_input;
 }
 
 type t = {
   instrumented : bool;
   sandbox : Abi.sandbox;
   verify : bool;
+  incremental : bool;
+  self_check : bool;
   registry : string -> Objfile.t option;
   mach : Machine.t;
   tables : Tables.t option;
@@ -27,14 +34,16 @@ type t = {
   data_symbols : (string, int) Hashtbl.t;
   mutable next_slot : int;
   mutable pending_got : (string * int) list; (* symbol, got data address *)
+  mutable cfg_state : Cfg.Cfggen.state;
   mutable last_stats : Cfg.Cfggen.stats option;
   mutable cfg_ms : float;
   mutable n_updates : int;
 }
 
 let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
-    ?(registry = fun _ -> None) ?(code_capacity = 1 lsl 22)
-    ?(data_words = Abi.sandbox_words) ?(bary_slots = 8192) ?(seed = 1L) () =
+    ?(incremental = true) ?(self_check = false) ?(registry = fun _ -> None)
+    ?(code_capacity = 1 lsl 22) ?(data_words = Abi.sandbox_words)
+    ?(bary_slots = 8192) ?(seed = 1L) () =
   let tables =
     if instrumented then
       (* coverage starts empty and grows as modules load *)
@@ -53,6 +62,8 @@ let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
       instrumented;
       sandbox;
       verify = Option.value verify ~default:instrumented;
+      incremental;
+      self_check;
       registry;
       mach;
       tables;
@@ -61,6 +72,7 @@ let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
       data_symbols = Hashtbl.create 128;
       next_slot = 0;
       pending_got = [];
+      cfg_state = Cfg.Cfggen.empty_state ();
       last_stats = None;
       cfg_ms = 0.0;
       n_updates = 0;
@@ -99,7 +111,20 @@ type load_journal = {
   pj_data_symbols : (string, int) Hashtbl.t;
   pj_pending_got : (string * int) list;
   pj_got_words : (int * int) list; (* unresolved GOT slot -> word before *)
+  (* Table rollback state.  The full-regeneration path snapshots both
+     complete tables ([pj_tables], the historical behaviour).  The
+     incremental path snapshots only what its delta install touches:
+     [pj_base_slots] captures the scalar state (version, code size, ABA
+     counter, journal) with no slots at load start, and the install's
+     [pre_install] hook — under the update lock, after recovery and
+     validation — fills [pj_touched] with the raw words of exactly the
+     slots about to be written. *)
   pj_tables : Idtables.Tables.snapshot option;
+  pj_base_slots : Idtables.Tables.slot_snapshot option;
+  pj_touched : Idtables.Tables.slot_snapshot option ref;
+  (* merge state is persistent (never mutated in place), so rollback is
+     reinstating the old reference *)
+  pj_cfg_state : Cfg.Cfggen.state;
   pj_n_updates : int;
   pj_last_stats : Cfg.Cfggen.stats option;
   pj_cfg_ms : float;
@@ -118,7 +143,17 @@ let capture_journal t =
       List.map
         (fun (_, addr) -> (addr, Machine.read_data t.mach addr))
         t.pending_got;
-    pj_tables = Option.map Idtables.Tables.snapshot t.tables;
+    pj_tables =
+      (if t.incremental then None
+       else Option.map Idtables.Tables.snapshot t.tables);
+    pj_base_slots =
+      (if t.incremental then
+         Option.map
+           (fun tables -> Idtables.Tables.snapshot_slots tables ~tary:[] ~bary:[])
+           t.tables
+       else None);
+    pj_touched = ref None;
+    pj_cfg_state = t.cfg_state;
     pj_n_updates = t.n_updates;
     pj_last_stats = t.last_stats;
     pj_cfg_ms = t.cfg_ms;
@@ -140,105 +175,204 @@ let rollback t j =
   (match (t.tables, j.pj_tables) with
   | Some tables, Some s -> Idtables.Tables.restore tables s
   | _ -> ());
+  (match (t.tables, j.pj_base_slots) with
+  | Some tables, Some base ->
+    (* The touched-slot capture reflects the table just before the delta
+       install's first write (post-recovery of any torn predecessor,
+       which rollback must not undo); the code size must come from the
+       load-start capture — the extend happened in between. *)
+    let ss =
+      match !(j.pj_touched) with
+      | Some touched ->
+        { touched with Idtables.Tables.ss_code_size = base.ss_code_size }
+      | None -> base
+    in
+    Idtables.Tables.restore_slots tables ss
+  | _ -> ());
   t.next_slot <- j.pj_next_slot;
   t.loaded <- j.pj_loaded;
   restore_table t.code_symbols j.pj_code_symbols;
   restore_table t.data_symbols j.pj_data_symbols;
   t.pending_got <- j.pj_pending_got;
+  t.cfg_state <- j.pj_cfg_state;
   t.n_updates <- j.pj_n_updates;
   t.last_stats <- j.pj_last_stats;
   t.cfg_ms <- j.pj_cfg_ms;
   Faults.Stats.count_rollback ()
 
-(* Build the CFG-generator view of everything loaded so far. *)
-let cfg_input t : Cfg.Cfggen.input =
-  let mods = List.rev t.loaded in
-  let env =
-    Minic.Types.merge (List.map (fun lm -> lm.lm_obj.Objfile.o_tyenv) mods)
-  in
-  (* address-taken is a union across modules; the defining module supplies
-     the address and authoritative type *)
-  let at = Hashtbl.create 64 in
-  List.iter
-    (fun lm ->
-      List.iter
-        (fun (fi : Objfile.fn_info) ->
-          if fi.fi_address_taken then Hashtbl.replace at fi.fi_name ())
-        lm.lm_obj.Objfile.o_functions)
-    mods;
-  let functions =
-    List.concat_map
-      (fun lm ->
-        List.filter_map
-          (fun (fi : Objfile.fn_info) ->
-            if not fi.fi_defined then None
-            else
-              match Hashtbl.find_opt t.code_symbols fi.fi_name with
-              | Some addr ->
-                Some
-                  {
-                    Cfg.Cfggen.fname = fi.fi_name;
-                    fty = fi.fi_ty;
-                    faddr = addr;
-                    faddress_taken = Hashtbl.mem at fi.fi_name;
-                  }
-              | None -> None)
-          lm.lm_obj.Objfile.o_functions)
-      mods
-  in
-  let label_addr lm l =
-    match Hashtbl.find_opt lm.lm_prog.Asm.labels l with
+(* Extract one module's CFG contribution — the per-module memo cached in
+   [loaded] at load time, consumed by both the incremental merge and the
+   full-regeneration view below.  Needs the module's assembled labels and
+   the (just published) global code symbols for function addresses. *)
+let extract_module_input t (obj : Objfile.t) (prog : Asm.program) ~slot_base :
+    Cfg.Cfggen.module_input =
+  let label_addr l =
+    match Hashtbl.find_opt prog.Asm.labels l with
     | Some a -> a
-    | None -> fail "internal: missing label %s in module %s" l lm.lm_obj.Objfile.o_name
+    | None -> fail "internal: missing label %s in module %s" l obj.Objfile.o_name
+  in
+  let functions =
+    List.filter_map
+      (fun (fi : Objfile.fn_info) ->
+        if not fi.fi_defined then None
+        else
+          match Hashtbl.find_opt t.code_symbols fi.fi_name with
+          | Some addr ->
+            Some
+              {
+                Cfg.Cfggen.fname = fi.fi_name;
+                fty = fi.fi_ty;
+                faddr = addr;
+                faddress_taken = fi.fi_address_taken;
+              }
+          | None -> None)
+      obj.Objfile.o_functions
+  in
+  let extern_taken =
+    List.filter_map
+      (fun (fi : Objfile.fn_info) ->
+        if fi.fi_address_taken && not fi.fi_defined then Some fi.fi_name
+        else None)
+      obj.Objfile.o_functions
   in
   let sites =
     Array.of_list
-      (List.concat_map
-         (fun lm ->
-           List.map
-             (function
-               | Objfile.Site_return { fn } -> Cfg.Cfggen.Sreturn { fn }
-               | Objfile.Site_icall { fn; ty; ret_label } ->
-                 Cfg.Cfggen.Sicall { fn; ty; ret_addr = label_addr lm ret_label }
-               | Objfile.Site_itail { fn; ty } -> Cfg.Cfggen.Sitail { fn; ty }
-               | Objfile.Site_jumptable { fn; targets } ->
-                 Cfg.Cfggen.Sjumptable
-                   { fn; target_addrs = List.map (label_addr lm) targets }
-               | Objfile.Site_longjmp { fn } -> Cfg.Cfggen.Slongjmp { fn }
-               | Objfile.Site_plt { symbol } -> Cfg.Cfggen.Splt { symbol })
-             lm.lm_obj.Objfile.o_sites)
-         mods)
+      (List.map
+         (function
+           | Objfile.Site_return { fn } -> Cfg.Cfggen.Sreturn { fn }
+           | Objfile.Site_icall { fn; ty; ret_label } ->
+             Cfg.Cfggen.Sicall { fn; ty; ret_addr = label_addr ret_label }
+           | Objfile.Site_itail { fn; ty } -> Cfg.Cfggen.Sitail { fn; ty }
+           | Objfile.Site_jumptable { fn; targets } ->
+             Cfg.Cfggen.Sjumptable
+               { fn; target_addrs = List.map label_addr targets }
+           | Objfile.Site_longjmp { fn } -> Cfg.Cfggen.Slongjmp { fn }
+           | Objfile.Site_plt { symbol } -> Cfg.Cfggen.Splt { symbol })
+         obj.Objfile.o_sites)
   in
-  let direct_calls =
-    List.concat_map
-      (fun lm ->
-        List.map
-          (fun (dc : Objfile.direct_call) ->
-            (dc.dc_caller, dc.dc_callee, label_addr lm dc.dc_ret))
-          lm.lm_obj.Objfile.o_direct_calls)
-      mods
-  in
-  let tail_calls =
-    List.concat_map (fun lm -> lm.lm_obj.Objfile.o_tail_calls) mods
-  in
-  let setjmp_addrs =
-    List.concat_map
-      (fun lm -> List.map (label_addr lm) lm.lm_obj.Objfile.o_setjmp_sites)
-      mods
-  in
-  { env; functions; sites; direct_calls; tail_calls; setjmp_addrs }
+  {
+    Cfg.Cfggen.m_env = obj.Objfile.o_tyenv;
+    m_functions = functions;
+    m_extern_taken = extern_taken;
+    m_sites = sites;
+    m_slot_base = slot_base;
+    m_direct_calls =
+      List.map
+        (fun (dc : Objfile.direct_call) ->
+          (dc.dc_caller, dc.dc_callee, label_addr dc.dc_ret))
+        obj.Objfile.o_direct_calls;
+    m_tail_calls = obj.Objfile.o_tail_calls;
+    m_setjmp_addrs = List.map label_addr obj.Objfile.o_setjmp_sites;
+  }
 
-(* Regenerate the CFG and install it with one update transaction, binding
-   newly resolvable GOT entries between the two phases (paper §5.2). *)
-let update_cfg t =
+module SSet = Set.Make (String)
+
+(* Build the whole-program CFG-generator view from the per-module memos.
+   Address-taken is a union across modules (any taker flags the defining
+   module's function), exactly what [Cfggen.merge] computes internally. *)
+let cfg_input t : Cfg.Cfggen.input =
+  let inputs = List.rev_map (fun lm -> lm.lm_input) t.loaded in
+  let taken =
+    List.fold_left
+      (fun acc (m : Cfg.Cfggen.module_input) ->
+        let acc =
+          List.fold_left
+            (fun acc (f : Cfg.Cfggen.fn) ->
+              if f.faddress_taken then SSet.add f.fname acc else acc)
+            acc m.m_functions
+        in
+        List.fold_left (fun acc n -> SSet.add n acc) acc m.m_extern_taken)
+      SSet.empty inputs
+  in
+  {
+    Cfg.Cfggen.env =
+      Minic.Types.merge
+        (List.map (fun (m : Cfg.Cfggen.module_input) -> m.m_env) inputs);
+    functions =
+      List.concat_map
+        (fun (m : Cfg.Cfggen.module_input) ->
+          List.map
+            (fun (f : Cfg.Cfggen.fn) ->
+              { f with Cfg.Cfggen.faddress_taken = SSet.mem f.fname taken })
+            m.m_functions)
+        inputs;
+    sites =
+      Array.concat
+        (List.map (fun (m : Cfg.Cfggen.module_input) -> m.m_sites) inputs);
+    direct_calls =
+      List.concat_map
+        (fun (m : Cfg.Cfggen.module_input) -> m.m_direct_calls)
+        inputs;
+    tail_calls =
+      List.concat_map
+        (fun (m : Cfg.Cfggen.module_input) -> m.m_tail_calls)
+        inputs;
+    setjmp_addrs =
+      List.concat_map
+        (fun (m : Cfg.Cfggen.module_input) -> m.m_setjmp_addrs)
+        inputs;
+  }
+
+(* The differential oracle: a from-scratch [Cfggen.generate] over the
+   union view must agree bit-for-bit with (a) the incrementally
+   maintained assignment and (b) the ECNs actually installed in the live
+   tables — and every equivalence class must be version-uniform (the
+   carry rule's invariant: a class is readable iff all its slots agree
+   on version). *)
+let oracle_check t =
+  match t.tables with
+  | None -> Ok ()
+  | Some tables ->
+    let out = Cfg.Cfggen.generate (cfg_input t) in
+    let inc_tary, inc_bary = Cfg.Cfggen.state_tables t.cfg_state in
+    let live_tary =
+      List.map
+        (fun (a, id) -> (a, Idtables.Id.ecn id))
+        (Tables.tary_entries tables)
+    in
+    let live_bary =
+      List.map
+        (fun (k, id) -> (k, Idtables.Id.ecn id))
+        (Tables.bary_entries tables)
+    in
+    let versions = Hashtbl.create 64 in
+    let uniform = ref true in
+    List.iter
+      (fun (_, id) ->
+        let e = Idtables.Id.ecn id and v = Idtables.Id.version id in
+        match Hashtbl.find_opt versions e with
+        | Some v' when v' <> v -> uniform := false
+        | Some _ -> ()
+        | None -> Hashtbl.add versions e v)
+      (Tables.tary_entries tables @ Tables.bary_entries tables);
+    if t.incremental && inc_tary <> out.Cfg.Cfggen.tary then
+      Error "incremental Tary assignment diverges from full regeneration"
+    else if t.incremental && inc_bary <> out.Cfg.Cfggen.bary then
+      Error "incremental Bary assignment diverges from full regeneration"
+    else if
+      t.incremental
+      && Some (Cfg.Cfggen.state_stats t.cfg_state) <> t.last_stats
+    then Error "incremental stats diverge"
+    else if live_tary <> out.Cfg.Cfggen.tary then
+      Error "live Tary table diverges from full regeneration"
+    else if live_bary <> out.Cfg.Cfggen.bary then
+      Error "live Bary table diverges from full regeneration"
+    else if not !uniform then
+      Error "an equivalence class is not version-uniform"
+    else Ok ()
+
+(* Install the new CFG with one update transaction, binding newly
+   resolvable GOT entries between the two phases (paper §5.2).
+
+   Full mode regenerates from scratch and rewrites both tables
+   ([Tx.update]); incremental mode merges only the new module into the
+   persistent state and installs the returned delta ([Tx.update_delta]),
+   journalling the touched slots into the load journal's partial
+   snapshot from the transaction's [pre_install] hook. *)
+let update_cfg t j new_module =
   match t.tables with
   | None -> ()
   | Some tables ->
-    let t0 = Unix.gettimeofday () in
-    let input = cfg_input t in
-    let out = Cfg.Cfggen.generate input in
-    t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
-    t.last_stats <- Some out.Cfg.Cfggen.stats;
     let got_update () =
       Faults.hit Faults.Plan.During_got_update;
       t.pending_got <-
@@ -251,14 +385,57 @@ let update_cfg t =
             | None -> true)
           t.pending_got
     in
-    ignore
-      (Tx.update ~got_update tables ~tary:out.Cfg.Cfggen.tary
-         ~bary:out.Cfg.Cfggen.bary);
-    t.n_updates <- t.n_updates + 1
+    (if t.incremental then begin
+       let t0 = Unix.gettimeofday () in
+       let state, delta = Cfg.Cfggen.merge t.cfg_state new_module in
+       t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+       t.last_stats <- Some delta.Cfg.Cfggen.d_stats;
+       let source = function
+         | Cfg.Cfggen.Donor_tary a -> Tx.From_tary a
+         | Cfg.Cfggen.Donor_bary k -> Tx.From_bary k
+       in
+       let tary_carry =
+         List.map (fun (a, e, d) -> (a, e, source d)) delta.Cfg.Cfggen.d_tary_grow
+       in
+       let bary_carry =
+         List.map (fun (k, e, d) -> (k, e, source d)) delta.Cfg.Cfggen.d_bary_grow
+       in
+       let pre_install () =
+         j.pj_touched :=
+           Some
+             (Tables.snapshot_slots tables
+                ~tary:
+                  (List.map fst delta.Cfg.Cfggen.d_tary
+                  @ List.map (fun (a, _, _) -> a) delta.Cfg.Cfggen.d_tary_grow)
+                ~bary:
+                  (List.map fst delta.Cfg.Cfggen.d_bary
+                  @ List.map (fun (k, _, _) -> k) delta.Cfg.Cfggen.d_bary_grow))
+       in
+       ignore
+         (Tx.update_delta ~got_update ~pre_install tables
+            ~tary:delta.Cfg.Cfggen.d_tary ~bary:delta.Cfg.Cfggen.d_bary
+            ~tary_carry ~bary_carry);
+       t.cfg_state <- state
+     end
+     else begin
+       let t0 = Unix.gettimeofday () in
+       let out = Cfg.Cfggen.generate (cfg_input t) in
+       t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+       t.last_stats <- Some out.Cfg.Cfggen.stats;
+       ignore
+         (Tx.update ~got_update tables ~tary:out.Cfg.Cfggen.tary
+            ~bary:out.Cfg.Cfggen.bary)
+     end);
+    t.n_updates <- t.n_updates + 1;
+    if t.self_check then
+      match oracle_check t with
+      | Ok () -> ()
+      | Error msg -> fail "differential oracle: %s" msg
 
 (* The unprotected body of the dynamic-linking protocol.  Callers go
-   through [load], which journals the process first. *)
-let load_protocol t (obj : Objfile.t) =
+   through [load], which journals the process first; [j] is that journal
+   (the delta install stashes its touched-slot snapshot there). *)
+let load_protocol t j (obj : Objfile.t) =
   if obj.o_instrumented <> t.instrumented then
     fail "module %s is %sinstrumented but the process is %s" obj.o_name
       (if obj.o_instrumented then "" else "not ")
@@ -369,13 +546,17 @@ let load_protocol t (obj : Objfile.t) =
       | _ -> ())
     obj.o_sites;
   t.next_slot <- slot_base + nsites;
-  t.loaded <- { lm_obj = obj; lm_prog = prog; lm_slot_base = slot_base } :: t.loaded;
-  (* 9. regenerate and install the CFG (one update transaction) *)
-  update_cfg t
+  let lm_input = extract_module_input t obj prog ~slot_base in
+  t.loaded <-
+    { lm_obj = obj; lm_prog = prog; lm_slot_base = slot_base; lm_input }
+    :: t.loaded;
+  (* 9. generate and install the CFG (one update transaction): merge the
+     new module into the persistent state, or regenerate from scratch *)
+  update_cfg t j lm_input
 
 let load t obj =
   let j = capture_journal t in
-  try load_protocol t obj
+  try load_protocol t j obj
   with e ->
     let bt = Printexc.get_raw_backtrace () in
     rollback t j;
@@ -399,7 +580,8 @@ let start t =
             | () -> 0
             | exception
                 ( Error _ | Faults.Injected _ | Invalid_argument _
-                | Idtables.Tx.Version_space_exhausted ) ->
+                | Idtables.Tx.Version_space_exhausted
+                | Cfg.Cfggen.Too_many_classes _ ) ->
               -1)
           | None -> -1
           | exception Faults.Injected _ -> -1

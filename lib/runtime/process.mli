@@ -31,6 +31,16 @@ type t
     instrumented for (default [Mask]; see {!Vmisa.Abi.sandbox}).
     [verify] runs the verifier on every loaded module (default: same as
     [instrumented]).
+    [incremental] (default true) links incrementally: each load merges
+    only the new module into a persistent CFG merge state
+    ({!Cfg.Cfggen.merge}) and installs the resulting delta with
+    {!Idtables.Tx.update_delta}, so dlopen cost scales with the module,
+    not the program.  [~incremental:false] keeps the historical
+    regenerate-everything path ({!Cfg.Cfggen.generate} + full
+    {!Idtables.Tx.update}) — the baseline the benchmarks compare
+    against.
+    [self_check] (default false) runs {!oracle_check} after every
+    install and fails the load on divergence.
     [registry] maps module names to objects for [dlopen].
     [bary_slots], [code_capacity], [data_words] size the reserved
     regions. *)
@@ -38,6 +48,8 @@ val create :
   ?instrumented:bool ->
   ?sandbox:Vmisa.Abi.sandbox ->
   ?verify:bool ->
+  ?incremental:bool ->
+  ?self_check:bool ->
   ?registry:(string -> Mcfi_compiler.Objfile.t option) ->
   ?code_capacity:int ->
   ?data_words:int ->
@@ -85,8 +97,18 @@ val loaded_names : t -> string list
 val cfg_stats : t -> Cfg.Cfggen.stats option
 
 (** The CFG input view of the currently loaded modules — used by the
-    security-evaluation tools (AIR, gadget analysis). *)
+    security-evaluation tools (AIR, gadget analysis) and the
+    differential oracle.  Assembled from per-module memos extracted once
+    at load time, not by re-walking the object files. *)
 val cfg_input : t -> Cfg.Cfggen.input
+
+(** The differential oracle: regenerate the CFG from scratch over
+    {!cfg_input} and compare — bit for bit — against the incrementally
+    maintained assignment and the ECNs installed in the live tables,
+    and check that every equivalence class is version-uniform (the
+    delta install's carry invariant).  [Ok ()] on an uninstrumented
+    process.  [create ~self_check:true] runs this after every install. *)
+val oracle_check : t -> (unit, string) result
 
 (** [start t] sets the program counter at [_start].
     Raises {!Error} if no [_start] is loaded. *)

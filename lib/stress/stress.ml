@@ -591,3 +591,143 @@ let run sc =
     rp_anomalies = anomalies;
     rp_elapsed_s = Unix.gettimeofday () -. t0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Component C: check throughput during delta installs                 *)
+
+type throughput = {
+  tp_checks : int;
+  tp_checks_during_install : int;
+  tp_installs : int;
+  tp_carries : int;
+  tp_elapsed_s : float;
+  tp_install_s : float;
+}
+
+(* Unlike a full update, a delta leaves clean classes at their old
+   version, so a cross-class probe (a genuine violation attempt) sees
+   version skew that never resolves — the watchdog path decides it, as
+   in [torture_checker]; [check_fast]'s unbounded spin would livelock. *)
+let throughput_checker ~stop ~installing ~t ~prng ~targets ~slots () =
+  let rd = Tables.register_reader t in
+  let wd = { Tx.wd_deadline = 8; wd_on_expire = Tx.Wait_for_updater } in
+  let checks = ref 0 and during = ref 0 in
+  while not (Atomic.get stop) do
+    Tables.reader_quiescent rd;
+    let slot = Prng.int prng slots in
+    let target = torture_base + (4 * Prng.int prng targets) in
+    let overlapped = Atomic.get installing in
+    ignore (Tx.check ~watchdog:wd t ~bary_index:slot ~target);
+    incr checks;
+    if overlapped || Atomic.get installing then incr during
+  done;
+  Tables.unregister_reader t rd;
+  (!checks, !during)
+
+let install_throughput ?(checkers = 4) ?(installs = 256) ?(targets = 4096)
+    ?(slots = 4096) ?(classes = 64) ~seed () =
+  if classes < 3 then invalid_arg "Stress.install_throughput: classes < 3";
+  let prng = Prng.create seed in
+  let t =
+    Tables.create ~code_base:torture_base ~capacity:(4 * targets)
+      ~bary_slots:slots ()
+  in
+  (* Mirror of the installed assignment, kept class/version-consistent:
+     every delta rewrites *all* slots of the (few) classes it dirties,
+     exactly as the linker's [Cfggen] delta does, so concurrent checks
+     on untouched classes never see version skew. *)
+  let cur_bary = Array.init slots (fun _ -> Prng.int prng classes) in
+  let cur_tary =
+    Array.init targets (fun i ->
+        if Prng.int prng 4 = 0 then -1 else cur_bary.(i mod slots))
+  in
+  let addr i = torture_base + (4 * i) in
+  let full_tary () =
+    let acc = ref [] in
+    Array.iteri (fun i e -> if e >= 0 then acc := (addr i, e) :: !acc) cur_tary;
+    !acc
+  in
+  ignore
+    (Tx.update t ~tary:(full_tary ())
+       ~bary:(Array.to_list (Array.mapi (fun s e -> (s, e)) cur_bary)));
+  let stop = Atomic.make false in
+  let installing = Atomic.make false in
+  let chk_prngs = Array.init (max 1 checkers) (fun _ -> Prng.split prng) in
+  let doms =
+    Array.map
+      (fun prng ->
+        Domain.spawn
+          (throughput_checker ~stop ~installing ~t ~prng ~targets ~slots))
+      chk_prngs
+  in
+  let carries = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let install_s = ref 0.0 in
+  for _ = 1 to installs do
+    (* dirty two classes: shuffle membership between them, rewrite every
+       slot of both at the bumped version *)
+    let a = Prng.int prng classes in
+    let b = (a + 1 + Prng.int prng (classes - 1)) mod classes in
+    let tary_rw = ref [] and bary_rw = ref [] in
+    for s = 0 to slots - 1 do
+      let e = cur_bary.(s) in
+      if e = a || e = b then begin
+        let e' = if Prng.bool prng then a else b in
+        cur_bary.(s) <- e';
+        bary_rw := (s, e') :: !bary_rw
+      end
+    done;
+    for i = 0 to targets - 1 do
+      let e = cur_tary.(i) in
+      if e = a || e = b then begin
+        let e' = if Prng.bool prng then a else b in
+        cur_tary.(i) <- e';
+        tary_rw := (addr i, e') :: !tary_rw
+      end
+    done;
+    (* occasionally grow an untouched class through the carry path: a
+       hole joins it at the donor's current version *)
+    let tary_carry =
+      if Prng.int prng 4 <> 0 then []
+      else
+        let hole = ref (-1) and donor = ref (-1) in
+        (try
+           for i = 0 to targets - 1 do
+             let j = (i + Prng.int prng targets) mod targets in
+             if !hole < 0 && cur_tary.(j) < 0 then hole := j;
+             if
+               !donor < 0 && cur_tary.(j) >= 0 && cur_tary.(j) <> a
+               && cur_tary.(j) <> b
+             then donor := j;
+             if !hole >= 0 && !donor >= 0 then raise Exit
+           done
+         with Exit -> ());
+        if !hole < 0 || !donor < 0 then []
+        else begin
+          let e = cur_tary.(!donor) in
+          cur_tary.(!hole) <- e;
+          incr carries;
+          [ (addr !hole, e, Tx.From_tary (addr !donor)) ]
+        end
+    in
+    let i0 = Unix.gettimeofday () in
+    Atomic.set installing true;
+    ignore
+      (Tx.update_delta t ~tary:!tary_rw ~bary:!bary_rw ~tary_carry
+         ~bary_carry:[]);
+    Atomic.set installing false;
+    install_s := !install_s +. (Unix.gettimeofday () -. i0)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  let results = Array.map Domain.join doms in
+  let checks = Array.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let during = Array.fold_left (fun acc (_, d) -> acc + d) 0 results in
+  {
+    tp_checks = checks;
+    tp_checks_during_install = during;
+    tp_installs = installs;
+    tp_carries = !carries;
+    tp_elapsed_s = elapsed;
+    tp_install_s = !install_s;
+  }

@@ -85,3 +85,36 @@ val pp_report : Format.formatter -> report -> unit
     {!Faults.Stats} (the harness owns the process-global counters while
     it runs) and leaves no plan armed. *)
 val run : scenario -> report
+
+(** {2 Check throughput during delta installs}
+
+    The §8-style interference measurement for the incremental linker:
+    checker domains hammer {!Idtables.Tx.check_fast} while the main
+    domain streams {!Idtables.Tx.update_delta} transactions, each
+    dirtying two classes (every slot of both rewritten at the bumped
+    version, as the linker's delta does) and occasionally growing an
+    untouched class through the carry path. *)
+
+type throughput = {
+  tp_checks : int;  (** checks completed across all checker domains *)
+  tp_checks_during_install : int;
+      (** checks whose window overlapped an install *)
+  tp_installs : int;  (** delta installs performed *)
+  tp_carries : int;  (** installs that exercised a carry entry *)
+  tp_elapsed_s : float;  (** wall time of the whole install stream *)
+  tp_install_s : float;  (** cumulative wall time inside installs *)
+}
+
+(** [install_throughput ~seed ()] runs the scenario above and returns
+    the raw counts; callers derive rates ([tp_checks /. tp_elapsed_s],
+    [tp_checks_during_install /. tp_install_s]).  Deterministic workload
+    per [seed]; scheduling still varies. *)
+val install_throughput :
+  ?checkers:int ->
+  ?installs:int ->
+  ?targets:int ->
+  ?slots:int ->
+  ?classes:int ->
+  seed:int64 ->
+  unit ->
+  throughput

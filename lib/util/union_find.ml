@@ -53,3 +53,83 @@ let groups t =
   done;
   Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
   |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(* ---- growable variant (the incremental CFG generator's merge state:
+   keys arrive one module at a time and the structure must be cheap to
+   copy for the loader's rollback journal) ---- *)
+
+module Dynamic = struct
+  type t = {
+    mutable parent : int array;
+    mutable rank : int array;
+    mutable len : int;
+    mutable sets : int;
+  }
+
+  let create () = { parent = Array.make 16 0; rank = Array.make 16 0; len = 0; sets = 0 }
+
+  let copy t =
+    {
+      parent = Array.copy t.parent;
+      rank = Array.copy t.rank;
+      len = t.len;
+      sets = t.sets;
+    }
+
+  let size t = t.len
+  let count t = t.sets
+
+  let add t =
+    if t.len = Array.length t.parent then begin
+      let grow a fill =
+        let a' = Array.make (2 * Array.length a) fill in
+        Array.blit a 0 a' 0 t.len;
+        a'
+      in
+      t.parent <- grow t.parent 0;
+      t.rank <- grow t.rank 0
+    end;
+    let k = t.len in
+    t.parent.(k) <- k;
+    t.rank.(k) <- 0;
+    t.len <- t.len + 1;
+    t.sets <- t.sets + 1;
+    k
+
+  let check t x =
+    if x < 0 || x >= t.len then
+      invalid_arg
+        (Printf.sprintf "Union_find.Dynamic: key %d out of range [0,%d)" x t.len)
+
+  let rec find t x =
+    check t x;
+    let p = t.parent.(x) in
+    if p = x then x
+    else begin
+      let root = find t p in
+      t.parent.(x) <- root;
+      root
+    end
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if rx = ry then rx
+    else begin
+      t.sets <- t.sets - 1;
+      if t.rank.(rx) < t.rank.(ry) then begin
+        t.parent.(rx) <- ry;
+        ry
+      end
+      else if t.rank.(rx) > t.rank.(ry) then begin
+        t.parent.(ry) <- rx;
+        rx
+      end
+      else begin
+        t.parent.(ry) <- rx;
+        t.rank.(rx) <- t.rank.(rx) + 1;
+        rx
+      end
+    end
+
+  let same t x y = find t x = find t y
+end

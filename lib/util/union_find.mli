@@ -30,3 +30,35 @@ val count : t -> int
 (** [groups t] lists the sets, each as a (sorted) list of members, ordered by
     representative. *)
 val groups : t -> int list list
+
+(** Growable union-find: keys are allocated one at a time ([add]) instead
+    of up front, and the whole structure can be copied in O(n) — the shape
+    the incremental CFG generator's merge state needs (new modules bring
+    new equivalence-class keys; the loader's rollback journal keeps the
+    pre-merge copy). *)
+module Dynamic : sig
+  type t
+
+  (** An empty structure with no keys. *)
+  val create : unit -> t
+
+  (** An independent O(n) copy: mutations of either side do not affect
+      the other. *)
+  val copy : t -> t
+
+  (** Number of keys allocated so far. *)
+  val size : t -> int
+
+  (** Allocate the next key (= [size] before the call) as a singleton. *)
+  val add : t -> int
+
+  (** As {!Union_find.find}/[union]/[same], over allocated keys.
+      Raise [Invalid_argument] on unallocated keys. *)
+  val find : t -> int -> int
+
+  val union : t -> int -> int -> int
+  val same : t -> int -> int -> bool
+
+  (** Number of distinct sets. *)
+  val count : t -> int
+end

@@ -1,0 +1,126 @@
+(* Tier-1 smoke test for the BENCH_3.json report: run a scaled-down
+   version of everything the `bench json` section does — a short oracle-
+   checked dlopen chain and a small install-throughput scenario — then
+   assemble the report, round-trip it through the emitter and parser,
+   and validate the shape the perf trajectory relies on. *)
+
+module J = Mcfi.Benchjson
+
+let get path j =
+  match Option.bind (J.path path j) J.num with
+  | Some v -> v
+  | None -> Alcotest.failf "missing or non-finite %s" (String.concat "." path)
+
+let small_report () =
+  let samples = J.dlopen_chain ~modules:4 ~fns:3 ~rounds:1 () in
+  let tp =
+    Stress.install_throughput ~checkers:2 ~installs:24 ~targets:256 ~slots:256
+      ~classes:8 ~seed:0x7e57L ()
+  in
+  let torture =
+    J.Obj
+      [
+        ("checks", J.Num (float_of_int tp.Stress.tp_checks));
+        ("installs", J.Num (float_of_int tp.Stress.tp_installs));
+        ("carries", J.Num (float_of_int tp.Stress.tp_carries));
+        ( "checks_per_s",
+          J.Num (float_of_int tp.Stress.tp_checks /. tp.Stress.tp_elapsed_s) );
+        ( "installs_per_s",
+          J.Num (float_of_int tp.Stress.tp_installs /. tp.Stress.tp_elapsed_s)
+        );
+        ( "checks_during_install_per_s",
+          J.Num
+            (float_of_int tp.Stress.tp_checks_during_install
+            /. tp.Stress.tp_install_s) );
+      ]
+  in
+  J.report ~samples ~torture
+
+let test_report_roundtrip_and_validate () =
+  let report = small_report () in
+  (* the emitted text must re-parse to a report that still validates and
+     carries the same numbers *)
+  let text = J.to_string report in
+  let parsed =
+    match J.parse text with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "re-parse failed: %s" m
+  in
+  (match J.validate parsed with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "validation failed: %s" m);
+  Alcotest.(check (float 0.0))
+    "modules" 4.0
+    (get [ "modules" ] parsed);
+  let chain =
+    match J.path [ "cfggen"; "chain" ] parsed with
+    | Some (J.Arr rows) -> rows
+    | _ -> Alcotest.fail "cfggen.chain missing"
+  in
+  Alcotest.(check int) "chain rows" 4 (List.length chain);
+  List.iter
+    (fun row ->
+      let f = get [ "full_ms" ] row and i = get [ "incr_ms" ] row in
+      if f < 0.0 || i < 0.0 then Alcotest.fail "negative timing")
+    chain;
+  (* required keys, present and finite *)
+  List.iter
+    (fun p -> ignore (get p parsed))
+    [
+      [ "cfggen"; "last_full_ms" ];
+      [ "cfggen"; "last_incr_ms" ];
+      [ "cfggen"; "last_speedup" ];
+      [ "torture"; "checks_per_s" ];
+      [ "torture"; "installs_per_s" ];
+      [ "torture"; "checks_during_install_per_s" ];
+    ]
+
+let test_validate_rejects_gaps () =
+  let report = small_report () in
+  let drop key = function
+    | J.Obj kvs -> J.Obj (List.remove_assoc key kvs)
+    | j -> j
+  in
+  (match J.validate (drop "torture" report) with
+  | Ok () -> Alcotest.fail "validated without torture section"
+  | Error _ -> ());
+  (* a NaN serializes as null and must fail validation after re-parse *)
+  let poisoned =
+    match report with
+    | J.Obj kvs ->
+      J.Obj
+        (List.map
+           (function
+             | "modules", _ -> ("modules", J.Num Float.nan)
+             | kv -> kv)
+           kvs)
+    | j -> j
+  in
+  match J.parse (J.to_string poisoned) with
+  | Ok j -> (
+    match J.validate j with
+    | Ok () -> Alcotest.fail "validated a non-finite field"
+    | Error _ -> ())
+  | Error m -> Alcotest.failf "re-parse failed: %s" m
+
+let test_parser_basics () =
+  (match J.parse {| {"a": [1, 2.5, "x\n", true, null], "b": {}} |} with
+  | Ok (J.Obj [ ("a", J.Arr [ J.Num 1.0; J.Num 2.5; J.Str "x\n"; J.Bool true; J.Null ]); ("b", J.Obj []) ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (J.to_string j)
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  match J.parse "{\"a\": 1,}" with
+  | Ok _ -> Alcotest.fail "accepted trailing comma"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "benchjson"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "roundtrip & validate" `Quick
+            test_report_roundtrip_and_validate;
+          Alcotest.test_case "validation rejects gaps" `Quick
+            test_validate_rejects_gaps;
+          Alcotest.test_case "parser basics" `Quick test_parser_basics;
+        ] );
+    ]

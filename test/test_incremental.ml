@@ -1,0 +1,361 @@
+(* Differential oracle for incremental CFG generation (cfggen level),
+   and the randomized dlopen-chain test (process level).
+
+   The cfggen half builds random synthetic module streams and checks,
+   after every [Cfggen.merge], that the maintained state is bit-identical
+   to a from-scratch [Cfggen.generate] over the union of the modules —
+   ECN maps and stats — and that replaying the returned delta over a
+   model table reproduces the full maps.
+
+   The process half compiles real MiniC modules, loads them through
+   [Process.load] with the incremental path on, and compares the live
+   tables against full regeneration after every dlopen, including a
+   mid-chain load that fails and must roll back. *)
+
+open Cfg.Cfggen
+module Ast = Minic.Ast
+
+let ft params ret : Ast.fun_ty = { params; varargs = false; ret }
+let vft params ret : Ast.fun_ty = { params; varargs = true; ret }
+
+let ty_pool =
+  [|
+    ft [ Ast.Tint ] Ast.Tint;
+    ft [ Ast.Tint; Ast.Tint ] Ast.Tint;
+    ft [ Ast.Tptr Ast.Tchar ] Ast.Tint;
+    ft [] Ast.Tvoid;
+    vft [ Ast.Tint ] Ast.Tint;
+    ft [ Ast.Tptr Ast.Tint ] Ast.Tvoid;
+  |]
+
+(* ---------- synthetic module streams ---------- *)
+
+(* Module [k] defines functions "m<k>f<i>"; every module has at least
+   one, so "m<j>f0" is a valid cross-module reference for any [j] in the
+   chain — including modules not loaded yet, which exercises the
+   defined-later / taken-earlier transitions. *)
+let gen_module rng ~nmodules k =
+  let base = 0x10000 * (k + 1) in
+  let pick a = a.(Random.State.int rng (Array.length a)) in
+  let name j i = Printf.sprintf "m%df%d" j i in
+  let nfns = 1 + Random.State.int rng 4 in
+  let functions =
+    List.init nfns (fun i ->
+        {
+          fname = name k i;
+          fty = pick ty_pool;
+          faddr = base + (i * 0x40);
+          faddress_taken = Random.State.bool rng;
+        })
+  in
+  let any_name () = name (Random.State.int rng nmodules) 0 in
+  let extern_taken =
+    List.init (Random.State.int rng 3) (fun _ -> any_name ())
+  in
+  let next_addr = ref (base + 0x800) in
+  let fresh_addr () =
+    let a = !next_addr in
+    next_addr := a + 8;
+    a
+  in
+  let own () = (List.nth functions (Random.State.int rng nfns)).fname in
+  let sites = ref [] in
+  let add s = sites := s :: !sites in
+  List.iter
+    (fun f -> if Random.State.bool rng then add (Sreturn { fn = f.fname }))
+    functions;
+  for _ = 1 to Random.State.int rng 4 do
+    add (Sicall { fn = own (); ty = pick ty_pool; ret_addr = fresh_addr () })
+  done;
+  for _ = 1 to Random.State.int rng 2 do
+    add (Sitail { fn = own (); ty = pick ty_pool })
+  done;
+  if Random.State.int rng 3 = 0 then
+    add
+      (Sjumptable
+         {
+           fn = own ();
+           target_addrs =
+             List.init
+               (1 + Random.State.int rng 3)
+               (fun _ -> fresh_addr ());
+         });
+  if Random.State.int rng 4 = 0 then add (Slongjmp { fn = own () });
+  for _ = 1 to Random.State.int rng 2 do
+    add (Splt { symbol = any_name () })
+  done;
+  let direct_calls =
+    List.init (Random.State.int rng 3) (fun _ ->
+        (own (), any_name (), fresh_addr ()))
+  in
+  let tail_calls =
+    List.init (Random.State.int rng 3) (fun _ -> (own (), any_name ()))
+  in
+  let setjmp_addrs =
+    List.init (Random.State.int rng 2) (fun _ -> fresh_addr ())
+  in
+  {
+    m_env = Minic.Types.empty;
+    m_functions = functions;
+    m_extern_taken = extern_taken;
+    m_sites = Array.of_list (List.rev !sites);
+    m_slot_base = 0 (* fixed up by the caller *);
+    m_direct_calls = direct_calls;
+    m_tail_calls = tail_calls;
+    m_setjmp_addrs = setjmp_addrs;
+  }
+
+module SSet = Set.Make (String)
+
+(* The union view [generate] expects: address-taken is a program-wide
+   property, so a function is flagged if any module so far takes it. *)
+let combined_input modules =
+  let taken =
+    List.fold_left
+      (fun acc m ->
+        let acc =
+          List.fold_left
+            (fun acc f ->
+              if f.faddress_taken then SSet.add f.fname acc else acc)
+            acc m.m_functions
+        in
+        List.fold_left (fun acc n -> SSet.add n acc) acc m.m_extern_taken)
+      SSet.empty modules
+  in
+  {
+    env = Minic.Types.empty;
+    functions =
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun f -> { f with faddress_taken = SSet.mem f.fname taken })
+            m.m_functions)
+        modules;
+    sites = Array.concat (List.map (fun m -> m.m_sites) modules);
+    direct_calls = List.concat_map (fun m -> m.m_direct_calls) modules;
+    tail_calls = List.concat_map (fun m -> m.m_tail_calls) modules;
+    setjmp_addrs = List.concat_map (fun m -> m.m_setjmp_addrs) modules;
+  }
+
+let pairs = Alcotest.(list (pair int int))
+
+(* Replay a delta over a model of the installed tables; grow entries
+   must name a donor that exists and already carries the same ECN. *)
+let apply_delta (mt, mb) delta =
+  List.iter (fun (a, e) -> Hashtbl.replace mt a e) delta.d_tary;
+  List.iter (fun (s, e) -> Hashtbl.replace mb s e) delta.d_bary;
+  let donor_ecn = function
+    | Donor_tary a -> Hashtbl.find_opt mt a
+    | Donor_bary s -> Hashtbl.find_opt mb s
+  in
+  List.iter
+    (fun (a, e, d) ->
+      Alcotest.(check (option int)) "tary donor carries class ECN" (Some e)
+        (donor_ecn d);
+      Hashtbl.replace mt a e)
+    delta.d_tary_grow;
+  List.iter
+    (fun (s, e, d) ->
+      Alcotest.(check (option int)) "bary donor carries class ECN" (Some e)
+        (donor_ecn d);
+      Hashtbl.replace mb s e)
+    delta.d_bary_grow
+
+let sorted_of_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run_chain seed nmodules =
+  let rng = Random.State.make [| seed |] in
+  let modules =
+    List.init nmodules (fun k -> gen_module rng ~nmodules k)
+  in
+  let mt = Hashtbl.create 64 and mb = Hashtbl.create 64 in
+  let _final =
+    List.fold_left
+      (fun (state, loaded) m ->
+        let m = { m with m_slot_base = state_sites state } in
+        let state, delta = merge state m in
+        let loaded = loaded @ [ m ] in
+        let reference = generate (combined_input loaded) in
+        let inc_tary, inc_bary = state_tables state in
+        Alcotest.check pairs
+          (Printf.sprintf "seed %d: tary after module %d" seed
+             (List.length loaded))
+          reference.tary inc_tary;
+        Alcotest.check pairs
+          (Printf.sprintf "seed %d: bary after module %d" seed
+             (List.length loaded))
+          reference.bary inc_bary;
+        Alcotest.(check (triple int int int))
+          "stats"
+          ( reference.stats.n_ibs,
+            reference.stats.n_ibts,
+            reference.stats.n_eqcs )
+          ( (state_stats state).n_ibs,
+            (state_stats state).n_ibts,
+            (state_stats state).n_eqcs );
+        apply_delta (mt, mb) delta;
+        Alcotest.check pairs "delta replay reproduces tary" reference.tary
+          (sorted_of_tbl mt);
+        Alcotest.check pairs "delta replay reproduces bary" reference.bary
+          (sorted_of_tbl mb);
+        (state, loaded))
+      (empty_state (), [])
+      modules
+  in
+  ()
+
+let test_random_chains () =
+  for seed = 1 to 25 do
+    run_chain seed (3 + (seed mod 5))
+  done
+
+let test_merge_misuse () =
+  let m =
+    {
+      m_env = Minic.Types.empty;
+      m_functions =
+        [ { fname = "f"; fty = ty_pool.(0); faddr = 0x100; faddress_taken = true } ];
+      m_extern_taken = [];
+      m_sites = [| Sreturn { fn = "f" } |];
+      m_slot_base = 0;
+      m_direct_calls = [];
+      m_tail_calls = [];
+      m_setjmp_addrs = [];
+    }
+  in
+  let s, _ = merge (empty_state ()) m in
+  Alcotest.check_raises "slot base mismatch"
+    (Invalid_argument "Cfggen.merge: slot base 0, expected 1") (fun () ->
+      ignore (merge s m));
+  Alcotest.check_raises "duplicate definition"
+    (Invalid_argument "Cfggen.merge: duplicate definition of f") (fun () ->
+      ignore (merge s { m with m_slot_base = 1 }))
+
+(* A state copy must be independent: merging into the new state must not
+   disturb the snapshot kept for rollback. *)
+let test_merge_preserves_input_state () =
+  let rng = Random.State.make [| 7 |] in
+  let m0 = gen_module rng ~nmodules:2 0 in
+  let m1 =
+    let m = gen_module rng ~nmodules:2 1 in
+    { m with m_slot_base = Array.length m0.m_sites }
+  in
+  let s0, _ = merge (empty_state ()) m0 in
+  let before = state_tables s0 in
+  let _ = merge s0 m1 in
+  Alcotest.check pairs "tary untouched" (fst before) (fst (state_tables s0));
+  Alcotest.check pairs "bary untouched" (snd before) (snd (state_tables s0))
+
+let cfggen_tests =
+  [
+    Alcotest.test_case "randomized chains: merge ≡ generate" `Quick
+      test_random_chains;
+    Alcotest.test_case "merge misuse raises" `Quick test_merge_misuse;
+    Alcotest.test_case "merge does not mutate its input" `Quick
+      test_merge_preserves_input_state;
+  ]
+
+(* ---------- process level: real modules through [Process.load] ---------- *)
+
+module Process = Mcfi_runtime.Process
+
+(* A random self-contained MiniC module: int(int) functions (sometimes
+   also an int(int,int)) taken through local pointer arrays and called
+   indirectly, so type classes overlap across every module of a chain. *)
+let module_src rng k =
+  let b = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let nf = 1 + Random.State.int rng 3 in
+  for i = 0 to nf - 1 do
+    p "int m%d_f%d(int x) { return x * %d + %d; }\n" k i
+      (1 + Random.State.int rng 5)
+      (Random.State.int rng 100)
+  done;
+  let two = Random.State.bool rng in
+  if two then
+    p "int m%d_g0(int x, int y) { return x + y * %d; }\n" k
+      (1 + Random.State.int rng 3);
+  p "int m%d_go(int n) {\n" k;
+  p "  int (*fp[%d])(int);\n" nf;
+  if two then p "  int (*gp)(int, int);\n";
+  p "  int s;\n  int i;\n";
+  for i = 0 to nf - 1 do
+    p "  fp[%d] = m%d_f%d;\n" i k i
+  done;
+  if two then p "  gp = m%d_g0;\n" k;
+  p "  s = 0;\n";
+  p "  for (i = 0; i < n; i = i + 1) {\n";
+  p "    s = s + fp[i %% %d](i);\n" nf;
+  if two then p "    s = s + gp(s, i);\n";
+  p "  }\n  return s;\n}\n";
+  Buffer.contents b
+
+let obj_of name src =
+  Mcfi.Pipeline.instrument (Mcfi.Pipeline.compile_module ~name src)
+
+let check_oracle proc what =
+  match Process.oracle_check proc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "oracle %s: %s" what m
+
+let test_process_chain () =
+  for seed = 1 to 4 do
+    let rng = Random.State.make [| 0xC0FFEE + seed |] in
+    let exe =
+      Mcfi.Pipeline.link_executable
+        ~sources:[ ("main", "int main() { return 0; }") ]
+        ()
+    in
+    let inc = Process.create ~incremental:true () in
+    let full = Process.create ~incremental:false () in
+    Process.load inc exe;
+    Process.load full exe;
+    let nmods = 4 + Random.State.int rng 3 in
+    (* one load fails and must roll back somewhere mid-chain *)
+    let fail_at = 1 + Random.State.int rng (nmods - 1) in
+    for k = 0 to nmods - 1 do
+      if k = fail_at then begin
+        (* redefines m0_f0, which module 0 already owns: the load dies
+           after layout and must leave no trace *)
+        let bad =
+          obj_of
+            (Printf.sprintf "bad%d" seed)
+            ("int m0_f0(int x) { return x; }\n" ^ module_src rng 99)
+        in
+        let names_before = Process.loaded_names inc in
+        (match Process.load inc bad with
+        | () -> Alcotest.fail "duplicate-symbol load unexpectedly succeeded"
+        | exception _ -> ());
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d: rollback leaves modules intact" seed)
+          names_before
+          (Process.loaded_names inc);
+        check_oracle inc "after mid-chain rollback"
+      end;
+      let src = module_src rng k in
+      Process.load inc (obj_of (Printf.sprintf "m%d" k) src);
+      Process.load full (obj_of (Printf.sprintf "m%d" k) src);
+      (* incremental tables ≡ a from-scratch generate over everything *)
+      check_oracle inc (Printf.sprintf "seed %d after module %d" seed k);
+      (* and the merged state agrees with the full-regeneration twin *)
+      match (Process.cfg_stats inc, Process.cfg_stats full) with
+      | Some a, Some b ->
+        Alcotest.(check (triple int int int))
+          (Printf.sprintf "seed %d: stats vs full twin after module %d" seed k)
+          (b.n_ibs, b.n_ibts, b.n_eqcs)
+          (a.n_ibs, a.n_ibts, a.n_eqcs)
+      | _ -> Alcotest.fail "missing cfg stats"
+    done
+  done
+
+let process_tests =
+  [
+    Alcotest.test_case "randomized dlopen chains with rollback" `Quick
+      test_process_chain;
+  ]
+
+let () =
+  Alcotest.run "incremental"
+    [ ("cfggen-oracle", cfggen_tests); ("process-oracle", process_tests) ]

@@ -161,6 +161,50 @@ let test_output_capture () =
   | r -> Alcotest.failf "run: %a" Machine.pp_exit_reason r);
   Alcotest.(check string) "printed" "104" (Machine.output m)
 
+let test_null_page_rejected_everywhere () =
+  (* word 0 is the unmapped NULL page for the host-side accessors too:
+     [read_data]/[write_data] reject it exactly as [Load]/[Store] trap on
+     it, and [read_string] treats it as the end of mapped memory *)
+  let m = boot [ Instr.Nop ] in
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted address 0" name
+  in
+  rejects "read_data" (fun () -> Machine.read_data m 0);
+  rejects "write_data" (fun () -> Machine.write_data m 0 1);
+  rejects "read_data oob" (fun () -> Machine.read_data m (Machine.data_size m));
+  Alcotest.(check string) "read_string at 0" "" (Machine.read_string m 0);
+  (* address 1 stays accessible *)
+  Machine.write_data m 1 (Char.code 'x');
+  Machine.write_data m 2 0;
+  Alcotest.(check int) "word 1 readable" (Char.code 'x') (Machine.read_data m 1);
+  Alcotest.(check string) "string at 1" "x" (Machine.read_string m 1)
+
+let test_decode_cache_invalidation () =
+  (* the flat decode memo must forget stale decodings across truncate +
+     re-append: run an image, roll it back, load different bytes at the
+     same addresses, and check the new bytes' semantics (not the old) *)
+  let m = boot Instr.[ Mov_ri (1, 7); Mov_ri (0, Abi.sys_exit); Syscall ] in
+  (match Machine.run ~fuel:100 m with
+  | Machine.Exited 7 -> ()
+  | r -> Alcotest.failf "first image: %a" Machine.pp_exit_reason r);
+  Machine.truncate_code m ~code_end:Abi.code_base;
+  ignore
+    (Machine.append_code m
+       (Encode.encode_all
+          Instr.[ Mov_ri (1, 9); Mov_ri (0, Abi.sys_exit); Syscall ]));
+  Machine.set_pc m Abi.code_base;
+  (match Machine.run ~fuel:100 m with
+  | Machine.Exited 9 -> ()
+  | r -> Alcotest.failf "second image: %a" Machine.pp_exit_reason r);
+  (* a fully truncated region is unfetchable again *)
+  Machine.truncate_code m ~code_end:Abi.code_base;
+  Machine.set_pc m Abi.code_base;
+  (match Machine.run ~fuel:100 m with
+  | Machine.Fault _ -> ()
+  | r -> Alcotest.failf "truncated region: %a" Machine.pp_exit_reason r)
+
 let test_sbrk_allocates_monotonically () =
   let m = boot [ Instr.Nop ] in
   let a = Machine.sbrk m 10 in
@@ -184,6 +228,10 @@ let () =
           Alcotest.test_case "null load" `Quick test_null_load_faults;
           Alcotest.test_case "div by zero" `Quick test_div_zero_faults;
           Alcotest.test_case "runs off code" `Quick test_fetch_off_code_faults;
+          Alcotest.test_case "null page rejected everywhere" `Quick
+            test_null_page_rejected_everywhere;
+          Alcotest.test_case "decode cache invalidation" `Quick
+            test_decode_cache_invalidation;
         ] );
       ( "security-relevant",
         [

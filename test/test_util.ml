@@ -47,6 +47,76 @@ let prop_uf_count_invariant =
       List.iter (fun (a, b) -> ignore (Uf.union t a b)) pairs;
       Uf.count t = List.length (Uf.groups t))
 
+(* ---- the growable variant backing the incremental CFG merge ---- *)
+
+let test_ufd_add_and_union () =
+  let t = Uf.Dynamic.create () in
+  Alcotest.(check int) "empty" 0 (Uf.Dynamic.size t);
+  let a = Uf.Dynamic.add t in
+  let b = Uf.Dynamic.add t in
+  let c = Uf.Dynamic.add t in
+  Alcotest.(check (list int)) "keys are dense" [ 0; 1; 2 ] [ a; b; c ];
+  Alcotest.(check int) "three singletons" 3 (Uf.Dynamic.count t);
+  ignore (Uf.Dynamic.union t a b);
+  Alcotest.(check bool) "a~b" true (Uf.Dynamic.same t a b);
+  Alcotest.(check bool) "a!~c" false (Uf.Dynamic.same t a c);
+  Alcotest.(check int) "two sets" 2 (Uf.Dynamic.count t);
+  (* keys added after a union start as singletons *)
+  let d = Uf.Dynamic.add t in
+  Alcotest.(check bool) "d alone" false (Uf.Dynamic.same t a d);
+  Alcotest.(check int) "three sets" 3 (Uf.Dynamic.count t)
+
+let test_ufd_copy_independent () =
+  let t = Uf.Dynamic.create () in
+  let a = Uf.Dynamic.add t in
+  let b = Uf.Dynamic.add t in
+  let snapshot = Uf.Dynamic.copy t in
+  ignore (Uf.Dynamic.union t a b);
+  let c = Uf.Dynamic.add t in
+  Alcotest.(check bool) "merged in original" true (Uf.Dynamic.same t a b);
+  Alcotest.(check bool)
+    "snapshot untouched" false
+    (Uf.Dynamic.same snapshot a b);
+  Alcotest.(check int) "snapshot size" 2 (Uf.Dynamic.size snapshot);
+  (* and the other direction: mutating the copy leaves the original alone *)
+  let snapshot2 = Uf.Dynamic.copy t in
+  ignore (Uf.Dynamic.union snapshot2 a c);
+  Alcotest.(check bool) "original unaffected" false (Uf.Dynamic.same t a c)
+
+let test_ufd_unallocated_raises () =
+  let t = Uf.Dynamic.create () in
+  ignore (Uf.Dynamic.add t);
+  Alcotest.(check bool)
+    "find on unallocated raises" true
+    (match Uf.Dynamic.find t 1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_ufd_matches_static =
+  (* the dynamic structure grown to n keys behaves like [create n] under
+     the same union sequence *)
+  QCheck.Test.make ~name:"Dynamic ≡ static under same unions" ~count:200
+    QCheck.(
+      list_of_size (QCheck.Gen.int_bound 30) (pair (int_bound 14) (int_bound 14)))
+    (fun pairs ->
+      let n = 15 in
+      let s = Uf.create n in
+      let d = Uf.Dynamic.create () in
+      for _ = 1 to n do
+        ignore (Uf.Dynamic.add d)
+      done;
+      List.iter
+        (fun (a, b) ->
+          ignore (Uf.union s a b);
+          ignore (Uf.Dynamic.union d a b))
+        pairs;
+      Uf.count s = Uf.Dynamic.count d
+      && List.for_all
+           (fun (a, b) -> Uf.same s a b = Uf.Dynamic.same d a b)
+           (List.concat_map
+              (fun a -> List.init n (fun b -> (a, b)))
+              (List.init n Fun.id)))
+
 let test_prng_deterministic () =
   let a = Prng.create 42L and b = Prng.create 42L in
   let xs = List.init 20 (fun _ -> Prng.next a) in
@@ -85,6 +155,15 @@ let () =
           Alcotest.test_case "out of range" `Quick test_uf_out_of_range;
         ] );
       ("union_find props", qc [ prop_uf_union_same; prop_uf_count_invariant ]);
+      ( "union_find dynamic",
+        [
+          Alcotest.test_case "add & union" `Quick test_ufd_add_and_union;
+          Alcotest.test_case "copy is independent" `Quick
+            test_ufd_copy_independent;
+          Alcotest.test_case "unallocated raises" `Quick
+            test_ufd_unallocated_raises;
+        ] );
+      ("union_find dynamic props", qc [ prop_ufd_matches_static ]);
       ( "prng",
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
