@@ -1,4 +1,4 @@
-.PHONY: all check faults test bench bench-json torture clean
+.PHONY: all check faults test bench bench-json telemetry torture clean
 
 all:
 	dune build
@@ -19,9 +19,16 @@ bench:
 	dune exec bench/main.exe
 
 # machine-readable benchmark report: the incremental-linking scaling
-# curve and install-throughput numbers, written to BENCH_3.json
+# curve, install-throughput and telemetry-overhead numbers, written to
+# the schema-versioned file Benchjson.output_file (BENCH_4.json today)
 bench-json:
 	dune exec bench/main.exe -- json
+
+# telemetry overhead: torture check throughput with the instrumentation
+# enabled vs disabled (budget: ratio >= 0.95), plus the un-amortized
+# single-domain per-check price
+telemetry:
+	dune exec bench/main.exe -- telemetry
 
 # sustained multi-domain torture: several large scenarios with updater
 # kills and loader storms, every outcome validated by the history oracle

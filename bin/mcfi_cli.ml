@@ -6,6 +6,8 @@
      compile   compile modules to .mobj object files (separately!)
      inspect   print an object file's code, sites and type information
      analyze   run the C1/C2 analyzer on a source file
+     stats     execute under full telemetry and export the metrics
+     trace     execute under telemetry and print the event trace
      torture   seeded multi-domain torture of the runtime protocols
      bench     list the built-in benchmark suite
 
@@ -14,7 +16,10 @@
      mcfi run --plain prog.mc
      mcfi compile -o prog.mobj prog.mc
      mcfi inspect prog.mobj
-     mcfi analyze prog.mc *)
+     mcfi analyze prog.mc
+     mcfi stats prog.mc --format prometheus
+     mcfi trace prog.mc --last 25
+     mcfi torture --telemetry *)
 
 open Cmdliner
 
@@ -253,6 +258,111 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"report C1 violations (paper Tables 1 and 2)")
     Term.(const analyze $ file $ verbose)
 
+(* ---- stats / trace: run a program under telemetry ---- *)
+
+(* Shared runner: compile FILE (plus any --dl modules), execute it with
+   telemetry in detail mode (exact outcome tallies — a one-shot program
+   run is not the place to sample), and hand the process back. *)
+let observed_run file fuel dynamic =
+  Telemetry.enable ();
+  Telemetry.set_detail true;
+  Telemetry.reset ();
+  let dynamic = List.map (fun p -> (module_name p, read_file p)) dynamic in
+  let proc =
+    Mcfi.Pipeline.build_process
+      ~sources:[ (module_name file, read_file file) ]
+      ~dynamic ()
+  in
+  let reason = Mcfi_runtime.Process.run ~fuel proc in
+  (proc, reason)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniC source file")
+
+let fuel_arg =
+  Arg.(value & opt int 500_000_000 & info [ "fuel" ]
+         ~doc:"instruction budget")
+
+let dynamic_arg =
+  Arg.(value & opt_all file [] & info [ "dl" ]
+         ~doc:"MiniC module loadable at runtime via dlopen(name)")
+
+let stats_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("pretty", `Pretty); ("prometheus", `Prometheus);
+                       ("json", `Json) ]) `Pretty
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"output format: $(b,pretty), $(b,prometheus) or $(b,json)")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"suppress the program's own output")
+  in
+  let stats file format quiet fuel dynamic =
+    match observed_run file fuel dynamic with
+    | proc, reason ->
+      let m = Mcfi_runtime.Process.machine proc in
+      if not quiet then print_string (Mcfi_runtime.Machine.output m);
+      (match format with
+      | `Prometheus -> print_string (Telemetry.Export.prometheus ())
+      | `Json -> print_endline (Telemetry.Export.json ())
+      | `Pretty ->
+        Fmt.pr "%a@." Telemetry.Export.pp_stats ();
+        (match Mcfi_runtime.Machine.profile m with
+        | [] -> ()
+        | prof ->
+          Fmt.pr "instructions retired by class:@.";
+          List.iter (fun (cls, n) -> Fmt.pr "  %-16s %12d@." cls n) prof);
+        (match Mcfi_runtime.Machine.branch_profile m with
+        | [] -> ()
+        | bp ->
+          Fmt.pr "indirect-branch site executions (Bary slot: count):@.";
+          List.iter (fun (slot, n) -> Fmt.pr "  %4d: %d@." slot n) bp));
+      (match reason with Mcfi_runtime.Machine.Exited 0 -> 0 | _ -> 1)
+    | exception Mcfi.Pipeline.Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"execute a program under full telemetry and export the metrics")
+    Term.(const stats $ file_arg $ format $ quiet $ fuel_arg $ dynamic_arg)
+
+let trace_cmd =
+  let last =
+    Arg.(value & opt int 40 & info [ "last" ] ~docv:"N"
+           ~doc:"print only the last N events (0 = all)")
+  in
+  let trace file last fuel dynamic =
+    match observed_run file fuel dynamic with
+    | _proc, reason ->
+      let events = Telemetry.drain () in
+      let total = List.length events in
+      let shown =
+        if last > 0 && total > last then begin
+          Fmt.pr "... (%d earlier events)@." (total - last);
+          List.filteri (fun i _ -> i >= total - last) events
+        end
+        else events
+      in
+      List.iter (Fmt.pr "%a@." Telemetry.Event.pp) shown;
+      Fmt.pr "%d events in trace (%d emitted, %d dropped to wraparound)@."
+        total
+        (Telemetry.events_emitted ())
+        (Telemetry.events_dropped ());
+      (match reason with Mcfi_runtime.Machine.Exited 0 -> 0 | _ -> 1)
+    | exception Mcfi.Pipeline.Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"execute a program under telemetry and print the merged event \
+             trace")
+    Term.(const trace $ file_arg $ last $ fuel_arg $ dynamic_arg)
+
 (* ---- torture ---- *)
 
 let torture_cmd =
@@ -290,7 +400,15 @@ let torture_cmd =
     Arg.(value & opt (some int) None & info [ "loads" ]
            ~doc:"override: loader-storm dlopen count (0 = storm off)")
   in
-  let torture seed scenarios long checkers updaters updates kill_every loads =
+  let telemetry =
+    Arg.(value & flag & info [ "telemetry" ]
+           ~doc:"run with telemetry enabled and print the stats report \
+                 after each scenario (sampled mode: the low-overhead \
+                 production default)")
+  in
+  let torture seed scenarios long checkers updaters updates kill_every loads
+      telemetry =
+    if telemetry then Telemetry.enable ();
     let override v o = Option.value o ~default:v in
     let scenario i =
       let seed = Int64.add seed (Int64.of_int i) in
@@ -320,6 +438,7 @@ let torture_cmd =
       Fmt.pr "@[<v>scenario %d/%d: %a@]@." (i + 1) n Stress.pp_scenario sc;
       let r = Stress.run sc in
       Fmt.pr "%a@.@." Stress.pp_report r;
+      if telemetry then Fmt.pr "%a@.@." Telemetry.Export.pp_stats ();
       if r.Stress.rp_anomalies <> [] then incr failures
     done;
     if !failures > 0 then begin
@@ -334,7 +453,7 @@ let torture_cmd =
        ~doc:"multi-domain torture of the transaction and linking protocols, \
              validated by the epoch-history oracle")
     Term.(const torture $ seed $ scenarios $ long $ checkers $ updaters
-          $ updates $ kill_every $ loads)
+          $ updates $ kill_every $ loads $ telemetry)
 
 (* ---- bench ---- *)
 
@@ -357,4 +476,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
-            torture_cmd; bench_cmd ]))
+            stats_cmd; trace_cmd; torture_cmd; bench_cmd ]))

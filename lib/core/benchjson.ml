@@ -289,12 +289,21 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
 
 (* ---- report assembly and validation ---- *)
 
-let report ~samples ~torture =
+(* The schema identity.  The emitting bench derives its output file name
+   from these, so bumping [schema_version] is the single change that
+   moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
+let schema = "mcfi-bench"
+let schema_version = 4
+let output_file = Printf.sprintf "BENCH_%d.json" schema_version
+
+let report ~samples ~torture ~telemetry =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
     Obj
       [
+        ("schema", Str schema);
+        ("schema_version", Num (float_of_int schema_version));
         ("bench", Str "incremental-linking");
         ("modules", Num (float_of_int (List.length samples)));
         ( "cfggen",
@@ -316,6 +325,7 @@ let report ~samples ~torture =
               ("last_speedup", Num (last.ls_full_ms /. last.ls_incr_ms));
             ] );
         ("torture", torture);
+        ("telemetry", telemetry);
       ]
 
 let validate j =
@@ -326,6 +336,20 @@ let validate j =
       Error (Printf.sprintf "%s: missing or non-finite %s" where (String.concat "." p))
   in
   let ( let* ) = Result.bind in
+  let* () =
+    match member "schema" j with
+    | Some (Str s) when s = schema -> Ok ()
+    | Some (Str s) -> Error (Printf.sprintf "schema: %S, expected %S" s schema)
+    | _ -> Error "schema: missing or not a string"
+  in
+  let* () =
+    match Option.bind (member "schema_version" j) num with
+    | Some v when v = float_of_int schema_version -> Ok ()
+    | Some v ->
+      Error
+        (Printf.sprintf "schema_version: %g, expected %d" v schema_version)
+    | None -> Error "schema_version: missing or not a number"
+  in
   let* () = check_num "cfggen" [ "modules" ] in
   let* () = check_num "cfggen" [ "cfggen"; "last_full_ms" ] in
   let* () = check_num "cfggen" [ "cfggen"; "last_incr_ms" ] in
@@ -350,4 +374,8 @@ let validate j =
   let* () = check_num "torture" [ "torture"; "checks_per_s" ] in
   let* () = check_num "torture" [ "torture"; "installs_per_s" ] in
   let* () = check_num "torture" [ "torture"; "checks_during_install_per_s" ] in
+  let* () = check_num "telemetry" [ "telemetry"; "disabled_checks_per_s" ] in
+  let* () = check_num "telemetry" [ "telemetry"; "enabled_checks_per_s" ] in
+  let* () = check_num "telemetry" [ "telemetry"; "throughput_ratio" ] in
+  let* () = check_num "telemetry" [ "telemetry"; "overhead_pct" ] in
   Ok ()

@@ -1,4 +1,4 @@
-(** Machine-readable benchmark reports ([BENCH_3.json]).
+(** Machine-readable benchmark reports ({!output_file}).
 
     A dependency-free JSON value type with an emitter and a small parser
     (the tier-1 smoke test re-parses what the bench emits), plus the
@@ -55,14 +55,30 @@ type link_sample = {
 val dlopen_chain :
   ?modules:int -> ?fns:int -> ?rounds:int -> unit -> link_sample list
 
-(** Assemble the [BENCH_3.json] document.  [torture] is the
-    check-throughput-during-install section (built by the caller from
-    {!Stress.install_throughput} data — the stress library sits above
-    this one).  [samples] must be non-empty. *)
-val report : samples:link_sample list -> torture:t -> t
+(** {2 Schema identity} *)
 
-(** Check the report shape the smoke test relies on: the chain is
-    non-empty with finite timings, the last-link summary and speedup are
-    finite, and the torture section carries finite [checks_per_s],
-    [installs_per_s] and [checks_during_install_per_s]. *)
+(** The schema name stamped into every report ("mcfi-bench"). *)
+val schema : string
+
+(** The report schema version; {!validate} requires an exact match. *)
+val schema_version : int
+
+(** The file name the emitting bench writes, derived from
+    {!schema_version} ("BENCH_<version>.json"). *)
+val output_file : string
+
+(** Assemble the report document.  [torture] is the
+    check-throughput-during-install section and [telemetry] the
+    instrumentation-overhead section (both built by the caller from
+    [Stress] data — the stress library sits above this one).
+    [samples] must be non-empty. *)
+val report : samples:link_sample list -> torture:t -> telemetry:t -> t
+
+(** Check the report shape the smoke test relies on: the schema
+    name/version match this build, the chain is non-empty with finite
+    timings, the last-link summary and speedup are finite, the torture
+    section carries finite [checks_per_s], [installs_per_s] and
+    [checks_during_install_per_s], and the telemetry section carries
+    finite [disabled_checks_per_s], [enabled_checks_per_s],
+    [throughput_ratio] and [overhead_pct]. *)
 val validate : t -> (unit, string) result

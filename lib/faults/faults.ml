@@ -19,6 +19,15 @@ module Plan = struct
       Link_merge;
     ]
 
+  let point_code = function
+    | Nth_tary_write -> 0
+    | Between_tary_and_bary -> 1
+    | After_code_append -> 2
+    | During_verification -> 3
+    | During_got_update -> 4
+    | Registry_lookup -> 5
+    | Link_merge -> 6
+
   let point_name = function
     | Nth_tary_write -> "nth-tary-write"
     | Between_tary_and_bary -> "between-tary-and-bary"
@@ -54,15 +63,21 @@ module Stats = struct
     recoveries : int;
     retries : int;
     watchdog_fires : int;
+    halts : int;
+    waits : int;
+    failed_checks : int;
   }
 
-  (* Atomics: the retry and watchdog counters are bumped from checker
-     domains. *)
+  (* Atomics: the retry, watchdog and escalation counters are bumped from
+     checker domains. *)
   let injected = Atomic.make 0
   let rollbacks = Atomic.make 0
   let recoveries = Atomic.make 0
   let retries = Atomic.make 0
   let watchdog_fires = Atomic.make 0
+  let halts = Atomic.make 0
+  let waits = Atomic.make 0
+  let failed_checks = Atomic.make 0
 
   let snapshot () =
     {
@@ -71,6 +86,9 @@ module Stats = struct
       recoveries = Atomic.get recoveries;
       retries = Atomic.get retries;
       watchdog_fires = Atomic.get watchdog_fires;
+      halts = Atomic.get halts;
+      waits = Atomic.get waits;
+      failed_checks = Atomic.get failed_checks;
     }
 
   let reset () =
@@ -78,16 +96,25 @@ module Stats = struct
     Atomic.set rollbacks 0;
     Atomic.set recoveries 0;
     Atomic.set retries 0;
-    Atomic.set watchdog_fires 0
+    Atomic.set watchdog_fires 0;
+    Atomic.set halts 0;
+    Atomic.set waits 0;
+    Atomic.set failed_checks 0
 
   let pp ppf s =
-    Fmt.pf ppf "injected=%d rollbacks=%d recoveries=%d retries=%d watchdog=%d"
-      s.injected s.rollbacks s.recoveries s.retries s.watchdog_fires
+    Fmt.pf ppf
+      "injected=%d rollbacks=%d recoveries=%d retries=%d watchdog=%d \
+       halts=%d waits=%d failed-checks=%d"
+      s.injected s.rollbacks s.recoveries s.retries s.watchdog_fires s.halts
+      s.waits s.failed_checks
 
   let count_rollback () = Atomic.incr rollbacks
   let count_recovery () = Atomic.incr recoveries
   let count_retry () = Atomic.incr retries
   let count_watchdog () = Atomic.incr watchdog_fires
+  let count_halt () = Atomic.incr halts
+  let count_wait () = Atomic.incr waits
+  let count_failed_check () = Atomic.incr failed_checks
 end
 
 (* Hooks are crossed by every domain running a protocol, so the armed
@@ -127,6 +154,8 @@ let armed () =
 
 let fire point =
   Atomic.incr Stats.injected;
+  Telemetry.emit Telemetry.Event.Fault_injected ~a:(Plan.point_code point)
+    ~b:0 ~c:0;
   raise (Injected point)
 
 let hit point =

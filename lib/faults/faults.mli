@@ -42,6 +42,9 @@ module Plan : sig
     | Link_merge  (** inside the static linker's merge / PLT synthesis *)
 
   val all_points : point list
+  val point_code : point -> int
+  (** Stable ordinal, carried in {!Telemetry.Event.Fault_injected}. *)
+
   val point_name : point -> string
   val pp_point : Format.formatter -> point -> unit
 
@@ -69,6 +72,15 @@ module Stats : sig
     watchdog_fires : int;
         (** update watchdogs that expired: a check transaction's retry
             deadline passed with the tables still version-skewed *)
+    halts : int;
+        (** expired watchdogs escalated as [Halt_process] (check returns
+            [Violation]) *)
+    waits : int;
+        (** expired watchdogs escalated as [Wait_for_updater] that took
+            the update lock to redo a torn install *)
+    failed_checks : int;
+        (** checks abandoned as [Retries_exhausted] — the [Fail_check]
+            escalation, or a wait whose recovery still left skew *)
   }
 
   val snapshot : unit -> t
@@ -82,6 +94,9 @@ module Stats : sig
   val count_recovery : unit -> unit
   val count_retry : unit -> unit
   val count_watchdog : unit -> unit
+  val count_halt : unit -> unit
+  val count_wait : unit -> unit
+  val count_failed_check : unit -> unit
 end
 
 (** [arm plan] installs [plan]; it replaces any previously armed plan. *)

@@ -222,12 +222,19 @@ let count_update t = Atomic.incr t.updates_since_quiesce
 
 let set_observer t o = t.observer <- o
 
+(* The notify hooks also feed the trace: begin is emitted by whichever
+   domain starts the install, complete by whichever finishes it — the
+   original updater, or the lock holder that redid a dead updater's
+   journal — so begins and completes stay balanced per version across
+   kills and recoveries. *)
 let notify_begin t ~version ~tag =
+  Telemetry.emit Telemetry.Event.Update_begin ~a:version ~b:tag ~c:0;
   match t.observer with
   | None -> ()
   | Some o -> o.obs_begin ~version ~tag
 
 let notify_complete t ~version ~tag =
+  Telemetry.emit Telemetry.Event.Update_commit ~a:version ~b:tag ~c:0;
   match t.observer with
   | None -> ()
   | Some o -> o.obs_complete ~version ~tag

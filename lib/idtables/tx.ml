@@ -18,6 +18,14 @@ let pp_watchdog ppf w =
   Fmt.pf ppf "watchdog(deadline=%d, %a)" w.wd_deadline pp_escalation
     w.wd_on_expire
 
+(* Telemetry metrics for the transaction layer.  Registration is
+   module-init-time; the observe calls are no-ops while telemetry is
+   disabled.  (Check latency and retries-per-check are recorded by
+   [Telemetry.check_end] itself.) *)
+let m_watchdog_wait = Telemetry.Metrics.histogram "mcfi_watchdog_wait_rounds"
+let m_install_ns = Telemetry.Metrics.histogram "mcfi_install_ns"
+let m_delta_writes = Telemetry.Metrics.histogram "mcfi_delta_writes"
+
 (* Bounded exponential backoff: 2^round pause hints, capped at 64, so a
    checker spinning against a long update yields the core without ever
    sleeping (checks must stay syscall-free). *)
@@ -28,6 +36,10 @@ let backoff round =
   done
 
 let check_fast ?on_retry t ~bary_index ~target =
+  (* The production path stays event-free: a scalar per-domain tally is
+     all the observability it gets, so the enabled cost is two plain
+     increments and the disabled cost one atomic load. *)
+  Telemetry.fast_check ();
   let rec go round =
     let bid = Tables.bary_read t bary_index in
     let tid = Tables.tary_read t target in
@@ -35,6 +47,7 @@ let check_fast ?on_retry t ~bary_index ~target =
     else if not (Id.valid tid) then false
     else if not (Id.same_version bid tid) then begin
       (* version skew: an update transaction is in flight *)
+      Telemetry.fast_retry ();
       Domain.cpu_relax ();
       (match on_retry with None -> () | Some f -> f round);
       go (round + 1)
@@ -186,6 +199,7 @@ let recover_locked t =
         t ~version:j_version ~tary_writes ~bary_writes);
     Tables.set_journal t None;
     Faults.Stats.count_recovery ();
+    Telemetry.emit Telemetry.Event.Update_recover ~a:j_version ~b:j_tag ~c:0;
     Tables.notify_complete t ~version:j_version ~tag:j_tag;
     true
 
@@ -193,6 +207,9 @@ let recover t = Tables.with_update_lock t (fun () -> recover_locked t)
 
 let check ?max_retries ?(escalation = Fail_check) ?watchdog
     ?(on_retry = fun () -> ()) t ~bary_index ~target =
+  let ctx = Telemetry.check_begin () in
+  let telemetry_on = ctx <> 0 in
+  let nretries = ref 0 in
   let rec attempt ~recovered budget round =
     let bid = Tables.bary_read t bary_index in
     let tid = Tables.tary_read t target in
@@ -207,6 +224,16 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog
           (* the skew outlived the deadline: the update-lock holder is
              stalled, or a dead updater left the tables torn *)
           Faults.Stats.count_watchdog ();
+          if telemetry_on then begin
+            (* [a] is the table version the skew was observed against:
+               the install responsible published its Update_begin for
+               this (or a later) version at a smaller sequence number,
+               which is what makes the fire attributable from the
+               merged trace. *)
+            Telemetry.emit Telemetry.Event.Watchdog_fire
+              ~a:(Tables.version t) ~b:bary_index ~c:round;
+            Telemetry.Metrics.observe m_watchdog_wait round
+          end;
           escalate w.wd_on_expire ~recovered
         | _ ->
           retry round;
@@ -218,23 +245,56 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog
     else Violation
   and retry round =
     Faults.Stats.count_retry ();
+    if telemetry_on then begin
+      incr nretries;
+      (* A sampled check traces its whole retry loop; unsampled checks
+         only tally.  During an install every checker retries at once, so
+         an unconditional per-retry event would contend the global trace
+         sequence across domains. *)
+      if Telemetry.ctx_sampled ctx then
+        Telemetry.emit Telemetry.Event.Check_retry ~a:bary_index ~b:target
+          ~c:round
+    end;
     on_retry ();
     backoff round
   and escalate esc ~recovered =
     match esc with
-    | Fail_check -> Retries_exhausted
-    | Halt_process -> Violation
+    | Fail_check ->
+      Faults.Stats.count_failed_check ();
+      Retries_exhausted
+    | Halt_process ->
+      Faults.Stats.count_halt ();
+      Violation
     | Wait_for_updater ->
-      if recovered then Retries_exhausted
+      if recovered then begin
+        (* waited once already and the skew persists: give up *)
+        Faults.Stats.count_failed_check ();
+        Retries_exhausted
+      end
       else begin
         (* Taking the update lock waits out a live updater; a dead one
            left its journal, which the redo completes.  Either way the
            skew is resolved — re-attempt once with a fresh budget. *)
+        Faults.Stats.count_wait ();
         ignore (recover t);
         attempt ~recovered:true max_retries 0
       end
   in
-  attempt ~recovered:false max_retries 0
+  let outcome = attempt ~recovered:false max_retries 0 in
+  (* Only a sampled or detail-mode check has exit work; the common
+     enabled check ends on this single inlined bit test.  Per-check
+     events or shared counters here would make every checker domain
+     fight over the same cache lines, which measures as tens of percent
+     of check throughput — rare structural events (watchdog fires,
+     update lifecycle, faults) are the only always-on emissions. *)
+  if Telemetry.ctx_active ctx then begin
+    let code =
+      match outcome with Pass -> 0 | Violation -> 1 | Retries_exhausted -> 2
+    in
+    Telemetry.check_end ctx ~outcome:code ~slot:bary_index ~target
+      ~retries:!nretries
+  end;
+  outcome
 
 (* The hard ABA wall: at [Id.max_version - 1] updates with no declared
    quiescence the next update could wrap the version space under a
@@ -281,7 +341,10 @@ let update_locked ?(tag = -1) ~got_update t ~tary ~bary =
          j_tag = tag;
        });
   Tables.notify_begin t ~version ~tag;
+  let t_install = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
   install_locked ~faults:true ~got_update t ~version ~new_tary ~new_bary;
+  if t_install > 0 then
+    Telemetry.Metrics.observe m_install_ns (Telemetry.now_ns () - t_install);
   Tables.set_journal t None;
   Tables.notify_complete t ~version ~tag;
   version
@@ -342,8 +405,14 @@ let update_delta_locked ?(tag = -1) ~got_update ~pre_install t ~tary ~bary
          j_tag = tag;
        });
   Tables.notify_begin t ~version ~tag;
+  let t_install = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
   install_delta_locked ~faults:true ~got_update t ~version ~tary_writes
     ~bary_writes;
+  if t_install > 0 then begin
+    Telemetry.Metrics.observe m_install_ns (Telemetry.now_ns () - t_install);
+    Telemetry.Metrics.observe m_delta_writes
+      (List.length tary_writes + List.length bary_writes)
+  end;
   Tables.set_journal t None;
   Tables.notify_complete t ~version ~tag;
   version

@@ -40,7 +40,36 @@ type t = {
   prng : Mcfi_util.Prng.t;
   mutable dl_handler : (t -> int -> string -> int) option;
   mutable attacker : (t -> unit) option;
+  (* execution profile, filled only while telemetry is enabled: retired
+     instructions per class, and executions per Bary slot (i.e. per
+     indirect-branch enforcement site).  Plain state — a machine is
+     single-domain. *)
+  profile : int array;
+  branch_counts : (int, int) Hashtbl.t;
 }
+
+(* instruction classes for the execution profile *)
+let n_classes = 12
+
+let class_names =
+  [|
+    "mov"; "alu"; "mem"; "stack"; "cmp"; "jump"; "call-direct";
+    "call-indirect"; "ret"; "syscall"; "table"; "other";
+  |]
+
+let instr_class = function
+  | Instr.Mov_ri _ | Instr.Mov_rr _ -> 0
+  | Instr.Binop _ | Instr.Binop_i _ | Instr.Test_ri _ -> 1
+  | Instr.Load _ | Instr.Store _ -> 2
+  | Instr.Push _ | Instr.Pop _ -> 3
+  | Instr.Cmp_rr _ | Instr.Cmp_ri _ | Instr.Cmp_lo _ -> 4
+  | Instr.Jmp _ | Instr.Jcc _ -> 5
+  | Instr.Call _ -> 6
+  | Instr.Call_r _ | Instr.Jmp_r _ -> 7
+  | Instr.Ret -> 8
+  | Instr.Syscall -> 9
+  | Instr.Tary_load _ | Instr.Bary_load _ -> 10
+  | Instr.Nop | Instr.Halt -> 11
 
 let create ?tables ?(seed = 1L) ~code_base ~code_capacity ~data_words () =
   {
@@ -66,6 +95,8 @@ let create ?tables ?(seed = 1L) ~code_base ~code_capacity ~data_words () =
     prng = Mcfi_util.Prng.create seed;
     dl_handler = None;
     attacker = None;
+    profile = Array.make n_classes 0;
+    branch_counts = Hashtbl.create 64;
   }
 
 let append_code m img =
@@ -322,6 +353,22 @@ let exec m i size =
 let current_instr m =
   match fetch m m.pc with Some (i, _) -> Some i | None -> None
 
+let profile_count m i =
+  let k = instr_class i in
+  m.profile.(k) <- m.profile.(k) + 1;
+  match i with
+  | Instr.Bary_load (_, idx) ->
+    let cur = try Hashtbl.find m.branch_counts idx with Not_found -> 0 in
+    Hashtbl.replace m.branch_counts idx (cur + 1)
+  | _ -> ()
+
+let profile m =
+  Array.to_list (Array.mapi (fun k n -> (class_names.(k), n)) m.profile)
+
+let branch_profile m =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.branch_counts [])
+
 let step m =
   match
     (match m.attacker with Some a -> a m | None -> ());
@@ -329,6 +376,7 @@ let step m =
     | None -> trap (Fault (Printf.sprintf "bad instruction fetch at 0x%x" m.pc))
     | Some (i, size) ->
       m.nsteps <- m.nsteps + 1;
+      if Telemetry.enabled () then profile_count m i;
       exec m i size
   with
   | () -> None

@@ -109,6 +109,15 @@ val read_string : t -> int -> string
     decodes — tests and tracers use this to observe committed transfers. *)
 val current_instr : t -> Vmisa.Instr.t option
 
+(** Execution profile, recorded only while [Telemetry.enabled]: retired
+    instructions per class ([(class name, count)], all classes listed,
+    fixed order). *)
+val profile : t -> (string * int) list
+
+(** Executions per Bary slot — i.e. per indirect-branch enforcement
+    site — recorded only while [Telemetry.enabled]; sorted by slot. *)
+val branch_profile : t -> (int * int) list
+
 (** [step m] executes one instruction; [None] means the machine is still
     running. *)
 val step : t -> exit_reason option

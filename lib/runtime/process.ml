@@ -9,6 +9,33 @@ exception Error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
+(* ---- install-span telemetry ----
+
+   Each phase of the dynamic-linking protocol is bracketed by
+   Span_begin/Span_end trace events (balanced even when a phase dies on
+   an injected fault — the end is emitted on the unwind) and feeds a
+   per-phase duration histogram, so a slow install can be attributed to
+   extraction, merge, journalling, table writes or the oracle. *)
+let m_load_extract = Telemetry.Metrics.histogram "mcfi_load_extract_ns"
+let m_load_merge = Telemetry.Metrics.histogram "mcfi_load_merge_ns"
+let m_load_journal = Telemetry.Metrics.histogram "mcfi_load_journal_ns"
+let m_load_table_write = Telemetry.Metrics.histogram "mcfi_load_table_write_ns"
+let m_load_oracle = Telemetry.Metrics.histogram "mcfi_load_oracle_ns"
+let m_load_total = Telemetry.Metrics.histogram "mcfi_load_total_ns"
+
+let span phase hist ~load f =
+  if not (Telemetry.enabled ()) then f ()
+  else begin
+    Telemetry.emit Telemetry.Event.Span_begin ~a:phase ~b:load ~c:0;
+    let t0 = Telemetry.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let ns = Telemetry.now_ns () - t0 in
+        Telemetry.Metrics.observe hist ns;
+        Telemetry.emit Telemetry.Event.Span_end ~a:phase ~b:load ~c:ns)
+      f
+  end
+
 type loaded = {
   lm_obj : Objfile.t;
   lm_prog : Asm.program;
@@ -164,6 +191,9 @@ let restore_table dst src =
   Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
 
 let rollback t j =
+  Telemetry.emit Telemetry.Event.Update_rollback
+    ~a:(List.length t.loaded - List.length j.pj_loaded)
+    ~b:0 ~c:0;
   (* data words the failed load allocated revert to zero *)
   for a = j.pj_brk to Machine.brk t.mach - 1 do
     Machine.write_data t.mach a 0
@@ -385,9 +415,13 @@ let update_cfg t j new_module =
             | None -> true)
           t.pending_got
     in
+    let load = t.n_updates in
     (if t.incremental then begin
        let t0 = Unix.gettimeofday () in
-       let state, delta = Cfg.Cfggen.merge t.cfg_state new_module in
+       let state, delta =
+         span Telemetry.Event.phase_merge m_load_merge ~load (fun () ->
+             Cfg.Cfggen.merge t.cfg_state new_module)
+       in
        t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
        t.last_stats <- Some delta.Cfg.Cfggen.d_stats;
        let source = function
@@ -401,34 +435,49 @@ let update_cfg t j new_module =
          List.map (fun (k, e, d) -> (k, e, source d)) delta.Cfg.Cfggen.d_bary_grow
        in
        let pre_install () =
-         j.pj_touched :=
-           Some
-             (Tables.snapshot_slots tables
-                ~tary:
-                  (List.map fst delta.Cfg.Cfggen.d_tary
-                  @ List.map (fun (a, _, _) -> a) delta.Cfg.Cfggen.d_tary_grow)
-                ~bary:
-                  (List.map fst delta.Cfg.Cfggen.d_bary
-                  @ List.map (fun (k, _, _) -> k) delta.Cfg.Cfggen.d_bary_grow))
+         span Telemetry.Event.phase_journal m_load_journal ~load (fun () ->
+             j.pj_touched :=
+               Some
+                 (Tables.snapshot_slots tables
+                    ~tary:
+                      (List.map fst delta.Cfg.Cfggen.d_tary
+                      @ List.map
+                          (fun (a, _, _) -> a)
+                          delta.Cfg.Cfggen.d_tary_grow)
+                    ~bary:
+                      (List.map fst delta.Cfg.Cfggen.d_bary
+                      @ List.map
+                          (fun (k, _, _) -> k)
+                          delta.Cfg.Cfggen.d_bary_grow)))
        in
-       ignore
-         (Tx.update_delta ~got_update ~pre_install tables
-            ~tary:delta.Cfg.Cfggen.d_tary ~bary:delta.Cfg.Cfggen.d_bary
-            ~tary_carry ~bary_carry);
+       span Telemetry.Event.phase_table_write m_load_table_write ~load
+         (fun () ->
+           ignore
+             (Tx.update_delta ~got_update ~pre_install tables
+                ~tary:delta.Cfg.Cfggen.d_tary ~bary:delta.Cfg.Cfggen.d_bary
+                ~tary_carry ~bary_carry));
        t.cfg_state <- state
      end
      else begin
        let t0 = Unix.gettimeofday () in
-       let out = Cfg.Cfggen.generate (cfg_input t) in
+       let out =
+         span Telemetry.Event.phase_merge m_load_merge ~load (fun () ->
+             Cfg.Cfggen.generate (cfg_input t))
+       in
        t.cfg_ms <- t.cfg_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
        t.last_stats <- Some out.Cfg.Cfggen.stats;
-       ignore
-         (Tx.update ~got_update tables ~tary:out.Cfg.Cfggen.tary
-            ~bary:out.Cfg.Cfggen.bary)
+       span Telemetry.Event.phase_table_write m_load_table_write ~load
+         (fun () ->
+           ignore
+             (Tx.update ~got_update tables ~tary:out.Cfg.Cfggen.tary
+                ~bary:out.Cfg.Cfggen.bary))
      end);
     t.n_updates <- t.n_updates + 1;
     if t.self_check then
-      match oracle_check t with
+      match
+        span Telemetry.Event.phase_oracle m_load_oracle ~load (fun () ->
+            oracle_check t)
+      with
       | Ok () -> ()
       | Error msg -> fail "differential oracle: %s" msg
 
@@ -546,7 +595,10 @@ let load_protocol t j (obj : Objfile.t) =
       | _ -> ())
     obj.o_sites;
   t.next_slot <- slot_base + nsites;
-  let lm_input = extract_module_input t obj prog ~slot_base in
+  let lm_input =
+    span Telemetry.Event.phase_extract m_load_extract ~load:t.n_updates
+      (fun () -> extract_module_input t obj prog ~slot_base)
+  in
   t.loaded <-
     { lm_obj = obj; lm_prog = prog; lm_slot_base = slot_base; lm_input }
     :: t.loaded;
@@ -556,7 +608,9 @@ let load_protocol t j (obj : Objfile.t) =
 
 let load t obj =
   let j = capture_journal t in
-  try load_protocol t j obj
+  try
+    span Telemetry.Event.phase_load m_load_total ~load:t.n_updates (fun () ->
+        load_protocol t j obj)
   with e ->
     let bt = Printexc.get_raw_backtrace () in
     rollback t j;

@@ -79,6 +79,7 @@ type report = {
   rp_loads_failed : int;
   rp_quiesces : int;
   rp_anomalies : anomaly list;
+  rp_trace : Telemetry.Event.t list;
   rp_elapsed_s : float;
 }
 
@@ -88,7 +89,7 @@ let pp_report ppf r =
      installs %d, kills %d, recoveries %d, quiesces %d@,\
      retries %d, watchdog fires %d@,\
      loads %d ok / %d failed, rollbacks %d@,\
-     anomalies %d%a@,\
+     anomalies %d%a%a@,\
      elapsed %.2fs@]"
     r.rp_checks r.rp_passes r.rp_violations r.rp_exhausted r.rp_installs
     r.rp_kills r.rp_recoveries r.rp_quiesces r.rp_retries r.rp_watchdog_fires
@@ -97,7 +98,15 @@ let pp_report ppf r =
     (fun ppf -> function
       | [] -> ()
       | l -> Fmt.pf ppf ":@,  @[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_anomaly) l)
-    r.rp_anomalies r.rp_elapsed_s
+    r.rp_anomalies
+    (fun ppf -> function
+      | [] -> ()
+      | tr ->
+        Fmt.pf ppf "@,trace evidence (%d most recent events):@,  @[<v>%a@]"
+          (List.length tr)
+          (Fmt.list ~sep:Fmt.cut Telemetry.Event.pp)
+          tr)
+    r.rp_trace r.rp_elapsed_s
 
 (* ------------------------------------------------------------------ *)
 (* Seeded CFG pool                                                     *)
@@ -543,12 +552,20 @@ let run_storm sc prng =
 
 let empty_tallies : tally array = [||]
 
+(* trace evidence attached to an anomalous report: enough tail to see
+   the installs and watchdog fires around the bad check, small enough to
+   print *)
+let max_trace_evidence = 256
+
 let run sc =
   let sc =
     { sc with checkers = max 1 sc.checkers; updaters = max 1 sc.updaters }
   in
   Faults.disarm ();
   Faults.Stats.reset ();
+  (* the harness owns the process-global trace while it runs, exactly as
+     it owns [Faults.Stats] *)
+  if Telemetry.enabled () then Telemetry.reset ();
   let t0 = Unix.gettimeofday () in
   let master = Prng.create sc.seed in
   let pool_prng = Prng.split master in
@@ -573,6 +590,17 @@ let run sc =
         (fun acc y -> List.rev_append y.y_anomalies acc)
         [] tallies
   in
+  (* an anomaly stops being a bare counter: ship the merged trace tail
+     as evidence alongside it *)
+  let trace =
+    if anomalies <> [] && Telemetry.enabled () then begin
+      let all = Telemetry.drain () in
+      let n = List.length all in
+      if n <= max_trace_evidence then all
+      else List.filteri (fun i _ -> i >= n - max_trace_evidence) all
+    end
+    else []
+  in
   {
     rp_scenario = sc;
     rp_checks = sum (fun y -> y.y_checks);
@@ -589,6 +617,7 @@ let run sc =
     rp_loads_failed = loads_failed;
     rp_quiesces = quiesces;
     rp_anomalies = anomalies;
+    rp_trace = trace;
     rp_elapsed_s = Unix.gettimeofday () -. t0;
   }
 

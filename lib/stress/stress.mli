@@ -76,14 +76,18 @@ type report = {
   rp_loads_failed : int;  (** failed loads (faults, duplicates) — all rolled back *)
   rp_quiesces : int;  (** quiescence points declared on the torture tables *)
   rp_anomalies : anomaly list;
+  rp_trace : Telemetry.Event.t list;
+      (** merged trace tail attached as evidence when the run is
+          anomalous and [Telemetry.enabled]; empty otherwise *)
   rp_elapsed_s : float;
 }
 
 val pp_report : Format.formatter -> report -> unit
 
 (** [run scenario] executes the scenario and returns its report.  Resets
-    {!Faults.Stats} (the harness owns the process-global counters while
-    it runs) and leaves no plan armed. *)
+    {!Faults.Stats} — and, when telemetry is enabled, the process-global
+    trace/metrics (the harness owns both while it runs) — and leaves no
+    plan armed. *)
 val run : scenario -> report
 
 (** {2 Check throughput during delta installs}

@@ -1,8 +1,9 @@
-(* Tier-1 smoke test for the BENCH_3.json report: run a scaled-down
-   version of everything the `bench json` section does — a short oracle-
-   checked dlopen chain and a small install-throughput scenario — then
-   assemble the report, round-trip it through the emitter and parser,
-   and validate the shape the perf trajectory relies on. *)
+(* Tier-1 smoke test for the Benchjson.output_file report: run a
+   scaled-down version of everything the `bench json` section does — a
+   short oracle-checked dlopen chain and a small install-throughput
+   scenario — then assemble the report, round-trip it through the
+   emitter and parser, and validate the shape the perf trajectory
+   relies on. *)
 
 module J = Mcfi.Benchjson
 
@@ -34,7 +35,16 @@ let small_report () =
             /. tp.Stress.tp_install_s) );
       ]
   in
-  J.report ~samples ~torture
+  let telemetry =
+    J.Obj
+      [
+        ("disabled_checks_per_s", J.Num 1e6);
+        ("enabled_checks_per_s", J.Num 0.97e6);
+        ("throughput_ratio", J.Num 0.97);
+        ("overhead_pct", J.Num 3.0);
+      ]
+  in
+  J.report ~samples ~torture ~telemetry
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -73,7 +83,38 @@ let test_report_roundtrip_and_validate () =
       [ "torture"; "checks_per_s" ];
       [ "torture"; "installs_per_s" ];
       [ "torture"; "checks_during_install_per_s" ];
+      [ "telemetry"; "throughput_ratio" ];
+      [ "telemetry"; "overhead_pct" ];
     ]
+
+let test_schema_identity () =
+  let report = small_report () in
+  (* the report is keyed by an explicit schema name + version, and the
+     artifact file name is derived from the version (one bump point) *)
+  (match J.member "schema" report with
+  | Some (J.Str s) -> Alcotest.(check string) "schema" J.schema s
+  | _ -> Alcotest.fail "schema field missing");
+  Alcotest.(check (float 0.0))
+    "schema_version"
+    (float_of_int J.schema_version)
+    (get [ "schema_version" ] report);
+  Alcotest.(check string)
+    "output_file derived from version"
+    (Printf.sprintf "BENCH_%d.json" J.schema_version)
+    J.output_file;
+  (* a version bump (or a foreign schema) must fail validation: the
+     driver that trends these reports keys on the exact pair *)
+  let rekey k v = function
+    | J.Obj kvs ->
+      J.Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) kvs)
+    | j -> j
+  in
+  (match J.validate (rekey "schema_version" (J.Num (float_of_int (J.schema_version + 1))) report) with
+  | Ok () -> Alcotest.fail "validated a bumped schema_version"
+  | Error _ -> ());
+  match J.validate (rekey "schema" (J.Str "other-bench") report) with
+  | Ok () -> Alcotest.fail "validated a foreign schema name"
+  | Error _ -> ()
 
 let test_validate_rejects_gaps () =
   let report = small_report () in
@@ -121,6 +162,7 @@ let () =
             test_report_roundtrip_and_validate;
           Alcotest.test_case "validation rejects gaps" `Quick
             test_validate_rejects_gaps;
+          Alcotest.test_case "schema identity" `Quick test_schema_identity;
           Alcotest.test_case "parser basics" `Quick test_parser_basics;
         ] );
     ]

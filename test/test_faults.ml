@@ -399,6 +399,35 @@ let test_retry_counter_counts () =
   Alcotest.(check int) "7 retries counted" (before + 7)
     (Faults.Stats.snapshot ()).Faults.Stats.retries
 
+let test_escalation_outcome_counters () =
+  (* each escalation outcome bumps its own robustness counter *)
+  let snap () = Faults.Stats.snapshot () in
+  let t = mk_tables () in
+  skew_without_journal t;
+  let before = snap () in
+  ignore
+    (Tx.check t ~max_retries:5 ~escalation:Tx.Halt_process ~bary_index:0
+       ~target:0x1000);
+  Alcotest.(check int) "halt counted"
+    (before.Faults.Stats.halts + 1)
+    (snap ()).Faults.Stats.halts;
+  let before = snap () in
+  ignore
+    (Tx.check t ~max_retries:5 ~escalation:Tx.Fail_check ~bary_index:0
+       ~target:0x1000);
+  Alcotest.(check int) "failed check counted"
+    (before.Faults.Stats.failed_checks + 1)
+    (snap ()).Faults.Stats.failed_checks;
+  let t2 = mk_tables () in
+  tear_between_phases t2;
+  let before = snap () in
+  ignore
+    (Tx.check t2 ~max_retries:5 ~escalation:Tx.Wait_for_updater ~bary_index:0
+       ~target:0x1004);
+  Alcotest.(check int) "wait counted"
+    (before.Faults.Stats.waits + 1)
+    (snap ()).Faults.Stats.waits
+
 let test_rollback_counter_counts () =
   let proc = mk_proc () in
   let before = (Faults.Stats.snapshot ()).Faults.Stats.rollbacks in
@@ -547,6 +576,8 @@ let () =
           Alcotest.test_case "wait without updater exhausts" `Quick
             test_escalation_wait_without_updater_exhausts;
           Alcotest.test_case "retry counter" `Quick test_retry_counter_counts;
+          Alcotest.test_case "outcome counters" `Quick
+            test_escalation_outcome_counters;
         ] );
       ( "pre-existing unhappy paths",
         [
