@@ -1,4 +1,5 @@
-.PHONY: all check faults test bench bench-json telemetry torture clean
+.PHONY: all check faults test bench bench-json telemetry torture fuzz \
+	fuzz-replay clean
 
 all:
 	dune build
@@ -19,8 +20,9 @@ bench:
 	dune exec bench/main.exe
 
 # machine-readable benchmark report: the incremental-linking scaling
-# curve, install-throughput and telemetry-overhead numbers, written to
-# the schema-versioned file Benchjson.output_file (BENCH_4.json today)
+# curve, install-throughput, telemetry-overhead and fuzzing-throughput
+# numbers, written to the schema-versioned file Benchjson.output_file
+# (BENCH_5.json today)
 bench-json:
 	dune exec bench/main.exe -- json
 
@@ -34,6 +36,20 @@ telemetry:
 # kills and loader storms, every outcome validated by the history oracle
 torture:
 	dune exec --profile ci bin/mcfi_cli.exe -- torture --long
+
+# property-based fuzzing: random MiniC programs through the full
+# pipeline against the differential oracle bank; failures shrink into
+# replayable files under corpus/
+fuzz:
+	dune exec bin/mcfi_cli.exe -- fuzz --seed 1 --iters 2000
+
+# re-run every committed counterexample; fails on any regression
+# (a corpus file failing a *different* oracle than it recorded)
+fuzz-replay:
+	@files=$$(ls corpus/*.c 2>/dev/null); \
+	if [ -z "$$files" ]; then echo "corpus/ has no counterexamples"; \
+	else dune exec bin/mcfi_cli.exe -- fuzz \
+	  $$(for f in $$files; do echo --replay $$f; done); fi
 
 clean:
 	dune clean

@@ -24,9 +24,12 @@
      telemetry- instrumentation overhead: torture check throughput and
                 tight single-domain check latency with the telemetry
                 layer off vs on (budget: <5% throughput loss)
+     fuzz     - differential-fuzzing throughput: iterations of the full
+                generate → pipeline → oracle-bank loop per second
      json     - machine-readable report: the dlopen-chain scaling curve,
-                the install-throughput numbers and the telemetry
-                overhead, as Benchjson.output_file (BENCH_4.json) *)
+                the install-throughput numbers, the telemetry overhead
+                and the fuzzing throughput, as Benchjson.output_file
+                (BENCH_5.json) *)
 
 module Process = Mcfi_runtime.Process
 module Machine = Mcfi_runtime.Machine
@@ -638,6 +641,34 @@ let telemetry_section () =
   if ratio < 0.95 then
     Fmt.pr "WARNING: telemetry overhead exceeds the 5%% budget@."
 
+(* ---- fuzz: differential-fuzzing throughput ---- *)
+
+(* One iteration = generate a program, build it instrumented and
+   uninstrumented, run both, and drive all five differential oracles.
+   The seed is fixed so the workload is identical across runs. *)
+let fuzz_throughput () =
+  Fuzz.Driver.run
+    {
+      Fuzz.Driver.c_seed = 0xBE7CBL;
+      c_iters = 40;
+      c_time_budget = 0.;
+      c_corpus_dir = None;
+      c_drop_check = None;
+    }
+
+let fuzz_section () =
+  let oc = fuzz_throughput () in
+  (match oc.Fuzz.Driver.oc_failure with
+  | None -> ()
+  | Some rp ->
+    failwith
+      (Printf.sprintf "fuzz bench hit an oracle failure (seed %Ld): %s"
+         rp.Fuzz.Driver.rp_seed rp.Fuzz.Driver.rp_failure.Fuzz.Oracle.f_msg));
+  Fmt.pr "full generate → pipeline → oracle-bank loop, fixed seed:@.";
+  Fmt.pr "  %d iterations in %.1f s — %.2f iters/s@." oc.Fuzz.Driver.oc_iters
+    oc.Fuzz.Driver.oc_elapsed
+    (float_of_int oc.Fuzz.Driver.oc_iters /. oc.Fuzz.Driver.oc_elapsed)
+
 (* ---- json: the machine-readable report ---- *)
 
 let json () =
@@ -672,7 +703,24 @@ let json () =
         ("tight_check_enabled_ns", Num oh.oh_tight_enabled_ns);
       ]
   in
-  let report = Mcfi.Benchjson.report ~samples ~torture ~telemetry in
+  let fz = fuzz_throughput () in
+  (match fz.Fuzz.Driver.oc_failure with
+  | None -> ()
+  | Some rp ->
+    failwith
+      (Printf.sprintf "fuzz bench hit an oracle failure (seed %Ld): %s"
+         rp.Fuzz.Driver.rp_seed rp.Fuzz.Driver.rp_failure.Fuzz.Oracle.f_msg));
+  let fuzz =
+    Mcfi.Benchjson.Obj
+      [
+        ("iterations", Num (float_of_int fz.Fuzz.Driver.oc_iters));
+        ("elapsed_s", Num fz.Fuzz.Driver.oc_elapsed);
+        ( "iters_per_s",
+          Num (float_of_int fz.Fuzz.Driver.oc_iters /. fz.Fuzz.Driver.oc_elapsed)
+        );
+      ]
+  in
+  let report = Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
   | Ok () -> ()
@@ -713,6 +761,8 @@ let () =
     torture;
   section "telemetry" "Telemetry overhead (enabled vs disabled)"
     telemetry_section;
+  section "fuzz" "Differential-fuzzing throughput (oracle-bank iterations)"
+    fuzz_section;
   section "json"
     ("Machine-readable report (" ^ Mcfi.Benchjson.output_file ^ ")")
     json

@@ -9,6 +9,7 @@
      stats     execute under full telemetry and export the metrics
      trace     execute under telemetry and print the event trace
      torture   seeded multi-domain torture of the runtime protocols
+     fuzz      property-based fuzzing against the differential oracle bank
      bench     list the built-in benchmark suite
 
    Examples:
@@ -476,4 +477,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
-            stats_cmd; trace_cmd; torture_cmd; bench_cmd ]))
+            stats_cmd; trace_cmd; torture_cmd; Fuzz.Cli.cmd; bench_cmd ]))

@@ -1,0 +1,13 @@
+# mcfi-fuzz counterexample
+# seed: -7046029254386353124
+# oracle: 2 verifier
+# drop-check: 0
+# msg: verifier rejected the rewriter's output: load: module a.out failed verification: 0x10046: naked ret in instrumented code; 0x114c2: naked ret in instrumented code; 0x10000: 32 committing indirect branches but 34 site records
+=== static main ===
+int main() {
+  int s;
+  int i;
+  (s = 0);
+  printf("%d;", (s + 0));
+  return 0;
+}

@@ -293,10 +293,10 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 4
+let schema_version = 5
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry =
+let report ~samples ~torture ~telemetry ~fuzz =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -326,6 +326,7 @@ let report ~samples ~torture ~telemetry =
             ] );
         ("torture", torture);
         ("telemetry", telemetry);
+        ("fuzz", fuzz);
       ]
 
 let validate j =
@@ -378,4 +379,6 @@ let validate j =
   let* () = check_num "telemetry" [ "telemetry"; "enabled_checks_per_s" ] in
   let* () = check_num "telemetry" [ "telemetry"; "throughput_ratio" ] in
   let* () = check_num "telemetry" [ "telemetry"; "overhead_pct" ] in
+  let* () = check_num "fuzz" [ "fuzz"; "iterations" ] in
+  let* () = check_num "fuzz" [ "fuzz"; "iters_per_s" ] in
   Ok ()

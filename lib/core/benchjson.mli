@@ -68,17 +68,19 @@ val schema_version : int
 val output_file : string
 
 (** Assemble the report document.  [torture] is the
-    check-throughput-during-install section and [telemetry] the
-    instrumentation-overhead section (both built by the caller from
-    [Stress] data — the stress library sits above this one).
-    [samples] must be non-empty. *)
-val report : samples:link_sample list -> torture:t -> telemetry:t -> t
+    check-throughput-during-install section, [telemetry] the
+    instrumentation-overhead section and [fuzz] the fuzzing-throughput
+    section (all built by the caller from [Stress]/[Fuzz] data — those
+    libraries sit above this one).  [samples] must be non-empty. *)
+val report :
+  samples:link_sample list -> torture:t -> telemetry:t -> fuzz:t -> t
 
 (** Check the report shape the smoke test relies on: the schema
     name/version match this build, the chain is non-empty with finite
     timings, the last-link summary and speedup are finite, the torture
     section carries finite [checks_per_s], [installs_per_s] and
-    [checks_during_install_per_s], and the telemetry section carries
+    [checks_during_install_per_s], the telemetry section carries
     finite [disabled_checks_per_s], [enabled_checks_per_s],
-    [throughput_ratio] and [overhead_pct]. *)
+    [throughput_ratio] and [overhead_pct], and the fuzz section carries
+    finite [iterations] and [iters_per_s]. *)
 val validate : t -> (unit, string) result

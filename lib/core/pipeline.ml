@@ -24,8 +24,8 @@ let compile_module ?(line_offset = 0) ?tco ~name source =
   | exception Mcfi_compiler.Codegen.Unsupported (msg, loc) ->
     fail "%s:%s: unsupported: %s" name (render loc) msg
 
-let instrument ?sandbox obj =
-  try Rewriter.instrument ?sandbox obj
+let instrument ?sandbox ?drop_check obj =
+  try Rewriter.instrument ?sandbox ?drop_check obj
   with Rewriter.Error msg -> fail "instrumentation: %s" msg
 
 (* With libc in the build, user modules see its prototypes (the header
@@ -36,7 +36,8 @@ let with_header ~with_libc src =
 let header_lines =
   List.length (String.split_on_char '\n' Suite.Libc.header) - 1
 
-let module_set ?tco ?sandbox ?(with_libc = true) ~instrumented sources =
+let module_set ?tco ?sandbox ?drop_check ?(with_libc = true) ~instrumented
+    sources =
   let line_offset = if with_libc then header_lines else 0 in
   let objs =
     (if with_libc then
@@ -48,11 +49,14 @@ let module_set ?tco ?sandbox ?(with_libc = true) ~instrumented sources =
         sources
   in
   let objs = Linker.start_module () :: objs in
-  if instrumented then List.map (instrument ?sandbox) objs else objs
+  if instrumented then List.map (instrument ?sandbox ?drop_check) objs
+  else objs
 
-let link_executable ?(instrumented = true) ?tco ?sandbox ?with_libc ~sources
-    ?(dynamic = []) () =
-  let objs = module_set ?tco ?sandbox ?with_libc ~instrumented sources in
+let link_executable ?(instrumented = true) ?tco ?sandbox ?drop_check
+    ?with_libc ~sources ?(dynamic = []) () =
+  let objs =
+    module_set ?tco ?sandbox ?drop_check ?with_libc ~instrumented sources
+  in
   let linked =
     try Linker.link ~name:"a.out" objs
     with Linker.Error msg -> fail "link: %s" msg
@@ -86,10 +90,11 @@ let link_executable ?(instrumented = true) ?tco ?sandbox ?with_libc ~sources
     try Linker.add_plt linked deferred
     with Linker.Error msg -> fail "plt: %s" msg
 
-let build_process ?(instrumented = true) ?tco ?sandbox ?verify ?with_libc
-    ?seed ~sources ?(dynamic = []) () =
+let build_process ?(instrumented = true) ?tco ?sandbox ?drop_check ?verify
+    ?with_libc ?seed ~sources ?(dynamic = []) () =
   let exe =
-    link_executable ~instrumented ?tco ?sandbox ?with_libc ~sources ~dynamic ()
+    link_executable ~instrumented ?tco ?sandbox ?drop_check ?with_libc
+      ~sources ~dynamic ()
   in
   let compiled_dynamic =
     List.map
@@ -99,7 +104,8 @@ let build_process ?(instrumented = true) ?tco ?sandbox ?verify ?with_libc
         let obj =
           compile_module ~line_offset ?tco ~name (with_header ~with_libc src)
         in
-        (name, if instrumented then instrument ?sandbox obj else obj))
+        ( name,
+          if instrumented then instrument ?sandbox ?drop_check obj else obj ))
       dynamic
   in
   let registry name = List.assoc_opt name compiled_dynamic in

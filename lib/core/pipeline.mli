@@ -21,9 +21,13 @@ exception Error of string
 val compile_module :
   ?line_offset:int -> ?tco:bool -> name:string -> string -> Mcfi_compiler.Objfile.t
 
-(** [instrument] re-export: {!Instrument.Rewriter.instrument}. *)
+(** [instrument] re-export: {!Instrument.Rewriter.instrument}.
+    [drop_check] is the rewriter's sabotage hook (fuzzing self-test
+    only): the indirect branch at that module-local site index is left
+    uninstrumented, which the verifier must catch. *)
 val instrument :
   ?sandbox:Vmisa.Abi.sandbox ->
+  ?drop_check:int ->
   Mcfi_compiler.Objfile.t ->
   Mcfi_compiler.Objfile.t
 
@@ -36,6 +40,7 @@ val link_executable :
   ?instrumented:bool ->
   ?tco:bool ->
   ?sandbox:Vmisa.Abi.sandbox ->
+  ?drop_check:int ->
   ?with_libc:bool ->
   sources:(string * string) list ->
   ?dynamic:(string * string) list ->
@@ -49,6 +54,7 @@ val build_process :
   ?instrumented:bool ->
   ?tco:bool ->
   ?sandbox:Vmisa.Abi.sandbox ->
+  ?drop_check:int ->
   ?verify:bool ->
   ?with_libc:bool ->
   ?seed:int64 ->

@@ -1,0 +1,117 @@
+(* The `mcfi fuzz` subcommand.
+
+   Exposed as a [Cmdliner] term (plus the pure [mode_of] assembly) so the
+   test suite can drive flag parsing through [Cmd.eval_value ~argv]
+   without spawning a process. *)
+
+open Cmdliner
+
+type mode =
+  | Fuzz of Driver.config
+  | Replay of string list
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED"
+         ~doc:"campaign seed; a failing run prints the iteration seed")
+
+let iters_arg =
+  Arg.(value & opt int 500 & info [ "iters"; "n" ] ~docv:"N"
+         ~doc:"number of generated programs to run through the oracle bank")
+
+let budget_arg =
+  Arg.(value & opt float 0. & info [ "time-budget" ] ~docv:"SECONDS"
+         ~doc:"stop after this much wall-clock time (0 = no budget)")
+
+let corpus_arg =
+  Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"directory for shrunk counterexample files")
+
+let drop_arg =
+  Arg.(value & opt (some int) None & info [ "drop-check" ] ~docv:"K"
+         ~doc:"self-test sabotage: the rewriter drops the check sequence at \
+               module-local site K, which the oracle bank must catch")
+
+let replay_arg =
+  Arg.(value & opt_all string [] & info [ "replay" ] ~docv:"FILE"
+         ~doc:"replay corpus $(docv) instead of fuzzing (repeatable)")
+
+let mode_of seed iters budget corpus drop replay =
+  match replay with
+  | [] ->
+    Fuzz
+      {
+        Driver.c_seed = seed;
+        c_iters = iters;
+        c_time_budget = budget;
+        c_corpus_dir = Some corpus;
+        c_drop_check = drop;
+      }
+  | files -> Replay files
+
+let mode_term =
+  Term.(const mode_of $ seed_arg $ iters_arg $ budget_arg $ corpus_arg
+        $ drop_arg $ replay_arg)
+
+let print_sources sources =
+  List.iter
+    (fun (name, src) ->
+      Fmt.pr "--- %s ---@.%s" name src;
+      if src = "" || src.[String.length src - 1] <> '\n' then Fmt.pr "@.")
+    sources
+
+let run_fuzz (cfg : Driver.config) =
+  Fmt.pr "fuzz: seed=%Ld iters=%d%s@." cfg.Driver.c_seed cfg.Driver.c_iters
+    (match cfg.Driver.c_drop_check with
+    | Some k -> Printf.sprintf " drop-check=%d (sabotage self-test)" k
+    | None -> "");
+  let progress i =
+    if (i + 1) mod 100 = 0 then Fmt.pr "  %d iterations...@." (i + 1)
+  in
+  let oc = Driver.run ~progress cfg in
+  match oc.Driver.oc_failure with
+  | None ->
+    Fmt.pr "fuzz: %d iterations in %.1fs (%.1f/s), all oracles passed@."
+      oc.Driver.oc_iters oc.Driver.oc_elapsed
+      (float_of_int oc.Driver.oc_iters /. max 0.001 oc.Driver.oc_elapsed);
+    0
+  | Some rp ->
+    let f = rp.Driver.rp_failure in
+    Fmt.pr "fuzz: FAILURE at iteration %d (seed %Ld)@." rp.Driver.rp_iter
+      rp.Driver.rp_seed;
+    Fmt.pr "  oracle %d (%s): %s@." f.Oracle.f_oracle f.Oracle.f_name
+      f.Oracle.f_msg;
+    Fmt.pr "  shrunk counterexample: %d MiniC lines@." rp.Driver.rp_lines;
+    (match rp.Driver.rp_file with
+    | Some path -> Fmt.pr "  written to %s (replay: mcfi fuzz --replay %s)@." path path
+    | None -> ());
+    print_sources (rp.Driver.rp_static @ rp.Driver.rp_dynamic);
+    1
+
+let run_replay files =
+  let bad = ref 0 in
+  List.iter
+    (fun path ->
+      match Driver.replay_file path with
+      | Ok Driver.Reproduced -> Fmt.pr "%s: reproduced@." path
+      | Ok Driver.Fixed -> Fmt.pr "%s: fixed (bank passes now)@." path
+      | Ok (Driver.Different f) ->
+        incr bad;
+        Fmt.pr "%s: DIFFERENT failure: oracle %d (%s): %s@." path
+          f.Oracle.f_oracle f.Oracle.f_name f.Oracle.f_msg
+      | Error msg ->
+        incr bad;
+        Fmt.pr "%s: unreadable: %s@." path msg)
+    files;
+  if !bad > 0 then 1 else 0
+
+let main = function
+  | Fuzz cfg -> run_fuzz cfg
+  | Replay files -> run_replay files
+
+let cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"property-based fuzzing of the whole pipeline against the \
+             differential oracle bank (equivalence, verifier, incremental \
+             CFG, precision, faults)")
+    Term.(const main $ mode_term)

@@ -1,0 +1,163 @@
+(* Replayable counterexample files.
+
+   A corpus file is self-contained: `#` metadata lines (iteration seed,
+   failing oracle, optional rewriter-sabotage setting, first line of the
+   failure message) followed by the rendered MiniC sources, one
+   `=== static|dynamic <name> ===` section per module.  Replay re-runs the
+   oracle bank over the embedded sources with the recorded seed, so a
+   corpus file keeps reproducing even if the generator's distribution
+   changes later. *)
+
+type entry = {
+  c_seed : int64;
+  c_oracle : int;
+  c_drop_check : int option;
+  c_msg : string;
+  c_static : (string * string) list;
+  c_dynamic : (string * string) list;
+}
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let to_string e =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "# mcfi-fuzz counterexample\n";
+  pf "# seed: %Ld\n" e.c_seed;
+  pf "# oracle: %d %s\n" e.c_oracle (Oracle.oracle_name e.c_oracle);
+  (match e.c_drop_check with
+  | Some k -> pf "# drop-check: %d\n" k
+  | None -> ());
+  pf "# msg: %s\n" (first_line e.c_msg);
+  let section kind (name, src) =
+    pf "=== %s %s ===\n" kind name;
+    Buffer.add_string b src;
+    if src = "" || src.[String.length src - 1] <> '\n' then
+      Buffer.add_char b '\n'
+  in
+  List.iter (section "static") e.c_static;
+  List.iter (section "dynamic") e.c_dynamic;
+  Buffer.contents b
+
+let parse_section line =
+  if starts_with ~prefix:"=== " line && String.length line > 8 then
+    let mid = String.sub line 4 (String.length line - 8) in
+    match String.index_opt mid ' ' with
+    | Some i -> begin
+      let kind = String.sub mid 0 i in
+      let name = String.sub mid (i + 1) (String.length mid - i - 1) in
+      match kind with
+      | "static" -> Some (`Static, name)
+      | "dynamic" -> Some (`Dynamic, name)
+      | _ -> None
+    end
+    | None -> None
+  else None
+
+let meta ~key line =
+  let prefix = "# " ^ key ^ ": " in
+  if starts_with ~prefix line then
+    Some (String.sub line (String.length prefix)
+            (String.length line - String.length prefix))
+  else None
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let seed = ref None
+  and oracle = ref None
+  and drop = ref None
+  and msg = ref "" in
+  let statics = ref []
+  and dynamics = ref [] in
+  let current = ref None in
+  let buf = Buffer.create 256 in
+  let flush_section ?(at_eof = false) () =
+    match !current with
+    | None -> ()
+    | Some (kind, name) ->
+      let src = Buffer.contents buf in
+      (* splitting on '\n' leaves an empty final fragment when the text
+         ends with a newline; at EOF that fragment has added one
+         spurious blank line — drop it *)
+      let src =
+        if at_eof && src <> "" && src.[String.length src - 1] = '\n' then
+          String.sub src 0 (String.length src - 1)
+        else src
+      in
+      Buffer.clear buf;
+      (match kind with
+      | `Static -> statics := (name, src) :: !statics
+      | `Dynamic -> dynamics := (name, src) :: !dynamics)
+  in
+  List.iter
+    (fun line ->
+      match parse_section line with
+      | Some s ->
+        flush_section ();
+        current := Some s
+      | None ->
+        if !current <> None then begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        end
+        else begin
+          (match meta ~key:"seed" line with
+          | Some v -> seed := Int64.of_string_opt v
+          | None -> ());
+          (match meta ~key:"oracle" line with
+          | Some v ->
+            oracle :=
+              (match String.split_on_char ' ' v with
+              | n :: _ -> int_of_string_opt n
+              | [] -> None)
+          | None -> ());
+          (match meta ~key:"drop-check" line with
+          | Some v -> drop := int_of_string_opt v
+          | None -> ());
+          match meta ~key:"msg" line with
+          | Some v -> msg := v
+          | None -> ()
+        end)
+    lines;
+  flush_section ~at_eof:true ();
+  match (!seed, !oracle) with
+  | Some s, Some o ->
+    Ok
+      {
+        c_seed = s;
+        c_oracle = o;
+        c_drop_check = !drop;
+        c_msg = !msg;
+        c_static = List.rev !statics;
+        c_dynamic = List.rev !dynamics;
+      }
+  | None, _ -> Error "corpus file has no '# seed:' line"
+  | _, None -> Error "corpus file has no '# oracle:' line"
+
+let filename e =
+  Printf.sprintf "cex_%s_seed%Ld.c" (Oracle.oracle_name e.c_oracle) e.c_seed
+
+let write dir e =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  output_string oc (to_string e);
+  close_out oc;
+  path
+
+let read path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    of_string text
+  end

@@ -1,0 +1,134 @@
+(* The fuzzing loop: seed -> spec -> render -> oracle bank, with
+   shrinking and corpus capture on failure.
+
+   Iteration [i] of a campaign seeded with [S] uses the derived seed
+   [S + (i+1) * golden], so any failing iteration replays from its own
+   seed alone — the generator, the mutations and the oracle-side
+   randomness (attack probes, fault plans) are all deterministic in it. *)
+
+module Prng = Mcfi_util.Prng
+
+type config = {
+  c_seed : int64;
+  c_iters : int;
+  c_time_budget : float;  (* wall-clock seconds; 0 = unlimited *)
+  c_corpus_dir : string option;
+  c_drop_check : int option;  (* rewriter sabotage for the self-test *)
+}
+
+type report = {
+  rp_iter : int;
+  rp_seed : int64;
+  rp_failure : Oracle.failure;
+  rp_lines : int;  (* MiniC lines of the shrunk counterexample *)
+  rp_file : string option;
+  rp_static : (string * string) list;
+  rp_dynamic : (string * string) list;
+}
+
+type outcome = {
+  oc_iters : int;
+  oc_elapsed : float;
+  oc_failure : report option;
+}
+
+let golden = 0x9E3779B97F4A7C15L
+
+let iter_seed base i = Int64.add base (Int64.mul golden (Int64.of_int (i + 1)))
+
+let spec_of seed =
+  let rng = Prng.create seed in
+  let sp = Gen.generate rng in
+  Mutate.apply rng sp
+
+let bank_of ?drop_check ~seed sp =
+  let r = Spec.render sp in
+  Oracle.run_bank ?drop_check ~rng:(Oracle.rng_for seed)
+    ~static:r.Spec.r_static ~dynamic:r.Spec.r_dynamic ()
+
+let run_one ?drop_check seed = bank_of ?drop_check ~seed (spec_of seed)
+
+let shrink ?drop_check ~seed ~oracle sp =
+  let reproduces candidate =
+    match bank_of ?drop_check ~seed candidate with
+    | Error f -> f.Oracle.f_oracle = oracle
+    | Ok () -> false
+  in
+  Shrink.minimize ~reproduces sp
+
+let run ?(progress = fun _ -> ()) cfg =
+  let t0 = Unix.gettimeofday () in
+  let finish i failure =
+    { oc_iters = i; oc_elapsed = Unix.gettimeofday () -. t0; oc_failure = failure }
+  in
+  let rec loop i =
+    if i >= cfg.c_iters then finish i None
+    else if
+      cfg.c_time_budget > 0.
+      && Unix.gettimeofday () -. t0 > cfg.c_time_budget
+    then finish i None
+    else begin
+      let seed = iter_seed cfg.c_seed i in
+      match run_one ?drop_check:cfg.c_drop_check seed with
+      | Ok () ->
+        progress i;
+        loop (i + 1)
+      | Error f ->
+        let sp =
+          shrink ?drop_check:cfg.c_drop_check ~seed ~oracle:f.Oracle.f_oracle
+            (spec_of seed)
+        in
+        (* re-derive the message from the shrunk program *)
+        let f =
+          match bank_of ?drop_check:cfg.c_drop_check ~seed sp with
+          | Error f' -> f'
+          | Ok () -> f
+        in
+        let r = Spec.render sp in
+        let file =
+          Option.map
+            (fun dir ->
+              Corpus.write dir
+                {
+                  Corpus.c_seed = seed;
+                  c_oracle = f.Oracle.f_oracle;
+                  c_drop_check = cfg.c_drop_check;
+                  c_msg = f.Oracle.f_msg;
+                  c_static = r.Spec.r_static;
+                  c_dynamic = r.Spec.r_dynamic;
+                })
+            cfg.c_corpus_dir
+        in
+        finish (i + 1)
+          (Some
+             {
+               rp_iter = i;
+               rp_seed = seed;
+               rp_failure = f;
+               rp_lines = Spec.line_count r;
+               rp_file = file;
+               rp_static = r.Spec.r_static;
+               rp_dynamic = r.Spec.r_dynamic;
+             })
+    end
+  in
+  loop 0
+
+(* ---------- corpus replay ---------- *)
+
+type replay_status =
+  | Reproduced  (* the recorded oracle fails again *)
+  | Fixed       (* the bank passes now: the underlying bug is gone *)
+  | Different of Oracle.failure  (* a distinct oracle fails: regression *)
+
+let replay_entry (e : Corpus.entry) =
+  match
+    Oracle.run_bank ?drop_check:e.Corpus.c_drop_check
+      ~rng:(Oracle.rng_for e.Corpus.c_seed) ~static:e.Corpus.c_static
+      ~dynamic:e.Corpus.c_dynamic ()
+  with
+  | Error f when f.Oracle.f_oracle = e.Corpus.c_oracle -> Reproduced
+  | Error f -> Different f
+  | Ok () -> Fixed
+
+let replay_file path = Result.map replay_entry (Corpus.read path)

@@ -1,0 +1,88 @@
+(* Random spec generation.
+
+   Everything is drawn from one [Prng.t]; equal seeds give equal specs.
+   The first two workers are always of signature [Sii] so the global
+   function-pointer array and the struct field corridor always have
+   targets available. *)
+
+module Prng = Mcfi_util.Prng
+open Spec
+
+let fresh_seed rng = Prng.int rng 0x3FFFFFFF
+
+let random_sig rng =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> Sii
+  | 4 | 5 -> Siii
+  | 6 | 7 -> Svar
+  | _ -> Sci
+
+let permutation rng n = shuffle rng (List.init n (fun j -> j))
+
+let generate rng : Spec.t =
+  let nstatic = Prng.int rng 3 in
+  let ndyn = Prng.int rng 3 in
+  let nworkers = 3 + Prng.int rng 4 in
+  let workers =
+    let rec go k acc =
+      if k = nworkers then List.rev acc
+      else
+        let s = if k < 2 then Sii else random_sig rng in
+        let m = Prng.int rng (nstatic + 1) in
+        let seed = fresh_seed rng in
+        go (k + 1) ({ w_sig = s; w_mod = m; w_seed = seed } :: acc)
+    in
+    go 0 []
+  in
+  let worker_sigs = List.sort_uniq compare (List.map (fun w -> w.w_sig) workers) in
+  let ndrivers = 1 + Prng.int rng 3 in
+  let drivers =
+    let rec go k acc =
+      if k = ndrivers then List.rev acc
+      else
+        let s = Prng.choose rng worker_sigs in
+        let m =
+          let pick = Prng.int rng (1 + nstatic + ndyn) in
+          if pick <= nstatic then Mstatic pick else Mdyn (pick - nstatic - 1)
+        in
+        let seed = fresh_seed rng in
+        let cast = Prng.int rng 3 = 0 in
+        let str = Prng.int rng 3 = 0 in
+        let sw = Prng.int rng 3 = 0 in
+        go (k + 1)
+          ({
+             d_mod = m;
+             d_sig = s;
+             d_seed = seed;
+             d_cast = cast;
+             d_struct = str;
+             d_switch = sw;
+           }
+          :: acc)
+    in
+    go 0 []
+  in
+  let structs = Prng.int rng 3 > 0 in
+  let union = Prng.bool rng in
+  let typedef = Prng.bool rng in
+  let setjmp = Prng.int rng 3 = 0 in
+  let global_fp = Prng.int rng 3 = 0 in
+  let body = Prng.int rng 3 in
+  let prints = 1 + Prng.int rng 2 in
+  let main_seed = fresh_seed rng in
+  let order = permutation rng ndyn in
+  {
+    sp_nstatic = nstatic;
+    sp_ndyn = ndyn;
+    sp_structs = structs;
+    sp_union = union;
+    sp_typedef = typedef;
+    sp_setjmp = setjmp;
+    sp_global_fp = global_fp;
+    sp_body = body;
+    sp_prints = prints;
+    sp_main_seed = main_seed;
+    sp_workers = workers;
+    sp_drivers = drivers;
+    sp_dyn_order = order;
+  }

@@ -1,0 +1,69 @@
+(* Typed mutation passes over specs (ISSUE: "add a cast site, take an
+   address, split a module boundary, reorder dlopen order").
+
+   Mutations edit the recipe, so the result is still well-formed by
+   construction; [apply] runs a small random number of them after
+   generation, which is how the fuzzer reaches programs the plain
+   generator's distribution would rarely produce. *)
+
+module Prng = Mcfi_util.Prng
+open Spec
+
+let nth_map k f xs = List.mapi (fun i x -> if i = k then f x else x) xs
+
+(* Turn one driver's first pointer assignment into a char* cast corridor. *)
+let add_cast rng sp =
+  match sp.sp_drivers with
+  | [] -> sp
+  | ds ->
+    let k = Prng.int rng (List.length ds) in
+    { sp with sp_drivers = nth_map k (fun d -> { d with d_cast = true }) ds }
+
+(* Take more addresses: the global fptr array (a static-initializer
+   address-taking) or a driver's struct-field corridor. *)
+let take_address rng sp =
+  if Prng.bool rng || sp.sp_drivers = [] then { sp with sp_global_fp = true }
+  else
+    let k = Prng.int rng (List.length sp.sp_drivers) in
+    {
+      sp with
+      sp_structs = true;
+      sp_drivers =
+        nth_map k (fun d -> { d with d_struct = true }) sp.sp_drivers;
+    }
+
+(* Split a module boundary: move one main-module driver into a fresh
+   auxiliary static module, so its indirect calls cross modules. *)
+let split_module rng sp =
+  let candidates =
+    List.mapi (fun i d -> (i, d)) sp.sp_drivers
+    |> List.filter (fun (_, d) -> d.d_mod = Mstatic 0)
+  in
+  match candidates with
+  | [] -> sp
+  | cs ->
+    let k, _ = Prng.choose rng cs in
+    let fresh = sp.sp_nstatic + 1 in
+    {
+      sp with
+      sp_nstatic = fresh;
+      sp_drivers =
+        nth_map k (fun d -> { d with d_mod = Mstatic fresh }) sp.sp_drivers;
+    }
+
+let reorder_dlopen rng sp =
+  if sp.sp_ndyn < 2 then sp
+  else { sp with sp_dyn_order = shuffle rng sp.sp_dyn_order }
+
+let mutations = [ add_cast; take_address; split_module; reorder_dlopen ]
+
+(* [apply rng sp] runs 0-2 random mutations. *)
+let apply rng sp =
+  let n = Prng.int rng 3 in
+  let rec go n sp =
+    if n = 0 then sp
+    else
+      let m = Prng.choose rng mutations in
+      go (n - 1) (m rng sp)
+  in
+  go n sp

@@ -1,0 +1,286 @@
+(* The differential oracle bank.
+
+   A generated program is driven through the full pipeline and judged by
+   six oracles (0 is the implicit "toolchain accepts legal programs"):
+
+   0 toolchain    — the front end and pipeline never crash or reject a
+                    generated (legal-by-construction) program;
+   1 equivalence  — the instrumented VM execution is observationally
+                    equivalent (exit reason + output) to an uninstrumented
+                    build with the dynamic modules folded in statically;
+   2 verifier     — the verifier accepts everything the rewriter emits,
+                    and every benign dynamic module loads;
+   3 incremental  — [Process.oracle_check]: incremental [Cfggen.merge]
+                    over the load sequence is bit-identical to a
+                    from-scratch [generate], and the live tables agree;
+   4 precision    — every source-justified indirect-branch target passes
+                    [Tx.check]; everything the tables allow is justified
+                    for some branch of the same equivalence class; probes
+                    at foreign-class and misaligned addresses fail;
+   5 faults       — under a random fault plan the build either aborts
+                    cleanly (load rollback) or completes; a completed run
+                    still satisfies oracles 3 and 4, and a disarmed
+                    rebuild runs clean.
+
+   All randomness (attack probes, fault plans) comes from the caller's
+   PRNG, so a failure replays from its iteration seed alone. *)
+
+module Process = Mcfi_runtime.Process
+module Machine = Mcfi_runtime.Machine
+module Tables = Idtables.Tables
+module Tx = Idtables.Tx
+module Id = Idtables.Id
+module Cfggen = Cfg.Cfggen
+module Prng = Mcfi_util.Prng
+module IS = Set.Make (Int)
+
+type failure = { f_oracle : int; f_name : string; f_msg : string }
+
+let oracle_name = function
+  | 0 -> "toolchain"
+  | 1 -> "equivalence"
+  | 2 -> "verifier"
+  | 3 -> "incremental"
+  | 4 -> "precision"
+  | 5 -> "faults"
+  | _ -> "unknown"
+
+let fail k fmt =
+  Printf.ksprintf
+    (fun m -> Error { f_oracle = k; f_name = oracle_name k; f_msg = m })
+    fmt
+
+let ( let* ) = Result.bind
+
+let fuel = 10_000_000
+
+(* The oracle-side PRNG for an iteration: independent of the generator's
+   stream (which [Driver] seeds with the iteration seed directly), but
+   derived from the same seed so replay needs nothing else. *)
+let rng_for seed = Prng.create (Int64.logxor seed 0x5DEECE66DL)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let pp_reason r = Fmt.str "%a" Machine.pp_exit_reason r
+
+let build ?drop_check ~instrumented ~static ~dynamic () =
+  Mcfi.Pipeline.build_process ~instrumented ?drop_check ~sources:static
+    ~dynamic ()
+
+let run proc =
+  let r = Process.run ~fuel proc in
+  (r, Machine.output (Process.machine proc))
+
+(* ---------- oracle 4: CFG precision and attack probes ---------- *)
+
+let rec result_iter f = function
+  | [] -> Ok ()
+  | x :: rest ->
+    let* () = f x in
+    result_iter f rest
+
+let precision ~rng ~oracle proc =
+  match Process.tables proc with
+  | None -> Ok ()
+  | Some tables ->
+    let input = Process.cfg_input proc in
+    let bary =
+      List.map (fun (slot, id) -> (slot, Id.ecn id)) (Tables.bary_entries tables)
+    in
+    let tary = Tables.tary_entries tables in
+    let justified slot =
+      IS.of_list (Cfggen.targets_of_site input input.Cfggen.sites.(slot))
+    in
+    (* per-equivalence-class: union of justified targets, and the target
+       addresses the live Tary actually allows *)
+    let class_just = Hashtbl.create 16 in
+    List.iter
+      (fun (slot, ecn) ->
+        let cur =
+          Option.value (Hashtbl.find_opt class_just ecn) ~default:IS.empty
+        in
+        Hashtbl.replace class_just ecn (IS.union cur (justified slot)))
+      bary;
+    let tary_ecn = List.map (fun (addr, id) -> (addr, Id.ecn id)) tary in
+    (* All checks are bounded: at rest, a justified target never skews
+       (its class installed slot and targets at one version), while a
+       foreign-class probe can skew *persistently* — after delta
+       installs, distinct classes legitimately sit at distinct versions
+       — and the unbounded default would spin on it forever waiting for
+       an updater that does not exist. *)
+    let check slot t = Tx.check ~max_retries:64 tables ~bary_index:slot ~target:t in
+    (* (a) every source-justified target passes its slot's check *)
+    let* () =
+      result_iter
+        (fun (slot, _) ->
+          result_iter
+            (fun t ->
+              match check slot t with
+              | Tx.Pass -> Ok ()
+              | o ->
+                fail oracle "slot %d: justified target %d rejected (%s)" slot t
+                  (Fmt.str "%a" Tx.pp_outcome o))
+            (IS.elements (justified slot)))
+        bary
+    in
+    (* (b) precision: everything a class allows is justified for at least
+       one branch of that class — the tables never over-approximate beyond
+       classic-CFI class merging.  A class with no live branch (its only
+       indirect-call sites lived in a module whose load rolled back) keeps
+       its Tary entries but has no attack surface: skip it. *)
+    let* () =
+      result_iter
+        (fun (addr, ecn) ->
+          match Hashtbl.find_opt class_just ecn with
+          | None -> Ok ()
+          | Some just when IS.mem addr just -> Ok ()
+          | Some _ ->
+            fail oracle
+              "Tary allows address %d (class %d) that no branch of the class \
+               justifies"
+              addr ecn)
+        tary_ecn
+    in
+    (* (c) attack probes: foreign-class targets and misaligned addresses
+       must be rejected *)
+    result_iter
+      (fun (slot, ecn) ->
+        let foreign =
+          List.filter_map
+            (fun (addr, e) -> if e <> ecn then Some addr else None)
+            tary_ecn
+        in
+        let probes =
+          if foreign = [] then []
+          else
+            let p1 = Prng.choose rng foreign in
+            let p2 = Prng.choose rng foreign in
+            List.sort_uniq compare [ p1; p2 ]
+        in
+        (* a probe is rejected by Violation *or* Retries_exhausted (a
+           persistent cross-class version skew also never lets the branch
+           through); only Pass is an escape *)
+        let* () =
+          result_iter
+            (fun t ->
+              match check slot t with
+              | Tx.Violation | Tx.Retries_exhausted -> Ok ()
+              | Tx.Pass ->
+                fail oracle "slot %d: foreign-class target %d not rejected"
+                  slot t)
+            probes
+        in
+        match IS.choose_opt (justified slot) with
+        | None -> Ok ()
+        | Some t -> begin
+          let off = 1 + Prng.int rng 3 in
+          match check slot (t + off) with
+          | Tx.Violation | Tx.Retries_exhausted -> Ok ()
+          | Tx.Pass ->
+            fail oracle "slot %d: misaligned target %d+%d not rejected" slot t
+              off
+        end)
+      bary
+
+(* ---------- oracle 5: random faults with recovery ---------- *)
+
+let random_plan rng =
+  let use_random = Prng.int rng 4 = 0 in
+  if use_random then
+    let seed = Int64.of_int (Prng.int rng 0x3FFFFFFF) in
+    let one_in = 64 + Prng.int rng 192 in
+    Faults.Plan.Random { seed; one_in }
+  else
+    let point = Prng.choose rng Faults.Plan.all_points in
+    let hit = 1 + Prng.int rng 3 in
+    Faults.Plan.At { point; hit }
+
+let faults_oracle ~rng ~static ~dynamic () =
+  let plan = random_plan rng in
+  let pp_plan = Fmt.str "%a" Faults.Plan.pp plan in
+  let* () =
+    Faults.with_plan plan @@ fun () ->
+    match build ~instrumented:true ~static ~dynamic () with
+    | exception Faults.Injected _ -> Ok () (* aborted at startup load *)
+    | exception Mcfi.Pipeline.Error _ ->
+      Ok () (* fault surfaced as a load error; the journal rolled back *)
+    | exception ex ->
+      fail 5 "build under %s crashed: %s" pp_plan (Printexc.to_string ex)
+    | proc -> begin
+      match run proc with
+      | (Machine.Exited _ | Machine.Cfi_halt), _ ->
+        (* whatever subset of modules survived the faulted dlopens must
+           still satisfy the incremental and precision oracles *)
+        let* () =
+          match Process.oracle_check proc with
+          | Ok () -> Ok ()
+          | Error m -> fail 5 "state diverges after %s: %s" pp_plan m
+        in
+        precision ~rng ~oracle:5 proc
+      | r, out ->
+        fail 5 "run under %s ended with %s (output %S)" pp_plan (pp_reason r)
+          out
+    end
+  in
+  (* recovery: with the plan disarmed, the same program is healthy again *)
+  match build ~instrumented:true ~static ~dynamic () with
+  | exception ex ->
+    fail 5 "rebuild after %s failed: %s" pp_plan (Printexc.to_string ex)
+  | proc -> begin
+    match run proc with
+    | Machine.Exited _, _ -> Ok ()
+    | r, out ->
+      fail 5 "rebuild after %s ended with %s (output %S)" pp_plan
+        (pp_reason r) out
+  end
+
+(* ---------- the bank ---------- *)
+
+let run_bank ?drop_check ~rng ~static ~dynamic () =
+  match build ?drop_check ~instrumented:true ~static ~dynamic () with
+  | exception Mcfi.Pipeline.Error msg ->
+    if contains ~sub:"failed verification" msg then
+      fail 2 "verifier rejected the rewriter's output: %s" msg
+    else fail 0 "toolchain rejected a legal program: %s" msg
+  | exception ex -> fail 0 "toolchain crash: %s" (Printexc.to_string ex)
+  | proc ->
+    let r_i, out_i = run proc in
+    let missing =
+      List.filter
+        (fun (n, _) -> not (List.mem n (Process.loaded_names proc)))
+        dynamic
+    in
+    let* () =
+      if missing = [] then Ok ()
+      else
+        fail 2 "benign dynamic modules failed to load: %s"
+          (String.concat ", " (List.map fst missing))
+    in
+    let* () =
+      match r_i with
+      | Machine.Exited _ -> Ok ()
+      | r -> fail 1 "instrumented run ended with %s (output %S)" (pp_reason r) out_i
+    in
+    let* () =
+      match
+        build ~instrumented:false ~static:(static @ dynamic) ~dynamic:[] ()
+      with
+      | exception ex ->
+        fail 0 "uninstrumented build: %s" (Printexc.to_string ex)
+      | plain ->
+        let r_u, out_u = run plain in
+        if r_i = r_u && out_i = out_u then Ok ()
+        else
+          fail 1 "instrumented (%s, %S) <> uninstrumented (%s, %S)"
+            (pp_reason r_i) out_i (pp_reason r_u) out_u
+    in
+    let* () =
+      match Process.oracle_check proc with
+      | Ok () -> Ok ()
+      | Error m -> fail 3 "%s" m
+    in
+    let* () = precision ~rng ~oracle:4 proc in
+    faults_oracle ~rng ~static ~dynamic ()

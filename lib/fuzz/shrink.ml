@@ -1,0 +1,100 @@
+(* Minimizing shrinker.
+
+   Greedy fixpoint over spec-level cuts, ordered biggest first.  A cut is
+   accepted iff [reproduces] says the candidate still fails the same
+   oracle; because cuts edit the recipe, every candidate is well-formed,
+   and per-function seeds keep unrelated bodies stable across cuts (a
+   removal cannot perturb the functions it did not touch). *)
+
+open Spec
+
+let drop_nth k xs = List.filteri (fun i _ -> i <> k) xs
+
+let is_dyn d =
+  match d.d_mod with
+  | Mdyn _ -> true
+  | Mstatic _ -> false
+
+let candidates sp =
+  (* whole dynamic tier *)
+  (if List.exists is_dyn sp.sp_drivers || sp.sp_ndyn > 0 then
+     [
+       {
+         sp with
+         sp_drivers = List.filter (fun d -> not (is_dyn d)) sp.sp_drivers;
+         sp_ndyn = 0;
+         sp_dyn_order = [];
+       };
+     ]
+   else [])
+  (* individual drivers *)
+  @ List.init (List.length sp.sp_drivers) (fun k ->
+        { sp with sp_drivers = drop_nth k sp.sp_drivers })
+  (* individual workers, highest index first *)
+  @ List.rev
+      (List.init (List.length sp.sp_workers) (fun k ->
+           { sp with sp_workers = drop_nth k sp.sp_workers }))
+  (* feature switches *)
+  @ (if sp.sp_setjmp then [ { sp with sp_setjmp = false } ] else [])
+  @ (if sp.sp_global_fp then [ { sp with sp_global_fp = false } ] else [])
+  @ (if sp.sp_structs then
+       [
+         {
+           sp with
+           sp_structs = false;
+           sp_drivers =
+             List.map (fun d -> { d with d_struct = false }) sp.sp_drivers;
+         };
+       ]
+     else [])
+  @ (if sp.sp_union then [ { sp with sp_union = false } ] else [])
+  @ (if sp.sp_typedef then [ { sp with sp_typedef = false } ] else [])
+  @ (if sp.sp_nstatic > 0 then
+       [
+         {
+           sp with
+           sp_nstatic = 0;
+           sp_workers = List.map (fun w -> { w with w_mod = 0 }) sp.sp_workers;
+           sp_drivers =
+             List.map
+               (fun d ->
+                 match d.d_mod with
+                 | Mstatic _ -> { d with d_mod = Mstatic 0 }
+                 | Mdyn _ -> d)
+               sp.sp_drivers;
+         };
+       ]
+     else [])
+  @ (if sp.sp_body > 0 then [ { sp with sp_body = 0 } ] else [])
+  @ (if sp.sp_prints > 1 then [ { sp with sp_prints = 1 } ] else [])
+  (* per-driver flags *)
+  @ List.concat
+      (List.mapi
+         (fun k d ->
+           let set f = { sp with sp_drivers = Mutate.nth_map k f sp.sp_drivers } in
+           (if d.d_cast then [ set (fun d -> { d with d_cast = false }) ] else [])
+           @ (if d.d_struct then
+                [ set (fun d -> { d with d_struct = false }) ]
+              else [])
+           @
+           if d.d_switch then [ set (fun d -> { d with d_switch = false }) ]
+           else [])
+         sp.sp_drivers)
+
+(* [minimize ~reproduces sp] greedily applies accepted cuts until no
+   candidate reproduces or the attempt budget runs out. *)
+let minimize ?(budget = 250) ~reproduces sp =
+  let budget = ref budget in
+  let rec fix sp =
+    let rec try_cands = function
+      | [] -> sp
+      | c :: rest ->
+        if !budget <= 0 then sp
+        else begin
+          decr budget;
+          if reproduces c then fix c else try_cands rest
+        end
+    in
+    try_cands (candidates sp)
+  in
+  fix sp

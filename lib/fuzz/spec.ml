@@ -1,0 +1,689 @@
+(* The fuzzer's program representation.
+
+   A spec is not an AST: it is a small recipe — module counts, feature
+   switches, per-function seeds — from which [render] deterministically
+   expands a well-typed-by-construction multi-module MiniC program.
+   Mutations and the shrinker edit the recipe, never the AST, so every
+   candidate the fuzzer builds stays well-formed: dropping a worker cannot
+   leave a dangling call, because callees are re-chosen from the surviving
+   pool when each body is re-expanded from its unchanged per-function seed.
+
+   Determinism rules baked into the expansion (the observational-
+   equivalence oracle compares an instrumented against an uninstrumented
+   build, so outputs must not depend on code layout):
+   - only integer arithmetic over parameters, constants and locals is ever
+     printed — no pointer-derived values;
+   - every memory cell is written before it is read;
+   - loops run for bounded, spec-determined iteration counts;
+   - an executed indirect call always goes through a pointer whose static
+     type equals the target's definition type (cast corridors detour
+     through [char *] but land back on the correct type);
+   - division/modulus only by nonzero constants, array indexing only by
+     masked loop counters. *)
+
+open Minic.Ast
+module Prng = Mcfi_util.Prng
+
+(* ---------- the recipe ---------- *)
+
+type fsig = Sii | Siii | Svar | Sci
+
+type mloc = Mstatic of int | Mdyn of int
+
+(* Workers are the leaf tier: no function-pointer parameters, no indirect
+   calls, direct calls only to lower-indexed workers (a DAG, so the program
+   terminates).  All workers live in static modules.  The list index is
+   the worker's identity. *)
+type worker = { w_sig : fsig; w_mod : int; w_seed : int }
+
+(* Drivers build function-pointer locals over workers of their signature
+   and call through them; they may live in dynamic modules. *)
+type driver = {
+  d_mod : mloc;
+  d_sig : fsig;
+  d_seed : int;
+  d_cast : bool;    (* route one pointer through a char* cast corridor *)
+  d_struct : bool;  (* call through a struct's function-pointer field *)
+  d_switch : bool;  (* dense switch over the accumulator *)
+}
+
+type t = {
+  sp_nstatic : int;  (* auxiliary static modules beyond "main" *)
+  sp_ndyn : int;     (* dynamic (dlopen-loaded) modules *)
+  sp_structs : bool;
+  sp_union : bool;
+  sp_typedef : bool;
+  sp_setjmp : bool;
+  sp_global_fp : bool;  (* global fptr array with a static initializer *)
+  sp_body : int;        (* body-richness knob, 0..2 *)
+  sp_prints : int;
+  sp_main_seed : int;
+  sp_workers : worker list;
+  sp_drivers : driver list;
+  sp_dyn_order : int list;  (* dlopen order: permutation of 0..sp_ndyn-1 *)
+}
+
+(* ---------- AST shorthand ---------- *)
+
+let e d = mk_expr d
+let ei n = e (Eint n)
+let ev v = e (Evar v)
+let ebin op a b = e (Ebinop (op, a, b))
+let eassign l r = e (Eassign (l, r))
+let ecall f args = e (Ecall (ev f, args))
+let eidx a i = e (Eindex (a, i))
+let stmt d = { sdesc = d; sloc = no_loc }
+let sx ed = stmt (Sexpr ed)
+let sdecl t n = stmt (Sdecl (t, n, None))
+let sret ed = stmt (Sreturn (Some ed))
+let sset v ed = sx (eassign (ev v) ed)
+let sadd v ed = sset v (ebin Add (ev v) ed)
+
+(* for (i = 0; i < bound; i = i + 1) { body } *)
+let sfor i bound body =
+  stmt
+    (Sfor
+       ( Some (sx (eassign (ev i) (ei 0))),
+         Some (ebin Lt (ev i) bound),
+         Some (eassign (ev i) (ebin Add (ev i) (ei 1))),
+         stmt (Sblock body) ))
+
+(* ---------- signatures ---------- *)
+
+let fun_ty_of = function
+  | Sii -> { params = [ Tint ]; varargs = false; ret = Tint }
+  | Siii -> { params = [ Tint; Tint ]; varargs = false; ret = Tint }
+  | Svar -> { params = [ Tint ]; varargs = true; ret = Tint }
+  | Sci -> { params = [ Tchar ]; varargs = false; ret = Tint }
+
+let fptr_ty s = Tptr (Tfun (fun_ty_of s))
+
+let params_of = function
+  | Sii -> [ ("a", Tint) ]
+  | Siii -> [ ("a", Tint); ("b", Tint) ]
+  | Svar -> [ ("n", Tint) ]
+  | Sci -> [ ("c", Tchar) ]
+
+let typedef_name = function
+  | Sii -> "fpt_ii"
+  | Siii -> "fpt_iii"
+  | Svar -> "fpt_va"
+  | Sci -> "fpt_ci"
+
+let all_sigs = [ Sii; Siii; Svar; Sci ]
+let worker_name k = Printf.sprintf "w%d" k
+let driver_name k = Printf.sprintf "drv%d" k
+let dyn_name j = Printf.sprintf "dyn%d" j
+
+let aux_name i = Printf.sprintf "aux%d" i
+
+(* ---------- random expressions ----------
+
+   Every PRNG draw is let-bound before use so the draw order is the
+   program order, not OCaml's (unspecified) argument-evaluation order. *)
+
+let binops = [ Add; Sub; Mul; Band; Bxor; Bor ]
+
+let ratom rng atoms =
+  let use_const = atoms = [] || Prng.bool rng in
+  if use_const then
+    let c = Prng.int rng 60 - 9 in
+    ei c
+  else
+    let v = Prng.choose rng atoms in
+    ev v
+
+let rec rexpr rng atoms depth =
+  let leaf = depth <= 0 || Prng.int rng 5 < 2 in
+  if leaf then ratom rng atoms
+  else
+    let op = Prng.choose rng binops in
+    let a = rexpr rng atoms (depth - 1) in
+    let b = rexpr rng atoms (depth - 1) in
+    ebin op a b
+
+(* Arguments for a call to a function of signature [s]; kept shallow so
+   the whole call statement stays under the codegen register budget. *)
+let args_for rng atoms s =
+  match s with
+  | Sii ->
+    let a1 = rexpr rng atoms 1 in
+    [ a1 ]
+  | Siii ->
+    let a1 = rexpr rng atoms 1 in
+    let a2 = ratom rng atoms in
+    [ a1; a2 ]
+  | Sci ->
+    let a1 = ratom rng atoms in
+    [ e (Ecast (Tchar, a1)) ]
+  | Svar ->
+    let extra = 1 + Prng.int rng 2 in
+    let rec build k acc =
+      if k = 0 then List.rev acc
+      else
+        let a = ratom rng atoms in
+        build (k - 1) (a :: acc)
+    in
+    ei extra :: build extra []
+
+(* ---------- workers ---------- *)
+
+(* [lower]: surviving workers with a smaller index, as (name, sig). *)
+let worker_func sp k (w : worker) ~lower =
+  let rng = Prng.create (Int64.of_int w.w_seed) in
+  let refs = ref [] in
+  let body =
+    match w.w_sig with
+    | Svar ->
+      (* sum the varargs: the canonical promotion/offset exercise *)
+      let c = 1 + Prng.int rng 9 in
+      [
+        sdecl Tint "s";
+        sdecl Tint "i";
+        sset "s" (ei 0);
+        sfor "i" (ev "n") [ sadd "s" (ecall "__vararg" [ ev "i" ]) ];
+        sret (ebin Add (ev "s") (ei c));
+      ]
+    | (Sii | Siii | Sci) as s ->
+      let base_atoms = List.map fst (params_of s) in
+      let decls = ref [ sdecl Tint "x"; sdecl Tint "i" ] in
+      let stmts = ref [] in
+      let push st = stmts := st :: !stmts in
+      let init = rexpr rng base_atoms 2 in
+      push (sset "x" init);
+      let atoms = "x" :: base_atoms in
+      let rich = sp.sp_body in
+      let use_arr = rich > 0 && Prng.int rng 3 = 0 in
+      if use_arr then decls := !decls @ [ sdecl (Tarray (Tint, 4)) "arr" ];
+      let bound = if rich = 0 then 2 else 2 + Prng.int rng 4 in
+      let loop_atoms = "i" :: atoms in
+      let first = rexpr rng loop_atoms 2 in
+      let loop_body = ref [ sadd "x" first ] in
+      if use_arr then begin
+        let c = Prng.int rng 9 in
+        let slot () = eidx (ev "arr") (ebin Band (ev "i") (ei 3)) in
+        loop_body :=
+          !loop_body
+          @ [
+              sx (eassign (slot ()) (ebin Add (ev "x") (ei c)));
+              sadd "x" (slot ());
+            ]
+      end;
+      push (sfor "i" (ei bound) !loop_body);
+      let use_addr = rich > 0 && Prng.int rng 3 = 0 in
+      if use_addr then begin
+        decls := !decls @ [ sdecl Tint "y"; sdecl (Tptr Tint) "p" ];
+        let c1 = Prng.int rng 20 in
+        let c2 = 1 + Prng.int rng 5 in
+        push (sset "y" (ei c1));
+        push (sx (eassign (ev "p") (e (Eaddr (ev "y")))));
+        push
+          (sx
+             (eassign
+                (e (Ederef (ev "p")))
+                (ebin Add (e (Ederef (ev "p"))) (ei c2))));
+        push (sadd "x" (ev "y"))
+      end;
+      let use_switch = rich > 1 && Prng.int rng 3 = 0 in
+      if use_switch then begin
+        let case v =
+          let c = 1 + Prng.int rng 9 in
+          { cvalues = [ v ]; cbody = [ sadd "x" (ei c) ] }
+        in
+        let c0 = case 0 in
+        let c1 = case 1 in
+        let c2 = case 2 in
+        push
+          (stmt
+             (Sswitch
+                ( ebin Band (ev "x") (ei 3),
+                  [ c0; c1; c2 ],
+                  Some [ sadd "x" (ei 1) ] )))
+      end;
+      let use_call = lower <> [] && Prng.int rng 2 = 0 in
+      if use_call then begin
+        let callee, csig = Prng.choose rng lower in
+        refs := callee :: !refs;
+        let args = args_for rng atoms csig in
+        push (sadd "x" (ecall callee args))
+      end;
+      let c = Prng.int rng 50 in
+      push (sret (ebin Bxor (ev "x") (ei c)));
+      !decls @ List.rev !stmts
+  in
+  let f =
+    {
+      fname = worker_name k;
+      fparams = params_of w.w_sig;
+      fvarargs = w.w_sig = Svar;
+      fret = Tint;
+      fbody = body;
+      floc = no_loc;
+    }
+  in
+  (f, !refs)
+
+(* ---------- drivers ---------- *)
+
+type features = {
+  f_structs : bool;
+  f_union : bool;
+  f_typedef : bool;
+  f_sii : string option;  (* a worker of signature Sii, if any survives *)
+}
+
+let shuffle rng xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+let driver_func sp k (d : driver) ~workers ~features =
+  let rng = Prng.create (Int64.of_int d.d_seed) in
+  let refs = ref [] in
+  let targets =
+    List.filter_map
+      (fun (i, w) -> if w.w_sig = d.d_sig then Some (worker_name i) else None)
+      workers
+  in
+  let body =
+    if targets = [] then
+      let c = 1 + Prng.int rng 9 in
+      [ sret (ebin Add (ev "a") (ei c)) ]
+    else begin
+      let chosen = take (1 + Prng.int rng 3) (shuffle rng targets) in
+      let kk = List.length chosen in
+      let fty = fptr_ty d.d_sig in
+      let decls = ref [ sdecl (Tarray (fty, kk)) "fp"; sdecl Tint "s" ] in
+      let stmts = ref [] in
+      let push st = stmts := st :: !stmts in
+      List.iteri
+        (fun j wname ->
+          refs := wname :: !refs;
+          let rhs =
+            if d.d_cast && j = 0 then
+              (* the K1/K2 cast corridor: detour through char*, land back
+                 on the exact type, so the executed call stays benign *)
+              e
+                (Ecast
+                   ( Tnamed (typedef_name d.d_sig),
+                     e (Ecast (Tptr Tchar, ev wname)) ))
+            else ev wname
+          in
+          push (sx (eassign (eidx (ev "fp") (ei j)) rhs)))
+        chosen;
+      push (sset "s" (ev "a"));
+      let bound = 3 + Prng.int rng 4 in
+      let args = args_for rng [ "i"; "a" ] d.d_sig in
+      decls := !decls @ [ sdecl Tint "i" ];
+      push
+        (sfor "i" (ei bound)
+           [
+             sadd "s"
+               (e (Ecall (eidx (ev "fp") (ebin Mod (ev "i") (ei kk)), args)));
+           ]);
+      let use_typedef =
+        let draw = Prng.bool rng in
+        features.f_typedef && d.d_sig = Sii && draw
+      in
+      if use_typedef then begin
+        decls := !decls @ [ sdecl (Tnamed "fpt_ii") "q" ];
+        let w = Prng.choose rng targets in
+        refs := w :: !refs;
+        let c = Prng.int rng 20 in
+        push (sx (eassign (ev "q") (ev w)));
+        push (sadd "s" (ecall "q" [ ei c ]))
+      end;
+      (match features.f_sii with
+      | Some w when d.d_struct && features.f_structs ->
+        decls := !decls @ [ sdecl (Tstruct "s0") "v" ];
+        refs := w :: !refs;
+        let c = Prng.int rng 30 in
+        push (sx (eassign (e (Efield (ev "v", "a"))) (ei c)));
+        push (sx (eassign (e (Efield (ev "v", "fp"))) (ev w)));
+        push
+          (sadd "s"
+             (e (Ecall (e (Efield (ev "v", "fp")), [ e (Efield (ev "v", "a")) ]))));
+        let use_arrow = Prng.bool rng in
+        if use_arrow then begin
+          decls := !decls @ [ sdecl (Tptr (Tstruct "s0")) "pv" ];
+          push (sx (eassign (ev "pv") (e (Eaddr (ev "v")))));
+          push (sadd "s" (e (Earrow (ev "pv", "a"))))
+        end;
+        let use_nested = sp.sp_body > 0 && Prng.bool rng in
+        if use_nested then begin
+          decls := !decls @ [ sdecl (Tstruct "s1") "t1" ];
+          let c = Prng.int rng 15 in
+          push
+            (sx
+               (eassign (e (Efield (e (Efield (ev "t1", "inner")), "a"))) (ei c)));
+          push (sadd "s" (e (Efield (e (Efield (ev "t1", "inner")), "a"))))
+        end
+      | _ -> ());
+      let use_union =
+        let draw = Prng.bool rng in
+        features.f_union && draw
+      in
+      if use_union then begin
+        decls := !decls @ [ sdecl (Tunion "u0") "u" ];
+        let c = Prng.int rng 40 in
+        push (sx (eassign (e (Efield (ev "u", "i"))) (ei c)));
+        push (sadd "s" (e (Efield (ev "u", "i"))))
+      end;
+      let use_sizeof =
+        let draw = Prng.bool rng in
+        features.f_structs && draw
+      in
+      if use_sizeof then push (sadd "s" (e (Esizeof (Tstruct "s0"))));
+      if d.d_switch then begin
+        let case v =
+          let c = 1 + Prng.int rng 9 in
+          { cvalues = [ v ]; cbody = [ sadd "s" (ei c) ] }
+        in
+        let c0 = case 0 in
+        let c1 = case 1 in
+        let c2 = case 2 in
+        push
+          (stmt
+             (Sswitch
+                ( ebin Band (ev "s") (ei 3),
+                  [ c0; c1; c2 ],
+                  Some [ sadd "s" (ei 2) ] )))
+      end;
+      push (sret (ev "s"));
+      !decls @ List.rev !stmts
+    end
+  in
+  let f =
+    {
+      fname = driver_name k;
+      fparams = [ ("a", Tint) ];
+      fvarargs = false;
+      fret = Tint;
+      fbody = body;
+      floc = no_loc;
+    }
+  in
+  (f, !refs)
+
+(* ---------- setjmp group (main module only) ---------- *)
+
+let sj_deep_func =
+  {
+    fname = "sj_deep";
+    fparams = [ ("x", Tint) ];
+    fvarargs = false;
+    fret = Tint;
+    fbody =
+      [
+        stmt
+          (Sif
+             ( ebin Gt (ev "x") (ei 1),
+               stmt (Sblock [ sx (ecall "longjmp" [ ev "jb"; ei 5 ]) ]),
+               None ));
+        sret (ev "x");
+      ];
+    floc = no_loc;
+  }
+
+let sj_entry_func =
+  {
+    fname = "sj_entry";
+    fparams = [ ("x", Tint) ];
+    fvarargs = false;
+    fret = Tint;
+    fbody =
+      [
+        sdecl Tint "r";
+        stmt
+          (Sif
+             ( ecall "setjmp" [ ev "jb" ],
+               stmt (Sblock [ sret (ebin Add (ei 40) (ev "x")) ]),
+               None ));
+        sx (eassign (ev "r") (ecall "sj_deep" [ ev "x" ]));
+        sret (ebin Add (ev "r") (ei 1));
+      ];
+    floc = no_loc;
+  }
+
+(* ---------- main ---------- *)
+
+let main_func sp ~dlopens ~driver_ids ~workers ~gops_ok =
+  let rng = Prng.create (Int64.of_int sp.sp_main_seed) in
+  let refs = ref [] in
+  let stmts = ref [] in
+  let push st = stmts := st :: !stmts in
+  push (sset "s" (ei 0));
+  List.iter (fun name -> push (sx (ecall "dlopen" [ e (Estr name) ]))) dlopens;
+  if gops_ok then
+    push
+      (sfor "i" (ei 4)
+         [
+           sadd "s"
+             (e (Ecall (eidx (ev "gops") (ebin Band (ev "i") (ei 1)), [ ev "i" ])));
+         ]);
+  if sp.sp_setjmp then begin
+    refs := "sj_entry" :: !refs;
+    push (sadd "s" (ecall "sj_entry" [ ei 0 ]));
+    push (sadd "s" (ecall "sj_entry" [ ei 3 ]))
+  end;
+  List.iter
+    (fun k ->
+      refs := driver_name k :: !refs;
+      let c = Prng.int rng 25 in
+      push (sadd "s" (ecall (driver_name k) [ ei c ])))
+    driver_ids;
+  let ncalls = if workers = [] then 0 else 1 + Prng.int rng 2 in
+  for _ = 1 to ncalls do
+    let i, w = Prng.choose rng workers in
+    refs := worker_name i :: !refs;
+    let args = args_for rng [ "s" ] w.w_sig in
+    push (sadd "s" (ecall (worker_name i) args))
+  done;
+  for p = 0 to sp.sp_prints - 1 do
+    push (sx (ecall "printf" [ e (Estr "%d;"); ebin Add (ev "s") (ei p) ]))
+  done;
+  push (sret (ei 0));
+  let f =
+    {
+      fname = "main";
+      fparams = [];
+      fvarargs = false;
+      fret = Tint;
+      fbody = [ sdecl Tint "s"; sdecl Tint "i" ] @ List.rev !stmts;
+      floc = no_loc;
+    }
+  in
+  (f, !refs)
+
+(* ---------- module assembly ---------- *)
+
+type rendered = {
+  r_static : (string * string) list;   (* "main" first *)
+  r_dynamic : (string * string) list;  (* in dlopen order *)
+}
+
+let libc_names = [ "dlopen"; "printf"; "puts"; "exit" ]
+
+let static_slot sp j = if j >= 0 && j <= sp.sp_nstatic then j else 0
+
+(* Where a driver actually lives after clamping against the current module
+   counts (the shrinker lowers them without rewriting every driver). *)
+let driver_slot sp d =
+  match d.d_mod with
+  | Mstatic j -> `Static (static_slot sp j)
+  | Mdyn j when j >= 0 && j < sp.sp_ndyn -> `Dyn j
+  | Mdyn _ -> `Static 0
+
+let render (sp : t) : rendered =
+  let workers = List.mapi (fun i w -> (i, w)) sp.sp_workers in
+  let sii =
+    List.find_map
+      (fun (i, w) -> if w.w_sig = Sii then Some (worker_name i) else None)
+      workers
+  in
+  let casts_used = List.exists (fun d -> d.d_cast) sp.sp_drivers in
+  let typedefs_on = sp.sp_typedef || casts_used in
+  let features =
+    {
+      f_structs = sp.sp_structs;
+      f_union = sp.sp_union;
+      f_typedef = typedefs_on;
+      f_sii = sii;
+    }
+  in
+  (* expand every function once, collecting its cross-references *)
+  let worker_funcs =
+    let rec go acc lower = function
+      | [] -> List.rev acc
+      | (i, w) :: rest ->
+        let f, refs = worker_func sp i w ~lower in
+        go ((i, w, f, refs) :: acc) (lower @ [ (worker_name i, w.w_sig) ]) rest
+    in
+    go [] [] workers
+  in
+  let driver_funcs =
+    List.mapi
+      (fun k d ->
+        let f, refs = driver_func sp k d ~workers ~features in
+        (k, d, f, refs))
+      sp.sp_drivers
+  in
+  let gops_ok =
+    sp.sp_global_fp
+    && List.length (List.filter (fun (_, w) -> w.w_sig = Sii) workers) >= 2
+  in
+  (* dynamic modules that actually hold a driver, in dlopen order *)
+  let dyn_live j =
+    List.exists (fun (_, d, _, _) -> driver_slot sp d = `Dyn j) driver_funcs
+  in
+  let live_dyn = List.filter dyn_live sp.sp_dyn_order in
+  let main_f, main_refs =
+    main_func sp
+      ~dlopens:(List.map dyn_name live_dyn)
+      ~driver_ids:(List.map (fun (k, _, _, _) -> k) driver_funcs)
+      ~workers ~gops_ok
+  in
+  (* name -> signature, for extern synthesis *)
+  let fun_sigs =
+    List.map (fun (i, w, _, _) -> (worker_name i, fun_ty_of w.w_sig)) worker_funcs
+    @ List.map (fun (k, _, _, _) -> (driver_name k, fun_ty_of Sii)) driver_funcs
+    @ [ ("sj_deep", fun_ty_of Sii); ("sj_entry", fun_ty_of Sii) ]
+  in
+  let prelude =
+    (if sp.sp_structs then
+       [
+         Dstruct ("s0", [ ("a", Tint); ("b", Tint); ("fp", fptr_ty Sii) ]);
+         Dstruct ("s1", [ ("x", Tint); ("inner", Tstruct "s0") ]);
+       ]
+     else [])
+    @ (if sp.sp_union then [ Dunion ("u0", [ ("i", Tint); ("c", Tchar) ]) ]
+       else [])
+    @
+    if typedefs_on then
+      List.map (fun s -> Dtypedef (typedef_name s, fptr_ty s)) all_sigs
+    else []
+  in
+  let module_of ~name ~funcs ~globals =
+    let defined = List.map (fun (f, _) -> f.fname) funcs in
+    let refs =
+      List.concat_map snd funcs
+      |> List.sort_uniq compare
+      |> List.filter (fun r ->
+             (not (List.mem r defined)) && not (List.mem r libc_names))
+    in
+    let externs =
+      List.filter_map
+        (fun r ->
+          Option.map (fun ft -> Dextern_fun (r, ft)) (List.assoc_opt r fun_sigs))
+        refs
+    in
+    let decls =
+      prelude @ externs @ globals @ List.map (fun (f, _) -> Dfun f) funcs
+    in
+    (name, Minic.Pretty.to_string { pname = name; pdecls = decls })
+  in
+  let static_funcs i =
+    List.filter_map
+      (fun (_, w, f, refs) ->
+        if static_slot sp w.w_mod = i then Some (f, refs) else None)
+      worker_funcs
+    @ List.filter_map
+        (fun (_, d, f, refs) ->
+          if driver_slot sp d = `Static i then Some (f, refs) else None)
+        driver_funcs
+  in
+  (* the gops initializer takes function addresses, so its names count as
+     refs of the main module for extern synthesis *)
+  let gops_targets =
+    if gops_ok then
+      take 2
+        (List.filter_map
+           (fun (i, w) ->
+             if w.w_sig = Sii then Some (worker_name i) else None)
+           workers)
+    else []
+  in
+  let main_globals =
+    (if sp.sp_setjmp then [ Dglobal (Tarray (Tint, 4), "jb", None) ] else [])
+    @
+    if gops_ok then
+      [
+        Dglobal
+          (Tarray (fptr_ty Sii, 2), "gops",
+           Some (Ilist (List.map ev gops_targets)));
+      ]
+    else []
+  in
+  let main_funcs =
+    static_funcs 0
+    @ (if sp.sp_setjmp then
+         [ (sj_deep_func, []); (sj_entry_func, [ "sj_deep" ]) ]
+       else [])
+    @ [ (main_f, main_refs @ gops_targets) ]
+  in
+  let statics =
+    module_of ~name:"main" ~funcs:main_funcs ~globals:main_globals
+    :: List.filter_map
+         (fun i ->
+           match static_funcs i with
+           | [] -> None
+           | funcs -> Some (module_of ~name:(aux_name i) ~funcs ~globals:[]))
+         (List.init sp.sp_nstatic (fun i -> i + 1))
+  in
+  let dynamics =
+    List.map
+      (fun j ->
+        let funcs =
+          List.filter_map
+            (fun (_, d, f, refs) ->
+              if driver_slot sp d = `Dyn j then Some (f, refs) else None)
+            driver_funcs
+        in
+        module_of ~name:(dyn_name j) ~funcs ~globals:[])
+      live_dyn
+  in
+  { r_static = statics; r_dynamic = dynamics }
+
+(* Total non-blank MiniC lines of a rendered program — the counterexample
+   size metric the shrinker minimizes. *)
+let line_count { r_static; r_dynamic } =
+  List.fold_left
+    (fun acc (_, src) ->
+      List.fold_left
+        (fun acc line -> if String.trim line = "" then acc else acc + 1)
+        acc
+        (String.split_on_char '\n' src))
+    0
+    (r_static @ r_dynamic)

@@ -117,7 +117,8 @@ let size_of_items items =
   | Ok prog -> String.length prog.Asm.image
   | Error e -> fail "size_of_items: %a" (fun () e -> Fmt.str "%a" Asm.pp_error e) e
 
-let instrument ?(sandbox = Abi.Mask) (obj : Mcfi_compiler.Objfile.t) =
+let instrument ?(sandbox = Abi.Mask) ?(drop_check = -1)
+    (obj : Mcfi_compiler.Objfile.t) =
   if obj.o_instrumented then fail "module %s is already instrumented" obj.o_name;
   let sites = Array.of_list obj.o_sites in
   let next_site = ref 0 in
@@ -147,7 +148,9 @@ let instrument ?(sandbox = Abi.Mask) (obj : Mcfi_compiler.Objfile.t) =
     match item with
     | Asm.I Instr.Ret -> begin
       match take_site () with
-      | k, Mcfi_compiler.Objfile.Site_return _ -> return_sequence ~prefix:(prefix k) ~slot:k
+      | k, Mcfi_compiler.Objfile.Site_return _ ->
+        if k = drop_check then [ item ]
+        else return_sequence ~prefix:(prefix k) ~slot:k
       | _, site ->
         fail "module %s: ret where %a expected" obj.o_name
           (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)
@@ -155,7 +158,9 @@ let instrument ?(sandbox = Abi.Mask) (obj : Mcfi_compiler.Objfile.t) =
     end
     | Asm.I (Instr.Call_r src) -> begin
       match take_site () with
-      | k, Mcfi_compiler.Objfile.Site_icall _ -> icall_sequence ~prefix:(prefix k) ~slot:k ~src
+      | k, Mcfi_compiler.Objfile.Site_icall _ ->
+        if k = drop_check then [ item ]
+        else icall_sequence ~prefix:(prefix k) ~slot:k ~src
       | _, site ->
         fail "module %s: indirect call where %a expected" obj.o_name
           (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)
@@ -165,7 +170,8 @@ let instrument ?(sandbox = Abi.Mask) (obj : Mcfi_compiler.Objfile.t) =
       match take_site () with
       | k, (Mcfi_compiler.Objfile.Site_jumptable _ | Mcfi_compiler.Objfile.Site_itail _
            | Mcfi_compiler.Objfile.Site_longjmp _) ->
-        ijmp_sequence ~prefix:(prefix k) ~slot:k ~src
+        if k = drop_check then [ item ]
+        else ijmp_sequence ~prefix:(prefix k) ~slot:k ~src
       | _, site ->
         fail "module %s: indirect jump where %a expected" obj.o_name
           (fun () s -> Fmt.str "%a" Mcfi_compiler.Objfile.pp_site s)

@@ -29,9 +29,19 @@ exception Error of string
     scheme: [Segment] omits the store masks because the platform's
     segmentation hardware bounds every access (the x86-32 flavour).
     Raises {!Error} if [obj] is already instrumented, or if its site list
-    is inconsistent with its code (the codegen invariant is violated). *)
+    is inconsistent with its code (the codegen invariant is violated).
+
+    [drop_check] is a sabotage hook for the fuzzing harness's self-test:
+    the indirect branch at module-local site [k] is emitted {e raw},
+    without its check transaction (the site record is kept, so slot
+    numbering and counts are unchanged).  The verifier must reject the
+    result — that rejection is what the harness asserts.  Never set it
+    outside tests. *)
 val instrument :
-  ?sandbox:Vmisa.Abi.sandbox -> Mcfi_compiler.Objfile.t -> Mcfi_compiler.Objfile.t
+  ?sandbox:Vmisa.Abi.sandbox ->
+  ?drop_check:int ->
+  Mcfi_compiler.Objfile.t ->
+  Mcfi_compiler.Objfile.t
 
 (** The PLT entry for [symbol]: an already-instrumented item sequence whose
     check transaction reloads the branch target from the GOT slot on retry

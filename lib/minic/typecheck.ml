@@ -58,6 +58,16 @@ let resolve ctx loc t =
   try Types.resolve ctx.env t
   with Types.Unknown_type name -> failf loc "unknown type %s" name
 
+(* Layout check for a declared storage type.  [Types.resolve] only chases
+   typedefs, so an undefined [struct s]/[union u] sails through it and
+   [Types.sizeof] is where the missing definition surfaces — as an
+   exception that must become a located type error, not a crash. *)
+let sized ctx loc t =
+  let t = resolve ctx loc t in
+  (try ignore (Types.sizeof ctx.env t)
+   with Types.Unknown_type name -> failf loc "unknown type %s" name);
+  t
+
 let is_scalar ctx loc t =
   match resolve ctx loc t with
   | Tint | Tchar | Tptr _ -> true
@@ -213,7 +223,7 @@ and rv ctx e =
     end
     | Ederef _ | Efield _ | Earrow _ | Eindex _ -> decay ctx loc (lv ctx e)
     | Esizeof t ->
-      ignore (Types.sizeof ctx.env (resolve ctx loc t));
+      ignore (sized ctx loc t);
       Tint
   in
   e.ety <- t;
@@ -295,7 +305,7 @@ let rec check_stmt ctx s =
   match s.sdesc with
   | Sexpr e -> ignore (rv ctx e)
   | Sdecl (t, name, init) -> begin
-    ignore (Types.sizeof ctx.env (resolve ctx loc t));
+    ignore (sized ctx loc t);
     (match init with
     | Some e ->
       let te = rv ctx e in
@@ -410,6 +420,7 @@ let check ?(extra_programs = []) prog =
         address_taken := ctx.address_taken @ !address_taken
       | Dglobal (t, name, init) ->
         let ctx = base_ctx Tvoid in
+        ignore (sized ctx no_loc t);
         (match init with
         | Some (Iexpr e) ->
           let te = rv ctx e in

@@ -44,7 +44,15 @@ let small_report () =
         ("overhead_pct", J.Num 3.0);
       ]
   in
-  J.report ~samples ~torture ~telemetry
+  let fuzz =
+    J.Obj
+      [
+        ("iterations", J.Num 40.0);
+        ("elapsed_s", J.Num 8.0);
+        ("iters_per_s", J.Num 5.0);
+      ]
+  in
+  J.report ~samples ~torture ~telemetry ~fuzz
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -85,6 +93,8 @@ let test_report_roundtrip_and_validate () =
       [ "torture"; "checks_during_install_per_s" ];
       [ "telemetry"; "throughput_ratio" ];
       [ "telemetry"; "overhead_pct" ];
+      [ "fuzz"; "iterations" ];
+      [ "fuzz"; "iters_per_s" ];
     ]
 
 let test_schema_identity () =

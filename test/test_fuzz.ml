@@ -1,0 +1,225 @@
+(* Tests for the property-based fuzzing harness: a small smoke quota of
+   the real oracle bank (the full campaign runs in CI and via `make
+   fuzz`), the rewriter-sabotage self-test, corpus round-trips, and
+   `mcfi fuzz` flag parsing. *)
+
+module Prng = Mcfi_util.Prng
+
+let smoke_iters = 25
+
+(* ---------- the smoke quota ---------- *)
+
+let test_smoke_quota () =
+  let oc =
+    Fuzz.Driver.run
+      {
+        Fuzz.Driver.c_seed = 42L;
+        c_iters = smoke_iters;
+        c_time_budget = 0.;
+        c_corpus_dir = None;
+        c_drop_check = None;
+      }
+  in
+  (match oc.Fuzz.Driver.oc_failure with
+  | None -> ()
+  | Some rp ->
+    let f = rp.Fuzz.Driver.rp_failure in
+    Alcotest.failf "iteration %d (seed %Ld) failed oracle %d (%s): %s"
+      rp.Fuzz.Driver.rp_iter rp.Fuzz.Driver.rp_seed f.Fuzz.Oracle.f_oracle
+      f.Fuzz.Oracle.f_name f.Fuzz.Oracle.f_msg);
+  Alcotest.(check int) "all iterations ran" smoke_iters oc.Fuzz.Driver.oc_iters
+
+let test_deterministic_replay () =
+  (* the same iteration seed reproduces the same rendered program *)
+  let seed = Fuzz.Driver.iter_seed 42L 7 in
+  let r1 = Fuzz.Spec.render (Fuzz.Driver.spec_of seed) in
+  let r2 = Fuzz.Spec.render (Fuzz.Driver.spec_of seed) in
+  Alcotest.(check bool) "static modules identical" true
+    (r1.Fuzz.Spec.r_static = r2.Fuzz.Spec.r_static);
+  Alcotest.(check bool) "dynamic modules identical" true
+    (r1.Fuzz.Spec.r_dynamic = r2.Fuzz.Spec.r_dynamic)
+
+(* ---------- the sabotage self-test ---------- *)
+
+(* Dropping the check instrumentation at module-local site 0 must be
+   caught (by the verifier oracle — the rewriter's output no longer
+   verifies), and the counterexample must shrink small and replay. *)
+let test_sabotage_caught () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "mcfi_fuzz_test" in
+  let oc =
+    Fuzz.Driver.run
+      {
+        Fuzz.Driver.c_seed = 7L;
+        c_iters = 50;
+        c_time_budget = 0.;
+        c_corpus_dir = Some dir;
+        c_drop_check = Some 0;
+      }
+  in
+  match oc.Fuzz.Driver.oc_failure with
+  | None -> Alcotest.fail "sabotaged rewriter not caught in 50 iterations"
+  | Some rp ->
+    let f = rp.Fuzz.Driver.rp_failure in
+    Alcotest.(check int) "caught by the verifier oracle" 2
+      f.Fuzz.Oracle.f_oracle;
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to %d <= 30 lines" rp.Fuzz.Driver.rp_lines)
+      true
+      (rp.Fuzz.Driver.rp_lines <= 30);
+    (* the corpus file replays to the same failure *)
+    (match rp.Fuzz.Driver.rp_file with
+    | None -> Alcotest.fail "no corpus file written"
+    | Some path -> begin
+      match Fuzz.Driver.replay_file path with
+      | Ok Fuzz.Driver.Reproduced -> Sys.remove path
+      | Ok Fuzz.Driver.Fixed -> Alcotest.fail "sabotage replay came back clean"
+      | Ok (Fuzz.Driver.Different f) ->
+        Alcotest.failf "replay failed a different oracle: %s" f.Fuzz.Oracle.f_msg
+      | Error m -> Alcotest.failf "replay: %s" m
+    end)
+
+(* ---------- shrinker ---------- *)
+
+let test_shrink_converges () =
+  (* with a predicate that accepts everything, the shrinker must reach a
+     minimal spec: no workers, no drivers, no features *)
+  let sp = Fuzz.Gen.generate (Prng.create 99L) in
+  let min = Fuzz.Shrink.minimize ~budget:2000 ~reproduces:(fun _ -> true) sp in
+  Alcotest.(check int) "no drivers" 0 (List.length min.Fuzz.Spec.sp_drivers);
+  Alcotest.(check int) "no workers" 0 (List.length min.Fuzz.Spec.sp_workers);
+  Alcotest.(check bool) "no setjmp" false min.Fuzz.Spec.sp_setjmp;
+  Alcotest.(check int) "no dynamic modules" 0 min.Fuzz.Spec.sp_ndyn
+
+let test_shrink_preserves_failure () =
+  (* with a predicate that only accepts specs still containing a driver,
+     the result keeps one *)
+  let sp = Fuzz.Gen.generate (Prng.create 123L) in
+  if sp.Fuzz.Spec.sp_drivers = [] then ()
+  else begin
+    let reproduces c = c.Fuzz.Spec.sp_drivers <> [] in
+    let min = Fuzz.Shrink.minimize ~reproduces sp in
+    Alcotest.(check bool) "a driver survives" true
+      (min.Fuzz.Spec.sp_drivers <> [])
+  end
+
+(* ---------- corpus round-trip ---------- *)
+
+let test_corpus_roundtrip () =
+  let e =
+    {
+      Fuzz.Corpus.c_seed = -123456789L;
+      c_oracle = 4;
+      c_drop_check = Some 2;
+      c_msg = "slot 3: foreign-class target 99 not rejected";
+      c_static =
+        [ ("main", "int main() { return 0; }\n"); ("aux1", "int x;\n") ];
+      c_dynamic = [ ("dyn0", "int d(int a) { return a; }\n") ];
+    }
+  in
+  match Fuzz.Corpus.of_string (Fuzz.Corpus.to_string e) with
+  | Error m -> Alcotest.failf "round-trip parse: %s" m
+  | Ok e' ->
+    Alcotest.(check int64) "seed" e.Fuzz.Corpus.c_seed e'.Fuzz.Corpus.c_seed;
+    Alcotest.(check int) "oracle" e.Fuzz.Corpus.c_oracle e'.Fuzz.Corpus.c_oracle;
+    Alcotest.(check (option int)) "drop_check" e.Fuzz.Corpus.c_drop_check
+      e'.Fuzz.Corpus.c_drop_check;
+    Alcotest.(check (list (pair string string))) "static" e.Fuzz.Corpus.c_static
+      e'.Fuzz.Corpus.c_static;
+    Alcotest.(check (list (pair string string))) "dynamic"
+      e.Fuzz.Corpus.c_dynamic e'.Fuzz.Corpus.c_dynamic
+
+let test_corpus_rejects_garbage () =
+  (match Fuzz.Corpus.of_string "not a corpus file\n" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Fuzz.Corpus.of_string "# seed: 5\n" with
+  | Ok _ -> Alcotest.fail "missing oracle accepted"
+  | Error _ -> ()
+
+(* ---------- `mcfi fuzz` flag parsing ---------- *)
+
+let eval_mode argv =
+  match
+    Cmdliner.Cmd.eval_value ~argv
+      (Cmdliner.Cmd.v (Cmdliner.Cmd.info "fuzz")
+         Cmdliner.Term.(const (fun m -> m) $ Fuzz.Cli.mode_term))
+  with
+  | Ok (`Ok m) -> m
+  | _ -> Alcotest.fail "flag parsing failed"
+
+let test_cli_defaults () =
+  match eval_mode [| "fuzz" |] with
+  | Fuzz.Cli.Fuzz cfg ->
+    Alcotest.(check int64) "seed" 1L cfg.Fuzz.Driver.c_seed;
+    Alcotest.(check int) "iters" 500 cfg.Fuzz.Driver.c_iters;
+    Alcotest.(check (float 0.0)) "budget" 0. cfg.Fuzz.Driver.c_time_budget;
+    Alcotest.(check (option string)) "corpus" (Some "corpus")
+      cfg.Fuzz.Driver.c_corpus_dir;
+    Alcotest.(check (option int)) "drop_check" None cfg.Fuzz.Driver.c_drop_check
+  | Fuzz.Cli.Replay _ -> Alcotest.fail "defaults parsed as replay"
+
+let test_cli_flags () =
+  match
+    eval_mode
+      [|
+        "fuzz"; "--seed=-77"; "--iters"; "2000"; "--time-budget"; "1.5";
+        "--corpus"; "cexs"; "--drop-check"; "3";
+      |]
+  with
+  | Fuzz.Cli.Fuzz cfg ->
+    Alcotest.(check int64) "seed" (-77L) cfg.Fuzz.Driver.c_seed;
+    Alcotest.(check int) "iters" 2000 cfg.Fuzz.Driver.c_iters;
+    Alcotest.(check (float 0.0)) "budget" 1.5 cfg.Fuzz.Driver.c_time_budget;
+    Alcotest.(check (option string)) "corpus" (Some "cexs")
+      cfg.Fuzz.Driver.c_corpus_dir;
+    Alcotest.(check (option int)) "drop_check" (Some 3)
+      cfg.Fuzz.Driver.c_drop_check
+  | Fuzz.Cli.Replay _ -> Alcotest.fail "flags parsed as replay"
+
+let test_cli_replay_mode () =
+  match eval_mode [| "fuzz"; "--replay"; "a.c"; "--replay"; "b.c" |] with
+  | Fuzz.Cli.Replay files ->
+    Alcotest.(check (list string)) "files in order" [ "a.c"; "b.c" ] files
+  | Fuzz.Cli.Fuzz _ -> Alcotest.fail "--replay parsed as a fuzz campaign"
+
+let test_cli_bad_flag_rejected () =
+  match
+    Cmdliner.Cmd.eval_value
+      ~argv:[| "fuzz"; "--iters"; "lots" |]
+      (Cmdliner.Cmd.v (Cmdliner.Cmd.info "fuzz")
+         Cmdliner.Term.(const (fun m -> m) $ Fuzz.Cli.mode_term))
+  with
+  | Ok (`Ok _) -> Alcotest.fail "non-numeric --iters accepted"
+  | _ -> ()
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "oracle bank",
+        [
+          Alcotest.test_case "smoke quota" `Slow test_smoke_quota;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+          Alcotest.test_case "sabotage caught" `Slow test_sabotage_caught;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "converges" `Quick test_shrink_converges;
+          Alcotest.test_case "preserves failure" `Quick
+            test_shrink_preserves_failure;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_corpus_rejects_garbage;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "defaults" `Quick test_cli_defaults;
+          Alcotest.test_case "flags" `Quick test_cli_flags;
+          Alcotest.test_case "replay mode" `Quick test_cli_replay_mode;
+          Alcotest.test_case "bad flag rejected" `Quick
+            test_cli_bad_flag_rejected;
+        ] );
+    ]

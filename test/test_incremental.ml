@@ -292,13 +292,8 @@ let module_src rng k =
   p "  }\n  return s;\n}\n";
   Buffer.contents b
 
-let obj_of name src =
-  Mcfi.Pipeline.instrument (Mcfi.Pipeline.compile_module ~name src)
-
-let check_oracle proc what =
-  match Process.oracle_check proc with
-  | Ok () -> ()
-  | Error m -> Alcotest.failf "oracle %s: %s" what m
+let obj_of = Testlib.obj_of
+let check_oracle = Testlib.check_oracle
 
 let test_process_chain () =
   for seed = 1 to 4 do

@@ -337,6 +337,51 @@ let test_tc_scopes () =
   Alcotest.(check bool) "inner scope dies" true
     (rejects "int main() { if (1) { int y = 2; } return y; }")
 
+(* Regressions found by the fuzz generator: sizing an undefined
+   struct/union used to escape as [Types.Unknown_type] instead of a
+   located [Typecheck.Error] — [rejects] only counts the latter. *)
+let test_tc_rejects_undefined_struct_local () =
+  Alcotest.(check bool) "undefined struct local" true
+    (rejects "int main() { struct nosuch x; return 0; }")
+
+let test_tc_rejects_undefined_struct_sizeof () =
+  Alcotest.(check bool) "sizeof undefined struct" true
+    (rejects "int main() { return sizeof(struct nosuch); }")
+
+let test_tc_rejects_undefined_struct_global () =
+  Alcotest.(check bool) "undefined struct global" true
+    (rejects "struct nosuch g;\nint main() { return 0; }")
+
+let test_tc_rejects_undefined_union_local () =
+  Alcotest.(check bool) "undefined union local" true
+    (rejects "int main() { union nosuch x; return 0; }")
+
+(* The varargs promotion corridor the generator leans on: char extra
+   arguments are scalar and must be accepted; aggregate extras must not. *)
+let test_tc_varargs_scalar_extras () =
+  Alcotest.(check bool) "char extra promotes" true
+    (typechecks
+       "int f(int n, ...) { return n + __vararg(0); }\n\
+        int main() { char c; c = 'a'; return f(2, c, 1); }");
+  Alcotest.(check bool) "aggregate extra rejected" true
+    (rejects
+       "struct s { int a; };\n\
+        struct s gs;\n\
+        int f(int n, ...) { return n; }\n\
+        int main() { return f(1, gs); }")
+
+(* Deeply nested casts stay legal at any depth as long as each step is
+   scalar-to-scalar. *)
+let test_tc_nested_casts () =
+  Alcotest.(check bool) "nested scalar casts" true
+    (typechecks
+       "int inc(int x) { return x + 1; }\n\
+        int main() {\n\
+        int (*f)(int);\n\
+        f = (int (*)(int)) (char *) (void *) (int (*)(int)) inc;\n\
+        return f(41);\n\
+        }")
+
 let test_tc_switch_duplicate_case () =
   Alcotest.(check bool) "dup case" true
     (rejects "int main() { switch (1) { case 1: return 1; case 1: return 2; } return 0; }")
@@ -455,6 +500,17 @@ let () =
           Alcotest.test_case "rejects stray break" `Quick
             test_tc_rejects_break_outside_loop;
           Alcotest.test_case "scopes" `Quick test_tc_scopes;
+          Alcotest.test_case "rejects undefined struct local" `Quick
+            test_tc_rejects_undefined_struct_local;
+          Alcotest.test_case "rejects sizeof undefined struct" `Quick
+            test_tc_rejects_undefined_struct_sizeof;
+          Alcotest.test_case "rejects undefined struct global" `Quick
+            test_tc_rejects_undefined_struct_global;
+          Alcotest.test_case "rejects undefined union local" `Quick
+            test_tc_rejects_undefined_union_local;
+          Alcotest.test_case "varargs scalar extras" `Quick
+            test_tc_varargs_scalar_extras;
+          Alcotest.test_case "nested casts" `Quick test_tc_nested_casts;
           Alcotest.test_case "duplicate case" `Quick
             test_tc_switch_duplicate_case;
           Alcotest.test_case "intrinsics" `Quick test_tc_intrinsics;

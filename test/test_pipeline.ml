@@ -2,15 +2,8 @@
    as a rendered, located message rather than an exception from the
    bowels of the toolchain. *)
 
-let fails_with_prefix prefix thunk =
-  match thunk () with
-  | _ -> Alcotest.failf "expected an error starting with %S" prefix
-  | exception Mcfi.Pipeline.Error msg ->
-    if not (String.length msg >= String.length prefix
-            && String.sub msg 0 (String.length prefix) = prefix)
-    then Alcotest.failf "unexpected message: %s" msg
-
-let build sources = Mcfi.Pipeline.build_process ~sources ()
+let fails_with_prefix = Testlib.fails_with_prefix
+let build = Testlib.build
 
 let test_lex_error_located () =
   fails_with_prefix "main:1:" (fun () ->

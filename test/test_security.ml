@@ -85,33 +85,7 @@ let prop_scan_total =
 
 (* ---------- AIR and policies ---------- *)
 
-let sample_input () =
-  let proc =
-    Mcfi.Pipeline.build_process
-      ~sources:
-        [ ( "p",
-            {|
-int inc(int x) { return x + 1; }
-int dec(int x) { return x - 1; }
-int pick(char *s, int x) { return x; }
-int (*ops[2])(int) = { inc, dec };
-int (*other)(char *, int) = pick;
-int main() {
-  int i;
-  int s = 0;
-  for (i = 0; i < 4; i = i + 1) { s = s + ops[i % 2](i); }
-  return s - 8;
-}|}
-          );
-        ]
-      ()
-  in
-  let input = Mcfi_runtime.Process.cfg_input proc in
-  let code_bytes =
-    Mcfi_runtime.Machine.code_end (Mcfi_runtime.Process.machine proc)
-    - Vmisa.Abi.code_base
-  in
-  (input, code_bytes)
+let sample_input = Testlib.sample_input
 
 let test_air_ordering () =
   let input, code_bytes = sample_input () in

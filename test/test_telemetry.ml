@@ -160,6 +160,56 @@ let test_prometheus_golden () =
           [ b1; b3; binf; sum; count ]
       | _ -> Alcotest.fail "histogram block truncated")
 
+let test_export_empty_registry () =
+  (* Straight after a reset, nothing has fired: the prometheus text must
+     contain no metric lines at all (zero-valued registrations are
+     omitted), and the JSON document must still parse with empty
+     counter/histogram objects. *)
+  with_telemetry (fun () ->
+      let text = T.Export.prometheus () in
+      List.iter
+        (fun line ->
+          if line <> "" && not (String.starts_with ~prefix:"# " line) then
+            Alcotest.failf "empty registry exported %S" line)
+        (String.split_on_char '\n' text);
+      let doc =
+        match J.parse (T.Export.json ()) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "empty export does not parse: %s" m
+      in
+      match (J.path [ "counters" ] doc, J.path [ "histograms" ] doc) with
+      | Some _, Some _ -> ()
+      | _ -> Alcotest.fail "empty export lacks counters/histograms objects")
+
+let test_export_singleton_registry () =
+  (* One counter fired once: exactly that metric appears, with its TYPE
+     header, and the JSON agrees on the value. *)
+  with_telemetry (fun () ->
+      let c = T.Metrics.counter "test_singleton_counter" in
+      T.Metrics.incr c;
+      let lines = String.split_on_char '\n' (T.Export.prometheus ()) in
+      Alcotest.(check bool) "TYPE header present" true
+        (List.mem "# TYPE test_singleton_counter counter" lines);
+      Alcotest.(check bool) "value line present" true
+        (List.mem "test_singleton_counter 1" lines);
+      let other_metrics =
+        List.filter
+          (fun l ->
+            l <> "" && (not (String.starts_with ~prefix:"# " l))
+            && not (String.starts_with ~prefix:"test_singleton_counter" l))
+          lines
+      in
+      Alcotest.(check (list string)) "no other metrics" [] other_metrics;
+      match J.parse (T.Export.json ()) with
+      | Error m -> Alcotest.failf "singleton export does not parse: %s" m
+      | Ok doc -> begin
+        match
+          Option.bind (J.path [ "counters"; "test_singleton_counter" ] doc) J.num
+        with
+        | Some v -> Alcotest.(check (float 0.0)) "json value" 1.0 v
+        | None -> Alcotest.fail "singleton counter missing from json"
+      end)
+
 let test_json_export_parses () =
   with_telemetry (fun () ->
       let c = T.Metrics.counter "test_json_counter" in
@@ -312,6 +362,9 @@ let () =
       ( "exporters",
         [
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "empty registry" `Quick test_export_empty_registry;
+          Alcotest.test_case "singleton registry" `Quick
+            test_export_singleton_registry;
           Alcotest.test_case "json parses" `Quick test_json_export_parses;
         ] );
       ( "sampling",

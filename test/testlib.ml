@@ -1,0 +1,69 @@
+(* Shared build-program → run-pipeline plumbing for the test suite.
+
+   The same few helpers used to be copied into test_pipeline,
+   test_security and test_incremental (and would have been copied again
+   into test_fuzz); they live here once instead. *)
+
+module Process = Mcfi_runtime.Process
+module Machine = Mcfi_runtime.Machine
+
+(* Build a process from named sources with the pipeline defaults. *)
+let build ?instrumented ?(dynamic = []) sources =
+  Mcfi.Pipeline.build_process ?instrumented ~sources ~dynamic ()
+
+(* Assert that [thunk] raises [Pipeline.Error] with a message starting
+   with [prefix]. *)
+let fails_with_prefix prefix thunk =
+  match thunk () with
+  | _ -> Alcotest.failf "expected an error starting with %S" prefix
+  | exception Mcfi.Pipeline.Error msg ->
+    if
+      not
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+    then Alcotest.failf "unexpected message: %s" msg
+
+(* Compile and instrument a single module to a loadable object. *)
+let obj_of name src =
+  Mcfi.Pipeline.instrument (Mcfi.Pipeline.compile_module ~name src)
+
+(* Assert that a process's incremental CFG state matches a from-scratch
+   regeneration. *)
+let check_oracle proc what =
+  match Process.oracle_check proc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "oracle %s: %s" what m
+
+(* Run to completion and return the output; any exit other than
+   [Exited 0] is a test failure. *)
+let run_output ?fuel what proc =
+  match Process.run ?fuel proc with
+  | Machine.Exited 0 -> Machine.output (Process.machine proc)
+  | r -> Alcotest.failf "%s: %a" what Machine.pp_exit_reason r
+
+(* A small fixed program with two indirect-call classes, plus its CFG
+   input and code size — the shared fixture for AIR/policy tests. *)
+let sample_input () =
+  let proc =
+    build
+      [ ( "p",
+          {|
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int pick(char *s, int x) { return x; }
+int (*ops[2])(int) = { inc, dec };
+int (*other)(char *, int) = pick;
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 4; i = i + 1) { s = s + ops[i % 2](i); }
+  return s - 8;
+}|}
+        );
+      ]
+  in
+  let input = Process.cfg_input proc in
+  let code_bytes =
+    Machine.code_end (Process.machine proc) - Vmisa.Abi.code_base
+  in
+  (input, code_bytes)
