@@ -1,5 +1,5 @@
 .PHONY: all check faults test bench bench-json telemetry torture fuzz \
-	fuzz-replay clean
+	fuzz-replay fleet clean
 
 all:
 	dune build
@@ -50,6 +50,13 @@ fuzz-replay:
 	if [ -z "$$files" ]; then echo "corpus/ has no counterexamples"; \
 	else dune exec bin/mcfi_cli.exe -- fuzz \
 	  $$(for f in $$files; do echo --replay $$f; done); fi
+
+# tenant-fleet supervision under seeded chaos: 16 tenants sharing the
+# table infrastructure, a scripted mid-install kill and reader wedge
+# plus random slowdowns, an install storm every 10 ticks; exits nonzero
+# on any oracle anomaly, unrecovered tenant, or wedged quiescence
+fleet:
+	dune exec --profile ci bin/mcfi_cli.exe -- fleet --smoke --seed 11
 
 clean:
 	dune clean

@@ -27,9 +27,9 @@
      fuzz     - differential-fuzzing throughput: iterations of the full
                 generate → pipeline → oracle-bank loop per second
      json     - machine-readable report: the dlopen-chain scaling curve,
-                the install-throughput numbers, the telemetry overhead
-                and the fuzzing throughput, as Benchjson.output_file
-                (BENCH_5.json) *)
+                the install-throughput numbers, the telemetry overhead,
+                the fuzzing throughput and the fleet-survival numbers,
+                as Benchjson.output_file (BENCH_6.json) *)
 
 module Process = Mcfi_runtime.Process
 module Machine = Mcfi_runtime.Machine
@@ -669,6 +669,51 @@ let fuzz_section () =
     oc.Fuzz.Driver.oc_elapsed
     (float_of_int oc.Fuzz.Driver.oc_iters /. oc.Fuzz.Driver.oc_elapsed)
 
+(* ---- fleet: tenant supervision under an install storm ---- *)
+
+(* A small deterministic fleet: enough tenants and chaos to produce
+   kills, restarts and shed admissions, small enough to finish in a few
+   hundred milliseconds.  The run must come back clean — an anomaly or
+   an unrecovered tenant is a correctness failure, not a slow number. *)
+let fleet_run () =
+  let r = Supervisor.Fleet.run (Supervisor.Fleet.smoke ~seed:0xF1EE7L) in
+  if not (Supervisor.Fleet.ok r) then
+    failwith
+      (Fmt.str "fleet bench failed its own acceptance gate: %a"
+         Supervisor.Fleet.pp_report r);
+  r
+
+let fleet_section () =
+  let r = fleet_run () in
+  Fmt.pr "supervised fleet, seeded chaos (kills, wedge, storm, churn):@.";
+  Fmt.pr "  survival %.2f (%d/%d serving), %d quarantined@."
+    r.Supervisor.Fleet.fr_survival_rate r.Supervisor.Fleet.fr_survivors
+    r.Supervisor.Fleet.fr_config.Supervisor.Fleet.fc_tenants
+    r.Supervisor.Fleet.fr_quarantined;
+  Fmt.pr "  %d kills, %d restarts; recovery p50 %.1f ms, p99 %.1f ms@."
+    r.Supervisor.Fleet.fr_kills r.Supervisor.Fleet.fr_restarts
+    r.Supervisor.Fleet.fr_recovery_p50_ms r.Supervisor.Fleet.fr_recovery_p99_ms;
+  Fmt.pr "  installs: %d admitted, %d served, %d shed, %d deferred@."
+    r.Supervisor.Fleet.fr_admitted r.Supervisor.Fleet.fr_served
+    r.Supervisor.Fleet.fr_shed r.Supervisor.Fleet.fr_deferred
+
+let fleet_json r =
+  Mcfi.Benchjson.Obj
+    [
+      ("tenants", Num (float_of_int r.Supervisor.Fleet.fr_config.Supervisor.Fleet.fc_tenants));
+      ("survival_rate", Num r.Supervisor.Fleet.fr_survival_rate);
+      ("kills", Num (float_of_int r.Supervisor.Fleet.fr_kills));
+      ("restarts", Num (float_of_int r.Supervisor.Fleet.fr_restarts));
+      ("quarantined", Num (float_of_int r.Supervisor.Fleet.fr_quarantined));
+      ("recovery_ms_p50", Num r.Supervisor.Fleet.fr_recovery_p50_ms);
+      ("recovery_ms_p99", Num r.Supervisor.Fleet.fr_recovery_p99_ms);
+      ("installs_admitted", Num (float_of_int r.Supervisor.Fleet.fr_admitted));
+      ("installs_served", Num (float_of_int r.Supervisor.Fleet.fr_served));
+      ("installs_shed", Num (float_of_int r.Supervisor.Fleet.fr_shed));
+      ("checks", Num (float_of_int r.Supervisor.Fleet.fr_checks));
+      ("elapsed_s", Num r.Supervisor.Fleet.fr_elapsed_s);
+    ]
+
 (* ---- json: the machine-readable report ---- *)
 
 let json () =
@@ -720,7 +765,8 @@ let json () =
         );
       ]
   in
-  let report = Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz in
+  let fleet = fleet_json (fleet_run ()) in
+  let report = Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
   | Ok () -> ()
@@ -763,6 +809,9 @@ let () =
     telemetry_section;
   section "fuzz" "Differential-fuzzing throughput (oracle-bank iterations)"
     fuzz_section;
+  section "fleet" "Tenant-fleet supervision under seeded chaos (not a paper \
+                   figure)"
+    fleet_section;
   section "json"
     ("Machine-readable report (" ^ Mcfi.Benchjson.output_file ^ ")")
     json

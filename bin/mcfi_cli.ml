@@ -10,6 +10,7 @@
      trace     execute under telemetry and print the event trace
      torture   seeded multi-domain torture of the runtime protocols
      fuzz      property-based fuzzing against the differential oracle bank
+     fleet     tenant-fleet supervision under seeded chaos
      bench     list the built-in benchmark suite
 
    Examples:
@@ -477,4 +478,5 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
-            stats_cmd; trace_cmd; torture_cmd; Fuzz.Cli.cmd; bench_cmd ]))
+            stats_cmd; trace_cmd; torture_cmd; Fuzz.Cli.cmd;
+            Supervisor.Cli.cmd; bench_cmd ]))

@@ -293,10 +293,10 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 5
+let schema_version = 6
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry ~fuzz =
+let report ~samples ~torture ~telemetry ~fuzz ~fleet =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -327,6 +327,7 @@ let report ~samples ~torture ~telemetry ~fuzz =
         ("torture", torture);
         ("telemetry", telemetry);
         ("fuzz", fuzz);
+        ("fleet", fleet);
       ]
 
 let validate j =
@@ -381,4 +382,9 @@ let validate j =
   let* () = check_num "telemetry" [ "telemetry"; "overhead_pct" ] in
   let* () = check_num "fuzz" [ "fuzz"; "iterations" ] in
   let* () = check_num "fuzz" [ "fuzz"; "iters_per_s" ] in
+  let* () = check_num "fleet" [ "fleet"; "survival_rate" ] in
+  let* () = check_num "fleet" [ "fleet"; "recovery_ms_p50" ] in
+  let* () = check_num "fleet" [ "fleet"; "recovery_ms_p99" ] in
+  let* () = check_num "fleet" [ "fleet"; "installs_served" ] in
+  let* () = check_num "fleet" [ "fleet"; "installs_shed" ] in
   Ok ()

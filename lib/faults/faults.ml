@@ -183,3 +183,99 @@ let hit point =
 let with_plan plan f =
   arm plan;
   Fun.protect ~finally:disarm f
+
+(* ---- tenant-scoped plans ----
+
+   The fleet supervisor's chaos machinery: where the global plan above
+   names a protocol point, a tenant plan names a {e victim} (or draws
+   one) and an {e action} the fleet driver applies at that tenant's next
+   crossing.  The same determinism story as the global [At]/[Random]
+   modes: [At] counts only the named tenant's crossings with an atomic
+   countdown (exactly one crossing fires, even under racing workers),
+   and [Random] derives one independent splitmix64 stream per tenant
+   from the single campaign seed, so an entire chaos scenario replays
+   from that seed alone. *)
+module Tenant = struct
+  type action = Kill_install | Wedge_reader | Slow_tenant
+
+  let action_name = function
+    | Kill_install -> "kill-install"
+    | Wedge_reader -> "wedge-reader"
+    | Slow_tenant -> "slow-tenant"
+
+  let pp_action ppf a = Fmt.string ppf (action_name a)
+
+  type plan =
+    | At of { tenant : int; action : action; hit : int }
+    | Random of { seed : int64; one_in : int; action : action }
+
+  let pp_plan ppf = function
+    | At { tenant; action; hit } ->
+      Fmt.pf ppf "at(tenant=%d, %a, hit=%d)" tenant pp_action action hit
+    | Random { seed; one_in; action } ->
+      Fmt.pf ppf "random(seed=%Ld, 1/%d, %a)" seed one_in pp_action action
+
+  type armed_plan =
+    | Acountdown of { tenant : int; action : action; left : int Atomic.t }
+    | Adraw of {
+        seed : int64;
+        one_in : int;
+        action : action;
+        (* per-tenant streams, minted lazily under the lock *)
+        streams : (int, Mcfi_util.Prng.t) Hashtbl.t;
+        lock : Mutex.t;
+      }
+
+  type armed = armed_plan list
+
+  (* Fold the tenant id into the campaign seed (splitmix64's odd
+     multiplicative constant): equal (seed, tenant) pairs always yield
+     the same stream, distinct tenants get independent ones. *)
+  let tenant_stream seed tenant =
+    Mcfi_util.Prng.create
+      (Int64.logxor seed
+         (Int64.mul (Int64.of_int (tenant + 1)) 0x9E3779B97F4A7C15L))
+
+  let arm plans =
+    List.map
+      (function
+        | At { tenant; action; hit } ->
+          Acountdown { tenant; action; left = Atomic.make (max 1 hit) }
+        | Random { seed; one_in; action } ->
+          Adraw
+            {
+              seed;
+              one_in = max 1 one_in;
+              action;
+              streams = Hashtbl.create 16;
+              lock = Mutex.create ();
+            })
+      plans
+
+  let crossing armed ~tenant =
+    List.find_map
+      (function
+        | Acountdown { tenant = t; action; left } ->
+          if t = tenant && Atomic.get left > 0
+             && Atomic.fetch_and_add left (-1) = 1
+          then Some action
+          else None
+        | Adraw { seed; one_in; action; streams; lock } ->
+          let fires =
+            Mutex.lock lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock lock)
+              (fun () ->
+                let prng =
+                  match Hashtbl.find_opt streams tenant with
+                  | Some p -> p
+                  | None ->
+                    let p = tenant_stream seed tenant in
+                    Hashtbl.add streams tenant p;
+                    p
+                in
+                Mcfi_util.Prng.int prng one_in = 0)
+          in
+          if fires then Some action else None)
+      armed
+end

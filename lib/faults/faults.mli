@@ -115,3 +115,52 @@ val with_plan : Plan.t -> (unit -> 'a) -> 'a
 (** [hit point] is the injection hook: no-op without an armed plan, raises
     {!Injected} when the armed plan fires here. *)
 val hit : Plan.point -> unit
+
+(** {2 Tenant-scoped plans}
+
+    Chaos plans for a {e fleet} of tenants: where the global plan names
+    a protocol point, a tenant plan names a victim tenant (or draws one)
+    and an action the fleet driver applies at that tenant's next
+    crossing — killing its in-flight install, wedging its epoch reader,
+    or slowing it down.  Deterministic exactly like the global
+    machinery: [At] plans count only the named tenant's crossings and
+    fire exactly once even under racing workers; [Random] plans derive
+    one independent PRNG stream per tenant from the single campaign
+    seed, so a whole chaos scenario replays from that seed alone.
+    Tenant plans are a value (not process-global): each fleet run owns
+    its armed set. *)
+module Tenant : sig
+  type action =
+    | Kill_install
+        (** arm a one-shot mid-install kill for the tenant's next update
+            transaction (the driver translates this into a global
+            [At { Nth_tary_write | Between_tary_and_bary; _ }] plan) *)
+    | Wedge_reader
+        (** the tenant stops crossing branch boundaries while staying
+            registered — the corpse that gates quiescence until the
+            supervisor tears it down *)
+    | Slow_tenant  (** the tenant pauses between slices *)
+
+  val action_name : action -> string
+  val pp_action : Format.formatter -> action -> unit
+
+  type plan =
+    | At of { tenant : int; action : action; hit : int }
+        (** fire on the [hit]-th crossing (1-based) of tenant [tenant];
+            one-shot *)
+    | Random of { seed : int64; one_in : int; action : action }
+        (** each tenant crossing fires with probability 1/[one_in],
+            drawn from that tenant's own seed-derived stream *)
+
+  val pp_plan : Format.formatter -> plan -> unit
+
+  (** An armed set of tenant plans (one fleet run's chaos schedule). *)
+  type armed
+
+  val arm : plan list -> armed
+
+  (** [crossing armed ~tenant] is the hook the fleet driver calls once
+      per tenant slice: the first plan that fires decides the action
+      ([None] = run the slice normally).  Domain-safe. *)
+  val crossing : armed -> tenant:int -> action option
+end

@@ -169,7 +169,9 @@ let unregister_reader t r =
   cas_readers t (List.filter (fun r' -> r' != r))
 
 let reader_quiescent r = Atomic.incr r.rd_epoch
+let reader_epoch r = Atomic.get r.rd_epoch
 let set_reader_online r b = Atomic.set r.rd_online b
+let reader_online r = Atomic.get r.rd_online
 
 let registered_readers t = List.length (Atomic.get t.readers)
 

@@ -107,9 +107,16 @@ val unregister_reader : t -> reader -> unit
     transaction right now.  One atomic increment. *)
 val reader_quiescent : reader -> unit
 
+(** The reader's current epoch — an atomic load, safe from any domain.
+    A supervisor samples this to tell a live checker (epoch advancing)
+    from a wedged one (epoch stalled while still registered). *)
+val reader_epoch : reader -> int
+
 (** An offline reader does not gate quiescence (e.g. blocked in a long
     syscall); mark it online again before its next check. *)
 val set_reader_online : reader -> bool -> unit
+
+val reader_online : reader -> bool
 
 val registered_readers : t -> int
 

@@ -28,9 +28,19 @@ let m_delta_writes = Telemetry.Metrics.histogram "mcfi_delta_writes"
 
 (* Bounded exponential backoff: 2^round pause hints, capped at 64, so a
    checker spinning against a long update yields the core without ever
-   sleeping (checks must stay syscall-free). *)
-let backoff round =
-  let spins = 1 lsl min round 6 in
+   sleeping (checks must stay syscall-free).  With [jitter], the spin
+   count is drawn uniformly from [base, 2*base): N tenants backing off
+   from the same contended install fan out instead of retrying in
+   lockstep (thundering herd), and the draw is deterministic per PRNG
+   seed so test failures replay exactly. *)
+let backoff_spins ?jitter round =
+  let base = 1 lsl min round 6 in
+  match jitter with
+  | None -> base
+  | Some prng -> base + Mcfi_util.Prng.int prng base
+
+let backoff ?jitter round =
+  let spins = backoff_spins ?jitter round in
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done
@@ -205,7 +215,7 @@ let recover_locked t =
 
 let recover t = Tables.with_update_lock t (fun () -> recover_locked t)
 
-let check ?max_retries ?(escalation = Fail_check) ?watchdog
+let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
     ?(on_retry = fun () -> ()) t ~bary_index ~target =
   let ctx = Telemetry.check_begin () in
   let telemetry_on = ctx <> 0 in
@@ -256,7 +266,7 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog
           ~c:round
     end;
     on_retry ();
-    backoff round
+    backoff ?jitter round
   and escalate esc ~recovered =
     match esc with
     | Fail_check ->

@@ -55,8 +55,18 @@ type watchdog = {
 val pp_watchdog : Format.formatter -> watchdog -> unit
 
 (** [backoff round] is the bounded exponential backoff used by the retry
-    loops: [2^min(round,6)] [Domain.cpu_relax] pause hints. *)
-val backoff : int -> unit
+    loops: [2^min(round,6)] [Domain.cpu_relax] pause hints.  With
+    [jitter], the spin count is drawn uniformly from [base, 2*base) —
+    N checkers backing off from the same contended install desynchronize
+    instead of retrying in lockstep, and the schedule is deterministic
+    per PRNG seed. *)
+val backoff : ?jitter:Mcfi_util.Prng.t -> int -> unit
+
+(** [backoff_spins round] is the spin count {!backoff} would use — the
+    deterministic jitter schedule, exposed for tests and for callers
+    that pace something other than [cpu_relax] (the fleet supervisor's
+    restart delays). *)
+val backoff_spins : ?jitter:Mcfi_util.Prng.t -> int -> int
 
 (** [check t ~bary_index ~target] runs one check transaction.
     [max_retries] bounds the retry loop (tests and the VM use a fuel
@@ -67,11 +77,13 @@ val backoff : int -> unit
     [on_retry] is called once per actual retry — test instrumentation.
     [escalation] picks the budget-exhaustion policy (default
     [Fail_check]); [watchdog] independently bounds how long the loop will
-    chase a stalled updater. *)
+    chase a stalled updater.  [jitter] randomizes each retry's backoff
+    (see {!backoff}); the PRNG is owned by the calling domain. *)
 val check :
   ?max_retries:int ->
   ?escalation:escalation ->
   ?watchdog:watchdog ->
+  ?jitter:Mcfi_util.Prng.t ->
   ?on_retry:(unit -> unit) ->
   Tables.t ->
   bary_index:int ->

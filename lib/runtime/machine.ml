@@ -32,8 +32,9 @@ type t = {
   tables : Idtables.Tables.t option;
   (* this machine's registration in the tables' epoch registry: bumped at
      syscalls, where the interpreted program is provably outside any
-     check sequence *)
-  reader : Idtables.Tables.reader option;
+     check sequence; [release] clears it so a dead machine never gates
+     quiescence *)
+  mutable reader : Idtables.Tables.reader option;
   mutable nsteps : int;
   out : Buffer.t;
   mutable brk : int;
@@ -111,6 +112,13 @@ let append_code m img =
   base
 
 let code_end m = m.code_base + m.code_len
+
+let release m =
+  match (m.tables, m.reader) with
+  | Some t, Some r ->
+    m.reader <- None;
+    Idtables.Tables.unregister_reader t r
+  | _ -> ()
 
 let truncate_code m ~code_end =
   let len = code_end - m.code_base in

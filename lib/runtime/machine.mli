@@ -49,6 +49,14 @@ val append_code : t -> string -> int
 (** Next free code address. *)
 val code_end : t -> int
 
+(** [release m] unregisters the machine's reader from the tables' epoch
+    registry, so a machine that will never run again stops gating
+    {!Idtables.Tables.try_quiesce}.  Idempotent; a no-op for machines
+    without tables.  Part of tenant teardown ({!Process.teardown}): a
+    dead tenant left registered would wedge quiescence — and with it the
+    version-space budget — for every other tenant on the tables. *)
+val release : t -> unit
+
 (** [truncate_code m ~code_end] rolls the code region back so that
     {!code_end} is [code_end] again: the dropped suffix reverts to the
     unoccupied-byte pattern and its decode cache is purged.  Loader-only

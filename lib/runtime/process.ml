@@ -649,3 +649,14 @@ let start t =
 let run ?fuel t =
   start t;
   Machine.run ?fuel t.mach
+
+(* Crash-only teardown: release the epoch registration first (a corpse
+   must never gate quiescence), then complete any install transaction
+   this process died inside of — the journal redo takes the update lock,
+   so a live peer updater is waited out, and a dead holder's lock was
+   already released by [with_update_lock]'s unwind. *)
+let teardown t =
+  Machine.release t.mach;
+  match t.tables with
+  | None -> ()
+  | Some tables -> ignore (Tx.recover tables)

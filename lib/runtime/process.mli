@@ -123,3 +123,12 @@ val cfg_gen_time_ms : t -> float
 
 (** Number of update transactions executed (startup loads + dlopens). *)
 val updates : t -> int
+
+(** [teardown t] is the supervised, crash-only death of the process:
+    unregister its machine's reader from the tables' epoch registry (so
+    the corpse can never wedge {!Idtables.Tables.try_quiesce}), then
+    redo any install transaction the process died inside of from the
+    intent journal ({!Idtables.Tx.recover}).  Idempotent, and safe on a
+    process in {e any} state — half-loaded, killed mid-install, or
+    cleanly exited.  After teardown the process must not run again. *)
+val teardown : t -> unit

@@ -167,6 +167,10 @@ let make_history size =
     h_overflow = Atomic.make false;
   }
 
+let history_began h = Atomic.get h.h_began
+let history_completed h = Atomic.get h.h_completed
+let history_overflowed h = Atomic.get h.h_overflow
+
 let observer h =
   {
     Tables.obs_begin =
@@ -482,6 +486,7 @@ let run_storm sc prng =
   let t = Option.get (Mcfi_runtime.Process.tables proc) in
   match stable_probe t with
   | None ->
+    Mcfi_runtime.Process.teardown proc;
     ( [||],
       0,
       0,
@@ -546,6 +551,10 @@ let run_storm sc prng =
     done;
     Atomic.set stop true;
     let chk_results = Array.map Domain.join checkers in
+    (* the kill path: the victim process is done — its reader must not
+       outlive it in the epoch registry, or the tables could never
+       quiesce again *)
+    Mcfi_runtime.Process.teardown proc;
     (chk_results, !ok, !failed, [])
 
 (* ------------------------------------------------------------------ *)

@@ -122,3 +122,65 @@ val install_throughput :
   seed:int64 ->
   unit ->
   throughput
+
+(** {2 The seeded CFG pool and epoch-history oracle}
+
+    Exposed for harnesses that run their own workloads against shared
+    tables but want this module's correctness judge — the fleet
+    supervisor ([lib/supervisor]) validates every tenant check with it.
+
+    A pool CFG lives in a tiny ECN space: [c_bary.(slot)] is a branch
+    slot's class, [c_tary.(i)] the class of the [i]-th 4-aligned target
+    ([-1] = not a target). *)
+
+type cfg = { c_bary : int array; c_tary : int array }
+
+val ecn_space : int
+(** Number of distinct equivalence classes a pool CFG draws from. *)
+
+val gen_cfg : Mcfi_util.Prng.t -> slots:int -> targets:int -> cfg
+(** Draw one pool CFG (about 1-in-4 targets are holes). *)
+
+val allows : cfg -> slot:int -> tidx:int -> bool
+(** Whether the CFG permits branch [slot] to reach target index [tidx]. *)
+
+val tary_of : base:int -> cfg -> (int * int) list
+(** [(address, ecn)] Tary entries of a CFG, targets based at [base]. *)
+
+val bary_of : cfg -> (int * int) list
+(** [(slot, ecn)] Bary entries of a CFG. *)
+
+(** The install log: an {!Idtables.Tables.observer} records each install
+    transaction's begin (before its first slot write) and completion
+    (after its final barrier), both under the update lock.  A check that
+    brackets its table reads with {!history_completed} before and
+    {!history_began} after can only have observed installs in the window
+    [[c0-1, b1-1]] — the oracle's justification set. *)
+type history
+
+val make_history : int -> history
+(** [make_history capacity] — logs overflow (and stop recording) past
+    [capacity] begins; see {!history_overflowed}. *)
+
+val observer : history -> Idtables.Tables.observer
+(** The observer to pass to {!Idtables.Tables.set_observer}. *)
+
+val history_began : history -> int
+val history_completed : history -> int
+val history_overflowed : history -> bool
+
+val window_justifies :
+  history ->
+  cfg array ->
+  slot:int ->
+  tidx:int ->
+  c0:int ->
+  b1:int ->
+  pass:bool ->
+  bool
+(** [window_justifies h pool ~slot ~tidx ~c0 ~b1 ~pass]: does some
+    install in the check's read window justify the outcome — a [Pass]
+    by a pool CFG allowing the edge, a violation by one denying it?
+    [false] means the mechanism itself misbehaved (a pass no live
+    version explains is a CFI breach; an unexplained violation is a
+    spurious halt). *)

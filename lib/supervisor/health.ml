@@ -1,0 +1,221 @@
+module Prng = Mcfi_util.Prng
+
+type state = Starting | Healthy | Degraded | Quarantined | Restarting | Dead
+
+let state_name = function
+  | Starting -> "starting"
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+  | Restarting -> "restarting"
+  | Dead -> "dead"
+
+let state_code = function
+  | Starting -> 0
+  | Healthy -> 1
+  | Degraded -> 2
+  | Quarantined -> 3
+  | Restarting -> 4
+  | Dead -> 5
+
+let state_of_code = function
+  | 0 -> Starting
+  | 1 -> Healthy
+  | 2 -> Degraded
+  | 3 -> Quarantined
+  | 4 -> Restarting
+  | 5 -> Dead
+  | c -> invalid_arg (Printf.sprintf "Health.state_of_code %d" c)
+
+let pp_state ppf s = Fmt.string ppf (state_name s)
+let all_states = [ Starting; Healthy; Degraded; Quarantined; Restarting; Dead ]
+
+type policy = {
+  p_start_ticks : int;
+  p_heal_ticks : int;
+  p_degrade_exhausted : int;
+  p_degrade_retries : int;
+  p_stall_ticks : int;
+  p_breaker_ticks : int;
+  p_restart_budget : int;
+  p_budget_window : int;
+  p_backoff_base : int;
+  p_backoff_cap : int;
+  p_queue_capacity : int;
+}
+
+let default_policy =
+  {
+    p_start_ticks = 2;
+    p_heal_ticks = 3;
+    p_degrade_exhausted = 4;
+    p_degrade_retries = 2048;
+    p_stall_ticks = 12;
+    p_breaker_ticks = 24;
+    p_restart_budget = 4;
+    p_budget_window = 200;
+    p_backoff_base = 2;
+    p_backoff_cap = 4;
+    p_queue_capacity = 16;
+  }
+
+let pp_policy ppf p =
+  Fmt.pf ppf
+    "start=%d heal=%d degrade-exhausted=%d degrade-retries=%d stall=%d \
+     breaker=%d budget=%d/%d backoff=%d..<<%d queue=%d"
+    p.p_start_ticks p.p_heal_ticks p.p_degrade_exhausted p.p_degrade_retries
+    p.p_stall_ticks p.p_breaker_ticks p.p_restart_budget p.p_budget_window
+    p.p_backoff_base p.p_backoff_cap p.p_queue_capacity
+
+type signals = {
+  s_epoch : int;
+  s_crashed : bool;
+  s_exhausted : int;
+  s_retries : int;
+  s_queue : int;
+}
+
+let quiet ~epoch =
+  { s_epoch = epoch; s_crashed = false; s_exhausted = 0; s_retries = 0; s_queue = 0 }
+
+type t = {
+  policy : policy;
+  prng : Prng.t option;
+  mutable st : state;
+  mutable ticks_in_state : int;
+  mutable clean_ticks : int;
+  mutable last_epoch : int;
+  mutable stall_ticks : int;
+  mutable attempt : int;  (* consecutive restarts since last Healthy *)
+  mutable in_window : int;
+  mutable window_start : int;
+  mutable restart_at : int;  (* tick at which Restarting may re-enter Starting *)
+  mutable last_delay : int;
+}
+
+let create ?prng policy =
+  {
+    policy;
+    prng;
+    st = Starting;
+    ticks_in_state = 0;
+    clean_ticks = 0;
+    last_epoch = min_int;
+    stall_ticks = 0;
+    attempt = 0;
+    in_window = 0;
+    window_start = 0;
+    restart_at = 0;
+    last_delay = 0;
+  }
+
+let state h = h.st
+let restart_attempt h = h.attempt
+let restarts_in_window h = h.in_window
+let last_restart_delay h = h.last_delay
+
+(* Bounded exponential with seeded jitter, the same shape as
+   [Tx.backoff_spins]: base·2^min(attempt-1, cap), plus a uniform draw
+   in [0, base·2^…) when jittered — restarting tenants desynchronize
+   instead of slamming the tables in lockstep, deterministically per
+   tenant stream. *)
+let restart_delay_preview policy ?prng attempt =
+  let base =
+    policy.p_backoff_base * (1 lsl min (max 0 (attempt - 1)) policy.p_backoff_cap)
+  in
+  let base = max 1 base in
+  match prng with None -> base | Some p -> base + Prng.int p base
+
+let escalation_of = function
+  | Starting | Healthy -> Idtables.Tx.Wait_for_updater
+  | Degraded | Quarantined | Restarting | Dead -> Idtables.Tx.Fail_check
+
+let enter h ~now st =
+  if st <> h.st then begin
+    h.st <- st;
+    h.ticks_in_state <- 0;
+    h.clean_ticks <- 0;
+    if st = Healthy then h.attempt <- 0;
+    if st = Starting then h.stall_ticks <- 0
+  end
+  else h.ticks_in_state <- h.ticks_in_state + 1;
+  ignore now
+
+let crash h ~now =
+  if h.in_window >= h.policy.p_restart_budget then Quarantined
+  else begin
+    h.in_window <- h.in_window + 1;
+    h.attempt <- h.attempt + 1;
+    let delay = restart_delay_preview h.policy ?prng:h.prng h.attempt in
+    h.last_delay <- delay;
+    h.restart_at <- now + delay;
+    Restarting
+  end
+
+let tick h ~now signals =
+  let old = h.st in
+  (* roll the restart-budget window *)
+  if now - h.window_start >= h.policy.p_budget_window then begin
+    h.window_start <- now;
+    h.in_window <- 0
+  end;
+  (* epoch-stall tracking: a registered reader whose epoch does not move
+     is wedged inside (or around) a check transaction *)
+  let advanced = signals.s_epoch <> h.last_epoch in
+  h.last_epoch <- signals.s_epoch;
+  if advanced then h.stall_ticks <- 0
+  else h.stall_ticks <- h.stall_ticks + 1;
+  let wedged =
+    (match old with
+    | Starting | Healthy | Degraded -> true
+    | Quarantined | Restarting | Dead -> false)
+    && h.stall_ticks >= h.policy.p_stall_ticks
+  in
+  let troubled =
+    wedged
+    || signals.s_exhausted >= h.policy.p_degrade_exhausted
+    || signals.s_retries >= h.policy.p_degrade_retries
+  in
+  let next =
+    match old with
+    | Dead -> Dead
+    | Quarantined -> Quarantined
+    | _ when signals.s_crashed -> crash h ~now
+    | Restarting -> if now >= h.restart_at then Starting else Restarting
+    | Starting ->
+      if troubled then Degraded
+      else begin
+        h.clean_ticks <- h.clean_ticks + 1;
+        if h.clean_ticks >= h.policy.p_start_ticks then Healthy else Starting
+      end
+    | Healthy -> if troubled then Degraded else Healthy
+    | Degraded ->
+      (* the breaker counts sustained residence, healing resets it *)
+      if h.ticks_in_state + 1 >= h.policy.p_breaker_ticks then Quarantined
+      else if troubled then begin
+        h.clean_ticks <- 0;
+        Degraded
+      end
+      else begin
+        h.clean_ticks <- h.clean_ticks + 1;
+        if h.clean_ticks >= h.policy.p_heal_ticks then Healthy else Degraded
+      end
+  in
+  enter h ~now next;
+  (old, next)
+
+let retire h =
+  let old = h.st in
+  h.st <- Dead;
+  h.ticks_in_state <- 0;
+  h.clean_ticks <- 0;
+  (old, Dead)
+
+let quarantine h =
+  let old = h.st in
+  if old <> Dead then begin
+    h.st <- Quarantined;
+    h.ticks_in_state <- 0;
+    h.clean_ticks <- 0
+  end;
+  (old, h.st)

@@ -1,0 +1,120 @@
+(** The per-tenant health state machine of the fleet supervisor.
+
+    A tenant's {e fault domain} is judged from the outside, by signals
+    the runtime already produces: its reader's epoch progression
+    (a registered reader whose epoch stalls is wedged inside — or
+    around — a check transaction), its check-transaction pressure
+    (retries on version skew, [Retries_exhausted] outcomes), its
+    pending-install queue depth, and whether it died this tick.  The
+    machine is pure and single-owner: the supervisor ticks it once per
+    supervision round with a {!signals} sample; workers never touch it.
+
+    {v
+        Starting ──clean──▶ Healthy ◀──clean── Degraded
+            │                  │    ──trouble──▶  │
+            │                  │                  │ breaker
+          crash              crash              crash / trip
+            ▼                  ▼                  ▼
+        Restarting ◀─────────(budget left)   Quarantined
+            │  backoff elapsed                    (absorbing,
+            ▼                                      bar retire)
+         Starting             retire ▶ Dead (absorbing)
+    v}
+
+    Crashes are restarted under a bounded exponential backoff with
+    seeded jitter (deterministic per tenant stream) and a restart
+    budget per sliding window; exhausting the budget — or sustaining
+    [Degraded] past the circuit-breaker threshold — quarantines the
+    tenant.  The breaker also steps the tenant's check-transaction
+    escalation: a trusted tenant waits out (and repairs) a stalled
+    updater ([Wait_for_updater]); a degraded one fails fast
+    ([Fail_check]) so it cannot amplify an install storm. *)
+
+type state = Starting | Healthy | Degraded | Quarantined | Restarting | Dead
+
+val state_name : state -> string
+
+val state_code : state -> int
+(** Stable ordinal, carried in {!Telemetry.Event.Tenant_state}. *)
+
+val state_of_code : int -> state
+val pp_state : Format.formatter -> state -> unit
+
+val all_states : state list
+
+type policy = {
+  p_start_ticks : int;  (** clean ticks to leave [Starting] *)
+  p_heal_ticks : int;  (** clean ticks to leave [Degraded] *)
+  p_degrade_exhausted : int;
+      (** [Retries_exhausted] outcomes in one tick that mark trouble *)
+  p_degrade_retries : int;  (** check retries in one tick that mark trouble *)
+  p_stall_ticks : int;
+      (** ticks of stalled reader epoch before the tenant counts as
+          wedged (trouble) *)
+  p_breaker_ticks : int;
+      (** sustained [Degraded] ticks before the breaker trips to
+          [Quarantined] *)
+  p_restart_budget : int;  (** restarts allowed per window *)
+  p_budget_window : int;  (** budget window, in ticks *)
+  p_backoff_base : int;  (** first restart delay, in ticks *)
+  p_backoff_cap : int;  (** exponent cap: delay ≤ base·2{^cap} (+ jitter) *)
+  p_queue_capacity : int;
+      (** pending-install queue bound; past it the supervisor sheds *)
+}
+
+val default_policy : policy
+val pp_policy : Format.formatter -> policy -> unit
+
+(** One supervision tick's sample of a tenant's runtime signals. *)
+type signals = {
+  s_epoch : int;  (** the tenant reader's epoch ({!Idtables.Tables.reader_epoch}) *)
+  s_crashed : bool;  (** the tenant died since the last tick *)
+  s_exhausted : int;  (** [Retries_exhausted] outcomes since the last tick *)
+  s_retries : int;  (** check retries since the last tick *)
+  s_queue : int;  (** pending-install queue length *)
+}
+
+val quiet : epoch:int -> signals
+(** A no-trouble sample (epoch as given, everything else zero/false). *)
+
+type t
+
+val create : ?prng:Mcfi_util.Prng.t -> policy -> t
+(** A machine in [Starting].  [prng] seeds the restart-delay jitter
+    (default: an unjittered, purely exponential schedule). *)
+
+val state : t -> state
+
+val restart_attempt : t -> int
+(** Consecutive restarts without reaching [Healthy] (0 when healthy). *)
+
+val restarts_in_window : t -> int
+val last_restart_delay : t -> int
+(** The backoff delay (ticks) computed for the most recent restart. *)
+
+val restart_delay_preview : policy -> ?prng:Mcfi_util.Prng.t -> int -> int
+(** [restart_delay_preview policy ?prng attempt] is the delay the
+    machine would pick for restart [attempt] (1-based): exponential in
+    the attempt, capped, plus a jitter draw from [prng] — the schedule
+    {!tick} follows, exposed for determinism tests. *)
+
+val tick : t -> now:int -> signals -> state * state
+(** Advance one supervision round at tick [now]; returns
+    [(old_state, new_state)] (equal when nothing changed).  A crash
+    outranks everything (except the absorbing states): it either
+    schedules a restart — [Restarting] until the backoff delay elapses,
+    then [Starting] — or, with the window budget spent, quarantines. *)
+
+val retire : t -> state * state
+(** Force the absorbing [Dead] state (fleet churn, end of run). *)
+
+val quarantine : t -> state * state
+(** Trip the breaker by decree — the supervisor knows something the
+    signals have not caught up with yet (e.g. a wedge set right before
+    shutdown).  No-op on [Dead]. *)
+
+val escalation_of : state -> Idtables.Tx.escalation
+(** The circuit breaker's output: [Starting]/[Healthy] tenants run
+    their checks with [Wait_for_updater] (they may take the update lock
+    to repair a torn install); every other state gets [Fail_check] so a
+    troubled tenant sheds load instead of amplifying it. *)

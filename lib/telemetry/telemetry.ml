@@ -71,6 +71,9 @@ module Event = struct
     | Span_begin
     | Span_end
     | Fault_injected
+    | Tenant_state
+    | Tenant_restart
+    | Install_shed
 
   let kind_code = function
     | Check_pass -> 0
@@ -85,6 +88,9 @@ module Event = struct
     | Span_begin -> 9
     | Span_end -> 10
     | Fault_injected -> 11
+    | Tenant_state -> 12
+    | Tenant_restart -> 13
+    | Install_shed -> 14
 
   let kind_of_code = function
     | 0 -> Check_pass
@@ -99,6 +105,9 @@ module Event = struct
     | 9 -> Span_begin
     | 10 -> Span_end
     | 11 -> Fault_injected
+    | 12 -> Tenant_state
+    | 13 -> Tenant_restart
+    | 14 -> Install_shed
     | n -> invalid_arg (Printf.sprintf "Telemetry.Event.kind_of_code %d" n)
 
   let kind_name = function
@@ -114,6 +123,9 @@ module Event = struct
     | Span_begin -> "span-begin"
     | Span_end -> "span-end"
     | Fault_injected -> "fault-injected"
+    | Tenant_state -> "tenant-state"
+    | Tenant_restart -> "tenant-restart"
+    | Install_shed -> "install-shed"
 
   (* install-span phases of the dynamic-linking protocol, in the order
      they run; [a] of a span event is one of these codes *)
@@ -159,6 +171,15 @@ module Event = struct
         e.b e.c
     | Fault_injected ->
       Fmt.pf ppf "%-16s point=%d" (kind_name e.kind) e.a
+    | Tenant_state ->
+      Fmt.pf ppf "%-16s tenant=%d to=%d from=%d" (kind_name e.kind) e.a e.b
+        e.c
+    | Tenant_restart ->
+      Fmt.pf ppf "%-16s tenant=%d attempt=%d delay=%d" (kind_name e.kind) e.a
+        e.b e.c
+    | Install_shed ->
+      Fmt.pf ppf "%-16s tenant=%d queue=%d retry-after=%d" (kind_name e.kind)
+        e.a e.b e.c
 end
 
 (* ---- per-domain trace rings ---- *)

@@ -55,6 +55,9 @@ module Event : sig
     | Span_begin          (** a=phase code, b=load ordinal *)
     | Span_end            (** a=phase code, b=load ordinal, c=ns *)
     | Fault_injected      (** a=fault point ordinal *)
+    | Tenant_state        (** a=tenant, b=new health state, c=old state *)
+    | Tenant_restart      (** a=tenant, b=attempt, c=backoff delay *)
+    | Install_shed        (** a=tenant, b=queue length, c=retry-after *)
 
   val kind_code : kind -> int
   val kind_of_code : int -> kind

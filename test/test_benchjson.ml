@@ -52,7 +52,22 @@ let small_report () =
         ("iters_per_s", J.Num 5.0);
       ]
   in
-  J.report ~samples ~torture ~telemetry ~fuzz
+  let fleet =
+    J.Obj
+      [
+        ("tenants", J.Num 16.0);
+        ("survival_rate", J.Num 0.94);
+        ("kills", J.Num 4.0);
+        ("restarts", J.Num 4.0);
+        ("quarantined", J.Num 1.0);
+        ("recovery_ms_p50", J.Num 3.3);
+        ("recovery_ms_p99", J.Num 26.9);
+        ("installs_admitted", J.Num 256.0);
+        ("installs_served", J.Num 255.0);
+        ("installs_shed", J.Num 0.0);
+      ]
+  in
+  J.report ~samples ~torture ~telemetry ~fuzz ~fleet
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -95,6 +110,11 @@ let test_report_roundtrip_and_validate () =
       [ "telemetry"; "overhead_pct" ];
       [ "fuzz"; "iterations" ];
       [ "fuzz"; "iters_per_s" ];
+      [ "fleet"; "survival_rate" ];
+      [ "fleet"; "recovery_ms_p50" ];
+      [ "fleet"; "recovery_ms_p99" ];
+      [ "fleet"; "installs_served" ];
+      [ "fleet"; "installs_shed" ];
     ]
 
 let test_schema_identity () =

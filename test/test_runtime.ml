@@ -247,6 +247,83 @@ let test_fptr_hijack () =
   | { reason = Machine.Cfi_halt; _ } -> ()
   | o -> Alcotest.failf "mcfi: %a" Security.Attacks.pp_outcome o
 
+(* ---- crash-only teardown: the reader-epoch leak ---- *)
+
+(* A process's machine registers an epoch reader on the shared tables at
+   creation.  If the process dies without unregistering, the corpse's
+   stalled epoch gates [try_quiesce] forever — the leak [teardown]
+   exists to fix.  Kill a process mid-life, tear it down, and prove the
+   tables still reach quiescence on the survivor's evidence alone. *)
+let test_teardown_releases_reader () =
+  let proc =
+    Mcfi.Pipeline.build_process
+      ~sources:[ ("main", "int main() { return 0; }") ]
+      ()
+  in
+  let t = Option.get (Mcfi_runtime.Process.tables proc) in
+  Alcotest.(check int)
+    "process machine is registered" 1
+    (Idtables.Tables.registered_readers t);
+  (* a survivor thread, registered and advancing *)
+  let survivor = Idtables.Tables.register_reader t in
+  (* an install makes quiescence worth declaring *)
+  ignore (Idtables.Tx.refresh t);
+  Alcotest.(check bool)
+    "updates pending" true
+    (Idtables.Tables.updates_since_quiesce t > 0);
+  (* the survivor advances; the process machine does not (it is "dead"):
+     quiescence must NOT be declarable while the corpse stays registered *)
+  Idtables.Tables.reader_quiescent survivor;
+  Alcotest.(check bool)
+    "corpse gates quiescence" false
+    (Idtables.Tables.quiesce_attempt t);
+  (* crash-only teardown: after it, the survivor's evidence suffices *)
+  Mcfi_runtime.Process.teardown proc;
+  Alcotest.(check int)
+    "corpse unregistered" 1
+    (Idtables.Tables.registered_readers t);
+  Idtables.Tables.reader_quiescent survivor;
+  Alcotest.(check bool)
+    "quiescence reachable after teardown" true
+    (Idtables.Tables.quiesce_attempt t);
+  Alcotest.(check int)
+    "counter reset" 0
+    (Idtables.Tables.updates_since_quiesce t);
+  (* idempotent: a second teardown must not unregister anyone else *)
+  Mcfi_runtime.Process.teardown proc;
+  Alcotest.(check int)
+    "teardown idempotent" 1
+    (Idtables.Tables.registered_readers t);
+  Idtables.Tables.unregister_reader t survivor
+
+(* A process killed mid-install leaves the intent journal set (the lock
+   is released on the way out); teardown must redo the torn install, not
+   just drop the reader. *)
+let test_teardown_recovers_torn_install () =
+  let proc =
+    Mcfi.Pipeline.build_process
+      ~sources:[ ("main", "int main() { return 0; }") ]
+      ()
+  in
+  let t = Option.get (Mcfi_runtime.Process.tables proc) in
+  let v0 = Idtables.Tables.version t in
+  (* die inside the next update transaction, between the two phases *)
+  Faults.arm (Faults.Plan.At { point = Between_tary_and_bary; hit = 1 });
+  (match Idtables.Tx.refresh t with
+  | (_ : int) -> Alcotest.fail "fault did not fire"
+  | exception Faults.Injected _ -> ());
+  Faults.disarm ();
+  Alcotest.(check bool)
+    "journal left set" true
+    (Idtables.Tables.journal t <> None);
+  Mcfi_runtime.Process.teardown proc;
+  Alcotest.(check bool)
+    "journal cleared by teardown" true
+    (Idtables.Tables.journal t = None);
+  Alcotest.(check bool)
+    "torn install completed" true
+    (Idtables.Tables.version t > v0)
+
 let prop_random_corruption_stays_in_cfg =
   QCheck.Test.make ~name:"attacker corruption never escapes the CFG" ~count:8
     QCheck.(int_range 1 1000)
@@ -299,6 +376,13 @@ let () =
           Alcotest.test_case "stack smash" `Quick test_stack_smash;
           Alcotest.test_case "fptr hijack vs coarse CFI" `Quick
             test_fptr_hijack;
+        ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "releases reader registration" `Quick
+            test_teardown_releases_reader;
+          Alcotest.test_case "recovers torn install" `Quick
+            test_teardown_recovers_torn_install;
         ] );
       ( "attack props",
         [ QCheck_alcotest.to_alcotest prop_random_corruption_stays_in_cfg ] );

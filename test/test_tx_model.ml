@@ -291,6 +291,70 @@ let test_stalled_update_retries () =
   in
   Alcotest.(check bool) "eventually passes" true (r = `Pass)
 
+(* ---- backoff jitter ---- *)
+
+(* Unjittered backoff is the historical schedule: 2^min(round, 6). *)
+let test_backoff_unjittered () =
+  List.iter
+    (fun (round, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "spins at round %d" round)
+        expect
+        (Idtables.Tx.backoff_spins round))
+    [ (0, 1); (1, 2); (2, 4); (6, 64); (7, 64); (100, 64) ]
+
+(* Jittered spins stay in [base, 2*base), and the schedule is a pure
+   function of the PRNG seed: two streams from the same seed agree
+   spin for spin, a different seed diverges somewhere. *)
+let test_backoff_jitter_deterministic () =
+  let schedule seed =
+    let p = Mcfi_util.Prng.create seed in
+    List.init 64 (fun i -> Idtables.Tx.backoff_spins ~jitter:p (i mod 10))
+  in
+  let a = schedule 0xA5EEDL and b = schedule 0xA5EEDL in
+  Alcotest.(check (list int)) "same seed, same schedule" a b;
+  let c = schedule 0xD1FFL in
+  Alcotest.(check bool) "different seed diverges" true (a <> c);
+  let p = Mcfi_util.Prng.create 0x7357L in
+  for round = 0 to 20 do
+    let base = 1 lsl min round 6 in
+    let spins = Idtables.Tx.backoff_spins ~jitter:p round in
+    if spins < base || spins >= 2 * base then
+      Alcotest.failf "round %d: spins %d outside [%d, %d)" round spins base
+        (2 * base)
+  done
+
+(* A jittered check transaction still decides correctly through a retry
+   storm: version-skew the tables by hand, let the check spin, and
+   complete the install from another "updater". *)
+let test_check_with_jitter () =
+  let t =
+    Idtables.Tables.create ~code_base:0 ~capacity:8 ~bary_slots:1 ()
+  in
+  let v = Idtables.Tx.update t ~tary:[ (0, 1) ] ~bary:[ (0, 1) ] in
+  Alcotest.(check bool) "installed" true (v > 0);
+  let jitter = Mcfi_util.Prng.create 0xBACC0FFL in
+  let retried = ref 0 in
+  (* consistent tables: no retries, Pass *)
+  (match
+     Idtables.Tx.check ~jitter ~on_retry:(fun () -> incr retried) t
+       ~bary_index:0 ~target:0
+   with
+  | Idtables.Tx.Pass -> ()
+  | o -> Alcotest.failf "expected pass, got %a" Idtables.Tx.pp_outcome o);
+  Alcotest.(check int) "no retries when consistent" 0 !retried;
+  (* skew the version the way a mid-flight update would, bounded budget:
+     the jittered retry loop must exhaust rather than decide *)
+  Idtables.Tables.bary_set t 0 (Idtables.Id.pack ~ecn:1 ~version:(v + 1));
+  (match
+     Idtables.Tx.check ~max_retries:6 ~jitter
+       ~on_retry:(fun () -> incr retried)
+       t ~bary_index:0 ~target:0
+   with
+  | Idtables.Tx.Retries_exhausted -> ()
+  | o -> Alcotest.failf "expected exhaustion, got %a" Idtables.Tx.pp_outcome o);
+  Alcotest.(check int) "used the whole budget" 6 !retried
+
 let () =
   Alcotest.run "tx_model"
     [
@@ -304,5 +368,13 @@ let () =
             test_quiescent_semantics;
           Alcotest.test_case "stalled update retries" `Quick
             test_stalled_update_retries;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "unjittered schedule" `Quick
+            test_backoff_unjittered;
+          Alcotest.test_case "jitter deterministic per seed" `Quick
+            test_backoff_jitter_deterministic;
+          Alcotest.test_case "check with jitter" `Quick test_check_with_jitter;
         ] );
     ]
