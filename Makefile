@@ -20,9 +20,9 @@ bench:
 	dune exec bench/main.exe
 
 # machine-readable benchmark report: the incremental-linking scaling
-# curve, install-throughput, telemetry-overhead and fuzzing-throughput
-# numbers, written to the schema-versioned file Benchjson.output_file
-# (BENCH_5.json today)
+# curve, install-throughput, telemetry-overhead, fuzzing-throughput,
+# fleet-supervision and sharded-install numbers, written to the
+# schema-versioned file Benchjson.output_file (BENCH_7.json today)
 bench-json:
 	dune exec bench/main.exe -- json
 

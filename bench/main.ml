@@ -714,6 +714,58 @@ let fleet_json r =
       ("elapsed_s", Num r.Supervisor.Fleet.fr_elapsed_s);
     ]
 
+(* ---- sharded installs: scaling and wedged-shard confinement ---- *)
+
+let shard_counts = [ 1; 2; 4 ]
+
+let shards_json () =
+  let rows =
+    List.map
+      (fun n ->
+        Stress.shard_scaling ~updaters:4 ~stm:Idtables.Stm.Tml ~shards:n
+          ~seed:0x5AAD5L ())
+      shard_counts
+  in
+  let baseline = List.hd rows in
+  let best = List.nth rows (List.length rows - 1) in
+  (* the honest signal on any core count: how many installs still land
+     while shard 0's update lock is wedged.  One shard = one lock =
+     nothing lands; N shards keep the other homes serving. *)
+  let confinement =
+    float_of_int best.Stress.ss_wedged_installs
+    /. float_of_int (max 1 baseline.Stress.ss_wedged_installs)
+  in
+  Fmt.pr "sharded installs (tml), %d updaters:@." 4;
+  List.iter
+    (fun r ->
+      Fmt.pr "  %d shard(s): %.0f installs/s; %d installs during a %.2fs \
+              wedge of shard 0@."
+        r.Stress.ss_shards r.Stress.ss_installs_per_s r.Stress.ss_wedged_installs
+        r.Stress.ss_wedge_s)
+    rows;
+  Mcfi.Benchjson.Obj
+    [
+      ("stm", Str (Idtables.Stm.name Idtables.Stm.Tml));
+      ( "rows",
+        Arr
+          (List.map
+             (fun r ->
+               Mcfi.Benchjson.Obj
+                 [
+                   ("shards", Num (float_of_int r.Stress.ss_shards));
+                   ("installs", Num (float_of_int r.Stress.ss_installs));
+                   ("installs_per_s", Num r.Stress.ss_installs_per_s);
+                   ("wedge_s", Num r.Stress.ss_wedge_s);
+                   ( "wedged_installs",
+                     Num (float_of_int r.Stress.ss_wedged_installs) );
+                 ])
+             rows) );
+      ( "scaling",
+        Num (best.Stress.ss_installs_per_s /. baseline.Stress.ss_installs_per_s)
+      );
+      ("wedged_confinement", Num confinement);
+    ]
+
 (* ---- json: the machine-readable report ---- *)
 
 let json () =
@@ -766,7 +818,10 @@ let json () =
       ]
   in
   let fleet = fleet_json (fleet_run ()) in
-  let report = Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet in
+  let shards = shards_json () in
+  let report =
+    Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
+  in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
   | Ok () -> ()

@@ -408,8 +408,27 @@ let torture_cmd =
                  after each scenario (sampled mode: the low-overhead \
                  production default)")
   in
+  let stm_conv =
+    let parse s =
+      match Idtables.Stm.of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, Idtables.Stm.pp)
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"override: split the tables into N independently versioned \
+                 shard fault domains (default 1)")
+  in
+  let stm =
+    Arg.(value & opt (some stm_conv) None & info [ "stm" ] ~docv:"VARIANT"
+           ~doc:"override: the commit protocol — $(b,tml), $(b,norec) \
+                 (NOrec-style value validation) or $(b,seqlock) \
+                 (ticket-lock seqlock)")
+  in
   let torture seed scenarios long checkers updaters updates kill_every loads
-      telemetry =
+      shards stm telemetry =
     if telemetry then Telemetry.enable ();
     let override v o = Option.value o ~default:v in
     let scenario i =
@@ -431,6 +450,8 @@ let torture_cmd =
         updates = override sc.Stress.updates updates;
         kill_every = override sc.Stress.kill_every kill_every;
         loader_loads = override sc.Stress.loader_loads loads;
+        shards = override sc.Stress.shards shards;
+        stm = override sc.Stress.stm stm;
       }
     in
     let n = if long then max 3 scenarios else scenarios in
@@ -455,22 +476,33 @@ let torture_cmd =
        ~doc:"multi-domain torture of the transaction and linking protocols, \
              validated by the epoch-history oracle")
     Term.(const torture $ seed $ scenarios $ long $ checkers $ updaters
-          $ updates $ kill_every $ loads $ telemetry)
+          $ updates $ kill_every $ loads $ shards $ stm $ telemetry)
 
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let list () =
-    List.iter
-      (fun (b : Suite.Programs.benchmark) ->
-        Fmt.pr "%-12s (%s): %s@." b.name b.spec_name b.description)
-      Suite.Programs.all;
-    Fmt.pr "run them all with: dune exec bench/main.exe@.";
-    0
+  let schema_version =
+    Arg.(value & flag & info [ "schema-version" ]
+           ~doc:"print the BENCH_*.json schema version this build emits \
+                 and exit (CI checks committed artifacts against it)")
+  in
+  let list schema =
+    if schema then begin
+      Fmt.pr "%d@." Mcfi.Benchjson.schema_version;
+      0
+    end
+    else begin
+      List.iter
+        (fun (b : Suite.Programs.benchmark) ->
+          Fmt.pr "%-12s (%s): %s@." b.name b.spec_name b.description)
+        Suite.Programs.all;
+      Fmt.pr "run them all with: dune exec bench/main.exe@.";
+      0
+    end
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"list the built-in benchmark suite")
-    Term.(const list $ const ())
+    Term.(const list $ schema_version)
 
 let () =
   let doc = "the MCFI toolchain: modular control-flow integrity" in

@@ -410,6 +410,62 @@ let compute_delta s new_tary new_bary stats =
     d_stats = stats;
   }
 
+(* Split a delta into per-shard slices for sharded tables.  The routing
+   unit is the equivalence class: every entry of a class — rewrites and
+   grow entries alike — lands on [route ecn], and a grow entry's donor
+   holds the same ECN by construction ([compute_delta] picks donors from
+   the class's installed slots), so donor resolution never crosses a
+   shard boundary.  Entry order within each slice preserves the delta's
+   sorted order; slices come out in ascending shard order, ready for
+   [Shards.update_multi]. *)
+let shard_delta ~shards ~route d =
+  let shards = max shards 1 in
+  let clamp e =
+    let s = route e in
+    if s < 0 || s >= shards then
+      invalid_arg
+        (Printf.sprintf "Cfggen.shard_delta: route sent ECN %d to shard %d" e s)
+    else s
+  in
+  let parts = Array.make shards None in
+  let slice s =
+    match parts.(s) with
+    | Some p -> p
+    | None ->
+      let p = (ref [], ref [], ref [], ref []) in
+      parts.(s) <- Some p;
+      p
+  in
+  let add2 pick (key, e) =
+    let cell = pick (slice (clamp e)) in
+    cell := (key, e) :: !cell
+  in
+  let add3 pick (key, e, don) =
+    let cell = pick (slice (clamp e)) in
+    cell := (key, e, don) :: !cell
+  in
+  List.iter (add2 (fun (t, _, _, _) -> t)) d.d_tary;
+  List.iter (add2 (fun (_, b, _, _) -> b)) d.d_bary;
+  List.iter (add3 (fun (_, _, tg, _) -> tg)) d.d_tary_grow;
+  List.iter (add3 (fun (_, _, _, bg) -> bg)) d.d_bary_grow;
+  let out = ref [] in
+  for s = shards - 1 downto 0 do
+    match parts.(s) with
+    | None -> ()
+    | Some (t, b, tg, bg) ->
+      out :=
+        ( s,
+          {
+            d_tary = List.rev !t;
+            d_bary = List.rev !b;
+            d_tary_grow = List.rev !tg;
+            d_bary_grow = List.rev !bg;
+            d_stats = d.d_stats;
+          } )
+        :: !out
+  done;
+  !out
+
 let fun_ty_equal env a b =
   Minic.Types.equal env (Minic.Ast.Tfun a) (Minic.Ast.Tfun b)
 

@@ -137,3 +137,16 @@ val state_stats : state -> stats
 
 (** Total branch sites merged so far. *)
 val state_sites : state -> int
+
+(** {1 Delta → shard mapping}
+
+    [shard_delta ~shards ~route d] splits a {!merge} delta into
+    per-shard slices for {!Idtables.Shards.update_multi}.  The routing
+    unit is the equivalence class: [route ecn] places every entry of
+    that class — rewrites and grow entries alike — on one shard, and a
+    grow entry's donor carries the same ECN by construction, so donor
+    resolution never crosses a shard boundary.  Returns only non-empty
+    slices, in ascending shard order, entry order preserved within each;
+    every slice carries [d]'s (global) [d_stats] unchanged.  Raises
+    [Invalid_argument] if [route] sends an ECN outside [0, shards). *)
+val shard_delta : shards:int -> route:(int -> int) -> delta -> (int * delta) list

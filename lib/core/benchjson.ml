@@ -293,10 +293,10 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 6
+let schema_version = 7
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry ~fuzz ~fleet =
+let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -328,6 +328,7 @@ let report ~samples ~torture ~telemetry ~fuzz ~fleet =
         ("telemetry", telemetry);
         ("fuzz", fuzz);
         ("fleet", fleet);
+        ("shards", shards);
       ]
 
 let validate j =
@@ -387,4 +388,22 @@ let validate j =
   let* () = check_num "fleet" [ "fleet"; "recovery_ms_p99" ] in
   let* () = check_num "fleet" [ "fleet"; "installs_served" ] in
   let* () = check_num "fleet" [ "fleet"; "installs_shed" ] in
+  let* () = check_num "shards" [ "shards"; "wedged_confinement" ] in
+  let* () =
+    match path [ "shards"; "rows" ] j with
+    | Some (Arr (_ :: _ as rows)) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          match
+            ( Option.bind (member "shards" row) num,
+              Option.bind (member "installs_per_s" row) num,
+              Option.bind (member "wedged_installs" row) num )
+          with
+          | Some _, Some _, Some _ -> Ok ()
+          | _ -> Error "shards.rows: row with missing or non-finite field")
+        (Ok ()) rows
+    | Some (Arr []) -> Error "shards.rows: empty"
+    | _ -> Error "shards.rows: missing or not an array"
+  in
   Ok ()

@@ -70,11 +70,18 @@ val output_file : string
 (** Assemble the report document.  [torture] is the
     check-throughput-during-install section, [telemetry] the
     instrumentation-overhead section, [fuzz] the fuzzing-throughput
-    section and [fleet] the tenant-supervision section (all built by
-    the caller from [Stress]/[Fuzz]/[Supervisor] data — those libraries
-    sit above this one).  [samples] must be non-empty. *)
+    section, [fleet] the tenant-supervision section and [shards] the
+    sharded-installs scaling section (all built by the caller from
+    [Stress]/[Fuzz]/[Supervisor] data — those libraries sit above this
+    one).  [samples] must be non-empty. *)
 val report :
-  samples:link_sample list -> torture:t -> telemetry:t -> fuzz:t -> fleet:t -> t
+  samples:link_sample list ->
+  torture:t ->
+  telemetry:t ->
+  fuzz:t ->
+  fleet:t ->
+  shards:t ->
+  t
 
 (** Check the report shape the smoke test relies on: the schema
     name/version match this build, the chain is non-empty with finite
@@ -83,7 +90,10 @@ val report :
     [checks_during_install_per_s], the telemetry section carries
     finite [disabled_checks_per_s], [enabled_checks_per_s],
     [throughput_ratio] and [overhead_pct], the fuzz section carries
-    finite [iterations] and [iters_per_s], and the fleet section
+    finite [iterations] and [iters_per_s], the fleet section
     carries finite [survival_rate], [recovery_ms_p50],
-    [recovery_ms_p99], [installs_served] and [installs_shed]. *)
+    [recovery_ms_p99], [installs_served] and [installs_shed], and the
+    shards section carries a finite [wedged_confinement] plus a
+    non-empty [rows] array of finite
+    [shards]/[installs_per_s]/[wedged_installs] rows. *)
 val validate : t -> (unit, string) result

@@ -7,6 +7,7 @@ module Plan = struct
     | During_got_update
     | Registry_lookup
     | Link_merge
+    | Between_shard_commits
 
   let all_points =
     [
@@ -17,6 +18,7 @@ module Plan = struct
       During_got_update;
       Registry_lookup;
       Link_merge;
+      Between_shard_commits;
     ]
 
   let point_code = function
@@ -27,6 +29,7 @@ module Plan = struct
     | During_got_update -> 4
     | Registry_lookup -> 5
     | Link_merge -> 6
+    | Between_shard_commits -> 7
 
   let point_name = function
     | Nth_tary_write -> "nth-tary-write"
@@ -36,15 +39,19 @@ module Plan = struct
     | During_got_update -> "during-got-update"
     | Registry_lookup -> "registry-lookup"
     | Link_merge -> "link-merge"
+    | Between_shard_commits -> "between-shard-commits"
 
   let pp_point ppf p = Fmt.string ppf (point_name p)
 
   type t =
     | At of { point : point; hit : int }
+    | At_shard of { shard : int; point : point; hit : int }
     | Random of { seed : int64; one_in : int }
 
   let pp ppf = function
     | At { point; hit } -> Fmt.pf ppf "at(%a, hit=%d)" pp_point point hit
+    | At_shard { shard; point; hit } ->
+      Fmt.pf ppf "at(shard=%d, %a, hit=%d)" shard pp_point point hit
     | Random { seed; one_in } ->
       Fmt.pf ppf "random(seed=%Ld, 1/%d)" seed one_in
 end
@@ -127,6 +134,8 @@ end
    hook is still a single atomic load). *)
 type mode =
   | At_countdown of Plan.point * int Atomic.t (* crossings left *)
+  | At_shard_countdown of int * Plan.point * int Atomic.t
+      (* shard-scoped: only crossings reporting this shard id count *)
   | Random_draw of { prng : Mcfi_util.Prng.t; one_in : int; lock : Mutex.t }
 
 type armed_state = { plan : Plan.t; mode : mode }
@@ -137,6 +146,8 @@ let arm plan =
   let mode =
     match plan with
     | Plan.At { point; hit } -> At_countdown (point, Atomic.make (max 1 hit))
+    | Plan.At_shard { shard; point; hit } ->
+      At_shard_countdown (shard, point, Atomic.make (max 1 hit))
     | Plan.Random { seed; one_in } ->
       Random_draw
         {
@@ -152,13 +163,13 @@ let disarm () = Atomic.set state None
 let armed () =
   match Atomic.get state with None -> None | Some { plan; _ } -> Some plan
 
-let fire point =
+let fire ?(shard = 0) point =
   Atomic.incr Stats.injected;
   Telemetry.emit Telemetry.Event.Fault_injected ~a:(Plan.point_code point)
-    ~b:0 ~c:0;
+    ~b:0 ~c:shard;
   raise (Injected point)
 
-let hit point =
+let hit ?shard point =
   match Atomic.get state with
   | None -> ()
   | Some { mode = At_countdown (p, left); _ } ->
@@ -168,7 +179,16 @@ let hit point =
       if Atomic.fetch_and_add left (-1) = 1 then begin
         (* one-shot: a recovery retry must not re-fail here *)
         disarm ();
-        fire point
+        fire ?shard point
+      end
+    end
+  | Some { mode = At_shard_countdown (s, p, left); _ } ->
+    (* a crossing that does not report a shard is outside any shard's
+       fault domain and never satisfies a shard-scoped plan *)
+    if p = point && shard = Some s then begin
+      if Atomic.fetch_and_add left (-1) = 1 then begin
+        disarm ();
+        fire ?shard point
       end
     end
   | Some { mode = Random_draw { prng; one_in; lock }; _ } ->
@@ -178,7 +198,7 @@ let hit point =
         ~finally:(fun () -> Mutex.unlock lock)
         (fun () -> Mcfi_util.Prng.int prng one_in = 0)
     in
-    if fires then fire point
+    if fires then fire ?shard point
 
 let with_plan plan f =
   arm plan;

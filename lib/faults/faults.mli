@@ -40,6 +40,10 @@ module Plan : sig
         (** inside the GOT-binding hook between the two update phases *)
     | Registry_lookup  (** during the [dlopen] registry consultation *)
     | Link_merge  (** inside the static linker's merge / PLT synthesis *)
+    | Between_shard_commits
+        (** in a cross-shard delta, after one shard's transaction
+            committed and before the next shard's begins
+            ({!Idtables.Shards.update_multi}) *)
 
   val all_points : point list
   val point_code : point -> int
@@ -51,6 +55,10 @@ module Plan : sig
   type t =
     | At of { point : point; hit : int }
         (** fire on the [hit]-th crossing (1-based) of [point]; one-shot *)
+    | At_shard of { shard : int; point : point; hit : int }
+        (** fire on the [hit]-th crossing of [point] {e reported by shard}
+            [shard]; crossings from other shards (or from code outside any
+            shard) do not count.  One-shot, like [At]. *)
     | Random of { seed : int64; one_in : int }
         (** fire any hook crossing with probability 1/[one_in], drawn from
             a PRNG seeded with [seed] — deterministic per seed *)
@@ -113,8 +121,11 @@ val armed : unit -> Plan.t option
 val with_plan : Plan.t -> (unit -> 'a) -> 'a
 
 (** [hit point] is the injection hook: no-op without an armed plan, raises
-    {!Injected} when the armed plan fires here. *)
-val hit : Plan.point -> unit
+    {!Injected} when the armed plan fires here.  [shard] identifies the
+    fault domain crossing the hook: shard-scoped ([At_shard]) plans only
+    count crossings that report their shard, and the id travels in the
+    [Fault_injected] event's [c] field. *)
+val hit : ?shard:int -> Plan.point -> unit
 
 (** {2 Tenant-scoped plans}
 

@@ -1,0 +1,83 @@
+(** The STM zoo: alternative commit protocols behind the {!Tx} interface.
+
+    The paper compares its update transaction against a small family of
+    software-transactional-memory designs (§8); this module widens the
+    comparison with two protocols from the Manticore lineage, selectable
+    at run time so the torture harness and the fleet supervisor can
+    drive any of them against the same oracle:
+
+    - [Tml] — the MCFI baseline itself ({!Tx.check} / {!Tx.update}):
+      no reader-side snapshot validation, the version bits packed into
+      every ID arbitrate, version skew retries.  TML-like in that the
+      global version word doubles as the writer indicator.
+    - [Norec] — NOrec-style value validation: readers sample the
+      install sequence word ({!Tables.seq_read}), back off while it is
+      odd, and on movement {e re-read and compare the values} instead
+      of retrying unconditionally — validation cost scales with the
+      read set, not with writer traffic.
+    - [Seqlock] — a ticket-lock seqlock: readers are the classic
+      parity-wait/re-validate loop; writers queue FIFO through a ticket
+      ({!Tables.ticket_draw}) wrapped around the update mutex, so
+      contended installs commit in arrival order.
+
+    All three share the {e same} locked transaction body — torn-update
+    journal, recovery by the next lock holder, ABA budget, two-phase
+    install — so the recovery guarantee ("a mid-install death is redone
+    by whoever takes the lock next") holds identically, and all three
+    produce identical outcomes for identical table states: [Pass] only
+    on bit-identical IDs, so a mis-validated snapshot can never pass
+    wrongly.  The epoch-history oracle validates all variants
+    unchanged. *)
+
+type variant = Tml | Norec | Seqlock
+
+val all : variant list
+val name : variant -> string
+val of_string : string -> (variant, string) result
+val pp : Format.formatter -> variant -> unit
+
+(** [check v t ~bary_index ~target] runs one check transaction under
+    variant [v]'s read protocol.  Same optional parameters, retry
+    accounting, watchdog, escalation ladder and telemetry bracket as
+    {!Tx.check} (which is exactly what [v = Tml] delegates to). *)
+val check :
+  variant ->
+  ?max_retries:int ->
+  ?escalation:Tx.escalation ->
+  ?watchdog:Tx.watchdog ->
+  ?jitter:Mcfi_util.Prng.t ->
+  ?on_retry:(unit -> unit) ->
+  Tables.t ->
+  bary_index:int ->
+  target:int ->
+  Tx.outcome
+
+(** [update v t ~tary ~bary] — {!Tx.update} under [v]'s writer
+    admission ([Seqlock] queues through the ticket first). *)
+val update :
+  variant ->
+  ?tag:int ->
+  ?got_update:(unit -> unit) ->
+  Tables.t ->
+  tary:(int * int) list ->
+  bary:(int * int) list ->
+  int
+
+val update_delta :
+  variant ->
+  ?tag:int ->
+  ?got_update:(unit -> unit) ->
+  ?pre_install:(unit -> unit) ->
+  Tables.t ->
+  tary:(int * int) list ->
+  bary:(int * int) list ->
+  tary_carry:(int * int * Tx.carry_source) list ->
+  bary_carry:(int * int * Tx.carry_source) list ->
+  int
+
+val refresh : variant -> Tables.t -> int
+
+(** [recover v t] is {!Tx.recover}: recovery deliberately bypasses any
+    ticket queue — a reader escalating [Wait_for_updater] must not wait
+    behind a convoy of writers to repair tables it needs now. *)
+val recover : variant -> Tables.t -> bool

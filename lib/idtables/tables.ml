@@ -63,6 +63,7 @@ type observer = {
 }
 
 type t = {
+  shard_id : int; (* which fault domain these tables are; 0 standalone *)
   code_base : int;
   capacity : int;
   mutable code_size : int;
@@ -72,6 +73,21 @@ type t = {
   updates_since_quiesce : int Atomic.t;
   quiesce_events : int Atomic.t;
   sync : int Atomic.t;
+  (* The install sequence word for the seqlock-family STM variants
+     ([Stm.Norec] / [Stm.Seqlock]): odd exactly while slot writes are in
+     flight, bumped to the next even value when they are published.  The
+     MCFI protocol itself never reads it (a check passes only on
+     bit-identical IDs, so it needs no snapshot validation), but every
+     install path maintains it so the alternative readers can coexist
+     with any writer — including journal redo and loader rollback.  A
+     torn install leaves it odd; recovery forces it even. *)
+  seq : int Atomic.t;
+  (* FIFO writer admission for the ticket-seqlock variant: a writer draws
+     [ticket_next] and spins until [ticket_serving] reaches its draw, so
+     contended installs commit in arrival order instead of by mutex
+     luck. *)
+  ticket_next : int Atomic.t;
+  ticket_serving : int Atomic.t;
   update_lock : Mutex.t;
   update_busy : bool Atomic.t; (* diagnostic: is the lock held? *)
   readers : reader list Atomic.t;
@@ -85,9 +101,10 @@ type t = {
 
 let round4 n = (n + 3) land lnot 3
 
-let create ?covered ~code_base ~capacity ~bary_slots () =
+let create ?(shard = 0) ?covered ~code_base ~capacity ~bary_slots () =
   let capacity = round4 (max capacity 4) in
   {
+    shard_id = shard;
     code_base;
     capacity;
     code_size = round4 (min capacity (Option.value covered ~default:capacity));
@@ -97,6 +114,9 @@ let create ?covered ~code_base ~capacity ~bary_slots () =
     updates_since_quiesce = Atomic.make 0;
     quiesce_events = Atomic.make 0;
     sync = Atomic.make 0;
+    seq = Atomic.make 0;
+    ticket_next = Atomic.make 0;
+    ticket_serving = Atomic.make 0;
     update_lock = Mutex.create ();
     update_busy = Atomic.make false;
     readers = Atomic.make [];
@@ -104,6 +124,7 @@ let create ?covered ~code_base ~capacity ~bary_slots () =
     journal = Atomic.make None;
   }
 
+let shard t = t.shard_id
 let code_base t = t.code_base
 let capacity t = t.capacity
 let code_size t = t.code_size
@@ -128,6 +149,23 @@ let quiesce t =
 let quiesce_events t = Atomic.get t.quiesce_events
 
 let publish t = Atomic.incr t.sync
+
+(* ---- install sequence word (seqlock-family STM readers) ----
+
+   [seq_enter] before the first slot write of any install-like mutation,
+   [seq_exit] after its final barrier.  Enter is idempotent on an
+   already-odd word (a journal redo re-entering a torn install keeps the
+   same odd value — readers that sampled it still see a writer in
+   flight); exit always lands on a {e new} even value, so a reader that
+   sampled the pre-install even value detects movement. *)
+let seq_read t = Atomic.get t.seq
+let seq_enter t = Atomic.set t.seq (Atomic.get t.seq lor 1)
+let seq_exit t = Atomic.set t.seq ((Atomic.get t.seq lor 1) + 1)
+
+(* Ticket words for the FIFO writer lock ([Stm.Seqlock]). *)
+let ticket_draw t = Atomic.fetch_and_add t.ticket_next 1
+let ticket_serving t = Atomic.get t.ticket_serving
+let ticket_advance t = Atomic.incr t.ticket_serving
 
 let with_update_lock t f =
   Mutex.lock t.update_lock;
@@ -230,13 +268,13 @@ let set_observer t o = t.observer <- o
    journal — so begins and completes stay balanced per version across
    kills and recoveries. *)
 let notify_begin t ~version ~tag =
-  Telemetry.emit Telemetry.Event.Update_begin ~a:version ~b:tag ~c:0;
+  Telemetry.emit Telemetry.Event.Update_begin ~a:version ~b:tag ~c:t.shard_id;
   match t.observer with
   | None -> ()
   | Some o -> o.obs_begin ~version ~tag
 
 let notify_complete t ~version ~tag =
-  Telemetry.emit Telemetry.Event.Update_commit ~a:version ~b:tag ~c:0;
+  Telemetry.emit Telemetry.Event.Update_commit ~a:version ~b:tag ~c:t.shard_id;
   match t.observer with
   | None -> ()
   | Some o -> o.obs_complete ~version ~tag
@@ -324,6 +362,7 @@ let snapshot t =
 
 let restore t s =
   with_update_lock t (fun () ->
+      seq_enter t;
       (* clear the current in-use prefix — it is at least as large as the
          snapshot's, since [extend] only grows *)
       Array.fill t.tary 0 (t.code_size / 4) Id.invalid;
@@ -336,7 +375,8 @@ let restore t s =
         (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
         s.s_tary;
       List.iter (fun (k, id) -> t.bary.(k) <- id) s.s_bary;
-      publish t)
+      publish t;
+      seq_exit t)
 
 (* ---- partial snapshot / restore (loader rollback, delta installs)
 
@@ -375,6 +415,7 @@ let snapshot_slots t ~tary ~bary =
 
 let restore_slots t s =
   with_update_lock t (fun () ->
+      seq_enter t;
       List.iter
         (fun (addr, id) -> t.tary.((addr - t.code_base) / 4) <- id)
         s.ss_tary;
@@ -383,4 +424,5 @@ let restore_slots t s =
       set_version t s.ss_version;
       Atomic.set t.updates_since_quiesce s.ss_updates_since_quiesce;
       set_journal t s.ss_journal;
-      publish t)
+      publish t;
+      seq_exit t)

@@ -29,9 +29,21 @@ type t
     a multiple of 4.  [covered] is the initially in-use prefix (default: the
     whole capacity; the process loader starts at 0 and [extend]s as modules
     load, so update transactions only rewrite the covered prefix — the
-    paper's reserved-but-unmapped 4GB region). *)
+    paper's reserved-but-unmapped 4GB region).  [shard] (default 0) is the
+    fault-domain id these tables belong to when they are one shard of a
+    {!Shards.t}: it labels fault-hook crossings and the [c] field of the
+    update-lifecycle telemetry events. *)
 val create :
-  ?covered:int -> code_base:int -> capacity:int -> bary_slots:int -> unit -> t
+  ?shard:int ->
+  ?covered:int ->
+  code_base:int ->
+  capacity:int ->
+  bary_slots:int ->
+  unit ->
+  t
+
+(** The fault-domain id given at creation (0 for standalone tables). *)
+val shard : t -> int
 
 val code_base : t -> int
 val capacity : t -> int
@@ -164,6 +176,45 @@ val notify_complete : t -> version:int -> tag:int -> unit
     phases: a sequentially consistent operation that publishes the
     preceding plain slot writes to other domains. *)
 val publish : t -> unit
+
+(** {2 Install sequence word}
+
+    A seqlock word over the slot arrays, maintained by {e every}
+    install-like mutation (updates, journal redo, loader rollback):
+    odd exactly while slot writes are in flight, advanced to a fresh
+    even value once they are published.  The MCFI check protocol never
+    needs it — a check only passes on bit-identical IDs — but the
+    alternative commit protocols in {!Stm} ([Norec]'s value-validated
+    snapshots, [Seqlock]'s parity-waiting readers) read it, and because
+    all writers maintain it those readers stay correct against any mix
+    of writer paths.  A torn install leaves the word odd; recovery (or
+    rollback) forces it even. *)
+
+(** The current sequence value — an atomic load, safe from any domain. *)
+val seq_read : t -> int
+
+(** Make the word odd (idempotent on an already-odd word: a journal redo
+    re-entering a torn install keeps the value readers sampled).
+    Update-lock holders only, before the first slot write. *)
+val seq_enter : t -> unit
+
+(** Advance to a new even value — also from an already-even word, so a
+    reader that sampled before the install always observes movement.
+    Update-lock holders only, after the final barrier. *)
+val seq_exit : t -> unit
+
+(** {2 Ticket lock words}
+
+    FIFO writer admission for {!Stm.Seqlock}: a writer draws a ticket
+    and spins until the serving counter reaches it, so contended
+    installs commit in arrival order.  The ticket wraps the ordinary
+    update mutex (drawn before, advanced after), which keeps
+    ticket-ordered writers safe against mutex-only lock holders
+    (recovery, rollback, quiescence probes). *)
+
+val ticket_draw : t -> int
+val ticket_serving : t -> int
+val ticket_advance : t -> unit
 
 (** [tary_read t addr] is the 4-byte word at code address [addr] in the
     Tary region — atomic for aligned [addr], byte-composed for misaligned

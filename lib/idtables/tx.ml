@@ -45,6 +45,42 @@ let backoff ?jitter round =
     Domain.cpu_relax ()
   done
 
+(* ---- per-domain jitter streams ----
+
+   A [Prng.t] is a mutable, unsynchronized stream: handing one PRNG to
+   checkers on several domains races its state word and — worse —
+   correlates their backoff draws, which is exactly the lockstep the
+   jitter exists to break.  Each domain therefore derives its own stream
+   lazily, from a process-wide base seed folded with the domain id
+   (splitmix64's odd constant, as [Faults.Tenant.tenant_stream]).  The
+   schedule is still deterministic per (base seed, domain id), so seeded
+   harness runs replay; re-seeding bumps a generation counter and each
+   domain re-derives on its next draw. *)
+let jitter_base : int64 Atomic.t = Atomic.make 0x6A177E12D00DL
+let jitter_gen : int Atomic.t = Atomic.make 0
+
+let jitter_key : (int * Mcfi_util.Prng.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let seed_domain_jitter seed =
+  Atomic.set jitter_base seed;
+  Atomic.incr jitter_gen
+
+let domain_jitter () =
+  let cell = Domain.DLS.get jitter_key in
+  let gen = Atomic.get jitter_gen in
+  match !cell with
+  | Some (g, prng) when g = gen -> prng
+  | _ ->
+    let did = (Domain.self () :> int) in
+    let prng =
+      Mcfi_util.Prng.create
+        (Int64.logxor (Atomic.get jitter_base)
+           (Int64.mul (Int64.of_int (did + 1)) 0x9E3779B97F4A7C15L))
+    in
+    cell := Some (gen, prng);
+    prng
+
 let check_fast ?on_retry t ~bary_index ~target =
   (* The production path stays event-free: a scalar per-domain tally is
      all the observability it gets, so the enabled cost is two plain
@@ -96,6 +132,8 @@ let build_images t ~version ~tary ~bary =
    [faults] gates the injection hooks — a journal redo runs with them off
    so recovery cannot re-fail at the point that killed the original. *)
 let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
+  let shard = Tables.shard t in
+  Tables.seq_enter t;
   Tables.set_version t version;
   let base = Tables.code_base t in
   (* Phase 1: publish the new Tary image slot by slot (each publish is an
@@ -103,16 +141,17 @@ let install_locked ~faults ~got_update t ~version ~new_tary ~new_bary =
      analog). *)
   Array.iteri
     (fun k id ->
-      if faults then Faults.hit Faults.Plan.Nth_tary_write;
+      if faults then Faults.hit ~shard Faults.Plan.Nth_tary_write;
       Tables.tary_set t (base + (4 * k)) id)
     new_tary;
   (* the write barrier between the two phases (paper Fig. 3 line 5) *)
   Tables.publish t;
-  if faults then Faults.hit Faults.Plan.Between_tary_and_bary;
+  if faults then Faults.hit ~shard Faults.Plan.Between_tary_and_bary;
   got_update ();
   (* Phase 2: publish the new Bary table. *)
   Array.iteri (fun idx id -> Tables.bary_set t idx id) new_bary;
   Tables.publish t;
+  Tables.seq_exit t;
   (* the install is complete: snapshot reader epochs, so quiescence can
      later be declared once every checker has moved past this point *)
   Tables.observe_readers t
@@ -171,17 +210,20 @@ let build_delta_writes t ~version ~tary ~bary ~tary_carry ~bary_carry =
    throughout). *)
 let install_delta_locked ~faults ~got_update t ~version ~tary_writes
     ~bary_writes =
+  let shard = Tables.shard t in
+  Tables.seq_enter t;
   Tables.set_version t version;
   List.iter
     (fun (addr, id) ->
-      if faults then Faults.hit Faults.Plan.Nth_tary_write;
+      if faults then Faults.hit ~shard Faults.Plan.Nth_tary_write;
       Tables.tary_set t addr id)
     tary_writes;
   Tables.publish t;
-  if faults then Faults.hit Faults.Plan.Between_tary_and_bary;
+  if faults then Faults.hit ~shard Faults.Plan.Between_tary_and_bary;
   got_update ();
   List.iter (fun (idx, id) -> Tables.bary_set t idx id) bary_writes;
   Tables.publish t;
+  Tables.seq_exit t;
   Tables.observe_readers t
 
 (* Redo a predecessor's torn install from its journal; caller holds the

@@ -68,6 +68,21 @@ val backoff : ?jitter:Mcfi_util.Prng.t -> int -> unit
     restart delays). *)
 val backoff_spins : ?jitter:Mcfi_util.Prng.t -> int -> int
 
+(** The calling domain's own jitter stream, derived lazily from the
+    process-wide base seed and the domain id.  A [Prng.t] is mutable and
+    unsynchronized, so handing one stream to checkers on several domains
+    both races its state and correlates their backoff draws; pass
+    [~jitter:(Tx.domain_jitter ())] instead and every domain gets an
+    independent, deterministic schedule.  Repeated calls on one domain
+    return the same stream. *)
+val domain_jitter : unit -> Mcfi_util.Prng.t
+
+(** [seed_domain_jitter seed] sets the base seed the per-domain streams
+    derive from (harness replay).  Each domain re-derives its stream on
+    its next {!domain_jitter} call, including domains that already hold
+    one from the previous seed. *)
+val seed_domain_jitter : int64 -> unit
+
 (** [check t ~bary_index ~target] runs one check transaction.
     [max_retries] bounds the retry loop (tests and the VM use a fuel
     bound; production semantics is unbounded): [~max_retries:n] allows the

@@ -14,6 +14,8 @@ type scenario = {
   watchdog_deadline : int;
   loader_loads : int;
   loader_fault_one_in : int;
+  shards : int;
+  stm : Stm.variant;
 }
 
 let default ~seed =
@@ -31,32 +33,44 @@ let default ~seed =
     watchdog_deadline = 256;
     loader_loads = 0;
     loader_fault_one_in = 0;
+    shards = 1;
+    stm = Stm.Tml;
   }
 
 let generate ~seed =
   let p = Prng.create seed in
-  {
-    seed;
-    checkers = 2 + Prng.int p 4;
-    updaters = 1 + Prng.int p 3;
-    updates = 4096 + Prng.int p 24_000;
-    cfgs = 4 + Prng.int p 12;
-    targets = 8 + (4 * Prng.int p 14);
-    slots = 2 + Prng.int p 6;
-    kill_every = Prng.choose p [ 0; 61; 97; 193 ];
-    reclaimer = Prng.bool p;
-    watchdog_deadline = 64 + Prng.int p 448;
-    loader_loads = Prng.choose p [ 0; 4; 8 ];
-    loader_fault_one_in = Prng.choose p [ 0; 2; 3 ];
-  }
+  let base =
+    {
+      seed;
+      checkers = 2 + Prng.int p 4;
+      updaters = 1 + Prng.int p 3;
+      updates = 4096 + Prng.int p 24_000;
+      cfgs = 4 + Prng.int p 12;
+      targets = 8 + (4 * Prng.int p 14);
+      slots = 2 + Prng.int p 6;
+      kill_every = Prng.choose p [ 0; 61; 97; 193 ];
+      reclaimer = Prng.bool p;
+      watchdog_deadline = 64 + Prng.int p 448;
+      loader_loads = Prng.choose p [ 0; 4; 8 ];
+      loader_fault_one_in = Prng.choose p [ 0; 2; 3 ];
+      shards = 1;
+      stm = Stm.Tml;
+    }
+  in
+  (* drawn after the record so the base dimensions keep their stream
+     positions (record-field evaluation order is unspecified) *)
+  let shards = Prng.choose p [ 1; 2; 4 ] in
+  let stm = Prng.choose p Stm.all in
+  { base with shards; stm }
 
 let pp_scenario ppf sc =
   Fmt.pf ppf
     "seed=%Ld checkers=%d updaters=%d updates=%d cfgs=%d targets=%d slots=%d \
-     kill-every=%d reclaimer=%b deadline=%d loads=%d load-fault-1/%d"
+     kill-every=%d reclaimer=%b deadline=%d loads=%d load-fault-1/%d \
+     shards=%d stm=%a"
     sc.seed sc.checkers sc.updaters sc.updates sc.cfgs sc.targets sc.slots
     sc.kill_every sc.reclaimer sc.watchdog_deadline sc.loader_loads
-    sc.loader_fault_one_in
+    sc.loader_fault_one_in sc.shards Stm.pp sc.stm
 
 type anomaly = { an_seed : int64; an_kind : string; an_detail : string }
 
@@ -70,6 +84,7 @@ type report = {
   rp_violations : int;
   rp_exhausted : int;
   rp_installs : int;
+  rp_shard_installs : int array;
   rp_kills : int;
   rp_recoveries : int;
   rp_retries : int;
@@ -86,14 +101,19 @@ type report = {
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>checks %d (%d pass / %d violation / %d exhausted)@,\
-     installs %d, kills %d, recoveries %d, quiesces %d@,\
+     installs %d%a, kills %d, recoveries %d, quiesces %d@,\
      retries %d, watchdog fires %d@,\
      loads %d ok / %d failed, rollbacks %d@,\
      anomalies %d%a%a@,\
      elapsed %.2fs@]"
     r.rp_checks r.rp_passes r.rp_violations r.rp_exhausted r.rp_installs
-    r.rp_kills r.rp_recoveries r.rp_quiesces r.rp_retries r.rp_watchdog_fires
-    r.rp_loads_ok r.rp_loads_failed r.rp_rollbacks
+    (fun ppf a ->
+      if Array.length a > 1 then
+        Fmt.pf ppf " (per shard: %a)"
+          Fmt.(array ~sep:(any "/") int)
+          a)
+    r.rp_shard_installs r.rp_kills r.rp_recoveries r.rp_quiesces r.rp_retries
+    r.rp_watchdog_fires r.rp_loads_ok r.rp_loads_failed r.rp_rollbacks
     (List.length r.rp_anomalies)
     (fun ppf -> function
       | [] -> ()
@@ -238,11 +258,14 @@ let record_anomaly y ~seed kind detail =
 
 let torture_base = 0x1000
 
-let torture_checker ~stop ~t ~h ~pool ~prng ~sc () =
-  let rd = Tables.register_reader t in
+let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
+  let rd = Shards.register_reader shs ~shard in
   let wd =
     { Tx.wd_deadline = sc.watchdog_deadline; wd_on_expire = Tx.Wait_for_updater }
   in
+  (* the backoff jitter stream is derived in the spawned domain itself:
+     per-domain, never shared with a sibling checker *)
+  let jitter = Tx.domain_jitter () in
   let y = new_tally () in
   while not (Atomic.get stop) do
     (* branch boundary: provably outside any check transaction *)
@@ -259,12 +282,15 @@ let torture_checker ~stop ~t ~h ~pool ~prng ~sc () =
         (i, torture_base + (4 * i))
     in
     let c0 = Atomic.get h.h_completed in
-    let out = Tx.check ~watchdog:wd t ~bary_index:slot ~target in
+    let out =
+      Shards.check ~watchdog:wd ~jitter shs ~shard ~bary_index:slot ~target
+    in
     let b1 = Atomic.get h.h_began in
     y.y_checks <- y.y_checks + 1;
     let detail kind_s =
       Printf.sprintf
-        "%s: slot=%d tidx=%d window=[%d,%d] versions=[%d,%d]" kind_s slot tidx
+        "%s: shard=%d slot=%d tidx=%d window=[%d,%d] versions=[%d,%d]" kind_s
+        shard slot tidx
         (max 0 (c0 - 1))
         (b1 - 1)
         (h.h_version.(max 0 (c0 - 1)))
@@ -283,10 +309,18 @@ let torture_checker ~stop ~t ~h ~pool ~prng ~sc () =
           (detail "every live CFG version allows this edge")
     | Tx.Retries_exhausted -> y.y_exhausted <- y.y_exhausted + 1
   done;
-  Tables.unregister_reader t rd;
+  Shards.unregister_reader shs ~shard rd;
   y
 
-let torture_updater ~t ~pool ~prng ~sc ~n ~uid () =
+(* every 11th update by an updater on a multi-shard harness commits the
+   same CFG on its home shard and one other, through the cross-shard
+   sequence — so [Between_shard_commits] kills get exercised and each
+   shard's oracle still sees a full install of a pool CFG *)
+let cross_shard_every = 11
+
+let torture_updater ~shs ~pool ~prng ~sc ~n ~uid () =
+  let nsh = Shards.count shs in
+  let home = uid mod nsh in
   let kills = ref 0 in
   let fatal = ref [] in
   for j = 1 to n do
@@ -294,21 +328,51 @@ let torture_updater ~t ~pool ~prng ~sc ~n ~uid () =
     if sc.kill_every > 0 && uid = 0 && j mod sc.kill_every = 0 then begin
       (* arm a one-shot mid-install kill; it fires inside whichever
          updater crosses the point next (usually this one, within this
-         very update) and leaves the journal for a concurrent lock
-         holder to redo *)
-      let point, hit =
-        if Prng.bool prng then
-          (Faults.Plan.Nth_tary_write, 1 + Prng.int prng sc.targets)
-        else (Faults.Plan.Between_tary_and_bary, 1)
+         very update) and leaves at most one shard's journal for that
+         shard's next lock holder to redo *)
+      let plan =
+        if nsh = 1 then
+          let point, hit =
+            if Prng.bool prng then
+              (Faults.Plan.Nth_tary_write, 1 + Prng.int prng sc.targets)
+            else (Faults.Plan.Between_tary_and_bary, 1)
+          in
+          Faults.Plan.At { point; hit }
+        else
+          match Prng.int prng 3 with
+          | 0 ->
+            Faults.Plan.At_shard
+              {
+                shard = home;
+                point = Faults.Plan.Nth_tary_write;
+                hit = 1 + Prng.int prng sc.targets;
+              }
+          | 1 ->
+            Faults.Plan.At_shard
+              { shard = home; point = Faults.Plan.Between_tary_and_bary; hit = 1 }
+          | _ ->
+            (* dies between shard commits: the earlier shard stays
+               committed, this one is never touched *)
+            Faults.Plan.At_shard
+              {
+                shard = (home + 1) mod nsh;
+                point = Faults.Plan.Between_shard_commits;
+                hit = 1;
+              }
       in
-      Faults.arm (Faults.Plan.At { point; hit })
+      Faults.arm plan
     end;
+    let tary = tary_of ~base:torture_base pool.(ci) in
+    let bary = bary_of pool.(ci) in
     match
-      Tx.update ~tag:ci t
-        ~tary:(tary_of ~base:torture_base pool.(ci))
-        ~bary:(bary_of pool.(ci))
+      if nsh > 1 && j mod cross_shard_every = 0 then
+        let other = (home + 1 + Prng.int prng (nsh - 1)) mod nsh in
+        ignore
+          (Shards.update_multi_full ~tag:ci shs
+             [ (home, (tary, bary)); (other, (tary, bary)) ])
+      else ignore (Shards.update ~tag:ci shs ~shard:home ~tary ~bary)
     with
-    | (_ : int) -> ()
+    | () -> ()
     | exception Faults.Injected _ -> incr kills
     | exception Tx.Version_space_exhausted ->
       fatal :=
@@ -316,43 +380,63 @@ let torture_updater ~t ~pool ~prng ~sc ~n ~uid () =
           an_seed = sc.seed;
           an_kind = "version-space-exhausted";
           an_detail =
-            Printf.sprintf "updater %d exhausted versions at its update %d"
-              uid j;
+            Printf.sprintf
+              "updater %d (shard %d) exhausted versions at its update %d" uid
+              home j;
         }
         :: !fatal
   done;
   (!kills, !fatal)
 
-let reclaimer_loop ~stop ~t () =
+let reclaimer_loop ~stop ~shs () =
+  let nsh = Shards.count shs in
   while not (Atomic.get stop) do
-    if Tables.updates_since_quiesce t > 0 then
-      ignore (Tables.quiesce_attempt t);
+    for i = 0 to nsh - 1 do
+      let t = Shards.tables shs i in
+      if Tables.updates_since_quiesce t > 0 then
+        ignore (Tables.quiesce_attempt t)
+    done;
     Tx.backoff 4
   done
 
 let run_torture sc master pool =
-  let t =
-    Tables.create ~code_base:torture_base ~capacity:(4 * sc.targets)
-      ~bary_slots:sc.slots ()
+  let nsh = max 1 sc.shards in
+  let shs =
+    Shards.create ~stm:sc.stm ~shards:nsh ~code_base:torture_base
+      ~capacity:(4 * sc.targets) ~bary_slots:sc.slots ()
   in
-  let h = make_history (sc.updates + 64) in
-  Tables.set_observer t (Some (observer h));
-  (* an initial complete install so every check window is non-empty *)
-  let _v0 : int =
-    Tx.update ~tag:0 t
-      ~tary:(tary_of ~base:torture_base pool.(0))
-      ~bary:(bary_of pool.(0))
+  (* the cross-shard path commits one update on two shards, and each
+     shard takes one seeding install: size every shard's log for the
+     worst case *)
+  let hists =
+    Array.init nsh (fun _ -> make_history ((2 * sc.updates) + 64 + nsh))
   in
+  Array.iteri
+    (fun i h -> Shards.set_observer shs ~shard:i (Some (observer h)))
+    hists;
+  (* an initial complete install per shard so every check window is
+     non-empty on every shard *)
+  for i = 0 to nsh - 1 do
+    let _v0 : int =
+      Shards.update ~tag:0 shs ~shard:i
+        ~tary:(tary_of ~base:torture_base pool.(0))
+        ~bary:(bary_of pool.(0))
+    in
+    ()
+  done;
   let chk_prngs = Array.init sc.checkers (fun _ -> Prng.split master) in
   let upd_prngs = Array.init sc.updaters (fun _ -> Prng.split master) in
   let stop = Atomic.make false in
   let checkers =
-    Array.map
-      (fun prng -> Domain.spawn (torture_checker ~stop ~t ~h ~pool ~prng ~sc))
+    Array.mapi
+      (fun i prng ->
+        let shard = i mod nsh in
+        Domain.spawn
+          (torture_checker ~stop ~shs ~shard ~h:hists.(shard) ~pool ~prng ~sc))
       chk_prngs
   in
   let reclaimer =
-    if sc.reclaimer then Some (Domain.spawn (reclaimer_loop ~stop ~t))
+    if sc.reclaimer then Some (Domain.spawn (reclaimer_loop ~stop ~shs))
     else None
   in
   let per = sc.updates / sc.updaters in
@@ -361,45 +445,57 @@ let run_torture sc master pool =
         let n =
           if uid = 0 then sc.updates - (per * (sc.updaters - 1)) else per
         in
-        Domain.spawn (torture_updater ~t ~pool ~prng:upd_prngs.(uid) ~sc ~n ~uid))
+        Domain.spawn
+          (torture_updater ~shs ~pool ~prng:upd_prngs.(uid) ~sc ~n ~uid))
   in
   let upd_results = Array.map Domain.join updaters in
   Faults.disarm ();
-  (* the last kill may have left a torn install: complete it so the log
-     balances and the tables end consistent *)
-  ignore (Tx.recover t);
+  (* the last kill may have left a torn install on some shard: complete
+     it so that shard's log balances and its tables end consistent *)
+  ignore (Shards.recover_all shs);
   Atomic.set stop true;
   let chk_results = Array.map Domain.join checkers in
   Option.iter Domain.join reclaimer;
-  Tables.set_observer t None;
+  for i = 0 to nsh - 1 do
+    Shards.set_observer shs ~shard:i None
+  done;
   let kills = Array.fold_left (fun acc (k, _) -> acc + k) 0 upd_results in
   let fatal =
-    Array.fold_left (fun acc (_, f) -> List.rev_append f acc) [] upd_results
+    ref
+      (Array.fold_left (fun acc (_, f) -> List.rev_append f acc) [] upd_results)
   in
-  let fatal =
-    if Atomic.get h.h_overflow then
-      {
-        an_seed = sc.seed;
-        an_kind = "history-overflow";
-        an_detail = "more installs began than the scenario allows";
-      }
-      :: fatal
-    else fatal
-  in
-  let installs = Atomic.get h.h_completed in
-  let began = Atomic.get h.h_began in
-  let fatal =
-    if installs <> began then
-      {
-        an_seed = sc.seed;
-        an_kind = "unbalanced-install-log";
-        an_detail =
-          Printf.sprintf "%d installs began but %d completed" began installs;
-      }
-      :: fatal
-    else fatal
-  in
-  (chk_results, installs, kills, fatal, Tables.quiesce_events t)
+  Array.iteri
+    (fun i h ->
+      if Atomic.get h.h_overflow then
+        fatal :=
+          {
+            an_seed = sc.seed;
+            an_kind = "history-overflow";
+            an_detail =
+              Printf.sprintf
+                "shard %d: more installs began than the scenario allows" i;
+          }
+          :: !fatal;
+      let completed = Atomic.get h.h_completed in
+      let began = Atomic.get h.h_began in
+      if completed <> began then
+        fatal :=
+          {
+            an_seed = sc.seed;
+            an_kind = "unbalanced-install-log";
+            an_detail =
+              Printf.sprintf "shard %d: %d installs began but %d completed" i
+                began completed;
+          }
+          :: !fatal)
+    hists;
+  let shard_installs = Array.map (fun h -> Atomic.get h.h_completed) hists in
+  let installs = Array.fold_left ( + ) 0 shard_installs in
+  let quiesces = ref 0 in
+  for i = 0 to nsh - 1 do
+    quiesces := !quiesces + Tables.quiesce_events (Shards.tables shs i)
+  done;
+  (chk_results, installs, kills, !fatal, !quiesces, shard_installs)
 
 (* ------------------------------------------------------------------ *)
 (* Component B: the loader storm                                       *)
@@ -568,10 +664,19 @@ let max_trace_evidence = 256
 
 let run sc =
   let sc =
-    { sc with checkers = max 1 sc.checkers; updaters = max 1 sc.updaters }
+    {
+      sc with
+      checkers = max 1 sc.checkers;
+      updaters = max 1 sc.updaters;
+      shards = max 1 sc.shards;
+    }
   in
   Faults.disarm ();
   Faults.Stats.reset ();
+  (* every spawned domain derives its own backoff jitter stream from
+     this seed; re-seeding also invalidates streams cached by domains a
+     previous run left behind *)
+  Tx.seed_domain_jitter sc.seed;
   (* the harness owns the process-global trace while it runs, exactly as
      it owns [Faults.Stats] *)
   if Telemetry.enabled () then Telemetry.reset ();
@@ -582,9 +687,9 @@ let run sc =
     Array.init (max 1 sc.cfgs) (fun _ ->
         gen_cfg pool_prng ~slots:sc.slots ~targets:sc.targets)
   in
-  let tort_tallies, installs, kills, tort_anoms, quiesces =
+  let tort_tallies, installs, kills, tort_anoms, quiesces, shard_installs =
     if sc.updates > 0 then run_torture sc master pool
-    else (empty_tallies, 0, 0, [], 0)
+    else (empty_tallies, 0, 0, [], 0, Array.make sc.shards 0)
   in
   let storm_tallies, loads_ok, loads_failed, storm_anoms =
     if sc.loader_loads > 0 then run_storm sc (Prng.split master)
@@ -617,6 +722,7 @@ let run sc =
     rp_violations = sum (fun y -> y.y_violations);
     rp_exhausted = sum (fun y -> y.y_exhausted);
     rp_installs = installs;
+    rp_shard_installs = shard_installs;
     rp_kills = kills;
     rp_recoveries = stats.Faults.Stats.recoveries;
     rp_retries = stats.Faults.Stats.retries;
@@ -649,13 +755,14 @@ type throughput = {
 let throughput_checker ~stop ~installing ~t ~prng ~targets ~slots () =
   let rd = Tables.register_reader t in
   let wd = { Tx.wd_deadline = 8; wd_on_expire = Tx.Wait_for_updater } in
+  let jitter = Tx.domain_jitter () in
   let checks = ref 0 and during = ref 0 in
   while not (Atomic.get stop) do
     Tables.reader_quiescent rd;
     let slot = Prng.int prng slots in
     let target = torture_base + (4 * Prng.int prng targets) in
     let overlapped = Atomic.get installing in
-    ignore (Tx.check ~watchdog:wd t ~bary_index:slot ~target);
+    ignore (Tx.check ~watchdog:wd ~jitter t ~bary_index:slot ~target);
     incr checks;
     if overlapped || Atomic.get installing then incr during
   done;
@@ -768,4 +875,111 @@ let install_throughput ?(checkers = 4) ?(installs = 256) ?(targets = 4096)
     tp_carries = !carries;
     tp_elapsed_s = elapsed;
     tp_install_s = !install_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Component D: install scaling across shards                          *)
+
+type shard_scaling = {
+  ss_shards : int;
+  ss_stm : Stm.variant;
+  ss_installs : int;
+  ss_installs_per_s : float;
+  ss_wedge_s : float;
+  ss_wedged_installs : int;
+  ss_elapsed_s : float;
+}
+
+let scaling_updater ~stop ~shs ~prng ~cfgs ~shard ~tally () =
+  let ti = Shards.tables shs shard in
+  while not (Atomic.get stop) do
+    let ci = Prng.int prng (Array.length cfgs) in
+    let tary, bary = cfgs.(ci) in
+    (match Shards.update ~tag:ci shs ~shard ~tary ~bary with
+    | (_ : int) -> Atomic.incr tally
+    | exception Tx.Version_space_exhausted ->
+      (* the wall arrived between quiescent points; declare and rebase *)
+      Tables.quiesce ti;
+      ignore (Shards.refresh shs ~shard));
+    (* no checker ever reads these tables — the measurement counts
+       installs only — so every iteration is a provably quiescent
+       point, declared directly (the epoch registry is empty and could
+       never produce evidence); this keeps the version space
+       reclaimable past 2^14 installs per shard *)
+    Tables.quiesce ti
+  done
+
+(* Phase A: [updaters] domains hammer installs, homed round-robin over
+   the shards, for [duration_s] — contended install throughput.  Phase
+   B: one extra domain grabs shard 0's update lock and wedges it for
+   [wedge_s] while the same updaters keep going; installs completed in
+   the window measure how much of the fleet a single wedged shard takes
+   down.  With one shard the window count collapses toward zero (the
+   single lock is the wedged lock); with N shards the updaters homed
+   off shard 0 are untouched. *)
+let shard_scaling ?(updaters = 4) ?(duration_s = 0.2) ?(wedge_s = 0.2)
+    ?(targets = 64) ?(slots = 16) ?(stm = Stm.Tml) ~shards ~seed () =
+  let nsh = max 1 shards in
+  let prng = Prng.create seed in
+  Tx.seed_domain_jitter seed;
+  let shs =
+    Shards.create ~stm ~shards:nsh ~code_base:torture_base
+      ~capacity:(4 * targets) ~bary_slots:slots ()
+  in
+  let pool =
+    Array.init 4 (fun _ -> gen_cfg prng ~slots ~targets)
+  in
+  let cfgs =
+    Array.map (fun c -> (tary_of ~base:torture_base c, bary_of c)) pool
+  in
+  let spawn_updaters ~stop ~tally =
+    Array.init (max 1 updaters) (fun uid ->
+        let prng = Prng.split prng in
+        let shard = uid mod nsh in
+        Domain.spawn (scaling_updater ~stop ~shs ~prng ~cfgs ~shard ~tally))
+  in
+  let t0 = Unix.gettimeofday () in
+  (* phase A: contended installs/s *)
+  let stop_a = Atomic.make false in
+  let tally_a = Atomic.make 0 in
+  let doms_a = spawn_updaters ~stop:stop_a ~tally:tally_a in
+  Unix.sleepf duration_s;
+  Atomic.set stop_a true;
+  Array.iter Domain.join doms_a;
+  let installs = Atomic.get tally_a in
+  (* phase B: wedge shard 0's update lock, count what still lands.  The
+     wedger holds the lock until [wedge_done] — set only after the
+     window's tally is sampled — so the sample is taken with the lock
+     provably still held and a single-shard run reads (near) zero
+     rather than racing the release. *)
+  let stop_b = Atomic.make false in
+  let tally_b = Atomic.make 0 in
+  let wedge_open = Atomic.make false in
+  let wedge_done = Atomic.make false in
+  let wedger =
+    Domain.spawn (fun () ->
+        Tables.with_update_lock (Shards.tables shs 0) (fun () ->
+            Atomic.set wedge_open true;
+            while not (Atomic.get wedge_done) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get wedge_open) do
+    Domain.cpu_relax ()
+  done;
+  let doms_b = spawn_updaters ~stop:stop_b ~tally:tally_b in
+  Unix.sleepf wedge_s;
+  let wedged_installs = Atomic.get tally_b in
+  Atomic.set wedge_done true;
+  Domain.join wedger;
+  Atomic.set stop_b true;
+  Array.iter Domain.join doms_b;
+  {
+    ss_shards = nsh;
+    ss_stm = stm;
+    ss_installs = installs;
+    ss_installs_per_s = float_of_int installs /. duration_s;
+    ss_wedge_s = wedge_s;
+    ss_wedged_installs = wedged_installs;
+    ss_elapsed_s = Unix.gettimeofday () -. t0;
   }

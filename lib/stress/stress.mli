@@ -42,6 +42,15 @@ type scenario = {
   loader_loads : int;  (** loader-storm [Process.load]s (0 = storm off) *)
   loader_fault_one_in : int;
       (** arm a fault for roughly 1 in [n] loader loads (0 = never) *)
+  shards : int;
+      (** fault domains: the table pair is split into [shards]
+          independently versioned shards ({!Idtables.Shards}); checkers
+          and updaters are homed round-robin, roughly one update in
+          eleven commits cross-shard, and kills are shard-scoped so a
+          torn install is confined to one shard's recovery *)
+  stm : Idtables.Stm.variant;
+      (** commit protocol every shard transaction runs under — the same
+          epoch-history oracle judges all variants *)
 }
 
 (** A scenario with the dimensions the acceptance gate needs: 4 checkers,
@@ -66,7 +75,10 @@ type report = {
   rp_passes : int;
   rp_violations : int;
   rp_exhausted : int;  (** checks that reported [Retries_exhausted] *)
-  rp_installs : int;  (** completed install transactions *)
+  rp_installs : int;  (** completed install transactions, all shards *)
+  rp_shard_installs : int array;
+      (** completed install transactions per shard (each shard's own
+          history log balanced begin-for-completion) *)
   rp_kills : int;  (** updater kills injected mid-install *)
   rp_recoveries : int;  (** torn installs redone from the journal *)
   rp_retries : int;  (** check retries on version skew *)
@@ -122,6 +134,40 @@ val install_throughput :
   seed:int64 ->
   unit ->
   throughput
+
+(** {2 Install scaling across shards}
+
+    Two measurements against an {!Idtables.Shards} instance. Phase A:
+    updater domains hammer full installs, homed round-robin over the
+    shards — contended install throughput, where a single shard means a
+    single update lock.  Phase B: one extra domain wedges shard 0's
+    update lock for [wedge_s] while the same updaters keep going;
+    installs completed inside the window measure the blast radius of
+    one wedged shard (near zero with one shard; untouched homes keep
+    installing with several). *)
+
+type shard_scaling = {
+  ss_shards : int;
+  ss_stm : Idtables.Stm.variant;
+  ss_installs : int;  (** phase-A installs completed *)
+  ss_installs_per_s : float;
+  ss_wedge_s : float;  (** length of the wedged window *)
+  ss_wedged_installs : int;
+      (** installs completed while shard 0's lock was held *)
+  ss_elapsed_s : float;
+}
+
+val shard_scaling :
+  ?updaters:int ->
+  ?duration_s:float ->
+  ?wedge_s:float ->
+  ?targets:int ->
+  ?slots:int ->
+  ?stm:Idtables.Stm.variant ->
+  shards:int ->
+  seed:int64 ->
+  unit ->
+  shard_scaling
 
 (** {2 The seeded CFG pool and epoch-history oracle}
 

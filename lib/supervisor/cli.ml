@@ -60,6 +60,29 @@ let smoke_arg =
          ~doc:"the small CI fleet: 16 tenants, a deterministic kill and \
                wedge plan, short run")
 
+let stm_conv =
+  let parse s =
+    match Idtables.Stm.of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Idtables.Stm.pp)
+
+let shards_arg =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+         ~doc:"split the shared tables into $(docv) independently versioned \
+               shard fault domains; each tenant is homed on one (default 1)")
+
+let stm_arg =
+  Arg.(value & opt (some stm_conv) None & info [ "stm" ] ~docv:"VARIANT"
+         ~doc:"commit protocol for every shard transaction: $(b,tml), \
+               $(b,norec) or $(b,seqlock)")
+
+let shard_breaker_arg =
+  Arg.(value & opt (some int) None & info [ "shard-breaker" ] ~docv:"N"
+         ~doc:"quarantine a whole shard (shedding only its own tenants) \
+               after $(docv) crashes attributed to it (0 = off)")
+
 let telemetry_arg =
   Arg.(value & flag & info [ "telemetry" ]
          ~doc:"enable telemetry for the run and print the stats report")
@@ -67,7 +90,8 @@ let telemetry_arg =
 let override v o = match o with Some x -> x | None -> v
 
 let config_of seed tenants workers ticks storm_every storm_size churn_every
-    loaders kill_one_in wedge_one_in slow_one_in smoke =
+    loaders kill_one_in wedge_one_in slow_one_in shards stm shard_breaker
+    smoke =
   let base = if smoke then Fleet.smoke ~seed else Fleet.default ~seed in
   let chaos =
     match (kill_one_in, wedge_one_in, slow_one_in) with
@@ -92,12 +116,16 @@ let config_of seed tenants workers ticks storm_every storm_size churn_every
     fc_churn_every = override base.Fleet.fc_churn_every churn_every;
     fc_loaders = override base.Fleet.fc_loaders loaders;
     fc_chaos = chaos;
+    fc_shards = override base.Fleet.fc_shards shards;
+    fc_stm = override base.Fleet.fc_stm stm;
+    fc_shard_breaker = override base.Fleet.fc_shard_breaker shard_breaker;
   }
 
 let config_term =
   Term.(const config_of $ seed_arg $ tenants_arg $ workers_arg $ ticks_arg
         $ storm_every_arg $ storm_size_arg $ churn_every_arg $ loaders_arg
-        $ kill_one_in_arg $ wedge_one_in_arg $ slow_one_in_arg $ smoke_arg)
+        $ kill_one_in_arg $ wedge_one_in_arg $ slow_one_in_arg $ shards_arg
+        $ stm_arg $ shard_breaker_arg $ smoke_arg)
 
 let main config telemetry =
   if telemetry then Telemetry.enable ();

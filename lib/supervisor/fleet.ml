@@ -1,6 +1,8 @@
 module Prng = Mcfi_util.Prng
 module Tables = Idtables.Tables
 module Tx = Idtables.Tx
+module Stm = Idtables.Stm
+module Shards = Idtables.Shards
 
 type config = {
   fc_seed : int64;
@@ -19,6 +21,9 @@ type config = {
   fc_chaos : Faults.Tenant.plan list;
   fc_policy : Health.policy;
   fc_tick_s : float;
+  fc_shards : int;
+  fc_stm : Stm.variant;
+  fc_shard_breaker : int;
 }
 
 let default ~seed =
@@ -44,6 +49,9 @@ let default ~seed =
       ];
     fc_policy = Health.default_policy;
     fc_tick_s = 0.001;
+    fc_shards = 1;
+    fc_stm = Stm.Tml;
+    fc_shard_breaker = 0;
   }
 
 let smoke ~seed =
@@ -67,9 +75,10 @@ let smoke ~seed =
 let pp_config ppf fc =
   Fmt.pf ppf
     "seed=%Ld tenants=%d (%d loaders) workers=%d ticks=%d base=%d \
-     storm=%d/%d churn=%d chaos=[%a] policy=(%a)"
+     storm=%d/%d churn=%d shards=%d stm=%a breaker=%d chaos=[%a] policy=(%a)"
     fc.fc_seed fc.fc_tenants fc.fc_loaders fc.fc_workers fc.fc_ticks
     fc.fc_base_installs fc.fc_storm_size fc.fc_storm_every fc.fc_churn_every
+    fc.fc_shards Stm.pp fc.fc_stm fc.fc_shard_breaker
     (Fmt.list ~sep:Fmt.comma Faults.Tenant.pp_plan)
     fc.fc_chaos Health.pp_policy fc.fc_policy
 
@@ -98,6 +107,9 @@ type report = {
   fr_loads_failed : int;
   fr_quiesces : int;
   fr_final_quiesce : bool;
+  fr_shard_installs : int array;
+  fr_shard_served : int array;
+  fr_shards_quarantined : int;
   fr_anomalies : Stress.anomaly list;
   fr_elapsed_s : float;
 }
@@ -111,7 +123,7 @@ let pp_report ppf r =
      installs %d completed; admissions %d admitted / %d shed / %d deferred, \
      %d served@,\
      loads %d ok / %d failed@,\
-     quiesces %d, final quiescence %b@,\
+     quiesces %d, final quiescence %b%a@,\
      anomalies %d%a@,\
      elapsed %.2fs@]"
     r.fr_config.fc_tenants r.fr_survivors r.fr_survival_rate r.fr_quarantined
@@ -121,6 +133,15 @@ let pp_report ppf r =
     r.fr_checks r.fr_passes r.fr_violations r.fr_exhausted r.fr_retries
     r.fr_installs r.fr_admitted r.fr_shed r.fr_deferred r.fr_served
     r.fr_loads_ok r.fr_loads_failed r.fr_quiesces r.fr_final_quiesce
+    (fun ppf r ->
+      if Array.length r.fr_shard_installs > 1 then
+        Fmt.pf ppf
+          "@,shards: installs %a, served %a, %d shard(s) quarantined"
+          Fmt.(array ~sep:(any "/") int)
+          r.fr_shard_installs
+          Fmt.(array ~sep:(any "/") int)
+          r.fr_shard_served r.fr_shards_quarantined)
+    r
     (List.length r.fr_anomalies)
     (fun ppf -> function
       | [] -> ()
@@ -143,6 +164,7 @@ let fleet_base = 0x1000
    consecutive owners). *)
 type tenant = {
   tn_id : int;
+  tn_shard : int;  (* home fault domain: id mod shards *)
   tn_loader : bool;
   tn_prng : Prng.t;  (* worker-side: probes, kill points, jitter *)
   tn_busy : bool Atomic.t;  (* claim: one worker (or the supervisor) at a time *)
@@ -176,10 +198,21 @@ type tenant = {
   mutable tn_restarts : int;
 }
 
+(* Per-shard fault-domain state, supervisor-owned.  The breaker trips
+   when [sh_crashes] crashes have been attributed to the shard
+   ([fc_shard_breaker] > 0): the shard is quarantined and sheds {e only
+   its own} tenants — every other shard's tenants keep serving. *)
+type shard_state = {
+  sh_id : int;
+  mutable sh_crashes : int;
+  mutable sh_quarantined : bool;
+}
+
 type ctx = {
   cx : config;
-  t : Tables.t;
-  h : Stress.history;
+  shs : Shards.t;
+  hists : Stress.history array; (* install log, one per shard *)
+  shard_states : shard_state array;
   pool : Stress.cfg array;
   chaos : Faults.Tenant.armed;
   tenants : tenant array;
@@ -230,10 +263,16 @@ let serve_install ctx y tn ci =
         (Faults.Plan.Nth_tary_write, 1 + Prng.int tn.tn_prng ctx.cx.fc_targets)
       else (Faults.Plan.Between_tary_and_bary, 1)
     in
-    Faults.arm (Faults.Plan.At { point; hit })
+    (* on a sharded fleet the kill is scoped to this tenant's home
+       shard, so the corpse's torn install is confined there *)
+    let plan =
+      if Shards.count ctx.shs = 1 then Faults.Plan.At { point; hit }
+      else Faults.Plan.At_shard { shard = tn.tn_shard; point; hit }
+    in
+    Faults.arm plan
   end;
   match
-    Tx.update ~tag:ci ctx.t
+    Shards.update ~tag:ci ctx.shs ~shard:tn.tn_shard
       ~tary:(Stress.tary_of ~base:fleet_base ctx.pool.(ci))
       ~bary:(Stress.bary_of ctx.pool.(ci))
   with
@@ -251,6 +290,7 @@ let check_slice ctx y tn =
   | None -> ()
   | Some rd ->
     Tables.reader_quiescent rd;
+    let h = ctx.hists.(tn.tn_shard) in
     let esc =
       Health.escalation_of (Health.state_of_code (Atomic.get tn.tn_escalation))
     in
@@ -266,16 +306,16 @@ let check_slice ctx y tn =
           let i = Prng.int tn.tn_prng sc.fc_targets in
           (i, fleet_base + (4 * i))
       in
-      let c0 = Stress.history_completed ctx.h in
+      let c0 = Stress.history_completed h in
       let out =
-        Tx.check ~watchdog:wd ~jitter:tn.tn_prng ~on_retry ctx.t
-          ~bary_index:slot ~target
+        Shards.check ~watchdog:wd ~jitter:tn.tn_prng ~on_retry ctx.shs
+          ~shard:tn.tn_shard ~bary_index:slot ~target
       in
-      let b1 = Stress.history_began ctx.h in
+      let b1 = Stress.history_began h in
       Atomic.incr tn.tn_checks;
       let detail kind_s =
-        Printf.sprintf "tenant %d: %s: slot=%d tidx=%d window=[%d,%d]"
-          tn.tn_id kind_s slot tidx
+        Printf.sprintf "tenant %d (shard %d): %s: slot=%d tidx=%d window=[%d,%d]"
+          tn.tn_id tn.tn_shard kind_s slot tidx
           (max 0 (c0 - 1))
           (b1 - 1)
       in
@@ -284,7 +324,7 @@ let check_slice ctx y tn =
         Atomic.incr tn.tn_passes;
         if
           not
-            (Stress.window_justifies ctx.h ctx.pool ~slot ~tidx ~c0 ~b1
+            (Stress.window_justifies h ctx.pool ~slot ~tidx ~c0 ~b1
                ~pass:true)
         then
           record_anomaly y ~seed:sc.fc_seed "unjustified-pass"
@@ -293,7 +333,7 @@ let check_slice ctx y tn =
         Atomic.incr tn.tn_violations;
         if
           not
-            (Stress.window_justifies ctx.h ctx.pool ~slot ~tidx ~c0 ~b1
+            (Stress.window_justifies h ctx.pool ~slot ~tidx ~c0 ~b1
                ~pass:false)
         then
           record_anomaly y ~seed:sc.fc_seed "unjustified-violation"
@@ -404,7 +444,7 @@ let teardown_tenant ctx tn =
   Atomic.set tn.tn_alive false;
   with_claim tn (fun () ->
       (match Atomic.exchange tn.tn_reader None with
-      | Some rd -> Tables.unregister_reader ctx.t rd
+      | Some rd -> Shards.unregister_reader ctx.shs ~shard:tn.tn_shard rd
       | None -> ());
       (match Atomic.exchange tn.tn_proc None with
       | Some proc -> Mcfi_runtime.Process.teardown proc
@@ -412,12 +452,16 @@ let teardown_tenant ctx tn =
       Atomic.set tn.tn_wedged false;
       Atomic.set tn.tn_slow false;
       Atomic.set tn.tn_kill_next false);
-  ignore (Tx.recover ctx.t)
+  (* the corpse can only have torn its own home shard: recovery is
+     confined there, other shards' journals are not even looked at *)
+  ignore (Shards.recover ctx.shs ~shard:tn.tn_shard)
 
 let rebirth_tenant ctx tn =
   with_claim tn (fun () ->
       if tn.tn_loader then Atomic.set tn.tn_proc (Some (build_loader_proc ()))
-      else Atomic.set tn.tn_reader (Some (Tables.register_reader ctx.t));
+      else
+        Atomic.set tn.tn_reader
+          (Some (Shards.register_reader ctx.shs ~shard:tn.tn_shard));
       Atomic.set tn.tn_alive true)
 
 let sample_epoch tn =
@@ -447,6 +491,10 @@ let sample_signals tn =
    transition: teardown on death and quarantine, rebirth when the
    backoff elapses, telemetry on every edge. *)
 let supervise_tenant ctx recoveries tn ~now ~signals =
+  if signals.Health.s_crashed then begin
+    let sh = ctx.shard_states.(tn.tn_shard) in
+    sh.sh_crashes <- sh.sh_crashes + 1
+  end;
   let old_st, new_st = Health.tick tn.tn_health ~now signals in
   if new_st <> old_st then begin
     Atomic.set tn.tn_escalation (Health.state_code new_st);
@@ -475,6 +523,37 @@ let supervise_tenant ctx recoveries tn ~now ~signals =
     | _ -> ())
   end
 
+(* The per-shard circuit breaker.  When [fc_shard_breaker] > 0 and a
+   shard has accumulated that many tenant crashes, the whole shard is
+   declared a lost fault domain: every tenant homed there is
+   quarantined by decree and torn down, the shard's journal is redone
+   one last time, and admission stops routing installs to it.  Tenants
+   on other shards are untouched — the blast radius of a rotten shard
+   is exactly its own tenant population. *)
+let trip_shard_breakers ctx =
+  if ctx.cx.fc_shard_breaker > 0 then
+    Array.iter
+      (fun sh ->
+        if (not sh.sh_quarantined) && sh.sh_crashes >= ctx.cx.fc_shard_breaker
+        then begin
+          sh.sh_quarantined <- true;
+          Array.iter
+            (fun tn ->
+              if tn.tn_shard = sh.sh_id then begin
+                let old_st, new_st = Health.quarantine tn.tn_health in
+                if new_st <> old_st then begin
+                  Atomic.set tn.tn_escalation (Health.state_code new_st);
+                  Telemetry.emit Telemetry.Event.Tenant_state ~a:tn.tn_id
+                    ~b:(Health.state_code new_st)
+                    ~c:(Health.state_code old_st)
+                end;
+                teardown_tenant ctx tn
+              end)
+            ctx.tenants;
+          ignore (Shards.recover ctx.shs ~shard:sh.sh_id)
+        end)
+      ctx.shard_states
+
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
 
@@ -489,8 +568,9 @@ type admissions = {
 
 let retry_after = 3
 
-let admissible tn =
+let admissible ctx tn =
   (not tn.tn_loader)
+  && (not ctx.shard_states.(tn.tn_shard).sh_quarantined)
   && Atomic.get tn.tn_alive
   && not (Atomic.get tn.tn_wedged)
   &&
@@ -509,7 +589,7 @@ let admit_one ctx ad ~now ~deferred ci =
     else begin
       ad.ad_cursor <- (ad.ad_cursor + 1) mod n;
       let tn = ctx.tenants.(ad.ad_cursor) in
-      if admissible tn && Atomic.get tn.tn_qlen < ctx.cx.fc_policy.Health.p_queue_capacity
+      if admissible ctx tn && Atomic.get tn.tn_qlen < ctx.cx.fc_policy.Health.p_queue_capacity
       then Some tn
       else place (k + 1)
     end
@@ -559,12 +639,15 @@ let run fc =
       fc_tenants = max 2 fc.fc_tenants;
       fc_workers = max 1 fc.fc_workers;
       fc_loaders = min fc.fc_loaders (fc.fc_tenants / 2);
+      fc_shards = max 1 fc.fc_shards;
     }
   in
   Faults.disarm ();
   Faults.Stats.reset ();
   if Telemetry.enabled () then Telemetry.reset ();
+  Tx.seed_domain_jitter fc.fc_seed;
   let t0 = Unix.gettimeofday () in
+  let nsh = fc.fc_shards in
   let master = Prng.create fc.fc_seed in
   let pool =
     Array.init fc.fc_cfgs (fun _ ->
@@ -572,25 +655,33 @@ let run fc =
   in
   let admit_prng = Prng.split master in
   let churn_prng = Prng.split master in
-  let t =
-    Tables.create ~code_base:fleet_base ~capacity:(4 * fc.fc_targets)
-      ~bary_slots:fc.fc_slots ()
+  let shs =
+    Shards.create ~stm:fc.fc_stm ~shards:nsh ~code_base:fleet_base
+      ~capacity:(4 * fc.fc_targets) ~bary_slots:fc.fc_slots ()
   in
   (* every admission can begin at most one install, plus the seed
-     install and slack for journal redos *)
+     install and slack for journal redos; size each shard's log for the
+     worst case of every install landing on it *)
   let storms =
     if fc.fc_storm_every > 0 then fc.fc_ticks / fc.fc_storm_every else 0
   in
-  let h =
-    Stress.make_history
-      ((fc.fc_ticks * fc.fc_base_installs) + (storms * fc.fc_storm_size) + 64)
+  let hists =
+    Array.init nsh (fun _ ->
+        Stress.make_history
+          ((fc.fc_ticks * fc.fc_base_installs) + (storms * fc.fc_storm_size)
+          + 64))
   in
-  Tables.set_observer t (Some (Stress.observer h));
-  let _v0 : int =
-    Tx.update ~tag:0 t
-      ~tary:(Stress.tary_of ~base:fleet_base pool.(0))
-      ~bary:(Stress.bary_of pool.(0))
-  in
+  Array.iteri
+    (fun i h -> Shards.set_observer shs ~shard:i (Some (Stress.observer h)))
+    hists;
+  for i = 0 to nsh - 1 do
+    let _v0 : int =
+      Shards.update ~tag:0 shs ~shard:i
+        ~tary:(Stress.tary_of ~base:fleet_base pool.(0))
+        ~bary:(Stress.bary_of pool.(0))
+    in
+    ()
+  done;
   let tenants =
     Array.init fc.fc_tenants (fun i ->
         let worker_prng = Prng.split master in
@@ -598,6 +689,7 @@ let run fc =
         let loader = i < fc.fc_loaders in
         {
           tn_id = i;
+          tn_shard = i mod nsh;
           tn_loader = loader;
           tn_prng = worker_prng;
           tn_busy = Atomic.make false;
@@ -634,8 +726,11 @@ let run fc =
   let ctx =
     {
       cx = fc;
-      t;
-      h;
+      shs;
+      hists;
+      shard_states =
+        Array.init nsh (fun i ->
+            { sh_id = i; sh_crashes = 0; sh_quarantined = false });
       pool;
       chaos = Faults.Tenant.arm fc.fc_chaos;
       tenants;
@@ -646,7 +741,9 @@ let run fc =
   Array.iter
     (fun tn ->
       if tn.tn_loader then Atomic.set tn.tn_proc (Some (build_loader_proc ()))
-      else Atomic.set tn.tn_reader (Some (Tables.register_reader t));
+      else
+        Atomic.set tn.tn_reader
+          (Some (Shards.register_reader shs ~shard:tn.tn_shard));
       Atomic.set tn.tn_alive true)
     tenants;
   let workers =
@@ -662,6 +759,7 @@ let run fc =
       (fun tn ->
         supervise_tenant ctx recoveries tn ~now ~signals:(sample_signals tn))
       tenants;
+    trip_shard_breakers ctx;
     (* fleet churn: voluntarily retire a serving tenant; it restarts
        through the same crash path as a real kill *)
     if fc.fc_churn_every > 0 && now mod fc.fc_churn_every = 0 then begin
@@ -675,9 +773,13 @@ let run fc =
       | [] -> ()
       | l -> Atomic.set (Prng.choose churn_prng l).tn_crashed true
     end;
-    (* the supervisor doubles as the quiescence reclaimer *)
-    if Tables.updates_since_quiesce t > 0 then
-      ignore (Tables.quiesce_attempt t);
+    (* the supervisor doubles as the quiescence reclaimer, shard by
+       shard: one shard's stalled epoch never gates another's *)
+    for i = 0 to nsh - 1 do
+      let ti = Shards.tables shs i in
+      if Tables.updates_since_quiesce ti > 0 then
+        ignore (Tables.quiesce_attempt ti)
+    done;
     if fc.fc_tick_s > 0. then Unix.sleepf fc.fc_tick_s
   done;
   Atomic.set ctx.stop true;
@@ -722,61 +824,88 @@ let run fc =
           supervise_tenant ctx recoveries tn ~now ~signals)
       tenants
   done;
-  (* the last kill may have left a torn install: complete it so the
-     install log balances *)
-  ignore (Tx.recover t);
-  (* wedged-quiescence gate: with every corpse torn down, the survivors'
-     epochs advancing must let the tables quiesce *)
-  let final_quiesce =
-    if Tables.updates_since_quiesce t = 0 then true
+  (* the last kill may have left a torn install on some shard: complete
+     it so every shard's install log balances *)
+  ignore (Shards.recover_all shs);
+  (* wedged-quiescence gate, per shard: with every corpse torn down,
+     the survivors' epochs advancing must let each shard's tables
+     quiesce independently *)
+  let quiesce_shard i =
+    let ti = Shards.tables shs i in
+    if Tables.updates_since_quiesce ti = 0 then true
+    else if Tables.registered_readers ti = 0 then begin
+      (* every reader this shard had has been unregistered — e.g. the
+         whole shard was quarantined and its tenants torn down — so no
+         check transaction can be in flight against it; the epoch
+         registry can never produce evidence again, and declaring
+         directly is sound *)
+      Tables.quiesce ti;
+      true
+    end
     else begin
       let rec attempt round =
         if round > 200 then false
         else begin
           Array.iter
             (fun tn ->
-              match Atomic.get tn.tn_reader with
-              | Some rd -> Tables.reader_quiescent rd
-              | None -> ())
+              if tn.tn_shard = i then
+                match Atomic.get tn.tn_reader with
+                | Some rd -> Tables.reader_quiescent rd
+                | None -> ())
             tenants;
-          Tables.quiesce_attempt t || attempt (round + 1)
+          Tables.quiesce_attempt ti || attempt (round + 1)
         end
       in
       attempt 0
     end
   in
+  let final_quiesce = ref true in
+  for i = 0 to nsh - 1 do
+    if not (quiesce_shard i) then final_quiesce := false
+  done;
+  let final_quiesce = !final_quiesce in
   (* final teardown: every remaining registration and loader process *)
   Array.iter (fun tn -> teardown_tenant ctx tn) tenants;
-  Tables.set_observer t None;
+  for i = 0 to nsh - 1 do
+    Shards.set_observer shs ~shard:i None
+  done;
   let sum f = Array.fold_left (fun acc tn -> acc + f tn) 0 tenants in
   let anomalies =
     Array.fold_left
       (fun acc y -> List.rev_append y.w_anomalies acc)
       [] tallies
   in
-  let anomalies =
-    if Stress.history_overflowed h then
-      {
-        Stress.an_seed = fc.fc_seed;
-        an_kind = "history-overflow";
-        an_detail = "more installs began than the fleet admits";
-      }
-      :: anomalies
-    else anomalies
+  let anomalies = ref anomalies in
+  Array.iteri
+    (fun i h ->
+      if Stress.history_overflowed h then
+        anomalies :=
+          {
+            Stress.an_seed = fc.fc_seed;
+            an_kind = "history-overflow";
+            an_detail =
+              Printf.sprintf "shard %d: more installs began than the fleet \
+                              admits" i;
+          }
+          :: !anomalies;
+      let began = Stress.history_began h in
+      let completed = Stress.history_completed h in
+      if began <> completed then
+        anomalies :=
+          {
+            Stress.an_seed = fc.fc_seed;
+            an_kind = "unbalanced-install-log";
+            an_detail =
+              Printf.sprintf "shard %d: %d installs began but %d completed" i
+                began completed;
+          }
+          :: !anomalies)
+    hists;
+  let anomalies = !anomalies in
+  let shard_installs =
+    Array.map (fun h -> Stress.history_completed h) hists
   in
-  let began = Stress.history_began h in
-  let completed = Stress.history_completed h in
-  let anomalies =
-    if began <> completed then
-      {
-        Stress.an_seed = fc.fc_seed;
-        an_kind = "unbalanced-install-log";
-        an_detail =
-          Printf.sprintf "%d installs began but %d completed" began completed;
-      }
-      :: anomalies
-    else anomalies
-  in
+  let completed = Array.fold_left ( + ) 0 shard_installs in
   let anomalies =
     if final_quiesce then anomalies
     else
@@ -832,8 +961,22 @@ let run fc =
     fr_recovery_p99_ms = percentile sorted 0.99;
     fr_loads_ok = sum (fun tn -> Atomic.get tn.tn_loads_ok);
     fr_loads_failed = sum (fun tn -> Atomic.get tn.tn_loads_failed);
-    fr_quiesces = Tables.quiesce_events t;
+    fr_quiesces =
+      (let q = ref 0 in
+       for i = 0 to nsh - 1 do
+         q := !q + Tables.quiesce_events (Shards.tables shs i)
+       done;
+       !q);
     fr_final_quiesce = final_quiesce;
+    fr_shard_installs = shard_installs;
+    fr_shard_served =
+      Array.init nsh (fun i ->
+          sum (fun tn ->
+              if tn.tn_shard = i then Atomic.get tn.tn_served else 0));
+    fr_shards_quarantined =
+      Array.fold_left
+        (fun acc sh -> if sh.sh_quarantined then acc + 1 else acc)
+        0 ctx.shard_states;
     fr_anomalies = anomalies;
     fr_elapsed_s = Unix.gettimeofday () -. t0;
   }

@@ -43,6 +43,16 @@ type config = {
   fc_chaos : Faults.Tenant.plan list;
   fc_policy : Health.policy;
   fc_tick_s : float;  (** supervisor pacing between rounds, seconds *)
+  fc_shards : int;
+      (** shard fault domains ({!Idtables.Shards}); each tenant is homed
+          on shard [id mod fc_shards]: its reader, checks, installs,
+          kills and recovery all confined there *)
+  fc_stm : Idtables.Stm.variant;
+      (** commit protocol every shard transaction runs under *)
+  fc_shard_breaker : int;
+      (** per-shard circuit breaker: quarantine a whole shard — tearing
+          down {e only its own} tenants — once this many crashes have
+          been attributed to it (0 = off) *)
 }
 
 val default : seed:int64 -> config
@@ -81,8 +91,11 @@ type report = {
   fr_loads_failed : int;  (** loader-tenant dlopens rolled back *)
   fr_quiesces : int;
   fr_final_quiesce : bool;
-      (** the post-run tables reached quiescence — teardown really did
-          free every corpse's reader registration *)
+      (** every shard's post-run tables reached quiescence — teardown
+          really did free every corpse's reader registration *)
+  fr_shard_installs : int array;  (** installs completed per shard *)
+  fr_shard_served : int array;  (** queued installs committed, per shard *)
+  fr_shards_quarantined : int;  (** shards whose breaker tripped *)
   fr_anomalies : Stress.anomaly list;
   fr_elapsed_s : float;
 }

@@ -67,7 +67,31 @@ let small_report () =
         ("installs_shed", J.Num 0.0);
       ]
   in
-  J.report ~samples ~torture ~telemetry ~fuzz ~fleet
+  let shards =
+    J.Obj
+      [
+        ("stm", J.Str "tml");
+        ( "rows",
+          J.Arr
+            [
+              J.Obj
+                [
+                  ("shards", J.Num 1.0);
+                  ("installs_per_s", J.Num 1000.0);
+                  ("wedged_installs", J.Num 0.0);
+                ];
+              J.Obj
+                [
+                  ("shards", J.Num 4.0);
+                  ("installs_per_s", J.Num 2600.0);
+                  ("wedged_installs", J.Num 410.0);
+                ];
+            ] );
+        ("scaling", J.Num 2.6);
+        ("wedged_confinement", J.Num 410.0);
+      ]
+  in
+  J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in

@@ -1,0 +1,183 @@
+(* The STM zoo (lib/idtables/stm.ml): every commit protocol behind the
+   Tx-style interface must produce the same outcomes from the same table
+   states — Pass only on bit-identical IDs, mid-install skew never
+   resolves to a wrong verdict — and must share the torn-update recovery
+   guarantee, because all three run the same locked transaction body.
+   The seqlock variant additionally queues writers through a ticket, and
+   recovery must bypass that queue. *)
+
+open Idtables
+
+let per_variant name f =
+  List.map
+    (fun v ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name (Stm.name v))
+        `Quick
+        (fun () -> f v))
+    Stm.all
+
+let mk () = Tables.create ~code_base:0x1000 ~capacity:256 ~bary_slots:8 ()
+
+(* Two classes: slot 0 reaches 0x1010, slot 1 reaches 0x1020. *)
+let seed_cfg v t =
+  Stm.update v t ~tary:[ (0x1010, 3); (0x1020, 4) ] ~bary:[ (0, 3); (1, 4) ]
+
+let outcome = Alcotest.testable Fmt.(any "outcome") ( = )
+
+(* ---- outcome agreement ---- *)
+
+let test_outcomes v =
+  let t = mk () in
+  let (_ : int) = seed_cfg v t in
+  let check = Stm.check v t in
+  Alcotest.check outcome "own target passes" Tx.Pass
+    (check ~bary_index:0 ~target:0x1010);
+  Alcotest.check outcome "other class's target violates" Tx.Violation
+    (check ~bary_index:0 ~target:0x1020);
+  Alcotest.check outcome "unmapped target fails closed" Tx.Violation
+    (check ~bary_index:0 ~target:0x1040);
+  Alcotest.check outcome "misaligned target fails closed" Tx.Violation
+    (check ~bary_index:0 ~target:0x1012);
+  (* a second install re-keys both classes under the bumped version; the
+     old edges must not linger *)
+  let (_ : int) = Stm.update v t ~tary:[ (0x1010, 5) ] ~bary:[ (0, 5) ] in
+  Alcotest.check outcome "rekeyed edge passes" Tx.Pass
+    (check ~bary_index:0 ~target:0x1010);
+  Alcotest.check outcome "dropped target violates" Tx.Violation
+    (check ~bary_index:0 ~target:0x1020)
+
+(* ---- mid-install checks fail closed, never wrongly pass ---- *)
+
+let test_mid_install_skew v =
+  let t = mk () in
+  let (_ : int) = seed_cfg v t in
+  (* from inside the install window (the got_update hook runs between
+     the Tary and Bary phases) a bounded check must exhaust its retries:
+     the window is skewed, and no variant may resolve it to a verdict *)
+  let during = ref None in
+  let (_ : int) =
+    Stm.update v t
+      ~got_update:(fun () ->
+        during :=
+          Some (Stm.check v ~max_retries:3 t ~bary_index:0 ~target:0x1010))
+      ~tary:[ (0x1010, 3); (0x1020, 4) ]
+      ~bary:[ (0, 3); (1, 4) ]
+  in
+  (match !during with
+  | Some Tx.Retries_exhausted -> ()
+  | Some o ->
+    Alcotest.failf "mid-install check resolved to %s under %s"
+      (match o with
+      | Tx.Pass -> "Pass"
+      | Tx.Violation -> "Violation"
+      | Tx.Retries_exhausted -> assert false)
+      (Stm.name v)
+  | None -> Alcotest.fail "got_update hook never ran");
+  (* after the install completes the same check passes *)
+  Alcotest.check outcome "post-install pass" Tx.Pass
+    (Stm.check v t ~bary_index:0 ~target:0x1010)
+
+(* ---- torn update recovered by the next lock holder ---- *)
+
+let test_torn_recovery v =
+  let t = mk () in
+  let (_ : int) = seed_cfg v t in
+  (* kill the updater after its first Tary publish: phase 1 torn *)
+  Faults.arm (Faults.Plan.At { point = Faults.Plan.Nth_tary_write; hit = 1 });
+  (match
+     Stm.update v t ~tary:[ (0x1010, 7); (0x1020, 7) ] ~bary:[ (0, 7); (1, 7) ]
+   with
+  | (_ : int) -> Alcotest.fail "armed kill never fired"
+  | exception Faults.Injected _ -> ());
+  Faults.disarm ();
+  Alcotest.(check bool) "journal left behind" true (Tables.journal t <> None);
+  (* explicit recovery redoes the torn install to completion *)
+  Alcotest.(check bool) "recover redoes" true (Stm.recover v t);
+  Alcotest.(check bool) "journal consumed" true (Tables.journal t = None);
+  Alcotest.check outcome "torn install completed" Tx.Pass
+    (Stm.check v t ~bary_index:0 ~target:0x1010);
+  Alcotest.check outcome "merged classes pass" Tx.Pass
+    (Stm.check v t ~bary_index:0 ~target:0x1020);
+  Alcotest.(check bool) "nothing further to redo" false (Stm.recover v t)
+
+let test_torn_recovered_by_next_update v =
+  let t = mk () in
+  let (_ : int) = seed_cfg v t in
+  Faults.arm
+    (Faults.Plan.At { point = Faults.Plan.Between_tary_and_bary; hit = 1 });
+  (match Stm.update v t ~tary:[ (0x1010, 9) ] ~bary:[ (0, 9) ] with
+  | (_ : int) -> Alcotest.fail "armed kill never fired"
+  | exception Faults.Injected _ -> ());
+  Faults.disarm ();
+  (* the next updater — same variant, fresh CFG — recovers the torn
+     predecessor implicitly before installing its own; for seqlock this
+     also shows a killed writer released its ticket on unwind *)
+  let (_ : int) = Stm.update v t ~tary:[ (0x1020, 2) ] ~bary:[ (1, 2) ] in
+  Alcotest.(check bool) "journal consumed by next updater" true
+    (Tables.journal t = None);
+  Alcotest.check outcome "successor CFG live" Tx.Pass
+    (Stm.check v t ~bary_index:1 ~target:0x1020)
+
+(* ---- seqlock specifics ---- *)
+
+let test_seqlock_ticket_order () =
+  (* the ticket dispenser itself is FIFO: draws are consecutive and
+     serving admits them strictly in draw order *)
+  let t = mk () in
+  let a = Tables.ticket_draw t in
+  let b = Tables.ticket_draw t in
+  let c = Tables.ticket_draw t in
+  Alcotest.(check (pair int int)) "consecutive draws" (a + 1, a + 2) (b, c);
+  Alcotest.(check int) "first drawn is first served" a (Tables.ticket_serving t);
+  Tables.ticket_advance t;
+  Alcotest.(check int) "then the second" b (Tables.ticket_serving t)
+
+let test_seqlock_recovery_bypasses_ticket () =
+  let t = mk () in
+  let (_ : int) = seed_cfg Stm.Seqlock t in
+  Faults.arm (Faults.Plan.At { point = Faults.Plan.Nth_tary_write; hit = 1 });
+  (match Stm.update Stm.Seqlock t ~tary:[ (0x1010, 6) ] ~bary:[ (0, 6) ] with
+  | (_ : int) -> Alcotest.fail "armed kill never fired"
+  | exception Faults.Injected _ -> ());
+  Faults.disarm ();
+  (* park a phantom writer at the head of the queue: any ticketed writer
+     would now wait forever, but recovery must repair the tables without
+     queueing behind the convoy *)
+  let (_ : int) = Tables.ticket_draw t in
+  Alcotest.(check bool) "recovery ran despite the queue" true
+    (Stm.recover Stm.Seqlock t);
+  Alcotest.check outcome "repaired" Tx.Pass
+    (Stm.check Stm.Seqlock t ~bary_index:0 ~target:0x1010)
+
+(* ---- names ---- *)
+
+let test_names () =
+  List.iter
+    (fun v ->
+      match Stm.of_string (Stm.name v) with
+      | Ok v' -> Alcotest.(check bool) "name roundtrip" true (v = v')
+      | Error e -> Alcotest.fail e)
+    Stm.all;
+  match Stm.of_string "tl2" with
+  | Ok _ -> Alcotest.fail "accepted an unknown variant"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "stm"
+    [
+      ("outcomes", per_variant "pass/violation agreement" test_outcomes);
+      ("skew", per_variant "mid-install checks fail closed" test_mid_install_skew);
+      ( "recovery",
+        per_variant "torn install redone explicitly" test_torn_recovery
+        @ per_variant "torn install redone by next updater"
+            test_torn_recovered_by_next_update );
+      ( "seqlock",
+        [
+          Alcotest.test_case "ticket dispenser is FIFO" `Quick
+            test_seqlock_ticket_order;
+          Alcotest.test_case "recovery bypasses the ticket" `Quick
+            test_seqlock_recovery_bypasses_ticket;
+        ] );
+      ("naming", [ Alcotest.test_case "roundtrip" `Quick test_names ]);
+    ]

@@ -117,6 +117,55 @@ let test_loader_storm () =
   Alcotest.(check bool) "checkers probed throughout" true
     (r.Stress.rp_checks > 0)
 
+(* --- sharded torture: every STM variant under the same oracle --- *)
+
+let sharded_scenario ~stm ~shards seed =
+  {
+    (Stress.generate ~seed) with
+    Stress.updates = 800;
+    checkers = 2;
+    updaters = 2;
+    kill_every = 9;
+    reclaimer = true;
+    loader_loads = 0;
+    shards;
+    stm;
+  }
+
+let test_sharded_torture () =
+  List.iter
+    (fun stm ->
+      let r = Stress.run (sharded_scenario ~stm ~shards:2 0xB0A7L) in
+      check_no_anomalies r;
+      Alcotest.(check int)
+        (Printf.sprintf "per-shard tallies under %s" (Idtables.Stm.name stm))
+        2
+        (Array.length r.Stress.rp_shard_installs);
+      Array.iteri
+        (fun i n ->
+          if n < 1 then
+            Alcotest.failf "shard %d completed no installs under %s" i
+              (Idtables.Stm.name stm))
+        r.Stress.rp_shard_installs;
+      Alcotest.(check int)
+        "shard tallies sum to the total" r.Stress.rp_installs
+        (Array.fold_left ( + ) 0 r.Stress.rp_shard_installs);
+      Alcotest.(check bool) "shard-scoped kills injected" true
+        (r.Stress.rp_kills > 0))
+    Idtables.Stm.all
+
+let test_shard_scaling_smoke () =
+  let s =
+    Stress.shard_scaling ~updaters:2 ~duration_s:0.05 ~wedge_s:0.05 ~shards:2
+      ~seed:0x5CA1EL ()
+  in
+  Alcotest.(check int) "shards" 2 s.Stress.ss_shards;
+  Alcotest.(check bool) "installs completed" true (s.Stress.ss_installs > 0);
+  Alcotest.(check bool) "rate finite" true
+    (Float.is_finite s.Stress.ss_installs_per_s);
+  Alcotest.(check bool) "wedged tally sane" true
+    (s.Stress.ss_wedged_installs >= 0)
+
 (* Scenario generation and the workload it drives are functions of the
    seed alone (the schedule is not, but the oracle judges any schedule) —
    the replay story of `mcfi torture --seed S`. *)
@@ -150,5 +199,12 @@ let () =
           Alcotest.test_case "loader storm" `Quick test_loader_storm;
           Alcotest.test_case "deterministic replay" `Quick
             test_deterministic_replay;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "sharded torture, all STM variants" `Quick
+            test_sharded_torture;
+          Alcotest.test_case "shard-scaling smoke" `Quick
+            test_shard_scaling_smoke;
         ] );
     ]

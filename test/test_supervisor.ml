@@ -304,6 +304,60 @@ let test_fleet_chaos () =
     "survival rate accounted" true
     (r.Fl.fr_survival_rate >= 0.0 && r.Fl.fr_survival_rate <= 1.0)
 
+(* ---- sharded fleets: fault domains and the per-shard breaker ---- *)
+
+let test_fleet_sharded () =
+  List.iter
+    (fun stm ->
+      let cfg = { (Fl.smoke ~seed:21L) with Fl.fc_shards = 2; fc_stm = stm } in
+      let r = Fl.run cfg in
+      check_fleet r;
+      Alcotest.(check int) "per-shard install tallies" 2
+        (Array.length r.Fl.fr_shard_installs);
+      Alcotest.(check int) "per-shard served tallies" 2
+        (Array.length r.Fl.fr_shard_served);
+      (* tenants are homed id mod shards, so both shards carry load *)
+      Array.iteri
+        (fun i n ->
+          if n < 1 then Alcotest.failf "shard %d served nothing" i)
+        r.Fl.fr_shard_served;
+      Alcotest.(check int) "no shard quarantined" 0 r.Fl.fr_shards_quarantined)
+    Idtables.Stm.all
+
+let test_shard_breaker_confines () =
+  (* hammer shard 1's tenants (ids 1, 3, 5 under 2 shards) with
+     mid-install kills until the shard breaker trips; shard 0's tenants
+     must keep serving, untouched by the quarantine *)
+  let seed = 31L in
+  let cfg =
+    {
+      (Fl.smoke ~seed) with
+      Fl.fc_shards = 2;
+      fc_shard_breaker = 3;
+      fc_churn_every = 0;
+      fc_chaos =
+        [
+          FT.At { tenant = 1; action = Kill_install; hit = 2 };
+          FT.At { tenant = 3; action = Kill_install; hit = 2 };
+          FT.At { tenant = 5; action = Kill_install; hit = 2 };
+        ];
+    }
+  in
+  let r = Fl.run cfg in
+  if not (Fl.ok r) then Alcotest.failf "fleet run failed:@.%a" Fl.pp_report r;
+  Alcotest.(check int) "three kills landed" 3 r.Fl.fr_kills;
+  Alcotest.(check int) "exactly one shard quarantined" 1
+    r.Fl.fr_shards_quarantined;
+  (* the quarantined shard shed only its own tenants: every shard-1
+     tenant is quarantined or dead, while shard 0 kept its full
+     complement serving installs to the end *)
+  Alcotest.(check bool) "the rotten shard's tenants were shed" true
+    (r.Fl.fr_quarantined >= 1);
+  Alcotest.(check bool) "the healthy shard kept serving" true
+    (r.Fl.fr_shard_served.(0) > 0);
+  Alcotest.(check bool) "final quiescence despite the quarantine" true
+    r.Fl.fr_final_quiesce
+
 let () =
   Alcotest.run "supervisor"
     [
@@ -342,5 +396,9 @@ let () =
             test_fleet_smoke;
           Alcotest.test_case "64-tenant chaos acceptance" `Slow
             test_fleet_chaos;
+          Alcotest.test_case "sharded fleet, all STM variants" `Quick
+            test_fleet_sharded;
+          Alcotest.test_case "shard breaker confines the blast" `Quick
+            test_shard_breaker_confines;
         ] );
     ]
