@@ -21,8 +21,9 @@ bench:
 
 # machine-readable benchmark report: the incremental-linking scaling
 # curve, install-throughput, telemetry-overhead, fuzzing-throughput,
-# fleet-supervision and sharded-install numbers, written to the
-# schema-versioned file Benchjson.output_file (BENCH_7.json today)
+# fleet-supervision, sharded-install and dispatch-engine numbers,
+# written to the schema-versioned file Benchjson.output_file
+# (BENCH_8.json today)
 bench-json:
 	dune exec bench/main.exe -- json
 

@@ -26,10 +26,13 @@
                 layer off vs on (budget: <5% throughput loss)
      fuzz     - differential-fuzzing throughput: iterations of the full
                 generate → pipeline → oracle-bank loop per second
+     dispatch - byte vs threaded execution engines: checks/s through a
+                hand-assembled CFI check loop and the tight per-check
+                latency, across shard counts (gate: threaded >= 3x)
      json     - machine-readable report: the dlopen-chain scaling curve,
                 the install-throughput numbers, the telemetry overhead,
-                the fuzzing throughput and the fleet-survival numbers,
-                as Benchjson.output_file (BENCH_6.json) *)
+                the fuzzing throughput, the fleet-survival numbers and
+                the dispatch comparison, as Benchjson.output_file *)
 
 module Process = Mcfi_runtime.Process
 module Machine = Mcfi_runtime.Machine
@@ -41,12 +44,32 @@ let suite = Suite.Programs.all
 
 let line = String.make 78 '-'
 
-let section name title f =
-  let wanted =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> List.mem name args
-    | _ -> true
+(* `--dispatch byte|threaded` selects the execution engine for the
+   program-running sections (fig5/fig6/…); the `dispatch` section always
+   measures both.  Remaining arguments are section names. *)
+let cli_dispatch, cli_sections =
+  let rec split = function
+    | "--dispatch" :: v :: rest ->
+      let d, sections = split rest in
+      let d =
+        match Mcfi_runtime.Machine.dispatch_of_string v with
+        | Ok d' -> (match d with None -> Some d' | some -> some)
+        | Error e ->
+          Fmt.epr "bench: %s@." e;
+          exit 2
+      in
+      (d, sections)
+    | a :: rest ->
+      let d, sections = split rest in
+      (d, a :: sections)
+    | [] -> (None, [])
   in
+  match Array.to_list Sys.argv with
+  | _ :: args -> split args
+  | [] -> (None, [])
+
+let section name title f =
+  let wanted = cli_sections = [] || List.mem name cli_sections in
   if wanted then begin
     Fmt.pr "@.%s@.%s (%s)@.%s@." line title name line;
     f ()
@@ -69,6 +92,9 @@ let time_run ?(repeats = 5) make_proc =
   let times =
     List.init repeats (fun _ ->
         let proc = make_proc () in
+        (match cli_dispatch with
+        | Some d -> Machine.set_dispatch (Process.machine proc) d
+        | None -> ());
         Process.start proc;
         let t0 = Unix.gettimeofday () in
         let reason = Machine.run (Process.machine proc) in
@@ -550,6 +576,7 @@ let torture () =
 type overhead = {
   oh_disabled_cps : float;  (* torture checks/s, telemetry off *)
   oh_enabled_cps : float;  (* the same scenario, telemetry on *)
+  oh_ratio : float;  (* median of per-pair enabled/disabled ratios *)
   oh_tight_disabled_ns : float;  (* single-domain Tx.check, off *)
   oh_tight_enabled_ns : float;  (* single-domain Tx.check, on *)
 }
@@ -558,12 +585,14 @@ type overhead = {
    number (the instrumented paths under a realistic multi-domain load,
    harness costs identical on both sides); the tight loop is the honest
    per-check price with nothing amortizing it.  Many short interleaved
-   runs with a median per side: multi-domain throughput on a small
-   machine is at the mercy of the scheduler (a 1-core box time-slices
-   all seven domains, and a single run's throughput swings ±30%), and
-   with sequential blocks or few long runs that noise lands on one side
-   of the ratio. *)
-let overhead_pairs = 13
+   runs: multi-domain throughput on a small machine is at the mercy of
+   the scheduler (a 1-core box time-slices all seven domains, and a
+   single run's throughput swings ±30%).  The reported ratio is the
+   median of the {e per-pair} enabled/disabled ratios, not the ratio of
+   two medians: each pair runs back to back under near-identical
+   scheduler conditions, so slow drift across the campaign cancels
+   inside every pair instead of landing on one side of the quotient. *)
+let overhead_pairs = 21
 
 let telemetry_overhead () =
   let was_enabled = Telemetry.enabled () in
@@ -580,15 +609,20 @@ let telemetry_overhead () =
     a.(Array.length a / 2)
   in
   Telemetry.disable ();
+  Gc.compact ();
   ignore (run_cps ());
-  let offs = ref [] and ons = ref [] in
+  let offs = ref [] and ons = ref [] and ratios = ref [] in
   for _ = 1 to overhead_pairs do
     Telemetry.disable ();
-    offs := run_cps () :: !offs;
+    let off = run_cps () in
     Telemetry.enable ();
-    ons := run_cps () :: !ons
+    let on = run_cps () in
+    offs := off :: !offs;
+    ons := on :: !ons;
+    ratios := (on /. off) :: !ratios
   done;
   let disabled_cps = median !offs and enabled_cps = median !ons in
+  let ratio = median !ratios in
   (* the tight loop: one passing check, nothing else *)
   let code_base = 0x1000 in
   let t = Tables.create ~code_base ~capacity:4096 ~bary_slots:64 () in
@@ -617,16 +651,17 @@ let telemetry_overhead () =
   {
     oh_disabled_cps = disabled_cps;
     oh_enabled_cps = enabled_cps;
+    oh_ratio = ratio;
     oh_tight_disabled_ns = tight_disabled;
     oh_tight_enabled_ns = tight_enabled;
   }
 
 let telemetry_section () =
   let oh = telemetry_overhead () in
-  let ratio = oh.oh_enabled_cps /. oh.oh_disabled_cps in
+  let ratio = oh.oh_ratio in
   Fmt.pr
     "torture check throughput (4 checkers, 2 updaters, median of %d \
-     interleaved pairs):@."
+     interleaved pair ratios):@."
     overhead_pairs;
   Fmt.pr "  telemetry off  %12.0f checks/s@." oh.oh_disabled_cps;
   Fmt.pr "  telemetry on   %12.0f checks/s@." oh.oh_enabled_cps;
@@ -668,6 +703,184 @@ let fuzz_section () =
   Fmt.pr "  %d iterations in %.1f s — %.2f iters/s@." oc.Fuzz.Driver.oc_iters
     oc.Fuzz.Driver.oc_elapsed
     (float_of_int oc.Fuzz.Driver.oc_iters /. oc.Fuzz.Driver.oc_elapsed)
+
+(* ---- dispatch: byte vs threaded execution engines ---- *)
+
+(* The measured program is the enforcement hot path itself: a
+   hand-assembled loop whose body is exactly the rewriter's check
+   sequence — Bary_load; Tary_load; Cmp_rr; Jcc; Jmp_r — with the
+   branch target being the loop head, so every iteration is one passing
+   CFI check plus one committed indirect jump.  Under the byte engine
+   each iteration pays five fetch/decode/dispatch steps; under the
+   threaded engine it is a single fused check+Jmp_r superinstruction
+   whose hoisted table cache hits every time (the tables never move
+   during the loop).  Five retired instructions per iteration under
+   both engines, so checks/s and ns/check divide out identically. *)
+
+let dispatch_slot = 3
+let dispatch_class = 5
+
+let dispatch_loop_items =
+  Vmisa.Asm.
+    [
+      Mov_sym (12, "loop");
+      Align 4;
+      Label "loop";
+      I (Vmisa.Instr.Bary_load (13, dispatch_slot));
+      I (Vmisa.Instr.Tary_load (11, 12));
+      I (Vmisa.Instr.Cmp_rr (13, 11));
+      Jcc_sym (Vmisa.Instr.Ne, "check");
+      I (Vmisa.Instr.Jmp_r 12);
+      Label "check";
+      I Vmisa.Instr.Halt;
+    ]
+
+(* instructions retired before the loop head: Mov_ri + two alignment
+   Nops *)
+let dispatch_prologue_steps = 3
+
+let dispatch_loop_measure ~tables ~engine ~checks =
+  let code_base = Tables.code_base tables in
+  let prog =
+    match Vmisa.Asm.assemble ~base:code_base dispatch_loop_items with
+    | Ok p -> p
+    | Error e -> failwith (Fmt.str "dispatch bench: %a" Vmisa.Asm.pp_error e)
+  in
+  let loop_addr = Hashtbl.find prog.Vmisa.Asm.labels "loop" in
+  ignore
+    (Tx.update tables
+       ~tary:[ (loop_addr, dispatch_class) ]
+       ~bary:[ (dispatch_slot, dispatch_class) ]);
+  let m =
+    Machine.create ~tables ~dispatch:engine ~code_base
+      ~code_capacity:4096 ~data_words:4096 ()
+  in
+  ignore (Machine.append_code m prog.Vmisa.Asm.image);
+  (* warm-up: fill the decode memo (byte) / pre-decoded stream
+     (threaded) outside the timed window *)
+  Machine.set_pc m code_base;
+  (match Machine.run ~fuel:64 m with
+  | Machine.Out_of_fuel -> ()
+  | r -> failwith (Fmt.str "dispatch bench warm-up: %a" Machine.pp_exit_reason r));
+  Machine.set_pc m code_base;
+  let s0 = Machine.steps m in
+  let fuel = dispatch_prologue_steps + (5 * checks) in
+  let t0 = Unix.gettimeofday () in
+  (match Machine.run ~fuel m with
+  | Machine.Out_of_fuel -> ()
+  | r -> failwith (Fmt.str "dispatch bench: %a" Machine.pp_exit_reason r));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Machine.release m;
+  let retired_checks =
+    (Machine.steps m - s0 - dispatch_prologue_steps) / 5
+  in
+  let checks_per_s = float_of_int retired_checks /. elapsed in
+  let ns_per_check = elapsed *. 1e9 /. float_of_int retired_checks in
+  (checks_per_s, ns_per_check)
+
+type dispatch_row = {
+  dr_shards : int;
+  dr_byte_cps : float;
+  dr_threaded_cps : float;
+  dr_byte_ns : float;
+  dr_threaded_ns : float;
+}
+
+let dispatch_shard_counts = [ 1; 4 ]
+let dispatch_checks = 400_000
+let dispatch_rounds = 5
+
+let dispatch_measure () =
+  let was_enabled = Telemetry.enabled () in
+  (* profiling in the byte step and the threaded loop's byte fallback
+     both key on the telemetry gate: the engines are only both on their
+     fast paths with it off *)
+  Telemetry.disable ();
+  (* inside the json campaign this runs after the fleet and fuzz
+     workloads have grown the major heap; compact first so GC slices do
+     not land inside the timed loops *)
+  Gc.compact ();
+  let best samples =
+    List.fold_left
+      (fun (bc, bn) (c, n) -> (Float.max bc c, Float.min bn n))
+      (neg_infinity, infinity) samples
+  in
+  let rows =
+    List.map
+      (fun nsh ->
+        let shs =
+          Idtables.Shards.create ~stm:Idtables.Stm.Tml ~shards:nsh
+            ~code_base:Vmisa.Abi.code_base ~capacity:4096 ~bary_slots:64 ()
+        in
+        let tables = Idtables.Shards.tables shs 0 in
+        (* interleave the engines' rounds so ambient drift (scheduler,
+           GC) hits both sides alike; best-of still picks each engine's
+           best round independently *)
+        let samples =
+          List.init dispatch_rounds (fun _ ->
+              let b =
+                dispatch_loop_measure ~tables ~engine:Machine.Byte
+                  ~checks:dispatch_checks
+              in
+              let t =
+                dispatch_loop_measure ~tables ~engine:Machine.Threaded
+                  ~checks:dispatch_checks
+              in
+              (b, t))
+        in
+        let byte_cps, byte_ns = best (List.map fst samples) in
+        let th_cps, th_ns = best (List.map snd samples) in
+        {
+          dr_shards = nsh;
+          dr_byte_cps = byte_cps;
+          dr_threaded_cps = th_cps;
+          dr_byte_ns = byte_ns;
+          dr_threaded_ns = th_ns;
+        })
+      dispatch_shard_counts
+  in
+  if was_enabled then Telemetry.enable ();
+  rows
+
+let dispatch_json rows =
+  let one = List.hd rows in
+  Mcfi.Benchjson.Obj
+    [
+      ("tight_check_byte_ns", Num one.dr_byte_ns);
+      ("tight_check_threaded_ns", Num one.dr_threaded_ns);
+      ("tight_check_speedup", Num (one.dr_byte_ns /. one.dr_threaded_ns));
+      ( "rows",
+        Arr
+          (List.map
+             (fun r ->
+               Mcfi.Benchjson.Obj
+                 [
+                   ("shards", Num (float_of_int r.dr_shards));
+                   ("byte_checks_per_s", Num r.dr_byte_cps);
+                   ("threaded_checks_per_s", Num r.dr_threaded_cps);
+                   ("byte_check_ns", Num r.dr_byte_ns);
+                   ("threaded_check_ns", Num r.dr_threaded_ns);
+                 ])
+             rows) );
+    ]
+
+let dispatch_section () =
+  let rows = dispatch_measure () in
+  Fmt.pr "interpreted CFI check loop (check + indirect jump), %d checks, \
+          best of %d:@."
+    dispatch_checks dispatch_rounds;
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "  %d shard(s): byte %10.0f checks/s (%6.1f ns) | threaded %10.0f \
+         checks/s (%6.1f ns) — %.1fx@."
+        r.dr_shards r.dr_byte_cps r.dr_byte_ns r.dr_threaded_cps
+        r.dr_threaded_ns
+        (r.dr_byte_ns /. r.dr_threaded_ns))
+    rows;
+  let one = List.hd rows in
+  if one.dr_byte_ns /. one.dr_threaded_ns < 3.0 then
+    Fmt.pr "WARNING: threaded dispatch below the 3x tight-check gate@."
 
 (* ---- fleet: tenant supervision under an install storm ---- *)
 
@@ -793,9 +1006,8 @@ let json () =
       [
         ("disabled_checks_per_s", Num oh.oh_disabled_cps);
         ("enabled_checks_per_s", Num oh.oh_enabled_cps);
-        ("throughput_ratio", Num (oh.oh_enabled_cps /. oh.oh_disabled_cps));
-        ( "overhead_pct",
-          Num (100.0 *. (1.0 -. (oh.oh_enabled_cps /. oh.oh_disabled_cps))) );
+        ("throughput_ratio", Num oh.oh_ratio);
+        ("overhead_pct", Num (100.0 *. (1.0 -. oh.oh_ratio)));
         ("tight_check_disabled_ns", Num oh.oh_tight_disabled_ns);
         ("tight_check_enabled_ns", Num oh.oh_tight_enabled_ns);
       ]
@@ -819,8 +1031,10 @@ let json () =
   in
   let fleet = fleet_json (fleet_run ()) in
   let shards = shards_json () in
+  let dispatch = dispatch_json (dispatch_measure ()) in
   let report =
     Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
+      ~dispatch
   in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
@@ -837,9 +1051,8 @@ let json () =
       last.Mcfi.Benchjson.ls_full_ms last.Mcfi.Benchjson.ls_incr_ms
       (last.Mcfi.Benchjson.ls_full_ms /. last.Mcfi.Benchjson.ls_incr_ms)
   | [] -> ());
-  Fmt.pr "telemetry: %.3f throughput ratio (%.1f%% overhead)@."
-    (oh.oh_enabled_cps /. oh.oh_disabled_cps)
-    (100.0 *. (1.0 -. (oh.oh_enabled_cps /. oh.oh_disabled_cps)))
+  Fmt.pr "telemetry: %.3f throughput ratio (%.1f%% overhead)@." oh.oh_ratio
+    (100.0 *. (1.0 -. oh.oh_ratio))
 
 let () =
   section "table1" "Table 1: C1 violations and false-positive elimination"
@@ -864,6 +1077,8 @@ let () =
     telemetry_section;
   section "fuzz" "Differential-fuzzing throughput (oracle-bank iterations)"
     fuzz_section;
+  section "dispatch" "Execution-engine comparison (byte vs threaded)"
+    dispatch_section;
   section "fleet" "Tenant-fleet supervision under seeded chaos (not a paper \
                    figure)"
     fleet_section;

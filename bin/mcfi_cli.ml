@@ -408,6 +408,24 @@ let torture_cmd =
                  after each scenario (sampled mode: the low-overhead \
                  production default)")
   in
+  let dispatch_conv =
+    let parse s =
+      match Mcfi_runtime.Machine.dispatch_of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun ppf d -> Fmt.string ppf (Mcfi_runtime.Machine.dispatch_name d) )
+  in
+  let dispatch =
+    Arg.(value & opt (some dispatch_conv) None & info [ "dispatch" ]
+           ~docv:"ENGINE"
+           ~doc:"override: the check execution path — $(b,byte) (a full \
+                 table read per check) or $(b,threaded) (the threaded \
+                 engine's model: version-hoisted reads cached per site, \
+                 revalidated on the shard sequence word alone)")
+  in
   let stm_conv =
     let parse s =
       match Idtables.Stm.of_string s with
@@ -428,7 +446,7 @@ let torture_cmd =
                  (ticket-lock seqlock)")
   in
   let torture seed scenarios long checkers updaters updates kill_every loads
-      shards stm telemetry =
+      shards stm dispatch telemetry =
     if telemetry then Telemetry.enable ();
     let override v o = Option.value o ~default:v in
     let scenario i =
@@ -452,6 +470,11 @@ let torture_cmd =
         loader_loads = override sc.Stress.loader_loads loads;
         shards = override sc.Stress.shards shards;
         stm = override sc.Stress.stm stm;
+        hoisted =
+          (match dispatch with
+          | None -> sc.Stress.hoisted
+          | Some Mcfi_runtime.Machine.Byte -> false
+          | Some Mcfi_runtime.Machine.Threaded -> true);
       }
     in
     let n = if long then max 3 scenarios else scenarios in
@@ -476,7 +499,7 @@ let torture_cmd =
        ~doc:"multi-domain torture of the transaction and linking protocols, \
              validated by the epoch-history oracle")
     Term.(const torture $ seed $ scenarios $ long $ checkers $ updaters
-          $ updates $ kill_every $ loads $ shards $ stm $ telemetry)
+          $ updates $ kill_every $ loads $ shards $ stm $ dispatch $ telemetry)
 
 (* ---- bench ---- *)
 

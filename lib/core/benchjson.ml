@@ -293,10 +293,10 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 7
+let schema_version = 8
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards =
+let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -329,6 +329,7 @@ let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards =
         ("fuzz", fuzz);
         ("fleet", fleet);
         ("shards", shards);
+        ("dispatch", dispatch);
       ]
 
 let validate j =
@@ -405,5 +406,25 @@ let validate j =
         (Ok ()) rows
     | Some (Arr []) -> Error "shards.rows: empty"
     | _ -> Error "shards.rows: missing or not an array"
+  in
+  let* () = check_num "dispatch" [ "dispatch"; "tight_check_byte_ns" ] in
+  let* () = check_num "dispatch" [ "dispatch"; "tight_check_threaded_ns" ] in
+  let* () = check_num "dispatch" [ "dispatch"; "tight_check_speedup" ] in
+  let* () =
+    match path [ "dispatch"; "rows" ] j with
+    | Some (Arr (_ :: _ as rows)) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          match
+            ( Option.bind (member "shards" row) num,
+              Option.bind (member "byte_checks_per_s" row) num,
+              Option.bind (member "threaded_checks_per_s" row) num )
+          with
+          | Some _, Some _, Some _ -> Ok ()
+          | _ -> Error "dispatch.rows: row with missing or non-finite field")
+        (Ok ()) rows
+    | Some (Arr []) -> Error "dispatch.rows: empty"
+    | _ -> Error "dispatch.rows: missing or not an array"
   in
   Ok ()

@@ -70,8 +70,9 @@ val output_file : string
 (** Assemble the report document.  [torture] is the
     check-throughput-during-install section, [telemetry] the
     instrumentation-overhead section, [fuzz] the fuzzing-throughput
-    section, [fleet] the tenant-supervision section and [shards] the
-    sharded-installs scaling section (all built by the caller from
+    section, [fleet] the tenant-supervision section, [shards] the
+    sharded-installs scaling section and [dispatch] the byte-vs-threaded
+    execution-engine section (all built by the caller from
     [Stress]/[Fuzz]/[Supervisor] data — those libraries sit above this
     one).  [samples] must be non-empty. *)
 val report :
@@ -81,6 +82,7 @@ val report :
   fuzz:t ->
   fleet:t ->
   shards:t ->
+  dispatch:t ->
   t
 
 (** Check the report shape the smoke test relies on: the schema
@@ -92,8 +94,12 @@ val report :
     [throughput_ratio] and [overhead_pct], the fuzz section carries
     finite [iterations] and [iters_per_s], the fleet section
     carries finite [survival_rate], [recovery_ms_p50],
-    [recovery_ms_p99], [installs_served] and [installs_shed], and the
+    [recovery_ms_p99], [installs_served] and [installs_shed], the
     shards section carries a finite [wedged_confinement] plus a
     non-empty [rows] array of finite
-    [shards]/[installs_per_s]/[wedged_installs] rows. *)
+    [shards]/[installs_per_s]/[wedged_installs] rows, and the dispatch
+    section carries finite [tight_check_byte_ns],
+    [tight_check_threaded_ns] and [tight_check_speedup] plus a
+    non-empty [rows] array of finite
+    [shards]/[byte_checks_per_s]/[threaded_checks_per_s] rows. *)
 val validate : t -> (unit, string) result

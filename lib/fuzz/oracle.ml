@@ -1,7 +1,7 @@
 (* The differential oracle bank.
 
    A generated program is driven through the full pipeline and judged by
-   six oracles (0 is the implicit "toolchain accepts legal programs"):
+   seven oracles (0 is the implicit "toolchain accepts legal programs"):
 
    0 toolchain    — the front end and pipeline never crash or reject a
                     generated (legal-by-construction) program;
@@ -20,7 +20,12 @@
    5 faults       — under a random fault plan the build either aborts
                     cleanly (load rollback) or completes; a completed run
                     still satisfies oracles 3 and 4, and a disarmed
-                    rebuild runs clean.
+                    rebuild runs clean;
+   6 dispatch     — the byte and threaded execution engines are
+                    observationally identical on the same program: same
+                    exit reason, same trap pc, same output, same
+                    retired-instruction count, and the same committed
+                    indirect-transfer trace.
 
    All randomness (attack probes, fault plans) comes from the caller's
    PRNG, so a failure replays from its iteration seed alone. *)
@@ -43,6 +48,7 @@ let oracle_name = function
   | 3 -> "incremental"
   | 4 -> "precision"
   | 5 -> "faults"
+  | 6 -> "dispatch"
   | _ -> "unknown"
 
 let fail k fmt =
@@ -237,6 +243,94 @@ let faults_oracle ~rng ~static ~dynamic () =
         (pp_reason r) out
   end
 
+(* ---------- oracle 6: differential dispatch ---------- *)
+
+(* Committed-transfer traces can be long on loop-heavy programs; keep a
+   bounded prefix for the comparison message but compare the full count
+   and a running hash so a divergence anywhere in the run is caught. *)
+let trace_cap = 4096
+
+type dispatch_obs = {
+  d_reason : Machine.exit_reason;
+  d_pc : int;
+  d_out : string;
+  d_steps : int;
+  d_transfers : int;
+  d_hash : int;
+  d_trace : string;
+}
+
+let dispatch_run ~static ~dynamic engine =
+  match build ~instrumented:true ~static ~dynamic () with
+  | exception ex ->
+    Error
+      (Printf.sprintf "%s build crashed: %s"
+         (Machine.dispatch_name engine)
+         (Printexc.to_string ex))
+  | proc ->
+    let m = Process.machine proc in
+    Machine.set_dispatch m engine;
+    let transfers = ref 0 in
+    let hash = ref 0 in
+    let buf = Buffer.create 256 in
+    Machine.set_transfer_hook m
+      (Some
+         (fun src dst ->
+           incr transfers;
+           hash := (!hash * 31) + (src lxor (dst * 65599));
+           if !transfers <= trace_cap then
+             Buffer.add_string buf (Printf.sprintf "%x>%x;" src dst)));
+    let reason = Process.run ~fuel proc in
+    Machine.set_transfer_hook m None;
+    Ok
+      {
+        d_reason = reason;
+        d_pc = Machine.pc m;
+        d_out = Machine.output m;
+        d_steps = Machine.steps m;
+        d_transfers = !transfers;
+        d_hash = !hash;
+        d_trace = Buffer.contents buf;
+      }
+
+let dispatch_oracle ~static ~dynamic () =
+  let* b =
+    Result.map_error (fun m -> { f_oracle = 6; f_name = "dispatch"; f_msg = m })
+      (dispatch_run ~static ~dynamic Machine.Byte)
+  in
+  let* t =
+    Result.map_error (fun m -> { f_oracle = 6; f_name = "dispatch"; f_msg = m })
+      (dispatch_run ~static ~dynamic Machine.Threaded)
+  in
+  let* () =
+    if b.d_reason = t.d_reason then Ok ()
+    else
+      fail 6 "exit reason: byte %s <> threaded %s" (pp_reason b.d_reason)
+        (pp_reason t.d_reason)
+  in
+  let* () =
+    if b.d_pc = t.d_pc then Ok ()
+    else fail 6 "final pc: byte 0x%x <> threaded 0x%x" b.d_pc t.d_pc
+  in
+  let* () =
+    if b.d_out = t.d_out then Ok ()
+    else fail 6 "output: byte %S <> threaded %S" b.d_out t.d_out
+  in
+  let* () =
+    if b.d_steps = t.d_steps then Ok ()
+    else fail 6 "retired steps: byte %d <> threaded %d" b.d_steps t.d_steps
+  in
+  if b.d_transfers = t.d_transfers && b.d_hash = t.d_hash
+     && b.d_trace = t.d_trace
+  then Ok ()
+  else
+    fail 6
+      "committed-transfer trace: byte %d transfers (hash %d) <> threaded %d \
+       (hash %d); first divergence around %S vs %S"
+      b.d_transfers b.d_hash t.d_transfers t.d_hash
+      (String.sub b.d_trace 0 (min 160 (String.length b.d_trace)))
+      (String.sub t.d_trace 0 (min 160 (String.length t.d_trace)))
+
 (* ---------- the bank ---------- *)
 
 let run_bank ?drop_check ~rng ~static ~dynamic () =
@@ -283,4 +377,5 @@ let run_bank ?drop_check ~rng ~static ~dynamic () =
       | Error m -> fail 3 "%s" m
     in
     let* () = precision ~rng ~oracle:4 proc in
+    let* () = dispatch_oracle ~static ~dynamic () in
     faults_oracle ~rng ~static ~dynamic ()

@@ -84,6 +84,11 @@ let check ?max_retries ?escalation ?watchdog ?jitter ?on_retry t ~shard
 let check_fast ?on_retry t ~shard ~bary_index ~target =
   Tx.check_fast ?on_retry (tables t shard) ~bary_index ~target
 
+let check_hoisted ?max_retries ?escalation ?watchdog ?jitter ?on_retry t
+    ~shard site ~bary_index ~target =
+  Stm.check_hoisted t.stm ?max_retries ?escalation ?watchdog ?jitter
+    ?on_retry (tables t shard) site ~bary_index ~target
+
 let update ?tag ?got_update t ~shard ~tary ~bary =
   let v = Stm.update t.stm ?tag ?got_update (tables t shard) ~tary ~bary in
   Telemetry.Metrics.incr t.installs.(shard);

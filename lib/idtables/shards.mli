@@ -80,6 +80,25 @@ val check_fast :
   target:int ->
   bool
 
+(** One check transaction through a version-hoisted {!Tx.site} against
+    shard [shard]'s tables: the hit path validates on that shard's
+    install sequence word alone; a miss runs the configured STM
+    variant's full read protocol and refills.  The site caches state
+    from one shard's tables — use one site per (checker, shard, branch
+    slot). *)
+val check_hoisted :
+  ?max_retries:int ->
+  ?escalation:Tx.escalation ->
+  ?watchdog:Tx.watchdog ->
+  ?jitter:Mcfi_util.Prng.t ->
+  ?on_retry:(unit -> unit) ->
+  t ->
+  shard:int ->
+  Tx.site ->
+  bary_index:int ->
+  target:int ->
+  Tx.outcome
+
 val update :
   ?tag:int ->
   ?got_update:(unit -> unit) ->

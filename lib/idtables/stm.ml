@@ -198,3 +198,17 @@ let check v ?max_retries ?escalation ?watchdog ?jitter ?on_retry t
   | Seqlock ->
     engine seqlock_attempt ?max_retries ?escalation ?watchdog ?jitter
       ?on_retry t ~bary_index ~target
+
+(* Version hoisting is variant-agnostic: the hit path validates on the
+   install sequence word, which every writer path maintains (see
+   [Tables.seq_enter]/[seq_exit]), and all three read protocols produce
+   identical outcomes for identical table states — so an unchanged even
+   word justifies replaying the cached pair under any variant.  Only
+   the miss path goes through the variant's own read protocol. *)
+let check_hoisted v ?max_retries ?escalation ?watchdog ?jitter ?on_retry t
+    site ~bary_index ~target =
+  Tx.check_hoisted_with
+    ~full:(fun () ->
+      check v ?max_retries ?escalation ?watchdog ?jitter ?on_retry t
+        ~bary_index ~target)
+    t site ~bary_index ~target

@@ -52,6 +52,24 @@ val check :
   target:int ->
   Tx.outcome
 
+(** [check_hoisted v t site ~bary_index ~target] — {!check} through a
+    version-hoisted {!Tx.site}: the hit path validates on the install
+    sequence word alone (which every writer path maintains, so the
+    justification is variant-agnostic); a miss runs [v]'s full read
+    protocol and refills.  See {!Tx.check_hoisted}. *)
+val check_hoisted :
+  variant ->
+  ?max_retries:int ->
+  ?escalation:Tx.escalation ->
+  ?watchdog:Tx.watchdog ->
+  ?jitter:Mcfi_util.Prng.t ->
+  ?on_retry:(unit -> unit) ->
+  Tables.t ->
+  Tx.site ->
+  bary_index:int ->
+  target:int ->
+  Tx.outcome
+
 (** [update v t ~tary ~bary] — {!Tx.update} under [v]'s writer
     admission ([Seqlock] queues through the ticket first). *)
 val update :

@@ -115,6 +115,64 @@ val check :
 val check_fast :
   ?on_retry:(int -> unit) -> Tables.t -> bary_index:int -> target:int -> bool
 
+(** {2 Version-hoisted check sites}
+
+    TML-style read hoisting for a branch site that keeps transferring to
+    the same target: cache the (branch ID, target ID) pair together with
+    the install sequence word ({!Tables.seq_read}) it was read under,
+    and re-validate each check on that word alone.  Every install-like
+    mutation — full and delta updates, journal redo, loader rollback —
+    makes the word odd before its first slot write and advances it to a
+    {e fresh} even value after the final barrier, so an unchanged even
+    word proves the slot arrays are bit-identical to the fill instant:
+    replaying the cached pair is linearizable to both loads happening
+    now.  A moved or odd word (an install completed or is in flight)
+    falls back to the full transaction and refills.  Only {e settled}
+    pairs are cached — equal IDs, an invalid target, or an ECN mismatch
+    at equal versions; a version-skewed pair is never replayed, so the
+    retry/escalation ladder lives entirely on the fallback path and a
+    hoisted hit can never mask an in-flight update. *)
+
+(** One branch site's hoisted-read cache.  Owned by a single checker
+    domain (plain mutable state, not shared). *)
+type site
+
+(** A fresh, empty site (the first check through it always misses). *)
+val site : unit -> site
+
+(** [(hits, misses)] — how often the site validated on the sequence word
+    alone vs fell back to the full transaction. *)
+val site_stats : site -> int * int
+
+(** [check_hoisted t site ~bary_index ~target] — one check transaction
+    through [site]'s cache: a hit costs one atomic load of the sequence
+    word plus two compares; a miss runs {!check} with the given options
+    and refills.  Outcomes are identical to {!check} against the same
+    table state. *)
+val check_hoisted :
+  ?max_retries:int ->
+  ?escalation:escalation ->
+  ?watchdog:watchdog ->
+  ?jitter:Mcfi_util.Prng.t ->
+  ?on_retry:(unit -> unit) ->
+  Tables.t ->
+  site ->
+  bary_index:int ->
+  target:int ->
+  outcome
+
+(** [check_hoisted_with ~full t site ~bary_index ~target] — the same
+    hit path, with the fallback transaction supplied by the caller
+    ({!Stm.check} under a non-default variant, a sharded check, …).
+    [full] must decide against [t]'s current tables. *)
+val check_hoisted_with :
+  full:(unit -> outcome) ->
+  Tables.t ->
+  site ->
+  bary_index:int ->
+  target:int ->
+  outcome
+
 (** [update t ~tary ~bary] installs a new CFG: [tary] maps each valid
     indirect-branch target address to its ECN, [bary] maps each branch slot
     to its branch ECN.  Slots not mentioned become invalid.  [got_update]

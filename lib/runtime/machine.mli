@@ -22,21 +22,45 @@ type exit_reason =
 
 val pp_exit_reason : Format.formatter -> exit_reason -> unit
 
+(** Which execution engine {!run} uses.  [Byte] is the reference
+    interpreter: fetch/decode/execute per instruction from the raw byte
+    image.  [Threaded] pre-decodes each executed byte offset once into a
+    flat handler-index stream (plus fused superinstructions for the CFI
+    check+branch sequence, compare+branch pairs and the sandbox
+    masked-store quad, the hottest pairs in the telemetry fusion
+    profile) and dispatches on integer handler indices — observationally
+    identical to [Byte]: same traps, same [pc] at every trap, same
+    retired-instruction counts, same committed transfers.  Pre-decodings
+    are invalidated when the code region changes (dlopen append,
+    rollback truncate), so any-byte-offset fetch semantics are
+    preserved. *)
+type dispatch = Byte | Threaded
+
+val dispatch_name : dispatch -> string
+
+(** Parses ["byte" | "threaded"]. *)
+val dispatch_of_string : string -> (dispatch, string) result
+
 type t
 
 (** [create ~code_base ~code_capacity ~data_words] builds a machine with an
     empty code region (capacity reserved up front, like the paper's
     reserved code range). [tables] enables the table-read instructions.
+    [dispatch] (default [Byte]) selects the execution engine.
     The stack pointer starts at [data_words] (the stack grows down).
     Unoccupied code bytes hold the [Halt] opcode. *)
 val create :
   ?tables:Idtables.Tables.t ->
+  ?dispatch:dispatch ->
   ?seed:int64 ->
   code_base:int ->
   code_capacity:int ->
   data_words:int ->
   unit ->
   t
+
+val set_dispatch : t -> dispatch -> unit
+val dispatch : t -> dispatch
 
 (** [append_code m image] loads [image] at the next free code address and
     returns that base address — a loader/runtime-only operation (W^X: user
@@ -125,6 +149,13 @@ val profile : t -> (string * int) list
 (** Executions per Bary slot — i.e. per indirect-branch enforcement
     site — recorded only while [Telemetry.enabled]; sorted by slot. *)
 val branch_profile : t -> (int * int) list
+
+(** Install a committed-transfer hook: called with [(branch pc, target)]
+    for every {e executed} [Call_r]/[Jmp_r]/[Ret], under both dispatch
+    engines (fused handlers report the branch component's address) —
+    the differential dispatch oracle records transfer traces through
+    it.  [None] uninstalls. *)
+val set_transfer_hook : t -> (int -> int -> unit) option -> unit
 
 (** [step m] executes one instruction; [None] means the machine is still
     running. *)

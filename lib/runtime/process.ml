@@ -70,7 +70,7 @@ type t = {
 let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
     ?(incremental = true) ?(self_check = false) ?(registry = fun _ -> None)
     ?(code_capacity = 1 lsl 22) ?(data_words = Abi.sandbox_words)
-    ?(bary_slots = 8192) ?(seed = 1L) () =
+    ?(bary_slots = 8192) ?dispatch ?(seed = 1L) () =
   let tables =
     if instrumented then
       (* coverage starts empty and grows as modules load *)
@@ -80,7 +80,7 @@ let create ?(instrumented = true) ?(sandbox = Abi.Mask) ?verify
     else None
   in
   let mach =
-    Machine.create ?tables ~seed ~code_base:Abi.code_base
+    Machine.create ?tables ?dispatch ~seed ~code_base:Abi.code_base
       ~code_capacity ~data_words ()
   in
   Machine.set_brk mach 1 (* word 0 is the unmapped NULL page *);

@@ -54,6 +54,7 @@ val create :
   ?code_capacity:int ->
   ?data_words:int ->
   ?bary_slots:int ->
+  ?dispatch:Machine.dispatch ->
   ?seed:int64 ->
   unit ->
   t

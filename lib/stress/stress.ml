@@ -16,6 +16,7 @@ type scenario = {
   loader_fault_one_in : int;
   shards : int;
   stm : Stm.variant;
+  hoisted : bool;
 }
 
 let default ~seed =
@@ -35,6 +36,7 @@ let default ~seed =
     loader_fault_one_in = 0;
     shards = 1;
     stm = Stm.Tml;
+    hoisted = false;
   }
 
 let generate ~seed =
@@ -55,22 +57,25 @@ let generate ~seed =
       loader_fault_one_in = Prng.choose p [ 0; 2; 3 ];
       shards = 1;
       stm = Stm.Tml;
+      hoisted = false;
     }
   in
   (* drawn after the record so the base dimensions keep their stream
      positions (record-field evaluation order is unspecified) *)
   let shards = Prng.choose p [ 1; 2; 4 ] in
   let stm = Prng.choose p Stm.all in
-  { base with shards; stm }
+  let hoisted = Prng.bool p in
+  { base with shards; stm; hoisted }
 
 let pp_scenario ppf sc =
   Fmt.pf ppf
     "seed=%Ld checkers=%d updaters=%d updates=%d cfgs=%d targets=%d slots=%d \
      kill-every=%d reclaimer=%b deadline=%d loads=%d load-fault-1/%d \
-     shards=%d stm=%a"
+     shards=%d stm=%a dispatch=%s"
     sc.seed sc.checkers sc.updaters sc.updates sc.cfgs sc.targets sc.slots
     sc.kill_every sc.reclaimer sc.watchdog_deadline sc.loader_loads
     sc.loader_fault_one_in sc.shards Stm.pp sc.stm
+    (if sc.hoisted then "threaded" else "byte")
 
 type anomaly = { an_seed : int64; an_kind : string; an_detail : string }
 
@@ -266,6 +271,16 @@ let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
   (* the backoff jitter stream is derived in the spawned domain itself:
      per-domain, never shared with a sibling checker *)
   let jitter = Tx.domain_jitter () in
+  (* threaded-dispatch analogue: one version-hoisted site per branch
+     slot, exactly as the fused check superinstructions keep one per
+     enforcement site.  The epoch-history oracle judges hoisted checks
+     unchanged: a hit requires the shard's install sequence word even
+     and unmoved since the fill, so the cached pair is bit-identical to
+     a fresh read in the same window. *)
+  let sites =
+    if sc.hoisted then Some (Array.init sc.slots (fun _ -> Tx.site ()))
+    else None
+  in
   let y = new_tally () in
   while not (Atomic.get stop) do
     (* branch boundary: provably outside any check transaction *)
@@ -283,7 +298,12 @@ let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
     in
     let c0 = Atomic.get h.h_completed in
     let out =
-      Shards.check ~watchdog:wd ~jitter shs ~shard ~bary_index:slot ~target
+      match sites with
+      | Some st ->
+        Shards.check_hoisted ~watchdog:wd ~jitter shs ~shard st.(slot)
+          ~bary_index:slot ~target
+      | None ->
+        Shards.check ~watchdog:wd ~jitter shs ~shard ~bary_index:slot ~target
     in
     let b1 = Atomic.get h.h_began in
     y.y_checks <- y.y_checks + 1;

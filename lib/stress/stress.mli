@@ -51,6 +51,11 @@ type scenario = {
   stm : Idtables.Stm.variant;
       (** commit protocol every shard transaction runs under — the same
           epoch-history oracle judges all variants *)
+  hoisted : bool;
+      (** torture checkers run through version-hoisted {!Idtables.Tx.site}
+          caches (one per branch slot, as the threaded engine's fused
+          check superinstructions do) instead of full per-check table
+          reads; the epoch-history oracle judges both paths unchanged *)
 }
 
 (** A scenario with the dimensions the acceptance gate needs: 4 checkers,

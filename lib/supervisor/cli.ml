@@ -83,6 +83,21 @@ let shard_breaker_arg =
          ~doc:"quarantine a whole shard (shedding only its own tenants) \
                after $(docv) crashes attributed to it (0 = off)")
 
+let dispatch_conv =
+  let parse s =
+    match Mcfi_runtime.Machine.dispatch_of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf d -> Fmt.string ppf (Mcfi_runtime.Machine.dispatch_name d))
+
+let dispatch_arg =
+  Arg.(value & opt (some dispatch_conv) None & info [ "dispatch" ]
+         ~docv:"ENGINE"
+         ~doc:"VM execution engine for the loader tenants' processes: \
+               $(b,byte) or $(b,threaded)")
+
 let telemetry_arg =
   Arg.(value & flag & info [ "telemetry" ]
          ~doc:"enable telemetry for the run and print the stats report")
@@ -91,7 +106,7 @@ let override v o = match o with Some x -> x | None -> v
 
 let config_of seed tenants workers ticks storm_every storm_size churn_every
     loaders kill_one_in wedge_one_in slow_one_in shards stm shard_breaker
-    smoke =
+    dispatch smoke =
   let base = if smoke then Fleet.smoke ~seed else Fleet.default ~seed in
   let chaos =
     match (kill_one_in, wedge_one_in, slow_one_in) with
@@ -119,13 +134,14 @@ let config_of seed tenants workers ticks storm_every storm_size churn_every
     fc_shards = override base.Fleet.fc_shards shards;
     fc_stm = override base.Fleet.fc_stm stm;
     fc_shard_breaker = override base.Fleet.fc_shard_breaker shard_breaker;
+    fc_dispatch = override base.Fleet.fc_dispatch dispatch;
   }
 
 let config_term =
   Term.(const config_of $ seed_arg $ tenants_arg $ workers_arg $ ticks_arg
         $ storm_every_arg $ storm_size_arg $ churn_every_arg $ loaders_arg
         $ kill_one_in_arg $ wedge_one_in_arg $ slow_one_in_arg $ shards_arg
-        $ stm_arg $ shard_breaker_arg $ smoke_arg)
+        $ stm_arg $ shard_breaker_arg $ dispatch_arg $ smoke_arg)
 
 let main config telemetry =
   if telemetry then Telemetry.enable ();

@@ -24,6 +24,7 @@ type config = {
   fc_shards : int;
   fc_stm : Stm.variant;
   fc_shard_breaker : int;
+  fc_dispatch : Mcfi_runtime.Machine.dispatch;
 }
 
 let default ~seed =
@@ -52,6 +53,7 @@ let default ~seed =
     fc_shards = 1;
     fc_stm = Stm.Tml;
     fc_shard_breaker = 0;
+    fc_dispatch = Mcfi_runtime.Machine.Byte;
   }
 
 let smoke ~seed =
@@ -75,10 +77,12 @@ let smoke ~seed =
 let pp_config ppf fc =
   Fmt.pf ppf
     "seed=%Ld tenants=%d (%d loaders) workers=%d ticks=%d base=%d \
-     storm=%d/%d churn=%d shards=%d stm=%a breaker=%d chaos=[%a] policy=(%a)"
+     storm=%d/%d churn=%d shards=%d stm=%a breaker=%d dispatch=%s chaos=[%a] \
+     policy=(%a)"
     fc.fc_seed fc.fc_tenants fc.fc_loaders fc.fc_workers fc.fc_ticks
     fc.fc_base_installs fc.fc_storm_size fc.fc_storm_every fc.fc_churn_every
     fc.fc_shards Stm.pp fc.fc_stm fc.fc_shard_breaker
+    (Mcfi_runtime.Machine.dispatch_name fc.fc_dispatch)
     (Fmt.list ~sep:Fmt.comma Faults.Tenant.pp_plan)
     fc.fc_chaos Health.pp_policy fc.fc_policy
 
@@ -419,10 +423,16 @@ int seed_fn(int x) { return x + 1; }
 int main() { return seed_fn(0); }
 |}
 
-let build_loader_proc () =
-  Mcfi.Pipeline.build_process ~instrumented:true
-    ~sources:[ ("main", loader_program) ]
-    ()
+let build_loader_proc fc =
+  let proc =
+    Mcfi.Pipeline.build_process ~instrumented:true
+      ~sources:[ ("main", loader_program) ]
+      ()
+  in
+  Mcfi_runtime.Machine.set_dispatch
+    (Mcfi_runtime.Process.machine proc)
+    fc.fc_dispatch;
+  proc
 
 (* Claim the tenant the way a worker would, so teardown/rebirth never
    races a slice in flight.  Callers set [tn_alive] to false first when
@@ -458,7 +468,8 @@ let teardown_tenant ctx tn =
 
 let rebirth_tenant ctx tn =
   with_claim tn (fun () ->
-      if tn.tn_loader then Atomic.set tn.tn_proc (Some (build_loader_proc ()))
+      if tn.tn_loader then
+        Atomic.set tn.tn_proc (Some (build_loader_proc ctx.cx))
       else
         Atomic.set tn.tn_reader
           (Some (Shards.register_reader ctx.shs ~shard:tn.tn_shard));
@@ -740,7 +751,7 @@ let run fc =
   (* birth: register every tenant before the workers start *)
   Array.iter
     (fun tn ->
-      if tn.tn_loader then Atomic.set tn.tn_proc (Some (build_loader_proc ()))
+      if tn.tn_loader then Atomic.set tn.tn_proc (Some (build_loader_proc fc))
       else
         Atomic.set tn.tn_reader
           (Some (Shards.register_reader shs ~shard:tn.tn_shard));

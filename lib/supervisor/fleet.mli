@@ -53,6 +53,8 @@ type config = {
       (** per-shard circuit breaker: quarantine a whole shard — tearing
           down {e only its own} tenants — once this many crashes have
           been attributed to it (0 = off) *)
+  fc_dispatch : Mcfi_runtime.Machine.dispatch;
+      (** execution engine for the loader tenants' VM processes *)
 }
 
 val default : seed:int64 -> config

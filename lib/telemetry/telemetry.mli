@@ -187,6 +187,38 @@ module Metrics : sig
   val reset : unit -> unit
 end
 
+(** {1 Fusion-candidate pair profile}
+
+    Which instruction-class pairs retire back to back — the evidence the
+    threaded-dispatch superinstruction set is chosen from.  The VM's
+    profiling path feeds {!Fusion.record} with (previous, current)
+    class ids while telemetry is enabled; {!Fusion.top} ranks the pairs
+    and {!Fusion.export} emits them as JSON.  Tallies use plain stores:
+    concurrent machines may undercount (the tally-slab contract). *)
+
+module Fusion : sig
+  (** Class-id space (ids outside [0, classes) are ignored). *)
+  val classes : int
+
+  (** Bind a display name to a class id (the VM registers its
+      instruction-class names at machine creation). *)
+  val set_name : int -> string -> unit
+
+  val name : int -> string
+
+  (** Tally one retired pair: [prev] then [cur]. *)
+  val record : prev:int -> cur:int -> unit
+
+  val reset : unit -> unit
+
+  (** The [n] hottest pairs, [(prev, cur, count)], hottest first; only
+      pairs that fired. *)
+  val top : int -> (int * int * int) list
+
+  (** JSON document of the top [limit] (default 8) pairs. *)
+  val export : ?limit:int -> unit -> string
+end
+
 (** {1 Exporters} *)
 
 module Export : sig

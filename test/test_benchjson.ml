@@ -91,7 +91,31 @@ let small_report () =
         ("wedged_confinement", J.Num 410.0);
       ]
   in
-  J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
+  let dispatch =
+    J.Obj
+      [
+        ("tight_check_byte_ns", J.Num 260.0);
+        ("tight_check_threaded_ns", J.Num 60.0);
+        ("tight_check_speedup", J.Num 4.33);
+        ( "rows",
+          J.Arr
+            [
+              J.Obj
+                [
+                  ("shards", J.Num 1.0);
+                  ("byte_checks_per_s", J.Num 3.8e6);
+                  ("threaded_checks_per_s", J.Num 16.5e6);
+                ];
+              J.Obj
+                [
+                  ("shards", J.Num 4.0);
+                  ("byte_checks_per_s", J.Num 3.7e6);
+                  ("threaded_checks_per_s", J.Num 16.2e6);
+                ];
+            ] );
+      ]
+  in
+  J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -139,6 +163,9 @@ let test_report_roundtrip_and_validate () =
       [ "fleet"; "recovery_ms_p99" ];
       [ "fleet"; "installs_served" ];
       [ "fleet"; "installs_shed" ];
+      [ "dispatch"; "tight_check_byte_ns" ];
+      [ "dispatch"; "tight_check_threaded_ns" ];
+      [ "dispatch"; "tight_check_speedup" ];
     ]
 
 let test_schema_identity () =
@@ -178,6 +205,9 @@ let test_validate_rejects_gaps () =
   in
   (match J.validate (drop "torture" report) with
   | Ok () -> Alcotest.fail "validated without torture section"
+  | Error _ -> ());
+  (match J.validate (drop "dispatch" report) with
+  | Ok () -> Alcotest.fail "validated without dispatch section"
   | Error _ -> ());
   (* a NaN serializes as null and must fail validation after re-parse *)
   let poisoned =
