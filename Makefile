@@ -23,7 +23,7 @@ bench:
 # curve, install-throughput, telemetry-overhead, fuzzing-throughput,
 # fleet-supervision, sharded-install and dispatch-engine numbers,
 # written to the schema-versioned file Benchjson.output_file
-# (BENCH_8.json today)
+# (BENCH_9.json today)
 bench-json:
 	dune exec bench/main.exe -- json
 

@@ -611,18 +611,21 @@ let telemetry_overhead () =
   Telemetry.disable ();
   Gc.compact ();
   ignore (run_cps ());
-  let offs = ref [] and ons = ref [] and ratios = ref [] in
+  let offs = ref [] and ons = ref [] in
   for _ = 1 to overhead_pairs do
     Telemetry.disable ();
     let off = run_cps () in
     Telemetry.enable ();
     let on = run_cps () in
     offs := off :: !offs;
-    ons := on :: !ons;
-    ratios := (on /. off) :: !ratios
+    ons := on :: !ons
   done;
+  (* ratio of median throughputs, not median of per-pair ratios: a
+     scheduling stall poisons whichever side it lands on, and on a
+     loaded (or single-core) box enough pairs catch one that the
+     per-pair median drifts; the per-side medians discard them *)
   let disabled_cps = median !offs and enabled_cps = median !ons in
-  let ratio = median !ratios in
+  let ratio = enabled_cps /. disabled_cps in
   (* the tight loop: one passing check, nothing else *)
   let code_base = 0x1000 in
   let t = Tables.create ~code_base ~capacity:4096 ~bary_slots:64 () in
@@ -660,8 +663,8 @@ let telemetry_section () =
   let oh = telemetry_overhead () in
   let ratio = oh.oh_ratio in
   Fmt.pr
-    "torture check throughput (4 checkers, 2 updaters, median of %d \
-     interleaved pair ratios):@."
+    "torture check throughput (4 checkers, 2 updaters, medians over %d \
+     interleaved pairs):@."
     overhead_pairs;
   Fmt.pr "  telemetry off  %12.0f checks/s@." oh.oh_disabled_cps;
   Fmt.pr "  telemetry on   %12.0f checks/s@." oh.oh_enabled_cps;
@@ -979,6 +982,147 @@ let shards_json () =
       ("wedged_confinement", Num confinement);
     ]
 
+(* ---- obs: flight-recorder overhead, snapshot latency, alert lag ---- *)
+
+type obs_measure = {
+  ob_off_cps : float;
+  ob_on_cps : float;
+  ob_ratio : float;  (* median on-throughput / median off-throughput *)
+  ob_snapshot_p99_ns : float;
+  ob_alert_lag : int;  (* ticks from degradation onset to the alert *)
+}
+
+(* Same interleaved-pairs protocol as the telemetry section, but the
+   toggle is the recorder's own gate.  Telemetry stays off throughout so
+   its sampled ring (and the threaded engine's telemetry fallback) never
+   enters the picture: the pair isolates exactly the always-on tallies,
+   breadcrumbs and capture probes the black box adds to a check. *)
+let flightrec_overhead () =
+  let was_recording = Obs.Flightrec.recording () in
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.disable ();
+  let sc =
+    { (Stress.default ~seed:0x0B5CA1L) with updates = 1024; kill_every = 0 }
+  in
+  let run_cps () =
+    let r = Stress.run sc in
+    float_of_int r.Stress.rp_checks /. r.Stress.rp_elapsed_s
+  in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  Obs.Flightrec.set_recording false;
+  Gc.compact ();
+  ignore (run_cps ());
+  let offs = ref [] and ons = ref [] in
+  for _ = 1 to overhead_pairs do
+    Obs.Flightrec.set_recording false;
+    let off = run_cps () in
+    Obs.Flightrec.set_recording true;
+    let on = run_cps () in
+    offs := off :: !offs;
+    ons := on :: !ons
+  done;
+  Obs.Flightrec.set_recording true;
+  Obs.Flightrec.reset ();
+  (* snapshot latency: trigger-to-serialized-bundle, rings populated the
+     way a busy fleet would have them, caps lifted so every request
+     really snapshots *)
+  Obs.Flightrec.set_cap Obs.Flightrec.Supervisor_transition (-1);
+  for i = 0 to 511 do
+    Obs.Flightrec.note
+      ~kind:Telemetry.Event.(kind_code Check_pass)
+      ~ctx:(Telemetry.Event.make_ctx ~shard:(i mod 4) ())
+      ~a:i ~b:(0x1000 + (4 * i)) ~c:0
+  done;
+  let snaps = 200 in
+  let ds = Array.make snaps 0. in
+  for i = 0 to snaps - 1 do
+    let t0 = Telemetry.now_ns () in
+    (match
+       Obs.Flightrec.record_trigger Obs.Flightrec.Supervisor_transition
+         ~reason:"bench: snapshot latency probe" ()
+     with
+    | Some b -> ignore (Obs.Json.to_string (Obs.Flightrec.bundle_json b))
+    | None -> ());
+    ds.(i) <- float_of_int (Telemetry.now_ns () - t0)
+  done;
+  Obs.Flightrec.reset_caps ();
+  Obs.Flightrec.reset ();
+  Array.sort compare ds;
+  let p99 = ds.(min (snaps - 1) (int_of_float (0.99 *. float_of_int snaps))) in
+  (* alert-detection lag: a healthy baseline fills both burn windows,
+     then a sustained 50% error rate starts; count ticks until the
+     multi-window alert fires.  Deterministic: the slow window's burn
+     crosses 2x on the 7th degraded tick (the 6th lands a hair under —
+     the budget [1 - 0.95] rounds up in binary). *)
+  Obs.Slo.reset ();
+  let tk =
+    Obs.Slo.tracker
+      (Obs.Slo.objective ~target:0.95 ~fast_window:5 ~slow_window:30 ~burn:2.0
+         "bench-detection-lag")
+      ~entity:"bench"
+  in
+  for t = 1 to 30 do
+    Obs.Slo.observe tk ~good:8 ~total:8;
+    ignore (Obs.Slo.evaluate tk ~tick:t)
+  done;
+  let lag = ref 0 in
+  (try
+     for k = 1 to 60 do
+       Obs.Slo.observe tk ~good:4 ~total:8;
+       match Obs.Slo.evaluate tk ~tick:(30 + k) with
+       | Some _ ->
+         lag := k;
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  Obs.Slo.reset ();
+  if not was_recording then Obs.Flightrec.set_recording false;
+  if was_enabled then Telemetry.enable ();
+  (* ratio of median throughputs, not median of per-pair ratios: a
+     scheduling stall poisons whichever side it lands on, and on a
+     loaded (or single-core) box enough pairs catch one that the
+     per-pair median drifts; the per-side medians discard them *)
+  {
+    ob_off_cps = median !offs;
+    ob_on_cps = median !ons;
+    ob_ratio = median !ons /. median !offs;
+    ob_snapshot_p99_ns = p99;
+    ob_alert_lag = !lag;
+  }
+
+let obs_json ob =
+  Mcfi.Benchjson.Obj
+    [
+      ("flightrec_off_checks_per_s", Num ob.ob_off_cps);
+      ("flightrec_on_checks_per_s", Num ob.ob_on_cps);
+      ("flightrec_ratio", Num ob.ob_ratio);
+      ("snapshot_p99_ns", Num ob.ob_snapshot_p99_ns);
+      ("alert_lag_ticks", Num (float_of_int ob.ob_alert_lag));
+    ]
+
+let obs_section () =
+  let ob = flightrec_overhead () in
+  Fmt.pr
+    "torture check throughput, flight recorder off vs on (medians over %d \
+     interleaved pairs, telemetry off on both sides):@."
+    overhead_pairs;
+  Fmt.pr "  recorder off  %12.0f checks/s@." ob.ob_off_cps;
+  Fmt.pr "  recorder on   %12.0f checks/s@." ob.ob_on_cps;
+  Fmt.pr "  ratio %.3f (budget: >= 0.95) — overhead %.1f%%@." ob.ob_ratio
+    (100.0 *. (1.0 -. ob.ob_ratio));
+  Fmt.pr "forensic snapshot (trigger -> serialized bundle): p99 %.0f ns@."
+    ob.ob_snapshot_p99_ns;
+  Fmt.pr "SLO alert-detection lag (50%% errors, 5/30 windows, 2x burn): %d \
+          tick(s)@."
+    ob.ob_alert_lag;
+  if ob.ob_ratio < 0.95 then
+    Fmt.pr "WARNING: flight-recorder overhead exceeds the 5%% budget@."
+
 (* ---- json: the machine-readable report ---- *)
 
 let json () =
@@ -1032,9 +1176,11 @@ let json () =
   let fleet = fleet_json (fleet_run ()) in
   let shards = shards_json () in
   let dispatch = dispatch_json (dispatch_measure ()) in
+  let ob = flightrec_overhead () in
+  let obs = obs_json ob in
   let report =
     Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
-      ~dispatch
+      ~dispatch ~obs
   in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
@@ -1052,7 +1198,11 @@ let json () =
       (last.Mcfi.Benchjson.ls_full_ms /. last.Mcfi.Benchjson.ls_incr_ms)
   | [] -> ());
   Fmt.pr "telemetry: %.3f throughput ratio (%.1f%% overhead)@." oh.oh_ratio
-    (100.0 *. (1.0 -. oh.oh_ratio))
+    (100.0 *. (1.0 -. oh.oh_ratio));
+  Fmt.pr
+    "flight recorder: %.3f throughput ratio, snapshot p99 %.0f ns, alert lag \
+     %d tick(s)@."
+    ob.ob_ratio ob.ob_snapshot_p99_ns ob.ob_alert_lag
 
 let () =
   section "table1" "Table 1: C1 violations and false-positive elimination"
@@ -1082,6 +1232,8 @@ let () =
   section "fleet" "Tenant-fleet supervision under seeded chaos (not a paper \
                    figure)"
     fleet_section;
+  section "obs" "Observability overhead (flight recorder, snapshots, SLO lag)"
+    obs_section;
   section "json"
     ("Machine-readable report (" ^ Mcfi.Benchjson.output_file ^ ")")
     json

@@ -11,6 +11,8 @@
      torture   seeded multi-domain torture of the runtime protocols
      fuzz      property-based fuzzing against the differential oracle bank
      fleet     tenant-fleet supervision under seeded chaos
+     forensics validate and replay flight-recorder forensic bundles
+     top       live fleet dashboard over the time-series rings
      bench     list the built-in benchmark suite
 
    Examples:
@@ -20,8 +22,12 @@
      mcfi inspect prog.mobj
      mcfi analyze prog.mc
      mcfi stats prog.mc --format prometheus
+     mcfi stats prog.mc --dispatch
      mcfi trace prog.mc --last 25
-     mcfi torture --telemetry *)
+     mcfi torture --telemetry
+     mcfi torture --kill-every 50 --shards 4 --forensics /tmp/bundles
+     mcfi forensics /tmp/bundles/*.json
+     mcfi top --once *)
 
 open Cmdliner
 
@@ -302,11 +308,40 @@ let stats_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ]
            ~doc:"suppress the program's own output")
   in
-  let stats file format quiet fuel dynamic =
+  let dispatch =
+    Arg.(value & flag & info [ "dispatch" ]
+           ~doc:"run the program a second time, untraced, on the threaded \
+                 engine and report its dispatch internals (superinstruction \
+                 fusion, hoist-cache traffic, pre-decode churn); the \
+                 counters also land in the exported metrics as \
+                 $(b,mcfi_dispatch_*)")
+  in
+  (* The threaded engine falls back to byte stepping while the tracer is
+     on, so its internals are measured on a second, untraced execution of
+     the same program; the counters are folded into the metrics registry
+     afterwards so every export format carries them. *)
+  let threaded_pass file fuel dynamic =
+    Telemetry.disable ();
+    let dynamic = List.map (fun p -> (module_name p, read_file p)) dynamic in
+    let proc =
+      Mcfi.Pipeline.build_process
+        ~sources:[ (module_name file, read_file file) ]
+        ~dynamic ()
+    in
+    let m = Mcfi_runtime.Process.machine proc in
+    Mcfi_runtime.Machine.set_dispatch m Mcfi_runtime.Machine.Threaded;
+    ignore (Mcfi_runtime.Process.run ~fuel proc);
+    Telemetry.enable ();
+    Mcfi_runtime.Machine.publish_dispatch_stats m;
+    Mcfi_runtime.Machine.dispatch_stats m
+  in
+  let stats file format quiet fuel dynamic dispatch =
     match observed_run file fuel dynamic with
     | proc, reason ->
       let m = Mcfi_runtime.Process.machine proc in
       if not quiet then print_string (Mcfi_runtime.Machine.output m);
+      let dstats = if dispatch then Some (threaded_pass file fuel dynamic)
+                   else None in
       (match format with
       | `Prometheus -> print_string (Telemetry.Export.prometheus ())
       | `Json -> print_endline (Telemetry.Export.json ())
@@ -321,7 +356,12 @@ let stats_cmd =
         | [] -> ()
         | bp ->
           Fmt.pr "indirect-branch site executions (Bary slot: count):@.";
-          List.iter (fun (slot, n) -> Fmt.pr "  %4d: %d@." slot n) bp));
+          List.iter (fun (slot, n) -> Fmt.pr "  %4d: %d@." slot n) bp);
+        (match dstats with
+        | None -> ()
+        | Some ds ->
+          Fmt.pr "threaded-dispatch internals (untraced second pass):@.";
+          List.iter (fun (k, n) -> Fmt.pr "  %-20s %12d@." k n) ds));
       (match reason with Mcfi_runtime.Machine.Exited 0 -> 0 | _ -> 1)
     | exception Mcfi.Pipeline.Error msg ->
       Fmt.epr "error: %s@." msg;
@@ -330,7 +370,8 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"execute a program under full telemetry and export the metrics")
-    Term.(const stats $ file_arg $ format $ quiet $ fuel_arg $ dynamic_arg)
+    Term.(const stats $ file_arg $ format $ quiet $ fuel_arg $ dynamic_arg
+          $ dispatch)
 
 let trace_cmd =
   let last =
@@ -408,6 +449,12 @@ let torture_cmd =
                  after each scenario (sampled mode: the low-overhead \
                  production default)")
   in
+  let forensics =
+    Arg.(value & opt (some string) None & info [ "forensics" ] ~docv:"DIR"
+           ~doc:"write one forensic bundle JSON into DIR per \
+                 flight-recorder trigger (injected kill, oracle anomaly, \
+                 failed check, ...); replay them with $(b,mcfi forensics)")
+  in
   let dispatch_conv =
     let parse s =
       match Mcfi_runtime.Machine.dispatch_of_string s with
@@ -446,8 +493,9 @@ let torture_cmd =
                  (ticket-lock seqlock)")
   in
   let torture seed scenarios long checkers updaters updates kill_every loads
-      shards stm dispatch telemetry =
+      shards stm dispatch telemetry forensics =
     if telemetry then Telemetry.enable ();
+    if forensics <> None then Obs.Flightrec.set_dir forensics;
     let override v o = Option.value o ~default:v in
     let scenario i =
       let seed = Int64.add seed (Int64.of_int i) in
@@ -487,6 +535,12 @@ let torture_cmd =
       if telemetry then Fmt.pr "%a@.@." Telemetry.Export.pp_stats ();
       if r.Stress.rp_anomalies <> [] then incr failures
     done;
+    (match forensics with
+    | Some dir ->
+      Fmt.pr "forensics: %d bundle(s) written to %s@."
+        (List.length (Obs.Flightrec.files_written ()))
+        dir
+    | None -> ());
     if !failures > 0 then begin
       Fmt.epr "torture: %d scenario(s) with anomalies (seed %Ld)@." !failures
         seed;
@@ -499,7 +553,141 @@ let torture_cmd =
        ~doc:"multi-domain torture of the transaction and linking protocols, \
              validated by the epoch-history oracle")
     Term.(const torture $ seed $ scenarios $ long $ checkers $ updaters
-          $ updates $ kill_every $ loads $ shards $ stm $ dispatch $ telemetry)
+          $ updates $ kill_every $ loads $ shards $ stm $ dispatch $ telemetry
+          $ forensics)
+
+(* ---- forensics: validate and replay flight-recorder bundles ---- *)
+
+let forensics_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"BUNDLE.json"
+           ~doc:"forensic bundle files written by the flight recorder \
+                 (--forensics DIR on torture and fleet runs)")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"validate only; print nothing but errors")
+  in
+  (* exit status: 0 all bundles valid, 1 a bundle failed validation,
+     2 a file could not be read or parsed at all *)
+  let replay files quiet =
+    let worst = ref 0 in
+    List.iter
+      (fun path ->
+        match Mcfi.Forensics.of_file path with
+        | Error msg ->
+          Fmt.epr "%s: %s@." path msg;
+          worst := max !worst 2
+        | Ok bundle -> (
+          match Mcfi.Forensics.validate bundle with
+          | Error msg ->
+            Fmt.epr "%s: invalid bundle: %s@." path msg;
+            worst := max !worst 1
+          | Ok () ->
+            if not quiet then
+              Fmt.pr "@[<v>%s:@,%a@]@.@." path Mcfi.Forensics.pp bundle))
+      files;
+    !worst
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:"validate flight-recorder forensic bundles and replay their \
+             event tails")
+    Term.(const replay $ files $ quiet)
+
+(* ---- top: live fleet dashboard ---- *)
+
+let top_cmd =
+  let seed =
+    Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"fleet campaign seed")
+  in
+  let ticks =
+    Arg.(value & opt (some int) None & info [ "ticks" ]
+           ~doc:"override: supervision rounds")
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ]
+           ~doc:"override: shard fault domains")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"drive the full acceptance-gate fleet (64 tenants) instead \
+                 of the smoke fleet")
+  in
+  let slo_breaker =
+    Arg.(value & flag & info [ "slo-breaker" ]
+           ~doc:"let SLO burn-rate alerts trip the shard circuit breaker")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"run the fleet to completion, render a single frame without \
+                 cursor control, and exit (for CI and tests)")
+  in
+  let interval =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"redraw period")
+  in
+  let no_color =
+    Arg.(value & flag & info [ "no-color" ] ~doc:"disable ANSI colors")
+  in
+  let top seed ticks shards full slo_breaker once interval no_color =
+    let base =
+      if full then Supervisor.Fleet.default ~seed
+      else Supervisor.Fleet.smoke ~seed
+    in
+    let fc =
+      {
+        base with
+        Supervisor.Fleet.fc_ticks =
+          Option.value ticks ~default:base.Supervisor.Fleet.fc_ticks;
+        fc_shards = Option.value shards ~default:base.Supervisor.Fleet.fc_shards;
+        fc_slo_breaker = base.Supervisor.Fleet.fc_slo_breaker || slo_breaker;
+      }
+    in
+    let color = not no_color in
+    if once then begin
+      (* Fleet.run resets the observability registries on entry, not on
+         exit, so the time-series data is still live for the frame. *)
+      let r = Supervisor.Fleet.run fc in
+      print_string (Obs.Dashboard.render ~color ());
+      Fmt.pr "fleet %s: %d/%d tenants alive, %d alert(s)@."
+        (if Supervisor.Fleet.ok r then "ok" else "FAILED")
+        r.Supervisor.Fleet.fr_survivors fc.Supervisor.Fleet.fc_tenants
+        r.Supervisor.Fleet.fr_slo_alerts;
+      if Supervisor.Fleet.ok r then 0 else 1
+    end
+    else begin
+      let result = Atomic.make None in
+      let worker =
+        Domain.spawn (fun () ->
+            Atomic.set result (Some (Supervisor.Fleet.run fc)))
+      in
+      let rec redraw () =
+        if Atomic.get result = None then begin
+          print_string (Obs.Dashboard.frame ~color ());
+          flush stdout;
+          Unix.sleepf interval;
+          redraw ()
+        end
+      in
+      redraw ();
+      Domain.join worker;
+      print_string (Obs.Dashboard.frame ~color ());
+      match Atomic.get result with
+      | Some r ->
+        Fmt.pr "%a@." Supervisor.Fleet.pp_report r;
+        if Supervisor.Fleet.ok r then 0 else 1
+      | None -> 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"run a fleet while redrawing a live terminal dashboard over \
+             the time-series rings (flight recorder, SLO burn rates, \
+             sparklines)")
+    Term.(const top $ seed $ ticks $ shards $ full $ slo_breaker $ once
+          $ interval $ no_color)
 
 (* ---- bench ---- *)
 
@@ -534,4 +722,4 @@ let () =
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
             stats_cmd; trace_cmd; torture_cmd; Fuzz.Cli.cmd;
-            Supervisor.Cli.cmd; bench_cmd ]))
+            Supervisor.Cli.cmd; forensics_cmd; top_cmd; bench_cmd ]))

@@ -339,6 +339,33 @@ let assign s =
   done;
   (new_tary, new_bary, { n_ibs = s.st_nsites; n_ibts = IS.cardinal s.st_targets; n_eqcs })
 
+(* Human names for the current ECN assignment: a class with live members
+   names its ECN after its lexicographically smallest member (with a +N
+   cardinality suffix), so a forensic bundle can say which
+   type-equivalence class a violating transfer crossed rather than just
+   its number.  Memberless classes (empty sites, anonymous return
+   components) stay unnamed — consumers fall back to "ecn-<n>". *)
+let state_class_names s =
+  let new_tary, _, _ = assign s in
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      match c.tc_members with
+      | [] -> ()
+      | (n0, a0) :: rest ->
+        let rep =
+          List.fold_left (fun acc (n, _) -> if n < acc then n else acc) n0 rest
+        in
+        (match Hashtbl.find_opt new_tary a0 with
+        | Some e when not (Hashtbl.mem names e) ->
+          let k = List.length rest in
+          Hashtbl.replace names e
+            (if k = 0 then rep else Printf.sprintf "%s+%d" rep k)
+        | _ -> ()))
+    s.st_classes;
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) names []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* Diff the fresh assignment against the installed one and close the
    result over equivalence classes.
 

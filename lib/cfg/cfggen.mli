@@ -138,6 +138,12 @@ val state_stats : state -> stats
 (** Total branch sites merged so far. *)
 val state_sites : state -> int
 
+(** Human names for the current ECN assignment: [(ecn, name)] pairs,
+    ascending, where [name] is the class's lexicographically smallest
+    live member with a [+N] suffix for the other N members.  Memberless
+    classes are omitted — forensic consumers fall back to ["ecn-<n>"]. *)
+val state_class_names : state -> (int * string) list
+
 (** {1 Delta → shard mapping}
 
     [shard_delta ~shards ~route d] splits a {!merge} delta into

@@ -293,10 +293,10 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 8
+let schema_version = 9
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch =
+let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -330,6 +330,7 @@ let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch =
         ("fleet", fleet);
         ("shards", shards);
         ("dispatch", dispatch);
+        ("obs", obs);
       ]
 
 let validate j =
@@ -427,4 +428,9 @@ let validate j =
     | Some (Arr []) -> Error "dispatch.rows: empty"
     | _ -> Error "dispatch.rows: missing or not an array"
   in
+  let* () = check_num "obs" [ "obs"; "flightrec_off_checks_per_s" ] in
+  let* () = check_num "obs" [ "obs"; "flightrec_on_checks_per_s" ] in
+  let* () = check_num "obs" [ "obs"; "flightrec_ratio" ] in
+  let* () = check_num "obs" [ "obs"; "snapshot_p99_ns" ] in
+  let* () = check_num "obs" [ "obs"; "alert_lag_ticks" ] in
   Ok ()

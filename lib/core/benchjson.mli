@@ -83,6 +83,7 @@ val report :
   fleet:t ->
   shards:t ->
   dispatch:t ->
+  obs:t ->
   t
 
 (** Check the report shape the smoke test relies on: the schema
@@ -101,5 +102,8 @@ val report :
     section carries finite [tight_check_byte_ns],
     [tight_check_threaded_ns] and [tight_check_speedup] plus a
     non-empty [rows] array of finite
-    [shards]/[byte_checks_per_s]/[threaded_checks_per_s] rows. *)
+    [shards]/[byte_checks_per_s]/[threaded_checks_per_s] rows, and the
+    obs section carries finite [flightrec_off_checks_per_s],
+    [flightrec_on_checks_per_s], [flightrec_ratio], [snapshot_p99_ns]
+    and [alert_lag_ticks]. *)
 val validate : t -> (unit, string) result

@@ -196,3 +196,12 @@ let quiescent_shards t =
   Array.init t.count (fun i -> quiesce_attempt t ~shard:i)
 
 let version t ~shard = Tables.version (tables t shard)
+
+(* ---- shard state snapshots (forensics) ---- *)
+
+let state t ~shard = Tables.state (tables t shard)
+
+let states t = List.init t.count (fun i -> state t ~shard:i)
+
+let states_json t =
+  Obs.Json.Arr (List.init t.count (fun i -> Tables.state_json (tables t i)))

@@ -198,3 +198,14 @@ val quiesce_attempt : t -> shard:int -> bool
 val quiescent_shards : t -> bool array
 
 val version : t -> shard:int -> int
+
+(** {2 Shard state snapshots (forensics)} *)
+
+val state : t -> shard:int -> Tables.state
+(** One shard's {!Tables.state} snapshot. *)
+
+val states : t -> Tables.state list
+(** Every shard's state, in shard order. *)
+
+val states_json : t -> Obs.Json.t
+(** {!states} as the ["shards"] array of the forensic-bundle schema. *)

@@ -123,6 +123,7 @@ let engine attempt ?max_retries ?(escalation = Tx.Fail_check) ?watchdog
     ?jitter ?(on_retry = fun () -> ()) t ~bary_index ~target =
   let ctx = Telemetry.check_begin () in
   let telemetry_on = ctx <> 0 in
+  let xw () = Telemetry.Event.make_ctx ~shard:(Tables.shard t) () in
   let nretries = ref 0 in
   let rec go ~recovered budget round =
     match attempt t ~bary_index ~target with
@@ -137,7 +138,9 @@ let engine attempt ?max_retries ?(escalation = Tx.Fail_check) ?watchdog
           Faults.Stats.count_watchdog ();
           if telemetry_on then
             Telemetry.emit Telemetry.Event.Watchdog_fire
-              ~a:(Tables.version t) ~b:bary_index ~c:round;
+              ~a:(Tables.version t) ~b:bary_index ~c:round ~x:(xw ());
+          if Obs.Flightrec.recording () then
+            Tx.capture_watchdog t ~bary_index ~target ~rounds:round;
           escalate w.Tx.wd_on_expire ~recovered
         | _ ->
           retry round;
@@ -146,12 +149,10 @@ let engine attempt ?max_retries ?(escalation = Tx.Fail_check) ?watchdog
     end
   and retry round =
     Faults.Stats.count_retry ();
-    if telemetry_on then begin
-      incr nretries;
-      if Telemetry.ctx_sampled ctx then
-        Telemetry.emit Telemetry.Event.Check_retry ~a:bary_index ~b:target
-          ~c:round
-    end;
+    incr nretries;
+    if telemetry_on && Telemetry.ctx_sampled ctx then
+      Telemetry.emit Telemetry.Event.Check_retry ~a:bary_index ~b:target
+        ~c:round ~x:(xw ());
     on_retry ();
     Tx.backoff ?jitter round
   and escalate esc ~recovered =
@@ -174,6 +175,11 @@ let engine attempt ?max_retries ?(escalation = Tx.Fail_check) ?watchdog
       end
   in
   let outcome = go ~recovered:false max_retries 0 in
+  (match outcome with
+  | Tx.Pass -> ()
+  | (Tx.Violation | Tx.Retries_exhausted) as o ->
+    if Obs.Flightrec.recording () then
+      Tx.capture_failure t ~bary_index ~target ~outcome:o ~retries:!nretries);
   if Telemetry.ctx_active ctx then begin
     let code =
       match outcome with
@@ -182,7 +188,7 @@ let engine attempt ?max_retries ?(escalation = Tx.Fail_check) ?watchdog
       | Tx.Retries_exhausted -> 2
     in
     Telemetry.check_end ctx ~outcome:code ~slot:bary_index ~target
-      ~retries:!nretries
+      ~retries:!nretries ~x:(xw ())
   end;
   outcome
 

@@ -268,13 +268,15 @@ let set_observer t o = t.observer <- o
    journal — so begins and completes stay balanced per version across
    kills and recoveries. *)
 let notify_begin t ~version ~tag =
-  Telemetry.emit Telemetry.Event.Update_begin ~a:version ~b:tag ~c:t.shard_id;
+  Telemetry.emit Telemetry.Event.Update_begin ~a:version ~b:tag ~c:t.shard_id
+    ~x:(Telemetry.Event.make_ctx ~shard:t.shard_id ());
   match t.observer with
   | None -> ()
   | Some o -> o.obs_begin ~version ~tag
 
 let notify_complete t ~version ~tag =
-  Telemetry.emit Telemetry.Event.Update_commit ~a:version ~b:tag ~c:t.shard_id;
+  Telemetry.emit Telemetry.Event.Update_commit ~a:version ~b:tag ~c:t.shard_id
+    ~x:(Telemetry.Event.make_ctx ~shard:t.shard_id ());
   match t.observer with
   | None -> ()
   | Some o -> o.obs_complete ~version ~tag
@@ -338,6 +340,90 @@ let bary_entries t =
 
 let set_journal t j = Atomic.set t.journal j
 let journal t = Atomic.get t.journal
+
+(* ---- shard state snapshot (forensics) ----
+
+   A cheap, consistent-enough view of one shard's control words for a
+   forensic bundle: version, install-sequence word, quiescence
+   accounting, reader registry size, and the intent journal's identity
+   (not its writes — a bundle wants "a delta install at version 17 with
+   9 writes was in flight", not the slot values).  Reads are the same
+   racy-but-safe atomics the checkers use; a snapshot taken mid-install
+   may straddle it, which forensics tolerates (the sequence word being
+   odd says exactly that). *)
+
+type journal_state = {
+  js_version : int;
+  js_tag : int;
+  js_kind : string; (* "full" | "delta" *)
+  js_writes : int; (* table-slot writes the redo would replay *)
+}
+
+type state = {
+  st_shard : int;
+  st_version : int;
+  st_seq : int;
+  st_updates_since_quiesce : int;
+  st_quiesce_events : int;
+  st_readers : int;
+  st_update_in_progress : bool;
+  st_code_size : int;
+  st_bary_slots : int;
+  st_journal : journal_state option;
+}
+
+let journal_state j =
+  let kind, writes =
+    match j.j_body with
+    | Jfull { jf_tary; jf_bary } ->
+      ("full", List.length jf_tary + List.length jf_bary)
+    | Jdelta { jd_tary; jd_bary; jd_tary_carry; jd_bary_carry } ->
+      ( "delta",
+        List.length jd_tary + List.length jd_bary
+        + List.length jd_tary_carry + List.length jd_bary_carry )
+  in
+  { js_version = j.j_version; js_tag = j.j_tag; js_kind = kind;
+    js_writes = writes }
+
+let state t =
+  {
+    st_shard = t.shard_id;
+    st_version = version t;
+    st_seq = seq_read t;
+    st_updates_since_quiesce = updates_since_quiesce t;
+    st_quiesce_events = quiesce_events t;
+    st_readers = registered_readers t;
+    st_update_in_progress = update_in_progress t;
+    st_code_size = t.code_size;
+    st_bary_slots = Array.length t.bary;
+    st_journal = Option.map journal_state (journal t);
+  }
+
+let state_json t =
+  let s = state t in
+  Obs.Json.Obj
+    [
+      ("shard", Obs.Json.num s.st_shard);
+      ("version", Obs.Json.num s.st_version);
+      ("seq", Obs.Json.num s.st_seq);
+      ("updates_since_quiesce", Obs.Json.num s.st_updates_since_quiesce);
+      ("quiesce_events", Obs.Json.num s.st_quiesce_events);
+      ("readers", Obs.Json.num s.st_readers);
+      ("update_in_progress", Obs.Json.Bool s.st_update_in_progress);
+      ("code_size", Obs.Json.num s.st_code_size);
+      ("bary_slots", Obs.Json.num s.st_bary_slots);
+      ( "journal",
+        match s.st_journal with
+        | None -> Obs.Json.Null
+        | Some j ->
+          Obs.Json.Obj
+            [
+              ("version", Obs.Json.num j.js_version);
+              ("tag", Obs.Json.num j.js_tag);
+              ("kind", Obs.Json.Str j.js_kind);
+              ("writes", Obs.Json.num j.js_writes);
+            ] );
+    ]
 
 (* ---- whole-table snapshot / restore (loader rollback) ---- *)
 

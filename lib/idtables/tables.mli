@@ -266,6 +266,41 @@ type journal = {
 val set_journal : t -> journal option -> unit
 val journal : t -> journal option
 
+(** {2 Shard state snapshot (forensics)}
+
+    A cheap view of one shard's control words for a forensic bundle:
+    version, install-sequence word, quiescence accounting, reader
+    registry size, in-flight-update flag, and the intent journal's
+    identity (version/tag/kind/write count — not its slot values).
+    Reads are the same racy-but-safe atomics the checkers use; a
+    snapshot taken mid-install may straddle it, which an odd sequence
+    word makes self-describing. *)
+
+type journal_state = {
+  js_version : int;
+  js_tag : int;
+  js_kind : string;  (** ["full"] or ["delta"] *)
+  js_writes : int;  (** table-slot writes the redo would replay *)
+}
+
+type state = {
+  st_shard : int;
+  st_version : int;
+  st_seq : int;
+  st_updates_since_quiesce : int;
+  st_quiesce_events : int;
+  st_readers : int;
+  st_update_in_progress : bool;
+  st_code_size : int;
+  st_bary_slots : int;
+  st_journal : journal_state option;
+}
+
+val state : t -> state
+
+val state_json : t -> Obs.Json.t
+(** {!state} as the ["shard"] object of the forensic-bundle schema. *)
+
 (** An opaque copy of the full table state — version, covered code size,
     ABA counter, both ECN maps, and the update journal.  The loader
     captures one before a dynamic-link protocol and {!restore}s it when the

@@ -251,16 +251,99 @@ let recover_locked t =
         t ~version:j_version ~tary_writes ~bary_writes);
     Tables.set_journal t None;
     Faults.Stats.count_recovery ();
-    Telemetry.emit Telemetry.Event.Update_recover ~a:j_version ~b:j_tag ~c:0;
+    Telemetry.emit Telemetry.Event.Update_recover ~a:j_version ~b:j_tag ~c:0
+      ~x:(Telemetry.Event.make_ctx ~shard:(Tables.shard t) ());
     Tables.notify_complete t ~version:j_version ~tag:j_tag;
     true
 
 let recover t = Tables.with_update_lock t (fun () -> recover_locked t)
 
+(* ---- failure-context capture (flight recorder) ----
+
+   Gated on the recorder alone, never on [Telemetry.enabled]: the black
+   box is the thing that must still have answers when sampling was off.
+   Only failing outcomes reach here, so the pass path pays nothing; an
+   over-cap trigger costs two atomic loads ([trigger_armed]) before any
+   string or JSON is built. *)
+
+let id_json id =
+  if Id.valid id then
+    Obs.Json.Obj
+      [
+        ("word", Obs.Json.num id);
+        ("ecn", Obs.Json.num (Id.ecn id));
+        ("ecn_class", Obs.Json.Str (Obs.Flightrec.ecn_name (Id.ecn id)));
+        ("version", Obs.Json.num (Id.version id));
+      ]
+  else
+    Obs.Json.Obj
+      [ ("word", Obs.Json.num id); ("valid", Obs.Json.Bool false) ]
+
+let site_json t ~bary_index ~target ~retries =
+  let bid = Tables.bary_read t bary_index in
+  let tid = Tables.tary_read t target in
+  Obs.Json.Obj
+    [
+      ("slot", Obs.Json.num bary_index);
+      ("target", Obs.Json.num target);
+      ("bary_id", id_json bid);
+      ("tary_id", id_json tid);
+      ("retries", Obs.Json.num retries);
+    ]
+
+let capture_failure t ~bary_index ~target ~outcome ~retries =
+  let shard = Tables.shard t in
+  let ctx = Telemetry.Event.make_ctx ~shard () in
+  let kind, tr =
+    match outcome with
+    | Retries_exhausted ->
+      ( Telemetry.Event.(kind_code Check_exhausted),
+        Obs.Flightrec.Tx_escalation )
+    | _ ->
+      (Telemetry.Event.(kind_code Check_violation), Obs.Flightrec.Failed_check)
+  in
+  Obs.Flightrec.note ~kind ~ctx ~a:bary_index ~b:target ~c:retries;
+  if Obs.Flightrec.trigger_armed tr then begin
+    let reason =
+      Fmt.str "%a at slot %d target 0x%x (shard %d, %d retries)" pp_outcome
+        outcome bary_index target shard retries
+    in
+    ignore
+      (Obs.Flightrec.record_trigger tr ~reason
+         ~extra:
+           [
+             ("site", site_json t ~bary_index ~target ~retries);
+             ("shard", Tables.state_json t);
+           ]
+         ())
+  end
+
+let capture_watchdog t ~bary_index ~target ~rounds =
+  let shard = Tables.shard t in
+  let ctx = Telemetry.Event.make_ctx ~shard () in
+  Obs.Flightrec.note
+    ~kind:Telemetry.Event.(kind_code Watchdog_fire)
+    ~ctx ~a:(Tables.version t) ~b:bary_index ~c:rounds;
+  if Obs.Flightrec.trigger_armed Obs.Flightrec.Watchdog then begin
+    let reason =
+      Fmt.str "watchdog fired after %d rounds at slot %d (shard %d)" rounds
+        bary_index shard
+    in
+    ignore
+      (Obs.Flightrec.record_trigger Obs.Flightrec.Watchdog ~reason
+         ~extra:
+           [
+             ("site", site_json t ~bary_index ~target ~retries:rounds);
+             ("shard", Tables.state_json t);
+           ]
+         ())
+  end
+
 let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
     ?(on_retry = fun () -> ()) t ~bary_index ~target =
   let ctx = Telemetry.check_begin () in
   let telemetry_on = ctx <> 0 in
+  let xw () = Telemetry.Event.make_ctx ~shard:(Tables.shard t) () in
   let nretries = ref 0 in
   let rec attempt ~recovered budget round =
     let bid = Tables.bary_read t bary_index in
@@ -283,9 +366,11 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
                which is what makes the fire attributable from the
                merged trace. *)
             Telemetry.emit Telemetry.Event.Watchdog_fire
-              ~a:(Tables.version t) ~b:bary_index ~c:round;
+              ~a:(Tables.version t) ~b:bary_index ~c:round ~x:(xw ());
             Telemetry.Metrics.observe m_watchdog_wait round
           end;
+          if Obs.Flightrec.recording () then
+            capture_watchdog t ~bary_index ~target ~rounds:round;
           escalate w.wd_on_expire ~recovered
         | _ ->
           retry round;
@@ -297,15 +382,17 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
     else Violation
   and retry round =
     Faults.Stats.count_retry ();
+    (* counted unconditionally: a forensic bundle reports the retry
+       ladder even when telemetry sampling was off *)
+    incr nretries;
     if telemetry_on then begin
-      incr nretries;
       (* A sampled check traces its whole retry loop; unsampled checks
          only tally.  During an install every checker retries at once, so
          an unconditional per-retry event would contend the global trace
          sequence across domains. *)
       if Telemetry.ctx_sampled ctx then
         Telemetry.emit Telemetry.Event.Check_retry ~a:bary_index ~b:target
-          ~c:round
+          ~c:round ~x:(xw ())
     end;
     on_retry ();
     backoff ?jitter round
@@ -333,6 +420,11 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
       end
   in
   let outcome = attempt ~recovered:false max_retries 0 in
+  (match outcome with
+  | Pass -> ()
+  | (Violation | Retries_exhausted) as o ->
+    if Obs.Flightrec.recording () then
+      capture_failure t ~bary_index ~target ~outcome:o ~retries:!nretries);
   (* Only a sampled or detail-mode check has exit work; the common
      enabled check ends on this single inlined bit test.  Per-check
      events or shared counters here would make every checker domain
@@ -344,7 +436,7 @@ let check ?max_retries ?(escalation = Fail_check) ?watchdog ?jitter
       match outcome with Pass -> 0 | Violation -> 1 | Retries_exhausted -> 2
     in
     Telemetry.check_end ctx ~outcome:code ~slot:bary_index ~target
-      ~retries:!nretries
+      ~retries:!nretries ~x:(xw ())
   end;
   outcome
 
@@ -411,7 +503,14 @@ let check_hoisted_with ~full t site ~bary_index ~target =
   if s land 1 = 0 && s = site.s_seq && target = site.s_target then begin
     site.s_hits <- site.s_hits + 1;
     Telemetry.fast_check ();
-    if site.s_bid = site.s_tid then Pass else Violation
+    if site.s_bid = site.s_tid then Pass
+    else begin
+      (* a cached violation is still a violation: the black box must
+         account for it even though the full transaction never ran *)
+      if Obs.Flightrec.recording () then
+        capture_failure t ~bary_index ~target ~outcome:Violation ~retries:0;
+      Violation
+    end
   end
   else begin
     site.s_misses <- site.s_misses + 1;

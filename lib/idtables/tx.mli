@@ -83,6 +83,27 @@ val domain_jitter : unit -> Mcfi_util.Prng.t
     one from the previous seed. *)
 val seed_domain_jitter : int64 -> unit
 
+(** {2 Flight-recorder failure capture}
+
+    Gated on {!Obs.Flightrec.recording} alone — never on telemetry
+    sampling — so the black box still has answers when tracing was off.
+    [check] (and the STM variants, which share these helpers) call them
+    on every non-[Pass] outcome and on watchdog expiry; they are exposed
+    so other check implementations can report through the same
+    taxonomy. *)
+
+(** Record a violating / exhausted transfer: a breadcrumb in the calling
+    domain's black-box ring plus (cap permitting) a forensic bundle
+    whose [site] carries the slot, target, both ID words with ECN class
+    names, and [shard] the table's structural state. *)
+val capture_failure :
+  Tables.t -> bary_index:int -> target:int -> outcome:outcome -> retries:int ->
+  unit
+
+(** Record a watchdog expiry ([rounds] = backoff rounds waited). *)
+val capture_watchdog :
+  Tables.t -> bary_index:int -> target:int -> rounds:int -> unit
+
 (** [check t ~bary_index ~target] runs one check transaction.
     [max_retries] bounds the retry loop (tests and the VM use a fuel
     bound; production semantics is unbounded): [~max_retries:n] allows the

@@ -1,0 +1,15 @@
+(** The [mcfi top] frame renderer: flight-recorder accounting,
+    sparkline charts of every registered time series, SLO burn rates
+    and the recent-alert tail, as one ANSI-colored string.  Stateless —
+    safe to call from the main domain while a fleet runs on workers. *)
+
+val render : ?color:bool -> ?width:int -> unit -> string
+(** One frame without cursor control ([width] = sparkline samples,
+    default 30). *)
+
+val frame : ?color:bool -> ?width:int -> unit -> string
+(** {!render} prefixed with home-and-clear ANSI control, for live
+    redraw loops. *)
+
+val spark : float list -> string
+(** The raw sparkline helper (exposed for tests). *)

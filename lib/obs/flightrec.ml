@@ -1,0 +1,476 @@
+(* The flight recorder: an always-on black box for the MCFI runtime.
+
+   The sampled telemetry trace answers "what is the system doing?" when
+   an operator has turned it on; the flight recorder answers "what just
+   happened?" after something went wrong, and it must already have been
+   running.  Two consequences shape the design:
+
+   - Its gate is its own atomic, independent of [Telemetry.enabled].
+     Telemetry changes behavior elsewhere (the threaded dispatcher
+     falls back to the byte engine while telemetry is on, so it can
+     profile), and the black box must not.  Recording defaults to ON.
+
+   - The write paths are strictly cheaper than the telemetry ring's:
+     breadcrumbs ([note]) touch no global sequence word — each
+     per-domain ring numbers its own events with its publish cursor —
+     and the per-check tallies ([bump]) are plain stores into a
+     per-domain slab stride whose base the caller resolves once per
+     slice, not per check.
+
+   Rings follow the telemetry pool's single-writer protocol: plain
+   stores of the event words, one atomic store of the publish cursor,
+   and a torn-slot-discarding drain, so a snapshot taken while every
+   domain is emitting contains no torn events.
+
+   A *trigger* (failed check, Tx escalation, supervisor transition,
+   oracle anomaly, watchdog fire, injected kill) snapshots everything
+   into a forensic bundle: the per-domain event tails, the tallies, the
+   caller's structured context (violating site, shard state, tenant
+   health), and the recorder's own accounting.  Bundles serialize to
+   self-contained JSON replayable by `mcfi forensics`.  Noisy triggers
+   are capped per kind — the first few bundles carry the story, the
+   rest are counted as dropped — while oracle anomalies and injected
+   kills are never capped: the harnesses' accounting demands exactly
+   one bundle per event. *)
+
+(* ---- trigger taxonomy ---- *)
+
+type trigger =
+  | Failed_check
+  | Tx_escalation
+  | Supervisor_transition
+  | Oracle_anomaly
+  | Watchdog
+  | Injected_kill
+
+let n_triggers = 6
+
+let trigger_code = function
+  | Failed_check -> 0
+  | Tx_escalation -> 1
+  | Supervisor_transition -> 2
+  | Oracle_anomaly -> 3
+  | Watchdog -> 4
+  | Injected_kill -> 5
+
+let trigger_of_code = function
+  | 0 -> Failed_check
+  | 1 -> Tx_escalation
+  | 2 -> Supervisor_transition
+  | 3 -> Oracle_anomaly
+  | 4 -> Watchdog
+  | 5 -> Injected_kill
+  | n -> invalid_arg (Printf.sprintf "Flightrec.trigger_of_code %d" n)
+
+let trigger_name = function
+  | Failed_check -> "failed-check"
+  | Tx_escalation -> "tx-escalation"
+  | Supervisor_transition -> "supervisor-transition"
+  | Oracle_anomaly -> "oracle-anomaly"
+  | Watchdog -> "watchdog-fire"
+  | Injected_kill -> "injected-kill"
+
+let trigger_of_name = function
+  | "failed-check" -> Some Failed_check
+  | "tx-escalation" -> Some Tx_escalation
+  | "supervisor-transition" -> Some Supervisor_transition
+  | "oracle-anomaly" -> Some Oracle_anomaly
+  | "watchdog-fire" -> Some Watchdog
+  | "injected-kill" -> Some Injected_kill
+  | _ -> None
+
+let all_triggers =
+  [
+    Failed_check;
+    Tx_escalation;
+    Supervisor_transition;
+    Oracle_anomaly;
+    Watchdog;
+    Injected_kill;
+  ]
+
+(* ---- the gate (padded like the telemetry gates) ---- *)
+
+let armed = Atomic.make true
+let _pad_gate = Array.make 15 0
+
+let recording () = Atomic.get armed
+let set_recording b = Atomic.set armed b
+
+(* ---- per-domain black-box rings ---- *)
+
+type ring = {
+  r_cap : int;
+  r_dom : int array;
+  r_kind : int array; (* kind code in bits 0-3, context word above *)
+  r_a : int array;
+  r_b : int array;
+  r_c : int array;
+  r_published : int Atomic.t;
+}
+
+let ring_slots = 64
+let default_capacity = 128
+let capacity = Atomic.make default_capacity
+
+let set_ring_capacity n =
+  if n < 8 then invalid_arg "Flightrec.set_ring_capacity: capacity < 8";
+  Atomic.set capacity n
+
+let pool : ring option Atomic.t array =
+  Array.init ring_slots (fun _ -> Atomic.make None)
+
+let make_ring () =
+  let cap = Atomic.get capacity in
+  {
+    r_cap = cap;
+    r_dom = Array.make cap 0;
+    r_kind = Array.make cap 0;
+    r_a = Array.make cap 0;
+    r_b = Array.make cap 0;
+    r_c = Array.make cap 0;
+    r_published = Atomic.make 0;
+  }
+
+let ring_for slot =
+  match Atomic.get pool.(slot) with
+  | Some r when r.r_cap = Atomic.get capacity -> r
+  | _ ->
+    let r = make_ring () in
+    Atomic.set pool.(slot) (Some r);
+    r
+
+(* The breadcrumb path.  No global sequence word: the ring's own publish
+   cursor is the per-domain sequence, so concurrent noters never share a
+   cache line.  [kind] is a [Telemetry.Event] kind code; [ctx] a
+   [Telemetry.Event.make_ctx] context word. *)
+let note ~kind ~ctx ~a ~b ~c =
+  if Atomic.get armed then begin
+    let d = (Domain.self () :> int) in
+    let r = ring_for (d land (ring_slots - 1)) in
+    let p = Atomic.get r.r_published in
+    let i = p mod r.r_cap in
+    r.r_dom.(i) <- d;
+    r.r_kind.(i) <- (kind land 15) lor (ctx lsl 4);
+    r.r_a.(i) <- a;
+    r.r_b.(i) <- b;
+    r.r_c.(i) <- c;
+    Atomic.set r.r_published (p + 1)
+  end
+
+(* ---- per-check tallies ----
+
+   One padded stride per domain; the caller resolves its stride base
+   once per slice ([tally]) and then [bump] is a handful of plain array
+   stores per check — the whole reason the recorder can stay on at
+   ratio >= 0.95.  Colliding domains (ids equal mod 64) may undercount;
+   the diagnostics contract tolerates that, as with the telemetry
+   slab. *)
+
+let tally_domains = 64
+let tally_stride = 16
+let tslab = Array.make (tally_domains * tally_stride) 0
+let off_checks = 0
+let off_passes = 1
+let off_violations = 2
+let off_exhausted = 3
+let off_retries = 4
+
+type tally = int
+
+let tally () =
+  ((Domain.self () :> int) land (tally_domains - 1)) * tally_stride
+
+let bump base ~outcome ~retries =
+  Array.unsafe_set tslab (base + off_checks)
+    (Array.unsafe_get tslab (base + off_checks) + 1);
+  let o =
+    if outcome = 0 then off_passes
+    else if outcome = 1 then off_violations
+    else off_exhausted
+  in
+  Array.unsafe_set tslab (base + o) (Array.unsafe_get tslab (base + o) + 1);
+  if retries > 0 then
+    Array.unsafe_set tslab (base + off_retries)
+      (Array.unsafe_get tslab (base + off_retries) + retries)
+
+let tally_totals () =
+  let sum off =
+    let t = ref 0 in
+    for d = 0 to tally_domains - 1 do
+      t := !t + tslab.((d * tally_stride) + off)
+    done;
+    !t
+  in
+  (sum off_checks, sum off_passes, sum off_violations, sum off_exhausted,
+   sum off_retries)
+
+(* ---- drain (torn-slot-safe, as in the telemetry ring) ---- *)
+
+type event = {
+  ev_domain : int;
+  ev_seq : int; (* per-domain: the ring's publish ordinal *)
+  ev_kind : int;
+  ev_ctx : int;
+  ev_a : int;
+  ev_b : int;
+  ev_c : int;
+}
+
+let drain_ring r =
+  let p1 = Atomic.get r.r_published in
+  let lo = max 0 (p1 - r.r_cap) in
+  let acc = ref [] in
+  for idx = p1 - 1 downto lo do
+    let i = idx mod r.r_cap in
+    let kw = r.r_kind.(i) in
+    acc :=
+      {
+        ev_domain = r.r_dom.(i);
+        ev_seq = idx;
+        ev_kind = kw land 15;
+        ev_ctx = kw lsr 4;
+        ev_a = r.r_a.(i);
+        ev_b = r.r_b.(i);
+        ev_c = r.r_c.(i);
+      }
+      :: !acc
+  done;
+  let events = !acc in
+  (* discard whatever a writer may have been overwriting while we read:
+     the unpublished event [p2] occupies the slot of event [p2 - cap] *)
+  let p2 = Atomic.get r.r_published in
+  let safe_from = p2 - r.r_cap + 1 in
+  List.filteri (fun k _ -> lo + k >= safe_from) events
+
+let drain () =
+  Array.to_list pool
+  |> List.filter_map Atomic.get
+  |> List.concat_map drain_ring
+  |> List.sort (fun a b ->
+         compare (a.ev_domain, a.ev_seq) (b.ev_domain, b.ev_seq))
+
+let notes_emitted () =
+  Array.to_list pool
+  |> List.filter_map Atomic.get
+  |> List.fold_left (fun acc r -> acc + Atomic.get r.r_published) 0
+
+(* ---- triggers and bundles ---- *)
+
+type bundle = {
+  bu_id : int;
+  bu_trigger : trigger;
+  bu_reason : string;
+  bu_at_ns : int;
+  bu_extra : (string * Json.t) list;
+  bu_events : event list;
+  bu_tallies : (int * int * int * int * int) list;
+      (* checks, passes, violations, exhausted, retries — totals *)
+}
+
+(* Per-trigger caps: -1 = unlimited.  Oracle anomalies and injected
+   kills must map 1:1 to bundles (the harness accounting checks it);
+   the check-path triggers are noisy by design and keep only the first
+   few stories. *)
+let default_caps = [| 4; 8; 32; -1; 4; -1 |]
+let caps = Array.copy default_caps
+
+let set_cap tr n = caps.(trigger_code tr) <- n
+let cap tr = caps.(trigger_code tr)
+
+let requests = Array.init n_triggers (fun _ -> Atomic.make 0)
+let bundle_ids = Atomic.make 0
+let total_dropped = Atomic.make 0
+
+let lock = Mutex.create ()
+let kept : bundle list ref = ref [] (* newest first *)
+let kept_limit = 64
+let files : string list ref = ref [] (* newest first *)
+let out_dir : string option ref = ref None
+
+(* mkdir -p: bundles go missing silently otherwise (write_bundle must
+   swallow filesystem errors — the recorder never crashes its host) *)
+let rec ensure_dir d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then ensure_dir parent;
+    match Sys.mkdir d 0o755 with
+    | () -> ()
+    | exception Sys_error _ -> ()
+  end
+
+let set_dir d =
+  (match d with Some d -> ensure_dir d | None -> ());
+  Mutex.lock lock;
+  out_dir := d;
+  Mutex.unlock lock
+
+let dir () = !out_dir
+
+let trigger_armed tr =
+  Atomic.get armed
+  &&
+  let c = caps.(trigger_code tr) in
+  c < 0 || Atomic.get requests.(trigger_code tr) < c
+
+let trigger_requests tr = Atomic.get requests.(trigger_code tr)
+
+let emitted () = Atomic.get bundle_ids
+let dropped () = Atomic.get total_dropped
+
+let counts () =
+  List.map (fun tr -> (tr, Atomic.get requests.(trigger_code tr))) all_triggers
+
+let bundles () = List.rev !kept
+
+(* ---- ECN naming hook ----
+
+   The recorder cannot depend on the CFG layer, so the layer that owns
+   the equivalence-class names (the runtime, via Cfggen) installs a
+   namer here.  Bundles then carry "which class" in human terms; with no
+   namer installed (or for ECNs it does not know) the synthetic
+   "ecn-<n>" keeps bundles self-contained. *)
+let ecn_namer : (int -> string option) ref = ref (fun _ -> None)
+let set_ecn_namer f = ecn_namer := f
+
+let ecn_name e =
+  match !ecn_namer e with
+  | Some n -> n
+  | None | (exception _) -> Printf.sprintf "ecn-%d" e
+
+let event_json e =
+  let base =
+    [
+      ("domain", Json.num e.ev_domain);
+      ("seq", Json.num e.ev_seq);
+      ( "kind",
+        Json.Str
+          (match Telemetry.Event.kind_of_code e.ev_kind with
+          | k -> Telemetry.Event.kind_name k
+          | exception _ -> Printf.sprintf "kind-%d" e.ev_kind) );
+      ("a", Json.num e.ev_a);
+      ("b", Json.num e.ev_b);
+      ("c", Json.num e.ev_c);
+    ]
+  in
+  let ctx =
+    let s = Telemetry.Event.ctx_shard e.ev_ctx in
+    let d = Telemetry.Event.ctx_dispatch e.ev_ctx in
+    let al = Telemetry.Event.ctx_alert e.ev_ctx in
+    (if s >= 0 then [ ("shard", Json.num s) ] else [])
+    @ (if d <> 0 then
+         [ ("dispatch", Json.Str (Telemetry.Event.dispatch_ctx_name d)) ]
+       else [])
+    @ if al >= 0 then [ ("alert", Json.num al) ] else []
+  in
+  Json.Obj (base @ ctx)
+
+let schema = "mcfi-forensics"
+let schema_version = 1
+
+let bundle_json b =
+  let checks, passes, violations, exhausted, retries =
+    match b.bu_tallies with
+    | [ t ] -> t
+    | _ -> (0, 0, 0, 0, 0)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("schema_version", Json.num schema_version);
+      ("id", Json.num b.bu_id);
+      ("trigger", Json.Str (trigger_name b.bu_trigger));
+      ("reason", Json.Str b.bu_reason);
+      ("at_ns", Json.num b.bu_at_ns);
+      ("extra", Json.Obj b.bu_extra);
+      ("events", Json.Arr (List.map event_json b.bu_events));
+      ( "tallies",
+        Json.Obj
+          [
+            ("checks", Json.num checks);
+            ("passes", Json.num passes);
+            ("violations", Json.num violations);
+            ("exhausted", Json.num exhausted);
+            ("retries", Json.num retries);
+          ] );
+      ( "counters",
+        Json.Obj
+          ([
+             ("bundles", Json.num (emitted ()));
+             ("dropped", Json.num (dropped ()));
+             ("notes", Json.num (notes_emitted ()));
+           ]
+          @ List.map
+              (fun tr ->
+                ("trigger_" ^ trigger_name tr, Json.num (trigger_requests tr)))
+              all_triggers) );
+    ]
+
+let write_bundle dir b =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "forensics-%04d-%s.json" b.bu_id
+         (trigger_name b.bu_trigger))
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (bundle_json b) ^ "\n"));
+  path
+
+let files_written () = List.rev !files
+
+let record_trigger tr ~reason ?(extra = []) () =
+  if not (Atomic.get armed) then None
+  else begin
+    let code = trigger_code tr in
+    let n = Atomic.fetch_and_add requests.(code) 1 in
+    let c = caps.(code) in
+    if c >= 0 && n >= c then begin
+      Atomic.incr total_dropped;
+      None
+    end
+    else begin
+      let b =
+        {
+          bu_id = Atomic.fetch_and_add bundle_ids 1;
+          bu_trigger = tr;
+          bu_reason = reason;
+          bu_at_ns = Telemetry.now_ns ();
+          bu_extra = extra;
+          bu_events = drain ();
+          bu_tallies = [ tally_totals () ];
+        }
+      in
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          if List.length !kept < kept_limit then kept := b :: !kept;
+          match !out_dir with
+          | Some d -> (
+            match write_bundle d b with
+            | path -> files := path :: !files
+            | exception Sys_error _ -> ())
+          | None -> ());
+      Some b
+    end
+  end
+
+let reset () =
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | Some r -> Atomic.set r.r_published 0
+      | None -> ())
+    pool;
+  Array.fill tslab 0 (Array.length tslab) 0;
+  Array.iter (fun r -> Atomic.set r 0) requests;
+  Atomic.set bundle_ids 0;
+  Atomic.set total_dropped 0;
+  Mutex.lock lock;
+  kept := [];
+  files := [];
+  Mutex.unlock lock
+
+let reset_caps () = Array.blit default_caps 0 caps 0 n_triggers

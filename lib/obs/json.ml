@@ -1,0 +1,71 @@
+(* A minimal JSON value and emitter for forensic bundles.
+
+   The obs library sits below everything that could parse JSON for it
+   (Benchjson lives in the core library, which depends transitively on
+   the runtime), so it carries its own dependency-free emitter.  The
+   output is plain RFC-8259 JSON, parseable by [Mcfi.Benchjson.parse] —
+   that round trip is what the forensics subcommand and the bundle
+   schema test rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let num i = Num (float_of_int i)
+let str s = Str s
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v ->
+    if Float.is_finite v then
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" v)
+      else Buffer.add_string b (Printf.sprintf "%.6g" v)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\": ";
+        emit b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 1024 in
+  emit b j;
+  Buffer.contents b

@@ -1,0 +1,159 @@
+(* Multi-window burn-rate SLOs.
+
+   An objective names a success-ratio target (e.g. 99% of check slices
+   crash-free) and two evaluation windows in supervisor ticks.  Each
+   tick the tracker receives one (good, total) sample; the burn rate of
+   a window is
+
+       (bad / total over the window) / (1 - target)
+
+   i.e. how many times faster than budget the error budget is burning —
+   1.0 means exactly on budget.  An alert fires only when BOTH windows
+   burn above the threshold: the fast window makes detection prompt,
+   the slow window keeps a single bad tick from paging.  Alerts are
+   edge-triggered — one alert per excursion above the threshold, not
+   one per tick — so a breaker trip maps to exactly one alert id, and
+   the id is small enough to travel in a trace-event context word. *)
+
+type objective = {
+  o_name : string;
+  o_target : float; (* success objective in (0, 1) *)
+  o_fast_window : int; (* ticks *)
+  o_slow_window : int;
+  o_burn : float; (* burn-rate threshold for both windows *)
+}
+
+let objective ?(target = 0.99) ?(fast_window = 5) ?(slow_window = 30)
+    ?(burn = 2.0) name =
+  if target <= 0.0 || target >= 1.0 then
+    invalid_arg "Slo.objective: target outside (0, 1)";
+  if fast_window < 1 || slow_window < fast_window then
+    invalid_arg "Slo.objective: bad windows";
+  { o_name = name; o_target = target; o_fast_window = fast_window;
+    o_slow_window = slow_window; o_burn = burn }
+
+type alert = {
+  al_id : int;
+  al_objective : string;
+  al_entity : string;
+  al_fast_burn : float;
+  al_slow_burn : float;
+  al_tick : int;
+}
+
+type tracker = {
+  tk_obj : objective;
+  tk_entity : string;
+  tk_good : int array; (* rings of o_slow_window samples *)
+  tk_total : int array;
+  mutable tk_ticks : int;
+  mutable tk_alerting : bool; (* above threshold right now? *)
+  mutable tk_last_alert : int; (* last alert id raised, -1 none *)
+}
+
+let next_alert_id = Atomic.make 0
+
+let alerts_lock = Mutex.create ()
+let alert_log : alert list ref = ref [] (* newest first *)
+let alert_log_limit = 256
+
+let trackers_lock = Mutex.create ()
+let registry : tracker list ref = ref []
+
+let tracker obj ~entity =
+  let tk =
+    {
+      tk_obj = obj;
+      tk_entity = entity;
+      tk_good = Array.make obj.o_slow_window 0;
+      tk_total = Array.make obj.o_slow_window 0;
+      tk_ticks = 0;
+      tk_alerting = false;
+      tk_last_alert = -1;
+    }
+  in
+  Mutex.lock trackers_lock;
+  registry := tk :: !registry;
+  Mutex.unlock trackers_lock;
+  tk
+
+let objective_of tk = tk.tk_obj
+let entity tk = tk.tk_entity
+let last_alert tk = if tk.tk_last_alert < 0 then None else Some tk.tk_last_alert
+
+let observe tk ~good ~total =
+  let i = tk.tk_ticks mod tk.tk_obj.o_slow_window in
+  tk.tk_good.(i) <- good;
+  tk.tk_total.(i) <- total;
+  tk.tk_ticks <- tk.tk_ticks + 1
+
+let window_burn tk window =
+  let n = min window (min tk.tk_ticks tk.tk_obj.o_slow_window) in
+  if n = 0 then 0.0
+  else begin
+    let good = ref 0 and total = ref 0 in
+    for k = 0 to n - 1 do
+      let i = (tk.tk_ticks - 1 - k) mod tk.tk_obj.o_slow_window in
+      good := !good + tk.tk_good.(i);
+      total := !total + tk.tk_total.(i)
+    done;
+    if !total = 0 then 0.0
+    else begin
+      let bad_ratio = float_of_int (!total - !good) /. float_of_int !total in
+      bad_ratio /. (1.0 -. tk.tk_obj.o_target)
+    end
+  end
+
+let burns tk =
+  (window_burn tk tk.tk_obj.o_fast_window, window_burn tk tk.tk_obj.o_slow_window)
+
+let log_alert al =
+  Mutex.lock alerts_lock;
+  alert_log := al :: !alert_log;
+  (match !alert_log with
+  | l when List.length l > alert_log_limit ->
+    alert_log := List.filteri (fun i _ -> i < alert_log_limit) l
+  | _ -> ());
+  Mutex.unlock alerts_lock
+
+let evaluate tk ~tick =
+  let fast, slow = burns tk in
+  let burning = fast >= tk.tk_obj.o_burn && slow >= tk.tk_obj.o_burn in
+  if burning && not tk.tk_alerting then begin
+    tk.tk_alerting <- true;
+    let al =
+      {
+        al_id = Atomic.fetch_and_add next_alert_id 1;
+        al_objective = tk.tk_obj.o_name;
+        al_entity = tk.tk_entity;
+        al_fast_burn = fast;
+        al_slow_burn = slow;
+        al_tick = tick;
+      }
+    in
+    tk.tk_last_alert <- al.al_id;
+    log_alert al;
+    Some al
+  end
+  else begin
+    if not burning then tk.tk_alerting <- false;
+    None
+  end
+
+let alerting tk = tk.tk_alerting
+let alerts () = List.rev !alert_log
+let alert_count () = Atomic.get next_alert_id
+let trackers () = List.rev !registry
+
+let pp_alert ppf al =
+  Fmt.pf ppf "alert #%d %s/%s burn fast=%.1f slow=%.1f tick=%d" al.al_id
+    al.al_objective al.al_entity al.al_fast_burn al.al_slow_burn al.al_tick
+
+let reset () =
+  Mutex.lock alerts_lock;
+  alert_log := [];
+  Mutex.unlock alerts_lock;
+  Mutex.lock trackers_lock;
+  registry := [];
+  Mutex.unlock trackers_lock;
+  Atomic.set next_alert_id 0

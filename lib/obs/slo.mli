@@ -1,0 +1,64 @@
+(** Multi-window burn-rate SLOs over per-tick (good, total) samples.
+
+    A window's burn rate is [(bad/total) / (1 - target)] — how many
+    times faster than budget the error budget is burning.  An alert
+    fires when {e both} the fast and slow windows exceed the threshold,
+    and only on the rising edge of the excursion, so one degradation
+    episode raises exactly one alert (whose id can travel in a
+    trace-event context word and a breaker transition record). *)
+
+type objective = {
+  o_name : string;
+  o_target : float;
+  o_fast_window : int;
+  o_slow_window : int;
+  o_burn : float;
+}
+
+val objective :
+  ?target:float ->
+  ?fast_window:int ->
+  ?slow_window:int ->
+  ?burn:float ->
+  string ->
+  objective
+(** Defaults: target 0.99, windows 5/30 ticks, burn threshold 2.0. *)
+
+type alert = {
+  al_id : int;
+  al_objective : string;
+  al_entity : string;
+  al_fast_burn : float;
+  al_slow_burn : float;
+  al_tick : int;
+}
+
+type tracker
+
+val tracker : objective -> entity:string -> tracker
+(** One tracker per (objective, entity) — e.g. install success on
+    shard 3.  Registered globally for the dashboard; see {!trackers}. *)
+
+val objective_of : tracker -> objective
+val entity : tracker -> string
+
+val observe : tracker -> good:int -> total:int -> unit
+(** Record one tick's sample.  Single writer (the supervisor tick). *)
+
+val evaluate : tracker -> tick:int -> alert option
+(** Evaluate both windows; [Some alert] only on the rising edge. *)
+
+val burns : tracker -> float * float
+(** Current (fast, slow) burn rates. *)
+
+val alerting : tracker -> bool
+val last_alert : tracker -> int option
+
+val alerts : unit -> alert list
+(** The global alert log, oldest first (bounded). *)
+
+val alert_count : unit -> int
+val trackers : unit -> tracker list
+val pp_alert : Format.formatter -> alert -> unit
+
+val reset : unit -> unit

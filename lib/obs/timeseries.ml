@@ -1,0 +1,88 @@
+(* Fixed-size time-series rings for the SLO engine and the dashboard.
+
+   A series is a named ring of (timestamp, value) samples with a
+   single writer — the supervisor tick, a bench harness — and relaxed
+   readers on the same or another domain (the dashboard).  Torn floats
+   are impossible in OCaml (boxed float arrays store immediates of the
+   unboxed representation), and a reader racing the writer at worst
+   sees a sample from the previous lap, which a chart tolerates.  The
+   registry is find-or-create under a mutex, like the metrics
+   registry. *)
+
+type series = {
+  ts_name : string;
+  ts_cap : int;
+  ts_t : float array;
+  ts_v : float array;
+  mutable ts_pushes : int; (* total samples ever pushed *)
+}
+
+let default_capacity = 240
+
+let lock = Mutex.create ()
+let registry : series list ref = ref []
+
+let series ?(cap = default_capacity) name =
+  if cap < 2 then invalid_arg "Timeseries.series: cap < 2";
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match List.find_opt (fun s -> s.ts_name = name) !registry with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            ts_name = name;
+            ts_cap = cap;
+            ts_t = Array.make cap 0.0;
+            ts_v = Array.make cap 0.0;
+            ts_pushes = 0;
+          }
+        in
+        registry := s :: !registry;
+        s)
+
+let name s = s.ts_name
+let length s = min s.ts_pushes s.ts_cap
+
+let push_at s ~t v =
+  let i = s.ts_pushes mod s.ts_cap in
+  s.ts_t.(i) <- t;
+  s.ts_v.(i) <- v;
+  s.ts_pushes <- s.ts_pushes + 1
+
+let push s v = push_at s ~t:(Unix.gettimeofday ()) v
+
+(* oldest-first window of the last [n] samples *)
+let recent s n =
+  let len = length s in
+  let n = min n len in
+  let acc = ref [] in
+  for k = 0 to n - 1 do
+    let idx = s.ts_pushes - 1 - k in
+    let i = idx mod s.ts_cap in
+    acc := (s.ts_t.(i), s.ts_v.(i)) :: !acc
+  done;
+  !acc
+
+let last s =
+  if s.ts_pushes = 0 then None
+  else begin
+    let i = (s.ts_pushes - 1) mod s.ts_cap in
+    Some (s.ts_t.(i), s.ts_v.(i))
+  end
+
+let sum_recent s n =
+  List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (recent s n)
+
+let all () =
+  Mutex.lock lock;
+  let l = !registry in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.ts_name b.ts_name) l
+
+let reset () =
+  Mutex.lock lock;
+  registry := [];
+  Mutex.unlock lock

@@ -1,0 +1,31 @@
+(** Named fixed-size rings of (timestamp, value) samples — the storage
+    under the SLO engine and the [mcfi top] dashboard.
+
+    One writer per series (the supervisor tick or a bench harness);
+    readers may race it and at worst see a stale sample, which charts
+    and burn windows tolerate. *)
+
+type series
+
+val series : ?cap:int -> string -> series
+(** Find or create a named series (default capacity 240 samples). *)
+
+val name : series -> string
+val length : series -> int
+
+val push : series -> float -> unit
+(** Append one sample stamped with the current wall clock. *)
+
+val push_at : series -> t:float -> float -> unit
+
+val recent : series -> int -> (float * float) list
+(** The last [n] samples, oldest first. *)
+
+val last : series -> (float * float) option
+val sum_recent : series -> int -> float
+
+val all : unit -> series list
+(** Every registered series, name-sorted. *)
+
+val reset : unit -> unit
+(** Drop the whole registry. *)

@@ -103,6 +103,16 @@ type t = {
   mutable th_q : int array;
   mutable th_sites : hsite array;
   mutable th_nsites : int;
+  (* threaded-dispatch internals, surfaced via [dispatch_stats]: fused
+     superinstruction executions per kind (index = handler - 25),
+     hoisted-check cache traffic, and pre-decode / invalidation churn.
+     Plain state — a machine is single-domain. *)
+  th_fused : int array;
+  mutable th_hoist_hits : int;
+  mutable th_hoist_misses : int;
+  mutable th_hoist_refills : int;
+  mutable th_predecodes : int;
+  mutable th_invalidations : int;
 }
 
 (* instruction classes for the execution profile *)
@@ -168,6 +178,12 @@ let create ?tables ?(dispatch = Byte) ?(seed = 1L) ~code_base ~code_capacity
     th_q = [||];
     th_sites = [||];
     th_nsites = 0;
+    th_fused = Array.make 6 0;
+    th_hoist_hits = 0;
+    th_hoist_misses = 0;
+    th_hoist_refills = 0;
+    th_predecodes = 0;
+    th_invalidations = 0;
   }
 
 let set_dispatch m d = m.dispatch <- d
@@ -187,7 +203,10 @@ let invalidate_th m ~from =
   let cover = Array.length m.th_op in
   if cover > 0 then begin
     let lo = max 0 (from - max_fuse_span) in
-    if lo < cover then Array.fill m.th_op lo (cover - lo) 0
+    if lo < cover then begin
+      Array.fill m.th_op lo (cover - lo) 0;
+      m.th_invalidations <- m.th_invalidations + 1
+    end
   end
 
 let append_code m img =
@@ -736,6 +755,7 @@ let try_fuse m off i size =
   | _ -> None
 
 let predecode m off =
+  m.th_predecodes <- m.th_predecodes + 1;
   match fetch m (m.code_base + off) with
   | None ->
     m.th_op.(off) <- 1;
@@ -768,6 +788,7 @@ let exec_check m site =
     let tgt = m.regs.(site.hs_rtgt) in
     let s = Idtables.Tables.seq_read t in
     if s land 1 = 0 && s = site.hs_seq && tgt = site.hs_target then begin
+      m.th_hoist_hits <- m.th_hoist_hits + 1;
       m.nsteps <- m.nsteps + 4;
       m.regs.(site.hs_rb) <- site.hs_bid;
       m.regs.(site.hs_rt) <- site.hs_tid;
@@ -779,6 +800,7 @@ let exec_check m site =
       end
     end
     else begin
+      m.th_hoist_misses <- m.th_hoist_misses + 1;
       m.nsteps <- m.nsteps + 1;
       (* Bary_load *)
       let bid =
@@ -803,6 +825,7 @@ let exec_check m site =
         && Idtables.Tables.seq_read t = s
         && (bid = tid || (not (Id.valid tid)) || Id.same_version bid tid)
       then begin
+        m.th_hoist_refills <- m.th_hoist_refills + 1;
         site.hs_seq <- s;
         site.hs_target <- tgt;
         site.hs_bid <- bid;
@@ -1057,6 +1080,7 @@ let run_threaded m fuel =
         let op = if op = 0 then predecode m off else op in
         if op = 1 then
           trap (Fault (Printf.sprintf "bad instruction fetch at 0x%x" m.pc));
+        if op >= 25 then m.th_fused.(op - 25) <- m.th_fused.(op - 25) + 1;
         step_th m off op
       end
     done;
@@ -1065,3 +1089,29 @@ let run_threaded m fuel =
 
 let run ?(fuel = 100_000_000) m =
   match m.dispatch with Byte -> run_byte m fuel | Threaded -> run_threaded m fuel
+
+(* ---- threaded-dispatch internals (observability) ---- *)
+
+let fused_names =
+  [|
+    "check_jmp"; "check_call"; "pop_check_jmp"; "cmp_jcc"; "cmpi_jcc";
+    "masked_store";
+  |]
+
+let dispatch_stats m =
+  Array.to_list
+    (Array.mapi (fun k n -> ("fused_" ^ fused_names.(k), n)) m.th_fused)
+  @ [
+      ("hoist_hits", m.th_hoist_hits);
+      ("hoist_misses", m.th_hoist_misses);
+      ("hoist_refills", m.th_hoist_refills);
+      ("predecodes", m.th_predecodes);
+      ("invalidations", m.th_invalidations);
+    ]
+
+let publish_dispatch_stats m =
+  List.iter
+    (fun (n, v) ->
+      if v > 0 then
+        Telemetry.Metrics.add (Telemetry.Metrics.counter ("mcfi_dispatch_" ^ n)) v)
+    (dispatch_stats m)

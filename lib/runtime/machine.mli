@@ -157,6 +157,19 @@ val branch_profile : t -> (int * int) list
     it.  [None] uninstalls. *)
 val set_transfer_hook : t -> (int -> int -> unit) option -> unit
 
+(** Threaded-dispatch internals, always on (plain per-machine counters):
+    fused-superinstruction executions per kind ([fused_check_jmp],
+    [fused_check_call], [fused_pop_check_jmp], [fused_cmp_jcc],
+    [fused_cmpi_jcc], [fused_masked_store]), hoisted-check cache traffic
+    ([hoist_hits]/[hoist_misses]/[hoist_refills]), and pre-decode churn
+    ([predecodes]/[invalidations]). *)
+val dispatch_stats : t -> (string * int) list
+
+(** Fold {!dispatch_stats} into the telemetry metrics registry as
+    [mcfi_dispatch_*] counters (no-op for zero counters, and while
+    telemetry is disabled — [Metrics.add] is gated). *)
+val publish_dispatch_stats : t -> unit
+
 (** [step m] executes one instruction; [None] means the machine is still
     running. *)
 val step : t -> exit_reason option

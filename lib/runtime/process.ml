@@ -456,7 +456,16 @@ let update_cfg t j new_module =
              (Tx.update_delta ~got_update ~pre_install tables
                 ~tary:delta.Cfg.Cfggen.d_tary ~bary:delta.Cfg.Cfggen.d_bary
                 ~tary_carry ~bary_carry));
-       t.cfg_state <- state
+       t.cfg_state <- state;
+       (* Hand the flight recorder human names for the classes the
+          tables now hold, so a bundle says "ecn 7 (qsort_cmp+2)"
+          instead of just the number.  Refreshed per merge; the
+          regenerate path keeps the last namer and unknown classes fall
+          back to "ecn-<n>". *)
+       let names = Cfg.Cfggen.state_class_names state in
+       let tbl = Hashtbl.create (1 + List.length names) in
+       List.iter (fun (e, n) -> Hashtbl.replace tbl e n) names;
+       Obs.Flightrec.set_ecn_namer (fun e -> Hashtbl.find_opt tbl e)
      end
      else begin
        let t0 = Unix.gettimeofday () in

@@ -256,12 +256,30 @@ let record_anomaly y ~seed kind detail =
   y.y_anomaly_count <- y.y_anomaly_count + 1;
   if y.y_anomaly_count <= max_anomalies_kept then
     y.y_anomalies <-
-      { an_seed = seed; an_kind = kind; an_detail = detail } :: y.y_anomalies
+      { an_seed = seed; an_kind = kind; an_detail = detail } :: y.y_anomalies;
+  (* the choke point every oracle verdict passes through: exactly one
+     forensic bundle per recorded anomaly (the trigger is uncapped) *)
+  if Obs.Flightrec.recording () then
+    ignore
+      (Obs.Flightrec.record_trigger Obs.Flightrec.Oracle_anomaly
+         ~reason:(Printf.sprintf "%s (replay with seed %Ld)" kind seed)
+         ~extra:
+           [
+             ("kind", Obs.Json.Str kind);
+             ("detail", Obs.Json.Str detail);
+             ("seed", Obs.Json.Str (Int64.to_string seed));
+           ]
+         ())
 
 (* ------------------------------------------------------------------ *)
 (* Component A: the table torture                                      *)
 
 let torture_base = 0x1000
+
+let m_hoist_site_hits = Telemetry.Metrics.counter "mcfi_hoist_site_hits_total"
+
+let m_hoist_site_misses =
+  Telemetry.Metrics.counter "mcfi_hoist_site_misses_total"
 
 let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
   let rd = Shards.register_reader shs ~shard in
@@ -282,6 +300,9 @@ let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
     else None
   in
   let y = new_tally () in
+  (* black-box tally handle: resolved once, bumped per check with plain
+     stores — the flight recorder's always-on accounting *)
+  let fr = Obs.Flightrec.tally () in
   while not (Atomic.get stop) do
     (* branch boundary: provably outside any check transaction *)
     Tables.reader_quiescent rd;
@@ -307,6 +328,14 @@ let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
     in
     let b1 = Atomic.get h.h_began in
     y.y_checks <- y.y_checks + 1;
+    if Obs.Flightrec.recording () then
+      Obs.Flightrec.bump fr
+        ~outcome:
+          (match out with
+          | Tx.Pass -> 0
+          | Tx.Violation -> 1
+          | Tx.Retries_exhausted -> 2)
+        ~retries:0;
     let detail kind_s =
       Printf.sprintf
         "%s: shard=%d slot=%d tidx=%d window=[%d,%d] versions=[%d,%d]" kind_s
@@ -330,6 +359,21 @@ let torture_checker ~stop ~shs ~shard ~h ~pool ~prng ~sc () =
     | Tx.Retries_exhausted -> y.y_exhausted <- y.y_exhausted + 1
   done;
   Shards.unregister_reader shs ~shard rd;
+  (* hoisted-site cache traffic, aggregated into the metrics registry
+     (the torture analogue of the fused superinstructions' hoist cache;
+     [Metrics.add] is gated on telemetry being enabled) *)
+  (match sites with
+  | Some st ->
+    let hits = ref 0 and misses = ref 0 in
+    Array.iter
+      (fun s ->
+        let h, m = Tx.site_stats s in
+        hits := !hits + h;
+        misses := !misses + m)
+      st;
+    Telemetry.Metrics.add m_hoist_site_hits !hits;
+    Telemetry.Metrics.add m_hoist_site_misses !misses
+  | None -> ());
   y
 
 (* every 11th update by an updater on a multi-shard harness commits the
@@ -393,7 +437,23 @@ let torture_updater ~shs ~pool ~prng ~sc ~n ~uid () =
       else ignore (Shards.update ~tag:ci shs ~shard:home ~tary ~bary)
     with
     | () -> ()
-    | exception Faults.Injected _ -> incr kills
+    | exception Faults.Injected _ ->
+      incr kills;
+      (* one bundle per injected kill (uncapped): the shard-state
+         snapshot shows which journal the next lock holder must redo *)
+      if Obs.Flightrec.recording () then
+        ignore
+          (Obs.Flightrec.record_trigger Obs.Flightrec.Injected_kill
+             ~reason:
+               (Printf.sprintf "updater %d killed mid-install at update %d"
+                  uid j)
+             ~extra:
+               [
+                 ("updater", Obs.Json.num uid);
+                 ("update", Obs.Json.num j);
+                 ("shards", Shards.states_json shs);
+               ]
+             ())
     | exception Tx.Version_space_exhausted ->
       fatal :=
         {
@@ -658,9 +718,24 @@ let run_storm sc prng =
          Mcfi_runtime.Process.load proc obj
        with
       | () -> incr ok
+      | exception Faults.Injected _ ->
+        incr failed;
+        if Obs.Flightrec.recording () then
+          ignore
+            (Obs.Flightrec.record_trigger Obs.Flightrec.Injected_kill
+               ~reason:
+                 (Printf.sprintf "loader killed mid-load of %s (load %d)" name
+                    i)
+               ~extra:
+                 [
+                   ("module", Obs.Json.Str name);
+                   ("load", Obs.Json.num i);
+                   ("tables", Tables.state_json t);
+                 ]
+               ())
       | exception
           ( Mcfi_runtime.Process.Error _ | Mcfi.Pipeline.Error _
-          | Faults.Injected _ | Invalid_argument _ ) ->
+          | Invalid_argument _ ) ->
         incr failed);
       Faults.disarm ();
       Atomic.incr load_seq (* even: window closed *)
@@ -700,6 +775,15 @@ let run sc =
   (* the harness owns the process-global trace while it runs, exactly as
      it owns [Faults.Stats] *)
   if Telemetry.enabled () then Telemetry.reset ();
+  (* ... and the flight recorder: rewinding here makes the run's bundle
+     accounting exact (one per anomaly, one per kill).  The output
+     directory and caps survive the reset. *)
+  if Obs.Flightrec.recording () then Obs.Flightrec.reset ();
+  (* trace events from this run carry the engine the scenario drives
+     (the hoisted torture path is the threaded-dispatch analogue) *)
+  Telemetry.set_dispatch_hint
+    (if sc.hoisted then Telemetry.Event.dispatch_threaded
+     else Telemetry.Event.dispatch_byte);
   let t0 = Unix.gettimeofday () in
   let master = Prng.create sc.seed in
   let pool_prng = Prng.split master in

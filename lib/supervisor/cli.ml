@@ -83,6 +83,17 @@ let shard_breaker_arg =
          ~doc:"quarantine a whole shard (shedding only its own tenants) \
                after $(docv) crashes attributed to it (0 = off)")
 
+let slo_breaker_arg =
+  Arg.(value & flag & info [ "slo-breaker" ]
+         ~doc:"let the SLO engine's shard burn-rate alerts trip the shard \
+               breaker; the quarantine transition carries the alert id")
+
+let forensics_arg =
+  Arg.(value & opt (some string) None & info [ "forensics" ] ~docv:"DIR"
+         ~doc:"write every forensic bundle the flight recorder snapshots \
+               to $(docv) as forensics-<id>-<trigger>.json (replayable \
+               with $(b,mcfi forensics))")
+
 let dispatch_conv =
   let parse s =
     match Mcfi_runtime.Machine.dispatch_of_string s with
@@ -106,7 +117,7 @@ let override v o = match o with Some x -> x | None -> v
 
 let config_of seed tenants workers ticks storm_every storm_size churn_every
     loaders kill_one_in wedge_one_in slow_one_in shards stm shard_breaker
-    dispatch smoke =
+    slo_breaker dispatch smoke =
   let base = if smoke then Fleet.smoke ~seed else Fleet.default ~seed in
   let chaos =
     match (kill_one_in, wedge_one_in, slow_one_in) with
@@ -134,6 +145,7 @@ let config_of seed tenants workers ticks storm_every storm_size churn_every
     fc_shards = override base.Fleet.fc_shards shards;
     fc_stm = override base.Fleet.fc_stm stm;
     fc_shard_breaker = override base.Fleet.fc_shard_breaker shard_breaker;
+    fc_slo_breaker = base.Fleet.fc_slo_breaker || slo_breaker;
     fc_dispatch = override base.Fleet.fc_dispatch dispatch;
   }
 
@@ -141,14 +153,20 @@ let config_term =
   Term.(const config_of $ seed_arg $ tenants_arg $ workers_arg $ ticks_arg
         $ storm_every_arg $ storm_size_arg $ churn_every_arg $ loaders_arg
         $ kill_one_in_arg $ wedge_one_in_arg $ slow_one_in_arg $ shards_arg
-        $ stm_arg $ shard_breaker_arg $ dispatch_arg $ smoke_arg)
+        $ stm_arg $ shard_breaker_arg $ slo_breaker_arg $ dispatch_arg
+        $ smoke_arg)
 
-let main config telemetry =
+let main config telemetry forensics =
   if telemetry then Telemetry.enable ();
+  if forensics <> None then Obs.Flightrec.set_dir forensics;
   Fmt.pr "fleet: %a@." Fleet.pp_config config;
   let r = Fleet.run config in
   Fmt.pr "%a@." Fleet.pp_report r;
   if telemetry then Fmt.pr "%a@." Telemetry.Export.pp_stats ();
+  if forensics <> None then
+    Fmt.pr "forensics: %d bundle(s) written to %s@."
+      (List.length (Obs.Flightrec.files_written ()))
+      (Option.value ~default:"" forensics);
   if Fleet.ok r then begin
     Fmt.pr "fleet: OK@.";
     0
@@ -166,4 +184,4 @@ let cmd =
        ~doc:"supervise a tenant fleet on shared ID tables under seeded \
              chaos: mid-install kills, wedged readers, install storms, \
              churn — validated by the epoch-history oracle")
-    Term.(const main $ config_term $ telemetry_arg)
+    Term.(const main $ config_term $ telemetry_arg $ forensics_arg)

@@ -24,6 +24,7 @@ type config = {
   fc_shards : int;
   fc_stm : Stm.variant;
   fc_shard_breaker : int;
+  fc_slo_breaker : bool;
   fc_dispatch : Mcfi_runtime.Machine.dispatch;
 }
 
@@ -53,6 +54,7 @@ let default ~seed =
     fc_shards = 1;
     fc_stm = Stm.Tml;
     fc_shard_breaker = 0;
+    fc_slo_breaker = false;
     fc_dispatch = Mcfi_runtime.Machine.Byte;
   }
 
@@ -77,11 +79,11 @@ let smoke ~seed =
 let pp_config ppf fc =
   Fmt.pf ppf
     "seed=%Ld tenants=%d (%d loaders) workers=%d ticks=%d base=%d \
-     storm=%d/%d churn=%d shards=%d stm=%a breaker=%d dispatch=%s chaos=[%a] \
-     policy=(%a)"
+     storm=%d/%d churn=%d shards=%d stm=%a breaker=%d slo-breaker=%b \
+     dispatch=%s chaos=[%a] policy=(%a)"
     fc.fc_seed fc.fc_tenants fc.fc_loaders fc.fc_workers fc.fc_ticks
     fc.fc_base_installs fc.fc_storm_size fc.fc_storm_every fc.fc_churn_every
-    fc.fc_shards Stm.pp fc.fc_stm fc.fc_shard_breaker
+    fc.fc_shards Stm.pp fc.fc_stm fc.fc_shard_breaker fc.fc_slo_breaker
     (Mcfi_runtime.Machine.dispatch_name fc.fc_dispatch)
     (Fmt.list ~sep:Fmt.comma Faults.Tenant.pp_plan)
     fc.fc_chaos Health.pp_policy fc.fc_policy
@@ -114,6 +116,8 @@ type report = {
   fr_shard_installs : int array;
   fr_shard_served : int array;
   fr_shards_quarantined : int;
+  fr_slo_alerts : int;
+  fr_alert_trips : (int * int) list;  (* (shard, alert id), trip order *)
   fr_anomalies : Stress.anomaly list;
   fr_elapsed_s : float;
 }
@@ -144,7 +148,18 @@ let pp_report ppf r =
           Fmt.(array ~sep:(any "/") int)
           r.fr_shard_installs
           Fmt.(array ~sep:(any "/") int)
-          r.fr_shard_served r.fr_shards_quarantined)
+          r.fr_shard_served r.fr_shards_quarantined;
+      if r.fr_slo_alerts > 0 || r.fr_alert_trips <> [] then
+        Fmt.pf ppf "@,slo: %d burn-rate alert(s)%a" r.fr_slo_alerts
+          (fun ppf -> function
+            | [] -> ()
+            | trips ->
+              Fmt.pf ppf ", breaker trips [%a]"
+                Fmt.(
+                  list ~sep:comma (fun ppf (sh, al) ->
+                      pf ppf "shard %d by alert #%d" sh al))
+                trips)
+          r.fr_alert_trips)
     r
     (List.length r.fr_anomalies)
     (fun ppf -> function
@@ -250,7 +265,20 @@ let record_anomaly y ~seed an_kind an_detail =
   y.w_count <- y.w_count + 1;
   if y.w_count <= max_anomalies_kept then
     y.w_anomalies <-
-      { Stress.an_seed = seed; an_kind; an_detail } :: y.w_anomalies
+      { Stress.an_seed = seed; an_kind; an_detail } :: y.w_anomalies;
+  (* same choke point as the torture oracle: exactly one forensic bundle
+     per recorded anomaly (the trigger is uncapped) *)
+  if Obs.Flightrec.recording () then
+    ignore
+      (Obs.Flightrec.record_trigger Obs.Flightrec.Oracle_anomaly
+         ~reason:(Printf.sprintf "%s (replay with seed %Ld)" an_kind seed)
+         ~extra:
+           [
+             ("kind", Obs.Json.Str an_kind);
+             ("detail", Obs.Json.Str an_detail);
+             ("seed", Obs.Json.Str (Int64.to_string seed));
+           ]
+         ())
 
 (* One queued install, committed under this tenant's identity.  A kill
    marker arms a one-shot global mid-install fault right before the
@@ -283,7 +311,24 @@ let serve_install ctx y tn ci =
   | (_ : int) -> Atomic.incr tn.tn_served
   | exception Faults.Injected _ ->
     Atomic.set tn.tn_crashed true;
-    Atomic.set tn.tn_alive false
+    Atomic.set tn.tn_alive false;
+    (* one bundle per injected kill (uncapped): snapshot the home
+       shard's journal state before the supervisor's recovery redoes it *)
+    if Obs.Flightrec.recording () then
+      ignore
+        (Obs.Flightrec.record_trigger Obs.Flightrec.Injected_kill
+           ~reason:
+             (Printf.sprintf "tenant %d killed mid-install of cfg %d (shard %d)"
+                tn.tn_id ci tn.tn_shard)
+           ~extra:
+             [
+               ("tenant", Obs.Json.num tn.tn_id);
+               ("cfg", Obs.Json.num ci);
+               ("shard", Obs.Json.num tn.tn_shard);
+               ( "shard_state",
+                 Tables.state_json (Shards.tables ctx.shs tn.tn_shard) );
+             ]
+           ())
   | exception Tx.Version_space_exhausted ->
     record_anomaly y ~seed:ctx.cx.fc_seed "version-space-exhausted"
       (Printf.sprintf "tenant %d exhausted versions mid-fleet" tn.tn_id)
@@ -300,6 +345,9 @@ let check_slice ctx y tn =
     in
     let wd = { Tx.wd_deadline = 256; wd_on_expire = esc } in
     let on_retry () = Atomic.incr tn.tn_retries in
+    (* black-box tally handle: resolved once per slice, bumped per check
+       with plain stores — the flight recorder's always-on accounting *)
+    let fr = Obs.Flightrec.tally () in
     for _ = 1 to sc.fc_checks_per_slice do
       let slot = Prng.int tn.tn_prng sc.fc_slots in
       let kind = Prng.int tn.tn_prng 10 in
@@ -317,6 +365,14 @@ let check_slice ctx y tn =
       in
       let b1 = Stress.history_began h in
       Atomic.incr tn.tn_checks;
+      if Obs.Flightrec.recording () then
+        Obs.Flightrec.bump fr
+          ~outcome:
+            (match out with
+            | Tx.Pass -> 0
+            | Tx.Violation -> 1
+            | Tx.Retries_exhausted -> 2)
+          ~retries:0;
       let detail kind_s =
         Printf.sprintf "tenant %d (shard %d): %s: slot=%d tidx=%d window=[%d,%d]"
           tn.tn_id tn.tn_shard kind_s slot tidx
@@ -383,7 +439,19 @@ let slice ctx y tn =
       if Atomic.get tn.tn_kill_next then begin
         Atomic.set tn.tn_kill_next false;
         Atomic.set tn.tn_crashed true;
-        Atomic.set tn.tn_alive false
+        Atomic.set tn.tn_alive false;
+        if Obs.Flightrec.recording () then
+          ignore
+            (Obs.Flightrec.record_trigger Obs.Flightrec.Injected_kill
+               ~reason:
+                 (Printf.sprintf "loader tenant %d died between dlopens"
+                    tn.tn_id)
+               ~extra:
+                 [
+                   ("tenant", Obs.Json.num tn.tn_id);
+                   ("shard", Obs.Json.num tn.tn_shard);
+                 ]
+               ())
       end
       else loader_slice ctx y tn
     end
@@ -509,8 +577,40 @@ let supervise_tenant ctx recoveries tn ~now ~signals =
   let old_st, new_st = Health.tick tn.tn_health ~now signals in
   if new_st <> old_st then begin
     Atomic.set tn.tn_escalation (Health.state_code new_st);
+    let xw = Telemetry.Event.make_ctx ~shard:tn.tn_shard () in
     Telemetry.emit Telemetry.Event.Tenant_state ~a:tn.tn_id
-      ~b:(Health.state_code new_st) ~c:(Health.state_code old_st);
+      ~b:(Health.state_code new_st) ~c:(Health.state_code old_st) ~x:xw;
+    if Obs.Flightrec.recording () then begin
+      Obs.Flightrec.note
+        ~kind:Telemetry.Event.(kind_code Tenant_state)
+        ~ctx:xw ~a:tn.tn_id
+        ~b:(Health.state_code new_st)
+        ~c:(Health.state_code old_st);
+      (* a tenant sliding into Degraded or Quarantined is forensic
+         material: snapshot before the teardown below redoes the journal *)
+      match new_st with
+      | (Health.Degraded | Health.Quarantined)
+        when Obs.Flightrec.trigger_armed Obs.Flightrec.Supervisor_transition
+        ->
+        ignore
+          (Obs.Flightrec.record_trigger Obs.Flightrec.Supervisor_transition
+             ~reason:
+               (Printf.sprintf "tenant %d (shard %d): %s -> %s" tn.tn_id
+                  tn.tn_shard
+                  (Health.state_name old_st)
+                  (Health.state_name new_st))
+             ~extra:
+               [
+                 ("tenant", Obs.Json.num tn.tn_id);
+                 ("shard", Obs.Json.num tn.tn_shard);
+                 ("from", Obs.Json.Str (Health.state_name old_st));
+                 ("to", Obs.Json.Str (Health.state_name new_st));
+                 ( "shard_state",
+                   Tables.state_json (Shards.tables ctx.shs tn.tn_shard) );
+               ]
+             ())
+      | _ -> ()
+    end;
     (match new_st with
     | Health.Restarting ->
       tn.tn_kills <- tn.tn_kills + 1;
@@ -518,7 +618,8 @@ let supervise_tenant ctx recoveries tn ~now ~signals =
       tn.tn_crash_wall <- Unix.gettimeofday ();
       Telemetry.emit Telemetry.Event.Tenant_restart ~a:tn.tn_id
         ~b:(Health.restart_attempt tn.tn_health)
-        ~c:(Health.last_restart_delay tn.tn_health);
+        ~c:(Health.last_restart_delay tn.tn_health)
+        ~x:xw;
       teardown_tenant ctx tn
     | Health.Quarantined ->
       if signals.Health.s_crashed then begin
@@ -534,35 +635,69 @@ let supervise_tenant ctx recoveries tn ~now ~signals =
     | _ -> ())
   end
 
-(* The per-shard circuit breaker.  When [fc_shard_breaker] > 0 and a
-   shard has accumulated that many tenant crashes, the whole shard is
-   declared a lost fault domain: every tenant homed there is
-   quarantined by decree and torn down, the shard's journal is redone
-   one last time, and admission stops routing installs to it.  Tenants
-   on other shards are untouched — the blast radius of a rotten shard
-   is exactly its own tenant population. *)
+(* Quarantine a whole shard by decree: it is declared a lost fault
+   domain — every tenant homed there is quarantined and torn down, the
+   shard's journal is redone one last time, and admission stops routing
+   installs to it.  Tenants on other shards are untouched — the blast
+   radius of a rotten shard is exactly its own tenant population.
+   [alert] is the SLO burn-rate alert id when the trip is alert-driven;
+   it rides in every transition event's context word and in the
+   forensic bundle, so the trip is explainable after the fact. *)
+let quarantine_shard ctx sh ?alert ~reason () =
+  sh.sh_quarantined <- true;
+  (* snapshot the forensic bundle before teardown redoes the journal:
+     the shard state it carries is the one the breaker saw *)
+  if
+    Obs.Flightrec.recording ()
+    && Obs.Flightrec.trigger_armed Obs.Flightrec.Supervisor_transition
+  then
+    ignore
+      (Obs.Flightrec.record_trigger Obs.Flightrec.Supervisor_transition
+         ~reason
+         ~extra:
+           ([
+              ("shard", Obs.Json.num sh.sh_id);
+              ("crashes", Obs.Json.num sh.sh_crashes);
+              ( "shard_state",
+                Tables.state_json (Shards.tables ctx.shs sh.sh_id) );
+            ]
+           @
+           match alert with
+           | Some id -> [ ("alert", Obs.Json.num id) ]
+           | None -> [])
+         ());
+  Array.iter
+    (fun tn ->
+      if tn.tn_shard = sh.sh_id then begin
+        let old_st, new_st = Health.quarantine tn.tn_health in
+        if new_st <> old_st then begin
+          Atomic.set tn.tn_escalation (Health.state_code new_st);
+          Telemetry.emit Telemetry.Event.Tenant_state ~a:tn.tn_id
+            ~b:(Health.state_code new_st)
+            ~c:(Health.state_code old_st)
+            ~x:(Telemetry.Event.make_ctx ~shard:tn.tn_shard ?alert ())
+        end;
+        teardown_tenant ctx tn
+      end)
+    ctx.tenants;
+  ignore (Shards.recover ctx.shs ~shard:sh.sh_id)
+
+(* The crash-count circuit breaker.  When [fc_shard_breaker] > 0 and a
+   shard has accumulated that many tenant crashes, the shard is
+   quarantined wholesale.  (The SLO engine's burn-rate alerts drive
+   {!quarantine_shard} separately, from the supervisor tick.) *)
 let trip_shard_breakers ctx =
   if ctx.cx.fc_shard_breaker > 0 then
     Array.iter
       (fun sh ->
         if (not sh.sh_quarantined) && sh.sh_crashes >= ctx.cx.fc_shard_breaker
-        then begin
-          sh.sh_quarantined <- true;
-          Array.iter
-            (fun tn ->
-              if tn.tn_shard = sh.sh_id then begin
-                let old_st, new_st = Health.quarantine tn.tn_health in
-                if new_st <> old_st then begin
-                  Atomic.set tn.tn_escalation (Health.state_code new_st);
-                  Telemetry.emit Telemetry.Event.Tenant_state ~a:tn.tn_id
-                    ~b:(Health.state_code new_st)
-                    ~c:(Health.state_code old_st)
-                end;
-                teardown_tenant ctx tn
-              end)
-            ctx.tenants;
-          ignore (Shards.recover ctx.shs ~shard:sh.sh_id)
-        end)
+        then
+          quarantine_shard ctx sh
+            ~reason:
+              (Printf.sprintf
+                 "shard %d breaker: %d crash(es) reached the threshold %d"
+                 sh.sh_id sh.sh_crashes ctx.cx.fc_shard_breaker)
+            ())
       ctx.shard_states
 
 (* ------------------------------------------------------------------ *)
@@ -656,6 +791,16 @@ let run fc =
   Faults.disarm ();
   Faults.Stats.reset ();
   if Telemetry.enabled () then Telemetry.reset ();
+  (* rewind the observability layer for exact per-run accounting: one
+     bundle per kill/anomaly, alert ids counted from this run's alerts.
+     Caps and the forensics output directory survive the reset. *)
+  if Obs.Flightrec.recording () then Obs.Flightrec.reset ();
+  Obs.Slo.reset ();
+  Obs.Timeseries.reset ();
+  Telemetry.set_dispatch_hint
+    (match fc.fc_dispatch with
+    | Mcfi_runtime.Machine.Byte -> Telemetry.Event.dispatch_byte
+    | Mcfi_runtime.Machine.Threaded -> Telemetry.Event.dispatch_threaded);
   Tx.seed_domain_jitter fc.fc_seed;
   let t0 = Unix.gettimeofday () in
   let nsh = fc.fc_shards in
@@ -764,6 +909,96 @@ let run fc =
     { ad_cursor = 0; ad_admitted = 0; ad_shed = 0; ad_deferred = 0; ad_retry = [] }
   in
   let recoveries = ref [] in
+  (* SLO trackers: shard health (crash-free tenant-ticks per shard) plus
+     two fleet-wide objectives.  The shard objective is tuned so one
+     isolated crash on an 8-tenant shard burns 0.5x budget (no alert)
+     but a sustained crash-per-tick episode burns 2.5x in both windows
+     and raises exactly one alert on the rising edge. *)
+  let shard_pop = Array.make nsh 0 in
+  Array.iter
+    (fun tn -> shard_pop.(tn.tn_shard) <- shard_pop.(tn.tn_shard) + 1)
+    tenants;
+  let slo_shard =
+    Array.init nsh (fun i ->
+        Obs.Slo.tracker
+          (Obs.Slo.objective ~target:0.95 ~fast_window:5 ~slow_window:30
+             ~burn:2.0 "shard-crash-free")
+          ~entity:(Printf.sprintf "shard-%d" i))
+  in
+  let slo_serve =
+    Obs.Slo.tracker
+      (Obs.Slo.objective ~target:0.9 "serve-vs-shed")
+      ~entity:"fleet"
+  in
+  let slo_install =
+    Obs.Slo.tracker
+      (Obs.Slo.objective ~target:0.9 "install-success")
+      ~entity:"fleet"
+  in
+  let ts_checks = Obs.Timeseries.series "fleet.checks"
+  and ts_served = Obs.Timeseries.series "fleet.served"
+  and ts_shed = Obs.Timeseries.series "fleet.shed"
+  and ts_violations = Obs.Timeseries.series "fleet.violations"
+  and ts_healthy = Obs.Timeseries.series "fleet.healthy"
+  and ts_shard =
+    Array.init nsh (fun i ->
+        Obs.Timeseries.series (Printf.sprintf "shard%d.installs" i))
+  in
+  let last_crashes = Array.make nsh 0 in
+  let last_admitted = ref 0
+  and last_shed = ref 0
+  and last_served = ref 0 in
+  let alert_trips = ref [] in
+  let sum f = Array.fold_left (fun acc tn -> acc + f tn) 0 tenants in
+  (* one supervisor-tick pass over the SLO engine: observe this tick's
+     deltas, evaluate the burn windows, and (when [fc_slo_breaker]) let
+     a shard alert trip the breaker — the trip carries the alert id *)
+  let slo_tick ~now =
+    let crashes_now = ref 0 in
+    for i = 0 to nsh - 1 do
+      let sh = ctx.shard_states.(i) in
+      let crashed = sh.sh_crashes - last_crashes.(i) in
+      last_crashes.(i) <- sh.sh_crashes;
+      crashes_now := !crashes_now + crashed;
+      let total = max 1 shard_pop.(i) in
+      Obs.Slo.observe slo_shard.(i) ~good:(max 0 (total - crashed)) ~total;
+      match Obs.Slo.evaluate slo_shard.(i) ~tick:now with
+      | Some al when fc.fc_slo_breaker && not sh.sh_quarantined ->
+        alert_trips := (sh.sh_id, al.Obs.Slo.al_id) :: !alert_trips;
+        quarantine_shard ctx sh ~alert:al.Obs.Slo.al_id
+          ~reason:
+            (Fmt.str "slo breaker: %a" Obs.Slo.pp_alert al)
+          ()
+      | Some _ | None -> ()
+    done;
+    let admitted = ad.ad_admitted and shed = ad.ad_shed in
+    let served = sum (fun tn -> Atomic.get tn.tn_served) in
+    let g_adm = admitted - !last_admitted and b_shed = shed - !last_shed in
+    let g_srv = served - !last_served in
+    last_admitted := admitted;
+    last_shed := shed;
+    last_served := served;
+    Obs.Slo.observe slo_serve ~good:g_adm ~total:(g_adm + b_shed);
+    ignore (Obs.Slo.evaluate slo_serve ~tick:now);
+    Obs.Slo.observe slo_install ~good:g_srv ~total:(g_srv + !crashes_now);
+    ignore (Obs.Slo.evaluate slo_install ~tick:now);
+    (* time-series snapshots under [mcfi top] and the bench harness *)
+    Obs.Timeseries.push ts_checks
+      (float_of_int (sum (fun tn -> Atomic.get tn.tn_checks)));
+    Obs.Timeseries.push ts_served (float_of_int served);
+    Obs.Timeseries.push ts_shed (float_of_int shed);
+    Obs.Timeseries.push ts_violations
+      (float_of_int (sum (fun tn -> Atomic.get tn.tn_violations)));
+    Obs.Timeseries.push ts_healthy
+      (float_of_int
+         (sum (fun tn ->
+              if Health.state tn.tn_health = Health.Healthy then 1 else 0)));
+    Array.iteri
+      (fun i h ->
+        Obs.Timeseries.push ts_shard.(i)
+          (float_of_int (Stress.history_completed h)))
+      ctx.hists
+  in
   for now = 1 to fc.fc_ticks do
     admit_tick ctx ad admit_prng ~now;
     Array.iter
@@ -771,6 +1006,7 @@ let run fc =
         supervise_tenant ctx recoveries tn ~now ~signals:(sample_signals tn))
       tenants;
     trip_shard_breakers ctx;
+    slo_tick ~now;
     (* fleet churn: voluntarily retire a serving tenant; it restarts
        through the same crash path as a real kill *)
     if fc.fc_churn_every > 0 && now mod fc.fc_churn_every = 0 then begin
@@ -806,7 +1042,8 @@ let run fc =
         if new_st <> old_st then begin
           Atomic.set tn.tn_escalation (Health.state_code new_st);
           Telemetry.emit Telemetry.Event.Tenant_state ~a:tn.tn_id
-            ~b:(Health.state_code new_st) ~c:(Health.state_code old_st);
+            ~b:(Health.state_code new_st) ~c:(Health.state_code old_st)
+            ~x:(Telemetry.Event.make_ctx ~shard:tn.tn_shard ());
           teardown_tenant ctx tn
         end
       end)
@@ -880,7 +1117,6 @@ let run fc =
   for i = 0 to nsh - 1 do
     Shards.set_observer shs ~shard:i None
   done;
-  let sum f = Array.fold_left (fun acc tn -> acc + f tn) 0 tenants in
   let anomalies =
     Array.fold_left
       (fun acc y -> List.rev_append y.w_anomalies acc)
@@ -988,6 +1224,8 @@ let run fc =
       Array.fold_left
         (fun acc sh -> if sh.sh_quarantined then acc + 1 else acc)
         0 ctx.shard_states;
+    fr_slo_alerts = Obs.Slo.alert_count ();
+    fr_alert_trips = List.rev !alert_trips;
     fr_anomalies = anomalies;
     fr_elapsed_s = Unix.gettimeofday () -. t0;
   }

@@ -53,6 +53,11 @@ type config = {
       (** per-shard circuit breaker: quarantine a whole shard — tearing
           down {e only its own} tenants — once this many crashes have
           been attributed to it (0 = off) *)
+  fc_slo_breaker : bool;
+      (** let the SLO engine's shard burn-rate alerts trip the breaker:
+          a shard whose "shard-crash-free" objective burns past
+          threshold in both windows is quarantined, and the transition
+          record carries the alert id ({!Obs.Slo}) *)
   fc_dispatch : Mcfi_runtime.Machine.dispatch;
       (** execution engine for the loader tenants' VM processes *)
 }
@@ -98,6 +103,10 @@ type report = {
   fr_shard_installs : int array;  (** installs completed per shard *)
   fr_shard_served : int array;  (** queued installs committed, per shard *)
   fr_shards_quarantined : int;  (** shards whose breaker tripped *)
+  fr_slo_alerts : int;  (** burn-rate alerts the SLO engine raised *)
+  fr_alert_trips : (int * int) list;
+      (** [(shard, alert id)] for every alert-driven breaker trip, in
+          trip order — empty unless [fc_slo_breaker] *)
   fr_anomalies : Stress.anomaly list;
   fr_elapsed_s : float;
 }
@@ -110,6 +119,9 @@ val ok : report -> bool
 
 val run : config -> report
 (** Execute the fleet.  Resets {!Faults.Stats} (and the process-global
-    telemetry when enabled); leaves no global fault plan armed.  The
+    telemetry when enabled), plus the flight recorder, SLO registry and
+    time-series registry, so a run's observability accounting is exact:
+    one forensic bundle per injected kill and per oracle anomaly, alert
+    ids counted from this run.  Leaves no global fault plan armed.  The
     workload is deterministic per seed; domain scheduling still varies,
     but the epoch-history oracle judges every interleaving. *)

@@ -163,12 +163,62 @@ module Event = struct
     | 5 -> "load"
     | n -> Printf.sprintf "phase-%d" n
 
-  type t = { seq : int; domain : int; kind : kind; a : int; b : int; c : int }
+  (* ---- the context word ----
+
+     [emit] stores the kind code in the low 4 bits of the ring's kind
+     word; the bits above were dead weight until sharded torture runs
+     made merged traces ambiguous (which shard did this check hit? which
+     engine ran it?).  The context word [x] packs into those upper bits:
+
+       bits 0-8   shard id + 1        (0 = unknown)
+       bits 9-10  dispatch engine     (0 unknown, 1 byte, 2 threaded)
+       bits 11-27 alert id + 1        (0 = none; SLO-driven breaker trips)
+
+     All three are optional; an all-zero word renders nothing, so
+     un-contextualized emitters read exactly as before. *)
+
+  let dispatch_byte = 1
+  let dispatch_threaded = 2
+
+  let dispatch_ctx_name = function
+    | 1 -> "byte"
+    | 2 -> "threaded"
+    | _ -> "?"
+
+  let make_ctx ?shard ?dispatch ?alert () =
+    (match shard with Some s -> (s land 0xff) + 1 | None -> 0)
+    lor (match dispatch with Some d -> (d land 3) lsl 9 | None -> 0)
+    lor (match alert with Some a -> ((a land 0xffff) + 1) lsl 11 | None -> 0)
+
+  let ctx_shard x = (x land 0x1ff) - 1
+  let ctx_dispatch x = (x lsr 9) land 3
+  let ctx_alert x = ((x lsr 11) land 0x1ffff) - 1
+
+  let pp_ctx ppf x =
+    if x <> 0 then begin
+      let s = ctx_shard x and d = ctx_dispatch x and al = ctx_alert x in
+      let parts =
+        (if s >= 0 then [ Printf.sprintf "shard=%d" s ] else [])
+        @ (if d <> 0 then [ "dispatch=" ^ dispatch_ctx_name d ] else [])
+        @ if al >= 0 then [ Printf.sprintf "alert=%d" al ] else []
+      in
+      if parts <> [] then Fmt.pf ppf " [%s]" (String.concat " " parts)
+    end
+
+  type t = {
+    seq : int;
+    domain : int;
+    kind : kind;
+    a : int;
+    b : int;
+    c : int;
+    x : int;  (* context word; 0 = no context *)
+  }
 
   let pp ppf e =
     let head () = Fmt.pf ppf "#%-8d d%-2d " e.seq e.domain in
     head ();
-    match e.kind with
+    (match e.kind with
     | Check_pass | Check_violation | Check_exhausted ->
       Fmt.pf ppf "%-16s slot=%d target=0x%x retries=%d" (kind_name e.kind)
         e.a e.b e.c
@@ -197,7 +247,8 @@ module Event = struct
         e.b e.c
     | Install_shed ->
       Fmt.pf ppf "%-16s tenant=%d queue=%d retry-after=%d" (kind_name e.kind)
-        e.a e.b e.c
+        e.a e.b e.c);
+    pp_ctx ppf e.x
 end
 
 (* ---- per-domain trace rings ---- *)
@@ -316,16 +367,26 @@ let reset () =
 
 (* ---- emit (the hot path) ---- *)
 
-let emit kind ~a ~b ~c =
+(* A process-wide default dispatch hint, folded into every emitted
+   context word that does not already carry dispatch bits.  The harness
+   that knows which engine a run uses (Machine.run, Stress.run,
+   Fleet.run) sets it once; individual emitters never need to thread it
+   through. *)
+let dispatch_hint = Atomic.make 0
+
+let set_dispatch_hint d = Atomic.set dispatch_hint ((d land 3) lsl 9)
+
+let emit ?(x = 0) kind ~a ~b ~c =
   if Atomic.get enabled_flag then begin
     let d = (Domain.self () :> int) in
     let r = ring_for (d land (ring_slots - 1)) in
     let seq = Atomic.fetch_and_add global_seq 1 in
     let p = Atomic.get r.r_published in
     let i = p mod r.r_cap in
+    let x = if x land (3 lsl 9) = 0 then x lor Atomic.get dispatch_hint else x in
     r.r_dom.(i) <- d;
     r.r_seq.(i) <- seq;
-    r.r_kind.(i) <- Event.kind_code kind;
+    r.r_kind.(i) <- Event.kind_code kind lor (x lsl 4);
     r.r_a.(i) <- a;
     r.r_b.(i) <- b;
     r.r_c.(i) <- c;
@@ -409,14 +470,16 @@ let drain_ring r =
   let acc = ref [] in
   for idx = p1 - 1 downto lo do
     let i = idx mod r.r_cap in
+    let kw = r.r_kind.(i) in
     acc :=
       {
         Event.seq = r.r_seq.(i);
         domain = r.r_dom.(i);
-        kind = Event.kind_of_code (r.r_kind.(i) land 15);
+        kind = Event.kind_of_code (kw land 15);
         a = r.r_a.(i);
         b = r.r_b.(i);
         c = r.r_c.(i);
+        x = kw lsr 4;
       }
       :: !acc
   done;
@@ -619,7 +682,7 @@ let reset () =
 let m_check_latency = Metrics.histogram "mcfi_check_latency_ns"
 let m_check_retries = Metrics.histogram "mcfi_check_retries"
 
-let check_end ctx ~outcome ~slot ~target ~retries =
+let check_end ?(x = 0) ctx ~outcome ~slot ~target ~retries =
   if ctx land 4 <> 0 then begin
     let b = ctx lsr 3 in
     slab.(b + off_checks) <- slab.(b + off_checks) + 1;
@@ -639,7 +702,7 @@ let check_end ctx ~outcome ~slot ~target ~retries =
       else if outcome = 1 then Event.Check_violation
       else Event.Check_exhausted
     in
-    emit kind ~a:slot ~b:target ~c:retries;
+    emit ~x kind ~a:slot ~b:target ~c:retries;
     Metrics.observe m_check_retries retries;
     Metrics.observe m_check_latency (now_ns () - slab.(b + off_t0))
   end

@@ -73,7 +73,44 @@ module Event : sig
   val phase_load : int
   val phase_name : int -> string
 
-  type t = { seq : int; domain : int; kind : kind; a : int; b : int; c : int }
+  (** {2 The context word}
+
+      Merged traces from sharded, multi-engine runs need every event to
+      say {e which shard} and {e which dispatch engine} it belongs to.
+      Rather than widening the five-word ring record, the context packs
+      into the unused upper bits of the kind word: shard id (bits 0-8 of
+      the context, stored +1 so 0 means unknown), dispatch engine (bits
+      9-10) and an SLO alert id (bits 11+, stored +1) for alert-driven
+      breaker trips.  A zero word renders nothing, so uncontextualized
+      emitters print exactly as before. *)
+
+  val dispatch_byte : int
+  val dispatch_threaded : int
+  val dispatch_ctx_name : int -> string
+
+  val make_ctx : ?shard:int -> ?dispatch:int -> ?alert:int -> unit -> int
+  (** Pack a context word; omitted components decode as absent. *)
+
+  val ctx_shard : int -> int
+  (** Shard id carried by a context word, [-1] when absent. *)
+
+  val ctx_dispatch : int -> int
+  (** [0] unknown, {!dispatch_byte} or {!dispatch_threaded}. *)
+
+  val ctx_alert : int -> int
+  (** Alert id carried by a context word, [-1] when absent. *)
+
+  val pp_ctx : Format.formatter -> int -> unit
+
+  type t = {
+    seq : int;
+    domain : int;
+    kind : kind;
+    a : int;
+    b : int;
+    c : int;
+    x : int;  (** context word; 0 = no context *)
+  }
 
   val pp : Format.formatter -> t -> unit
 end
@@ -83,12 +120,22 @@ val set_ring_capacity : int -> unit
     rings keep their old capacity until their pool slot re-mints.
     Default 4096. *)
 
-val emit : Event.kind -> a:int -> b:int -> c:int -> unit
+val emit : ?x:int -> Event.kind -> a:int -> b:int -> c:int -> unit
 (** Record one event in the calling domain's ring.  No-op when disabled;
     when enabled: one fetch-and-add on the global sequence, six plain
     array stores, one atomic publish.  Steady-state, no allocation:
     rings live in a fixed pool keyed by domain id, so freshly spawned
-    domains adopt a dead predecessor's ring instead of minting one. *)
+    domains adopt a dead predecessor's ring instead of minting one.
+    [x] is an {!Event.make_ctx} context word (default none); if it
+    carries no dispatch bits the process-wide {!set_dispatch_hint} is
+    folded in. *)
+
+val set_dispatch_hint : int -> unit
+(** Declare the dispatch engine the current run uses
+    ({!Event.dispatch_byte} / {!Event.dispatch_threaded}, [0] to clear).
+    Folded into every emitted context word lacking dispatch bits, so a
+    harness sets it once instead of threading it through every
+    emitter. *)
 
 val fast_check : unit -> unit
 (** Scalar tally for the production fast path (no event record).
@@ -121,10 +168,11 @@ val ctx_active : int -> bool
     detail mode) — callers may skip outcome encoding otherwise. *)
 
 val check_end :
-  int -> outcome:int -> slot:int -> target:int -> retries:int -> unit
+  ?x:int -> int -> outcome:int -> slot:int -> target:int -> retries:int -> unit
 (** Close the bracket: in detail mode tally the outcome ([0] = pass,
     [1] = violation, else retries-exhausted); when sampled, emit the
-    outcome event and record check latency and retries-per-check. *)
+    outcome event — carrying the [x] context word, see {!emit} — and
+    record check latency and retries-per-check. *)
 
 val drain : unit -> Event.t list
 (** Merge all rings into one sequence-ordered trace.  Concurrent writers

@@ -115,7 +115,17 @@ let small_report () =
             ] );
       ]
   in
-  J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch
+  let obs =
+    J.Obj
+      [
+        ("flightrec_off_checks_per_s", J.Num 1e6);
+        ("flightrec_on_checks_per_s", J.Num 0.98e6);
+        ("flightrec_ratio", J.Num 0.98);
+        ("snapshot_p99_ns", J.Num 250000.0);
+        ("alert_lag_ticks", J.Num 6.0);
+      ]
+  in
+  J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -166,6 +176,9 @@ let test_report_roundtrip_and_validate () =
       [ "dispatch"; "tight_check_byte_ns" ];
       [ "dispatch"; "tight_check_threaded_ns" ];
       [ "dispatch"; "tight_check_speedup" ];
+      [ "obs"; "flightrec_ratio" ];
+      [ "obs"; "snapshot_p99_ns" ];
+      [ "obs"; "alert_lag_ticks" ];
     ]
 
 let test_schema_identity () =
