@@ -1,5 +1,5 @@
 .PHONY: all check faults test bench bench-json telemetry torture fuzz \
-	fuzz-replay fleet clean
+	fuzz-replay redteam redteam-replay fleet clean
 
 all:
 	dune build
@@ -21,9 +21,9 @@ bench:
 
 # machine-readable benchmark report: the incremental-linking scaling
 # curve, install-throughput, telemetry-overhead, fuzzing-throughput,
-# fleet-supervision, sharded-install and dispatch-engine numbers,
-# written to the schema-versioned file Benchjson.output_file
-# (BENCH_9.json today)
+# fleet-supervision, sharded-install, dispatch-engine and
+# attack-surface numbers, written to the schema-versioned file
+# Benchjson.output_file (BENCH_10.json today)
 bench-json:
 	dune exec bench/main.exe -- json
 
@@ -45,11 +45,27 @@ fuzz:
 	dune exec bin/mcfi_cli.exe -- fuzz --seed 1 --iters 2000
 
 # re-run every committed counterexample; fails on any regression
-# (a corpus file failing a *different* oracle than it recorded)
+# (a corpus file failing a *different* oracle than it recorded).
+# cex_*.c only: chain_*.c are redteam artifacts with their own replayer
 fuzz-replay:
-	@files=$$(ls corpus/*.c 2>/dev/null); \
+	@files=$$(ls corpus/cex_*.c 2>/dev/null); \
 	if [ -z "$$files" ]; then echo "corpus/ has no counterexamples"; \
 	else dune exec bin/mcfi_cli.exe -- fuzz \
+	  $$(for f in $$files; do echo --replay $$f; done); fi
+
+# adversarial in-policy attack synthesis over generated programs; a
+# found chain shrinks into a replayable corpus/chain_*.c artifact and
+# exits nonzero (a clean run over this codebase should find nothing)
+redteam:
+	dune exec bin/mcfi_cli.exe -- redteam --seed 1 --iters 50
+
+# re-search every committed chain artifact's embedded sources; fails
+# if a chain vanished (policy accidentally tightened: regenerate it)
+# or, worse, if one stopped confirming
+redteam-replay:
+	@files=$$(ls corpus/chain_*.c 2>/dev/null); \
+	if [ -z "$$files" ]; then echo "corpus/ has no chain artifacts"; \
+	else dune exec bin/mcfi_cli.exe -- redteam \
 	  $$(for f in $$files; do echo --replay $$f; done); fi
 
 # tenant-fleet supervision under seeded chaos: 16 tenants sharing the

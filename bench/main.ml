@@ -1123,6 +1123,86 @@ let obs_section () =
   if ob.ob_ratio < 0.95 then
     Fmt.pr "WARNING: flight-recorder overhead exceeds the 5%% budget@."
 
+(* ---- redteam: the admitted attack surface on a fixed exemplar ---- *)
+
+type rt_measure = {
+  rt_reach : Redteam.Reach.t;  (** sabotaged exemplar's surface *)
+  rt_sab_chains : int;
+  rt_sab_confirmed : int;
+  rt_clean_chains : int;  (** must be 0: clean programs have no chain *)
+}
+
+(* the same fixed derivation the CLI campaign uses for --seed 1,
+   iteration 0, so the committed corpus artifact, the CI smoke job and
+   this section all describe one exemplar *)
+let redteam_measure () =
+  let sp = Fuzz.Driver.spec_of (Fuzz.Driver.iter_seed 1L 0) in
+  let search (r : Fuzz.Spec.rendered) =
+    let build () =
+      Fuzz.Oracle.build ~instrumented:true ~static:r.Fuzz.Spec.r_static
+        ~dynamic:r.Fuzz.Spec.r_dynamic ()
+    in
+    match Redteam.Search.run ~build () with
+    | Ok res -> res
+    | Error m -> failwith ("redteam bench: " ^ m)
+  in
+  let sab = search (Redteam.Search.render_sabotaged sp) in
+  let clean = search (Fuzz.Spec.render sp) in
+  {
+    rt_reach = sab.Redteam.Search.sr_reach;
+    rt_sab_chains = List.length sab.Redteam.Search.sr_chains;
+    rt_sab_confirmed =
+      List.length
+        (List.filter
+           (fun c -> c.Redteam.Search.c_confirmed)
+           sab.Redteam.Search.sr_chains);
+    rt_clean_chains = List.length clean.Redteam.Search.sr_chains;
+  }
+
+let redteam_json rt =
+  let re = rt.rt_reach in
+  Mcfi.Benchjson.Obj
+    [
+      ("sites", Num (float_of_int (List.length re.Redteam.Reach.r_sites)));
+      ( "corruptible_sites",
+        Num (float_of_int re.Redteam.Reach.r_corruptible) );
+      ("forward_edges", Num (float_of_int re.Redteam.Reach.r_forward_edges));
+      ("backward_edges", Num (float_of_int re.Redteam.Reach.r_backward_edges));
+      ("sabotage_chains", Num (float_of_int rt.rt_sab_chains));
+      ("sabotage_confirmed", Num (float_of_int rt.rt_sab_confirmed));
+      ("clean_chains", Num (float_of_int rt.rt_clean_chains));
+      ( "class_histogram",
+        Arr
+          (List.map
+             (fun (size, n) ->
+               Mcfi.Benchjson.Obj
+                 [
+                   ("class_size", Num (float_of_int size));
+                   ("classes", Num (float_of_int n));
+                 ])
+             re.Redteam.Reach.r_histogram) );
+    ]
+
+let redteam_section () =
+  let rt = redteam_measure () in
+  let re = rt.rt_reach in
+  Fmt.pr "admitted attack surface, fixed exemplar (campaign seed 1, iter 0):@.";
+  Fmt.pr "  sites %d (corruptible %d), forward edges %d, backward edges %d@."
+    (List.length re.Redteam.Reach.r_sites)
+    re.Redteam.Reach.r_corruptible re.Redteam.Reach.r_forward_edges
+    re.Redteam.Reach.r_backward_edges;
+  Fmt.pr "  class-size histogram:%t@." (fun ppf ->
+      List.iter
+        (fun (size, n) -> Fmt.pf ppf " %dx%d" n size)
+        re.Redteam.Reach.r_histogram);
+  Fmt.pr "  sabotaged exemplar: %d chain(s), %d confirmed@." rt.rt_sab_chains
+    rt.rt_sab_confirmed;
+  Fmt.pr "  clean exemplar:     %d chain(s)@." rt.rt_clean_chains;
+  if rt.rt_sab_chains = 0 then
+    Fmt.pr "WARNING: the search missed the grafted decoy chain@.";
+  if rt.rt_clean_chains > 0 then
+    Fmt.pr "WARNING: the search claims a chain in a clean program@."
+
 (* ---- json: the machine-readable report ---- *)
 
 let json () =
@@ -1178,9 +1258,11 @@ let json () =
   let dispatch = dispatch_json (dispatch_measure ()) in
   let ob = flightrec_overhead () in
   let obs = obs_json ob in
+  let rt = redteam_measure () in
+  let redteam = redteam_json rt in
   let report =
     Mcfi.Benchjson.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards
-      ~dispatch ~obs
+      ~dispatch ~obs ~redteam
   in
   let out = Mcfi.Benchjson.output_file in
   (match Mcfi.Benchjson.validate report with
@@ -1234,6 +1316,9 @@ let () =
     fleet_section;
   section "obs" "Observability overhead (flight recorder, snapshots, SLO lag)"
     obs_section;
+  section "redteam"
+    "Admitted attack surface and in-policy chain search (not a paper figure)"
+    redteam_section;
   section "json"
     ("Machine-readable report (" ^ Mcfi.Benchjson.output_file ^ ")")
     json

@@ -335,13 +335,23 @@ let stats_cmd =
     Mcfi_runtime.Machine.publish_dispatch_stats m;
     Mcfi_runtime.Machine.dispatch_stats m
   in
-  let stats file format quiet fuel dynamic dispatch =
+  let redteam_flag =
+    Arg.(value & flag & info [ "redteam" ]
+           ~doc:"also render the attack-surface table: per corruptible \
+                 indirect-branch site, the in-class targets the installed \
+                 tables admit, plus the equivalence-class-size histogram")
+  in
+  let stats file format quiet fuel dynamic dispatch redteam =
     match observed_run file fuel dynamic with
     | proc, reason ->
       let m = Mcfi_runtime.Process.machine proc in
       if not quiet then print_string (Mcfi_runtime.Machine.output m);
       let dstats = if dispatch then Some (threaded_pass file fuel dynamic)
                    else None in
+      if redteam then
+        (match Redteam.Reach.compute proc with
+        | Some reach -> Fmt.pr "%a" Redteam.Reach.pp_table reach
+        | None -> Fmt.pr "attack surface: process is uninstrumented@.");
       (match format with
       | `Prometheus -> print_string (Telemetry.Export.prometheus ())
       | `Json -> print_endline (Telemetry.Export.json ())
@@ -371,7 +381,7 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"execute a program under full telemetry and export the metrics")
     Term.(const stats $ file_arg $ format $ quiet $ fuel_arg $ dynamic_arg
-          $ dispatch)
+          $ dispatch $ redteam_flag)
 
 let trace_cmd =
   let last =
@@ -722,4 +732,5 @@ let () =
        (Cmd.group (Cmd.info "mcfi" ~doc)
           [ run_cmd; compile_cmd; exec_cmd; inspect_cmd; analyze_cmd;
             stats_cmd; trace_cmd; torture_cmd; Fuzz.Cli.cmd;
-            Supervisor.Cli.cmd; forensics_cmd; top_cmd; bench_cmd ]))
+            Redteam.Cli.cmd; Supervisor.Cli.cmd; forensics_cmd; top_cmd;
+            bench_cmd ]))

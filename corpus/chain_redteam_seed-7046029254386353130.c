@@ -1,0 +1,46 @@
+# mcfi-fuzz counterexample
+# seed: -7046029254386353130
+# oracle: 7 redteam
+# msg: redteam: in-policy chain seed=-7046029254386353130 start-slot=36 hops=1 goal=syscall-dlopen (confirmed)
+=== static main ===
+int (*gops[2])(int) = { w0, w1 };
+
+int w0(int a) {
+  int x;
+  int i;
+  (x = ((24 - a) ^ ((-6) - a)));
+  for ((i = 0); (i < 2); (i = (i + 1))) {
+                                          (x = (x + a));
+                                        }
+  return (x ^ 15);
+}
+
+int w1(int a) {
+  int x;
+  int i;
+  (x = a);
+  for ((i = 0); (i < 2); (i = (i + 1))) {
+                                          (x = (x + ((39 ^ i) - (a - x))));
+                                        }
+  return (x ^ 33);
+}
+
+int main() {
+  int s;
+  int i;
+  (s = 0);
+  for ((i = 0); (i < 4); (i = (i + 1))) {
+                                          (s = (s + (gops[(i & 1)])(i)));
+                                        }
+  (s = (s + w0((35 - 5))));
+  (s = (s + w1(s)));
+  printf("%d;", (s + 0));
+  return 0;
+}
+=== static redteam0 ===
+int redteam_decoy(int x) {
+  __syscall(4, x);
+  __syscall(0, 70 + (x & 7));
+  return x;
+}
+int (*redteam_ops[2])(int) = { redteam_decoy, redteam_decoy };

@@ -293,10 +293,11 @@ let dlopen_chain ?(modules = 16) ?(fns = 8) ?(rounds = 3) () =
    from these, so bumping [schema_version] is the single change that
    moves the artifact to BENCH_<n+1>.json — no hard-coded file names. *)
 let schema = "mcfi-bench"
-let schema_version = 9
+let schema_version = 10
 let output_file = Printf.sprintf "BENCH_%d.json" schema_version
 
-let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs =
+let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs
+    ~redteam =
   match List.rev samples with
   | [] -> invalid_arg "Benchjson.report: empty chain"
   | last :: _ ->
@@ -331,6 +332,7 @@ let report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs =
         ("shards", shards);
         ("dispatch", dispatch);
         ("obs", obs);
+        ("redteam", redteam);
       ]
 
 let validate j =
@@ -433,4 +435,30 @@ let validate j =
   let* () = check_num "obs" [ "obs"; "flightrec_ratio" ] in
   let* () = check_num "obs" [ "obs"; "snapshot_p99_ns" ] in
   let* () = check_num "obs" [ "obs"; "alert_lag_ticks" ] in
+  (* redteam: the attack-surface metrics of the sabotaged exemplar (which
+     must yield a chain) and the clean exemplar (which must not) *)
+  let* () = check_num "redteam" [ "redteam"; "sites" ] in
+  let* () = check_num "redteam" [ "redteam"; "corruptible_sites" ] in
+  let* () = check_num "redteam" [ "redteam"; "forward_edges" ] in
+  let* () = check_num "redteam" [ "redteam"; "backward_edges" ] in
+  let* () = check_num "redteam" [ "redteam"; "sabotage_chains" ] in
+  let* () = check_num "redteam" [ "redteam"; "sabotage_confirmed" ] in
+  let* () = check_num "redteam" [ "redteam"; "clean_chains" ] in
+  let* () =
+    match path [ "redteam"; "class_histogram" ] j with
+    | Some (Arr (_ :: _ as rows)) ->
+      List.fold_left
+        (fun acc row ->
+          let* () = acc in
+          match
+            ( Option.bind (member "class_size" row) num,
+              Option.bind (member "classes" row) num )
+          with
+          | Some _, Some _ -> Ok ()
+          | _ ->
+            Error "redteam.class_histogram: row with missing or non-finite field")
+        (Ok ()) rows
+    | Some (Arr []) -> Error "redteam.class_histogram: empty"
+    | _ -> Error "redteam.class_histogram: missing or not an array"
+  in
   Ok ()

@@ -84,6 +84,7 @@ val report :
   shards:t ->
   dispatch:t ->
   obs:t ->
+  redteam:t ->
   t
 
 (** Check the report shape the smoke test relies on: the schema
@@ -105,5 +106,9 @@ val report :
     [shards]/[byte_checks_per_s]/[threaded_checks_per_s] rows, and the
     obs section carries finite [flightrec_off_checks_per_s],
     [flightrec_on_checks_per_s], [flightrec_ratio], [snapshot_p99_ns]
-    and [alert_lag_ticks]. *)
+    and [alert_lag_ticks], and the redteam section carries finite
+    [sites], [corruptible_sites], [forward_edges], [backward_edges],
+    [sabotage_chains], [sabotage_confirmed] and [clean_chains] plus a
+    non-empty [class_histogram] array of finite [class_size]/[classes]
+    rows. *)
 val validate : t -> (unit, string) result

@@ -91,7 +91,7 @@ let link_executable ?(instrumented = true) ?tco ?sandbox ?drop_check
     with Linker.Error msg -> fail "plt: %s" msg
 
 let build_process ?(instrumented = true) ?tco ?sandbox ?drop_check ?verify
-    ?with_libc ?seed ~sources ?(dynamic = []) () =
+    ?with_libc ?seed ?dispatch ~sources ?(dynamic = []) () =
   let exe =
     link_executable ~instrumented ?tco ?sandbox ?drop_check ?with_libc
       ~sources ~dynamic ()
@@ -109,7 +109,9 @@ let build_process ?(instrumented = true) ?tco ?sandbox ?drop_check ?verify
       dynamic
   in
   let registry name = List.assoc_opt name compiled_dynamic in
-  let proc = Process.create ~instrumented ?sandbox ?verify ~registry ?seed () in
+  let proc =
+    Process.create ~instrumented ?sandbox ?verify ~registry ?seed ?dispatch ()
+  in
   (try Process.load proc exe
    with Process.Error msg -> fail "load: %s" msg);
   proc

@@ -49,7 +49,8 @@ val link_executable :
 
 (** [build_process ?instrumented ?tco ~sources ?dynamic ()] is
     [link_executable] + a process with the dynamic modules registered for
-    [dlopen], loaded and ready to [run]. *)
+    [dlopen], loaded and ready to [run].  [dispatch] selects the
+    execution engine ({!Mcfi_runtime.Machine.dispatch}). *)
 val build_process :
   ?instrumented:bool ->
   ?tco:bool ->
@@ -58,6 +59,7 @@ val build_process :
   ?verify:bool ->
   ?with_libc:bool ->
   ?seed:int64 ->
+  ?dispatch:Mcfi_runtime.Machine.dispatch ->
   sources:(string * string) list ->
   ?dynamic:(string * string) list ->
   unit ->

@@ -129,15 +129,21 @@ let of_string text =
   flush_section ~at_eof:true ();
   match (!seed, !oracle) with
   | Some s, Some o ->
-    Ok
-      {
-        c_seed = s;
-        c_oracle = o;
-        c_drop_check = !drop;
-        c_msg = !msg;
-        c_static = List.rev !statics;
-        c_dynamic = List.rev !dynamics;
-      }
+    (* A file with metadata but no module sections is truncated or
+       corrupt, not a program: replaying it would "reproduce" whatever
+       failure an empty build produces and mask the damage in CI. *)
+    if !statics = [] && !dynamics = [] then
+      Error "corpus file has no source sections"
+    else
+      Ok
+        {
+          c_seed = s;
+          c_oracle = o;
+          c_drop_check = !drop;
+          c_msg = !msg;
+          c_static = List.rev !statics;
+          c_dynamic = List.rev !dynamics;
+        }
   | None, _ -> Error "corpus file has no '# seed:' line"
   | _, None -> Error "corpus file has no '# oracle:' line"
 

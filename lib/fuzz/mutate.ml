@@ -55,7 +55,36 @@ let reorder_dlopen rng sp =
   if sp.sp_ndyn < 2 then sp
   else { sp with sp_dyn_order = shuffle rng sp.sp_dyn_order }
 
-let mutations = [ add_cast; take_address; split_module; reorder_dlopen ]
+(* ---- corruptibility mutations (the redteam campaign's knobs) ----
+
+   The attack surface the redteam search explores is made of sites
+   whose branch operand transits attacker-writable memory; these
+   mutations steer generation toward programs with more of them. *)
+
+(* Materialize the writable function-pointer cell: the global fptr
+   array (and the two same-typed workers its initializer needs), the
+   one icall operand that lives in corruptible static data. *)
+let widen_corruptible rng sp =
+  let workers =
+    let n_sii = List.length (List.filter (fun w -> w.w_sig = Sii) sp.sp_workers)
+    in
+    if n_sii >= 2 then sp.sp_workers
+    else
+      List.mapi
+        (fun i w -> if i < 2 then { w with w_sig = Sii } else w)
+        sp.sp_workers
+  in
+  ignore rng;
+  { sp with sp_global_fp = true; sp_workers = workers }
+
+(* More live return sites: deepen call structure so diverted returns
+   have more in-class landing pads to chain through. *)
+let deepen_returns rng sp =
+  { sp with sp_body = 2; sp_prints = max sp.sp_prints (1 + Prng.int rng 2) }
+
+let mutations =
+  [ add_cast; take_address; split_module; reorder_dlopen; widen_corruptible;
+    deepen_returns ]
 
 (* [apply rng sp] runs 0-2 random mutations. *)
 let apply rng sp =

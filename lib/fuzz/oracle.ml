@@ -49,6 +49,7 @@ let oracle_name = function
   | 4 -> "precision"
   | 5 -> "faults"
   | 6 -> "dispatch"
+  | 7 -> "redteam"  (* not in the bank: the redteam chain-search verdict *)
   | _ -> "unknown"
 
 let fail k fmt =
@@ -72,9 +73,9 @@ let contains ~sub s =
 
 let pp_reason r = Fmt.str "%a" Machine.pp_exit_reason r
 
-let build ?drop_check ~instrumented ~static ~dynamic () =
-  Mcfi.Pipeline.build_process ~instrumented ?drop_check ~sources:static
-    ~dynamic ()
+let build ?drop_check ?dispatch ~instrumented ~static ~dynamic () =
+  Mcfi.Pipeline.build_process ~instrumented ?drop_check ?dispatch
+    ~sources:static ~dynamic ()
 
 let run proc =
   let r = Process.run ~fuel proc in

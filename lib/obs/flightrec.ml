@@ -42,8 +42,9 @@ type trigger =
   | Oracle_anomaly
   | Watchdog
   | Injected_kill
+  | Redteam_chain
 
-let n_triggers = 6
+let n_triggers = 7
 
 let trigger_code = function
   | Failed_check -> 0
@@ -52,6 +53,7 @@ let trigger_code = function
   | Oracle_anomaly -> 3
   | Watchdog -> 4
   | Injected_kill -> 5
+  | Redteam_chain -> 6
 
 let trigger_of_code = function
   | 0 -> Failed_check
@@ -60,6 +62,7 @@ let trigger_of_code = function
   | 3 -> Oracle_anomaly
   | 4 -> Watchdog
   | 5 -> Injected_kill
+  | 6 -> Redteam_chain
   | n -> invalid_arg (Printf.sprintf "Flightrec.trigger_of_code %d" n)
 
 let trigger_name = function
@@ -69,6 +72,7 @@ let trigger_name = function
   | Oracle_anomaly -> "oracle-anomaly"
   | Watchdog -> "watchdog-fire"
   | Injected_kill -> "injected-kill"
+  | Redteam_chain -> "redteam-chain"
 
 let trigger_of_name = function
   | "failed-check" -> Some Failed_check
@@ -77,6 +81,7 @@ let trigger_of_name = function
   | "oracle-anomaly" -> Some Oracle_anomaly
   | "watchdog-fire" -> Some Watchdog
   | "injected-kill" -> Some Injected_kill
+  | "redteam-chain" -> Some Redteam_chain
   | _ -> None
 
 let all_triggers =
@@ -87,6 +92,7 @@ let all_triggers =
     Oracle_anomaly;
     Watchdog;
     Injected_kill;
+    Redteam_chain;
   ]
 
 (* ---- the gate (padded like the telemetry gates) ---- *)
@@ -272,7 +278,7 @@ type bundle = {
    kills must map 1:1 to bundles (the harness accounting checks it);
    the check-path triggers are noisy by design and keep only the first
    few stories. *)
-let default_caps = [| 4; 8; 32; -1; 4; -1 |]
+let default_caps = [| 4; 8; 32; -1; 4; -1; -1 |]
 let caps = Array.copy default_caps
 
 let set_cap tr n = caps.(trigger_code tr) <- n

@@ -18,6 +18,7 @@ type trigger =
   | Oracle_anomaly  (** the torture / fleet epoch-history oracle flagged *)
   | Watchdog  (** the update watchdog fired *)
   | Injected_kill  (** a fault plan killed an updater mid-install *)
+  | Redteam_chain  (** the attack synthesizer found an in-policy chain *)
 
 val trigger_code : trigger -> int
 val trigger_of_code : int -> trigger
@@ -90,9 +91,9 @@ type bundle = {
 val set_cap : trigger -> int -> unit
 (** Cap bundles per trigger kind ([-1] = unlimited).  Defaults: the
     noisy check-path triggers keep the first few (failed-check 4,
-    escalation 8, watchdog 4, transition 32); oracle anomalies and
-    injected kills are unlimited — the harness accounting demands
-    exactly one bundle each. *)
+    escalation 8, watchdog 4, transition 32); oracle anomalies,
+    injected kills and red-team chains are unlimited — the harness
+    accounting demands exactly one bundle each. *)
 
 val cap : trigger -> int
 

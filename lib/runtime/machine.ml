@@ -222,6 +222,8 @@ let append_code m img =
   base
 
 let code_end m = m.code_base + m.code_len
+let code_base m = m.code_base
+let code_image m = Bytes.sub_string m.image 0 m.code_len
 
 let release m =
   match (m.tables, m.reader) with

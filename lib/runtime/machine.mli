@@ -73,6 +73,15 @@ val append_code : t -> string -> int
 (** Next free code address. *)
 val code_end : t -> int
 
+(** The base address code is loaded at (the [create] parameter). *)
+val code_base : t -> int
+
+(** A copy of the currently loaded code bytes (addresses
+    [code_base, code_end)) — read-only by construction, so handing it to
+    an analysis (the gadget scanner, the redteam reachability pass) never
+    violates W^X. *)
+val code_image : t -> string
+
 (** [release m] unregisters the machine's reader from the tables' epoch
     registry, so a machine that will never run again stops gating
     {!Idtables.Tables.try_quiesce}.  Idempotent; a no-op for machines

@@ -125,7 +125,26 @@ let small_report () =
         ("alert_lag_ticks", J.Num 6.0);
       ]
   in
+  let redteam =
+    J.Obj
+      [
+        ("sites", J.Num 39.0);
+        ("corruptible_sites", J.Num 36.0);
+        ("forward_edges", J.Num 48.0);
+        ("backward_edges", J.Num 120.0);
+        ("sabotage_chains", J.Num 6.0);
+        ("sabotage_confirmed", J.Num 6.0);
+        ("clean_chains", J.Num 0.0);
+        ( "class_histogram",
+          J.Arr
+            [
+              J.Obj [ ("class_size", J.Num 3.0); ("classes", J.Num 2.0) ];
+              J.Obj [ ("class_size", J.Num 12.0); ("classes", J.Num 1.0) ];
+            ] );
+      ]
+  in
   J.report ~samples ~torture ~telemetry ~fuzz ~fleet ~shards ~dispatch ~obs
+    ~redteam
 
 let test_report_roundtrip_and_validate () =
   let report = small_report () in
@@ -179,6 +198,13 @@ let test_report_roundtrip_and_validate () =
       [ "obs"; "flightrec_ratio" ];
       [ "obs"; "snapshot_p99_ns" ];
       [ "obs"; "alert_lag_ticks" ];
+      [ "redteam"; "sites" ];
+      [ "redteam"; "corruptible_sites" ];
+      [ "redteam"; "forward_edges" ];
+      [ "redteam"; "backward_edges" ];
+      [ "redteam"; "sabotage_chains" ];
+      [ "redteam"; "sabotage_confirmed" ];
+      [ "redteam"; "clean_chains" ];
     ]
 
 let test_schema_identity () =
@@ -221,6 +247,9 @@ let test_validate_rejects_gaps () =
   | Error _ -> ());
   (match J.validate (drop "dispatch" report) with
   | Ok () -> Alcotest.fail "validated without dispatch section"
+  | Error _ -> ());
+  (match J.validate (drop "redteam" report) with
+  | Ok () -> Alcotest.fail "validated without redteam section"
   | Error _ -> ());
   (* a NaN serializes as null and must fail validation after re-parse *)
   let poisoned =

@@ -197,6 +197,62 @@ let test_mid_install_kill_and_recovery () =
   Machine.release m;
   [ o1; o2; o3 ]
 
+(* ---- attacker interleaving: the red-team search is engine-blind ---- *)
+
+(* A synthesized in-policy chain embeds an attacker plan that fires
+   between specific instruction retirements; the machine pins attacker
+   interleaving by stepping through the byte path whenever a hook is
+   installed, so the search — benign reference run, walk, confirmation
+   re-execution — must produce the identical chain under [Byte] and
+   [Threaded] dispatch. *)
+let chain_fingerprint (c : Redteam.Search.chain) =
+  Fmt.str "%d|%s|%s|0x%x|%b|%s" c.Redteam.Search.c_start
+    (String.concat ";"
+       (List.map
+          (fun (h : Redteam.Search.hop) ->
+            Printf.sprintf "%d>%x%s" h.Redteam.Search.h_slot
+              h.Redteam.Search.h_target
+              (if h.Redteam.Search.h_diverted then "!" else ""))
+          c.Redteam.Search.c_hops))
+    (Redteam.Search.goal_name c.Redteam.Search.c_goal)
+    c.Redteam.Search.c_goal_pc c.Redteam.Search.c_confirmed
+    c.Redteam.Search.c_exit
+
+let test_redteam_chain_engine_blind () =
+  let sp = Fuzz.Driver.spec_of (Fuzz.Driver.iter_seed 1L 0) in
+  let r = Redteam.Search.render_sabotaged sp in
+  let search dispatch =
+    match
+      Redteam.Search.run
+        ~build:(fun () ->
+          Fuzz.Oracle.build ~dispatch ~instrumented:true
+            ~static:r.Fuzz.Spec.r_static ~dynamic:r.Fuzz.Spec.r_dynamic ())
+        ()
+    with
+    | Ok res -> res
+    | Error m -> Alcotest.failf "search under %s: %s"
+                   (match dispatch with
+                   | Machine.Byte -> "byte"
+                   | Machine.Threaded -> "threaded")
+                   m
+  in
+  let b = search Machine.Byte in
+  let t = search Machine.Threaded in
+  Alcotest.(check string)
+    "benign run exits identically"
+    (Fmt.str "%a" Machine.pp_exit_reason b.Redteam.Search.sr_exit)
+    (Fmt.str "%a" Machine.pp_exit_reason t.Redteam.Search.sr_exit);
+  Alcotest.(check bool) "byte search finds a chain" true
+    (b.Redteam.Search.sr_chains <> []);
+  Alcotest.(check (list string))
+    "identical chains (slots, hops, goal, confirmation) under both engines"
+    (List.map chain_fingerprint b.Redteam.Search.sr_chains)
+    (List.map chain_fingerprint t.Redteam.Search.sr_chains);
+  Alcotest.(check bool) "the chain confirms under threaded dispatch" true
+    (List.exists
+       (fun c -> c.Redteam.Search.c_confirmed)
+       t.Redteam.Search.sr_chains)
+
 let () =
   Alcotest.run "dispatch"
     [
@@ -214,5 +270,10 @@ let () =
         [
           Alcotest.test_case "mid-install kill + recovery" `Quick
             test_mid_install_kill_and_recovery;
+        ] );
+      ( "redteam",
+        [
+          Alcotest.test_case "synthesized chain is engine-blind" `Slow
+            test_redteam_chain_engine_blind;
         ] );
     ]

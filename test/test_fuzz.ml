@@ -136,6 +136,55 @@ let test_corpus_rejects_garbage () =
   | Ok _ -> Alcotest.fail "missing oracle accepted"
   | Error _ -> ()
 
+(* A truncated artifact that kept its metadata but lost every source
+   section must fail to parse — and `mcfi fuzz --replay` on it must
+   report the error (exit 1), not replay an empty program as a pass. *)
+let test_corpus_rejects_sourceless () =
+  let meta_only = "# mcfi-fuzz counterexample\n# seed: 5\n# oracle: 2\n" in
+  (match Fuzz.Corpus.of_string meta_only with
+  | Ok _ -> Alcotest.fail "source-less corpus file accepted"
+  | Error _ -> ());
+  let path = Filename.temp_file "mcfi_fuzz_meta_only" ".c" in
+  let oc = open_out path in
+  output_string oc meta_only;
+  close_out oc;
+  let r = Fuzz.Driver.replay_file path in
+  Sys.remove path;
+  match r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replay of a source-less corpus file succeeded"
+
+(* ---------- shrinker determinism ---------- *)
+
+(* The same counterexample shrunk twice from the same seed must produce
+   byte-identical corpus files: the shrinker is pure greedy descent over
+   a deterministic candidate list, and replayable artifacts depend on
+   it staying that way. *)
+let test_shrink_deterministic_artifacts () =
+  let artifact seed =
+    let sp = Fuzz.Gen.generate (Prng.create seed) in
+    let reproduces c = c.Fuzz.Spec.sp_drivers <> [] in
+    let min = Fuzz.Shrink.minimize ~budget:400 ~reproduces sp in
+    let r = Fuzz.Spec.render min in
+    Fuzz.Corpus.to_string
+      {
+        Fuzz.Corpus.c_seed = seed;
+        c_oracle = 4;
+        c_drop_check = None;
+        c_msg = "determinism probe";
+        c_static = r.Fuzz.Spec.r_static;
+        c_dynamic = r.Fuzz.Spec.r_dynamic;
+      }
+  in
+  List.iter
+    (fun seed ->
+      let a = artifact seed in
+      let b = artifact seed in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %Ld shrinks identically" seed)
+        a b)
+    [ 11L; 123L; -7L ]
+
 (* ---------- `mcfi fuzz` flag parsing ---------- *)
 
 let eval_mode argv =
@@ -207,12 +256,16 @@ let () =
           Alcotest.test_case "converges" `Quick test_shrink_converges;
           Alcotest.test_case "preserves failure" `Quick
             test_shrink_preserves_failure;
+          Alcotest.test_case "deterministic artifacts" `Quick
+            test_shrink_deterministic_artifacts;
         ] );
       ( "corpus",
         [
           Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_corpus_rejects_garbage;
+          Alcotest.test_case "rejects source-less files" `Quick
+            test_corpus_rejects_sourceless;
         ] );
       ( "cli",
         [

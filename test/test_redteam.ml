@@ -1,0 +1,259 @@
+(* Cross-oracle tests for the red-team attack synthesizer.
+
+   The reachability map, the gadget scanner and the live table
+   transaction are three independent views of the same policy; the
+   properties here pin them together over fuzz-generated programs:
+
+   - every target the reach map claims admitted at a site is accepted
+     by the real {!Idtables.Tx.check}, and every tary address it does
+     NOT claim is rejected (the map is neither optimistic nor
+     pessimistic);
+   - every gadget {!Security.Gadget.survivors} keeps starts at a
+     redteam-reachable address — the gadget-elimination figure and the
+     attack surface describe the same set;
+   - the search finds (and confirms) the grafted decoy chain on the
+     sabotaged exemplar and finds nothing on the clean one;
+   - `mcfi redteam` flag parsing. *)
+
+module Search = Redteam.Search
+module Reach = Redteam.Reach
+module Process = Mcfi_runtime.Process
+module Machine = Mcfi_runtime.Machine
+module Tables = Idtables.Tables
+module Tx = Idtables.Tx
+module Gadget = Security.Gadget
+module Spec = Fuzz.Spec
+module Driver = Fuzz.Driver
+module IS = Set.Make (Int)
+
+let fuel = 10_000_000
+
+(* iterations under one campaign seed: enough program diversity (plain
+   calls, fp arrays, setjmp, dlopen) without making the suite crawl *)
+let cases = [ 0; 1; 2; 3; 4; 5 ]
+
+let process_of (r : Spec.rendered) =
+  let proc =
+    Fuzz.Oracle.build ~instrumented:true ~static:r.Spec.r_static
+      ~dynamic:r.Spec.r_dynamic ()
+  in
+  ignore (Process.run ~fuel proc);
+  proc
+
+let reach_of proc =
+  match Reach.compute proc with
+  | Some re -> re
+  | None -> Alcotest.fail "instrumented process produced no reach map"
+
+let with_case i f =
+  let sp = Driver.spec_of (Driver.iter_seed 42L i) in
+  let proc = process_of (Spec.render sp) in
+  let out = f proc in
+  Process.teardown proc;
+  out
+
+(* ---------- reach map <-> live transaction ---------- *)
+
+let test_admitted_iff_tx_pass () =
+  List.iter
+    (fun i ->
+      with_case i (fun proc ->
+          let tables = Option.get (Process.tables proc) in
+          let re = reach_of proc in
+          let tary =
+            List.fold_left
+              (fun s (addr, _) -> IS.add addr s)
+              IS.empty (Tables.tary_entries tables)
+          in
+          List.iter
+            (fun (s : Reach.site) ->
+              let admitted =
+                Array.fold_left (fun a t -> IS.add t a) IS.empty s.Reach.s_admitted
+              in
+              (* soundness: every claimed target passes the live check *)
+              Array.iter
+                (fun target ->
+                  match
+                    Tx.check ~max_retries:64 tables
+                      ~bary_index:s.Reach.s_slot ~target
+                  with
+                  | Tx.Pass -> ()
+                  | Tx.Violation | Tx.Retries_exhausted ->
+                    Alcotest.failf
+                      "case %d slot %d: claimed-admitted 0x%x rejected by \
+                       Tx.check"
+                      i s.Reach.s_slot target)
+                s.Reach.s_admitted;
+              (* completeness: every tary address it does not claim is
+                 rejected — as [Violation] (same-version class mismatch)
+                 or [Retries_exhausted] (a cross-class target reads a
+                 persistently skewed version pair; only [Pass] admits) *)
+              IS.iter
+                (fun target ->
+                  if not (IS.mem target admitted) then
+                    match
+                      Tx.check ~max_retries:64 tables
+                        ~bary_index:s.Reach.s_slot ~target
+                    with
+                    | Tx.Violation | Tx.Retries_exhausted -> ()
+                    | Tx.Pass ->
+                      Alcotest.failf
+                        "case %d slot %d: unclaimed 0x%x passes Tx.check" i
+                        s.Reach.s_slot target)
+                tary;
+              (* and [admits] agrees with the arrays it was built from *)
+              Array.iter
+                (fun target ->
+                  Alcotest.(check bool)
+                    "admits agrees" true
+                    (Reach.admits re ~slot:s.Reach.s_slot ~target))
+                s.Reach.s_admitted)
+            re.Reach.r_sites))
+    cases
+
+(* ---------- gadget survivors <-> reachable addresses ---------- *)
+
+let test_survivors_start_reachable () =
+  List.iter
+    (fun i ->
+      with_case i (fun proc ->
+          let m = Process.machine proc in
+          let tables = Option.get (Process.tables proc) in
+          let re = reach_of proc in
+          let tary =
+            List.fold_left
+              (fun s (addr, _) -> IS.add addr s)
+              IS.empty (Tables.tary_entries tables)
+          in
+          let reachable =
+            List.fold_left
+              (fun acc (s : Reach.site) ->
+                Array.fold_left (fun a t -> IS.add t a) acc s.Reach.s_admitted)
+              IS.empty re.Reach.r_sites
+          in
+          let gs =
+            Gadget.scan ~base:(Machine.code_base m) (Machine.code_image m)
+          in
+          let kept =
+            Gadget.survivors ~valid_targets:(fun a -> IS.mem a tary) gs
+          in
+          List.iter
+            (fun (g : Gadget.t) ->
+              if not (IS.mem g.Gadget.g_start reachable) then
+                Alcotest.failf
+                  "case %d: surviving gadget at 0x%x is not redteam-reachable"
+                  i g.Gadget.g_start)
+            kept))
+    cases
+
+(* ---------- the sabotage exemplar ---------- *)
+
+let search_rendered (r : Spec.rendered) =
+  match
+    Search.run
+      ~build:(fun () ->
+        Fuzz.Oracle.build ~instrumented:true ~static:r.Spec.r_static
+          ~dynamic:r.Spec.r_dynamic ())
+      ()
+  with
+  | Ok res -> res
+  | Error m -> Alcotest.failf "search: %s" m
+
+let exemplar () = Driver.spec_of (Driver.iter_seed 1L 0)
+
+let test_sabotage_finds_confirmed_chain () =
+  let res = search_rendered (Search.render_sabotaged (exemplar ())) in
+  Alcotest.(check bool)
+    "found at least one chain" true
+    (res.Search.sr_chains <> []);
+  Alcotest.(check bool)
+    "at least one chain confirmed by re-execution" true
+    (List.exists (fun c -> c.Search.c_confirmed) res.Search.sr_chains);
+  (* the decoy's body reaches dlopen; every chain must name a dangerous
+     goal (never exit/print) *)
+  List.iter
+    (fun (c : Search.chain) ->
+      match c.Search.c_goal with
+      | Search.Gsyscall (Some n) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "syscall %d is dangerous" n)
+          true
+          (n = Vmisa.Abi.sys_sbrk || n = Vmisa.Abi.sys_dlopen
+         || n = Vmisa.Abi.sys_dlsym)
+      | Search.Gsyscall None | Search.Gwrite _ -> ())
+    res.Search.sr_chains;
+  (* the chains the search reports start at corruptible sites *)
+  List.iter
+    (fun (c : Search.chain) ->
+      match Reach.site res.Search.sr_reach c.Search.c_start with
+      | None -> Alcotest.failf "chain start slot %d unknown" c.Search.c_start
+      | Some s ->
+        Alcotest.(check bool)
+          "chain starts at a corruptible site" true
+          (Reach.corruptible s.Reach.s_kind))
+    res.Search.sr_chains
+
+let test_clean_exemplar_has_no_chain () =
+  let res = search_rendered (Spec.render (exemplar ())) in
+  Alcotest.(check int) "no chain in the clean program" 0
+    (List.length res.Search.sr_chains)
+
+(* ---------- `mcfi redteam` flag parsing ---------- *)
+
+let eval_mode argv =
+  match
+    Cmdliner.Cmd.eval_value ~argv
+      (Cmdliner.Cmd.v
+         (Cmdliner.Cmd.info "redteam")
+         Cmdliner.Term.(const (fun m -> m) $ Redteam.Cli.mode_term))
+  with
+  | Ok (`Ok m) -> m
+  | _ -> Alcotest.fail "flag parsing failed"
+
+let test_cli_defaults () =
+  match eval_mode [| "redteam" |] with
+  | Redteam.Cli.Campaign { seed; iters; budget; corpus; sabotage; report } ->
+    Alcotest.(check int64) "seed" 1L seed;
+    Alcotest.(check int) "iters" 50 iters;
+    Alcotest.(check (float 0.0)) "budget" 0. budget;
+    Alcotest.(check string) "corpus" "corpus" corpus;
+    Alcotest.(check bool) "sabotage off" false sabotage;
+    Alcotest.(check (option string)) "no report" None report
+  | _ -> Alcotest.fail "defaults did not parse as a campaign"
+
+let test_cli_modes () =
+  (match eval_mode [| "redteam"; "--replay"; "a.c" |] with
+  | Redteam.Cli.Replay [ "a.c" ] -> ()
+  | _ -> Alcotest.fail "--replay did not parse as replay");
+  match
+    eval_mode [| "redteam"; "--sabotage"; "--iters"; "3"; "--seed=-9" |]
+  with
+  | Redteam.Cli.Campaign { seed; iters; sabotage; _ } ->
+    Alcotest.(check int64) "seed" (-9L) seed;
+    Alcotest.(check int) "iters" 3 iters;
+    Alcotest.(check bool) "sabotage on" true sabotage
+  | _ -> Alcotest.fail "campaign flags did not parse"
+
+let () =
+  Alcotest.run "redteam"
+    [
+      ( "cross-oracle",
+        [
+          Alcotest.test_case "admitted iff Tx.check passes" `Slow
+            test_admitted_iff_tx_pass;
+          Alcotest.test_case "gadget survivors are reachable" `Slow
+            test_survivors_start_reachable;
+        ] );
+      ( "sabotage exemplar",
+        [
+          Alcotest.test_case "sabotaged program yields a confirmed chain"
+            `Slow test_sabotage_finds_confirmed_chain;
+          Alcotest.test_case "clean program yields none" `Slow
+            test_clean_exemplar_has_no_chain;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "defaults" `Quick test_cli_defaults;
+          Alcotest.test_case "modes" `Quick test_cli_modes;
+        ] );
+    ]
